@@ -1,0 +1,435 @@
+// Root benchmark harness: one benchmark per reproduced table/figure, as
+// indexed in DESIGN.md §5. `go test -bench=. -benchmem` exercises every
+// experiment at benchmark scale; cmd/rangebench prints the full tables.
+package drtree_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro"
+	"repro/internal/brute"
+	"repro/internal/cgm"
+	"repro/internal/core"
+	"repro/internal/expt"
+	"repro/internal/rangetree"
+	"repro/internal/segtree"
+	"repro/internal/workload"
+)
+
+// benchPoints/benchBoxes memoize workloads across benchmarks.
+var workloadCache = map[string][]drtree.Point{}
+
+func benchPoints(n, d int) []drtree.Point {
+	key := fmt.Sprintf("%d/%d", n, d)
+	if pts, ok := workloadCache[key]; ok {
+		return pts
+	}
+	pts := workload.Points(workload.PointSpec{N: n, Dims: d, Dist: workload.Uniform, Seed: 1})
+	workloadCache[key] = pts
+	return pts
+}
+
+func benchBoxes(m, n, d int, sel float64) []drtree.Box {
+	return workload.Boxes(workload.QuerySpec{M: m, Dims: d, N: n, Selectivity: sel, Seed: 1})
+}
+
+// BenchmarkF1_SegmentTreeCover measures the canonical decomposition of
+// Figure 1's structure at scale: the O(log n) cover underlying every
+// search.
+func BenchmarkF1_SegmentTreeCover(b *testing.B) {
+	s := segtree.NewShape(1 << 20)
+	b.ReportAllocs()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		lo := (i * 7919) % (1 << 19)
+		hi := lo + (i*104729)%(1<<19)
+		s.Cover(lo, hi, func(int) { total++ })
+	}
+	_ = total
+}
+
+// BenchmarkF2_Labeling measures the Definition 2 path labeling used to
+// name every tree of the structure.
+func BenchmarkF2_Labeling(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k := segtree.RootPathKey.Extend(i%1024 + 1).Extend(i%64 + 1)
+		if k.Dim() != 3 {
+			b.Fatal("bad dim")
+		}
+	}
+}
+
+// BenchmarkF3_HatForestDecomposition builds the Figure 3 structure (the
+// hat/forest cut) at benchmark size.
+func BenchmarkF3_HatForestDecomposition(b *testing.B) {
+	pts := benchPoints(1<<12, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mach := drtree.NewMachine(drtree.MachineConfig{P: 8})
+		t := drtree.BuildDistributed(mach, pts)
+		if t.HatNodeCount() == 0 {
+			b.Fatal("empty hat")
+		}
+	}
+}
+
+// BenchmarkT1_StructureSizes reproduces Table T1: structure size ratios
+// reported as benchmark metrics.
+func BenchmarkT1_StructureSizes(b *testing.B) {
+	pts := benchPoints(1<<12, 2)
+	s := rangetree.Build(pts).Nodes()
+	var hat, maxF int
+	for i := 0; i < b.N; i++ {
+		mach := drtree.NewMachine(drtree.MachineConfig{P: 8})
+		t := drtree.BuildDistributed(mach, pts)
+		hat = t.HatNodeCount()
+		maxF = 0
+		for _, x := range t.ForestPartNodes() {
+			if x > maxF {
+				maxF = x
+			}
+		}
+	}
+	b.ReportMetric(float64(hat), "hat-nodes")
+	b.ReportMetric(float64(maxF)/(float64(s)/8), "maxF/(s÷p)")
+}
+
+// BenchmarkT2_Construct reproduces Table T2: Algorithm Construct.
+func BenchmarkT2_Construct(b *testing.B) {
+	for _, p := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			pts := benchPoints(1<<12, 2)
+			var rounds, maxH int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mach := drtree.NewMachine(drtree.MachineConfig{P: p})
+				drtree.BuildDistributed(mach, pts)
+				mt := mach.Metrics()
+				rounds, maxH = mt.CommRounds(), mt.MaxH()
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+			b.ReportMetric(float64(maxH), "max-h")
+		})
+	}
+}
+
+// BenchmarkT3_Search reproduces Table T3: a batch of n counting queries.
+func BenchmarkT3_Search(b *testing.B) {
+	for _, p := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			n := 1 << 12
+			pts := benchPoints(n, 2)
+			mach := drtree.NewMachine(drtree.MachineConfig{P: p})
+			t := drtree.BuildDistributed(mach, pts)
+			boxes := benchBoxes(n, n, 2, 0.001)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t.CountBatch(boxes)
+			}
+			mach.ResetMetrics()
+			t.CountBatch(boxes)
+			b.ReportMetric(float64(mach.Metrics().CommRounds()), "rounds")
+		})
+	}
+}
+
+// BenchmarkT4a_Associative reproduces Table T4a: weighted-sum batches.
+func BenchmarkT4a_Associative(b *testing.B) {
+	n := 1 << 12
+	pts := benchPoints(n, 2)
+	mach := drtree.NewMachine(drtree.MachineConfig{P: 8})
+	t := drtree.BuildDistributed(mach, pts)
+	h := drtree.PrepareAssociative(t, drtree.FloatSum(), workload.WeightOf)
+	boxes := benchBoxes(n/2, n, 2, 0.01)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Batch(boxes)
+	}
+}
+
+// BenchmarkT4b_Report reproduces Table T4b: report mode across
+// selectivities; the balance metric is max pairs per processor over k/p.
+func BenchmarkT4b_Report(b *testing.B) {
+	n := 1 << 12
+	pts := benchPoints(n, 2)
+	mach := drtree.NewMachine(drtree.MachineConfig{P: 8})
+	t := drtree.BuildDistributed(mach, pts)
+	for _, sel := range []float64{0.001, 0.05} {
+		b.Run(fmt.Sprintf("sel=%v", sel), func(b *testing.B) {
+			boxes := benchBoxes(256, n, 2, sel)
+			var balance float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				results, perProc := t.ReportBatchBalance(boxes)
+				k := 0
+				for _, r := range results {
+					k += len(r)
+				}
+				mx := 0
+				for _, c := range perProc {
+					if c > mx {
+						mx = c
+					}
+				}
+				if k > 0 {
+					balance = float64(mx) / (float64(k) / 8)
+				}
+			}
+			b.ReportMetric(balance, "k/p-balance")
+		})
+	}
+}
+
+// BenchmarkE5_Baselines reproduces Table E5: sequential range tree vs k-d
+// tree vs scan on identical query batches.
+func BenchmarkE5_Baselines(b *testing.B) {
+	n, d := 1<<14, 2
+	pts := benchPoints(n, d)
+	shapes := map[string][]drtree.Box{
+		"square": benchBoxes(256, n, d, 0.0005),
+		"slab":   workload.SlabBoxes(256, d, n, 0.002, 1),
+	}
+	rt := rangetree.Build(pts)
+	kd := drtree.BuildKD(pts)
+	bf := brute.New(pts)
+	sink := 0
+	for _, shape := range []string{"square", "slab"} {
+		boxes := shapes[shape]
+		b.Run(shape+"/rangetree", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, q := range boxes {
+					sink += rt.Count(q)
+				}
+			}
+		})
+		b.Run(shape+"/kdtree", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, q := range boxes {
+					sink += kd.Count(q)
+				}
+			}
+		})
+		b.Run(shape+"/scan", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, q := range boxes {
+					sink += bf.Count(q)
+				}
+			}
+		})
+	}
+	_ = sink
+}
+
+// BenchmarkE6_Balance reproduces Table E6: hot-spot batches exercising the
+// c_j-copy load balancing.
+func BenchmarkE6_Balance(b *testing.B) {
+	n := 1 << 12
+	pts := benchPoints(n, 2)
+	mach := drtree.NewMachine(drtree.MachineConfig{P: 8})
+	t := drtree.BuildDistributed(mach, pts)
+	hot := workload.Boxes(workload.QuerySpec{M: n, Dims: 2, N: n, Selectivity: 0.0005, Foci: 1, Seed: 2})
+	var factor float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.CountBatch(hot)
+		stats := t.LastSearchStats()
+		total, mx := 0, 0
+		for _, s := range stats {
+			total += s.Served
+			if s.Served > mx {
+				mx = s.Served
+			}
+		}
+		if total > 0 {
+			factor = float64(mx) / (float64(total) / 8)
+		}
+	}
+	b.ReportMetric(factor, "served-load-factor")
+}
+
+// BenchmarkE7_HRelations reproduces Table E7: the h audit over a full
+// build+search cycle.
+func BenchmarkE7_HRelations(b *testing.B) {
+	n, p := 1<<12, 4
+	pts := benchPoints(n, 2)
+	s := rangetree.Build(pts).Nodes()
+	boxes := benchBoxes(n, n, 2, 0.001)
+	var worst float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mach := drtree.NewMachine(drtree.MachineConfig{P: p})
+		t := drtree.BuildDistributed(mach, pts)
+		t.CountBatch(boxes)
+		worst = 0
+		for _, r := range mach.Metrics().Rounds {
+			if r.Final {
+				continue
+			}
+			if ratio := float64(r.MaxH) * float64(p) / float64(s); ratio > worst {
+				worst = ratio
+			}
+		}
+	}
+	b.ReportMetric(worst, "worst-h·p/s")
+}
+
+// BenchmarkE8_DimensionSweep reproduces Table E8: construction across d.
+func BenchmarkE8_DimensionSweep(b *testing.B) {
+	for _, d := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("d=%d", d), func(b *testing.B) {
+			pts := benchPoints(1<<10, d)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mach := drtree.NewMachine(drtree.MachineConfig{P: 4})
+				drtree.BuildDistributed(mach, pts)
+			}
+		})
+	}
+}
+
+// BenchmarkE9_Speedup reproduces Table E9: modelled time in Measured mode
+// across machine widths.
+func BenchmarkE9_Speedup(b *testing.B) {
+	n := 1 << 12
+	pts := benchPoints(n, 2)
+	boxes := benchBoxes(n, n, 2, 0.001)
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			var model float64
+			for i := 0; i < b.N; i++ {
+				mach := drtree.NewMachine(drtree.MachineConfig{P: p, Mode: drtree.Measured})
+				t := drtree.BuildDistributed(mach, pts)
+				mach.ResetMetrics()
+				t.CountBatch(boxes)
+				model = float64(mach.Metrics().ModelTime(cgm.DefaultG, cgm.DefaultL).Microseconds())
+			}
+			b.ReportMetric(model, "search-Tmodel-µs")
+		})
+	}
+}
+
+// BenchmarkE10_BatchSize reproduces Table E10: amortizing rounds over m.
+func BenchmarkE10_BatchSize(b *testing.B) {
+	n := 1 << 12
+	pts := benchPoints(n, 2)
+	mach := drtree.NewMachine(drtree.MachineConfig{P: 8})
+	t := drtree.BuildDistributed(mach, pts)
+	for _, m := range []int{n / 16, n, 4 * n} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			boxes := benchBoxes(m, n, 2, 0.001)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t.CountBatch(boxes)
+			}
+		})
+	}
+}
+
+// BenchmarkE11_Layered reproduces Table E11: plain vs layered query time.
+func BenchmarkE11_Layered(b *testing.B) {
+	n, d := 1<<13, 2
+	pts := benchPoints(n, d)
+	boxes := benchBoxes(512, n, d, 0.02)
+	rt := rangetree.Build(pts)
+	lt := drtree.BuildLayered(pts)
+	sink := 0
+	b.Run("plain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range boxes {
+				sink += rt.Count(q)
+			}
+		}
+	})
+	b.Run("layered", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range boxes {
+				sink += lt.Count(q)
+			}
+		}
+	})
+	_ = sink
+}
+
+// BenchmarkE12_DynamicInserts reproduces Table E12: amortized batch
+// insertion into the dynamized distributed tree.
+func BenchmarkE12_DynamicInserts(b *testing.B) {
+	n := 1 << 11
+	pts := benchPoints(n, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mach := drtree.NewMachine(drtree.MachineConfig{P: 4})
+		t := drtree.NewDynamic(mach, 2, drtree.WithBase(32))
+		for off := 0; off < n; off += n / 8 {
+			t.InsertBatch(pts[off : off+n/8])
+		}
+		if t.N() != n {
+			b.Fatal("lost points")
+		}
+	}
+}
+
+// BenchmarkE13_SingleQuery reproduces Table E13: one query answered by all
+// processors cooperatively.
+func BenchmarkE13_SingleQuery(b *testing.B) {
+	n := 1 << 13
+	pts := benchPoints(n, 2)
+	mach := drtree.NewMachine(drtree.MachineConfig{P: 8})
+	t := drtree.BuildDistributed(mach, pts)
+	g := int32(t.Grain())
+	band := drtree.NewBox([]drtree.Coord{g / 2, 100}, []drtree.Coord{int32(n) - g/2, 400})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.SingleCount(band)
+	}
+}
+
+// BenchmarkDominance measures footnote 2's reduction: box sums via 2^d
+// dominance corners.
+func BenchmarkDominance(b *testing.B) {
+	n := 1 << 13
+	pts := benchPoints(n, 2)
+	boxes := benchBoxes(512, n, 2, 0.01)
+	dom := drtree.BuildDominance(pts, drtree.IntSumGroup(), func(drtree.Point) int64 { return 1 })
+	var sink int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range boxes {
+			sink += dom.Box(q)
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkExptTables runs the quick-scale table generators end to end —
+// the exact code path behind cmd/rangebench.
+func BenchmarkExptTables(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if tab := expt.F1(); len(tab.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+		if tab := expt.T1(expt.Quick); len(tab.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// TestBenchWorkloadsSane guards the benchmark workloads themselves.
+func TestBenchWorkloadsSane(t *testing.T) {
+	pts := benchPoints(1<<10, 2)
+	if len(pts) != 1<<10 {
+		t.Fatal("bad point count")
+	}
+	mach := drtree.NewMachine(drtree.MachineConfig{P: 4})
+	tree := drtree.BuildDistributed(mach, pts)
+	boxes := benchBoxes(100, 1<<10, 2, 0.01)
+	counts := tree.CountBatch(boxes)
+	bf := brute.New(pts)
+	for i, q := range boxes {
+		if counts[i] != int64(bf.Count(q)) {
+			t.Fatalf("benchmark workload mismatch at %d", i)
+		}
+	}
+	var _ core.ElemInfo // keep the core import for its exported types
+}

@@ -1,0 +1,84 @@
+// Command rangebench regenerates the paper's evaluation: every figure
+// (F1–F3) and every theorem-derived table (T1–T4b), plus the extension
+// experiments (E5–E10) indexed in DESIGN.md §5.
+//
+// Usage:
+//
+//	rangebench                          # run everything at quick scale
+//	rangebench -experiment T2,T3        # selected experiments
+//	rangebench -scale full              # EXPERIMENTS.md-sized runs
+//	rangebench -markdown > results.md   # markdown output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/expt"
+)
+
+var runners = map[string]func(expt.Scale) *expt.Table{
+	"F1":  func(expt.Scale) *expt.Table { return expt.F1() },
+	"F2":  func(expt.Scale) *expt.Table { return expt.F2() },
+	"F3":  func(expt.Scale) *expt.Table { return expt.F3() },
+	"T1":  expt.T1,
+	"T2":  expt.T2,
+	"T3":  expt.T3,
+	"T4A": expt.T4a,
+	"T4B": expt.T4b,
+	"E5":  expt.E5,
+	"E6":  expt.E6,
+	"E7":  expt.E7,
+	"E8":  expt.E8,
+	"E9":  expt.E9,
+	"E10": expt.E10,
+	"E11": expt.E11,
+	"E12": expt.E12,
+	"E13": expt.E13,
+	"E14": expt.E14,
+}
+
+var order = []string{"F1", "F2", "F3", "T1", "T2", "T3", "T4A", "T4B", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"}
+
+func main() {
+	experiments := flag.String("experiment", "all", "comma-separated experiment ids (e.g. T2,T3,E6) or 'all'")
+	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
+	markdown := flag.Bool("markdown", false, "emit GitHub markdown instead of aligned text")
+	flag.Parse()
+
+	var scale expt.Scale
+	switch strings.ToLower(*scaleFlag) {
+	case "quick":
+		scale = expt.Quick
+	case "full":
+		scale = expt.Full
+	default:
+		fmt.Fprintf(os.Stderr, "rangebench: unknown scale %q (want quick or full)\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	var ids []string
+	if strings.EqualFold(*experiments, "all") {
+		ids = order
+	} else {
+		for _, id := range strings.Split(*experiments, ",") {
+			id = strings.ToUpper(strings.TrimSpace(id))
+			if _, ok := runners[id]; !ok {
+				fmt.Fprintf(os.Stderr, "rangebench: unknown experiment %q; known: %s\n", id, strings.Join(order, " "))
+				os.Exit(2)
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	for _, id := range ids {
+		tab := runners[id](scale)
+		if *markdown {
+			fmt.Print(tab.Markdown())
+		} else {
+			tab.Render(os.Stdout)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+// Command rangesearch is the end-user CLI: build a distributed range tree
+// over generated or CSV-loaded points and answer a batch of box queries in
+// one of the paper's three modes, reporting the machine metrics the CGM
+// model cares about (rounds, h, modelled time).
+//
+// Usage:
+//
+//	rangesearch -n 4096 -d 2 -p 8 -queries 1024 -mode count
+//	rangesearch -csv points.csv -p 4 -queries 100 -mode sum
+//	rangesearch -n 1024 -d 2 -mode report -selectivity 0.02
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/cgm"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/semigroup"
+	"repro/internal/workload"
+)
+
+func main() {
+	n := flag.Int("n", 4096, "generated point count (ignored with -csv)")
+	d := flag.Int("d", 2, "dimensions (ignored with -csv)")
+	dist := flag.String("dist", "uniform", "point distribution: uniform, clustered, correlated")
+	csvPath := flag.String("csv", "", "CSV file of raw float coordinates, one point per row")
+	p := flag.Int("p", 8, "processors")
+	queries := flag.Int("queries", 256, "number of box queries")
+	selectivity := flag.Float64("selectivity", 0.01, "target query selectivity")
+	mode := flag.String("mode", "count", "result mode: count, report or sum")
+	seed := flag.Int64("seed", 1, "workload seed")
+	verbose := flag.Bool("v", false, "print per-query results")
+	flag.Parse()
+
+	pts, dims := loadPoints(*csvPath, *n, *d, *dist, *seed)
+	boxes := workload.Boxes(workload.QuerySpec{
+		M: *queries, Dims: dims, N: len(pts), Selectivity: *selectivity, Seed: *seed,
+	})
+
+	mach := cgm.New(cgm.Config{P: *p})
+	start := time.Now()
+	dt := core.Build(mach, pts)
+	buildWall := time.Since(start)
+	buildMetrics := mach.Metrics()
+	mach.ResetMetrics()
+
+	fmt.Printf("built distributed range tree: n=%d d=%d p=%d grain=%d\n",
+		len(pts), dims, *p, dt.Grain())
+	fmt.Printf("  hat %d nodes / forest %d elements | construct: %d rounds, max h %d, wall %v\n\n",
+		dt.HatNodeCount(), dt.ElemCount(), buildMetrics.CommRounds(), buildMetrics.MaxH(), buildWall.Round(time.Millisecond))
+
+	start = time.Now()
+	switch *mode {
+	case "count":
+		counts := dt.CountBatch(boxes)
+		total := int64(0)
+		for i, c := range counts {
+			total += c
+			if *verbose {
+				fmt.Printf("query %4d %v -> %d points\n", i, boxes[i], c)
+			}
+		}
+		fmt.Printf("count mode: %d queries, %d total matches\n", len(boxes), total)
+	case "sum":
+		h := core.PrepareAssociative(dt, semigroup.FloatSum(), workload.WeightOf)
+		sums := h.Batch(boxes)
+		grand := 0.0
+		for i, s := range sums {
+			grand += s
+			if *verbose {
+				fmt.Printf("query %4d %v -> sum %.2f\n", i, boxes[i], s)
+			}
+		}
+		fmt.Printf("sum mode: %d queries, grand total %.2f\n", len(boxes), grand)
+	case "report":
+		results, perProc := dt.ReportBatchBalance(boxes)
+		k := 0
+		for i, r := range results {
+			k += len(r)
+			if *verbose {
+				fmt.Printf("query %4d %v -> %d points\n", i, boxes[i], len(r))
+			}
+		}
+		fmt.Printf("report mode: %d queries, k=%d pairs; per-processor pairs %v\n", len(boxes), k, perProc)
+	default:
+		fmt.Fprintf(os.Stderr, "rangesearch: unknown mode %q (want count, report or sum)\n", *mode)
+		os.Exit(2)
+	}
+	wall := time.Since(start)
+	mt := mach.Metrics()
+	fmt.Printf("search: %d rounds, max h %d, modelled time %v, wall %v\n",
+		mt.CommRounds(), mt.MaxH(),
+		mt.ModelTime(mach.G(), mach.L()).Round(time.Microsecond),
+		wall.Round(time.Millisecond))
+}
+
+// loadPoints reads raw CSV floats or generates a synthetic set, returning
+// rank-normalized points.
+func loadPoints(path string, n, d int, dist string, seed int64) ([]geom.Point, int) {
+	if path == "" {
+		var dd workload.Distribution
+		switch dist {
+		case "uniform":
+			dd = workload.Uniform
+		case "clustered":
+			dd = workload.Clustered
+		case "correlated":
+			dd = workload.Correlated
+		default:
+			fmt.Fprintf(os.Stderr, "rangesearch: unknown distribution %q\n", dist)
+			os.Exit(2)
+		}
+		return workload.Points(workload.PointSpec{N: n, Dims: d, Dist: dd, Seed: seed}), d
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rangesearch: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rangesearch: reading %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	raw := make([][]float64, 0, len(rows))
+	for i, row := range rows {
+		vals := make([]float64, len(row))
+		for j, cell := range row {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rangesearch: row %d col %d: %v\n", i+1, j+1, err)
+				os.Exit(1)
+			}
+			vals[j] = v
+		}
+		raw = append(raw, vals)
+	}
+	if len(raw) == 0 {
+		fmt.Fprintln(os.Stderr, "rangesearch: CSV is empty")
+		os.Exit(1)
+	}
+	pts, _ := geom.NormalizeFloat64(raw)
+	return pts, len(raw[0])
+}

@@ -1,0 +1,217 @@
+// Package drtree is a Go reproduction of "d-Dimensional Range Search on
+// Multicomputers" (Ferreira, Kenyon, Rau-Chaplin, Ubéda; LIP RR-1996-23 /
+// IPPS 1997): the distributed range tree on a Coarse-Grained Multicomputer
+// and its batched search algorithms in counting, associative-function and
+// report modes.
+//
+// Because Go has no MPI ecosystem, the multicomputer itself is part of the
+// library: a deterministic CGM/BSP simulator whose processors are
+// goroutines and whose communication is barrier-synchronised h-relations,
+// instrumented to measure exactly what the paper's theorems bound
+// (communication rounds, per-round h, local work). See DESIGN.md for the
+// architecture and the experiment index, EXPERIMENTS.md for recorded runs.
+//
+// Quickstart:
+//
+//	pts, norm := drtree.Normalize(rawRows)          // raw floats → rank space
+//	mach := drtree.NewMachine(drtree.MachineConfig{P: 8})
+//	tree := drtree.BuildDistributed(mach, pts)      // Algorithm Construct
+//	counts := tree.CountBatch([]drtree.Box{norm.Box(lo, hi)})
+//
+// The packages under internal/ hold the implementation: geom (points,
+// boxes, rank normalization), segtree (segment-tree shape math and the
+// paper's node labeling), rangetree (the sequential structure), cgm + comm
+// + psort (the simulated multicomputer and its standard operations),
+// balance (the query/copy load balancing), core (the distributed range
+// tree), kdtree/brute (baselines), workload (generators) and expt (the
+// table harness behind cmd/rangebench).
+package drtree
+
+import (
+	"io"
+
+	"repro/internal/cgm"
+	"repro/internal/core"
+	"repro/internal/dominance"
+	"repro/internal/dynamic"
+	"repro/internal/geom"
+	"repro/internal/kdtree"
+	"repro/internal/layered"
+	"repro/internal/persist"
+	"repro/internal/rangetree"
+	"repro/internal/semigroup"
+	"repro/internal/workload"
+)
+
+// Geometry types, re-exported from internal/geom.
+type (
+	// Point is a point in d-dimensional rank space.
+	Point = geom.Point
+	// Coord is a single rank coordinate.
+	Coord = geom.Coord
+	// Box is a closed axis-aligned query domain.
+	Box = geom.Box
+	// Normalizer maps raw float coordinates and boxes into rank space.
+	Normalizer = geom.Normalizer
+)
+
+// Machine types, re-exported from internal/cgm.
+type (
+	// Machine is the simulated coarse-grained multicomputer CGM(s, p).
+	Machine = cgm.Machine
+	// MachineConfig configures a machine (width, mode, BSP cost model).
+	MachineConfig = cgm.Config
+	// Metrics is the machine's superstep accounting.
+	Metrics = cgm.Metrics
+)
+
+// Machine scheduling modes.
+const (
+	// Concurrent runs the simulated processors as parallel goroutines.
+	Concurrent = cgm.Concurrent
+	// Measured time-slices processors for precise per-processor timing.
+	Measured = cgm.Measured
+)
+
+// Tree is the distributed range tree (the paper's contribution).
+type Tree = core.Tree
+
+// Query-related core types.
+type (
+	// ElemInfo is replicated forest-element metadata.
+	ElemInfo = core.ElemInfo
+	// SearchStats is one processor's share of a batch.
+	SearchStats = core.SearchStats
+)
+
+// RangeTree is the sequential d-dimensional range tree (Definition 1),
+// used standalone or as the building block of forest elements.
+type RangeTree = rangetree.Tree
+
+// KDTree is the space-optimal baseline the paper compares against (§1).
+type KDTree = kdtree.Tree
+
+// Monoid is a commutative monoid: the algebra of the associative-function
+// search mode.
+type Monoid[T any] = semigroup.Monoid[T]
+
+// NewMachine creates a simulated multicomputer.
+func NewMachine(cfg MachineConfig) *Machine { return cgm.New(cfg) }
+
+// Normalize converts raw float rows into rank-space points plus the
+// Normalizer that maps raw query boxes into the same space (the paper's §3
+// normalization assumption).
+func Normalize(raw [][]float64) ([]Point, *Normalizer) { return geom.NormalizeFloat64(raw) }
+
+// RankNormalize rewrites integer-coordinate points into distinct ranks in
+// place.
+func RankNormalize(pts []Point) []Point { return geom.RankNormalize(pts) }
+
+// NewBox builds a closed query box.
+func NewBox(lo, hi []Coord) Box { return geom.NewBox(lo, hi) }
+
+// BuildDistributed runs Algorithm Construct on the machine and returns the
+// distributed range tree (Theorem 2: O(s/p) local work plus a constant
+// number of h-relations).
+func BuildDistributed(m *Machine, pts []Point) *Tree { return core.Build(m, pts) }
+
+// BuildSequential builds the classical sequential range tree over all
+// dimensions of pts.
+func BuildSequential(pts []Point) *RangeTree { return rangetree.Build(pts) }
+
+// BuildKD builds the k-d tree baseline.
+func BuildKD(pts []Point) *KDTree { return kdtree.Build(pts) }
+
+// PrepareAssociative precomputes the associative-function annotation
+// (Algorithm AssociativeFunction step 1) for monoid m with per-point value
+// val; the returned handle answers batches via Batch.
+func PrepareAssociative[T any](t *Tree, m Monoid[T], val func(Point) T) *core.AggHandle[T] {
+	return core.PrepareAssociative(t, m, val)
+}
+
+// Aggregate builds a sequential associative-function annotation over a
+// sequential range tree and returns a single-query evaluator.
+func Aggregate[T any](t *RangeTree, m Monoid[T], val func(Point) T) func(Box) T {
+	agg := rangetree.NewAgg(t, m, val)
+	return agg.Query
+}
+
+// Common monoids, re-exported from internal/semigroup.
+var (
+	IntSum   = semigroup.IntSum
+	FloatSum = semigroup.FloatSum
+	MaxFloat = semigroup.MaxFloat
+	MinFloat = semigroup.MinFloat
+	MaxInt   = semigroup.MaxInt
+	MinInt   = semigroup.MinInt
+)
+
+// Extension structures (see DESIGN.md §5, experiments E11–E13).
+
+// LayeredTree is the layered range tree the paper cites in §1: fractional
+// cascading removes a log n factor from the query time.
+type LayeredTree = layered.Tree
+
+// BuildLayered builds a layered range tree over all dimensions of pts.
+func BuildLayered(pts []Point) *LayeredTree { return layered.Build(pts) }
+
+// Group is a commutative group (invertible monoid) — the algebra of
+// footnote 2's dominance-counting special case.
+type Group[T any] = dominance.Group[T]
+
+// DominanceTree answers weighted dominance (prefix) aggregates and box
+// aggregates via 2^d-corner inclusion–exclusion.
+type DominanceTree[T any] = dominance.Tree[T]
+
+// BuildDominance builds the dominance-counting structure of footnote 2.
+func BuildDominance[T any](pts []Point, g Group[T], val func(Point) T) *DominanceTree[T] {
+	return dominance.New(pts, g, val)
+}
+
+// Invertible groups for dominance counting.
+var (
+	IntSumGroup   = dominance.IntSum
+	FloatSumGroup = dominance.FloatSum
+)
+
+// DynamicTree is the dynamized distributed range tree (logarithmic
+// method), addressing the conclusion's first open issue.
+type DynamicTree = dynamic.Tree
+
+// NewDynamic creates an empty dynamic distributed range tree.
+func NewDynamic(m *Machine, dims int, opts ...dynamic.Option) *DynamicTree {
+	return dynamic.New(m, dims, opts...)
+}
+
+// WithBase sets the dynamic tree's smallest level capacity.
+var WithBase = dynamic.WithBase
+
+// SaveTree writes a machine-independent snapshot of the distributed tree
+// (rank points + parameters, versioned and checksummed); LoadTree rebuilds
+// it deterministically, possibly on a machine of a different width.
+func SaveTree(w io.Writer, t *Tree) error { return persist.Save(w, t) }
+
+// LoadTree reads a snapshot and rebuilds the distributed tree on m.
+func LoadTree(r io.Reader, m *Machine) (*Tree, error) { return persist.Load(r, m) }
+
+// Workload generation, re-exported so example programs and downstream
+// benchmarks can stay on the public API.
+type (
+	// PointSpec describes a synthetic point set.
+	PointSpec = workload.PointSpec
+	// QuerySpec describes a synthetic query batch.
+	QuerySpec = workload.QuerySpec
+)
+
+// Point distributions.
+const (
+	Uniform    = workload.Uniform
+	Clustered  = workload.Clustered
+	Correlated = workload.Correlated
+)
+
+// GeneratePoints produces a rank-normalized synthetic point set.
+func GeneratePoints(spec PointSpec) []Point { return workload.Points(spec) }
+
+// GenerateBoxes produces a synthetic query batch in rank space.
+func GenerateBoxes(spec QuerySpec) []Box { return workload.Boxes(spec) }

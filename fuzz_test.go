@@ -1,0 +1,114 @@
+package drtree_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro"
+	"repro/internal/brute"
+)
+
+// FuzzDistributedVsBrute fuzzes the whole distributed pipeline against the
+// linear scan: arbitrary seeds, sizes, dimensionalities and machine widths
+// must agree in count and report mode. The seed corpus runs under plain
+// `go test`; `go test -fuzz=FuzzDistributedVsBrute` explores further.
+func FuzzDistributedVsBrute(f *testing.F) {
+	f.Add(int64(1), uint8(16), uint8(2), uint8(2))
+	f.Add(int64(2), uint8(100), uint8(3), uint8(5))
+	f.Add(int64(3), uint8(1), uint8(1), uint8(1))
+	f.Add(int64(4), uint8(255), uint8(1), uint8(8))
+	f.Add(int64(5), uint8(37), uint8(4), uint8(3))
+	f.Fuzz(func(t *testing.T, seed int64, nRaw, dRaw, pRaw uint8) {
+		n := int(nRaw)%200 + 1
+		d := int(dRaw)%4 + 1
+		p := int(pRaw)%8 + 1
+		rng := rand.New(rand.NewSource(seed))
+		pts := make([]drtree.Point, n)
+		for i := range pts {
+			x := make([]drtree.Coord, d)
+			for j := range x {
+				x[j] = drtree.Coord(rng.Intn(3*n) - n)
+			}
+			pts[i] = drtree.Point{ID: int32(i), X: x}
+		}
+		drtree.RankNormalize(pts)
+		mach := drtree.NewMachine(drtree.MachineConfig{P: p})
+		tree := drtree.BuildDistributed(mach, pts)
+		bf := brute.New(pts)
+		boxes := make([]drtree.Box, 6)
+		for i := range boxes {
+			lo := make([]drtree.Coord, d)
+			hi := make([]drtree.Coord, d)
+			for j := 0; j < d; j++ {
+				a := drtree.Coord(rng.Intn(n + 2))
+				b := drtree.Coord(rng.Intn(n + 2))
+				if a > b && i%3 != 0 { // keep some inverted boxes as-is
+					a, b = b, a
+				}
+				lo[j], hi[j] = a, b
+			}
+			boxes[i] = drtree.Box{Lo: lo, Hi: hi}
+		}
+		counts := tree.CountBatch(boxes)
+		reports := tree.ReportBatch(boxes)
+		for i, q := range boxes {
+			if counts[i] != int64(bf.Count(q)) {
+				t.Fatalf("count mismatch: n=%d d=%d p=%d box %v: %d vs %d",
+					n, d, p, q, counts[i], bf.Count(q))
+			}
+			got := brute.IDs(reports[i])
+			want := brute.IDs(bf.Report(q))
+			if len(got) == 0 && len(want) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("report mismatch: n=%d d=%d p=%d box %v", n, d, p, q)
+			}
+		}
+	})
+}
+
+// FuzzNormalizerBox fuzzes the raw-box → rank-box translation: membership
+// must be preserved exactly, including under heavy duplication.
+func FuzzNormalizerBox(f *testing.F) {
+	f.Add(int64(1), uint8(10), uint8(2))
+	f.Add(int64(7), uint8(64), uint8(3))
+	f.Fuzz(func(t *testing.T, seed int64, nRaw, dRaw uint8) {
+		n := int(nRaw)%120 + 1
+		d := int(dRaw)%3 + 1
+		rng := rand.New(rand.NewSource(seed))
+		raw := make([][]float64, n)
+		for i := range raw {
+			raw[i] = make([]float64, d)
+			for j := range raw[i] {
+				raw[i][j] = float64(rng.Intn(9)) // lots of ties
+			}
+		}
+		pts, norm := drtree.Normalize(raw)
+		for trial := 0; trial < 5; trial++ {
+			lo := make([]float64, d)
+			hi := make([]float64, d)
+			for j := 0; j < d; j++ {
+				a, b := float64(rng.Intn(11)-1), float64(rng.Intn(11)-1)
+				if a > b {
+					a, b = b, a
+				}
+				lo[j], hi[j] = a, b
+			}
+			rb := norm.Box(lo, hi)
+			for i, p := range pts {
+				inRaw := true
+				for j := 0; j < d; j++ {
+					if raw[i][j] < lo[j] || raw[i][j] > hi[j] {
+						inRaw = false
+						break
+					}
+				}
+				if rb.Contains(p) != inRaw {
+					t.Fatalf("membership mismatch for point %d", i)
+				}
+			}
+		}
+	})
+}

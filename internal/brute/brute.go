@@ -1,0 +1,69 @@
+// Package brute provides the linear-scan ground truth every tree in the
+// repository is validated against, plus the trivially parallelizable
+// baseline for the E5 experiment.
+package brute
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/semigroup"
+)
+
+// Set is a plain point collection.
+type Set struct {
+	Pts []geom.Point
+}
+
+// New copies the points into a Set.
+func New(pts []geom.Point) *Set {
+	own := make([]geom.Point, len(pts))
+	copy(own, pts)
+	return &Set{Pts: own}
+}
+
+// Count returns |R(q)| by scanning.
+func (s *Set) Count(b geom.Box) int {
+	n := 0
+	for _, p := range s.Pts {
+		if b.Contains(p) {
+			n++
+		}
+	}
+	return n
+}
+
+// Report returns the points of b sorted by ID (a canonical order that
+// result-set comparisons in the tests rely on).
+func (s *Set) Report(b geom.Box) []geom.Point {
+	var out []geom.Point
+	for _, p := range s.Pts {
+		if b.Contains(p) {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Aggregate folds f over R(q) with monoid m.
+func Aggregate[T any](s *Set, m semigroup.Monoid[T], val func(geom.Point) T, b geom.Box) T {
+	acc := m.Identity
+	for _, p := range s.Pts {
+		if b.Contains(p) {
+			acc = m.Combine(acc, val(p))
+		}
+	}
+	return acc
+}
+
+// IDs extracts the sorted ID set of a point list; tests use it to compare
+// result sets independent of order.
+func IDs(pts []geom.Point) []int32 {
+	ids := make([]int32, len(pts))
+	for i, p := range pts {
+		ids[i] = p.ID
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

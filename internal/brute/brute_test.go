@@ -1,0 +1,47 @@
+package brute
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/semigroup"
+)
+
+func TestCountReport(t *testing.T) {
+	pts := geom.RankPoints([][]geom.Coord{{1, 1}, {2, 5}, {3, 3}, {9, 9}})
+	s := New(pts)
+	b := geom.NewBox([]geom.Coord{1, 1}, []geom.Coord{3, 4})
+	if s.Count(b) != 2 {
+		t.Errorf("Count = %d, want 2", s.Count(b))
+	}
+	if got := IDs(s.Report(b)); !reflect.DeepEqual(got, []int32{0, 2}) {
+		t.Errorf("Report = %v", got)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	pts := geom.RankPoints([][]geom.Coord{{1}, {2}, {3}})
+	s := New(pts)
+	got := Aggregate(s, semigroup.IntSum(), func(p geom.Point) int64 { return int64(p.X[0]) },
+		geom.NewBox([]geom.Coord{2}, []geom.Coord{5}))
+	if got != 5 {
+		t.Errorf("Aggregate = %d, want 5", got)
+	}
+}
+
+func TestNewCopies(t *testing.T) {
+	pts := geom.RankPoints([][]geom.Coord{{1}})
+	s := New(pts)
+	pts[0].ID = 77
+	if s.Pts[0].ID != 0 {
+		t.Error("New must copy the slice")
+	}
+}
+
+func TestIDsSorts(t *testing.T) {
+	got := IDs([]geom.Point{{ID: 5}, {ID: 1}, {ID: 3}})
+	if !reflect.DeepEqual(got, []int32{1, 3, 5}) {
+		t.Errorf("IDs = %v", got)
+	}
+}

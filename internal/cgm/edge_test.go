@@ -1,0 +1,116 @@
+package cgm
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestEmptyExchangeStillARound(t *testing.T) {
+	// The round/latency accounting must count exchanges that move nothing
+	// (a pure barrier is still a superstep in the BSP model).
+	m := New(Config{P: 3})
+	m.Run(func(pr *Proc) {
+		Exchange(pr, "empty", make([][]int, 3))
+	})
+	mt := m.Metrics()
+	if mt.CommRounds() != 1 || mt.MaxH() != 0 || mt.TotalComm() != 0 {
+		t.Errorf("empty exchange accounting wrong: %+v", mt.Rounds)
+	}
+	if mt.ModelTime(10, 1000) < 1000 {
+		t.Error("empty round must still pay latency L")
+	}
+}
+
+func TestSelfSendCountsTowardsH(t *testing.T) {
+	// A processor addressing itself still contributes to h: the model
+	// counts records through the router, matching the paper's h-relation.
+	m := New(Config{P: 2})
+	m.Run(func(pr *Proc) {
+		out := make([][]int, 2)
+		out[pr.Rank()] = make([]int, 5) // everything to self
+		Exchange(pr, "self", out)
+	})
+	if h := m.Metrics().MaxH(); h != 5 {
+		t.Errorf("MaxH = %d, want 5", h)
+	}
+}
+
+func TestManyRoundsMetricsGrowth(t *testing.T) {
+	m := New(Config{P: 2})
+	const rounds = 100
+	m.Run(func(pr *Proc) {
+		for i := 0; i < rounds; i++ {
+			Barrier(pr, "spin")
+		}
+	})
+	if got := m.Metrics().CommRounds(); got != rounds {
+		t.Errorf("rounds = %d, want %d", got, rounds)
+	}
+}
+
+func TestAbortDuringMeasuredTokenWait(t *testing.T) {
+	// A processor panicking while another waits for the run token must
+	// not deadlock the machine.
+	m := New(Config{P: 4, Mode: Measured})
+	defer func() {
+		if r := recover(); r == nil || !strings.Contains(r.(string), "bang") {
+			t.Fatalf("abort not propagated: %v", r)
+		}
+	}()
+	m.Run(func(pr *Proc) {
+		if pr.Rank() == 0 {
+			panic("bang")
+		}
+		// Others spin through collectives and token waits.
+		for i := 0; i < 10; i++ {
+			Barrier(pr, "b")
+		}
+	})
+}
+
+func TestSequentialRunsReuseMachine(t *testing.T) {
+	m := New(Config{P: 3})
+	var total int64
+	for run := 0; run < 5; run++ {
+		m.Run(func(pr *Proc) {
+			in := Exchange(pr, "x", [][]int{{1}, {1}, {1}})
+			atomic.AddInt64(&total, int64(len(in)))
+		})
+	}
+	if m.Metrics().Runs != 5 {
+		t.Errorf("Runs = %d", m.Metrics().Runs)
+	}
+	if total != 5*3*3 {
+		t.Errorf("total receptions = %d", total)
+	}
+}
+
+func TestRunAfterAbortRecovers(t *testing.T) {
+	// A machine that aborted must be reusable for a fresh Run (per-run
+	// state is reinitialized).
+	m := New(Config{P: 2})
+	func() {
+		defer func() { recover() }()
+		m.Run(func(pr *Proc) { panic("first run dies") })
+	}()
+	ok := false
+	m.Run(func(pr *Proc) {
+		Barrier(pr, "healthy")
+		if pr.Rank() == 0 {
+			ok = true
+		}
+	})
+	if !ok {
+		t.Error("machine unusable after abort")
+	}
+}
+
+func TestWorkByProcLenMatchesP(t *testing.T) {
+	m := New(Config{P: 7})
+	m.Run(func(pr *Proc) { time.Sleep(time.Millisecond) })
+	if len(m.Metrics().WorkByProc) != 7 {
+		t.Error("WorkByProc length wrong")
+	}
+}

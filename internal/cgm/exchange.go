@@ -1,0 +1,72 @@
+package cgm
+
+import "fmt"
+
+// Exchange is the machine's single communication primitive: a personalized
+// all-to-all (the h-relation of the BSP model). Processor i provides
+// out[j] — the elements destined for processor j — and receives in[j] —
+// the elements processor j addressed to it. Every higher-level collective
+// (broadcasts, scans, sorts) is built from Exchange, so every one of them
+// is accounted as exactly one communication round, matching how the paper
+// counts "a constant number of h-relations".
+//
+// The label names the collective in metrics and SPMD diagnostics. All
+// processors must call the same sequence of exchanges with the same labels
+// and element type; a divergent processor aborts the whole machine with a
+// diagnostic rather than deadlocking.
+func Exchange[T any](pr *Proc, label string, out [][]T) [][]T {
+	m := pr.m
+	if len(out) != m.p {
+		panic(fmt.Sprintf("cgm: %s: out has %d destinations, machine has %d", label, len(out), m.p))
+	}
+	pr.closeSegment()
+	pr.releaseToken()
+
+	stamp := fmt.Sprintf("%s#%d", label, pr.opSeq)
+	pr.opSeq++
+	sent := 0
+	for _, s := range out {
+		sent += len(s)
+	}
+	m.labels[pr.rank] = stamp
+	m.sent[pr.rank] = sent
+	m.slots[pr.rank] = out
+
+	m.bar.await() // everyone deposited
+
+	if m.labels[pr.rank] != m.labels[0] {
+		m.doAbort(fmt.Sprintf("SPMD violation: processor %d is at %q while processor 0 is at %q",
+			pr.rank, m.labels[pr.rank], m.labels[0]))
+		panic(abortSignal{})
+	}
+	in := make([][]T, m.p)
+	recv := 0
+	for j := 0; j < m.p; j++ {
+		src, ok := m.slots[j].([][]T)
+		if !ok {
+			m.doAbort(fmt.Sprintf("SPMD violation: processor %d exchanged a different element type at %q", j, stamp))
+			panic(abortSignal{})
+		}
+		in[j] = src[pr.rank]
+		recv += len(in[j])
+	}
+	m.recv[pr.rank] = recv
+
+	m.bar.await() // everyone read and counted
+
+	if pr.rank == 0 {
+		m.foldRound(label, false)
+	}
+
+	m.bar.await() // metrics folded before anyone writes new segments
+
+	pr.acquireToken()
+	pr.resumeAt = nowAfterToken()
+	return in
+}
+
+// Barrier is a pure synchronisation superstep with no payload.
+func Barrier(pr *Proc, label string) {
+	empty := make([][]struct{}, pr.m.p)
+	Exchange(pr, label, empty)
+}

@@ -1,0 +1,299 @@
+// Package cgm simulates the paper's machine model: the Coarse Grained
+// Multicomputer CGM(s, p), also called the weak-CREW BSP model (§1 "The
+// Model"). A machine has p processors with local memory, executing the same
+// program (SPMD) as alternating phases of local computation and global
+// communication supersteps. All communication happens through barrier-
+// synchronised h-relations (Exchange); the simulator accounts exactly the
+// quantities the paper's theorems bound — the number of communication
+// rounds, the h of every round (max elements sent or received by any
+// processor), and per-processor local computation time.
+//
+// Two execution modes are provided. Concurrent runs the processors as
+// goroutines in parallel: fast, and the round/volume metrics are exact and
+// deterministic. Measured serialises the processors with a run token so
+// each processor's local-computation time is measured in isolation,
+// yielding meaningful modelled-speedup curves (BSP cost Σ max_i w_i +
+// g·h + L per superstep) even on hosts with few cores.
+package cgm
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Mode selects how processors are scheduled.
+type Mode int
+
+const (
+	// Concurrent runs all processors as parallel goroutines.
+	Concurrent Mode = iota
+	// Measured time-slices processors one at a time so per-processor
+	// local work can be timed precisely.
+	Measured
+)
+
+// Config parametrises a machine.
+type Config struct {
+	// P is the number of processors (≥ 1).
+	P int
+	// Mode selects the scheduling mode; default Concurrent.
+	Mode Mode
+	// G is the modelled cost per exchanged element (ns/element) and L the
+	// modelled latency per superstep (ns), used by Metrics.ModelTime.
+	// Zero values select DefaultG/DefaultL.
+	G, L float64
+}
+
+// Default BSP cost parameters: 50ns per exchanged record, 20µs per
+// superstep barrier — the ballpark of mid-1990s multicomputers scaled to
+// record granularity; only ratios matter for the reproduced curves.
+const (
+	DefaultG = 50
+	DefaultL = 20000
+)
+
+// Machine is a simulated CGM(s, p).
+type Machine struct {
+	p    int
+	mode Mode
+	g, l float64
+
+	mu      sync.Mutex
+	metrics Metrics
+
+	// Per-run communication state.
+	slots   []any
+	sent    []int
+	recv    []int
+	labels  []string
+	segTime []time.Duration
+	bar     *barrier
+	token   chan struct{}
+	abortCh chan struct{}
+	abort1  sync.Once
+	abortV  any
+}
+
+// New creates a machine from the configuration.
+func New(cfg Config) *Machine {
+	if cfg.P < 1 {
+		panic("cgm: machine needs at least one processor")
+	}
+	g, l := cfg.G, cfg.L
+	if g == 0 {
+		g = DefaultG
+	}
+	if l == 0 {
+		l = DefaultL
+	}
+	m := &Machine{p: cfg.P, mode: cfg.Mode, g: g, l: l}
+	m.metrics.WorkByProc = make([]time.Duration, cfg.P)
+	return m
+}
+
+// P reports the number of processors.
+func (m *Machine) P() int { return m.p }
+
+// Mode reports the scheduling mode.
+func (m *Machine) Mode() Mode { return m.mode }
+
+// Proc is the per-processor handle passed to SPMD programs.
+type Proc struct {
+	m        *Machine
+	rank     int
+	opSeq    int
+	resumeAt time.Time
+}
+
+// Rank reports the processor identity in 0..P-1.
+func (pr *Proc) Rank() int { return pr.rank }
+
+// P reports the machine width.
+func (pr *Proc) P() int { return pr.m.p }
+
+// Machine returns the underlying machine.
+func (pr *Proc) Machine() *Machine { return pr.m }
+
+// abortSignal is the panic payload used to unwind processors after the
+// machine has been poisoned; the original cause is re-raised by Run.
+type abortSignal struct{}
+
+// doAbort poisons the machine: barrier waiters and token waiters unwind.
+func (m *Machine) doAbort(cause any) {
+	m.abort1.Do(func() {
+		m.abortV = cause
+		close(m.abortCh)
+		m.bar.breakWith(cause)
+	})
+}
+
+// Run executes prog on every processor and blocks until all finish. The
+// program must be SPMD: every processor performs the same sequence of
+// collective operations (enforced; violations abort the run with a
+// diagnostic panic). Per-run state (op sequence) is fresh; metrics
+// accumulate across runs until ResetMetrics.
+func (m *Machine) Run(prog func(*Proc)) {
+	m.slots = make([]any, m.p)
+	m.sent = make([]int, m.p)
+	m.recv = make([]int, m.p)
+	m.labels = make([]string, m.p)
+	m.segTime = make([]time.Duration, m.p)
+	m.bar = newBarrier(m.p)
+	m.abortCh = make(chan struct{})
+	m.abort1 = sync.Once{}
+	m.abortV = nil
+	m.token = make(chan struct{}, 1)
+	m.token <- struct{}{}
+
+	var wg sync.WaitGroup
+	wg.Add(m.p)
+	for i := 0; i < m.p; i++ {
+		pr := &Proc{m: m, rank: i}
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					if _, isAbort := r.(abortSignal); !isAbort {
+						m.doAbort(r)
+					}
+				}
+			}()
+			pr.acquireToken()
+			pr.resumeAt = time.Now()
+			prog(pr)
+			pr.closeSegment()
+			pr.releaseToken()
+		}()
+	}
+	wg.Wait()
+	if m.abortV != nil {
+		panic(fmt.Sprintf("cgm: machine aborted: %v", m.abortV))
+	}
+	// Fold the trailing local segments into a final pseudo-round.
+	m.foldRound("run-end", true)
+	m.metrics.Runs++
+}
+
+// acquireToken blocks until the processor may run (Measured mode only).
+func (pr *Proc) acquireToken() {
+	if pr.m.mode != Measured {
+		return
+	}
+	select {
+	case <-pr.m.token:
+	case <-pr.m.abortCh:
+		panic(abortSignal{})
+	}
+}
+
+func (pr *Proc) releaseToken() {
+	if pr.m.mode != Measured {
+		return
+	}
+	pr.m.token <- struct{}{}
+}
+
+// closeSegment charges the local computation since the last resume to this
+// processor.
+func (pr *Proc) closeSegment() {
+	pr.m.segTime[pr.rank] += time.Since(pr.resumeAt)
+}
+
+// foldRound moves the current per-processor segment times (and, unless
+// final, the sent/recv counters) into a RoundStat. Callers must guarantee
+// quiescence: either all processors are parked at a barrier, or (final)
+// the run has ended.
+func (m *Machine) foldRound(label string, final bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rs := RoundStat{Label: label}
+	for i := 0; i < m.p; i++ {
+		if m.segTime[i] > rs.MaxWork {
+			rs.MaxWork = m.segTime[i]
+		}
+		m.metrics.WorkByProc[i] += m.segTime[i]
+		m.segTime[i] = 0
+		if !final {
+			h := m.sent[i]
+			if m.recv[i] > h {
+				h = m.recv[i]
+			}
+			if h > rs.MaxH {
+				rs.MaxH = h
+			}
+			rs.TotalElems += m.sent[i]
+			m.sent[i], m.recv[i] = 0, 0
+		}
+	}
+	rs.Final = final
+	m.metrics.Rounds = append(m.metrics.Rounds, rs)
+}
+
+// Metrics returns a snapshot of the accumulated metrics.
+func (m *Machine) Metrics() Metrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.metrics.clone()
+}
+
+// ResetMetrics clears the accumulated metrics (e.g. to measure the search
+// phase separately from construction).
+func (m *Machine) ResetMetrics() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.metrics = Metrics{WorkByProc: make([]time.Duration, m.p)}
+}
+
+// G and L report the machine's BSP cost parameters.
+func (m *Machine) G() float64 { return m.g }
+func (m *Machine) L() float64 { return m.l }
+
+// barrier is a reusable generation barrier for p goroutines that can be
+// broken to unwind all waiters when the machine aborts.
+type barrier struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	n      int
+	count  int
+	gen    uint64
+	broken bool
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// await blocks until all n participants arrive; it panics with abortSignal
+// if the barrier is broken while waiting.
+func (b *barrier) await() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.broken {
+		panic(abortSignal{})
+	}
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		return
+	}
+	for gen == b.gen && !b.broken {
+		b.cond.Wait()
+	}
+	if b.broken {
+		panic(abortSignal{})
+	}
+}
+
+// breakWith poisons the barrier, waking all waiters into abort panics.
+func (b *barrier) breakWith(any) {
+	b.mu.Lock()
+	b.broken = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}

@@ -1,0 +1,118 @@
+package cgm
+
+import "time"
+
+// nowAfterToken is time.Now, split out so the timing call sites read
+// clearly: a processor's local segment starts only once it holds the run
+// token again.
+func nowAfterToken() time.Time { return time.Now() }
+
+// RoundStat records one communication round (superstep boundary).
+type RoundStat struct {
+	// Label names the collective that closed the round.
+	Label string
+	// MaxWork is max_i w_i: the longest local computation segment any
+	// processor spent since the previous round (meaningful in Measured
+	// mode; wall-clock per goroutine in Concurrent mode).
+	MaxWork time.Duration
+	// MaxH is the round's h: the maximum over processors of
+	// max(elements sent, elements received).
+	MaxH int
+	// TotalElems is the total number of elements exchanged in the round.
+	TotalElems int
+	// Final marks the trailing local-computation pseudo-round that closes
+	// a Run (no communication).
+	Final bool
+}
+
+// Metrics accumulates rounds and per-processor work across runs.
+type Metrics struct {
+	Rounds []RoundStat
+	// WorkByProc is each processor's total local computation time.
+	WorkByProc []time.Duration
+	// Runs counts completed Machine.Run calls.
+	Runs int
+}
+
+func (mt Metrics) clone() Metrics {
+	c := mt
+	c.Rounds = append([]RoundStat(nil), mt.Rounds...)
+	c.WorkByProc = append([]time.Duration(nil), mt.WorkByProc...)
+	return c
+}
+
+// CommRounds counts the true communication rounds (excluding final
+// pseudo-rounds) — the quantity Corollaries 1–3 bound by a constant.
+func (mt Metrics) CommRounds() int {
+	n := 0
+	for _, r := range mt.Rounds {
+		if !r.Final {
+			n++
+		}
+	}
+	return n
+}
+
+// MaxH returns the largest h over all rounds.
+func (mt Metrics) MaxH() int {
+	h := 0
+	for _, r := range mt.Rounds {
+		if r.MaxH > h {
+			h = r.MaxH
+		}
+	}
+	return h
+}
+
+// TotalComm returns the total exchanged element count.
+func (mt Metrics) TotalComm() int {
+	t := 0
+	for _, r := range mt.Rounds {
+		t += r.TotalElems
+	}
+	return t
+}
+
+// LocalWork returns Σ_rounds max_i w_i — the modelled parallel local
+// computation time (critical path across supersteps).
+func (mt Metrics) LocalWork() time.Duration {
+	var w time.Duration
+	for _, r := range mt.Rounds {
+		w += r.MaxWork
+	}
+	return w
+}
+
+// TotalWork returns the summed local computation over all processors —
+// the sequential-equivalent work, used for efficiency reporting.
+func (mt Metrics) TotalWork() time.Duration {
+	var w time.Duration
+	for _, t := range mt.WorkByProc {
+		w += t
+	}
+	return w
+}
+
+// MaxWorkByProc returns the largest per-processor total — the load-balance
+// measure.
+func (mt Metrics) MaxWorkByProc() time.Duration {
+	var w time.Duration
+	for _, t := range mt.WorkByProc {
+		if t > w {
+			w = t
+		}
+	}
+	return w
+}
+
+// ModelTime evaluates the BSP cost Σ_steps (max_i w_i + g·h_step + L) with
+// g in ns/element and L in ns/round.
+func (mt Metrics) ModelTime(g, l float64) time.Duration {
+	total := float64(mt.LocalWork())
+	for _, r := range mt.Rounds {
+		if !r.Final {
+			total += g*float64(r.MaxH) + l
+		}
+	}
+	return time.Duration(total)
+}

@@ -1,0 +1,47 @@
+package comm
+
+import (
+	"testing"
+
+	"repro/internal/cgm"
+)
+
+func BenchmarkAllGather(b *testing.B) {
+	m := cgm.New(cgm.Config{P: 8})
+	payload := make([]int, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Run(func(pr *cgm.Proc) {
+			AllGatherFlat(pr, "bench", payload)
+		})
+	}
+}
+
+func BenchmarkRebalance(b *testing.B) {
+	m := cgm.New(cgm.Config{P: 8})
+	skewed := make([]int, 8192)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Run(func(pr *cgm.Proc) {
+			var local []int
+			if pr.Rank() == 0 {
+				local = skewed
+			}
+			Rebalance(pr, "bench", local)
+		})
+	}
+}
+
+func BenchmarkExchangeRoundTrip(b *testing.B) {
+	m := cgm.New(cgm.Config{P: 4})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Run(func(pr *cgm.Proc) {
+			out := make([][]byte, 4)
+			for j := range out {
+				out[j] = []byte{byte(pr.Rank())}
+			}
+			cgm.Exchange(pr, "bench", out)
+		})
+	}
+}

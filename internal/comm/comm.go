@@ -1,0 +1,218 @@
+// Package comm implements the paper's "small set of standard
+// communications operations" (§1): segmented broadcast, segmented gather,
+// all-to-all broadcast, personalized all-to-all broadcast, partial sum —
+// and supporting collectives — each realized as a constant number of
+// cgm.Exchange h-relations (usually one). Sort, the sixth operation, lives
+// in package psort.
+package comm
+
+import (
+	"fmt"
+
+	"repro/internal/cgm"
+	"repro/internal/semigroup"
+)
+
+// AllGather is the paper's all-to-all broadcast: every processor
+// contributes local and receives every processor's contribution, indexed
+// by source rank. One h-relation with h = (p-1)·max|local|.
+func AllGather[T any](pr *cgm.Proc, label string, local []T) [][]T {
+	p := pr.P()
+	out := make([][]T, p)
+	for j := 0; j < p; j++ {
+		out[j] = local
+	}
+	return cgm.Exchange(pr, label, out)
+}
+
+// AllGatherFlat gathers and concatenates in rank order.
+func AllGatherFlat[T any](pr *cgm.Proc, label string, local []T) []T {
+	parts := AllGather(pr, label, local)
+	total := 0
+	for _, s := range parts {
+		total += len(s)
+	}
+	flat := make([]T, 0, total)
+	for _, s := range parts {
+		flat = append(flat, s...)
+	}
+	return flat
+}
+
+// Broadcast distributes root's data to every processor.
+func Broadcast[T any](pr *cgm.Proc, label string, root int, data []T) []T {
+	p := pr.P()
+	out := make([][]T, p)
+	if pr.Rank() == root {
+		for j := 0; j < p; j++ {
+			out[j] = data
+		}
+	}
+	in := cgm.Exchange(pr, label, out)
+	return in[root]
+}
+
+// Gather collects every processor's local data at root (indexed by source
+// rank); other processors receive nil.
+func Gather[T any](pr *cgm.Proc, label string, root int, local []T) [][]T {
+	p := pr.P()
+	out := make([][]T, p)
+	out[root] = local
+	in := cgm.Exchange(pr, label, out)
+	if pr.Rank() != root {
+		return nil
+	}
+	return in
+}
+
+// Scatter delivers blocks[j] from root to processor j.
+func Scatter[T any](pr *cgm.Proc, label string, root int, blocks [][]T) []T {
+	p := pr.P()
+	out := make([][]T, p)
+	if pr.Rank() == root {
+		if len(blocks) != p {
+			panic(fmt.Sprintf("comm: %s: scatter needs %d blocks, got %d", label, p, len(blocks)))
+		}
+		out = blocks
+	}
+	in := cgm.Exchange(pr, label, out)
+	return in[root]
+}
+
+// AllReduce folds one value per processor with a commutative monoid and
+// returns the total everywhere.
+func AllReduce[T any](pr *cgm.Proc, label string, m semigroup.Monoid[T], local T) T {
+	vals := AllGatherFlat(pr, label, []T{local})
+	return m.Fold(vals...)
+}
+
+// Scan is the paper's partial-sum operation over processor ranks: it
+// returns the exclusive prefix (fold of the values of ranks < mine) and
+// the grand total. Monoid commutativity is not required here; values are
+// folded in rank order.
+func Scan[T any](pr *cgm.Proc, label string, m semigroup.Monoid[T], local T) (prefix, total T) {
+	vals := AllGatherFlat(pr, label, []T{local})
+	prefix = m.Identity
+	total = m.Identity
+	for i, v := range vals {
+		if i < pr.Rank() {
+			prefix = m.Combine(prefix, v)
+		}
+		total = m.Combine(total, v)
+	}
+	return prefix, total
+}
+
+// CountScan is the common integer special case of Scan for slice lengths:
+// it returns this processor's exclusive global offset and the global total.
+func CountScan(pr *cgm.Proc, label string, localLen int) (offset, total int) {
+	lens := AllGatherFlat(pr, label, []int{localLen})
+	for i, l := range lens {
+		if i < pr.Rank() {
+			offset += l
+		}
+		total += l
+	}
+	return offset, total
+}
+
+// SegItem is one item of a segmented broadcast: Val must reach every
+// processor in [DstLo, DstHi].
+type SegItem[T any] struct {
+	Val          T
+	DstLo, DstHi int
+}
+
+// SegmentedBroadcast is the paper's segmented broadcast: every processor
+// contributes items addressed to processor intervals; each processor
+// receives (in deterministic source-rank order) every item whose interval
+// covers it. Algorithm Report uses it to spread query copies across the
+// processors responsible for slices of a selected segment tree.
+func SegmentedBroadcast[T any](pr *cgm.Proc, label string, items []SegItem[T]) []T {
+	p := pr.P()
+	out := make([][]T, p)
+	for _, it := range items {
+		lo, hi := it.DstLo, it.DstHi
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > p-1 {
+			hi = p - 1
+		}
+		for j := lo; j <= hi; j++ {
+			out[j] = append(out[j], it.Val)
+		}
+	}
+	in := cgm.Exchange(pr, label, out)
+	var flat []T
+	for _, s := range in {
+		flat = append(flat, s...)
+	}
+	return flat
+}
+
+// SegmentedGather is the inverse operation: every processor contributes
+// items tagged with a destination processor; each destination receives its
+// items in source-rank order. (A restricted personalized all-to-all, kept
+// for completeness with the paper's operation list.)
+func SegmentedGather[T any](pr *cgm.Proc, label string, items []T, dest func(T) int) []T {
+	p := pr.P()
+	out := make([][]T, p)
+	for _, it := range items {
+		d := dest(it)
+		if d < 0 || d >= p {
+			panic(fmt.Sprintf("comm: %s: destination %d out of range", label, d))
+		}
+		out[d] = append(out[d], it)
+	}
+	in := cgm.Exchange(pr, label, out)
+	var flat []T
+	for _, s := range in {
+		flat = append(flat, s...)
+	}
+	return flat
+}
+
+// Rebalance redistributes the globally ordered data (processor rank major,
+// local order minor) so every processor ends with a contiguous block of
+// ⌈N/p⌉ or ⌊N/p⌋ elements, preserving global order. One h-relation with
+// h ≤ ⌈N/p⌉ plus the counting round.
+func Rebalance[T any](pr *cgm.Proc, label string, local []T) []T {
+	p := pr.P()
+	offset, total := CountScan(pr, label+"/count", len(local))
+	out := make([][]T, p)
+	for i, v := range local {
+		g := offset + i
+		// Block boundaries: processor j owns [j*total/p, (j+1)*total/p).
+		j := blockOwner(g, total, p)
+		out[j] = append(out[j], v)
+	}
+	in := cgm.Exchange(pr, label, out)
+	var flat []T
+	for _, s := range in {
+		flat = append(flat, s...)
+	}
+	return flat
+}
+
+// blockOwner maps global position g of N items onto one of p contiguous
+// blocks (sizes differing by at most one).
+func blockOwner(g, n, p int) int {
+	if n == 0 {
+		return 0
+	}
+	j := g * p / n // within one block of the answer; adjust exactly
+	if j > p-1 {
+		j = p - 1
+	}
+	for j > 0 && g < blockStart(j, n, p) {
+		j--
+	}
+	for j < p-1 && g >= blockStart(j+1, n, p) {
+		j++
+	}
+	return j
+}
+
+// blockStart is the first global position of processor j's block.
+func blockStart(j, n, p int) int { return j * n / p }

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cgm"
+	"repro/internal/geom"
+)
+
+func benchTree(b *testing.B, n, d, p int) (*Tree, []geom.Box) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	pts := randomPoints(rng, n, d)
+	mach := cgm.New(cgm.Config{P: p})
+	dt := Build(mach, pts)
+	return dt, randomBoxes(rng, 512, n, d)
+}
+
+func BenchmarkBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := randomPoints(rng, 1<<12, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(cgm.New(cgm.Config{P: 8}), pts)
+	}
+}
+
+func BenchmarkCountBatch(b *testing.B) {
+	dt, boxes := benchTree(b, 1<<12, 2, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dt.CountBatch(boxes)
+	}
+}
+
+func BenchmarkReportBatch(b *testing.B) {
+	dt, boxes := benchTree(b, 1<<12, 2, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dt.ReportBatch(boxes)
+	}
+}
+
+func BenchmarkHatSearchOnly(b *testing.B) {
+	dt, boxes := benchTree(b, 1<<14, 2, 16)
+	ps := dt.procs[0]
+	b.ResetTimer()
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		q := Query{ID: 0, Box: boxes[i%len(boxes)]}
+		ps.hatSearch(dt, q, func(hatSel) { sink++ }, func(subquery) { sink++ })
+	}
+	_ = sink
+}
+
+func BenchmarkSingleCount(b *testing.B) {
+	dt, boxes := benchTree(b, 1<<12, 2, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dt.SingleCount(boxes[i%len(boxes)])
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	dt, _ := benchTree(b, 1<<12, 2, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := dt.Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

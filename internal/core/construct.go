@@ -1,0 +1,362 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cgm"
+	"repro/internal/comm"
+	"repro/internal/geom"
+	"repro/internal/psort"
+	"repro/internal/rangetree"
+	"repro/internal/segtree"
+)
+
+// srec is a record of the paper's set S^j: a leaf of a dimension-j segment
+// tree that still has to be constructed, carrying the full point and the
+// label (PathKey) of the tree it belongs to (Construct step 1/7).
+type srec struct {
+	Pt  geom.Point
+	Key segtree.PathKey
+}
+
+// epoint is an element-routed point (Construct step 3).
+type epoint struct {
+	Elem ElemID
+	Pt   geom.Point
+}
+
+// elemMeta is the stub metadata broadcast in Construct steps 4–5 so every
+// processor can finish its replica of the dimension-j hat trees.
+type elemMeta struct {
+	Elem     ElemID
+	Min, Max geom.Coord
+}
+
+// treeSum summarises one dimension-j segment tree during construction.
+type treeSum struct {
+	Key   segtree.PathKey
+	M     int // leaf count
+	Start int // global offset of its first leaf in the sorted S^j
+	Elem0 ElemID
+}
+
+// runSum is a per-processor run of equal-keyed records in the sorted S^j.
+type runSum struct {
+	Key   segtree.PathKey
+	Count int
+}
+
+// Build runs Algorithm Construct (§3) on mach: it distributes pts in
+// blocks of n/p, then constructs the distributed range tree in d phases,
+// each phase sorting the segment-tree leaves S^j, routing forest-element
+// groups to their owners (k mod p), building forest elements sequentially,
+// broadcasting the stub roots, and rebuilding the dimension-j hat layer on
+// every processor.
+func Build(mach *cgm.Machine, pts []geom.Point) *Tree {
+	n := len(pts)
+	if n == 0 {
+		panic("core: empty point set")
+	}
+	dims := pts[0].Dims()
+	if dims < 1 {
+		panic("core: points need at least one dimension")
+	}
+	for i, p := range pts {
+		if p.Dims() != dims {
+			panic(fmt.Sprintf("core: point %d has %d dims, want %d", i, p.Dims(), dims))
+		}
+	}
+	p := mach.P()
+	t := &Tree{
+		mach:  mach,
+		n:     n,
+		dims:  dims,
+		grain: (n + p - 1) / p,
+		procs: make([]*procState, p),
+	}
+	mach.Run(func(pr *cgm.Proc) { t.construct(pr, pts) })
+	return t
+}
+
+// construct is the per-processor body of Algorithm Construct.
+func (t *Tree) construct(pr *cgm.Proc, pts []geom.Point) {
+	rank, p := pr.Rank(), pr.P()
+	ps := &procState{
+		rank:     rank,
+		hatByKey: make(map[segtree.PathKey]int32),
+		elems:    make(map[ElemID]*element),
+		copies:   make(map[ElemID]*element),
+	}
+	t.procs[rank] = ps
+
+	// Step 1: each processor starts with an arbitrary block of n/p points;
+	// every initial record belongs to the primary tree (index nil).
+	lo, hi := queryBlock(rank, t.n, p)
+	recs := make([]srec, 0, hi-lo)
+	for _, pt := range pts[lo:hi] {
+		recs = append(recs, srec{Pt: pt, Key: segtree.RootPathKey})
+	}
+
+	var nextElem ElemID
+	for j := 0; j < t.dims; j++ {
+		recs, nextElem = t.constructPhase(pr, ps, recs, j, nextElem)
+	}
+}
+
+// constructPhase builds all dimension-j segment trees: the hat layer
+// replicated everywhere and the forest elements at their owners. It
+// returns the records of S^(j+1).
+func (t *Tree) constructPhase(pr *cgm.Proc, ps *procState, recs []srec, j int, nextElem ElemID) ([]srec, ElemID) {
+	p := pr.P()
+	lbl := func(step string) string { return fmt.Sprintf("construct/d%d/%s", j, step) }
+
+	// Step 2: globally sort S^j by primary key index (tree label) and
+	// secondary key x_j (ties by point ID for determinism).
+	sorted := psort.Sort(pr, lbl("sort"), recs, func(a, b srec) bool {
+		if a.Key != b.Key {
+			return a.Key < b.Key
+		}
+		if a.Pt.X[j] != b.Pt.X[j] {
+			return a.Pt.X[j] < b.Pt.X[j]
+		}
+		return a.Pt.ID < b.Pt.ID
+	})
+
+	// Tree discovery: exchange per-processor runs of equal keys; all
+	// processors derive the identical, label-ordered tree summary list.
+	var runs []runSum
+	for i := 0; i < len(sorted); {
+		k := sorted[i].Key
+		c := 0
+		for i < len(sorted) && sorted[i].Key == k {
+			i++
+			c++
+		}
+		runs = append(runs, runSum{Key: k, Count: c})
+	}
+	allRuns := comm.AllGatherFlat(pr, lbl("runs"), runs)
+	var trees []treeSum
+	offset := 0
+	for _, r := range allRuns {
+		if len(trees) > 0 && trees[len(trees)-1].Key == r.Key {
+			trees[len(trees)-1].M += r.Count
+		} else {
+			trees = append(trees, treeSum{Key: r.Key, M: r.Count})
+		}
+		offset += r.Count
+	}
+	start := 0
+	for i := range trees {
+		trees[i].Start = start
+		start += trees[i].M
+	}
+
+	// Stub enumeration (replicated, deterministic): elements are numbered
+	// in (tree label, position) order and owned by P_(id mod p) —
+	// Construct step 3's "route the k-th group to processor P_(k mod p)".
+	type stubRef struct {
+		tree int
+		stub segtree.Stub
+	}
+	var stubs []stubRef
+	for ti := range trees {
+		shape := segtree.NewShape(trees[ti].M)
+		trees[ti].Elem0 = nextElem + ElemID(len(stubs))
+		for _, st := range shape.Stubs(t.grain) {
+			stubs = append(stubs, stubRef{tree: ti, stub: st})
+		}
+	}
+	for si, sr := range stubs {
+		id := nextElem + ElemID(si)
+		info := ElemInfo{
+			ID:    id,
+			Owner: int32(int(id) % p),
+			Count: int32(sr.stub.Count),
+			Dim:   int8(j),
+			Key:   trees[sr.tree].Key.Extend(sr.stub.Node),
+		}
+		ps.info = append(ps.info, info)
+	}
+
+	// Step 3: route every record to the owner of the element containing
+	// its global position.
+	myOffset, _ := comm.CountScan(pr, lbl("offset"), len(sorted))
+	out := make([][]epoint, p)
+	ti := 0
+	var treeStubs []segtree.Stub
+	loadStubs := func(ti int) {
+		treeStubs = segtree.NewShape(trees[ti].M).Stubs(t.grain)
+	}
+	if len(trees) > 0 {
+		loadStubs(0)
+	}
+	for i, r := range sorted {
+		g := myOffset + i
+		for g >= trees[ti].Start+trees[ti].M {
+			ti++
+			loadStubs(ti)
+		}
+		if r.Key != trees[ti].Key {
+			panic("core: construct routing lost tree alignment")
+		}
+		pos := g - trees[ti].Start
+		si := segtree.StubContaining(treeStubs, pos)
+		id := trees[ti].Elem0 + ElemID(si)
+		owner := int(id) % p
+		out[owner] = append(out[owner], epoint{Elem: id, Pt: r.Pt})
+	}
+	incoming := cgm.Exchange(pr, lbl("route"), out)
+
+	// Step 4: sequentially construct the owned forest elements. Records
+	// arrive rank-major and sorted within each source; element point sets
+	// occupy contiguous global ranges, so concatenation is leaf order.
+	grouped := make(map[ElemID][]geom.Point)
+	for _, part := range incoming {
+		for _, ep := range part {
+			grouped[ep.Elem] = append(grouped[ep.Elem], ep.Pt)
+		}
+	}
+	var metas []elemMeta
+	for id, epts := range grouped {
+		info := ps.info[int(id)] // dense ids: index == id
+		if int32(len(epts)) != info.Count {
+			panic(fmt.Sprintf("core: element %d received %d points, expected %d", id, len(epts), info.Count))
+		}
+		el := &element{info: info, pts: epts, tree: rangetree.BuildFrom(epts, j)}
+		ps.elems[id] = el
+		metas = append(metas, elemMeta{Elem: id, Min: epts[0].X[j], Max: epts[len(epts)-1].X[j]})
+	}
+	sort.Slice(metas, func(a, b int) bool { return metas[a].Elem < metas[b].Elem })
+
+	// Steps 4–5: all-to-all broadcast of the forest roots (the hat's
+	// leaves); every processor completes its dimension-j hat trees.
+	allMetas := comm.AllGatherFlat(pr, lbl("roots"), metas)
+	for _, mt := range allMetas {
+		ps.info[int(mt.Elem)].Min = mt.Min
+		ps.info[int(mt.Elem)].Max = mt.Max
+	}
+	for _, el := range ps.elems { // owner's own replica also needs spans
+		el.info = ps.info[int(el.info.ID)]
+	}
+	for ti := range trees {
+		t.buildHatTree(ps, trees[ti], j)
+	}
+
+	// Step 7: create S^(j+1): every record walks from its stub's parent to
+	// the root of its segment tree, creating one record per hat-internal
+	// ancestor u with index path(u).
+	var next []srec
+	if j+1 < t.dims {
+		for _, id := range sortedElemIDs(grouped) {
+			el := ps.elems[id]
+			key := el.info.Key
+			comps := key.Components()
+			stubNode := int(comps[len(comps)-1])
+			treeKey := parentKey(key)
+			for u := segtree.Parent(stubNode); u >= 1; u = segtree.Parent(u) {
+				anchor := treeKey.Extend(u)
+				for _, pt := range el.pts {
+					next = append(next, srec{Pt: pt, Key: anchor})
+				}
+			}
+		}
+	}
+	return next, nextElem + ElemID(len(stubs))
+}
+
+// sortedElemIDs returns the map keys in increasing order (deterministic
+// record emission).
+func sortedElemIDs(m map[ElemID][]geom.Point) []ElemID {
+	ids := make([]ElemID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	return ids
+}
+
+// parentKey strips the last chain component of a PathKey.
+func parentKey(k segtree.PathKey) segtree.PathKey {
+	comps := k.Components()
+	out := segtree.RootPathKey
+	for _, c := range comps[:len(comps)-1] {
+		out = out.Extend(int(c))
+	}
+	return out
+}
+
+// buildHatTree assembles one replicated dimension-j hat tree from the
+// element metadata: stubs become hat leaves, their hat-internal ancestors
+// get counts from the shape and spans from their children, and the tree is
+// linked to its anchor node in the previous dimension.
+func (t *Tree) buildHatTree(ps *procState, ts treeSum, j int) {
+	shape := segtree.NewShape(ts.M)
+	ht := &HatTree{
+		ID:    int32(len(ps.hat)),
+		Key:   ts.Key,
+		Dim:   int8(j),
+		Shape: shape,
+		Nodes: make(map[int]HatNode),
+	}
+	stubs := shape.Stubs(t.grain)
+	for si, st := range stubs {
+		info := ps.info[int(ts.Elem0)+si]
+		ht.Nodes[st.Node] = HatNode{
+			Count: int32(st.Count),
+			Min:   info.Min,
+			Max:   info.Max,
+			Elem:  info.ID,
+			Desc:  -1,
+		}
+	}
+	// Hat-internal ancestors, bottom-up from the stubs.
+	var fill func(v int) (geom.Coord, geom.Coord)
+	fill = func(v int) (geom.Coord, geom.Coord) {
+		if nd, ok := ht.Nodes[v]; ok { // stub
+			return nd.Min, nd.Max
+		}
+		var mn, mx geom.Coord
+		first := true
+		for _, c := range []int{segtree.Left(v), segtree.Right(v)} {
+			if shape.Count(c) == 0 {
+				continue
+			}
+			cmn, cmx := fill(c)
+			if first {
+				mn, mx = cmn, cmx
+				first = false
+			} else {
+				if cmn < mn {
+					mn = cmn
+				}
+				if cmx > mx {
+					mx = cmx
+				}
+			}
+		}
+		ht.Nodes[v] = HatNode{Count: int32(shape.Count(v)), Min: mn, Max: mx, Elem: -1, Desc: -1}
+		return mn, mx
+	}
+	fill(shape.Root())
+	ps.hat = append(ps.hat, ht)
+	ps.hatByKey[ts.Key] = ht.ID
+
+	// Link to the anchor node of the previous dimension's hat.
+	if ts.Key != segtree.RootPathKey {
+		comps := ts.Key.Components()
+		anchorNode := int(comps[len(comps)-1])
+		parent := parentKey(ts.Key)
+		pid, ok := ps.hatByKey[parent]
+		if !ok {
+			panic(fmt.Sprintf("core: hat tree %v has no parent %v", ts.Key, parent))
+		}
+		pt := ps.hat[pid]
+		nd, ok := pt.Nodes[anchorNode]
+		if !ok {
+			panic(fmt.Sprintf("core: anchor node %d missing in %v", anchorNode, parent))
+		}
+		nd.Desc = ht.ID
+		pt.Nodes[anchorNode] = nd
+	}
+}

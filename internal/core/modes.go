@@ -1,0 +1,381 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/balance"
+	"repro/internal/cgm"
+	"repro/internal/comm"
+	"repro/internal/geom"
+	"repro/internal/rangetree"
+	"repro/internal/semigroup"
+)
+
+// qcount is a partial per-query result routed to the query's home.
+type qcount struct {
+	Query int32
+	Val   int64
+}
+
+// SearchStats reports one processor's share of the last batch — the
+// quantities the balancing lemma bounds.
+type SearchStats struct {
+	HatSelections int // selections resolved in the replicated hat
+	Subqueries    int // subqueries this processor's queries spawned (its Q″ share)
+	Served        int // subqueries served after redistribution
+	CopiesHeld    int // forest elements copied to this processor
+	PairsEmitted  int // report mode: (q, point) pairs materialized here
+}
+
+// LastSearchStats returns the per-processor statistics of the most recent
+// batch operation.
+func (t *Tree) LastSearchStats() []SearchStats { return t.lastStats }
+
+// CountBatch answers every query with |R(q)| — the counting special case
+// of the associative-function mode, which needs no precomputation because
+// hat nodes carry their canonical counts.
+func (t *Tree) CountBatch(boxes []geom.Box) []int64 {
+	m := len(boxes)
+	if m == 0 {
+		return nil
+	}
+	p := t.P()
+	results := make([]int64, m)
+	t.prepBatch()
+	t.mach.Run(func(pr *cgm.Proc) {
+		ps := t.procs[pr.Rank()]
+		st := &t.lastStats[pr.Rank()]
+		lo, hi := queryBlock(pr.Rank(), m, p)
+		var pairs []qcount
+		var subs []subquery
+		for qi := lo; qi < hi; qi++ {
+			q := Query{ID: int32(qi), Box: boxes[qi]}
+			ps.hatSearch(t, q,
+				func(s hatSel) {
+					st.HatSelections++
+					var c int64
+					if s.Elem >= 0 {
+						c = int64(ps.info[int(s.Elem)].Count)
+					} else {
+						c = int64(ps.hat[s.Tree].Nodes[int(s.Node)].Count)
+					}
+					pairs = append(pairs, qcount{Query: q.ID, Val: c})
+				},
+				func(s subquery) { subs = append(subs, s) })
+		}
+		st.Subqueries = len(subs)
+		served := t.phaseB(pr, ps, subs, "count", nil)
+		st.Served = len(served)
+		st.CopiesHeld = len(ps.copies)
+		for _, s := range served {
+			el := ps.lookup(s.Elem)
+			pairs = append(pairs, qcount{Query: s.Query, Val: int64(el.tree.Count(s.Box))})
+		}
+		// Fold the partial counts at each query's home processor.
+		home := comm.SegmentedGather(pr, "count/home", pairs, func(v qcount) int {
+			return homeOf(v.Query, m, p)
+		})
+		for _, v := range home {
+			results[v.Query] += v.Val // home blocks are disjoint across processors
+		}
+	})
+	return results
+}
+
+// AggHandle is a prepared associative-function annotation: Algorithm
+// AssociativeFunction step 1 ("compute f(v) bottom-up for each node v in
+// dimension d of T") materialized for one monoid. A Tree can carry any
+// number of handles.
+type AggHandle[T any] struct {
+	t   *Tree
+	m   semigroup.Monoid[T]
+	val func(geom.Point) T
+	// elemRoot[e] is f folded over all points of element e (replicated).
+	elemRoot []T
+	// elemAggs[rank] are the per-node annotations of owned elements.
+	elemAggs []map[ElemID]*rangetree.Agg[T]
+	// hatTab[rank][treeID][node] annotates last-dimension hat trees.
+	hatTab []map[int32][]T
+}
+
+// PrepareAssociative runs step 1 of Algorithm AssociativeFunction: owners
+// annotate their forest elements sequentially, the forest-root values are
+// broadcast all-to-all, and every processor annotates its hat replica.
+func PrepareAssociative[T any](t *Tree, mo semigroup.Monoid[T], val func(geom.Point) T) *AggHandle[T] {
+	p := t.P()
+	h := &AggHandle[T]{
+		t:        t,
+		m:        mo,
+		val:      val,
+		elemRoot: make([]T, t.ElemCount()),
+		elemAggs: make([]map[ElemID]*rangetree.Agg[T], p),
+		hatTab:   make([]map[int32][]T, p),
+	}
+	type rootVal struct {
+		Elem ElemID
+		Val  T
+	}
+	t.mach.Run(func(pr *cgm.Proc) {
+		ps := t.procs[pr.Rank()]
+		aggs := make(map[ElemID]*rangetree.Agg[T])
+		var roots []rootVal
+		for _, id := range sortedOwnedIDs(ps.elems) {
+			el := ps.elems[id]
+			aggs[id] = rangetree.NewAgg(el.tree, mo, val)
+			acc := mo.Identity
+			for _, pt := range el.pts {
+				acc = mo.Combine(acc, val(pt))
+			}
+			roots = append(roots, rootVal{Elem: id, Val: acc})
+		}
+		h.elemAggs[pr.Rank()] = aggs
+		all := comm.AllGatherFlat(pr, "assoc/roots", roots)
+		rootTab := make([]T, t.ElemCount())
+		for _, rv := range all {
+			rootTab[int(rv.Elem)] = rv.Val
+		}
+		if pr.Rank() == 0 {
+			h.elemRoot = rootTab // replicas are identical; keep one
+		}
+		tab := make(map[int32][]T)
+		for _, ht := range ps.hat {
+			if int(ht.Dim) != t.dims-1 {
+				continue
+			}
+			arr := make([]T, ht.Shape.NumNodes()+1)
+			var fill func(v int) T
+			fill = func(v int) T {
+				nd, ok := ht.Nodes[v]
+				if !ok {
+					return mo.Identity
+				}
+				var x T
+				if nd.Elem >= 0 {
+					x = rootTab[int(nd.Elem)]
+				} else {
+					x = mo.Combine(fill(2*v), fill(2*v+1))
+				}
+				arr[v] = x
+				return x
+			}
+			fill(ht.Shape.Root())
+			tab[ht.ID] = arr
+		}
+		h.hatTab[pr.Rank()] = tab
+	})
+	return h
+}
+
+// qvalT is a typed partial result for the associative mode.
+type qvalT[T any] struct {
+	Query int32
+	Val   T
+}
+
+// Batch evaluates ⊗_{l∈R(q)} f(l) for every query (Algorithm
+// AssociativeFunction steps 2–5: search, pair up selections with their
+// f-values, combine per query).
+func (h *AggHandle[T]) Batch(boxes []geom.Box) []T {
+	t := h.t
+	m := len(boxes)
+	if m == 0 {
+		return nil
+	}
+	p := t.P()
+	results := make([]T, m)
+	for i := range results {
+		results[i] = h.m.Identity
+	}
+	t.prepBatch()
+	t.mach.Run(func(pr *cgm.Proc) {
+		ps := t.procs[pr.Rank()]
+		st := &t.lastStats[pr.Rank()]
+		myAggs := h.elemAggs[pr.Rank()]
+		copyAggs := make(map[ElemID]*rangetree.Agg[T])
+		lo, hi := queryBlock(pr.Rank(), m, p)
+		var pairs []qvalT[T]
+		var subs []subquery
+		for qi := lo; qi < hi; qi++ {
+			q := Query{ID: int32(qi), Box: boxes[qi]}
+			ps.hatSearch(t, q,
+				func(s hatSel) {
+					st.HatSelections++
+					var v T
+					if s.Elem >= 0 {
+						v = h.elemRoot[int(s.Elem)]
+					} else {
+						v = h.hatTab[pr.Rank()][s.Tree][int(s.Node)]
+					}
+					pairs = append(pairs, qvalT[T]{Query: q.ID, Val: v})
+				},
+				func(s subquery) { subs = append(subs, s) })
+		}
+		st.Subqueries = len(subs)
+		served := t.phaseB(pr, ps, subs, "assoc", func(el *element) {
+			copyAggs[el.info.ID] = rangetree.NewAgg(el.tree, h.m, h.val)
+		})
+		st.Served = len(served)
+		st.CopiesHeld = len(ps.copies)
+		for _, s := range served {
+			var a *rangetree.Agg[T]
+			if ag, ok := myAggs[s.Elem]; ok {
+				a = ag
+			} else {
+				a = copyAggs[s.Elem]
+			}
+			pairs = append(pairs, qvalT[T]{Query: s.Query, Val: a.Query(s.Box)})
+		}
+		home := comm.SegmentedGather(pr, "assoc/home", pairs, func(v qvalT[T]) int {
+			return homeOf(v.Query, m, p)
+		})
+		for _, v := range home {
+			results[v.Query] = h.m.Combine(results[v.Query], v.Val)
+		}
+	})
+	return results
+}
+
+// ReportPair is one (query, point) result pair of the report mode.
+type ReportPair struct {
+	Query int32
+	Pt    geom.Point
+}
+
+// ReportBatch answers every query in report mode and groups the pairs by
+// query for the caller. The algorithm's distributed deliverable — the
+// paper's "for each q and each l in q's range, the pair (q, l) is on some
+// processor", balanced to O(k/p) pairs each — is what the machine run
+// produces and what the metrics measure; the final grouping is a
+// convenience step outside the measured algorithm.
+func (t *Tree) ReportBatch(boxes []geom.Box) [][]geom.Point {
+	perQuery, _ := t.reportBatch(boxes)
+	return perQuery
+}
+
+// ReportBatchBalance additionally reports how many pairs each processor
+// materialized (the k/p balance of Theorem 4).
+func (t *Tree) ReportBatchBalance(boxes []geom.Box) ([][]geom.Point, []int) {
+	return t.reportBatch(boxes)
+}
+
+func (t *Tree) reportBatch(boxes []geom.Box) ([][]geom.Point, []int) {
+	m := len(boxes)
+	if m == 0 {
+		return nil, make([]int, t.P())
+	}
+	p := t.P()
+	perProc := make([][]ReportPair, p)
+	t.prepBatch()
+	t.mach.Run(func(pr *cgm.Proc) {
+		ps := t.procs[pr.Rank()]
+		st := &t.lastStats[pr.Rank()]
+		lo, hi := queryBlock(pr.Rank(), m, p)
+
+		// Phase A: hat search. Selections become whole-element orders
+		// (expanding selected hat-internal nodes into their stubs).
+		type order struct {
+			Query int32
+			Elem  ElemID
+			Off   int // global output offset, assigned below
+		}
+		var orders []order
+		var subs []subquery
+		for qi := lo; qi < hi; qi++ {
+			q := Query{ID: int32(qi), Box: boxes[qi]}
+			ps.hatSearch(t, q,
+				func(s hatSel) {
+					st.HatSelections++
+					if s.Elem >= 0 {
+						orders = append(orders, order{Query: q.ID, Elem: s.Elem})
+						return
+					}
+					for _, e := range ps.stubsUnder(s.Tree, int(s.Node), nil) {
+						orders = append(orders, order{Query: q.ID, Elem: e})
+					}
+				},
+				func(s subquery) { subs = append(subs, s) })
+		}
+		st.Subqueries = len(subs)
+
+		// Phase B/C: balance Q″ and run the sequential searches.
+		type local struct {
+			Query int32
+			Pts   []geom.Point
+			Off   int
+		}
+		served := t.phaseB(pr, ps, subs, "report", nil)
+		st.Served = len(served)
+		st.CopiesHeld = len(ps.copies)
+		var locals []local
+		for _, s := range served {
+			el := ps.lookup(s.Elem)
+			if pts := el.tree.Report(s.Box); len(pts) > 0 {
+				locals = append(locals, local{Query: s.Query, Pts: pts})
+			}
+		}
+
+		// Phase D (Algorithm Report): weigh every selected tree by its
+		// leaf count, prefix-sum the weights, and redistribute so each
+		// processor materializes a contiguous ~k/p block of output.
+		myWeight := 0
+		for _, o := range orders {
+			myWeight += int(ps.info[int(o.Elem)].Count)
+		}
+		for _, l := range locals {
+			myWeight += len(l.Pts)
+		}
+		off, totalK := comm.CountScan(pr, "report/weights", myWeight)
+		for i := range orders {
+			orders[i].Off = off
+			off += int(ps.info[int(orders[i].Elem)].Count)
+		}
+		for i := range locals {
+			locals[i].Off = off
+			off += len(locals[i].Pts)
+		}
+
+		// Whole-element orders fetch their points from the owner.
+		fetched := comm.SegmentedGather(pr, "report/fetch", orders, func(o order) int {
+			return int(ps.info[int(o.Elem)].Owner)
+		})
+
+		// Ship every entry's points to the processors owning its output
+		// positions (the segmented broadcast of Algorithm Report step 4).
+		out := make([][]ReportPair, p)
+		emit := func(qid int32, pts []geom.Point, off int) {
+			for _, sh := range balance.SplitWeighted(off, len(pts), totalK, p) {
+				for _, pt := range pts[sh.Lo:sh.Hi] {
+					out[sh.Proc] = append(out[sh.Proc], ReportPair{Query: qid, Pt: pt})
+				}
+			}
+		}
+		for _, l := range locals {
+			emit(l.Query, l.Pts, l.Off)
+		}
+		for _, o := range fetched {
+			el := ps.elems[o.Elem] // fetch orders always target the owner
+			emit(o.Query, el.pts, o.Off)
+		}
+		in := cgm.Exchange(pr, "report/pairs", out)
+		var mine []ReportPair
+		for _, part := range in {
+			mine = append(mine, part...)
+		}
+		st.PairsEmitted = len(mine)
+		perProc[pr.Rank()] = mine
+	})
+
+	// Grouping for the caller (outside the measured algorithm).
+	results := make([][]geom.Point, m)
+	counts := make([]int, p)
+	for rank, pairs := range perProc {
+		counts[rank] = len(pairs)
+		for _, pair := range pairs {
+			results[pair.Query] = append(results[pair.Query], pair.Pt)
+		}
+	}
+	for _, r := range results {
+		sort.Slice(r, func(i, j int) bool { return r[i].ID < r[j].ID })
+	}
+	return results, counts
+}

@@ -1,0 +1,342 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/balance"
+	"repro/internal/cgm"
+	"repro/internal/comm"
+	"repro/internal/geom"
+	"repro/internal/rangetree"
+	"repro/internal/segtree"
+)
+
+// Query is one box query of the batch Q, identified by its index.
+type Query struct {
+	ID  int32
+	Box geom.Box
+}
+
+// hatSel is a selection made inside the replicated hat (Algorithm Search
+// step 1): either a hat-internal node of a last-dimension tree whose whole
+// leaf set matches (Elem == -1), or a whole forest element selected at its
+// stub (Elem ≥ 0).
+type hatSel struct {
+	Query int32
+	Tree  int32
+	Node  int32
+	Elem  ElemID
+}
+
+// subquery is a query that "needs to visit a node in F" (the paper's Q″):
+// it must continue inside forest element Elem.
+type subquery struct {
+	Query int32
+	Elem  ElemID
+	Box   geom.Box
+}
+
+// hatSearch advances one query through the hat replica: the four-case
+// descent of §4 over the truncated trees. Selections in the last dimension
+// are emitted via sel; crossings into the forest via sub.
+func (ps *procState) hatSearch(t *Tree, q Query, sel func(hatSel), sub func(subquery)) {
+	if q.Box.Dims() != t.dims {
+		panic(fmt.Sprintf("core: query %d has %d dims, tree has %d", q.ID, q.Box.Dims(), t.dims))
+	}
+	var visitTree func(id int32)
+	visitTree = func(id int32) {
+		ht := ps.hat[id]
+		iv := q.Box.Dim(int(ht.Dim))
+		if iv.Empty() {
+			return
+		}
+		last := int(ht.Dim) == t.dims-1
+		var descend func(v int)
+		descend = func(v int) {
+			nd, ok := ht.Nodes[v]
+			if !ok {
+				return // no real points below
+			}
+			span := geom.Interval{Lo: nd.Min, Hi: nd.Max}
+			if !iv.Overlaps(span) {
+				return // case 4: disjoint — the query is deleted here
+			}
+			if nd.Elem >= 0 {
+				// The query reaches a leaf of the hat. If the whole stub
+				// matches in the last dimension the element is selected
+				// outright; otherwise the query must continue in F.
+				if last && iv.ContainsInterval(span) {
+					sel(hatSel{Query: q.ID, Tree: id, Node: int32(v), Elem: nd.Elem})
+				} else {
+					sub(subquery{Query: q.ID, Elem: nd.Elem, Box: q.Box})
+				}
+				return
+			}
+			if iv.ContainsInterval(span) {
+				if last {
+					// Case 2: select the segment tree rooted at v.
+					sel(hatSel{Query: q.ID, Tree: id, Node: int32(v), Elem: -1})
+				} else {
+					// Case 1: proceed to the next dimension.
+					visitTree(nd.Desc)
+				}
+				return
+			}
+			// Case 3: split into the two children.
+			descend(segtree.Left(v))
+			descend(segtree.Right(v))
+		}
+		descend(ht.Shape.Root())
+	}
+	visitTree(0)
+}
+
+// stubsUnder appends the elements of every stub below hat node v of tree
+// id (inclusive) — the expansion Report mode uses when a hat-internal node
+// is selected: all forest elements below it are selected whole.
+func (ps *procState) stubsUnder(id int32, v int, out []ElemID) []ElemID {
+	ht := ps.hat[id]
+	nd, ok := ht.Nodes[v]
+	if !ok {
+		return out
+	}
+	if nd.Elem >= 0 {
+		return append(out, nd.Elem)
+	}
+	out = ps.stubsUnder(id, segtree.Left(v), out)
+	return ps.stubsUnder(id, segtree.Right(v), out)
+}
+
+// BalanceMode selects the granularity of Algorithm Search's replication.
+type BalanceMode int
+
+const (
+	// GroupLevel is the paper's scheme: the demand unit is a whole
+	// processor part F_j, and congested parts are copied wholesale
+	// ("make c_j copies of F_j", Search step 3).
+	GroupLevel BalanceMode = iota
+	// ElementLevel is the finer ablation: demand is counted per forest
+	// element and only demanded elements are copied — less shipping
+	// volume for sparse demand, at the cost of a larger demand exchange.
+	ElementLevel
+)
+
+// SetBalanceMode selects the balancing granularity for subsequent batches
+// (default GroupLevel, the paper's algorithm).
+func (t *Tree) SetBalanceMode(m BalanceMode) { t.balanceMode = m }
+
+// LastCopiedPoints reports how many element points were shipped as copies
+// in the most recent batch (the E6 volume column).
+func (t *Tree) LastCopiedPoints() int {
+	total := 0
+	for _, c := range t.lastCopied {
+		total += c
+	}
+	return total
+}
+
+// phaseB implements Algorithm Search steps 2–4: globally count the demand
+// |QF_j| per forest group, make c_j copies of congested groups, distribute
+// the copies evenly, and redistribute Q″ so every subquery lands on a
+// processor holding the element it visits. It returns the subqueries this
+// processor serves. materialize is called for every copied element a host
+// installs (modes hook it to build their per-element annotations).
+func (t *Tree) phaseB(pr *cgm.Proc, ps *procState, subs []subquery, label string, materialize func(*element)) []subquery {
+	if t.balanceMode == ElementLevel {
+		return t.phaseBElement(pr, ps, subs, label, materialize)
+	}
+	p := pr.P()
+	ps.copies = make(map[ElemID]*element)
+
+	// Step 2: globally compute c_j = |QF_j| / (|Q″|/p). The group of a
+	// subquery is the owner of its element (the part F_j).
+	local := make([]int, p)
+	for _, s := range subs {
+		local[ps.info[int(s.Elem)].Owner]++
+	}
+	matrix := comm.AllGather(pr, label+"/demand", local)
+	demand := make([]int, p)
+	for _, row := range matrix {
+		for j, c := range row {
+			demand[j] += c
+		}
+	}
+	plan := balance.NewPlan(p, demand)
+	if pr.Rank() == 0 {
+		t.lastDemand = demand // identical on every processor; keep one
+	}
+
+	// Step 3: make c_j copies of F_j and distribute them evenly. The
+	// owner ships its whole part to every host of one of its slots.
+	type shipped struct {
+		Info ElemInfo
+		Pts  []geom.Point
+	}
+	out := make([][]shipped, p)
+	copiedPts := 0
+	for _, host := range plan.GroupHosts(ps.rank) {
+		if host == ps.rank {
+			continue // the owner is its own copy
+		}
+		for _, id := range sortedOwnedIDs(ps.elems) {
+			el := ps.elems[id]
+			out[host] = append(out[host], shipped{Info: el.info, Pts: el.pts})
+			copiedPts += len(el.pts)
+		}
+	}
+	t.lastCopied[ps.rank] = copiedPts
+	incoming := cgm.Exchange(pr, label+"/copies", out)
+	for _, part := range incoming {
+		for _, sh := range part {
+			el := &element{info: sh.Info, pts: sh.Pts, tree: rangetree.BuildFrom(sh.Pts, int(sh.Info.Dim))}
+			ps.copies[sh.Info.ID] = el
+			if materialize != nil {
+				materialize(el)
+			}
+		}
+	}
+
+	// Step 4: redistribute Q″ so every query sits with a copy of the part
+	// it visits; the r-th subquery of group j goes to the host of copy
+	// ⌊r·c_j/d_j⌋.
+	rankOffset := make([]int, p)
+	for src := 0; src < pr.Rank(); src++ {
+		for j := 0; j < p; j++ {
+			rankOffset[j] += matrix[src][j]
+		}
+	}
+	seen := make([]int, p)
+	routed := make([][]subquery, p)
+	for _, s := range subs {
+		j := int(ps.info[int(s.Elem)].Owner)
+		r := rankOffset[j] + seen[j]
+		seen[j]++
+		dest := plan.Route(j, r)
+		routed[dest] = append(routed[dest], s)
+	}
+	served := cgm.Exchange(pr, label+"/route", routed)
+	var mine []subquery
+	for _, part := range served {
+		mine = append(mine, part...)
+	}
+	return mine
+}
+
+// phaseBElement is the ElementLevel variant of phaseB: demand, copies and
+// routing all work per forest element.
+func (t *Tree) phaseBElement(pr *cgm.Proc, ps *procState, subs []subquery, label string, materialize func(*element)) []subquery {
+	p := pr.P()
+	ps.copies = make(map[ElemID]*element)
+
+	// Demand per element, exchanged sparsely.
+	type elemDemand struct {
+		Elem  ElemID
+		Count int32
+	}
+	localCnt := make(map[ElemID]int32)
+	for _, s := range subs {
+		localCnt[s.Elem]++
+	}
+	var local []elemDemand
+	for _, id := range sortedDemandIDs(localCnt) {
+		local = append(local, elemDemand{Elem: id, Count: localCnt[id]})
+	}
+	perSrc := comm.AllGather(pr, label+"/edemand", local)
+	demand := make([]int, t.ElemCount())
+	for _, row := range perSrc {
+		for _, d := range row {
+			demand[int(d.Elem)] += int(d.Count)
+		}
+	}
+	plan := balance.NewPlan(p, demand)
+	if pr.Rank() == 0 {
+		// Aggregate to owner granularity so LastDemand stays comparable.
+		byOwner := make([]int, p)
+		for e, d := range demand {
+			byOwner[int(ps.info[e].Owner)] += d
+		}
+		t.lastDemand = byOwner
+	}
+
+	// Ship only demanded elements, each to the hosts of its slots.
+	type shipped struct {
+		Info ElemInfo
+		Pts  []geom.Point
+	}
+	out := make([][]shipped, p)
+	copiedPts := 0
+	for _, id := range sortedOwnedIDs(ps.elems) {
+		if demand[int(id)] == 0 {
+			continue
+		}
+		el := ps.elems[id]
+		for _, host := range plan.GroupHosts(int(id)) {
+			if host == ps.rank {
+				continue
+			}
+			out[host] = append(out[host], shipped{Info: el.info, Pts: el.pts})
+			copiedPts += len(el.pts)
+		}
+	}
+	t.lastCopied[ps.rank] = copiedPts
+	incoming := cgm.Exchange(pr, label+"/ecopies", out)
+	for _, part := range incoming {
+		for _, sh := range part {
+			el := &element{info: sh.Info, pts: sh.Pts, tree: rangetree.BuildFrom(sh.Pts, int(sh.Info.Dim))}
+			ps.copies[sh.Info.ID] = el
+			if materialize != nil {
+				materialize(el)
+			}
+		}
+	}
+
+	// Route the r-th subquery of element e to the host of copy ⌊r·c_e/d_e⌋.
+	rankOffset := make(map[ElemID]int)
+	for src := 0; src < pr.Rank(); src++ {
+		for _, d := range perSrc[src] {
+			rankOffset[d.Elem] += int(d.Count)
+		}
+	}
+	seen := make(map[ElemID]int)
+	routed := make([][]subquery, p)
+	for _, s := range subs {
+		r := rankOffset[s.Elem] + seen[s.Elem]
+		seen[s.Elem]++
+		dest := plan.Route(int(s.Elem), r)
+		routed[dest] = append(routed[dest], s)
+	}
+	served := cgm.Exchange(pr, label+"/eroute", routed)
+	var mine []subquery
+	for _, part := range served {
+		mine = append(mine, part...)
+	}
+	return mine
+}
+
+// sortedDemandIDs returns the map keys in increasing order.
+func sortedDemandIDs(m map[ElemID]int32) []ElemID {
+	ids := make([]ElemID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for k := i; k > 0 && ids[k] < ids[k-1]; k-- {
+			ids[k], ids[k-1] = ids[k-1], ids[k]
+		}
+	}
+	return ids
+}
+
+// sortedOwnedIDs returns the owned element ids in increasing order.
+func sortedOwnedIDs(m map[ElemID]*element) []ElemID {
+	ids := make([]ElemID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ { // insertion sort: parts are small
+		for k := i; k > 0 && ids[k] < ids[k-1]; k-- {
+			ids[k], ids[k-1] = ids[k-1], ids[k]
+		}
+	}
+	return ids
+}

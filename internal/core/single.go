@@ -1,0 +1,149 @@
+package core
+
+import (
+	"repro/internal/cgm"
+	"repro/internal/comm"
+	"repro/internal/geom"
+)
+
+// This file addresses the question the paper's conclusion leaves open:
+// "the question of using parallelism to speed up just one single query ...
+// is also wide open". The batched machinery is useless for m = 1 (its
+// balancing needs many queries to spread), but the distributed structure
+// itself offers a natural single-query algorithm: every processor advances
+// the query through its own hat replica — reaching the identical selection
+// set without communication — and then serves exactly the subqueries whose
+// forest elements it owns. One gather round combines the partial results.
+//
+// The achievable speedup is bounded by how many distinct forest elements
+// the query touches (at most O(log^d n), and only elements on distinct
+// owners parallelize) — which is precisely why the paper calls the general
+// problem open. The E13 experiment measures this ownership-limited
+// parallelism.
+
+// SingleCount answers one counting query with all processors cooperating.
+func (t *Tree) SingleCount(b geom.Box) int64 {
+	var result int64
+	t.mach.Run(func(pr *cgm.Proc) {
+		ps := t.procs[pr.Rank()]
+		var local int64
+		ps.hatSearch(t, Query{ID: 0, Box: b},
+			func(s hatSel) {
+				// The hat is replicated: only rank 0 counts hat
+				// selections, so each is counted exactly once.
+				if pr.Rank() != 0 {
+					return
+				}
+				if s.Elem >= 0 {
+					local += int64(ps.info[int(s.Elem)].Count)
+				} else {
+					local += int64(ps.hat[s.Tree].Nodes[int(s.Node)].Count)
+				}
+			},
+			func(s subquery) {
+				// Ownership partitions the forest: serve only my own
+				// elements, with no copying round at all.
+				if int(ps.info[int(s.Elem)].Owner) != pr.Rank() {
+					return
+				}
+				local += int64(ps.elems[s.Elem].tree.Count(s.Box))
+			})
+		parts := comm.Gather(pr, "single/count", 0, []int64{local})
+		if pr.Rank() == 0 {
+			for _, p := range parts {
+				result += p[0]
+			}
+		}
+	})
+	return result
+}
+
+// SingleReport answers one report query with all processors cooperating;
+// every processor materializes the points of the elements it owns.
+func (t *Tree) SingleReport(b geom.Box) []geom.Point {
+	p := t.P()
+	perProc := make([][]geom.Point, p)
+	t.mach.Run(func(pr *cgm.Proc) {
+		ps := t.procs[pr.Rank()]
+		var mine []geom.Point
+		emitElem := func(id ElemID) {
+			if int(ps.info[int(id)].Owner) != pr.Rank() {
+				return
+			}
+			mine = append(mine, ps.elems[id].pts...)
+		}
+		ps.hatSearch(t, Query{ID: 0, Box: b},
+			func(s hatSel) {
+				if s.Elem >= 0 {
+					emitElem(s.Elem)
+					return
+				}
+				for _, e := range ps.stubsUnder(s.Tree, int(s.Node), nil) {
+					emitElem(e)
+				}
+			},
+			func(s subquery) {
+				if int(ps.info[int(s.Elem)].Owner) != pr.Rank() {
+					return
+				}
+				mine = append(mine, ps.elems[s.Elem].tree.Report(s.Box)...)
+			})
+		// The partial results stay distributed (the useful deliverable);
+		// one barrier closes the superstep accounting.
+		cgm.Barrier(pr, "single/report")
+		perProc[pr.Rank()] = mine
+	})
+	var out []geom.Point
+	for _, part := range perProc {
+		out = append(out, part...)
+	}
+	return out
+}
+
+// SingleAggregate answers one associative-function query cooperatively:
+// hat selections are resolved by processor 0 from the prepared annotation,
+// forest subqueries by their owners, and one gather round combines.
+func (h *AggHandle[T]) SingleAggregate(b geom.Box) T {
+	t := h.t
+	result := h.m.Identity
+	t.mach.Run(func(pr *cgm.Proc) {
+		ps := t.procs[pr.Rank()]
+		local := h.m.Identity
+		ps.hatSearch(t, Query{ID: 0, Box: b},
+			func(s hatSel) {
+				if pr.Rank() != 0 {
+					return
+				}
+				if s.Elem >= 0 {
+					local = h.m.Combine(local, h.elemRoot[int(s.Elem)])
+				} else {
+					local = h.m.Combine(local, h.hatTab[0][s.Tree][int(s.Node)])
+				}
+			},
+			func(s subquery) {
+				if int(ps.info[int(s.Elem)].Owner) != pr.Rank() {
+					return
+				}
+				local = h.m.Combine(local, h.elemAggs[pr.Rank()][s.Elem].Query(s.Box))
+			})
+		parts := comm.Gather(pr, "single/agg", 0, []T{local})
+		if pr.Rank() == 0 {
+			for _, p := range parts {
+				result = h.m.Combine(result, p[0])
+			}
+		}
+	})
+	return result
+}
+
+// SingleQueryWork returns, per processor, how many subqueries of the
+// single query b each processor would serve — the ownership-limited
+// parallelism profile E13 reports.
+func (t *Tree) SingleQueryWork(b geom.Box) []int {
+	ps := t.procs[0]
+	out := make([]int, t.P())
+	ps.hatSearch(t, Query{ID: 0, Box: b},
+		func(hatSel) {},
+		func(s subquery) { out[ps.info[int(s.Elem)].Owner]++ })
+	return out
+}

@@ -1,0 +1,219 @@
+// Package core implements the paper's primary contribution: the
+// distributed range tree on a coarse-grained multicomputer (§3–4).
+//
+// The d-dimensional range tree T over n points is partitioned by the hat
+// cut (Definition 3): every node whose canonical point set holds more than
+// g = ⌈n/p⌉ points is part of the hat H, replicated on all processors; the
+// maximal subtrees below the cut (each a range tree of some dimension
+// j ≤ d over at most g points — the forest F) are distributed over the
+// processors round-robin in global label order (Construct step 3), so
+// every part F_i has size O(s/p) (Theorem 1).
+//
+// Queries advance through the locally replicated hat without
+// communication; the subqueries that must continue into the forest are
+// load-balanced by replicating congested forest parts (Algorithm Search),
+// and the three result modes of §4.2 — counting, associative function and
+// report — finish with a constant number of additional h-relations.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cgm"
+	"repro/internal/geom"
+	"repro/internal/rangetree"
+	"repro/internal/segtree"
+)
+
+// ElemID identifies a forest element (one subtree hanging below the hat)
+// globally; IDs are dense and assigned in deterministic label order.
+type ElemID int32
+
+// ElemInfo is the replicated metadata of one forest element: enough for
+// any processor to route queries to it and to account for its size.
+type ElemInfo struct {
+	ID    ElemID
+	Owner int32 // processor storing the element (ID mod p)
+	Count int32 // number of points
+	Dim   int8  // first dimension the element discriminates (0-based)
+	// Key identifies the element's root stub: the PathKey of its segment
+	// tree extended by the stub's heap index (Definition 2 / Lemma 1).
+	Key segtree.PathKey
+	// Min and Max span the element's points in dimension Dim.
+	Min, Max geom.Coord
+}
+
+// HatNode is one replicated node of the hat. Stub nodes (Elem ≥ 0) are the
+// hat's leaves: roots of forest elements. Internal nodes may carry a
+// descendant hat tree for the next dimension (Desc ≥ 0).
+type HatNode struct {
+	Count    int32
+	Min, Max geom.Coord
+	Elem     ElemID // forest element rooted here, -1 for internal nodes
+	Desc     int32  // hat tree id of descendant(v), -1 if none
+}
+
+// HatTree is one segment tree of the hat, truncated at the stub cut.
+// Nodes maps heap indices to nodes; only nodes covering at least one real
+// point appear.
+type HatTree struct {
+	ID    int32
+	Key   segtree.PathKey // names the tree (Lemma 1); primary = RootPathKey
+	Dim   int8            // 0-based dimension discriminated
+	Shape segtree.Shape
+	Nodes map[int]HatNode
+}
+
+// element is an owned (or copied) forest element: its points in leaf order
+// and the sequential range tree over dimensions Dim..d-1 built from them
+// (Construct step 4 builds forest elements sequentially).
+type element struct {
+	info ElemInfo
+	pts  []geom.Point
+	tree *rangetree.Tree
+}
+
+// procState is one processor's local memory: its replica of the hat, the
+// forest part it owns, and (during a search batch) the copies it hosts.
+type procState struct {
+	rank     int
+	hat      []*HatTree
+	hatByKey map[segtree.PathKey]int32
+	info     []ElemInfo
+	elems    map[ElemID]*element
+	copies   map[ElemID]*element
+}
+
+// lookup resolves an element from the owned part or the current copies.
+func (ps *procState) lookup(id ElemID) *element {
+	if el, ok := ps.elems[id]; ok {
+		return el
+	}
+	if el, ok := ps.copies[id]; ok {
+		return el
+	}
+	panic(fmt.Sprintf("core: processor %d asked to serve element %d it does not hold", ps.rank, id))
+}
+
+// Tree is the distributed range tree handle. All batch operations run SPMD
+// programs on the machine the tree was built on.
+type Tree struct {
+	mach        *cgm.Machine
+	n           int
+	dims        int
+	grain       int
+	procs       []*procState
+	balanceMode BalanceMode
+	lastStats   []SearchStats
+	lastDemand  []int
+	lastCopied  []int
+}
+
+// prepBatch resets the per-batch statistics before a machine run.
+func (t *Tree) prepBatch() {
+	t.lastStats = make([]SearchStats, t.mach.P())
+	t.lastCopied = make([]int, t.mach.P())
+}
+
+// LastDemand returns the per-group demand vector |QF_j| of the most recent
+// batch — what a no-replication strawman would load each owner with (the
+// E6 ablation's baseline).
+func (t *Tree) LastDemand() []int { return t.lastDemand }
+
+// N reports the number of points.
+func (t *Tree) N() int { return t.n }
+
+// Dims reports the dimensionality.
+func (t *Tree) Dims() int { return t.dims }
+
+// P reports the machine width.
+func (t *Tree) P() int { return t.mach.P() }
+
+// Grain reports the hat cut g = ⌈n/p⌉.
+func (t *Tree) Grain() int { return t.grain }
+
+// Machine returns the underlying machine (for metrics).
+func (t *Tree) Machine() *cgm.Machine { return t.mach }
+
+// Info returns the replicated element metadata (processor 0's copy; all
+// replicas are identical).
+func (t *Tree) Info() []ElemInfo { return t.procs[0].info }
+
+// HatNodeCount reports the number of nodes in one hat replica — the
+// quantity Theorem 1(i) bounds by O(p·log^(d-1) p).
+func (t *Tree) HatNodeCount() int {
+	total := 0
+	for _, ht := range t.procs[0].hat {
+		total += len(ht.Nodes)
+	}
+	return total
+}
+
+// HatTreeCount reports the number of segment trees in the hat.
+func (t *Tree) HatTreeCount() int { return len(t.procs[0].hat) }
+
+// ForestPartNodes reports, per processor, the total node count of the
+// owned forest elements — the |F_i| of Theorem 1(ii).
+func (t *Tree) ForestPartNodes() []int {
+	out := make([]int, t.P())
+	for i, ps := range t.procs {
+		for _, el := range ps.elems {
+			out[i] += el.tree.Nodes()
+		}
+	}
+	return out
+}
+
+// ForestPartPoints reports, per processor, the summed point counts of the
+// owned elements (points are replicated across dimensions, so this can
+// exceed n; it mirrors the leaf mass of F_i).
+func (t *Tree) ForestPartPoints() []int {
+	out := make([]int, t.P())
+	for i, ps := range t.procs {
+		for _, el := range ps.elems {
+			out[i] += len(el.pts)
+		}
+	}
+	return out
+}
+
+// ElemCount reports the number of forest elements.
+func (t *Tree) ElemCount() int { return len(t.procs[0].info) }
+
+// AllPoints returns the stored point set in deterministic order. The
+// dimension-0 forest elements partition the input, so concatenating them
+// in element order recovers it (sorted by the first coordinate).
+func (t *Tree) AllPoints() []geom.Point {
+	out := make([]geom.Point, 0, t.n)
+	for _, info := range t.procs[0].info {
+		if info.Dim != 0 {
+			continue
+		}
+		owner := t.procs[info.Owner]
+		out = append(out, owner.elems[info.ID].pts...)
+	}
+	return out
+}
+
+// homeOf maps a query id to the processor that initially holds it (block
+// distribution over m queries).
+func homeOf(qid int32, m, p int) int {
+	g := int(qid)
+	j := g * p / m
+	if j > p-1 {
+		j = p - 1
+	}
+	for j > 0 && g < j*m/p {
+		j--
+	}
+	for j < p-1 && g >= (j+1)*m/p {
+		j++
+	}
+	return j
+}
+
+// queryBlock returns the query index interval [lo, hi) processor rank
+// starts with.
+func queryBlock(rank, m, p int) (int, int) {
+	return rank * m / p, (rank + 1) * m / p
+}

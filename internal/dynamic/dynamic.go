@@ -1,0 +1,283 @@
+// Package dynamic addresses the first open issue in the paper's
+// conclusion: "the range tree is inherently static; a dynamic distributed
+// data structure would be more powerful, although more difficult to
+// implement". It dynamizes the distributed range tree with the classical
+// logarithmic method for decomposable searching problems (Bentley [4] in
+// the paper's references): the point set is kept as O(log n) static
+// distributed range trees of geometrically growing sizes; batch insertion
+// rebuilds one level (amortized O(log n) rebuild mass per point), and
+// because range search is decomposable, a query batch fans over the levels
+// and combines.
+//
+// Deletions use the standard subtraction trick: deleted points live in a
+// shadow structure; counts subtract, reports filter. The price of
+// dynamization is visible and measured (E12): a batch now costs O(log n)
+// times the constant rounds of the static structure.
+package dynamic
+
+import (
+	"fmt"
+
+	"repro/internal/cgm"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/semigroup"
+)
+
+// Tree is a dynamized distributed range tree.
+type Tree struct {
+	mach *cgm.Machine
+	dims int
+	// base is the smallest level capacity; pending points below base are
+	// scanned directly.
+	base int
+	// levels[i] is nil or a static distributed tree over base·2^i points.
+	levels  []*core.Tree
+	pending []geom.Point
+
+	// deletion shadow (same representation, nil until first delete)
+	deleted *Tree
+	shadow  bool // true for the shadow itself (no second-order shadow)
+
+	n       int // live points (inserted − deleted)
+	rebuilt int // total points passed through core.Build (amortization metric)
+}
+
+// Option configures the dynamic tree.
+type Option func(*Tree)
+
+// WithBase sets the smallest level capacity (default 4·p).
+func WithBase(b int) Option {
+	return func(t *Tree) {
+		if b < 1 {
+			panic("dynamic: base must be ≥ 1")
+		}
+		t.base = b
+	}
+}
+
+// New creates an empty dynamic tree for d-dimensional points on mach.
+func New(mach *cgm.Machine, dims int, opts ...Option) *Tree {
+	if dims < 1 {
+		panic("dynamic: need at least one dimension")
+	}
+	t := &Tree{mach: mach, dims: dims, base: 4 * mach.P()}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+// N reports the number of live points.
+func (t *Tree) N() int { return t.n }
+
+// Levels reports how many static levels are currently occupied.
+func (t *Tree) Levels() int {
+	c := 0
+	for _, l := range t.levels {
+		if l != nil {
+			c++
+		}
+	}
+	return c
+}
+
+// RebuiltPoints reports the cumulative number of points passed through
+// Algorithm Construct — the amortized-rebuild mass E12 tracks.
+func (t *Tree) RebuiltPoints() int { return t.rebuilt }
+
+// InsertBatch adds points. Points must have the tree's dimensionality;
+// IDs should be unique across the lifetime of the structure (they
+// disambiguate duplicate coordinates and deletions).
+func (t *Tree) InsertBatch(pts []geom.Point) {
+	for _, p := range pts {
+		if p.Dims() != t.dims {
+			panic(fmt.Sprintf("dynamic: point %d has %d dims, want %d", p.ID, p.Dims(), t.dims))
+		}
+	}
+	t.pending = append(t.pending, pts...)
+	if !t.shadow {
+		t.n += len(pts)
+	}
+	for len(t.pending) >= t.base {
+		block := t.pending[:t.base]
+		t.pending = t.pending[t.base:]
+		t.carry(block)
+	}
+}
+
+// carry merges a base-sized block with the full low levels into the first
+// empty level — the binary-counter increment of the logarithmic method.
+func (t *Tree) carry(block []geom.Point) {
+	acc := append([]geom.Point(nil), block...)
+	level := 0
+	for ; level < len(t.levels) && t.levels[level] != nil; level++ {
+		acc = append(acc, collectPoints(t.levels[level])...)
+		t.levels[level] = nil
+	}
+	for len(t.levels) <= level {
+		t.levels = append(t.levels, nil)
+	}
+	t.rebuilt += len(acc)
+	t.levels[level] = core.Build(t.mach, acc)
+}
+
+// collectPoints extracts the live points of a static level (the
+// dimension-0 forest elements partition them).
+func collectPoints(st *core.Tree) []geom.Point {
+	return st.AllPoints()
+}
+
+// DeleteBatch removes points (matched by ID and coordinates). Deleted
+// points accumulate in a shadow structure; counts subtract and reports
+// filter. Deleting more than half the live points is the natural moment
+// to Rebuild.
+func (t *Tree) DeleteBatch(pts []geom.Point) {
+	if t.shadow {
+		panic("dynamic: shadow trees do not support deletion")
+	}
+	if len(pts) == 0 {
+		return
+	}
+	if t.deleted == nil {
+		t.deleted = New(t.mach, t.dims, WithBase(t.base))
+		t.deleted.shadow = true
+	}
+	t.deleted.InsertBatch(pts)
+	t.n -= len(pts)
+}
+
+// Rebuild compacts everything (live minus deleted) into one static level,
+// resetting the deletion shadow.
+func (t *Tree) Rebuild() {
+	live := t.liveFilter(t.allRaw())
+	t.levels = nil
+	t.pending = nil
+	t.deleted = nil
+	if len(live) > 0 {
+		t.rebuilt += len(live)
+		t.levels = []*core.Tree{core.Build(t.mach, live)}
+	}
+	t.n = len(live)
+}
+
+// allRaw returns every stored point including deleted ones.
+func (t *Tree) allRaw() []geom.Point {
+	var out []geom.Point
+	for _, l := range t.levels {
+		if l != nil {
+			out = append(out, collectPoints(l)...)
+		}
+	}
+	out = append(out, t.pending...)
+	return out
+}
+
+// liveFilter removes deleted points.
+func (t *Tree) liveFilter(pts []geom.Point) []geom.Point {
+	if t.deleted == nil {
+		return pts
+	}
+	dead := make(map[int32]bool)
+	for _, p := range t.deleted.allRaw() {
+		dead[p.ID] = true
+	}
+	var out []geom.Point
+	for _, p := range pts {
+		if !dead[p.ID] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// CountBatch answers |R(q)| for every box: the sum over levels and the
+// pending buffer, minus the deleted shadow.
+func (t *Tree) CountBatch(boxes []geom.Box) []int64 {
+	out := make([]int64, len(boxes))
+	if len(boxes) == 0 {
+		return out
+	}
+	for _, l := range t.levels {
+		if l == nil {
+			continue
+		}
+		for i, c := range l.CountBatch(boxes) {
+			out[i] += c
+		}
+	}
+	for i, b := range boxes {
+		for _, p := range t.pending {
+			if b.Contains(p) {
+				out[i]++
+			}
+		}
+	}
+	if t.deleted != nil {
+		for i, c := range t.deleted.CountBatch(boxes) {
+			out[i] -= c
+		}
+	}
+	return out
+}
+
+// ReportBatch returns the live points of every box.
+func (t *Tree) ReportBatch(boxes []geom.Box) [][]geom.Point {
+	out := make([][]geom.Point, len(boxes))
+	if len(boxes) == 0 {
+		return out
+	}
+	for _, l := range t.levels {
+		if l == nil {
+			continue
+		}
+		for i, pts := range l.ReportBatch(boxes) {
+			out[i] = append(out[i], pts...)
+		}
+	}
+	for i, b := range boxes {
+		for _, p := range t.pending {
+			if b.Contains(p) {
+				out[i] = append(out[i], p)
+			}
+		}
+	}
+	for i := range out {
+		out[i] = t.liveFilter(out[i])
+	}
+	return out
+}
+
+// AggregateBatch folds val over every box with an invertible monoid
+// (group): levels add, the deletion shadow subtracts.
+func AggregateBatch[T any](t *Tree, m semigroup.Monoid[T], invert func(T) T, val func(geom.Point) T, boxes []geom.Box) []T {
+	out := make([]T, len(boxes))
+	for i := range out {
+		out[i] = m.Identity
+	}
+	if len(boxes) == 0 {
+		return out
+	}
+	for _, l := range t.levels {
+		if l == nil {
+			continue
+		}
+		h := core.PrepareAssociative(l, m, val)
+		for i, v := range h.Batch(boxes) {
+			out[i] = m.Combine(out[i], v)
+		}
+	}
+	for i, b := range boxes {
+		for _, p := range t.pending {
+			if b.Contains(p) {
+				out[i] = m.Combine(out[i], val(p))
+			}
+		}
+	}
+	if t.deleted != nil {
+		for i, v := range AggregateBatch(t.deleted, m, invert, val, boxes) {
+			out[i] = m.Combine(out[i], invert(v))
+		}
+	}
+	return out
+}

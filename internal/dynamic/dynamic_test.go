@@ -1,0 +1,243 @@
+package dynamic
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/brute"
+	"repro/internal/cgm"
+	"repro/internal/geom"
+	"repro/internal/semigroup"
+)
+
+func randomPoints(rng *rand.Rand, n, d int, idBase int32) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		x := make([]geom.Coord, d)
+		for j := range x {
+			x[j] = geom.Coord(rng.Intn(4 * (n + 1)))
+		}
+		pts[i] = geom.Point{ID: idBase + int32(i), X: x}
+	}
+	return pts
+}
+
+func randomBoxes(rng *rand.Rand, q, n, d int) []geom.Box {
+	boxes := make([]geom.Box, q)
+	for i := range boxes {
+		lo := make([]geom.Coord, d)
+		hi := make([]geom.Coord, d)
+		for j := 0; j < d; j++ {
+			a := geom.Coord(rng.Intn(4 * (n + 1)))
+			b := geom.Coord(rng.Intn(4 * (n + 1)))
+			if a > b {
+				a, b = b, a
+			}
+			lo[j], hi[j] = a, b
+		}
+		boxes[i] = geom.Box{Lo: lo, Hi: hi}
+	}
+	return boxes
+}
+
+func TestInsertThenQueryMatchesBrute(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 1 + rng.Intn(3)
+		p := 1 + rng.Intn(4)
+		mach := cgm.New(cgm.Config{P: p})
+		dt := New(mach, d, WithBase(2+rng.Intn(12)))
+		var all []geom.Point
+		batches := 1 + rng.Intn(5)
+		for b := 0; b < batches; b++ {
+			pts := randomPoints(rng, rng.Intn(40), d, int32(len(all)))
+			dt.InsertBatch(pts)
+			all = append(all, pts...)
+		}
+		if len(all) == 0 {
+			return dt.N() == 0
+		}
+		bf := brute.New(all)
+		boxes := randomBoxes(rng, 8, len(all), d)
+		counts := dt.CountBatch(boxes)
+		reports := dt.ReportBatch(boxes)
+		for i, b := range boxes {
+			if counts[i] != int64(bf.Count(b)) {
+				return false
+			}
+			if !reflect.DeepEqual(brute.IDs(reports[i]), brute.IDs(bf.Report(b))) {
+				return false
+			}
+		}
+		return dt.N() == len(all)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeleteBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	mach := cgm.New(cgm.Config{P: 4})
+	dt := New(mach, 2, WithBase(8))
+	pts := randomPoints(rng, 120, 2, 0)
+	dt.InsertBatch(pts)
+	// Delete every third point.
+	var dead []geom.Point
+	alive := map[int32]bool{}
+	for i, p := range pts {
+		if i%3 == 0 {
+			dead = append(dead, p)
+		} else {
+			alive[p.ID] = true
+		}
+	}
+	dt.DeleteBatch(dead)
+	if dt.N() != len(pts)-len(dead) {
+		t.Fatalf("N = %d, want %d", dt.N(), len(pts)-len(dead))
+	}
+	var livePts []geom.Point
+	for _, p := range pts {
+		if alive[p.ID] {
+			livePts = append(livePts, p)
+		}
+	}
+	bf := brute.New(livePts)
+	boxes := randomBoxes(rng, 15, 120, 2)
+	counts := dt.CountBatch(boxes)
+	reports := dt.ReportBatch(boxes)
+	for i, b := range boxes {
+		if counts[i] != int64(bf.Count(b)) {
+			t.Fatalf("query %d count %d want %d", i, counts[i], bf.Count(b))
+		}
+		if !reflect.DeepEqual(brute.IDs(reports[i]), brute.IDs(bf.Report(b))) {
+			t.Fatalf("query %d report mismatch", i)
+		}
+	}
+}
+
+func TestRebuildCompacts(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	mach := cgm.New(cgm.Config{P: 2})
+	dt := New(mach, 2, WithBase(4))
+	pts := randomPoints(rng, 60, 2, 0)
+	dt.InsertBatch(pts)
+	dt.DeleteBatch(pts[:30])
+	dt.Rebuild()
+	if dt.Levels() != 1 {
+		t.Errorf("after rebuild: %d levels, want 1", dt.Levels())
+	}
+	if dt.N() != 30 {
+		t.Errorf("after rebuild: N = %d, want 30", dt.N())
+	}
+	bf := brute.New(pts[30:])
+	boxes := randomBoxes(rng, 10, 60, 2)
+	counts := dt.CountBatch(boxes)
+	for i, b := range boxes {
+		if counts[i] != int64(bf.Count(b)) {
+			t.Fatalf("post-rebuild query %d wrong", i)
+		}
+	}
+}
+
+func TestLevelsAreBinaryCounter(t *testing.T) {
+	mach := cgm.New(cgm.Config{P: 2})
+	dt := New(mach, 1, WithBase(4))
+	// 7 blocks of base size → levels 0,1,2 occupied (binary 111).
+	for b := 0; b < 7; b++ {
+		dt.InsertBatch(randomPoints(rand.New(rand.NewSource(int64(b))), 4, 1, int32(b*4)))
+	}
+	if dt.Levels() != 3 {
+		t.Errorf("levels = %d, want 3 (binary 111)", dt.Levels())
+	}
+	if dt.N() != 28 {
+		t.Errorf("N = %d", dt.N())
+	}
+}
+
+func TestAmortizedRebuildMass(t *testing.T) {
+	// The logarithmic method rebuilds each point O(log(n/base)) times.
+	mach := cgm.New(cgm.Config{P: 2})
+	dt := New(mach, 1, WithBase(4))
+	total := 256
+	rng := rand.New(rand.NewSource(7))
+	dt.InsertBatch(randomPoints(rng, total, 1, 0))
+	perPoint := float64(dt.RebuiltPoints()) / float64(total)
+	if perPoint > 8 { // log2(256/4) = 6
+		t.Errorf("amortized rebuild mass %.1f per point, want ≤ ~log(n/base)", perPoint)
+	}
+}
+
+func TestAggregateBatchWithDeletes(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	mach := cgm.New(cgm.Config{P: 2})
+	dt := New(mach, 2, WithBase(8))
+	pts := randomPoints(rng, 80, 2, 0)
+	dt.InsertBatch(pts)
+	dt.DeleteBatch(pts[:20])
+	weight := func(p geom.Point) float64 { return float64(p.ID % 7) }
+	boxes := randomBoxes(rng, 10, 80, 2)
+	got := AggregateBatch(dt, semigroup.FloatSum(), func(x float64) float64 { return -x }, weight, boxes)
+	bf := brute.New(pts[20:])
+	for i, b := range boxes {
+		want := brute.Aggregate(bf, semigroup.FloatSum(), weight, b)
+		if got[i] != want {
+			t.Fatalf("aggregate %d = %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestEmptyTreeQueries(t *testing.T) {
+	mach := cgm.New(cgm.Config{P: 2})
+	dt := New(mach, 2)
+	boxes := randomBoxes(rand.New(rand.NewSource(1)), 3, 10, 2)
+	for _, c := range dt.CountBatch(boxes) {
+		if c != 0 {
+			t.Error("empty tree counted something")
+		}
+	}
+	for _, r := range dt.ReportBatch(boxes) {
+		if len(r) != 0 {
+			t.Error("empty tree reported something")
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	mach := cgm.New(cgm.Config{P: 2})
+	for name, fn := range map[string]func(){
+		"dims":    func() { New(mach, 0) },
+		"base":    func() { New(mach, 2, WithBase(0)) },
+		"raggedP": func() { New(mach, 2).InsertBatch([]geom.Point{{ID: 0, X: []geom.Coord{1}}}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPendingBufferOnly(t *testing.T) {
+	// Fewer points than base: everything answered from the pending scan.
+	mach := cgm.New(cgm.Config{P: 4})
+	dt := New(mach, 2, WithBase(100))
+	pts := randomPoints(rand.New(rand.NewSource(11)), 20, 2, 0)
+	dt.InsertBatch(pts)
+	if dt.Levels() != 0 {
+		t.Fatal("no level should exist yet")
+	}
+	bf := brute.New(pts)
+	boxes := randomBoxes(rand.New(rand.NewSource(12)), 10, 20, 2)
+	counts := dt.CountBatch(boxes)
+	for i, b := range boxes {
+		if counts[i] != int64(bf.Count(b)) {
+			t.Fatalf("pending-only query %d wrong", i)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package expt
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cgm"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+// E14 scores the theorem formulas as calibrated predictors: constants are
+// fitted from the two smallest machine widths, then Theorem 2's and
+// Theorem 3's formulas must predict the measured modelled time at every
+// larger width. A small geometric error means the implementation follows
+// the claimed complexity, not merely its trend.
+func E14(sc Scale) *Table {
+	t := &Table{
+		ID:    "E14",
+		Title: "Theorems as predictors: fitted T(p) = A·W/p + R·(B·s/p + L) vs measurement",
+		Note: "Constants fitted at p ∈ {1, 2}; rows show prediction vs measurement at " +
+			"larger p. err = max(pred/meas, meas/pred) per row; the final row is the " +
+			"geometric-mean error over the extrapolated widths (expect ≲ 2: the " +
+			"theorem formula, not a curve fit, carries the extrapolation).",
+		Header: []string{"algorithm", "p", "measured", "predicted", "err"},
+	}
+	n, d := 1<<12, 2
+	ps := []int{1, 2, 4, 8}
+	if sc == Full {
+		n = 1 << 13
+		ps = []int{1, 2, 4, 8, 16}
+	}
+	boxes := workload.Boxes(workload.QuerySpec{M: n, Dims: d, N: n, Selectivity: 0.001, Seed: 15})
+
+	type sample struct {
+		metrics cgm.Metrics
+		modelNS float64
+	}
+	construct := map[int]sample{}
+	search := map[int]sample{}
+	for _, p := range ps {
+		dt, bm := buildMeasured(n, d, p, 15)
+		construct[p] = sample{bm, float64(bm.ModelTime(cgm.DefaultG, cgm.DefaultL))}
+		dt.Machine().ResetMetrics()
+		dt.CountBatch(boxes)
+		sm := dt.Machine().Metrics()
+		search[p] = sample{sm, float64(sm.ModelTime(cgm.DefaultG, cgm.DefaultL))}
+	}
+
+	for _, alg := range []struct {
+		name     string
+		w        model.Workload
+		measured map[int]sample
+	}{
+		{"construct (Thm 2)", model.ConstructWorkload(n, d), construct},
+		{"search (Thm 3)", model.SearchWorkload(n, d, n), search},
+	} {
+		pm := model.Fit(alg.w, ps[0], alg.measured[ps[0]].metrics, ps[1], alg.measured[ps[1]].metrics, cgm.DefaultL)
+		extrapolated := map[int]float64{}
+		for _, p := range ps[2:] {
+			meas := alg.measured[p].modelNS
+			pred := model.Predict(alg.w, pm, p)
+			err := pred / meas
+			if err < 1 {
+				err = 1 / err
+			}
+			extrapolated[p] = meas
+			t.AddRow(alg.name, p,
+				time.Duration(meas).Round(time.Microsecond).String(),
+				time.Duration(pred).Round(time.Microsecond).String(),
+				fmt.Sprintf("%.2f", err))
+		}
+		t.AddRow(alg.name, "geo-mean", "-", "-",
+			fmt.Sprintf("%.2f", model.Score(alg.w, pm, extrapolated)))
+	}
+	return t
+}

@@ -1,0 +1,27 @@
+package kdtree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkBuild(b *testing.B) {
+	pts := randomPoints(rand.New(rand.NewSource(1)), 1<<14, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(pts)
+	}
+}
+
+func BenchmarkCount(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := randomPoints(rng, 1<<14, 2)
+	t := Build(pts)
+	bx := randomBox(rng, 1<<14, 2)
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		total += t.Count(bx)
+	}
+	_ = total
+}

@@ -1,0 +1,40 @@
+package layered
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkBuild2D(b *testing.B) {
+	pts := randomPoints(rand.New(rand.NewSource(1)), 1<<12, 2, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(pts)
+	}
+}
+
+func BenchmarkCount2D(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := randomPoints(rng, 1<<14, 2, true)
+	t := Build(pts)
+	bx := randomBox(rng, 1<<14, 2)
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		total += t.Count(bx)
+	}
+	_ = total
+}
+
+func BenchmarkCount3D(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := randomPoints(rng, 1<<12, 3, true)
+	t := Build(pts)
+	bx := randomBox(rng, 1<<12, 3)
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		total += t.Count(bx)
+	}
+	_ = total
+}

@@ -1,0 +1,340 @@
+// Package layered implements the layered range tree the paper cites as
+// the improved sequential structure (§1): "an improved version of this
+// structure, known as the layered range tree, saves a factor of log n in
+// the search time". The last two dimensions are replaced by one segment
+// tree whose nodes carry arrays sorted by the final coordinate, linked by
+// fractional-cascading bridges, so a d-dimensional query costs
+// O(log^(d-1) n + k) instead of O(log^d n + k).
+//
+// The package is a sequential extension experiment (E11); the distributed
+// algorithms of package core use plain range trees, as in the paper.
+package layered
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/segtree"
+)
+
+// Tree is a layered range tree over dimensions StartDim..Dims-1.
+// Three shapes:
+//   - one remaining dimension: a sorted array (binary search + scan);
+//   - two remaining dimensions: the cascaded structure;
+//   - more: a segment tree with descendant layered trees, exactly like the
+//     classical range tree's upper dimensions.
+type Tree struct {
+	Dims     int
+	StartDim int
+
+	// upper levels (Dims-StartDim > 2)
+	shape segtree.Shape
+	pts   []geom.Point // sorted by StartDim
+	desc  []*Tree
+
+	// two remaining dimensions
+	two *cascade
+
+	// one remaining dimension
+	one []geom.Point // sorted by the final coordinate
+}
+
+// cascade is the fractional-cascading structure for the final two
+// dimensions: a segment tree over dimension X whose every node stores its
+// points sorted by dimension Y plus bridges into its children's arrays.
+type cascade struct {
+	x, y  int // global dimension indices
+	shape segtree.Shape
+	byX   []geom.Point // leaf order (sorted by x)
+	// arr[v] is node v's points sorted by (y, ID); bridgeL/bridgeR[v][i]
+	// is the position in the left/right child's array of the first entry
+	// ≥ arr[v][i] (length len(arr[v])+1, last entry = child length).
+	arr     [][]geom.Point
+	bridgeL [][]int32
+	bridgeR [][]int32
+}
+
+// Build constructs a layered range tree over all dimensions of pts.
+func Build(pts []geom.Point) *Tree {
+	if len(pts) == 0 {
+		panic("layered: empty point set")
+	}
+	return BuildFrom(pts, 0)
+}
+
+// BuildFrom constructs a layered range tree over dimensions
+// startDim..Dims-1 only.
+func BuildFrom(pts []geom.Point, startDim int) *Tree {
+	if len(pts) == 0 {
+		panic("layered: empty point set")
+	}
+	dims := pts[0].Dims()
+	if startDim < 0 || startDim >= dims {
+		panic("layered: startDim out of range")
+	}
+	t := &Tree{Dims: dims, StartDim: startDim}
+	remaining := dims - startDim
+	switch {
+	case remaining == 1:
+		t.one = sortedBy(pts, startDim)
+	case remaining == 2:
+		t.two = buildCascade(pts, startDim, startDim+1)
+	default:
+		t.pts = sortedBy(pts, startDim)
+		t.shape = segtree.NewShape(len(t.pts))
+		t.desc = make([]*Tree, t.shape.NumNodes()+1)
+		var fill func(v int, sub []geom.Point)
+		fill = func(v int, sub []geom.Point) {
+			if len(sub) < 2 {
+				return
+			}
+			t.desc[v] = BuildFrom(sub, startDim+1)
+			lo, _ := t.shape.PosRange(v)
+			mid := lo + (t.shape.Cap >> (segtree.Depth(v) + 1))
+			if mid >= lo+len(sub) {
+				fill(segtree.Left(v), sub)
+				return
+			}
+			fill(segtree.Left(v), sub[:mid-lo])
+			fill(segtree.Right(v), sub[mid-lo:])
+		}
+		fill(t.shape.Root(), t.pts)
+	}
+	return t
+}
+
+func sortedBy(pts []geom.Point, dim int) []geom.Point {
+	out := make([]geom.Point, len(pts))
+	copy(out, pts)
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].X[dim] != out[b].X[dim] {
+			return out[a].X[dim] < out[b].X[dim]
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out
+}
+
+// buildCascade assembles the two-dimensional cascaded structure bottom-up:
+// each node's array is the merge of its children's, and the bridges are
+// recorded during the merge.
+func buildCascade(pts []geom.Point, x, y int) *cascade {
+	c := &cascade{x: x, y: y}
+	c.byX = sortedBy(pts, x)
+	c.shape = segtree.NewShape(len(c.byX))
+	n := c.shape.NumNodes() + 1
+	c.arr = make([][]geom.Point, n)
+	c.bridgeL = make([][]int32, n)
+	c.bridgeR = make([][]int32, n)
+	for pos, pt := range c.byX {
+		c.arr[c.shape.LeafNode(pos)] = []geom.Point{pt}
+	}
+	lessY := func(a, b geom.Point) bool {
+		if a.X[y] != b.X[y] {
+			return a.X[y] < b.X[y]
+		}
+		return a.ID < b.ID
+	}
+	for v := c.shape.Cap - 1; v >= 1; v-- {
+		l, r := c.arr[segtree.Left(v)], c.arr[segtree.Right(v)]
+		if len(l) == 0 && len(r) == 0 {
+			continue
+		}
+		merged := make([]geom.Point, 0, len(l)+len(r))
+		bl := make([]int32, 0, len(l)+len(r)+1)
+		br := make([]int32, 0, len(l)+len(r)+1)
+		i, j := 0, 0
+		for i < len(l) || j < len(r) {
+			bl = append(bl, int32(i))
+			br = append(br, int32(j))
+			if j >= len(r) || (i < len(l) && !lessY(r[j], l[i])) {
+				merged = append(merged, l[i])
+				i++
+			} else {
+				merged = append(merged, r[j])
+				j++
+			}
+		}
+		bl = append(bl, int32(len(l)))
+		br = append(br, int32(len(r)))
+		c.arr[v] = merged
+		c.bridgeL[v] = bl
+		c.bridgeR[v] = br
+	}
+	return c
+}
+
+// N reports the number of points.
+func (t *Tree) N() int {
+	switch {
+	case t.one != nil:
+		return len(t.one)
+	case t.two != nil:
+		return len(t.two.byX)
+	default:
+		return len(t.pts)
+	}
+}
+
+// Nodes reports the structure size in stored entries (array slots plus
+// tree nodes) — comparable to rangetree.Tree.Nodes for E11's space column.
+func (t *Tree) Nodes() int {
+	switch {
+	case t.one != nil:
+		return len(t.one)
+	case t.two != nil:
+		total := 0
+		for _, a := range t.two.arr {
+			total += len(a)
+		}
+		return total
+	default:
+		total := 0
+		for v := 1; v < 2*t.shape.Cap; v++ {
+			if t.shape.Count(v) == 0 {
+				continue
+			}
+			total++
+			if t.desc[v] != nil {
+				total += t.desc[v].Nodes()
+			}
+		}
+		return total
+	}
+}
+
+// Search enumerates the query result: ranges of cascaded arrays via sel
+// (array slice per canonical node) and individually verified points via
+// pt. Together they cover R(q) exactly once.
+func (t *Tree) Search(b geom.Box, sel func(pts []geom.Point), pt func(geom.Point)) {
+	if b.Dims() != t.Dims {
+		panic("layered: query dimensionality mismatch")
+	}
+	t.search(b, sel, pt)
+}
+
+func (t *Tree) search(b geom.Box, sel func([]geom.Point), pt func(geom.Point)) {
+	switch {
+	case t.one != nil:
+		dim := t.Dims - 1
+		iv := b.Dim(dim)
+		if iv.Empty() {
+			return
+		}
+		lo := sort.Search(len(t.one), func(i int) bool { return t.one[i].X[dim] >= iv.Lo })
+		hi := sort.Search(len(t.one), func(i int) bool { return t.one[i].X[dim] > iv.Hi })
+		if lo < hi {
+			sel(t.one[lo:hi])
+		}
+	case t.two != nil:
+		t.two.search(b, sel)
+	default:
+		iv := b.Dim(t.StartDim)
+		if iv.Empty() {
+			return
+		}
+		var descend func(v int)
+		descend = func(v int) {
+			lo, hi := t.shape.PosRange(v)
+			if lo >= t.shape.M {
+				return
+			}
+			if hi > t.shape.M {
+				hi = t.shape.M
+			}
+			span := geom.Interval{Lo: t.pts[lo].X[t.StartDim], Hi: t.pts[hi-1].X[t.StartDim]}
+			if !iv.Overlaps(span) {
+				return
+			}
+			if iv.ContainsInterval(span) {
+				if hi-lo == 1 {
+					p := t.pts[lo]
+					if b.ContainsFrom(p, t.StartDim+1) {
+						pt(p)
+					}
+					return
+				}
+				t.desc[v].search(b, sel, pt)
+				return
+			}
+			descend(segtree.Left(v))
+			descend(segtree.Right(v))
+		}
+		descend(t.shape.Root())
+	}
+}
+
+// search runs the cascaded two-dimensional query: one binary search at the
+// root, then O(1) bridge following per visited node.
+func (c *cascade) search(b geom.Box, sel func([]geom.Point)) {
+	ivx := b.Dim(c.x)
+	ivy := b.Dim(c.y)
+	if ivx.Empty() || ivy.Empty() || len(c.byX) == 0 {
+		return
+	}
+	root := c.shape.Root()
+	rootArr := c.arr[root]
+	yLo := searchY(rootArr, c.y, ivy.Lo)
+	yHi := len(rootArr)
+	if ivy.Hi < 1<<31-1 { // guard Hi+1 overflow on unbounded boxes
+		yHi = searchY(rootArr, c.y, ivy.Hi+1)
+	}
+	var descend func(v, pLo, pHi int)
+	descend = func(v, pLo, pHi int) {
+		if pLo >= pHi {
+			return // no y-matching points below
+		}
+		lo, hi := c.shape.PosRange(v)
+		if lo >= c.shape.M {
+			return
+		}
+		if hi > c.shape.M {
+			hi = c.shape.M
+		}
+		span := geom.Interval{Lo: c.byX[lo].X[c.x], Hi: c.byX[hi-1].X[c.x]}
+		if !ivx.Overlaps(span) {
+			return
+		}
+		if ivx.ContainsInterval(span) {
+			sel(c.arr[v][pLo:pHi])
+			return
+		}
+		descend(segtree.Left(v), int(c.bridgeL[v][pLo]), int(c.bridgeL[v][pHi]))
+		descend(segtree.Right(v), int(c.bridgeR[v][pLo]), int(c.bridgeR[v][pHi]))
+	}
+	descend(root, yLo, yHi)
+}
+
+// searchY returns the first index whose y-coordinate is ≥ bound (a manual
+// lower bound: this sits on the query hot path, where sort.Search's
+// closure overhead is measurable).
+func searchY(arr []geom.Point, y int, bound geom.Coord) int {
+	lo, hi := 0, len(arr)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if arr[mid].X[y] < bound {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Report returns the points of b.
+func (t *Tree) Report(b geom.Box) []geom.Point {
+	var out []geom.Point
+	t.Search(b,
+		func(pts []geom.Point) { out = append(out, pts...) },
+		func(p geom.Point) { out = append(out, p) })
+	return out
+}
+
+// Count returns |R(q)|.
+func (t *Tree) Count(b geom.Box) int {
+	total := 0
+	t.Search(b,
+		func(pts []geom.Point) { total += len(pts) },
+		func(geom.Point) { total++ })
+	return total
+}

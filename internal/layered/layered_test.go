@@ -1,0 +1,200 @@
+package layered
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/brute"
+	"repro/internal/geom"
+	"repro/internal/rangetree"
+)
+
+func randomPoints(rng *rand.Rand, n, d int, normalize bool) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		x := make([]geom.Coord, d)
+		for j := range x {
+			x[j] = geom.Coord(rng.Intn(3 * n))
+		}
+		pts[i] = geom.Point{ID: int32(i), X: x}
+	}
+	if normalize {
+		geom.RankNormalize(pts)
+	}
+	return pts
+}
+
+func randomBox(rng *rand.Rand, n, d int) geom.Box {
+	lo := make([]geom.Coord, d)
+	hi := make([]geom.Coord, d)
+	for j := 0; j < d; j++ {
+		a := geom.Coord(rng.Intn(3*n) - n/2)
+		b := geom.Coord(rng.Intn(3*n) - n/2)
+		if a > b {
+			a, b = b, a
+		}
+		lo[j], hi[j] = a, b
+	}
+	return geom.Box{Lo: lo, Hi: hi}
+}
+
+func TestEquivalenceWithBrute(t *testing.T) {
+	for _, normalize := range []bool{true, false} {
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			n := 1 + rng.Intn(130)
+			d := 1 + rng.Intn(4)
+			pts := randomPoints(rng, n, d, normalize)
+			lt := Build(pts)
+			bf := brute.New(pts)
+			for q := 0; q < 12; q++ {
+				b := randomBox(rng, n, d)
+				if lt.Count(b) != bf.Count(b) {
+					t.Logf("seed %d n=%d d=%d: count %d want %d", seed, n, d, lt.Count(b), bf.Count(b))
+					return false
+				}
+				if !reflect.DeepEqual(brute.IDs(lt.Report(b)), brute.IDs(bf.Report(b))) {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+			t.Errorf("normalize=%v: %v", normalize, err)
+		}
+	}
+}
+
+func TestMatchesRangeTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		n, d := 1+rng.Intn(120), 1+rng.Intn(3)
+		pts := randomPoints(rng, n, d, true)
+		lt := Build(pts)
+		rt := rangetree.Build(pts)
+		for q := 0; q < 8; q++ {
+			b := randomBox(rng, n, d)
+			if lt.Count(b) != rt.Count(b) {
+				t.Fatalf("layered %d vs rangetree %d", lt.Count(b), rt.Count(b))
+			}
+		}
+	}
+}
+
+func TestEmptyBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Build(nil)
+}
+
+func TestDimMismatchPanics(t *testing.T) {
+	lt := Build(randomPoints(rand.New(rand.NewSource(1)), 10, 2, true))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	lt.Count(geom.NewBox([]geom.Coord{1}, []geom.Coord{2}))
+}
+
+func TestBuildFromTrailingDims(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := randomPoints(rng, 60, 3, true)
+	el := BuildFrom(pts, 1)
+	bf := brute.New(pts)
+	for trial := 0; trial < 20; trial++ {
+		b := randomBox(rng, 60, 3)
+		b.Lo[0], b.Hi[0] = -1<<30, 1<<30
+		if el.Count(b) != bf.Count(b) {
+			t.Fatalf("element count %d want %d", el.Count(b), bf.Count(b))
+		}
+	}
+}
+
+func TestSpaceSavesLogFactor(t *testing.T) {
+	// At d=2 the layered tree stores Θ(n log n) array entries like the
+	// range tree's nodes, but at d=3 it replaces the last tree level with
+	// arrays: layered size must be strictly smaller.
+	rng := rand.New(rand.NewSource(7))
+	pts := randomPoints(rng, 512, 3, true)
+	lt := Build(pts).Nodes()
+	rt := rangetree.Build(pts).Nodes()
+	if lt >= rt {
+		t.Errorf("layered %d not smaller than range tree %d at d=3", lt, rt)
+	}
+}
+
+func TestSinglePointAndDuplicates(t *testing.T) {
+	pts := []geom.Point{{ID: 0, X: []geom.Coord{5, 5}}}
+	lt := Build(pts)
+	if lt.Count(geom.NewBox([]geom.Coord{5, 5}, []geom.Coord{5, 5})) != 1 {
+		t.Error("single point missed")
+	}
+	// All-equal coordinates.
+	dup := make([]geom.Point, 16)
+	for i := range dup {
+		dup[i] = geom.Point{ID: int32(i), X: []geom.Coord{7, 7}}
+	}
+	lt = Build(dup)
+	if got := lt.Count(geom.NewBox([]geom.Coord{7, 7}, []geom.Coord{7, 7})); got != 16 {
+		t.Errorf("duplicate count = %d, want 16", got)
+	}
+}
+
+func TestEmptyBoxQuery(t *testing.T) {
+	lt := Build(randomPoints(rand.New(rand.NewSource(9)), 40, 2, true))
+	b := geom.NewBox([]geom.Coord{30, 1}, []geom.Coord{2, 60})
+	if lt.Count(b) != 0 || lt.Report(b) != nil {
+		t.Error("inverted box must be empty")
+	}
+}
+
+// TestCascadeBridgesConsistent verifies the fractional-cascading invariant
+// directly: following a bridge from position i lands on the first child
+// entry not smaller than the parent entry at i.
+func TestCascadeBridgesConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pts := randomPoints(rng, 200, 2, true)
+	c := buildCascade(pts, 0, 1)
+	lessY := func(a, b geom.Point) bool {
+		if a.X[1] != b.X[1] {
+			return a.X[1] < b.X[1]
+		}
+		return a.ID < b.ID
+	}
+	for v := 1; v < c.shape.Cap; v++ {
+		arr := c.arr[v]
+		if arr == nil {
+			continue
+		}
+		for _, side := range []struct {
+			bridge []int32
+			child  []geom.Point
+		}{{c.bridgeL[v], c.arr[segtree_Left(v)]}, {c.bridgeR[v], c.arr[segtree_Right(v)]}} {
+			if side.bridge == nil {
+				continue
+			}
+			for i, p := range arr {
+				b := int(side.bridge[i])
+				// child[b] is the first entry ≥ arr[i]; child[b-1] < arr[i].
+				if b < len(side.child) && lessY(side.child[b], p) {
+					t.Fatalf("bridge too low at node %d pos %d", v, i)
+				}
+				if b > 0 && !lessY(side.child[b-1], p) {
+					t.Fatalf("bridge too high at node %d pos %d", v, i)
+				}
+			}
+			if int(side.bridge[len(arr)]) != len(side.child) {
+				t.Fatalf("terminal bridge wrong at node %d", v)
+			}
+		}
+	}
+}
+
+func segtree_Left(v int) int  { return 2 * v }
+func segtree_Right(v int) int { return 2*v + 1 }

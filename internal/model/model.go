@@ -1,0 +1,110 @@
+// Package model turns the paper's cost theorems into calibrated
+// predictions. Theorem 2 prices construction at O(s/p) local work plus a
+// constant number of h-relations; Theorem 3 prices the search of m = O(n)
+// queries at O(s·log n / p) plus the same communication term. Fitting the
+// two unknown constants (per-record work and effective bandwidth share)
+// against one measured configuration turns each theorem into a predictor
+// for every other (n, p) — the E14 experiment scores those predictions,
+// which is the strongest check that the implementation actually follows
+// the claimed complexity and not merely its shape.
+package model
+
+import (
+	"math"
+
+	"repro/internal/cgm"
+)
+
+// Workload sizes the theorem formulas. S is the structure size
+// (n·log^(d-1) n records), Rounds the algorithm's fixed superstep count,
+// and Work the theorem's local-computation term for one processor at p=1
+// (e.g. s for construction, s·log n for search).
+type Workload struct {
+	S      float64
+	Work   float64
+	Rounds int
+}
+
+// ConstructWorkload builds the Theorem 2 workload for (n, d).
+func ConstructWorkload(n, d int) Workload {
+	s := structureSize(n, d)
+	return Workload{S: s, Work: s, Rounds: 8 * d}
+}
+
+// SearchWorkload builds the Theorem 3 workload for m queries on (n, d).
+func SearchWorkload(n, d, m int) Workload {
+	s := structureSize(n, d)
+	// The batch bound is s·log n / p scaled by the batch fraction m/n.
+	return Workload{S: s, Work: s * math.Log2(float64(n)) * float64(m) / float64(n), Rounds: 5}
+}
+
+func structureSize(n, d int) float64 {
+	s := float64(n)
+	for i := 1; i < d; i++ {
+		s *= math.Log2(float64(n))
+	}
+	return s
+}
+
+// Params are the calibrated machine constants: A is the local cost per
+// work unit (ns), B the communication cost per record of h (ns), L the
+// per-round latency (ns).
+type Params struct {
+	A, B, L float64
+}
+
+// Predict evaluates the theorem formula T(p) = A·Work/p + Rounds·(B·S/p + L):
+// local work divided by p, plus the constant rounds each moving an
+// h = O(S/p) relation.
+func Predict(w Workload, pm Params, p int) float64 {
+	fp := float64(p)
+	return pm.A*w.Work/fp + float64(w.Rounds)*(pm.B*w.S/fp+pm.L)
+}
+
+// Fit calibrates Params from two measurements of the same workload at
+// different machine widths (p1 < p2), holding L fixed (the simulator's
+// configured round latency). Two equations in A and B:
+//
+//	T_i = A·Work/p_i + Rounds·B·S/p_i + Rounds·L
+func Fit(w Workload, p1 int, t1 cgm.Metrics, p2 int, t2 cgm.Metrics, l float64) Params {
+	y1 := float64(t1.ModelTime(cgm.DefaultG, cgm.DefaultL)) - float64(w.Rounds)*l
+	y2 := float64(t2.ModelTime(cgm.DefaultG, cgm.DefaultL)) - float64(w.Rounds)*l
+	// y_i = (A·Work + Rounds·B·S) / p_i — one effective constant; split it
+	// by attributing the measured communication volume share.
+	// Effective combined constant from the first point:
+	c1 := y1 * float64(p1)
+	c2 := y2 * float64(p2)
+	c := (c1 + c2) / 2
+	// Attribute to A and B proportionally to the workload terms, using
+	// the simulator's known g as the communication seed.
+	commShare := float64(w.Rounds) * cgm.DefaultG * w.S
+	if commShare > c {
+		commShare = c / 2
+	}
+	return Params{
+		A: (c - commShare) / w.Work,
+		B: cgm.DefaultG,
+		L: l,
+	}
+}
+
+// Score compares predictions against measurements: it returns the
+// geometric-mean multiplicative error over the (p, measured) pairs.
+func Score(w Workload, pm Params, measured map[int]float64) float64 {
+	if len(measured) == 0 {
+		return math.NaN()
+	}
+	logSum := 0.0
+	for p, t := range measured {
+		pred := Predict(w, pm, p)
+		if pred <= 0 || t <= 0 {
+			return math.Inf(1)
+		}
+		r := pred / t
+		if r < 1 {
+			r = 1 / r
+		}
+		logSum += math.Log(r)
+	}
+	return math.Exp(logSum / float64(len(measured)))
+}

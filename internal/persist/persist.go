@@ -1,0 +1,114 @@
+// Package persist serializes built structures. Because Algorithm
+// Construct is deterministic, the durable representation of a distributed
+// range tree is its rank-space point set plus the build parameters: saving
+// writes a versioned, checksummed snapshot; loading rebuilds the identical
+// structure (possibly on a machine of a different width — the snapshot is
+// machine-independent, exactly as a dataset moved between multicomputers
+// would be).
+package persist
+
+import (
+	"encoding/gob"
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"repro/internal/cgm"
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// Version is the snapshot format version.
+const Version = 1
+
+// Snapshot is the serializable description of a point set with optional
+// build parameters.
+type Snapshot struct {
+	Version  int
+	Dims     int
+	P        int // machine width at save time (informational)
+	Points   []geom.Point
+	Checksum uint64
+}
+
+// checksum folds every coordinate and ID into an FNV-1a hash.
+func checksum(pts []geom.Point) uint64 {
+	h := fnv.New64a()
+	buf := make([]byte, 4)
+	put := func(v int32) {
+		buf[0] = byte(v)
+		buf[1] = byte(v >> 8)
+		buf[2] = byte(v >> 16)
+		buf[3] = byte(v >> 24)
+		h.Write(buf)
+	}
+	for _, p := range pts {
+		put(p.ID)
+		for _, x := range p.X {
+			put(x)
+		}
+	}
+	return h.Sum64()
+}
+
+// Save writes a snapshot of the distributed tree.
+func Save(w io.Writer, t *core.Tree) error {
+	return SavePoints(w, t.AllPoints(), t.P())
+}
+
+// SavePoints writes a snapshot of a raw rank point set.
+func SavePoints(w io.Writer, pts []geom.Point, p int) error {
+	if len(pts) == 0 {
+		return fmt.Errorf("persist: refusing to save an empty point set")
+	}
+	snap := Snapshot{
+		Version:  Version,
+		Dims:     pts[0].Dims(),
+		P:        p,
+		Points:   pts,
+		Checksum: checksum(pts),
+	}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("persist: encoding snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadPoints reads and validates a snapshot.
+func LoadPoints(r io.Reader) (*Snapshot, error) {
+	var snap Snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("persist: decoding snapshot: %w", err)
+	}
+	if snap.Version != Version {
+		return nil, fmt.Errorf("persist: snapshot version %d, this build reads %d", snap.Version, Version)
+	}
+	if len(snap.Points) == 0 {
+		return nil, fmt.Errorf("persist: snapshot holds no points")
+	}
+	for i, p := range snap.Points {
+		if p.Dims() != snap.Dims {
+			return nil, fmt.Errorf("persist: point %d has %d dims, header says %d", i, p.Dims(), snap.Dims)
+		}
+	}
+	if got := checksum(snap.Points); got != snap.Checksum {
+		return nil, fmt.Errorf("persist: checksum mismatch: %x vs header %x", got, snap.Checksum)
+	}
+	return &snap, nil
+}
+
+// encodeRaw writes a snapshot without recomputing the checksum or version
+// (tests use it to craft invalid streams).
+func encodeRaw(w io.Writer, snap *Snapshot) error {
+	return gob.NewEncoder(w).Encode(*snap)
+}
+
+// Load reads a snapshot and rebuilds the distributed tree on mach (which
+// may have a different width than the saving machine).
+func Load(r io.Reader, mach *cgm.Machine) (*core.Tree, error) {
+	snap, err := LoadPoints(r)
+	if err != nil {
+		return nil, err
+	}
+	return core.Build(mach, snap.Points), nil
+}

@@ -1,0 +1,113 @@
+package persist
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/brute"
+	"repro/internal/cgm"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/workload"
+)
+
+func buildSample(n, d, p int) *core.Tree {
+	pts := workload.Points(workload.PointSpec{N: n, Dims: d, Dist: workload.Uniform, Seed: 7})
+	return core.Build(cgm.New(cgm.Config{P: p}), pts)
+}
+
+func TestRoundTripSameWidth(t *testing.T) {
+	dt := buildSample(200, 2, 4)
+	var buf bytes.Buffer
+	if err := Save(&buf, dt); err != nil {
+		t.Fatal(err)
+	}
+	dt2, err := Load(&buf, cgm.New(cgm.Config{P: 4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt2.Verify() != nil {
+		t.Fatal("reloaded tree fails verification")
+	}
+	// Identical query behaviour.
+	rng := rand.New(rand.NewSource(1))
+	for q := 0; q < 25; q++ {
+		lo := []geom.Coord{geom.Coord(rng.Intn(200)), geom.Coord(rng.Intn(200))}
+		hi := []geom.Coord{lo[0] + 30, lo[1] + 30}
+		b := geom.Box{Lo: lo, Hi: hi}
+		if dt.CountBatch([]geom.Box{b})[0] != dt2.CountBatch([]geom.Box{b})[0] {
+			t.Fatalf("reloaded tree disagrees on %v", b)
+		}
+	}
+}
+
+func TestRoundTripDifferentWidth(t *testing.T) {
+	dt := buildSample(150, 2, 8)
+	var buf bytes.Buffer
+	if err := Save(&buf, dt); err != nil {
+		t.Fatal(err)
+	}
+	dt2, err := Load(&buf, cgm.New(cgm.Config{P: 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt2.P() != 3 {
+		t.Fatalf("reloaded width %d", dt2.P())
+	}
+	bf := brute.New(dt.AllPoints())
+	b := geom.NewBox([]geom.Coord{10, 10}, []geom.Coord{100, 100})
+	if dt2.CountBatch([]geom.Box{b})[0] != int64(bf.Count(b)) {
+		t.Fatal("cross-width reload answers wrongly")
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	dt := buildSample(100, 2, 2)
+	var buf bytes.Buffer
+	if err := Save(&buf, dt); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte near the middle of the stream.
+	data := buf.Bytes()
+	data[len(data)/2] ^= 0x40
+	_, err := LoadPoints(bytes.NewReader(data))
+	if err == nil {
+		t.Fatal("corrupted snapshot accepted")
+	}
+}
+
+func TestVersionGuard(t *testing.T) {
+	pts := workload.Points(workload.PointSpec{N: 10, Dims: 1, Dist: workload.Uniform, Seed: 1})
+	var buf bytes.Buffer
+	if err := SavePoints(&buf, pts, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Re-encode with a bumped version by decoding raw and re-saving.
+	snap, err := LoadPoints(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.Version = 99
+	var buf2 bytes.Buffer
+	if err := encodeRaw(&buf2, snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPoints(&buf2); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("version mismatch not rejected: %v", err)
+	}
+}
+
+func TestEmptySaveRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SavePoints(&buf, nil, 1); err == nil {
+		t.Fatal("empty save accepted")
+	}
+}
+
+func TestGarbageStream(t *testing.T) {
+	if _, err := LoadPoints(strings.NewReader("not a snapshot")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,32 @@
+package psort
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cgm"
+)
+
+func BenchmarkSort(b *testing.B) {
+	for _, p := range []int{2, 8} {
+		b.Run(map[int]string{2: "p=2", 8: "p=8"}[p], func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			n := 1 << 14
+			all := make([]rec, n)
+			for i := range all {
+				all[i] = rec{Key: rng.Intn(1 << 20), ID: i}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m := cgm.New(cgm.Config{P: p})
+				m.Run(func(pr *cgm.Proc) {
+					var local []rec
+					for j := pr.Rank(); j < n; j += p {
+						local = append(local, all[j])
+					}
+					Sort(pr, "bench", local, lessRec)
+				})
+			}
+		})
+	}
+}

@@ -1,0 +1,178 @@
+// Package psort implements the sixth of the paper's standard operations:
+// parallel sort, used as a black box ("Goodrich's communication-efficient
+// sort can realize the communication operations in a constant number of
+// h-relations", §1). The implementation is deterministic sample sort with
+// regular sampling: a constant number of exchanges, each an h-relation
+// with h = O(N/p) once N/p ≥ p² (the coarse-grained assumption s/p ≥ p the
+// paper also makes).
+package psort
+
+import (
+	"sort"
+
+	"repro/internal/cgm"
+	"repro/internal/comm"
+)
+
+// Sort globally sorts the distributed data: processor i contributes local
+// and receives the i-th block of the sorted sequence, rebalanced to
+// ⌈N/p⌉/⌊N/p⌋ elements. less must be a strict total order (break ties —
+// e.g. by point ID — to keep the result deterministic).
+func Sort[T any](pr *cgm.Proc, label string, local []T, less func(a, b T) bool) []T {
+	p := pr.P()
+	own := make([]T, len(local))
+	copy(own, local)
+	sort.SliceStable(own, func(i, j int) bool { return less(own[i], own[j]) })
+	// p == 1 still performs the (empty) collective sequence below so that
+	// the number of communication rounds is identical for every machine
+	// width — the invariant the round-count experiments verify.
+
+	// Regular sampling: p evenly spaced local samples each, gathered
+	// everywhere; every processor deterministically derives p-1 splitters.
+	samples := make([]T, 0, p)
+	for k := 0; k < p; k++ {
+		if len(own) == 0 {
+			break
+		}
+		idx := (k*len(own) + len(own)/2) / p
+		if idx >= len(own) {
+			idx = len(own) - 1
+		}
+		samples = append(samples, own[idx])
+	}
+	allSamples := comm.AllGatherFlat(pr, label+"/sample", samples)
+	sort.SliceStable(allSamples, func(i, j int) bool { return less(allSamples[i], allSamples[j]) })
+	splitters := make([]T, 0, p-1)
+	if len(allSamples) > 0 {
+		for k := 1; k < p; k++ {
+			idx := k * len(allSamples) / p
+			if idx >= len(allSamples) {
+				idx = len(allSamples) - 1
+			}
+			splitters = append(splitters, allSamples[idx])
+		}
+	}
+
+	// Partition the locally sorted run by the splitters and exchange.
+	out := make([][]T, p)
+	if len(splitters) == 0 {
+		out[0] = own
+	} else {
+		start := 0
+		for j := 0; j < p; j++ {
+			end := len(own)
+			if j < len(splitters) {
+				sp := splitters[j]
+				end = start + sort.Search(len(own)-start, func(i int) bool {
+					return !less(own[start+i], sp)
+				})
+			}
+			out[j] = own[start:end]
+			start = end
+		}
+	}
+	parts := cgm.Exchange(pr, label+"/route", out)
+
+	// p-way merge of the sorted incoming runs (source order is a valid
+	// tie-break because partitioning was stable).
+	merged := mergeRuns(parts, less)
+
+	// Exact rebalance so every processor holds a same-sized block.
+	return comm.Rebalance(pr, label+"/balance", merged)
+}
+
+// mergeRuns merges sorted runs stably (earlier runs win ties).
+func mergeRuns[T any](runs [][]T, less func(a, b T) bool) []T {
+	total := 0
+	nonEmpty := 0
+	for _, r := range runs {
+		total += len(r)
+		if len(r) > 0 {
+			nonEmpty++
+		}
+	}
+	out := make([]T, 0, total)
+	if nonEmpty == 0 {
+		return out
+	}
+	// Simple iterative binary merging keeps the code free of heap
+	// bookkeeping; the run count is p, so the extra log p factor is
+	// irrelevant next to N/p log N/p local sorting.
+	live := make([][]T, 0, nonEmpty)
+	for _, r := range runs {
+		if len(r) > 0 {
+			live = append(live, r)
+		}
+	}
+	for len(live) > 1 {
+		var next [][]T
+		for i := 0; i < len(live); i += 2 {
+			if i+1 == len(live) {
+				next = append(next, live[i])
+				break
+			}
+			next = append(next, merge2(live[i], live[i+1], less))
+		}
+		live = next
+	}
+	return append(out, live[0]...)
+}
+
+func merge2[T any](a, b []T, less func(x, y T) bool) []T {
+	out := make([]T, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if less(b[j], a[i]) {
+			out = append(out, b[j])
+			j++
+		} else {
+			out = append(out, a[i])
+			i++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// boundary carries a processor's first and last element for the global
+// sortedness check.
+type boundary[T any] struct {
+	Has         bool
+	LocalOK     bool
+	First, Last T
+}
+
+// IsGloballySorted verifies (with one all-gather of boundary elements)
+// that the distributed data is globally sorted; tests and assertions use
+// it.
+func IsGloballySorted[T any](pr *cgm.Proc, label string, local []T, less func(a, b T) bool) bool {
+	// The collective must run unconditionally (SPMD), so fold the local
+	// verdict into the exchanged boundary record.
+	e := boundary[T]{LocalOK: true}
+	for i := 1; i < len(local); i++ {
+		if less(local[i], local[i-1]) {
+			e.LocalOK = false
+		}
+	}
+	if len(local) > 0 {
+		e.Has = true
+		e.First, e.Last = local[0], local[len(local)-1]
+	}
+	edges := comm.AllGatherFlat(pr, label, []boundary[T]{e})
+	ok := true
+	var prev *T
+	for i := range edges {
+		if !edges[i].LocalOK {
+			ok = false
+		}
+		if !edges[i].Has {
+			continue
+		}
+		if prev != nil && less(edges[i].First, *prev) {
+			ok = false
+		}
+		last := edges[i].Last
+		prev = &last
+	}
+	return ok
+}

@@ -1,0 +1,202 @@
+package psort
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cgm"
+)
+
+type rec struct {
+	Key, ID int
+}
+
+func lessRec(a, b rec) bool {
+	if a.Key != b.Key {
+		return a.Key < b.Key
+	}
+	return a.ID < b.ID
+}
+
+// runSort distributes vals round-robin over p procs, sorts, and returns
+// the concatenation in rank order plus the per-proc block sizes.
+func runSort(t *testing.T, p int, vals []rec) ([]rec, []int) {
+	t.Helper()
+	m := cgm.New(cgm.Config{P: p})
+	blocks := make([][]rec, p)
+	m.Run(func(pr *cgm.Proc) {
+		var local []rec
+		for i := pr.Rank(); i < len(vals); i += p {
+			local = append(local, vals[i])
+		}
+		blocks[pr.Rank()] = Sort(pr, "sort", local, lessRec)
+	})
+	var flat []rec
+	sizes := make([]int, p)
+	for i, b := range blocks {
+		sizes[i] = len(b)
+		flat = append(flat, b...)
+	}
+	return flat, sizes
+}
+
+func TestSortMatchesSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := 1 + rng.Intn(8)
+		n := rng.Intn(200)
+		vals := make([]rec, n)
+		for i := range vals {
+			vals[i] = rec{Key: rng.Intn(20), ID: i}
+		}
+		got, sizes := runSort(t, p, vals)
+		want := append([]rec(nil), vals...)
+		sort.Slice(want, func(i, j int) bool { return lessRec(want[i], want[j]) })
+		if !reflect.DeepEqual(got, want) {
+			return false
+		}
+		// Balance: block sizes differ by at most one.
+		mn, mx := n, 0
+		for _, s := range sizes {
+			if s < mn {
+				mn = s
+			}
+			if s > mx {
+				mx = s
+			}
+		}
+		return mx-mn <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	vals := make([]rec, 500)
+	for i := range vals {
+		vals[i] = rec{Key: rng.Intn(10), ID: i}
+	}
+	a, _ := runSort(t, 5, vals)
+	b, _ := runSort(t, 5, vals)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("sort not deterministic across runs")
+	}
+}
+
+func TestSortEmptyAndSingle(t *testing.T) {
+	if got, _ := runSort(t, 4, nil); len(got) != 0 {
+		t.Error("empty sort should stay empty")
+	}
+	got, _ := runSort(t, 4, []rec{{Key: 9, ID: 0}})
+	if len(got) != 1 || got[0].Key != 9 {
+		t.Errorf("single-element sort = %v", got)
+	}
+}
+
+func TestSortAllEqualKeys(t *testing.T) {
+	vals := make([]rec, 64)
+	for i := range vals {
+		vals[i] = rec{Key: 7, ID: i}
+	}
+	got, sizes := runSort(t, 4, vals)
+	for i, v := range got {
+		if v.ID != i {
+			t.Fatalf("tie order broken at %d: %v", i, v)
+		}
+	}
+	for _, s := range sizes {
+		if s != 16 {
+			t.Fatalf("unbalanced under equal keys: %v", sizes)
+		}
+	}
+}
+
+func TestSortDoesNotMutateInput(t *testing.T) {
+	m := cgm.New(cgm.Config{P: 2})
+	m.Run(func(pr *cgm.Proc) {
+		local := []rec{{3, 0}, {1, 1}, {2, 2}}
+		Sort(pr, "s", local, lessRec)
+		if local[0].Key != 3 {
+			t.Error("Sort mutated the caller's slice")
+		}
+	})
+}
+
+func TestSortConstantRounds(t *testing.T) {
+	// The paper uses sort as a black box costing O(1) h-relations; verify
+	// the round count is independent of n.
+	rounds := func(n int) int {
+		m := cgm.New(cgm.Config{P: 4})
+		m.Run(func(pr *cgm.Proc) {
+			local := make([]rec, n/4)
+			for i := range local {
+				local[i] = rec{Key: (i*7 + pr.Rank()) % 101, ID: pr.Rank()*n + i}
+			}
+			Sort(pr, "s", local, lessRec)
+		})
+		return m.Metrics().CommRounds()
+	}
+	r1, r2 := rounds(400), rounds(4000)
+	if r1 != r2 {
+		t.Errorf("rounds vary with n: %d vs %d", r1, r2)
+	}
+	if r1 > 5 {
+		t.Errorf("sample sort uses %d rounds, want ≤ 5", r1)
+	}
+}
+
+func TestSortHBound(t *testing.T) {
+	// Regular sampling bounds every processor's receive volume by ~2N/p
+	// once N/p ≥ p²; check a comfortable 3N/p.
+	n, p := 8192, 8
+	m := cgm.New(cgm.Config{P: p})
+	rng := rand.New(rand.NewSource(1))
+	all := make([]rec, n)
+	for i := range all {
+		all[i] = rec{Key: rng.Intn(1 << 20), ID: i}
+	}
+	m.Run(func(pr *cgm.Proc) {
+		var local []rec
+		for i := pr.Rank(); i < n; i += p {
+			local = append(local, all[i])
+		}
+		Sort(pr, "s", local, lessRec)
+	})
+	if h := m.Metrics().MaxH(); h > 3*n/p {
+		t.Errorf("MaxH = %d, want ≤ %d", h, 3*n/p)
+	}
+}
+
+func TestIsGloballySorted(t *testing.T) {
+	m := cgm.New(cgm.Config{P: 3})
+	var ok1, ok2 [3]bool
+	m.Run(func(pr *cgm.Proc) {
+		sorted := []int{pr.Rank() * 10, pr.Rank()*10 + 5}
+		ok1[pr.Rank()] = IsGloballySorted(pr, "chk1", sorted, func(a, b int) bool { return a < b })
+		broken := []int{100 - pr.Rank()}
+		ok2[pr.Rank()] = IsGloballySorted(pr, "chk2", broken, func(a, b int) bool { return a < b })
+	})
+	for i := 0; i < 3; i++ {
+		if !ok1[i] {
+			t.Error("sorted data reported unsorted")
+		}
+		if ok2[i] {
+			t.Error("unsorted data reported sorted")
+		}
+	}
+}
+
+func TestIsGloballySortedLocalViolation(t *testing.T) {
+	m := cgm.New(cgm.Config{P: 2})
+	m.Run(func(pr *cgm.Proc) {
+		bad := []int{2, 1}
+		if IsGloballySorted(pr, "chk", bad, func(a, b int) bool { return a < b }) {
+			t.Error("local violation missed")
+		}
+	})
+}

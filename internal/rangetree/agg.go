@@ -1,0 +1,74 @@
+package rangetree
+
+import (
+	"repro/internal/geom"
+	"repro/internal/segtree"
+	"repro/internal/semigroup"
+)
+
+// Agg annotates the last-dimension segment trees of a range tree with
+// bottom-up semigroup values, realising the paper's associative-function
+// mode (§4.2, Algorithm AssociativeFunction step 1: "compute f(v) bottom-up
+// for each node v in dimension d of T"). One Tree can carry several Agg
+// annotations for different monoids.
+type Agg[T any] struct {
+	tree *Tree
+	m    semigroup.Monoid[T]
+	val  func(geom.Point) T
+	// tab[seg] holds the per-heap-node aggregates of one last-dimension
+	// segment tree.
+	tab map[*Seg][]T
+}
+
+// NewAgg computes the annotation for monoid m with per-point value val.
+func NewAgg[T any](t *Tree, m semigroup.Monoid[T], val func(geom.Point) T) *Agg[T] {
+	a := &Agg[T]{tree: t, m: m, val: val, tab: make(map[*Seg][]T)}
+	a.walk(t)
+	return a
+}
+
+func (a *Agg[T]) walk(t *Tree) {
+	if t.StartDim == t.Dims-1 {
+		a.annotate(t.Prim)
+		return
+	}
+	s := t.Prim
+	for v := 1; v < s.Shape.NumNodes()+1; v++ {
+		if s.Desc != nil && s.Desc[v] != nil {
+			a.walk(s.Desc[v])
+		}
+	}
+}
+
+// annotate fills the node table of one last-dimension segment tree
+// bottom-up: leaves take f(point) (identity for padding), internal nodes
+// combine their children.
+func (a *Agg[T]) annotate(s *Seg) {
+	n := s.Shape.NumNodes()
+	tab := make([]T, n+1)
+	for pos := 0; pos < s.Shape.Cap; pos++ {
+		v := s.Shape.LeafNode(pos)
+		if pos < s.Shape.M {
+			tab[v] = a.val(s.Pts[pos])
+		} else {
+			tab[v] = a.m.Identity
+		}
+	}
+	for v := s.Shape.Cap - 1; v >= 1; v-- {
+		tab[v] = a.m.Combine(tab[segtree.Left(v)], tab[segtree.Right(v)])
+	}
+	a.tab[s] = tab
+}
+
+// Query evaluates ⊗_{l∈R(q)} f(l) for box b.
+func (a *Agg[T]) Query(b geom.Box) T {
+	acc := a.m.Identity
+	a.tree.Search(b,
+		func(sl Selection) { acc = a.m.Combine(acc, a.tab[sl.Seg][sl.Node]) },
+		func(p geom.Point) { acc = a.m.Combine(acc, a.val(p)) })
+	return acc
+}
+
+// Value returns the annotation of one selection (used by the distributed
+// algorithms, which combine across processors).
+func (a *Agg[T]) Value(sl Selection) T { return a.tab[sl.Seg][sl.Node] }

@@ -1,0 +1,71 @@
+package rangetree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/semigroup"
+)
+
+func benchSetup(n, d int) ([]geom.Point, []geom.Box) {
+	rng := rand.New(rand.NewSource(1))
+	pts := randomPoints(rng, n, d, true)
+	boxes := make([]geom.Box, 256)
+	for i := range boxes {
+		boxes[i] = randomBox(rng, n, d)
+	}
+	return pts, boxes
+}
+
+func BenchmarkBuild2D(b *testing.B) {
+	pts, _ := benchSetup(1<<12, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(pts)
+	}
+}
+
+func BenchmarkBuild3D(b *testing.B) {
+	pts, _ := benchSetup(1<<10, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(pts)
+	}
+}
+
+func BenchmarkCount2D(b *testing.B) {
+	pts, boxes := benchSetup(1<<14, 2)
+	t := Build(pts)
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		total += t.Count(boxes[i%len(boxes)])
+	}
+	_ = total
+}
+
+func BenchmarkReport2D(b *testing.B) {
+	pts, boxes := benchSetup(1<<14, 2)
+	t := Build(pts)
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		total += len(t.Report(boxes[i%len(boxes)]))
+	}
+	_ = total
+}
+
+func BenchmarkAggQuery(b *testing.B) {
+	pts, boxes := benchSetup(1<<12, 2)
+	t := Build(pts)
+	agg := NewAgg(t, semigroup.FloatSum(), func(p geom.Point) float64 { return float64(p.ID) })
+	b.ResetTimer()
+	total := 0.0
+	for i := 0; i < b.N; i++ {
+		total += agg.Query(boxes[i%len(boxes)])
+	}
+	_ = total
+}

@@ -1,0 +1,291 @@
+// Package rangetree implements the sequential d-dimensional range tree of
+// the paper's Definition 1: a primary segment tree over the first
+// discriminated dimension in which every node v with at least two points
+// carries a pointer descendant(v) to a range tree over W(v) — the points
+// whose coordinate lies in v's interval — for the remaining dimensions.
+//
+// The structure needs O(n·log^(d-1) n) space and construction time and
+// answers a box query in O(log^d n + k) (§2, [18]). It serves three roles
+// in this repository: the reference implementation queries are tested
+// against, the sequential building block Algorithm Construct runs on each
+// processor to build forest elements, and the baseline for the E5/E8
+// experiments.
+package rangetree
+
+import (
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/segtree"
+)
+
+// Seg is one segment tree of the range tree: the complete binary tree over
+// the points projected onto one dimension (§2.1). Node identifiers are the
+// heap indices of segtree.Shape.
+type Seg struct {
+	Shape segtree.Shape
+	// Dim is the global (0-based) dimension this tree discriminates.
+	Dim int
+	// Pts holds the leaf points in increasing order of X[Dim]
+	// (ties by ID). Pts[i] belongs to leaf position i.
+	Pts []geom.Point
+	// Desc[v] is descendant(v): the range tree over W(v) for the remaining
+	// dimensions. It is nil for leaves, single-point nodes (handled
+	// directly during search), padding nodes, and in the last dimension.
+	Desc []*Tree
+}
+
+// Coord returns the discriminated coordinate of leaf position i.
+func (s *Seg) Coord(i int) geom.Coord { return s.Pts[i].X[s.Dim] }
+
+// Span returns the closed coordinate interval covered by node v and
+// whether the node covers any real point.
+func (s *Seg) Span(v int) (geom.Interval, bool) {
+	lo, hi := s.Shape.PosRange(v)
+	if lo >= s.Shape.M {
+		return geom.Interval{}, false
+	}
+	if hi > s.Shape.M {
+		hi = s.Shape.M
+	}
+	return geom.Interval{Lo: s.Coord(lo), Hi: s.Coord(hi - 1)}, true
+}
+
+// PointsUnder returns the points below node v in leaf order.
+func (s *Seg) PointsUnder(v int) []geom.Point {
+	lo, hi := s.Shape.PosRange(v)
+	if lo >= s.Shape.M {
+		return nil
+	}
+	if hi > s.Shape.M {
+		hi = s.Shape.M
+	}
+	return s.Pts[lo:hi]
+}
+
+// Tree is a range tree over dimensions StartDim..Dims-1 of its points.
+// The top-level tree of a d-dimensional point set has StartDim 0; the
+// descendant trees and the paper's forest elements start deeper.
+type Tree struct {
+	// Dims is the dimensionality of the stored points.
+	Dims int
+	// StartDim is the first dimension this tree discriminates (0-based).
+	StartDim int
+	// Prim is the primary segment tree (in dimension StartDim).
+	Prim *Seg
+}
+
+// Build constructs a range tree over all dimensions of pts. Coordinates
+// within one dimension should be distinct (the paper's rank normalization,
+// geom.RankNormalize); duplicate coordinates are still handled correctly
+// because all ordering is by (coordinate, ID).
+func Build(pts []geom.Point) *Tree {
+	if len(pts) == 0 {
+		panic("rangetree: empty point set")
+	}
+	return BuildFrom(pts, 0)
+}
+
+// BuildFrom constructs a range tree discriminating dimensions
+// startDim..Dims-1 only — the shape of the paper's forest elements, which
+// are range trees "of dimension j ≤ d" (Definition 3).
+func BuildFrom(pts []geom.Point, startDim int) *Tree {
+	if len(pts) == 0 {
+		panic("rangetree: empty point set")
+	}
+	dims := pts[0].Dims()
+	if startDim < 0 || startDim >= dims {
+		panic("rangetree: startDim out of range")
+	}
+	// One sorted order per remaining dimension; each build level consumes
+	// the first and splits the rest stably down the heap, keeping the
+	// construction within the O(n log^(d-1) n) bound.
+	orders := make([][]geom.Point, dims-startDim)
+	for k := range orders {
+		dim := startDim + k
+		o := make([]geom.Point, len(pts))
+		copy(o, pts)
+		sort.Slice(o, func(a, b int) bool { return lessInDim(o[a], o[b], dim) })
+		orders[k] = o
+	}
+	return buildTree(orders, startDim, dims)
+}
+
+// lessInDim orders points by (X[dim], ID) — a total order even with
+// duplicate coordinates.
+func lessInDim(a, b geom.Point, dim int) bool {
+	if a.X[dim] != b.X[dim] {
+		return a.X[dim] < b.X[dim]
+	}
+	return a.ID < b.ID
+}
+
+// buildTree builds the tree for orders[0] and recursively attaches
+// descendant trees built from the remaining orders.
+func buildTree(orders [][]geom.Point, startDim, dims int) *Tree {
+	prim := &Seg{
+		Shape: segtree.NewShape(len(orders[0])),
+		Dim:   startDim,
+		Pts:   orders[0],
+	}
+	t := &Tree{Dims: dims, StartDim: startDim, Prim: prim}
+	if startDim == dims-1 {
+		return t
+	}
+	prim.Desc = make([]*Tree, prim.Shape.NumNodes()+1)
+	// Split the remaining orders down the heap; a node with at least two
+	// points gets descendant(v) built from its own slice of every order.
+	var fill func(v int, tails [][]geom.Point)
+	fill = func(v int, tails [][]geom.Point) {
+		c := prim.Shape.Count(v)
+		if c < 2 {
+			return
+		}
+		lo, _ := prim.Shape.PosRange(v)
+		mid := lo + (prim.Shape.Cap >> (segtree.Depth(v) + 1)) // first position of right child
+		if mid < prim.Shape.M {
+			// Both children have real points: split each tail stably by
+			// comparing against the first point of the right child.
+			pivot := prim.Pts[mid]
+			lefts := make([][]geom.Point, len(tails))
+			rights := make([][]geom.Point, len(tails))
+			for k, tail := range tails {
+				l := make([]geom.Point, 0, c/2+1)
+				r := make([]geom.Point, 0, c/2+1)
+				for _, p := range tail {
+					if lessInDim(p, pivot, startDim) {
+						l = append(l, p)
+					} else {
+						r = append(r, p)
+					}
+				}
+				lefts[k], rights[k] = l, r
+			}
+			fill(segtree.Left(v), lefts)
+			fill(segtree.Right(v), rights)
+		} else {
+			// All real points are in the left child.
+			fill(segtree.Left(v), tails)
+		}
+		prim.Desc[v] = buildTree(tails, startDim+1, dims)
+	}
+	fill(prim.Shape.Root(), orders[1:])
+	return t
+}
+
+// N reports the number of points in the tree.
+func (t *Tree) N() int { return t.Prim.Shape.M }
+
+// Nodes reports the total number of real tree nodes across all segment
+// trees (the paper's s = O(n·log^(d-1) n) space measure). Padding slots
+// are not counted.
+func (t *Tree) Nodes() int {
+	total := 0
+	for v := 1; v < 2*t.Prim.Shape.Cap; v++ {
+		if t.Prim.Shape.Count(v) == 0 {
+			continue
+		}
+		total++
+		if t.Prim.Desc != nil && t.Prim.Desc[v] != nil {
+			total += t.Prim.Desc[v].Nodes()
+		}
+	}
+	return total
+}
+
+// Selection is one outcome of the search of §4: a segment tree node in the
+// last dimension all of whose leaves lie in the query domain ("the segment
+// tree rooted at v should be selected by q").
+type Selection struct {
+	Seg  *Seg
+	Node int
+}
+
+// Count reports the number of points the selection covers.
+func (s Selection) Count() int { return s.Seg.Shape.Count(s.Node) }
+
+// Points returns the covered points in leaf order.
+func (s Selection) Points() []geom.Point { return s.Seg.PointsUnder(s.Node) }
+
+// Search runs the paper's four-case query descent (§4) for box b over the
+// dimensions the tree discriminates. For every maximal last-dimension node
+// whose leaves all match, sel is called; for single points that match the
+// whole remaining box, pt is called. Together these cover exactly the
+// points of b, each once.
+func (t *Tree) Search(b geom.Box, sel func(Selection), pt func(geom.Point)) {
+	if b.Dims() != t.Dims {
+		panic("rangetree: query dimensionality mismatch")
+	}
+	// Dimensions before StartDim are not discriminated by this tree
+	// (forest elements); the caller guarantees them structurally.
+	t.search(b, sel, pt)
+}
+
+func (t *Tree) search(b geom.Box, sel func(Selection), pt func(geom.Point)) {
+	iv := b.Dim(t.Prim.Dim)
+	if iv.Empty() {
+		return
+	}
+	s := t.Prim
+	last := t.StartDim == t.Dims-1
+	var descend func(v int)
+	descend = func(v int) {
+		span, ok := s.Span(v)
+		if !ok || !iv.Overlaps(span) {
+			return // case 4: segments do not overlap — the query is deleted
+		}
+		if iv.ContainsInterval(span) {
+			c := s.Shape.Count(v)
+			switch {
+			case c == 1:
+				// A single point: resolve the remaining dimensions directly.
+				p := s.PointsUnder(v)[0]
+				if b.ContainsFrom(p, t.Prim.Dim+1) {
+					pt(p)
+				}
+			case last:
+				// Case 2: j = d — select the segment tree rooted at v.
+				sel(Selection{Seg: s, Node: v})
+			default:
+				// Case 1: equal segments, j < d — proceed to the next
+				// dimension at the root of descendant(v).
+				s.Desc[v].search(b, sel, pt)
+			}
+			return
+		}
+		// Case 3: overlap but not containment — split into the children.
+		descend(segtree.Left(v))
+		descend(segtree.Right(v))
+	}
+	descend(s.Shape.Root())
+}
+
+// Report returns the points of b in deterministic order (report mode).
+func (t *Tree) Report(b geom.Box) []geom.Point {
+	var out []geom.Point
+	t.Search(b,
+		func(sl Selection) { out = append(out, sl.Points()...) },
+		func(p geom.Point) { out = append(out, p) })
+	return out
+}
+
+// Count returns |R(q)| (the counting special case of the
+// associative-function mode).
+func (t *Tree) Count(b geom.Box) int {
+	total := 0
+	t.Search(b,
+		func(sl Selection) { total += sl.Count() },
+		func(geom.Point) { total++ })
+	return total
+}
+
+// Selections returns the paper's Q′ for a single query: the selected
+// last-dimension segment trees plus the individually matched points.
+func (t *Tree) Selections(b geom.Box) ([]Selection, []geom.Point) {
+	var sels []Selection
+	var pts []geom.Point
+	t.Search(b,
+		func(sl Selection) { sels = append(sels, sl) },
+		func(p geom.Point) { pts = append(pts, p) })
+	return sels, pts
+}

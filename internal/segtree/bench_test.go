@@ -1,0 +1,41 @@
+package segtree
+
+import "testing"
+
+func BenchmarkCover(b *testing.B) {
+	s := NewShape(1 << 20)
+	n := 0
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		lo := (i * 48271) % (1 << 19)
+		s.Cover(lo, lo+(1<<18), func(int) { n++ })
+	}
+	_ = n
+}
+
+func BenchmarkStubs(b *testing.B) {
+	s := NewShape(1 << 16)
+	for i := 0; i < b.N; i++ {
+		if len(s.Stubs(1<<10)) == 0 {
+			b.Fatal("no stubs")
+		}
+	}
+}
+
+func BenchmarkPathKeyExtend(b *testing.B) {
+	b.ReportAllocs()
+	k := RootPathKey
+	for i := 0; i < b.N; i++ {
+		k = RootPathKey.Extend(i&0xffff + 1)
+	}
+	_ = k
+}
+
+func BenchmarkCount(b *testing.B) {
+	s := NewShape(1<<20 - 7)
+	total := 0
+	for i := 0; i < b.N; i++ {
+		total += s.Count(i%(2*s.Cap-1) + 1)
+	}
+	_ = total
+}

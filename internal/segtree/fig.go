@@ -1,0 +1,33 @@
+package segtree
+
+import "fmt"
+
+// FigSegment returns the segment the paper's Figure 1 associates with node
+// v of a (1, n) segment tree over leaves 1..n: the i-th leaf carries
+// [i, i+1) for i < n and the last leaf carries the degenerate closed
+// segment [n, n]; an internal node carries the union of its children's
+// segments. The bool result reports whether the right endpoint is closed.
+func (s Shape) FigSegment(v int) (lo, hi int, closed bool) {
+	plo, phi := s.PosRange(v)
+	if phi > s.M {
+		phi = s.M
+	}
+	if plo >= phi { // padding-only node
+		return 0, 0, false
+	}
+	lo = plo + 1
+	if phi == s.M { // includes the last leaf [n, n]
+		return lo, s.M, true
+	}
+	return lo, phi + 1, false
+}
+
+// FigSegmentString renders the node's segment like the figure: "[3,5)" or
+// "[7,8]".
+func (s Shape) FigSegmentString(v int) string {
+	lo, hi, closed := s.FigSegment(v)
+	if closed {
+		return fmt.Sprintf("[%d,%d]", lo, hi)
+	}
+	return fmt.Sprintf("[%d,%d)", lo, hi)
+}

@@ -1,0 +1,90 @@
+package segtree
+
+import (
+	"testing"
+)
+
+// TestIndexDefinition2 checks the Index arithmetic against Definition 2:
+// root of T has index 1, left child 2x, right child 2x+1, and the root of
+// a descendant tree inherits the index of its ancestor node.
+func TestIndexDefinition2(t *testing.T) {
+	// Within the primary tree (anchor 1).
+	if Index(1, 1) != 1 {
+		t.Error("root of T must have index 1")
+	}
+	if Index(1, 2) != 2 || Index(1, 3) != 3 || Index(1, 4) != 4 || Index(1, 7) != 7 {
+		t.Error("heap nodes of the primary tree must keep their heap index")
+	}
+	// A descendant tree anchored at a node with index x: root inherits x,
+	// children are 2x and 2x+1 — the scheme of Figure 2.
+	const x = 5
+	if Index(x, 1) != x {
+		t.Error("descendant root must inherit ancestor index")
+	}
+	if Index(x, 2) != 2*x || Index(x, 3) != 2*x+1 {
+		t.Error("descendant children must double")
+	}
+	// Figure 2's second level: 4x, 4x+1, 4x+2, 4x+3.
+	for off, want := range []uint64{4 * x, 4*x + 1, 4*x + 2, 4*x + 3} {
+		if got := Index(x, 4+off); got != uint64(want) {
+			t.Errorf("Index(x,%d) = %d, want %d", 4+int(off), got, want)
+		}
+	}
+}
+
+func TestPathKeyRoundTrip(t *testing.T) {
+	k := RootPathKey.Extend(5).Extend(300).Extend(1)
+	comps := k.Components()
+	if len(comps) != 3 || comps[0] != 5 || comps[1] != 300 || comps[2] != 1 {
+		t.Fatalf("Components = %v", comps)
+	}
+	if k.Dim() != 4 {
+		t.Errorf("Dim = %d, want 4", k.Dim())
+	}
+	if RootPathKey.Dim() != 1 {
+		t.Error("root key is dimension 1")
+	}
+	if RootPathKey.String() != "⟨root⟩" {
+		t.Errorf("root String = %q", RootPathKey.String())
+	}
+	if k.String() != "⟨5.300.1⟩" {
+		t.Errorf("String = %q", k.String())
+	}
+}
+
+// TestLemma1Uniqueness: path(ancestor(v)) uniquely identifies the segment
+// tree of v — distinct anchor chains yield distinct keys, and all nodes of
+// one tree share the tree's key as their anchor.
+func TestLemma1Uniqueness(t *testing.T) {
+	// Enumerate the trees of a small 3-dim range tree over 8 points: the
+	// primary tree (key ⟨root⟩), one dim-2 tree per primary node, one
+	// dim-3 tree per (primary node, dim-2 node) pair.
+	seen := map[PathKey]bool{}
+	var walk func(k PathKey, depth int)
+	walk = func(k PathKey, depth int) {
+		if seen[k] {
+			t.Fatalf("duplicate tree key %v", k)
+		}
+		seen[k] = true
+		if depth == 2 {
+			return
+		}
+		for v := 1; v < 16; v++ { // every node of an 8-leaf tree anchors a subtree
+			walk(k.Extend(v), depth+1)
+		}
+	}
+	walk(RootPathKey, 0)
+	want := 1 + 15 + 15*15
+	if len(seen) != want {
+		t.Errorf("distinct keys = %d, want %d", len(seen), want)
+	}
+}
+
+func TestPathKeyCorruptPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on corrupt key")
+		}
+	}()
+	PathKey([]byte{0xff}).Components() // truncated varint
+}

@@ -1,0 +1,231 @@
+// Package workload generates the synthetic point sets and query batches
+// the experiments run on. The paper evaluates nothing empirically (its
+// evaluation is Theorems 1–4), so these generators are designed to
+// exercise exactly the regimes those theorems speak to: uniform and
+// clustered data, selectivity-controlled boxes, and Zipf-skewed query foci
+// that congest single forest parts (the case motivating the paper's
+// copy-based load balancing).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// Distribution selects the point distribution.
+type Distribution int
+
+const (
+	// Uniform draws coordinates independently and uniformly.
+	Uniform Distribution = iota
+	// Clustered draws points from a handful of Gaussian blobs — the
+	// "database applications" shape with dense regions.
+	Clustered
+	// Correlated draws points near the main diagonal, producing long
+	// skinny canonical ranges.
+	Correlated
+)
+
+func (d Distribution) String() string {
+	switch d {
+	case Uniform:
+		return "uniform"
+	case Clustered:
+		return "clustered"
+	case Correlated:
+		return "correlated"
+	}
+	return fmt.Sprintf("Distribution(%d)", int(d))
+}
+
+// PointSpec describes a synthetic point set.
+type PointSpec struct {
+	N, Dims  int
+	Dist     Distribution
+	Clusters int     // blob count for Clustered (default 8)
+	Spread   float64 // blob std-dev as a fraction of the domain (default 0.03)
+	Seed     int64
+}
+
+// Points generates the point set, rank-normalized per the paper's §3
+// assumption (all coordinates distinct ranks in 1..n).
+func Points(spec PointSpec) []geom.Point {
+	if spec.N < 1 || spec.Dims < 1 {
+		panic("workload: need N ≥ 1 and Dims ≥ 1")
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	clusters := spec.Clusters
+	if clusters == 0 {
+		clusters = 8
+	}
+	spread := spec.Spread
+	if spread == 0 {
+		spread = 0.03
+	}
+	raw := make([][]float64, spec.N)
+	var centers [][]float64
+	if spec.Dist == Clustered {
+		centers = make([][]float64, clusters)
+		for c := range centers {
+			centers[c] = make([]float64, spec.Dims)
+			for j := range centers[c] {
+				centers[c][j] = rng.Float64()
+			}
+		}
+	}
+	for i := range raw {
+		row := make([]float64, spec.Dims)
+		switch spec.Dist {
+		case Uniform:
+			for j := range row {
+				row[j] = rng.Float64()
+			}
+		case Clustered:
+			c := centers[rng.Intn(clusters)]
+			for j := range row {
+				row[j] = c[j] + rng.NormFloat64()*spread
+			}
+		case Correlated:
+			base := rng.Float64()
+			for j := range row {
+				row[j] = base + rng.NormFloat64()*0.05
+			}
+		default:
+			panic(fmt.Sprintf("workload: unknown distribution %v", spec.Dist))
+		}
+		raw[i] = row
+	}
+	pts, _ := geom.NormalizeFloat64(raw)
+	return pts
+}
+
+// QuerySpec describes a batch of box queries in rank space 1..N.
+type QuerySpec struct {
+	M, Dims, N  int
+	Selectivity float64 // expected fraction of rank space per box (default 0.01)
+	// Foci > 0 concentrates query centers on that many hot spots,
+	// zipf-weighted — the congestion workload for E6. Zero means uniform
+	// centers.
+	Foci int
+	// Theta is the Zipf exponent over the foci (default 1.2).
+	Theta float64
+	Seed  int64
+}
+
+// Boxes generates the query batch.
+func Boxes(spec QuerySpec) []geom.Box {
+	if spec.M < 0 || spec.Dims < 1 || spec.N < 1 {
+		panic("workload: bad query spec")
+	}
+	rng := rand.New(rand.NewSource(spec.Seed ^ 0x9e3779b9))
+	sel := spec.Selectivity
+	if sel == 0 {
+		sel = 0.01
+	}
+	side := int(math.Ceil(float64(spec.N) * math.Pow(sel, 1/float64(spec.Dims))))
+	if side < 1 {
+		side = 1
+	}
+	var foci [][]int
+	var weights []float64
+	if spec.Foci > 0 {
+		theta := spec.Theta
+		if theta == 0 {
+			theta = 1.2
+		}
+		foci = make([][]int, spec.Foci)
+		weights = make([]float64, spec.Foci)
+		total := 0.0
+		for f := range foci {
+			foci[f] = make([]int, spec.Dims)
+			for j := range foci[f] {
+				foci[f][j] = 1 + rng.Intn(spec.N)
+			}
+			weights[f] = 1 / math.Pow(float64(f+1), theta)
+			total += weights[f]
+		}
+		for f := range weights {
+			weights[f] /= total
+		}
+	}
+	pickFocus := func() []int {
+		u := rng.Float64()
+		acc := 0.0
+		for f, w := range weights {
+			acc += w
+			if u <= acc {
+				return foci[f]
+			}
+		}
+		return foci[len(foci)-1]
+	}
+	boxes := make([]geom.Box, spec.M)
+	for i := range boxes {
+		lo := make([]geom.Coord, spec.Dims)
+		hi := make([]geom.Coord, spec.Dims)
+		for j := 0; j < spec.Dims; j++ {
+			var center int
+			if spec.Foci > 0 {
+				// Jitter around the focus by a fraction of the side.
+				f := pickFocus()
+				center = f[j] + rng.Intn(side/2+1) - side/4
+			} else {
+				center = 1 + rng.Intn(spec.N)
+			}
+			a := center - side/2
+			b := a + side - 1
+			if a < 1 {
+				a = 1
+			}
+			if b > spec.N {
+				b = spec.N
+			}
+			if b < a {
+				b = a
+			}
+			lo[j], hi[j] = geom.Coord(a), geom.Coord(b)
+		}
+		boxes[i] = geom.Box{Lo: lo, Hi: hi}
+	}
+	return boxes
+}
+
+// SlabBoxes generates the k-D tree's adversarial query shape: boxes that
+// are thin (width·n ranks) in a rotating dimension and unbounded in every
+// other — the workload that realizes the O(n^(1-1/d)) worst case the paper
+// cites against k-D trees.
+func SlabBoxes(m, dims, n int, width float64, seed int64) []geom.Box {
+	rng := rand.New(rand.NewSource(seed ^ 0x51ab51ab))
+	w := int(float64(n) * width)
+	if w < 1 {
+		w = 1
+	}
+	boxes := make([]geom.Box, m)
+	for i := range boxes {
+		lo := make([]geom.Coord, dims)
+		hi := make([]geom.Coord, dims)
+		thin := i % dims
+		for j := 0; j < dims; j++ {
+			if j == thin {
+				a := 1 + rng.Intn(n-w+1)
+				lo[j], hi[j] = geom.Coord(a), geom.Coord(a+w-1)
+			} else {
+				lo[j], hi[j] = 1, geom.Coord(n)
+			}
+		}
+		boxes[i] = geom.Box{Lo: lo, Hi: hi}
+	}
+	return boxes
+}
+
+// WeightOf is the standard per-point weight the experiments aggregate in
+// associative-function mode: a deterministic pseudo-measurement derived
+// from the point identity.
+func WeightOf(p geom.Point) float64 {
+	x := uint64(p.ID)*0x9e3779b97f4a7c15 + 0x85ebca6b
+	x ^= x >> 33
+	return float64(x%1000) / 10
+}

@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestPointsRankSpace(t *testing.T) {
+	for _, dist := range []Distribution{Uniform, Clustered, Correlated} {
+		pts := Points(PointSpec{N: 100, Dims: 3, Dist: dist, Seed: 1})
+		if len(pts) != 100 {
+			t.Fatalf("%v: %d points", dist, len(pts))
+		}
+		for j := 0; j < 3; j++ {
+			seen := make([]bool, 101)
+			for _, p := range pts {
+				r := p.X[j]
+				if r < 1 || r > 100 || seen[r] {
+					t.Fatalf("%v dim %d: bad rank %d", dist, j, r)
+				}
+				seen[r] = true
+			}
+		}
+	}
+}
+
+func TestPointsDeterministic(t *testing.T) {
+	a := Points(PointSpec{N: 50, Dims: 2, Dist: Clustered, Seed: 7})
+	b := Points(PointSpec{N: 50, Dims: 2, Dist: Clustered, Seed: 7})
+	for i := range a {
+		if a[i].X[0] != b[i].X[0] || a[i].X[1] != b[i].X[1] {
+			t.Fatal("same seed produced different points")
+		}
+	}
+	c := Points(PointSpec{N: 50, Dims: 2, Dist: Clustered, Seed: 8})
+	same := true
+	for i := range a {
+		if a[i].X[0] != c[i].X[0] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical points")
+	}
+}
+
+func TestBoxesSelectivity(t *testing.T) {
+	n := 4096
+	pts := Points(PointSpec{N: n, Dims: 2, Dist: Uniform, Seed: 3})
+	boxes := Boxes(QuerySpec{M: 200, Dims: 2, N: n, Selectivity: 0.05, Seed: 3})
+	// Measure achieved mean selectivity against the 5% target.
+	total := 0
+	for _, b := range boxes {
+		for _, p := range pts {
+			if b.Contains(p) {
+				total++
+			}
+		}
+	}
+	mean := float64(total) / float64(len(boxes)) / float64(n)
+	if mean < 0.015 || mean > 0.15 {
+		t.Errorf("achieved selectivity %.4f, target 0.05", mean)
+	}
+}
+
+func TestBoxesWithinDomain(t *testing.T) {
+	boxes := Boxes(QuerySpec{M: 100, Dims: 3, N: 64, Selectivity: 0.2, Seed: 5})
+	for _, b := range boxes {
+		for j := 0; j < 3; j++ {
+			if b.Lo[j] < 1 || b.Hi[j] > 64 || b.Lo[j] > b.Hi[j] {
+				t.Fatalf("box out of domain: %v", b)
+			}
+		}
+	}
+}
+
+func TestSkewedFociConcentrate(t *testing.T) {
+	n := 1024
+	boxes := Boxes(QuerySpec{M: 300, Dims: 1, N: n, Selectivity: 0.01, Foci: 2, Theta: 2.0, Seed: 9})
+	// Centers must cluster: the spread of box centers should be far below
+	// the uniform-case spread (~n/4 mean absolute deviation).
+	var centers []float64
+	for _, b := range boxes {
+		centers = append(centers, float64(b.Lo[0]+b.Hi[0])/2)
+	}
+	mean := 0.0
+	for _, c := range centers {
+		mean += c
+	}
+	mean /= float64(len(centers))
+	mad := 0.0
+	for _, c := range centers {
+		if c > mean {
+			mad += c - mean
+		} else {
+			mad += mean - c
+		}
+	}
+	mad /= float64(len(centers))
+	if mad > float64(n)/4 {
+		t.Errorf("skewed centers MAD %.1f too dispersed", mad)
+	}
+}
+
+func TestSlabBoxesShape(t *testing.T) {
+	n, d := 1024, 3
+	boxes := SlabBoxes(30, d, n, 0.01, 1)
+	for i, b := range boxes {
+		thinCount := 0
+		for j := 0; j < d; j++ {
+			width := int(b.Hi[j]-b.Lo[j]) + 1
+			if width == n {
+				continue
+			}
+			thinCount++
+			if width > n/50 {
+				t.Fatalf("box %d: thin dim %d has width %d", i, j, width)
+			}
+			if b.Lo[j] < 1 || b.Hi[j] > geom.Coord(n) {
+				t.Fatalf("box %d out of domain", i)
+			}
+		}
+		if thinCount != 1 {
+			t.Fatalf("box %d has %d thin dimensions, want 1", i, thinCount)
+		}
+	}
+}
+
+func TestWeightOfDeterministicBounded(t *testing.T) {
+	p := geom.Point{ID: 42}
+	if WeightOf(p) != WeightOf(p) {
+		t.Error("WeightOf not deterministic")
+	}
+	for id := int32(0); id < 1000; id++ {
+		w := WeightOf(geom.Point{ID: id})
+		if w < 0 || w >= 100 {
+			t.Fatalf("weight %f out of [0,100)", w)
+		}
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"points": func() { Points(PointSpec{N: 0, Dims: 2}) },
+		"boxes":  func() { Boxes(QuerySpec{M: 1, Dims: 0, N: 10}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
