@@ -5,7 +5,9 @@ package drtree_test
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro"
 	"repro/internal/brute"
@@ -400,6 +402,63 @@ func BenchmarkDominance(b *testing.B) {
 		}
 	}
 	_ = sink
+}
+
+// BenchmarkEngineThroughput measures the serving layer: concurrent
+// submitters of single mixed-mode queries against one engine, swept over
+// the batch-size knob. queries/s is the serving baseline the next PR has
+// to beat; batch=1 is the no-batching strawman (every query pays a full
+// machine run).
+func BenchmarkEngineThroughput(b *testing.B) {
+	n := 1 << 12
+	pts := benchPoints(n, 2)
+	mach := drtree.NewMachine(drtree.MachineConfig{P: 8})
+	t := drtree.BuildDistributed(mach, pts)
+	h := drtree.PrepareAssociative(t, drtree.FloatSum(), workload.WeightOf)
+	boxes := benchBoxes(4096, n, 2, 0.001)
+	for _, bs := range []int{1, 16, 64, 256} {
+		b.Run(fmt.Sprintf("batch=%d", bs), func(b *testing.B) {
+			eng := drtree.NewAggregateEngine(t, h, drtree.EngineConfig{
+				BatchSize: bs,
+				MaxDelay:  500 * time.Microsecond,
+				CacheSize: -1, // disabled: measure dispatch, not the cache
+			})
+			defer eng.Close()
+			var submitter atomic.Int64
+			b.SetParallelism(4) // 4×GOMAXPROCS concurrent submitters
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := int(submitter.Add(1)) * 7919
+				for pb.Next() {
+					q := boxes[i%len(boxes)]
+					switch i % 3 {
+					case 0:
+						if _, err := eng.Count(q); err != nil {
+							b.Error(err)
+							return
+						}
+					case 1:
+						if _, err := eng.Aggregate(q); err != nil {
+							b.Error(err)
+							return
+						}
+					default:
+						if _, err := eng.Report(q); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+					i++
+				}
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+			st := eng.Stats()
+			if st.Batches > 0 {
+				b.ReportMetric(float64(st.BatchedQueries)/float64(st.Batches), "queries/batch")
+			}
+		})
+	}
 }
 
 // BenchmarkExptTables runs the quick-scale table generators end to end —

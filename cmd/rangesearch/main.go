@@ -1,25 +1,39 @@
 // Command rangesearch is the end-user CLI: build a distributed range tree
 // over generated or CSV-loaded points and answer a batch of box queries in
 // one of the paper's three modes, reporting the machine metrics the CGM
-// model cares about (rounds, h, modelled time).
+// model cares about (rounds, h, modelled time) — or run as a line-oriented
+// query service backed by the micro-batching engine.
 //
 // Usage:
 //
 //	rangesearch -n 4096 -d 2 -p 8 -queries 1024 -mode count
 //	rangesearch -csv points.csv -p 4 -queries 100 -mode sum
 //	rangesearch -n 1024 -d 2 -mode report -selectivity 0.02
+//	rangesearch -n 4096 -d 2 -p 8 -mode serve -batch 64 -delay 2ms
+//
+// In serve mode, stdin is read line by line; each line is one query
+//
+//	count|sum|report lo1,...,lod hi1,...,hid
+//
+// with rank-space integer coordinates (0..n-1). One answer line is
+// written per query, in input order; concurrent pipelined submission
+// lets the engine micro-batch them. Engine statistics go to stderr on
+// EOF.
 package main
 
 import (
+	"bufio"
 	"encoding/csv"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/cgm"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/geom"
 	"repro/internal/semigroup"
 	"repro/internal/workload"
@@ -33,9 +47,12 @@ func main() {
 	p := flag.Int("p", 8, "processors")
 	queries := flag.Int("queries", 256, "number of box queries")
 	selectivity := flag.Float64("selectivity", 0.01, "target query selectivity")
-	mode := flag.String("mode", "count", "result mode: count, report or sum")
+	mode := flag.String("mode", "count", "result mode: count, report, sum or serve")
 	seed := flag.Int64("seed", 1, "workload seed")
 	verbose := flag.Bool("v", false, "print per-query results")
+	batch := flag.Int("batch", engine.DefaultBatchSize, "serve mode: flush batch size")
+	delay := flag.Duration("delay", engine.DefaultMaxDelay, "serve mode: flush deadline")
+	cacheSize := flag.Int("cache", engine.DefaultCacheSize, "serve mode: LRU answer-cache entries (negative disables)")
 	flag.Parse()
 
 	pts, dims := loadPoints(*csvPath, *n, *d, *dist, *seed)
@@ -54,6 +71,11 @@ func main() {
 		len(pts), dims, *p, dt.Grain())
 	fmt.Printf("  hat %d nodes / forest %d elements | construct: %d rounds, max h %d, wall %v\n\n",
 		dt.HatNodeCount(), dt.ElemCount(), buildMetrics.CommRounds(), buildMetrics.MaxH(), buildWall.Round(time.Millisecond))
+
+	if *mode == "serve" {
+		serve(dt, dims, engine.Config{BatchSize: *batch, MaxDelay: *delay, CacheSize: *cacheSize})
+		return
+	}
 
 	start = time.Now()
 	switch *mode {
@@ -89,7 +111,7 @@ func main() {
 		}
 		fmt.Printf("report mode: %d queries, k=%d pairs; per-processor pairs %v\n", len(boxes), k, perProc)
 	default:
-		fmt.Fprintf(os.Stderr, "rangesearch: unknown mode %q (want count, report or sum)\n", *mode)
+		fmt.Fprintf(os.Stderr, "rangesearch: unknown mode %q (want count, report, sum or serve)\n", *mode)
 		os.Exit(2)
 	}
 	wall := time.Since(start)
@@ -98,6 +120,114 @@ func main() {
 		mt.CommRounds(), mt.MaxH(),
 		mt.ModelTime(mach.G(), mach.L()).Round(time.Microsecond),
 		wall.Round(time.Millisecond))
+}
+
+// serve runs the line-oriented query loop on top of the micro-batching
+// engine. Each input line is answered on its own goroutine so in-flight
+// queries pipeline into engine batches; answers are written in input
+// order.
+func serve(dt *core.Tree, dims int, cfg engine.Config) {
+	h := core.PrepareAssociative(dt, semigroup.FloatSum(), workload.WeightOf)
+	eng := engine.WithAggregate(dt, h, cfg)
+	defer eng.Close()
+
+	type pending struct{ ch chan string }
+	queue := make(chan pending, 1024)
+	var scanErr error
+	go func() {
+		sc := bufio.NewScanner(os.Stdin)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			p := pending{ch: make(chan string, 1)}
+			queue <- p
+			go func(line string) { p.ch <- answerLine(eng, dims, line) }(line)
+		}
+		scanErr = sc.Err() // before close: visible to the drain loop's end
+		close(queue)
+	}()
+
+	w := bufio.NewWriter(os.Stdout)
+	for p := range queue {
+		fmt.Fprintln(w, <-p.ch)
+		if len(queue) == 0 {
+			w.Flush()
+		}
+	}
+	w.Flush()
+	st := eng.Stats()
+	fmt.Fprintf(os.Stderr, "engine: %d queries | cache %d hit / %d miss | %d batches (%d by size, %d by deadline)\n",
+		st.Submitted, st.CacheHits, st.CacheMisses, st.Batches, st.SizeFlushes, st.DeadlineFlushes)
+	if scanErr != nil {
+		fmt.Fprintf(os.Stderr, "rangesearch: reading stdin: %v (remaining input dropped)\n", scanErr)
+		os.Exit(1)
+	}
+}
+
+// answerLine parses and answers one serve-mode query line.
+func answerLine(eng *engine.Engine[float64], dims int, line string) string {
+	fields := strings.Fields(line)
+	if len(fields) != 3 {
+		return fmt.Sprintf("error: want `mode lo1,..,lo%d hi1,..,hi%d`, got %q", dims, dims, line)
+	}
+	lo, err := parseCoords(fields[1], dims)
+	if err != nil {
+		return "error: " + err.Error()
+	}
+	hi, err := parseCoords(fields[2], dims)
+	if err != nil {
+		return "error: " + err.Error()
+	}
+	box := geom.NewBox(lo, hi)
+	switch fields[0] {
+	case "count":
+		c, err := eng.Count(box)
+		if err != nil {
+			return "error: " + err.Error()
+		}
+		return fmt.Sprintf("count %v = %d", box, c)
+	case "sum":
+		s, err := eng.Aggregate(box)
+		if err != nil {
+			return "error: " + err.Error()
+		}
+		return fmt.Sprintf("sum %v = %.4f", box, s)
+	case "report":
+		pts, err := eng.Report(box)
+		if err != nil {
+			return "error: " + err.Error()
+		}
+		ids := make([]string, len(pts))
+		for i, pt := range pts {
+			ids[i] = strconv.Itoa(int(pt.ID))
+		}
+		if len(ids) == 0 {
+			return fmt.Sprintf("report %v = 0", box)
+		}
+		return fmt.Sprintf("report %v = %d: %s", box, len(pts), strings.Join(ids, " "))
+	default:
+		return fmt.Sprintf("error: unknown mode %q (want count, sum or report)", fields[0])
+	}
+}
+
+// parseCoords reads a comma-separated rank-coordinate vector.
+func parseCoords(s string, dims int) ([]geom.Coord, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != dims {
+		return nil, fmt.Errorf("coordinate %q has %d dims, tree has %d", s, len(parts), dims)
+	}
+	out := make([]geom.Coord, dims)
+	for i, part := range parts {
+		v, err := strconv.ParseInt(part, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("coordinate %q: %v", part, err)
+		}
+		out[i] = geom.Coord(v)
+	}
+	return out, nil
 }
 
 // loadPoints reads raw CSV floats or generates a synthetic set, returning

@@ -34,6 +34,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dominance"
 	"repro/internal/dynamic"
+	"repro/internal/engine"
 	"repro/internal/geom"
 	"repro/internal/kdtree"
 	"repro/internal/layered"
@@ -122,11 +123,71 @@ func BuildSequential(pts []Point) *RangeTree { return rangetree.Build(pts) }
 // BuildKD builds the k-d tree baseline.
 func BuildKD(pts []Point) *KDTree { return kdtree.Build(pts) }
 
+// AggregateHandle is a prepared associative-function annotation; it
+// answers batches via Batch and backs an engine's Aggregate mode.
+type AggregateHandle[T any] = core.AggHandle[T]
+
 // PrepareAssociative precomputes the associative-function annotation
 // (Algorithm AssociativeFunction step 1) for monoid m with per-point value
 // val; the returned handle answers batches via Batch.
-func PrepareAssociative[T any](t *Tree, m Monoid[T], val func(Point) T) *core.AggHandle[T] {
+func PrepareAssociative[T any](t *Tree, m Monoid[T], val func(Point) T) *AggregateHandle[T] {
 	return core.PrepareAssociative(t, m, val)
+}
+
+// Mixed-mode batches: one machine run answering queries of all three
+// result modes (the serving layer's dispatch path).
+
+// QueryOp selects the result mode of one query in a mixed batch.
+type QueryOp = core.MixedOp
+
+// Query ops.
+const (
+	OpCount     = core.OpCount
+	OpAggregate = core.OpAggregate
+	OpReport    = core.OpReport
+)
+
+// MixedResult holds one mixed-batch answer; only the field selected by
+// the query's op is meaningful.
+type MixedResult[T any] = core.MixedResult[T]
+
+// MixedBatch answers a batch mixing count, aggregate and report queries
+// in one machine run. h may be nil when ops contains no OpAggregate.
+func MixedBatch[T any](t *Tree, h *AggregateHandle[T], ops []QueryOp, boxes []Box) []MixedResult[T] {
+	return core.MixedBatch(t, h, ops, boxes)
+}
+
+// Serving layer (internal/engine): a concurrent query engine that
+// micro-batches single queries from many goroutines into the mixed-mode
+// pipeline, with an LRU answer cache and hit/miss/flush metrics.
+
+// Engine is the concurrent micro-batching serving layer.
+type Engine[T any] = engine.Engine[T]
+
+// Engine configuration and metrics.
+type (
+	// EngineConfig tunes batching (flush size, deadline) and the cache.
+	EngineConfig = engine.Config
+	// EngineStats is a snapshot of the engine's counters.
+	EngineStats = engine.Stats
+)
+
+// Engine sentinel errors.
+var (
+	// ErrEngineClosed is returned by queries submitted after Close.
+	ErrEngineClosed = engine.ErrClosed
+	// ErrNoAggregate is returned by Aggregate on an engine built without
+	// a prepared handle.
+	ErrNoAggregate = engine.ErrNoAggregate
+)
+
+// NewEngine creates a serving engine answering Count and Report queries.
+func NewEngine(t *Tree, cfg EngineConfig) *Engine[struct{}] { return engine.New(t, cfg) }
+
+// NewAggregateEngine creates a serving engine that additionally answers
+// Aggregate queries through the prepared handle h.
+func NewAggregateEngine[T any](t *Tree, h *AggregateHandle[T], cfg EngineConfig) *Engine[T] {
+	return engine.WithAggregate(t, h, cfg)
 }
 
 // Aggregate builds a sequential associative-function annotation over a

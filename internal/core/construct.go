@@ -1,7 +1,9 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/cgm"
@@ -272,7 +274,7 @@ func sortedElemIDs(m map[ElemID][]geom.Point) []ElemID {
 	for id := range m {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	slices.SortFunc(ids, func(a, b ElemID) int { return cmp.Compare(a, b) })
 	return ids
 }
 

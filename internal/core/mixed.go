@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cgm"
+	"repro/internal/geom"
+)
+
+// MixedOp selects the result mode of one query in a mixed batch.
+type MixedOp int8
+
+const (
+	// OpCount answers with |R(q)|.
+	OpCount MixedOp = iota
+	// OpAggregate answers with ⊗_{l∈R(q)} f(l) of a prepared AggHandle.
+	OpAggregate
+	// OpReport answers with the points of R(q).
+	OpReport
+)
+
+// String names the op (CLI and diagnostics).
+func (op MixedOp) String() string {
+	switch op {
+	case OpCount:
+		return "count"
+	case OpAggregate:
+		return "aggregate"
+	case OpReport:
+		return "report"
+	}
+	return fmt.Sprintf("MixedOp(%d)", int8(op))
+}
+
+// MixedResult holds the answer of one mixed-batch query; only the field
+// selected by the query's op is meaningful.
+type MixedResult[T any] struct {
+	Count int64
+	Agg   T
+	Pts   []geom.Point
+}
+
+// mixedRun multiplexes the three per-mode runs over one shared pipeline
+// pass: each hook dispatches on the query's op, so one hat descent, one
+// demand-balanced copy/route and one serving sweep answer the whole batch.
+type mixedRun[T any] struct {
+	ops   []MixedOp
+	count *countRun
+	agg   *assocRun[T]
+	rep   *reportRun
+}
+
+func (r *mixedRun[T]) dispatch(qid int32) procRun {
+	switch r.ops[qid] {
+	case OpAggregate:
+		return r.agg
+	case OpReport:
+		return r.rep
+	default:
+		return r.count
+	}
+}
+
+func (r *mixedRun[T]) answerHat(q Query, s hatSel) { r.dispatch(q.ID).answerHat(q, s) }
+func (r *mixedRun[T]) answerSub(s subquery)        { r.dispatch(s.Query).answerSub(s) }
+
+func (r *mixedRun[T]) materialize(el *element) {
+	// Only the associative mode annotates copies; h's presence is a
+	// batch-global property, so this branch is SPMD-uniform.
+	if r.agg != nil {
+		r.agg.materialize(el)
+	}
+}
+
+func (r *mixedRun[T]) finish(pr *cgm.Proc) {
+	r.count.finish(pr)
+	if r.agg != nil {
+		r.agg.finish(pr)
+	}
+	r.rep.finish(pr)
+}
+
+// mixedMode composes the three result modes into one searchMode whose
+// collectives all ride a single machine run.
+type mixedMode[T any] struct {
+	h   *AggHandle[T]
+	ops []MixedOp
+	rep *reportMode[MixedResult[T]]
+}
+
+func (*mixedMode[T]) label() string { return "mixed" }
+
+func (m *mixedMode[T]) init(results []MixedResult[T]) {
+	if m.h == nil {
+		return
+	}
+	for i := range results {
+		results[i].Agg = m.h.m.Identity
+	}
+}
+
+func (m *mixedMode[T]) start(t *Tree, ps *procState, st *SearchStats, results []MixedResult[T]) procRun {
+	nq := len(results)
+	r := &mixedRun[T]{ops: m.ops}
+	r.count = &countRun{ps: ps, nq: nq, lbl: "mixed/count",
+		deliver: func(qid int32, v int64) { results[qid].Count += v }}
+	if m.h != nil {
+		r.agg = newAssocRun(m.h, ps, nq, "mixed/assoc", func(qid int32, v T) {
+			results[qid].Agg = m.h.m.Combine(results[qid].Agg, v)
+		})
+	}
+	r.rep = m.rep.startRun(ps, st)
+	return r
+}
+
+func (m *mixedMode[T]) epilogue(results []MixedResult[T]) { m.rep.epilogue(results) }
+
+// MixedBatch answers a batch mixing all three result modes in ONE machine
+// run: one hat descent, one demand-balanced copy/route of the combined Q″
+// and one serving sweep cover every query, with the per-mode result
+// collectives riding the same run. This is the serving layer's dispatch
+// path: micro-batched single queries of different modes amortize the
+// round structure the theorems price per batch, not per mode.
+//
+// ops[i] selects the mode of boxes[i]. h may be nil when ops contains no
+// OpAggregate.
+func MixedBatch[T any](t *Tree, h *AggHandle[T], ops []MixedOp, boxes []geom.Box) []MixedResult[T] {
+	if len(ops) != len(boxes) {
+		panic(fmt.Sprintf("core: MixedBatch got %d ops for %d boxes", len(ops), len(boxes)))
+	}
+	if h == nil {
+		for _, op := range ops {
+			if op == OpAggregate {
+				panic("core: MixedBatch: OpAggregate requires a prepared AggHandle")
+			}
+		}
+	}
+	if h != nil && h.t != t {
+		panic("core: MixedBatch: AggHandle was prepared on a different tree")
+	}
+	mode := &mixedMode[T]{h: h, ops: ops,
+		rep: newReportMode(len(boxes), t.P(), func(results []MixedResult[T], qid int32, pts []geom.Point) {
+			if ops[qid] == OpReport {
+				results[qid].Pts = pts
+			}
+		})}
+	return runSearch(t, asQueries(boxes), mode)
+}

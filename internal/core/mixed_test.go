@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/brute"
+	"repro/internal/cgm"
+	"repro/internal/semigroup"
+	"repro/internal/workload"
+)
+
+// TestMixedBatchMatchesModes drives all three modes through one machine
+// run and checks every answer against the brute-force oracle.
+func TestMixedBatchMatchesModes(t *testing.T) {
+	n, d, p := 1<<10, 2, 4
+	pts := workload.Points(workload.PointSpec{N: n, Dims: d, Dist: workload.Uniform, Seed: 7})
+	mach := cgm.New(cgm.Config{P: p})
+	tree := Build(mach, pts)
+	h := PrepareAssociative(tree, semigroup.FloatSum(), workload.WeightOf)
+	bf := brute.New(pts)
+
+	boxes := workload.Boxes(workload.QuerySpec{M: 120, Dims: d, N: n, Selectivity: 0.02, Seed: 3})
+	ops := make([]MixedOp, len(boxes))
+	for i := range ops {
+		ops[i] = MixedOp(i % 3)
+	}
+
+	mach.ResetMetrics()
+	results := MixedBatch(tree, h, ops, boxes)
+	if runs := mach.Metrics().Runs; runs != 1 {
+		t.Fatalf("mixed batch took %d machine runs, want 1", runs)
+	}
+
+	for i, r := range results {
+		switch ops[i] {
+		case OpCount:
+			if want := int64(bf.Count(boxes[i])); r.Count != want {
+				t.Fatalf("query %d count = %d, want %d", i, r.Count, want)
+			}
+		case OpAggregate:
+			want := brute.Aggregate(bf, semigroup.FloatSum(), workload.WeightOf, boxes[i])
+			if diff := r.Agg - want; diff > 1e-6 || diff < -1e-6 {
+				t.Fatalf("query %d agg = %v, want %v", i, r.Agg, want)
+			}
+		case OpReport:
+			got := brute.IDs(r.Pts)
+			want := brute.IDs(bf.Report(boxes[i]))
+			if len(got) != len(want) {
+				t.Fatalf("query %d report has %d points, want %d", i, len(got), len(want))
+			}
+			for j := range got {
+				if got[j] != want[j] {
+					t.Fatalf("query %d report point %d = %d, want %d", i, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// TestMixedBatchNoAggHandle covers the count/report-only path with a nil
+// handle (the engine's configuration without PrepareAssociative).
+func TestMixedBatchNoAggHandle(t *testing.T) {
+	n := 512
+	pts := workload.Points(workload.PointSpec{N: n, Dims: 2, Dist: workload.Clustered, Seed: 5})
+	mach := cgm.New(cgm.Config{P: 4})
+	tree := Build(mach, pts)
+	bf := brute.New(pts)
+
+	boxes := workload.Boxes(workload.QuerySpec{M: 40, Dims: 2, N: n, Selectivity: 0.05, Seed: 9})
+	ops := make([]MixedOp, len(boxes))
+	for i := range ops {
+		if i%2 == 0 {
+			ops[i] = OpCount
+		} else {
+			ops[i] = OpReport
+		}
+	}
+	results := MixedBatch[struct{}](tree, nil, ops, boxes)
+	for i, r := range results {
+		if ops[i] == OpCount {
+			if want := int64(bf.Count(boxes[i])); r.Count != want {
+				t.Fatalf("query %d count = %d, want %d", i, r.Count, want)
+			}
+		} else if want := bf.Count(boxes[i]); len(r.Pts) != want {
+			t.Fatalf("query %d reported %d points, want %d", i, len(r.Pts), want)
+		}
+	}
+}

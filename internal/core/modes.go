@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/balance"
 	"repro/internal/cgm"
@@ -11,11 +11,10 @@ import (
 	"repro/internal/semigroup"
 )
 
-// qcount is a partial per-query result routed to the query's home.
-type qcount struct {
-	Query int32
-	Val   int64
-}
+// The three result modes of §4.2 as searchMode instances of the unified
+// pipeline (runsearch.go). Each supplies only the four per-mode hooks:
+// answering a hat selection, materializing copied elements, answering a
+// served subquery, and the result collectives.
 
 // SearchStats reports one processor's share of the last batch — the
 // quantities the balancing lemma bounds.
@@ -31,56 +30,69 @@ type SearchStats struct {
 // batch operation.
 func (t *Tree) LastSearchStats() []SearchStats { return t.lastStats }
 
+// ---------------------------------------------------------------- count
+
+// qcount is a partial per-query result routed to the query's home.
+type qcount struct {
+	Query int32
+	Val   int64
+}
+
+// countRun answers counting queries: hat selections read the canonical
+// counts carried by the replica, subqueries count in the local element
+// tree, and partials fold at each query's home processor.
+type countRun struct {
+	ps      *procState
+	nq      int
+	lbl     string
+	deliver func(qid int32, v int64) // called at the query's home
+	pairs   []qcount
+}
+
+func (r *countRun) answerHat(q Query, s hatSel) {
+	var c int64
+	if s.Elem >= 0 {
+		c = int64(r.ps.info[int(s.Elem)].Count)
+	} else {
+		c = int64(r.ps.hat[s.Tree].Nodes[int(s.Node)].Count)
+	}
+	r.pairs = append(r.pairs, qcount{Query: q.ID, Val: c})
+}
+
+func (r *countRun) materialize(*element) {}
+
+func (r *countRun) answerSub(s subquery) {
+	el := r.ps.lookup(s.Elem)
+	r.pairs = append(r.pairs, qcount{Query: s.Query, Val: int64(el.tree.Count(s.Box))})
+}
+
+func (r *countRun) finish(pr *cgm.Proc) {
+	home := comm.SegmentedGather(pr, r.lbl+"/home", r.pairs, func(v qcount) int {
+		return homeOf(v.Query, r.nq, pr.P())
+	})
+	for _, v := range home {
+		r.deliver(v.Query, v.Val) // home blocks are disjoint across processors
+	}
+}
+
+type countMode struct{}
+
+func (countMode) label() string     { return "count" }
+func (countMode) init([]int64)      {}
+func (countMode) epilogue([]int64)  {}
+func (countMode) start(t *Tree, ps *procState, st *SearchStats, results []int64) procRun {
+	return &countRun{ps: ps, nq: len(results), lbl: "count",
+		deliver: func(qid int32, v int64) { results[qid] += v }}
+}
+
 // CountBatch answers every query with |R(q)| — the counting special case
 // of the associative-function mode, which needs no precomputation because
 // hat nodes carry their canonical counts.
 func (t *Tree) CountBatch(boxes []geom.Box) []int64 {
-	m := len(boxes)
-	if m == 0 {
-		return nil
-	}
-	p := t.P()
-	results := make([]int64, m)
-	t.prepBatch()
-	t.mach.Run(func(pr *cgm.Proc) {
-		ps := t.procs[pr.Rank()]
-		st := &t.lastStats[pr.Rank()]
-		lo, hi := queryBlock(pr.Rank(), m, p)
-		var pairs []qcount
-		var subs []subquery
-		for qi := lo; qi < hi; qi++ {
-			q := Query{ID: int32(qi), Box: boxes[qi]}
-			ps.hatSearch(t, q,
-				func(s hatSel) {
-					st.HatSelections++
-					var c int64
-					if s.Elem >= 0 {
-						c = int64(ps.info[int(s.Elem)].Count)
-					} else {
-						c = int64(ps.hat[s.Tree].Nodes[int(s.Node)].Count)
-					}
-					pairs = append(pairs, qcount{Query: q.ID, Val: c})
-				},
-				func(s subquery) { subs = append(subs, s) })
-		}
-		st.Subqueries = len(subs)
-		served := t.phaseB(pr, ps, subs, "count", nil)
-		st.Served = len(served)
-		st.CopiesHeld = len(ps.copies)
-		for _, s := range served {
-			el := ps.lookup(s.Elem)
-			pairs = append(pairs, qcount{Query: s.Query, Val: int64(el.tree.Count(s.Box))})
-		}
-		// Fold the partial counts at each query's home processor.
-		home := comm.SegmentedGather(pr, "count/home", pairs, func(v qcount) int {
-			return homeOf(v.Query, m, p)
-		})
-		for _, v := range home {
-			results[v.Query] += v.Val // home blocks are disjoint across processors
-		}
-	})
-	return results
+	return runSearch(t, asQueries(boxes), countMode{})
 }
+
+// ---------------------------------------------------- associative function
 
 // AggHandle is a prepared associative-function annotation: Algorithm
 // AssociativeFunction step 1 ("compute f(v) bottom-up for each node v in
@@ -97,6 +109,9 @@ type AggHandle[T any] struct {
 	// hatTab[rank][treeID][node] annotates last-dimension hat trees.
 	hatTab []map[int32][]T
 }
+
+// Tree returns the distributed tree the handle annotates.
+func (h *AggHandle[T]) Tree() *Tree { return h.t }
 
 // PrepareAssociative runs step 1 of Algorithm AssociativeFunction: owners
 // annotate their forest elements sequentially, the forest-root values are
@@ -172,68 +187,78 @@ type qvalT[T any] struct {
 	Val   T
 }
 
+// assocRun evaluates ⊗_{l∈R(q)} f(l): hat selections read the prepared
+// annotations, subqueries query the per-element Agg (built on demand for
+// copies via materialize), and partials combine at each query's home.
+type assocRun[T any] struct {
+	h        *AggHandle[T]
+	ps       *procState
+	nq       int
+	lbl      string
+	deliver  func(qid int32, v T) // called at the query's home
+	copyAggs map[ElemID]*rangetree.Agg[T]
+	pairs    []qvalT[T]
+}
+
+func newAssocRun[T any](h *AggHandle[T], ps *procState, nq int, lbl string, deliver func(int32, T)) *assocRun[T] {
+	return &assocRun[T]{h: h, ps: ps, nq: nq, lbl: lbl, deliver: deliver,
+		copyAggs: make(map[ElemID]*rangetree.Agg[T])}
+}
+
+func (r *assocRun[T]) answerHat(q Query, s hatSel) {
+	var v T
+	if s.Elem >= 0 {
+		v = r.h.elemRoot[int(s.Elem)]
+	} else {
+		v = r.h.hatTab[r.ps.rank][s.Tree][int(s.Node)]
+	}
+	r.pairs = append(r.pairs, qvalT[T]{Query: q.ID, Val: v})
+}
+
+func (r *assocRun[T]) materialize(el *element) {
+	r.copyAggs[el.info.ID] = rangetree.NewAgg(el.tree, r.h.m, r.h.val)
+}
+
+func (r *assocRun[T]) answerSub(s subquery) {
+	a, ok := r.h.elemAggs[r.ps.rank][s.Elem]
+	if !ok {
+		a = r.copyAggs[s.Elem]
+	}
+	r.pairs = append(r.pairs, qvalT[T]{Query: s.Query, Val: a.Query(s.Box)})
+}
+
+func (r *assocRun[T]) finish(pr *cgm.Proc) {
+	home := comm.SegmentedGather(pr, r.lbl+"/home", r.pairs, func(v qvalT[T]) int {
+		return homeOf(v.Query, r.nq, pr.P())
+	})
+	for _, v := range home {
+		r.deliver(v.Query, v.Val)
+	}
+}
+
+type assocMode[T any] struct{ h *AggHandle[T] }
+
+func (assocMode[T]) label() string { return "assoc" }
+func (m assocMode[T]) init(results []T) {
+	for i := range results {
+		results[i] = m.h.m.Identity
+	}
+}
+func (assocMode[T]) epilogue([]T) {}
+func (m assocMode[T]) start(t *Tree, ps *procState, st *SearchStats, results []T) procRun {
+	return newAssocRun(m.h, ps, len(results), "assoc", func(qid int32, v T) {
+		results[qid] = m.h.m.Combine(results[qid], v)
+	})
+}
+
 // Batch evaluates ⊗_{l∈R(q)} f(l) for every query (Algorithm
 // AssociativeFunction steps 2–5: search, pair up selections with their
 // f-values, combine per query).
 func (h *AggHandle[T]) Batch(boxes []geom.Box) []T {
-	t := h.t
-	m := len(boxes)
-	if m == 0 {
-		return nil
-	}
-	p := t.P()
-	results := make([]T, m)
-	for i := range results {
-		results[i] = h.m.Identity
-	}
-	t.prepBatch()
-	t.mach.Run(func(pr *cgm.Proc) {
-		ps := t.procs[pr.Rank()]
-		st := &t.lastStats[pr.Rank()]
-		myAggs := h.elemAggs[pr.Rank()]
-		copyAggs := make(map[ElemID]*rangetree.Agg[T])
-		lo, hi := queryBlock(pr.Rank(), m, p)
-		var pairs []qvalT[T]
-		var subs []subquery
-		for qi := lo; qi < hi; qi++ {
-			q := Query{ID: int32(qi), Box: boxes[qi]}
-			ps.hatSearch(t, q,
-				func(s hatSel) {
-					st.HatSelections++
-					var v T
-					if s.Elem >= 0 {
-						v = h.elemRoot[int(s.Elem)]
-					} else {
-						v = h.hatTab[pr.Rank()][s.Tree][int(s.Node)]
-					}
-					pairs = append(pairs, qvalT[T]{Query: q.ID, Val: v})
-				},
-				func(s subquery) { subs = append(subs, s) })
-		}
-		st.Subqueries = len(subs)
-		served := t.phaseB(pr, ps, subs, "assoc", func(el *element) {
-			copyAggs[el.info.ID] = rangetree.NewAgg(el.tree, h.m, h.val)
-		})
-		st.Served = len(served)
-		st.CopiesHeld = len(ps.copies)
-		for _, s := range served {
-			var a *rangetree.Agg[T]
-			if ag, ok := myAggs[s.Elem]; ok {
-				a = ag
-			} else {
-				a = copyAggs[s.Elem]
-			}
-			pairs = append(pairs, qvalT[T]{Query: s.Query, Val: a.Query(s.Box)})
-		}
-		home := comm.SegmentedGather(pr, "assoc/home", pairs, func(v qvalT[T]) int {
-			return homeOf(v.Query, m, p)
-		})
-		for _, v := range home {
-			results[v.Query] = h.m.Combine(results[v.Query], v.Val)
-		}
-	})
-	return results
+	return runSearch(h.t, asQueries(boxes), assocMode[T]{h: h})
 }
+
+// ---------------------------------------------------------------- report
 
 // ReportPair is one (query, point) result pair of the report mode.
 type ReportPair struct {
@@ -241,12 +266,159 @@ type ReportPair struct {
 	Pt    geom.Point
 }
 
+// rorder is a whole-element selection of the report mode's phase A.
+type rorder struct {
+	Query int32
+	Elem  ElemID
+	Off   int // global output offset, assigned in finish
+}
+
+// rlocal is one served subquery's report hits, awaiting redistribution.
+type rlocal struct {
+	Query int32
+	Pts   []geom.Point
+	Off   int
+}
+
+// reportRun materializes (q, l) pairs: hat selections become whole-element
+// orders, subqueries report locally, and finish redistributes everything
+// so each processor holds a contiguous ~k/p block of output (Algorithm
+// Report / Theorem 4).
+type reportRun struct {
+	ps     *procState
+	st     *SearchStats
+	lbl    string
+	sink   func(rank int, pairs []ReportPair)
+	orders []rorder
+	locals []rlocal
+}
+
+func (r *reportRun) answerHat(q Query, s hatSel) {
+	if s.Elem >= 0 {
+		r.orders = append(r.orders, rorder{Query: q.ID, Elem: s.Elem})
+		return
+	}
+	// Expand the selected hat-internal node into its stubs: every forest
+	// element below it is selected whole.
+	for _, e := range r.ps.stubsUnder(s.Tree, int(s.Node), nil) {
+		r.orders = append(r.orders, rorder{Query: q.ID, Elem: e})
+	}
+}
+
+func (r *reportRun) materialize(*element) {}
+
+func (r *reportRun) answerSub(s subquery) {
+	el := r.ps.lookup(s.Elem)
+	if pts := el.tree.Report(s.Box); len(pts) > 0 {
+		r.locals = append(r.locals, rlocal{Query: s.Query, Pts: pts})
+	}
+}
+
+func (r *reportRun) finish(pr *cgm.Proc) {
+	ps := r.ps
+	p := pr.P()
+
+	// Phase D (Algorithm Report): weigh every selected tree by its leaf
+	// count, prefix-sum the weights, and redistribute so each processor
+	// materializes a contiguous ~k/p block of output.
+	myWeight := 0
+	for _, o := range r.orders {
+		myWeight += int(ps.info[int(o.Elem)].Count)
+	}
+	for _, l := range r.locals {
+		myWeight += len(l.Pts)
+	}
+	off, totalK := comm.CountScan(pr, r.lbl+"/weights", myWeight)
+	for i := range r.orders {
+		r.orders[i].Off = off
+		off += int(ps.info[int(r.orders[i].Elem)].Count)
+	}
+	for i := range r.locals {
+		r.locals[i].Off = off
+		off += len(r.locals[i].Pts)
+	}
+
+	// Whole-element orders fetch their points from the owner.
+	fetched := comm.SegmentedGather(pr, r.lbl+"/fetch", r.orders, func(o rorder) int {
+		return int(ps.info[int(o.Elem)].Owner)
+	})
+
+	// Ship every entry's points to the processors owning its output
+	// positions (the segmented broadcast of Algorithm Report step 4).
+	out := make([][]ReportPair, p)
+	emit := func(qid int32, pts []geom.Point, off int) {
+		for _, sh := range balance.SplitWeighted(off, len(pts), totalK, p) {
+			for _, pt := range pts[sh.Lo:sh.Hi] {
+				out[sh.Proc] = append(out[sh.Proc], ReportPair{Query: qid, Pt: pt})
+			}
+		}
+	}
+	for _, l := range r.locals {
+		emit(l.Query, l.Pts, l.Off)
+	}
+	for _, o := range fetched {
+		el := ps.elems[o.Elem] // fetch orders always target the owner
+		emit(o.Query, el.pts, o.Off)
+	}
+	in := cgm.Exchange(pr, r.lbl+"/pairs", out)
+	var mine []ReportPair
+	for _, part := range in {
+		mine = append(mine, part...)
+	}
+	r.st.PairsEmitted = len(mine)
+	r.sink(ps.rank, mine)
+}
+
+// reportMode collects the balanced per-processor pair blocks during the
+// run and groups them per query afterwards. It is generic in R so the
+// mixed mode can reuse it; deliver writes one query's sorted points into
+// the caller's result representation.
+type reportMode[R any] struct {
+	nq      int
+	perProc [][]ReportPair
+	counts  []int
+	deliver func(results []R, qid int32, pts []geom.Point)
+}
+
+func newReportMode[R any](nq, p int, deliver func([]R, int32, []geom.Point)) *reportMode[R] {
+	return &reportMode[R]{nq: nq, perProc: make([][]ReportPair, p), deliver: deliver}
+}
+
+func (*reportMode[R]) label() string { return "report" }
+func (*reportMode[R]) init([]R)      {}
+func (m *reportMode[R]) start(t *Tree, ps *procState, st *SearchStats, results []R) procRun {
+	return m.startRun(ps, st)
+}
+
+// startRun builds the per-processor run; split out so the mixed mode can
+// embed report answering without duplicating phase D.
+func (m *reportMode[R]) startRun(ps *procState, st *SearchStats) *reportRun {
+	return &reportRun{ps: ps, st: st, lbl: m.label(),
+		sink: func(rank int, pairs []ReportPair) { m.perProc[rank] = pairs }}
+}
+
+// epilogue groups the distributed (q, l) pairs by query for the caller.
+// The algorithm's deliverable — every pair on some processor, balanced to
+// O(k/p) each — is what the machine run produced and what the metrics
+// measure; this grouping is a convenience step outside the measured
+// algorithm.
+func (m *reportMode[R]) epilogue(results []R) {
+	perQuery := make([][]geom.Point, m.nq)
+	m.counts = make([]int, len(m.perProc))
+	for rank, pairs := range m.perProc {
+		m.counts[rank] = len(pairs)
+		for _, pair := range pairs {
+			perQuery[pair.Query] = append(perQuery[pair.Query], pair.Pt)
+		}
+	}
+	for qi, pts := range perQuery {
+		slices.SortFunc(pts, func(a, b geom.Point) int { return int(a.ID) - int(b.ID) })
+		m.deliver(results, int32(qi), pts)
+	}
+}
+
 // ReportBatch answers every query in report mode and groups the pairs by
-// query for the caller. The algorithm's distributed deliverable — the
-// paper's "for each q and each l in q's range, the pair (q, l) is on some
-// processor", balanced to O(k/p) pairs each — is what the machine run
-// produces and what the metrics measure; the final grouping is a
-// convenience step outside the measured algorithm.
+// query for the caller.
 func (t *Tree) ReportBatch(boxes []geom.Box) [][]geom.Point {
 	perQuery, _ := t.reportBatch(boxes)
 	return perQuery
@@ -259,123 +431,12 @@ func (t *Tree) ReportBatchBalance(boxes []geom.Box) ([][]geom.Point, []int) {
 }
 
 func (t *Tree) reportBatch(boxes []geom.Box) ([][]geom.Point, []int) {
-	m := len(boxes)
-	if m == 0 {
+	if len(boxes) == 0 {
 		return nil, make([]int, t.P())
 	}
-	p := t.P()
-	perProc := make([][]ReportPair, p)
-	t.prepBatch()
-	t.mach.Run(func(pr *cgm.Proc) {
-		ps := t.procs[pr.Rank()]
-		st := &t.lastStats[pr.Rank()]
-		lo, hi := queryBlock(pr.Rank(), m, p)
-
-		// Phase A: hat search. Selections become whole-element orders
-		// (expanding selected hat-internal nodes into their stubs).
-		type order struct {
-			Query int32
-			Elem  ElemID
-			Off   int // global output offset, assigned below
-		}
-		var orders []order
-		var subs []subquery
-		for qi := lo; qi < hi; qi++ {
-			q := Query{ID: int32(qi), Box: boxes[qi]}
-			ps.hatSearch(t, q,
-				func(s hatSel) {
-					st.HatSelections++
-					if s.Elem >= 0 {
-						orders = append(orders, order{Query: q.ID, Elem: s.Elem})
-						return
-					}
-					for _, e := range ps.stubsUnder(s.Tree, int(s.Node), nil) {
-						orders = append(orders, order{Query: q.ID, Elem: e})
-					}
-				},
-				func(s subquery) { subs = append(subs, s) })
-		}
-		st.Subqueries = len(subs)
-
-		// Phase B/C: balance Q″ and run the sequential searches.
-		type local struct {
-			Query int32
-			Pts   []geom.Point
-			Off   int
-		}
-		served := t.phaseB(pr, ps, subs, "report", nil)
-		st.Served = len(served)
-		st.CopiesHeld = len(ps.copies)
-		var locals []local
-		for _, s := range served {
-			el := ps.lookup(s.Elem)
-			if pts := el.tree.Report(s.Box); len(pts) > 0 {
-				locals = append(locals, local{Query: s.Query, Pts: pts})
-			}
-		}
-
-		// Phase D (Algorithm Report): weigh every selected tree by its
-		// leaf count, prefix-sum the weights, and redistribute so each
-		// processor materializes a contiguous ~k/p block of output.
-		myWeight := 0
-		for _, o := range orders {
-			myWeight += int(ps.info[int(o.Elem)].Count)
-		}
-		for _, l := range locals {
-			myWeight += len(l.Pts)
-		}
-		off, totalK := comm.CountScan(pr, "report/weights", myWeight)
-		for i := range orders {
-			orders[i].Off = off
-			off += int(ps.info[int(orders[i].Elem)].Count)
-		}
-		for i := range locals {
-			locals[i].Off = off
-			off += len(locals[i].Pts)
-		}
-
-		// Whole-element orders fetch their points from the owner.
-		fetched := comm.SegmentedGather(pr, "report/fetch", orders, func(o order) int {
-			return int(ps.info[int(o.Elem)].Owner)
-		})
-
-		// Ship every entry's points to the processors owning its output
-		// positions (the segmented broadcast of Algorithm Report step 4).
-		out := make([][]ReportPair, p)
-		emit := func(qid int32, pts []geom.Point, off int) {
-			for _, sh := range balance.SplitWeighted(off, len(pts), totalK, p) {
-				for _, pt := range pts[sh.Lo:sh.Hi] {
-					out[sh.Proc] = append(out[sh.Proc], ReportPair{Query: qid, Pt: pt})
-				}
-			}
-		}
-		for _, l := range locals {
-			emit(l.Query, l.Pts, l.Off)
-		}
-		for _, o := range fetched {
-			el := ps.elems[o.Elem] // fetch orders always target the owner
-			emit(o.Query, el.pts, o.Off)
-		}
-		in := cgm.Exchange(pr, "report/pairs", out)
-		var mine []ReportPair
-		for _, part := range in {
-			mine = append(mine, part...)
-		}
-		st.PairsEmitted = len(mine)
-		perProc[pr.Rank()] = mine
+	mode := newReportMode(len(boxes), t.P(), func(results [][]geom.Point, qid int32, pts []geom.Point) {
+		results[qid] = pts
 	})
-
-	// Grouping for the caller (outside the measured algorithm).
-	results := make([][]geom.Point, m)
-	counts := make([]int, p)
-	for rank, pairs := range perProc {
-		counts[rank] = len(pairs)
-		for _, pair := range pairs {
-			results[pair.Query] = append(results[pair.Query], pair.Pt)
-		}
-	}
-	for _, r := range results {
-		sort.Slice(r, func(i, j int) bool { return r[i].ID < r[j].ID })
-	}
-	return results, counts
+	results := runSearch(t, asQueries(boxes), mode)
+	return results, mode.counts
 }

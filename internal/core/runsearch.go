@@ -1,0 +1,108 @@
+package core
+
+import (
+	"repro/internal/cgm"
+	"repro/internal/geom"
+)
+
+// The batched-search supersteps (Algorithm Search) have one structure
+// shared by every result mode of §4.2:
+//
+//	phase A  hat descent of Q over the local replica (hatSearch); matches
+//	         resolved inside the hat are answered by the mode, and the
+//	         queries that must visit the forest become the subquery set Q″
+//	phase B  demand-balanced copying of congested forest parts and routing
+//	         of Q″ to the copy hosts (phaseB)
+//	phase C  sequential answering of the served subqueries on their hosts
+//	phase D  the mode's result collectives — gather partials at each
+//	         query's home, or the report mode's balanced redistribution
+//
+// runSearch owns phases A–C and the machine run; a searchMode supplies the
+// per-mode hooks. Each mode is a ~40-line instance, so a new result mode
+// no longer copies the superstep plumbing.
+
+// searchMode supplies the per-mode pieces of the unified pipeline for a
+// batch producing one R per query.
+type searchMode[R any] interface {
+	// label prefixes the communication labels of the batch's collectives.
+	label() string
+	// init seeds the shared result slice before the machine run (e.g.
+	// with monoid identities).
+	init(results []R)
+	// start creates the per-processor mode state of one machine run.
+	// Deliveries into results must stay within disjoint per-processor
+	// shares (the query home blocks, or rank-indexed slots).
+	start(t *Tree, ps *procState, st *SearchStats, results []R) procRun
+	// epilogue runs once on the caller's goroutine after the machine run
+	// (e.g. the report mode's final grouping).
+	epilogue(results []R)
+}
+
+// procRun is the per-processor half of a searchMode during one run.
+type procRun interface {
+	// answerHat resolves one hat selection of phase A.
+	answerHat(q Query, s hatSel)
+	// materialize is called for every element copy installed in phase B.
+	materialize(el *element)
+	// answerSub serves one routed subquery in phase C.
+	answerSub(s subquery)
+	// finish runs the mode's result collectives (phase D). Every
+	// processor calls it exactly once, so its collectives stay SPMD.
+	finish(pr *cgm.Proc)
+}
+
+// runSearch executes the unified batched-search pipeline for one batch.
+func runSearch[R any](t *Tree, queries []Query, mode searchMode[R]) []R {
+	m := len(queries)
+	if m == 0 {
+		return nil
+	}
+	p := t.P()
+	results := make([]R, m)
+	mode.init(results)
+	t.prepBatch()
+	t.mach.Run(func(pr *cgm.Proc) {
+		ps := t.procs[pr.Rank()]
+		st := &t.lastStats[pr.Rank()]
+		run := mode.start(t, ps, st, results)
+
+		// Phase A: advance this processor's query block through the hat.
+		lo, hi := queryBlock(pr.Rank(), m, p)
+		var subs []subquery
+		for qi := lo; qi < hi; qi++ {
+			q := queries[qi]
+			ps.hatSearch(t, q,
+				func(s hatSel) {
+					st.HatSelections++
+					run.answerHat(q, s)
+				},
+				func(s subquery) { subs = append(subs, s) })
+		}
+		st.Subqueries = len(subs)
+
+		// Phase B: balance Q″ across copies of the demanded forest parts.
+		served := t.phaseB(pr, ps, subs, mode.label(), run.materialize)
+		st.Served = len(served)
+		st.CopiesHeld = len(ps.copies)
+
+		// Phase C: answer the subqueries this processor serves.
+		for _, s := range served {
+			run.answerSub(s)
+		}
+
+		// Phase D: the mode's result collectives.
+		run.finish(pr)
+	})
+	mode.epilogue(results)
+	return results
+}
+
+// asQueries wraps a box batch as the pipeline's query set; the ID is the
+// batch index, which result delivery relies on.
+func asQueries(boxes []geom.Box) []Query {
+	qs := make([]Query, len(boxes))
+	for i, b := range boxes {
+		qs[i] = Query{ID: int32(i), Box: b}
+	}
+	return qs
+}

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 
 	"repro/internal/balance"
 	"repro/internal/cgm"
@@ -319,11 +321,7 @@ func sortedDemandIDs(m map[ElemID]int32) []ElemID {
 	for id := range m {
 		ids = append(ids, id)
 	}
-	for i := 1; i < len(ids); i++ {
-		for k := i; k > 0 && ids[k] < ids[k-1]; k-- {
-			ids[k], ids[k-1] = ids[k-1], ids[k]
-		}
-	}
+	slices.SortFunc(ids, func(a, b ElemID) int { return cmp.Compare(a, b) })
 	return ids
 }
 
@@ -333,10 +331,6 @@ func sortedOwnedIDs(m map[ElemID]*element) []ElemID {
 	for id := range m {
 		ids = append(ids, id)
 	}
-	for i := 1; i < len(ids); i++ { // insertion sort: parts are small
-		for k := i; k > 0 && ids[k] < ids[k-1]; k-- {
-			ids[k], ids[k-1] = ids[k-1], ids[k]
-		}
-	}
+	slices.SortFunc(ids, func(a, b ElemID) int { return cmp.Compare(a, b) })
 	return ids
 }

@@ -1,0 +1,303 @@
+// Package engine is the concurrent serving layer over the distributed
+// range tree: it accepts single Count/Aggregate/Report calls from many
+// goroutines, micro-batches them, and dispatches each mixed-mode batch
+// through the unified search pipeline in one machine run.
+//
+// The paper's theorems price a batch in communication rounds, so they
+// assume large batches (m ≥ p² queries) — but a serving workload arrives
+// one query at a time. The engine closes that gap: requests accumulate in
+// a pending buffer that flushes when it reaches the configured batch size
+// or when the oldest pending request has waited the configured deadline,
+// whichever comes first. Results route back to callers over per-query
+// channels, and an LRU cache keyed by (mode, box) short-circuits repeated
+// queries. Hit/miss/flush counters are exported via Stats.
+package engine
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// ErrClosed is returned by queries submitted after Close.
+var ErrClosed = errors.New("engine: closed")
+
+// ErrNoAggregate is returned by Aggregate on an engine built without a
+// prepared associative handle.
+var ErrNoAggregate = errors.New("engine: no aggregate handle prepared")
+
+// Defaults used for zero Config fields.
+const (
+	DefaultBatchSize = 64
+	DefaultMaxDelay  = 2 * time.Millisecond
+	DefaultCacheSize = 1024
+)
+
+// Config tunes the micro-batching and caching behavior.
+type Config struct {
+	// BatchSize flushes the pending buffer when this many queries are
+	// waiting (default DefaultBatchSize).
+	BatchSize int
+	// MaxDelay flushes a non-empty pending buffer this long after its
+	// first query arrived, so a lone query is never stuck waiting for a
+	// full batch (default DefaultMaxDelay).
+	MaxDelay time.Duration
+	// CacheSize is the LRU answer-cache capacity in entries; negative
+	// disables caching (default DefaultCacheSize).
+	CacheSize int
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = DefaultBatchSize
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = DefaultMaxDelay
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = DefaultCacheSize
+	}
+	return cfg
+}
+
+// Stats is a snapshot of the engine's counters.
+type Stats struct {
+	Submitted       uint64 // queries accepted (including cache hits)
+	CacheHits       uint64 // answered from the LRU without dispatch
+	CacheMisses     uint64 // enqueued for a batch
+	Batches         uint64 // machine runs dispatched
+	BatchedQueries  uint64 // queries answered by dispatched batches
+	SizeFlushes     uint64 // flushes triggered by a full buffer
+	DeadlineFlushes uint64 // flushes triggered by the deadline timer
+	DrainFlushes    uint64 // final flushes triggered by Close
+}
+
+// request is one pending query and its reply channel.
+type request[T any] struct {
+	op  core.MixedOp
+	box geom.Box
+	key string
+	out chan core.MixedResult[T]
+}
+
+// Engine is the serving layer. All methods are safe for concurrent use.
+type Engine[T any] struct {
+	tree *core.Tree
+	agg  *core.AggHandle[T]
+	cfg  Config
+
+	// closing guards the reqs channel: submitters hold it shared for the
+	// duration of a send, Close takes it exclusively before closing.
+	closing sync.RWMutex
+	closed  bool
+	reqs    chan request[T]
+	done    chan struct{}
+
+	cache *lru[core.MixedResult[T]]
+
+	submitted, hits, misses           atomic.Uint64
+	batches, batched                  atomic.Uint64
+	sizeFlush, deadlineFlush, drained atomic.Uint64
+}
+
+// New creates an engine answering Count and Report queries on t.
+func New(t *core.Tree, cfg Config) *Engine[struct{}] {
+	return WithAggregate[struct{}](t, nil, cfg)
+}
+
+// WithAggregate creates an engine that additionally answers Aggregate
+// queries through the prepared handle h (which must annotate t).
+func WithAggregate[T any](t *core.Tree, h *core.AggHandle[T], cfg Config) *Engine[T] {
+	if h != nil && h.Tree() != t {
+		panic("engine: aggregate handle was prepared on a different tree")
+	}
+	cfg = cfg.withDefaults()
+	e := &Engine[T]{
+		tree: t,
+		agg:  h,
+		cfg:  cfg,
+		reqs: make(chan request[T], 4*cfg.BatchSize),
+		done: make(chan struct{}),
+	}
+	if cfg.CacheSize > 0 {
+		e.cache = newLRU[core.MixedResult[T]](cfg.CacheSize)
+	}
+	go e.loop()
+	return e
+}
+
+// Count answers |R(box)|.
+func (e *Engine[T]) Count(box geom.Box) (int64, error) {
+	r, err := e.submit(core.OpCount, box)
+	return r.Count, err
+}
+
+// Aggregate answers ⊗_{l∈R(box)} f(l) for the prepared handle.
+func (e *Engine[T]) Aggregate(box geom.Box) (T, error) {
+	if e.agg == nil {
+		var zero T
+		return zero, ErrNoAggregate
+	}
+	r, err := e.submit(core.OpAggregate, box)
+	return r.Agg, err
+}
+
+// Report answers the points of R(box), sorted by point ID.
+func (e *Engine[T]) Report(box geom.Box) ([]geom.Point, error) {
+	r, err := e.submit(core.OpReport, box)
+	return r.Pts, err
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine[T]) Stats() Stats {
+	return Stats{
+		Submitted:       e.submitted.Load(),
+		CacheHits:       e.hits.Load(),
+		CacheMisses:     e.misses.Load(),
+		Batches:         e.batches.Load(),
+		BatchedQueries:  e.batched.Load(),
+		SizeFlushes:     e.sizeFlush.Load(),
+		DeadlineFlushes: e.deadlineFlush.Load(),
+		DrainFlushes:    e.drained.Load(),
+	}
+}
+
+// Close stops the engine after answering every already-accepted query.
+// Subsequent queries fail with ErrClosed. Close is idempotent.
+func (e *Engine[T]) Close() {
+	e.closing.Lock()
+	if !e.closed {
+		e.closed = true
+		close(e.reqs)
+	}
+	e.closing.Unlock()
+	<-e.done
+}
+
+// submit runs the cache fast path, then hands the query to the batching
+// loop and blocks on its reply channel.
+func (e *Engine[T]) submit(op core.MixedOp, box geom.Box) (core.MixedResult[T], error) {
+	e.closing.RLock()
+	if e.closed {
+		e.closing.RUnlock()
+		return core.MixedResult[T]{}, ErrClosed
+	}
+	e.submitted.Add(1)
+	key := cacheKey(op, box)
+	if e.cache != nil {
+		if v, ok := e.cache.get(key); ok {
+			e.hits.Add(1)
+			e.closing.RUnlock()
+			return cloneResult(v), nil
+		}
+	}
+	e.misses.Add(1)
+	req := request[T]{op: op, box: box, key: key, out: make(chan core.MixedResult[T], 1)}
+	e.reqs <- req
+	e.closing.RUnlock()
+	return <-req.out, nil
+}
+
+// loop is the dispatcher: it owns the pending buffer and the deadline
+// timer, and is the only goroutine that runs machine batches.
+func (e *Engine[T]) loop() {
+	defer close(e.done)
+	var batch []request[T]
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	armed := false
+	disarm := func() {
+		if armed && !timer.Stop() {
+			<-timer.C
+		}
+		armed = false
+	}
+	flush := func(reason *atomic.Uint64) {
+		disarm()
+		if len(batch) > 0 {
+			reason.Add(1)
+			e.dispatch(batch)
+			batch = nil
+		}
+	}
+	for {
+		select {
+		case req, ok := <-e.reqs:
+			if !ok {
+				flush(&e.drained)
+				return
+			}
+			batch = append(batch, req)
+			if len(batch) >= e.cfg.BatchSize {
+				flush(&e.sizeFlush)
+			} else if !armed {
+				timer.Reset(e.cfg.MaxDelay)
+				armed = true
+			}
+		case <-timer.C:
+			armed = false
+			flush(&e.deadlineFlush)
+		}
+	}
+}
+
+// dispatch answers one pending buffer with a single mixed-mode machine
+// run, deduplicating identical (mode, box) queries within the batch, then
+// fans the results back out to the reply channels and the cache.
+func (e *Engine[T]) dispatch(batch []request[T]) {
+	slot := make(map[string]int, len(batch))   // key -> unique index
+	at := make([]int, len(batch))              // request -> unique index
+	ops := make([]core.MixedOp, 0, len(batch))
+	boxes := make([]geom.Box, 0, len(batch))
+	for i, req := range batch {
+		j, ok := slot[req.key]
+		if !ok {
+			j = len(ops)
+			slot[req.key] = j
+			ops = append(ops, req.op)
+			boxes = append(boxes, req.box)
+		}
+		at[i] = j
+	}
+
+	results := core.MixedBatch(e.tree, e.agg, ops, boxes)
+	e.batches.Add(1)
+	e.batched.Add(uint64(len(batch)))
+
+	for i, req := range batch {
+		res := results[at[i]]
+		if e.cache != nil {
+			e.cache.add(req.key, res)
+		}
+		req.out <- cloneResult(res)
+	}
+}
+
+// cloneResult copies the slice-valued part of an answer so no two
+// callers (or a caller and the cache) alias the same report points —
+// callers are free to sort or filter what they receive in place.
+func cloneResult[T any](r core.MixedResult[T]) core.MixedResult[T] {
+	if r.Pts != nil {
+		r.Pts = append([]geom.Point(nil), r.Pts...)
+	}
+	return r
+}
+
+// cacheKey encodes (mode, box) as a compact string map key.
+func cacheKey(op core.MixedOp, b geom.Box) string {
+	buf := make([]byte, 0, 1+8*b.Dims())
+	buf = append(buf, byte(op))
+	for d := 0; d < b.Dims(); d++ {
+		iv := b.Dim(d)
+		buf = append(buf,
+			byte(iv.Lo), byte(iv.Lo>>8), byte(iv.Lo>>16), byte(iv.Lo>>24),
+			byte(iv.Hi), byte(iv.Hi>>8), byte(iv.Hi>>16), byte(iv.Hi>>24))
+	}
+	return string(buf)
+}

@@ -1,0 +1,282 @@
+package engine
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/brute"
+	"repro/internal/cgm"
+	"repro/internal/core"
+	"repro/internal/semigroup"
+	"repro/internal/workload"
+)
+
+// testFixture builds one tree + oracle shared by the tests.
+type testFixture struct {
+	tree *core.Tree
+	agg  *core.AggHandle[float64]
+	bf   *brute.Set
+	n    int
+}
+
+func newFixture(t testing.TB, n, p int) *testFixture {
+	t.Helper()
+	pts := workload.Points(workload.PointSpec{N: n, Dims: 2, Dist: workload.Uniform, Seed: 11})
+	mach := cgm.New(cgm.Config{P: p})
+	tree := core.Build(mach, pts)
+	return &testFixture{
+		tree: tree,
+		agg:  core.PrepareAssociative(tree, semigroup.FloatSum(), workload.WeightOf),
+		bf:   brute.New(pts),
+		n:    n,
+	}
+}
+
+// TestEngineConcurrentMixedMatchesBrute hammers one engine from many
+// goroutines across all three modes and checks every answer against the
+// brute-force oracle. Run under -race this is the serving layer's main
+// correctness guarantee.
+func TestEngineConcurrentMixedMatchesBrute(t *testing.T) {
+	fx := newFixture(t, 1<<11, 4)
+	eng := WithAggregate(fx.tree, fx.agg, Config{
+		BatchSize: 48,
+		MaxDelay:  200 * time.Microsecond,
+		CacheSize: 128,
+	})
+	defer eng.Close()
+
+	const submitters = 10
+	const perSubmitter = 64
+	boxes := workload.Boxes(workload.QuerySpec{
+		M: submitters * perSubmitter, Dims: 2, N: fx.n, Selectivity: 0.01, Seed: 21,
+	})
+
+	var wg sync.WaitGroup
+	fail := func(format string, args ...any) {
+		t.Helper()
+		t.Errorf(format, args...)
+	}
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + g)))
+			for i := 0; i < perSubmitter; i++ {
+				// Revisit earlier boxes sometimes so the cache sees traffic.
+				qi := g*perSubmitter + i
+				if rng.Intn(4) == 0 {
+					qi = rng.Intn(len(boxes))
+				}
+				q := boxes[qi]
+				switch (g + i) % 3 {
+				case 0:
+					got, err := eng.Count(q)
+					if err != nil {
+						fail("goroutine %d: Count: %v", g, err)
+						return
+					}
+					if want := int64(fx.bf.Count(q)); got != want {
+						fail("goroutine %d query %d: count %d, want %d", g, i, got, want)
+					}
+				case 1:
+					got, err := eng.Aggregate(q)
+					if err != nil {
+						fail("goroutine %d: Aggregate: %v", g, err)
+						return
+					}
+					want := brute.Aggregate(fx.bf, semigroup.FloatSum(), workload.WeightOf, q)
+					if d := got - want; d > 1e-6 || d < -1e-6 {
+						fail("goroutine %d query %d: agg %v, want %v", g, i, got, want)
+					}
+				default:
+					got, err := eng.Report(q)
+					if err != nil {
+						fail("goroutine %d: Report: %v", g, err)
+						return
+					}
+					gotIDs, wantIDs := brute.IDs(got), brute.IDs(fx.bf.Report(q))
+					if len(gotIDs) != len(wantIDs) {
+						fail("goroutine %d query %d: %d points, want %d", g, i, len(gotIDs), len(wantIDs))
+						continue
+					}
+					for j := range gotIDs {
+						if gotIDs[j] != wantIDs[j] {
+							fail("goroutine %d query %d: point %d is %d, want %d", g, i, j, gotIDs[j], wantIDs[j])
+							break
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	st := eng.Stats()
+	if st.Submitted != submitters*perSubmitter {
+		t.Errorf("Submitted = %d, want %d", st.Submitted, submitters*perSubmitter)
+	}
+	if st.Batches == 0 {
+		t.Error("no batches dispatched")
+	}
+	if st.CacheHits+st.CacheMisses != st.Submitted {
+		t.Errorf("hits %d + misses %d != submitted %d", st.CacheHits, st.CacheMisses, st.Submitted)
+	}
+	if st.BatchedQueries != st.CacheMisses {
+		t.Errorf("BatchedQueries = %d, want %d (one dispatch per miss)", st.BatchedQueries, st.CacheMisses)
+	}
+	t.Logf("stats: %+v", st)
+}
+
+// TestEngineDeadlineFlush proves a lone query is answered by the deadline
+// timer without waiting for a full batch.
+func TestEngineDeadlineFlush(t *testing.T) {
+	fx := newFixture(t, 512, 4)
+	eng := New(fx.tree, Config{
+		BatchSize: 1 << 20, // unreachable by size
+		MaxDelay:  5 * time.Millisecond,
+		CacheSize: -1,
+	})
+	defer eng.Close()
+
+	q := workload.Boxes(workload.QuerySpec{M: 1, Dims: 2, N: fx.n, Selectivity: 0.1, Seed: 3})[0]
+	start := time.Now()
+	got, err := eng.Count(q)
+	if err != nil {
+		t.Fatalf("Count: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("lone query took %v; deadline flush did not fire", elapsed)
+	}
+	if want := int64(fx.bf.Count(q)); got != want {
+		t.Fatalf("count = %d, want %d", got, want)
+	}
+	st := eng.Stats()
+	if st.DeadlineFlushes == 0 {
+		t.Fatalf("expected a deadline flush, stats %+v", st)
+	}
+	if st.SizeFlushes != 0 {
+		t.Fatalf("unexpected size flush, stats %+v", st)
+	}
+}
+
+// TestEngineCacheHit verifies the LRU short-circuits a repeated query and
+// that hits are counted per (mode, box): the same box in another mode must
+// miss.
+func TestEngineCacheHit(t *testing.T) {
+	fx := newFixture(t, 512, 2)
+	eng := New(fx.tree, Config{BatchSize: 4, MaxDelay: time.Millisecond, CacheSize: 16})
+	defer eng.Close()
+
+	q := workload.Boxes(workload.QuerySpec{M: 1, Dims: 2, N: fx.n, Selectivity: 0.05, Seed: 8})[0]
+	first, err := eng.Count(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := eng.Count(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Fatalf("cached answer %d differs from first %d", second, first)
+	}
+	if st := eng.Stats(); st.CacheHits != 1 {
+		t.Fatalf("CacheHits = %d, want 1 (stats %+v)", st.CacheHits, st)
+	}
+	if _, err := eng.Report(q); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.Stats(); st.CacheHits != 1 {
+		t.Fatalf("Report of the same box must miss; stats %+v", st)
+	}
+}
+
+// TestEngineBatchDedup verifies identical in-flight queries are answered
+// by one pipeline slot.
+func TestEngineBatchDedup(t *testing.T) {
+	fx := newFixture(t, 512, 2)
+	eng := New(fx.tree, Config{BatchSize: 64, MaxDelay: 20 * time.Millisecond, CacheSize: -1})
+	defer eng.Close()
+
+	q := workload.Boxes(workload.QuerySpec{M: 1, Dims: 2, N: fx.n, Selectivity: 0.05, Seed: 4})[0]
+	want := int64(fx.bf.Count(q))
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if got, err := eng.Count(q); err != nil || got != want {
+				t.Errorf("Count = %d, %v; want %d", got, err, want)
+			}
+		}()
+	}
+	wg.Wait()
+	// All 16 were identical: however the requests landed in batches, the
+	// answers are correct and at least some deduplication is observable
+	// when they share a flush (not asserted — timing dependent).
+	t.Logf("stats: %+v", eng.Stats())
+}
+
+// TestEngineReportNoAliasing verifies callers may mutate a Report answer
+// without corrupting the cache or other callers' copies.
+func TestEngineReportNoAliasing(t *testing.T) {
+	fx := newFixture(t, 512, 2)
+	eng := New(fx.tree, Config{BatchSize: 4, MaxDelay: time.Millisecond, CacheSize: 16})
+	defer eng.Close()
+
+	q := workload.Boxes(workload.QuerySpec{M: 1, Dims: 2, N: fx.n, Selectivity: 0.2, Seed: 13})[0]
+	first, err := eng.Report(q)
+	if err != nil || len(first) < 2 {
+		t.Fatalf("Report: %v (got %d points, need ≥2)", err, len(first))
+	}
+	first[0], first[1] = first[1], first[0] // caller scrambles its copy
+	second, err := eng.Report(q)           // cache hit
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(second); i++ {
+		if second[i-1].ID > second[i].ID {
+			t.Fatalf("cached report answer was corrupted by a caller's in-place mutation")
+		}
+	}
+}
+
+// TestEngineLifecycle covers Close semantics and the no-handle error.
+func TestEngineLifecycle(t *testing.T) {
+	fx := newFixture(t, 256, 2)
+	eng := New(fx.tree, Config{BatchSize: 8, MaxDelay: time.Millisecond})
+	q := workload.Boxes(workload.QuerySpec{M: 1, Dims: 2, N: fx.n, Selectivity: 0.1, Seed: 5})[0]
+
+	if _, err := eng.Aggregate(q); err != ErrNoAggregate {
+		t.Fatalf("Aggregate without handle: err = %v, want ErrNoAggregate", err)
+	}
+	if _, err := eng.Count(q); err != nil {
+		t.Fatalf("Count before close: %v", err)
+	}
+	eng.Close()
+	eng.Close() // idempotent
+	if _, err := eng.Count(q); err != ErrClosed {
+		t.Fatalf("Count after close: err = %v, want ErrClosed", err)
+	}
+}
+
+// TestLRUEviction pins the cache's capacity behavior.
+func TestLRUEviction(t *testing.T) {
+	c := newLRU[int](2)
+	c.add("a", 1)
+	c.add("b", 2)
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a evicted too early")
+	}
+	c.add("c", 3) // evicts b (a was refreshed by the get)
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if v, ok := c.get("a"); !ok || v != 1 {
+		t.Fatalf("a = %d/%v, want 1", v, ok)
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+}

@@ -1,0 +1,66 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lru is a mutex-guarded least-recently-used answer cache. The tree is
+// immutable once built, so entries never need invalidation — capacity is
+// the only eviction pressure.
+type lru[V any] struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recent; values are *lruEntry[V]
+	index map[string]*list.Element
+}
+
+type lruEntry[V any] struct {
+	key string
+	val V
+}
+
+func newLRU[V any](capacity int) *lru[V] {
+	return &lru[V]{
+		cap:   capacity,
+		order: list.New(),
+		index: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached value and refreshes its recency.
+func (c *lru[V]) get(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.index[key]; ok {
+		c.order.MoveToFront(el)
+		return el.Value.(*lruEntry[V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// add inserts or refreshes a value, evicting the least recent entry when
+// over capacity.
+func (c *lru[V]) add(key string, val V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.index[key]; ok {
+		el.Value.(*lruEntry[V]).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.index[key] = c.order.PushFront(&lruEntry[V]{key: key, val: val})
+	if c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.index, oldest.Value.(*lruEntry[V]).key)
+	}
+}
+
+// len reports the current entry count (tests).
+func (c *lru[V]) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
