@@ -8,6 +8,7 @@
 //	rangebench -experiment T2,T3        # selected experiments
 //	rangebench -scale full              # EXPERIMENTS.md-sized runs
 //	rangebench -markdown > results.md   # markdown output
+//	rangebench -json                    # E15 phase-C numbers → BENCH_phaseC.json
 package main
 
 import (
@@ -38,14 +39,17 @@ var runners = map[string]func(expt.Scale) *expt.Table{
 	"E12": expt.E12,
 	"E13": expt.E13,
 	"E14": expt.E14,
+	"E15": expt.E15,
 }
 
-var order = []string{"F1", "F2", "F3", "T1", "T2", "T3", "T4A", "T4B", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"}
+var order = []string{"F1", "F2", "F3", "T1", "T2", "T3", "T4A", "T4B", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"}
 
 func main() {
 	experiments := flag.String("experiment", "all", "comma-separated experiment ids (e.g. T2,T3,E6) or 'all'")
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
 	markdown := flag.Bool("markdown", false, "emit GitHub markdown instead of aligned text")
+	jsonFlag := flag.Bool("json", false, "run E15 and write its machine-readable record to BENCH_phaseC.json (then exit)")
+	jsonOut := flag.String("json-out", "BENCH_phaseC.json", "target path for -json")
 	flag.Parse()
 
 	var scale expt.Scale
@@ -57,6 +61,21 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "rangebench: unknown scale %q (want quick or full)\n", *scaleFlag)
 		os.Exit(2)
+	}
+
+	if *jsonFlag {
+		payload, err := expt.PhaseCJSON(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rangebench: %v\n", err)
+			os.Exit(1)
+		}
+		payload = append(payload, '\n')
+		if err := os.WriteFile(*jsonOut, payload, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "rangebench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+		return
 	}
 
 	var ids []string

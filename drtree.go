@@ -111,10 +111,33 @@ func RankNormalize(pts []Point) []Point { return geom.RankNormalize(pts) }
 // NewBox builds a closed query box.
 func NewBox(lo, hi []Coord) Box { return geom.NewBox(lo, hi) }
 
+// ElemBackend selects the sequential structure forest elements (and their
+// phase-B copies) are built on.
+type ElemBackend = core.Backend
+
+// Element backends.
+const (
+	// LayeredBackend (the default) serves phase-C subqueries on layered
+	// (fractionally cascaded) trees: O(log^(j-1) g + k) per subquery, the
+	// §1 saving applied to the distributed hot path.
+	LayeredBackend = core.BackendLayered
+	// RangeTreeBackend is the paper's plain sequential structure.
+	RangeTreeBackend = core.BackendRangeTree
+	// BruteBackend answers subqueries by linear scan (oracle/testing).
+	BruteBackend = core.BackendBrute
+)
+
 // BuildDistributed runs Algorithm Construct on the machine and returns the
 // distributed range tree (Theorem 2: O(s/p) local work plus a constant
-// number of h-relations).
+// number of h-relations), with forest elements on the default layered
+// backend.
 func BuildDistributed(m *Machine, pts []Point) *Tree { return core.Build(m, pts) }
+
+// BuildDistributedWith runs Algorithm Construct with an explicit element
+// backend.
+func BuildDistributedWith(m *Machine, pts []Point, be ElemBackend) *Tree {
+	return core.BuildBackend(m, pts, be)
+}
 
 // BuildSequential builds the classical sequential range tree over all
 // dimensions of pts.

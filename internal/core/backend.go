@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/brute"
+	"repro/internal/geom"
+	"repro/internal/layered"
+	"repro/internal/rangetree"
+	"repro/internal/semigroup"
+)
+
+// Backend selects the sequential structure forest elements (and copies of
+// them) are built on. The distributed algorithms above the element layer
+// are backend-agnostic: anything that can build, count, report and carry a
+// semigroup annotation over a point set serves phase C.
+type Backend int8
+
+const (
+	// BackendLayered is the default: the layered (fractionally cascaded)
+	// range tree, answering a j-dimensional subquery in O(log^(j-1) g + k)
+	// — a log factor below the plain tree, exactly the improvement the
+	// paper cites in §1 for the sequential structure.
+	BackendLayered Backend = iota
+	// BackendRangeTree is the paper's plain structure (Definition 1), kept
+	// as the reference backend and the baseline of the E15 measurements.
+	BackendRangeTree
+	// BackendBrute serves subqueries by linear scan. It exists for the
+	// cross-backend oracle tests and as a degenerate baseline; never pick
+	// it for real workloads.
+	BackendBrute
+)
+
+// String names the backend (diagnostics and benchmark labels).
+func (b Backend) String() string {
+	switch b {
+	case BackendLayered:
+		return "layered"
+	case BackendRangeTree:
+		return "rangetree"
+	case BackendBrute:
+		return "brute"
+	}
+	return fmt.Sprintf("Backend(%d)", int8(b))
+}
+
+// elemTree is the per-element contract of phase C: build once (via
+// buildElemTree), then answer counting and reporting subqueries. Nodes
+// feeds the Theorem 1 space accounting.
+type elemTree interface {
+	N() int
+	Nodes() int
+	Count(b geom.Box) int
+	Report(b geom.Box) []geom.Point
+}
+
+// visitable is the zero-allocation fast path: backends exposing the
+// layered Visitor API let the serving hooks reuse one visitor across all
+// subqueries of a batch instead of allocating per call.
+type visitable interface {
+	Visit(b geom.Box, v layered.Visitor)
+}
+
+// buildElemTree constructs one forest element's sequential structure over
+// dimensions startDim..d-1 of pts.
+func buildElemTree(be Backend, pts []geom.Point, startDim int) elemTree {
+	switch be {
+	case BackendRangeTree:
+		return rangetree.BuildFrom(pts, startDim)
+	case BackendBrute:
+		return &bruteElem{set: brute.Set{Pts: pts}}
+	default:
+		return layered.BuildFrom(pts, startDim)
+	}
+}
+
+// bruteElem adapts brute.Set to the element contract. Earlier dimensions
+// are re-checked by Contains; that is redundant (the hat guarantees them
+// structurally) but harmless, and keeps the oracle backend trivially
+// correct.
+type bruteElem struct {
+	set brute.Set
+}
+
+func (b *bruteElem) N() int                         { return len(b.set.Pts) }
+func (b *bruteElem) Nodes() int                     { return len(b.set.Pts) }
+func (b *bruteElem) Count(q geom.Box) int           { return b.set.Count(q) }
+func (b *bruteElem) Report(q geom.Box) []geom.Point { return b.set.Report(q) }
+
+// elemAgg is a prepared per-element semigroup annotation (Algorithm
+// AssociativeFunction step 1 at element granularity).
+type elemAgg[T any] interface {
+	Query(b geom.Box) T
+}
+
+// newElemAgg builds the annotation matching the element's backend.
+func newElemAgg[T any](el *element, m semigroup.Monoid[T], val func(geom.Point) T) elemAgg[T] {
+	switch tr := el.tree.(type) {
+	case *layered.Tree:
+		return layered.NewAgg(tr, m, val)
+	case *rangetree.Tree:
+		return rangetree.NewAgg(tr, m, val)
+	default:
+		return &bruteAgg[T]{pts: el.pts, m: m, val: val}
+	}
+}
+
+// bruteAgg folds by scanning — the oracle-backend annotation.
+type bruteAgg[T any] struct {
+	pts []geom.Point
+	m   semigroup.Monoid[T]
+	val func(geom.Point) T
+}
+
+func (a *bruteAgg[T]) Query(b geom.Box) T {
+	acc := a.m.Identity
+	for _, p := range a.pts {
+		if b.Contains(p) {
+			acc = a.m.Combine(acc, a.val(p))
+		}
+	}
+	return acc
+}
+
+// countVisitor tallies a Visit descent; the serving hooks hold one and
+// reset total between subqueries, so counting stays allocation-free.
+type countVisitor struct{ total int }
+
+func (c *countVisitor) VisitRange(pts []geom.Point) { c.total += len(pts) }
+func (c *countVisitor) VisitPoint(geom.Point)       { c.total++ }
+
+// reportVisitor gathers a Visit descent into out, which the hook swaps
+// per subquery (the result slice itself must persist past the call).
+type reportVisitor struct{ out []geom.Point }
+
+func (r *reportVisitor) VisitRange(pts []geom.Point) { r.out = append(r.out, pts...) }
+func (r *reportVisitor) VisitPoint(p geom.Point)     { r.out = append(r.out, p) }
+
+// elemCount counts s.Box in el through the fastest available path.
+func elemCount(el *element, b geom.Box, cv *countVisitor) int {
+	if vt, ok := el.tree.(visitable); ok {
+		cv.total = 0
+		vt.Visit(b, cv)
+		return cv.total
+	}
+	return el.tree.Count(b)
+}
+
+// elemReport reports b from el through the fastest available path.
+func elemReport(el *element, b geom.Box, rv *reportVisitor) []geom.Point {
+	if vt, ok := el.tree.(visitable); ok {
+		rv.out = nil
+		vt.Visit(b, rv)
+		out := rv.out
+		rv.out = nil
+		return out
+	}
+	return el.tree.Report(b)
+}

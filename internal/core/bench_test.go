@@ -42,16 +42,21 @@ func BenchmarkReportBatch(b *testing.B) {
 	}
 }
 
+// benchHatSink counts descent outcomes without other work.
+type benchHatSink struct{ sels, subs int }
+
+func (s *benchHatSink) hatSelection(Query, hatSel) { s.sels++ }
+func (s *benchHatSink) forestSub(subquery)         { s.subs++ }
+
 func BenchmarkHatSearchOnly(b *testing.B) {
 	dt, boxes := benchTree(b, 1<<14, 2, 16)
 	ps := dt.procs[0]
+	var sink benchHatSink
 	b.ResetTimer()
-	sink := 0
 	for i := 0; i < b.N; i++ {
 		q := Query{ID: 0, Box: boxes[i%len(boxes)]}
-		ps.hatSearch(dt, q, func(hatSel) { sink++ }, func(subquery) { sink++ })
+		ps.hatSearch(dt, q, &sink)
 	}
-	_ = sink
 }
 
 func BenchmarkSingleCount(b *testing.B) {
@@ -70,4 +75,48 @@ func BenchmarkVerify(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkPhaseCServe compares the element backends on batch serving at
+// the acceptance scale (n = 2^17, d = 3): count and report workloads,
+// phase C dominated (the copy cache is warmed before measuring). The
+// layered backend must beat the plain range tree on both.
+func BenchmarkPhaseCServe(b *testing.B) {
+	const n, d, p, q = 1 << 17, 3, 8, 256
+	for _, be := range []Backend{BackendLayered, BackendRangeTree} {
+		rng := rand.New(rand.NewSource(1))
+		pts := randomPoints(rng, n, d)
+		dt := BuildBackend(cgm.New(cgm.Config{P: p}), pts, be)
+		boxes := randomBoxes(rng, q, n/16, d) // moderate selectivity
+		dt.CountBatch(boxes)                  // warm copy caches
+		b.Run("count/"+be.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				dt.CountBatch(boxes)
+			}
+		})
+		b.Run("report/"+be.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				dt.ReportBatch(boxes)
+			}
+		})
+	}
+}
+
+// BenchmarkPhaseCCopyCache measures phase-B install time on a skewed
+// workload, cold (cache invalidated every batch) versus warm (cache kept
+// across batches) — the tax the cross-batch copy cache removes.
+func BenchmarkPhaseCCopyCache(b *testing.B) {
+	dt, boxes := skewedSetup(b, 1<<15, 3, 8, 256, BackendLayered)
+	dt.CountBatch(boxes)
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dt.InvalidateCopies()
+			dt.CountBatch(boxes)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			dt.CountBatch(boxes)
+		}
+	})
 }

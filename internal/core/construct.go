@@ -4,13 +4,12 @@ import (
 	"cmp"
 	"fmt"
 	"slices"
-	"sort"
+	"sync/atomic"
 
 	"repro/internal/cgm"
 	"repro/internal/comm"
 	"repro/internal/geom"
 	"repro/internal/psort"
-	"repro/internal/rangetree"
 	"repro/internal/segtree"
 )
 
@@ -49,13 +48,20 @@ type runSum struct {
 	Count int
 }
 
-// Build runs Algorithm Construct (§3) on mach: it distributes pts in
-// blocks of n/p, then constructs the distributed range tree in d phases,
-// each phase sorting the segment-tree leaves S^j, routing forest-element
-// groups to their owners (k mod p), building forest elements sequentially,
-// broadcasting the stub roots, and rebuilding the dimension-j hat layer on
-// every processor.
+// Build runs Algorithm Construct (§3) on mach with the default element
+// backend (the layered tree): it distributes pts in blocks of n/p, then
+// constructs the distributed range tree in d phases, each phase sorting
+// the segment-tree leaves S^j, routing forest-element groups to their
+// owners (k mod p), building forest elements sequentially, broadcasting
+// the stub roots, and rebuilding the dimension-j hat layer on every
+// processor.
 func Build(mach *cgm.Machine, pts []geom.Point) *Tree {
+	return BuildBackend(mach, pts, BackendLayered)
+}
+
+// BuildBackend runs Algorithm Construct with an explicit element backend
+// (forest elements and their phase-B copies are built on it).
+func BuildBackend(mach *cgm.Machine, pts []geom.Point, be Backend) *Tree {
 	n := len(pts)
 	if n == 0 {
 		panic("core: empty point set")
@@ -71,11 +77,13 @@ func Build(mach *cgm.Machine, pts []geom.Point) *Tree {
 	}
 	p := mach.P()
 	t := &Tree{
-		mach:  mach,
-		n:     n,
-		dims:  dims,
-		grain: (n + p - 1) / p,
-		procs: make([]*procState, p),
+		mach:       mach,
+		n:          n,
+		dims:       dims,
+		grain:      (n + p - 1) / p,
+		backend:    be,
+		procs:      make([]*procState, p),
+		lastCopied: make([]atomic.Int64, p),
 	}
 	mach.Run(func(pr *cgm.Proc) { t.construct(pr, pts) })
 	return t
@@ -85,10 +93,11 @@ func Build(mach *cgm.Machine, pts []geom.Point) *Tree {
 func (t *Tree) construct(pr *cgm.Proc, pts []geom.Point) {
 	rank, p := pr.Rank(), pr.P()
 	ps := &procState{
-		rank:     rank,
-		hatByKey: make(map[segtree.PathKey]int32),
-		elems:    make(map[ElemID]*element),
-		copies:   make(map[ElemID]*element),
+		rank:      rank,
+		hatByKey:  make(map[segtree.PathKey]int32),
+		elems:     make(map[ElemID]*element),
+		copies:    make(map[ElemID]*element),
+		copyCache: make(map[ElemID]*element),
 	}
 	t.procs[rank] = ps
 
@@ -225,11 +234,11 @@ func (t *Tree) constructPhase(pr *cgm.Proc, ps *procState, recs []srec, j int, n
 		if int32(len(epts)) != info.Count {
 			panic(fmt.Sprintf("core: element %d received %d points, expected %d", id, len(epts), info.Count))
 		}
-		el := &element{info: info, pts: epts, tree: rangetree.BuildFrom(epts, j)}
+		el := &element{info: info, pts: epts, tree: buildElemTree(t.backend, epts, j)}
 		ps.elems[id] = el
 		metas = append(metas, elemMeta{Elem: id, Min: epts[0].X[j], Max: epts[len(epts)-1].X[j]})
 	}
-	sort.Slice(metas, func(a, b int) bool { return metas[a].Elem < metas[b].Elem })
+	slices.SortFunc(metas, func(a, b elemMeta) int { return cmp.Compare(a.Elem, b.Elem) })
 
 	// Steps 4–5: all-to-all broadcast of the forest roots (the hat's
 	// leaves); every processor completes its dimension-j hat trees.
@@ -294,28 +303,30 @@ func parentKey(k segtree.PathKey) segtree.PathKey {
 // linked to its anchor node in the previous dimension.
 func (t *Tree) buildHatTree(ps *procState, ts treeSum, j int) {
 	shape := segtree.NewShape(ts.M)
-	ht := &HatTree{
-		ID:    int32(len(ps.hat)),
-		Key:   ts.Key,
-		Dim:   int8(j),
-		Shape: shape,
-		Nodes: make(map[int]HatNode),
-	}
 	stubs := shape.Stubs(t.grain)
+	// Every hat node is a stub or a stub's ancestor (smaller heap index),
+	// so the dense node store only spans [0, max stub index].
+	limit := shape.Root() + 1
+	for _, st := range stubs {
+		if st.Node >= limit {
+			limit = st.Node + 1
+		}
+	}
+	ht := newHatTree(int32(len(ps.hat)), ts.Key, int8(j), shape, limit)
 	for si, st := range stubs {
 		info := ps.info[int(ts.Elem0)+si]
-		ht.Nodes[st.Node] = HatNode{
+		ht.setNode(st.Node, HatNode{
 			Count: int32(st.Count),
 			Min:   info.Min,
 			Max:   info.Max,
 			Elem:  info.ID,
 			Desc:  -1,
-		}
+		})
 	}
 	// Hat-internal ancestors, bottom-up from the stubs.
 	var fill func(v int) (geom.Coord, geom.Coord)
 	fill = func(v int) (geom.Coord, geom.Coord) {
-		if nd, ok := ht.Nodes[v]; ok { // stub
+		if nd, ok := ht.Node(v); ok { // stub
 			return nd.Min, nd.Max
 		}
 		var mn, mx geom.Coord
@@ -337,7 +348,7 @@ func (t *Tree) buildHatTree(ps *procState, ts treeSum, j int) {
 				}
 			}
 		}
-		ht.Nodes[v] = HatNode{Count: int32(shape.Count(v)), Min: mn, Max: mx, Elem: -1, Desc: -1}
+		ht.setNode(v, HatNode{Count: int32(shape.Count(v)), Min: mn, Max: mx, Elem: -1, Desc: -1})
 		return mn, mx
 	}
 	fill(shape.Root())
@@ -354,11 +365,11 @@ func (t *Tree) buildHatTree(ps *procState, ts treeSum, j int) {
 			panic(fmt.Sprintf("core: hat tree %v has no parent %v", ts.Key, parent))
 		}
 		pt := ps.hat[pid]
-		nd, ok := pt.Nodes[anchorNode]
+		nd, ok := pt.Node(anchorNode)
 		if !ok {
 			panic(fmt.Sprintf("core: anchor node %d missing in %v", anchorNode, parent))
 		}
 		nd.Desc = ht.ID
-		pt.Nodes[anchorNode] = nd
+		pt.setNode(anchorNode, nd)
 	}
 }

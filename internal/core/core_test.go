@@ -429,7 +429,7 @@ func TestHatReplicasIdentical(t *testing.T) {
 			if a.Key != b.Key || a.Dim != b.Dim || a.Shape != b.Shape {
 				t.Fatalf("replica %d tree %d header differs", rank, i)
 			}
-			if !reflect.DeepEqual(a.Nodes, b.Nodes) {
+			if !reflect.DeepEqual(a.nodes, b.nodes) || !reflect.DeepEqual(a.present, b.present) {
 				t.Fatalf("replica %d tree %d nodes differ", rank, i)
 			}
 		}

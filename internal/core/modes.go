@@ -7,7 +7,6 @@ import (
 	"repro/internal/cgm"
 	"repro/internal/comm"
 	"repro/internal/geom"
-	"repro/internal/rangetree"
 	"repro/internal/semigroup"
 )
 
@@ -19,11 +18,13 @@ import (
 // SearchStats reports one processor's share of the last batch — the
 // quantities the balancing lemma bounds.
 type SearchStats struct {
-	HatSelections int // selections resolved in the replicated hat
-	Subqueries    int // subqueries this processor's queries spawned (its Q″ share)
-	Served        int // subqueries served after redistribution
-	CopiesHeld    int // forest elements copied to this processor
-	PairsEmitted  int // report mode: (q, point) pairs materialized here
+	HatSelections int   // selections resolved in the replicated hat
+	Subqueries    int   // subqueries this processor's queries spawned (its Q″ share)
+	Served        int   // subqueries served after redistribution
+	CopiesHeld    int   // forest elements copied to this processor
+	PairsEmitted  int   // report mode: (q, point) pairs materialized here
+	CopyCacheHits int   // copies installed from the cross-batch cache
+	InstallNanos  int64 // time spent installing copies in phase B
 }
 
 // LastSearchStats returns the per-processor statistics of the most recent
@@ -47,6 +48,7 @@ type countRun struct {
 	lbl     string
 	deliver func(qid int32, v int64) // called at the query's home
 	pairs   []qcount
+	cv      countVisitor // reused: phase C counting allocates nothing
 }
 
 func (r *countRun) answerHat(q Query, s hatSel) {
@@ -54,7 +56,8 @@ func (r *countRun) answerHat(q Query, s hatSel) {
 	if s.Elem >= 0 {
 		c = int64(r.ps.info[int(s.Elem)].Count)
 	} else {
-		c = int64(r.ps.hat[s.Tree].Nodes[int(s.Node)].Count)
+		nd, _ := r.ps.hat[s.Tree].Node(int(s.Node))
+		c = int64(nd.Count)
 	}
 	r.pairs = append(r.pairs, qcount{Query: q.ID, Val: c})
 }
@@ -63,7 +66,7 @@ func (r *countRun) materialize(*element) {}
 
 func (r *countRun) answerSub(s subquery) {
 	el := r.ps.lookup(s.Elem)
-	r.pairs = append(r.pairs, qcount{Query: s.Query, Val: int64(el.tree.Count(s.Box))})
+	r.pairs = append(r.pairs, qcount{Query: s.Query, Val: int64(elemCount(el, s.Box, &r.cv))})
 }
 
 func (r *countRun) finish(pr *cgm.Proc) {
@@ -77,9 +80,9 @@ func (r *countRun) finish(pr *cgm.Proc) {
 
 type countMode struct{}
 
-func (countMode) label() string     { return "count" }
-func (countMode) init([]int64)      {}
-func (countMode) epilogue([]int64)  {}
+func (countMode) label() string    { return "count" }
+func (countMode) init([]int64)     {}
+func (countMode) epilogue([]int64) {}
 func (countMode) start(t *Tree, ps *procState, st *SearchStats, results []int64) procRun {
 	return &countRun{ps: ps, nq: len(results), lbl: "count",
 		deliver: func(qid int32, v int64) { results[qid] += v }}
@@ -105,9 +108,21 @@ type AggHandle[T any] struct {
 	// elemRoot[e] is f folded over all points of element e (replicated).
 	elemRoot []T
 	// elemAggs[rank] are the per-node annotations of owned elements.
-	elemAggs []map[ElemID]*rangetree.Agg[T]
+	elemAggs []map[ElemID]elemAgg[T]
 	// hatTab[rank][treeID][node] annotates last-dimension hat trees.
 	hatTab []map[int32][]T
+	// copyCache[rank] keeps annotations of copied elements across
+	// batches, mirroring the element copy cache: swept when the tree
+	// epoch moves, bounded like it, and an entry is only reused for the
+	// same built tree instance.
+	copyCache  []map[ElemID]cachedAgg[T]
+	cacheEpoch []uint64
+}
+
+// cachedAgg is one cross-batch annotation cache entry.
+type cachedAgg[T any] struct {
+	tree elemTree
+	agg  elemAgg[T]
 }
 
 // Tree returns the distributed tree the handle annotates.
@@ -119,12 +134,14 @@ func (h *AggHandle[T]) Tree() *Tree { return h.t }
 func PrepareAssociative[T any](t *Tree, mo semigroup.Monoid[T], val func(geom.Point) T) *AggHandle[T] {
 	p := t.P()
 	h := &AggHandle[T]{
-		t:        t,
-		m:        mo,
-		val:      val,
-		elemRoot: make([]T, t.ElemCount()),
-		elemAggs: make([]map[ElemID]*rangetree.Agg[T], p),
-		hatTab:   make([]map[int32][]T, p),
+		t:          t,
+		m:          mo,
+		val:        val,
+		elemRoot:   make([]T, t.ElemCount()),
+		elemAggs:   make([]map[ElemID]elemAgg[T], p),
+		hatTab:     make([]map[int32][]T, p),
+		copyCache:  make([]map[ElemID]cachedAgg[T], p),
+		cacheEpoch: make([]uint64, p),
 	}
 	type rootVal struct {
 		Elem ElemID
@@ -132,11 +149,11 @@ func PrepareAssociative[T any](t *Tree, mo semigroup.Monoid[T], val func(geom.Po
 	}
 	t.mach.Run(func(pr *cgm.Proc) {
 		ps := t.procs[pr.Rank()]
-		aggs := make(map[ElemID]*rangetree.Agg[T])
+		aggs := make(map[ElemID]elemAgg[T])
 		var roots []rootVal
 		for _, id := range sortedOwnedIDs(ps.elems) {
 			el := ps.elems[id]
-			aggs[id] = rangetree.NewAgg(el.tree, mo, val)
+			aggs[id] = newElemAgg(el, mo, val)
 			acc := mo.Identity
 			for _, pt := range el.pts {
 				acc = mo.Combine(acc, val(pt))
@@ -144,6 +161,7 @@ func PrepareAssociative[T any](t *Tree, mo semigroup.Monoid[T], val func(geom.Po
 			roots = append(roots, rootVal{Elem: id, Val: acc})
 		}
 		h.elemAggs[pr.Rank()] = aggs
+		h.copyCache[pr.Rank()] = make(map[ElemID]cachedAgg[T])
 		all := comm.AllGatherFlat(pr, "assoc/roots", roots)
 		rootTab := make([]T, t.ElemCount())
 		for _, rv := range all {
@@ -157,10 +175,10 @@ func PrepareAssociative[T any](t *Tree, mo semigroup.Monoid[T], val func(geom.Po
 			if int(ht.Dim) != t.dims-1 {
 				continue
 			}
-			arr := make([]T, ht.Shape.NumNodes()+1)
+			arr := make([]T, len(ht.nodes))
 			var fill func(v int) T
 			fill = func(v int) T {
-				nd, ok := ht.Nodes[v]
+				nd, ok := ht.Node(v)
 				if !ok {
 					return mo.Identity
 				}
@@ -196,13 +214,13 @@ type assocRun[T any] struct {
 	nq       int
 	lbl      string
 	deliver  func(qid int32, v T) // called at the query's home
-	copyAggs map[ElemID]*rangetree.Agg[T]
+	copyAggs map[ElemID]elemAgg[T]
 	pairs    []qvalT[T]
 }
 
 func newAssocRun[T any](h *AggHandle[T], ps *procState, nq int, lbl string, deliver func(int32, T)) *assocRun[T] {
 	return &assocRun[T]{h: h, ps: ps, nq: nq, lbl: lbl, deliver: deliver,
-		copyAggs: make(map[ElemID]*rangetree.Agg[T])}
+		copyAggs: make(map[ElemID]elemAgg[T])}
 }
 
 func (r *assocRun[T]) answerHat(q Query, s hatSel) {
@@ -215,8 +233,23 @@ func (r *assocRun[T]) answerHat(q Query, s hatSel) {
 	r.pairs = append(r.pairs, qvalT[T]{Query: q.ID, Val: v})
 }
 
+// materialize annotates one installed copy, reusing the cross-batch cache
+// when the copy itself was reused (same built tree). Sweep and bound
+// mirror installCopies.
 func (r *assocRun[T]) materialize(el *element) {
-	r.copyAggs[el.info.ID] = rangetree.NewAgg(el.tree, r.h.m, r.h.val)
+	rank := r.ps.rank
+	cache := r.h.copyCache[rank]
+	if epoch := r.h.t.epoch.Load(); r.h.cacheEpoch[rank] != epoch {
+		clear(cache)
+		r.h.cacheEpoch[rank] = epoch
+	}
+	if c, ok := cache[el.info.ID]; ok && c.tree == el.tree {
+		r.copyAggs[el.info.ID] = c.agg
+		return
+	}
+	a := newElemAgg(el, r.h.m, r.h.val)
+	cacheInsert(cache, el.info.ID, cachedAgg[T]{tree: el.tree, agg: a}, r.h.t.copyCacheCapFor(r.ps))
+	r.copyAggs[el.info.ID] = a
 }
 
 func (r *assocRun[T]) answerSub(s subquery) {
@@ -291,6 +324,8 @@ type reportRun struct {
 	sink   func(rank int, pairs []ReportPair)
 	orders []rorder
 	locals []rlocal
+	rv     reportVisitor // reused across served subqueries
+	stubs  []ElemID      // reused stub-expansion buffer
 }
 
 func (r *reportRun) answerHat(q Query, s hatSel) {
@@ -300,7 +335,8 @@ func (r *reportRun) answerHat(q Query, s hatSel) {
 	}
 	// Expand the selected hat-internal node into its stubs: every forest
 	// element below it is selected whole.
-	for _, e := range r.ps.stubsUnder(s.Tree, int(s.Node), nil) {
+	r.stubs = r.ps.stubsUnder(s.Tree, int(s.Node), r.stubs[:0])
+	for _, e := range r.stubs {
 		r.orders = append(r.orders, rorder{Query: q.ID, Elem: e})
 	}
 }
@@ -309,7 +345,7 @@ func (r *reportRun) materialize(*element) {}
 
 func (r *reportRun) answerSub(s subquery) {
 	el := r.ps.lookup(s.Elem)
-	if pts := el.tree.Report(s.Box); len(pts) > 0 {
+	if pts := elemReport(el, s.Box, &r.rv); len(pts) > 0 {
 		r.locals = append(r.locals, rlocal{Query: s.Query, Pts: pts})
 	}
 }

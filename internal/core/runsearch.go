@@ -51,6 +51,23 @@ type procRun interface {
 	finish(pr *cgm.Proc)
 }
 
+// phaseASink wires one processor's hat descents into its mode run: hat
+// selections are answered immediately, forest crossings accumulate as Q″.
+// One sink serves the whole batch, so phase A's innermost loop allocates
+// no closures.
+type phaseASink struct {
+	st   *SearchStats
+	run  procRun
+	subs []subquery
+}
+
+func (s *phaseASink) hatSelection(q Query, h hatSel) {
+	s.st.HatSelections++
+	s.run.answerHat(q, h)
+}
+
+func (s *phaseASink) forestSub(sq subquery) { s.subs = append(s.subs, sq) }
+
 // runSearch executes the unified batched-search pipeline for one batch.
 func runSearch[R any](t *Tree, queries []Query, mode searchMode[R]) []R {
 	m := len(queries)
@@ -68,16 +85,11 @@ func runSearch[R any](t *Tree, queries []Query, mode searchMode[R]) []R {
 
 		// Phase A: advance this processor's query block through the hat.
 		lo, hi := queryBlock(pr.Rank(), m, p)
-		var subs []subquery
+		sink := phaseASink{st: st, run: run}
 		for qi := lo; qi < hi; qi++ {
-			q := queries[qi]
-			ps.hatSearch(t, q,
-				func(s hatSel) {
-					st.HatSelections++
-					run.answerHat(q, s)
-				},
-				func(s subquery) { subs = append(subs, s) })
+			ps.hatSearch(t, queries[qi], &sink)
 		}
+		subs := sink.subs
 		st.Subqueries = len(subs)
 
 		// Phase B: balance Q″ across copies of the demanded forest parts.

@@ -4,12 +4,12 @@ import (
 	"cmp"
 	"fmt"
 	"slices"
+	"time"
 
 	"repro/internal/balance"
 	"repro/internal/cgm"
 	"repro/internal/comm"
 	"repro/internal/geom"
-	"repro/internal/rangetree"
 	"repro/internal/segtree"
 )
 
@@ -38,75 +38,122 @@ type subquery struct {
 	Box   geom.Box
 }
 
+// hatSink consumes the outcomes of one hat descent: selections resolved
+// inside the replicated hat and crossings into the forest. An interface
+// (rather than a closure pair) keeps the innermost loop of phase A free of
+// per-query closure allocations.
+type hatSink interface {
+	hatSelection(q Query, s hatSel)
+	forestSub(s subquery)
+}
+
+// funcHatSink adapts closures to hatSink for the single-query paths.
+type funcHatSink struct {
+	sel func(hatSel)
+	sub func(subquery)
+}
+
+func (f *funcHatSink) hatSelection(_ Query, s hatSel) { f.sel(s) }
+func (f *funcHatSink) forestSub(s subquery)           { f.sub(s) }
+
 // hatSearch advances one query through the hat replica: the four-case
-// descent of §4 over the truncated trees. Selections in the last dimension
-// are emitted via sel; crossings into the forest via sub.
-func (ps *procState) hatSearch(t *Tree, q Query, sel func(hatSel), sub func(subquery)) {
+// descent of §4 over the truncated trees, run iteratively over the
+// procState's reused stack. Reusing the stack makes this non-reentrant
+// per procState — it is the batch path, where each rank's goroutine owns
+// its procState; callers outside a machine run use hatSearchFunc, which
+// descends over a local stack.
+func (ps *procState) hatSearch(t *Tree, q Query, sink hatSink) {
+	ps.hatStack = hatDescend(t, ps.hat, q, sink, ps.hatStack)
+}
+
+// hatSearchFunc is the closure-friendly wrapper used off the hot path
+// (single-query algorithms). Its stack is local, so it is safe on any
+// goroutine even while a batch runs.
+func (ps *procState) hatSearchFunc(t *Tree, q Query, sel func(hatSel), sub func(subquery)) {
+	sink := funcHatSink{sel: sel, sub: sub}
+	hatDescend(t, ps.hat, q, &sink, nil)
+}
+
+// hatDescend is the descent core. A frame names (tree, node); crossing
+// into the next dimension (case 1) pushes the descendant tree's root, so
+// one stack serves all d dimensions. The (emptied) stack is returned for
+// reuse by the caller.
+func hatDescend(t *Tree, hat []*HatTree, q Query, sink hatSink, stack []hatFrame) []hatFrame {
 	if q.Box.Dims() != t.dims {
 		panic(fmt.Sprintf("core: query %d has %d dims, tree has %d", q.ID, q.Box.Dims(), t.dims))
 	}
-	var visitTree func(id int32)
-	visitTree = func(id int32) {
-		ht := ps.hat[id]
+	stack = stack[:0]
+	stack = append(stack, hatFrame{tree: 0, node: int32(hat[0].Shape.Root())})
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		ht := hat[f.tree]
 		iv := q.Box.Dim(int(ht.Dim))
 		if iv.Empty() {
-			return
+			continue
+		}
+		nd, ok := ht.Node(int(f.node))
+		if !ok {
+			continue // no real points below
+		}
+		span := geom.Interval{Lo: nd.Min, Hi: nd.Max}
+		if !iv.Overlaps(span) {
+			continue // case 4: disjoint — the query is deleted here
 		}
 		last := int(ht.Dim) == t.dims-1
-		var descend func(v int)
-		descend = func(v int) {
-			nd, ok := ht.Nodes[v]
-			if !ok {
-				return // no real points below
+		if nd.Elem >= 0 {
+			// The query reaches a leaf of the hat. If the whole stub
+			// matches in the last dimension the element is selected
+			// outright; otherwise the query must continue in F.
+			if last && iv.ContainsInterval(span) {
+				sink.hatSelection(q, hatSel{Query: q.ID, Tree: f.tree, Node: f.node, Elem: nd.Elem})
+			} else {
+				sink.forestSub(subquery{Query: q.ID, Elem: nd.Elem, Box: q.Box})
 			}
-			span := geom.Interval{Lo: nd.Min, Hi: nd.Max}
-			if !iv.Overlaps(span) {
-				return // case 4: disjoint — the query is deleted here
-			}
-			if nd.Elem >= 0 {
-				// The query reaches a leaf of the hat. If the whole stub
-				// matches in the last dimension the element is selected
-				// outright; otherwise the query must continue in F.
-				if last && iv.ContainsInterval(span) {
-					sel(hatSel{Query: q.ID, Tree: id, Node: int32(v), Elem: nd.Elem})
-				} else {
-					sub(subquery{Query: q.ID, Elem: nd.Elem, Box: q.Box})
-				}
-				return
-			}
-			if iv.ContainsInterval(span) {
-				if last {
-					// Case 2: select the segment tree rooted at v.
-					sel(hatSel{Query: q.ID, Tree: id, Node: int32(v), Elem: -1})
-				} else {
-					// Case 1: proceed to the next dimension.
-					visitTree(nd.Desc)
-				}
-				return
-			}
-			// Case 3: split into the two children.
-			descend(segtree.Left(v))
-			descend(segtree.Right(v))
+			continue
 		}
-		descend(ht.Shape.Root())
+		if iv.ContainsInterval(span) {
+			if last {
+				// Case 2: select the segment tree rooted at v.
+				sink.hatSelection(q, hatSel{Query: q.ID, Tree: f.tree, Node: f.node, Elem: -1})
+			} else {
+				// Case 1: proceed to the next dimension.
+				stack = append(stack, hatFrame{tree: nd.Desc, node: int32(hat[nd.Desc].Shape.Root())})
+			}
+			continue
+		}
+		// Case 3: split into the two children (left popped first).
+		stack = append(stack,
+			hatFrame{tree: f.tree, node: int32(segtree.Right(int(f.node)))},
+			hatFrame{tree: f.tree, node: int32(segtree.Left(int(f.node)))})
 	}
-	visitTree(0)
+	return stack // empty; capacity kept for the next query
 }
 
 // stubsUnder appends the elements of every stub below hat node v of tree
 // id (inclusive) — the expansion Report mode uses when a hat-internal node
-// is selected: all forest elements below it are selected whole.
+// is selected: all forest elements below it are selected whole. The
+// descent is iterative over a reused stack, emitting in left-to-right
+// order.
 func (ps *procState) stubsUnder(id int32, v int, out []ElemID) []ElemID {
 	ht := ps.hat[id]
-	nd, ok := ht.Nodes[v]
-	if !ok {
-		return out
+	stack := ps.stubStack[:0]
+	stack = append(stack, int32(v))
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nd, ok := ht.Node(int(v))
+		if !ok {
+			continue
+		}
+		if nd.Elem >= 0 {
+			out = append(out, nd.Elem)
+			continue
+		}
+		stack = append(stack, int32(segtree.Right(int(v))), int32(segtree.Left(int(v))))
 	}
-	if nd.Elem >= 0 {
-		return append(out, nd.Elem)
-	}
-	out = ps.stubsUnder(id, segtree.Left(v), out)
-	return ps.stubsUnder(id, segtree.Right(v), out)
+	ps.stubStack = stack
+	return out
 }
 
 // BalanceMode selects the granularity of Algorithm Search's replication.
@@ -128,13 +175,113 @@ const (
 func (t *Tree) SetBalanceMode(m BalanceMode) { t.balanceMode = m }
 
 // LastCopiedPoints reports how many element points were shipped as copies
-// in the most recent batch (the E6 volume column).
+// in the most recent batch (the E6 volume column). The per-rank counters
+// are atomics: processors publish them inside the machine run, and this
+// reader may race a batch in flight (it then observes a mix of old and new
+// per-rank values, each one coherent).
 func (t *Tree) LastCopiedPoints() int {
 	total := 0
-	for _, c := range t.lastCopied {
-		total += c
+	for i := range t.lastCopied {
+		total += int(t.lastCopied[i].Load())
 	}
 	return total
+}
+
+// installCopies installs the shipped copies a processor received in phase
+// B: cache-valid elements are reused (points shipped, rebuild skipped),
+// everything else is built on the tree's backend and cached for later
+// batches. materialize runs for every installed copy either way. The
+// cache is swept whole when the tree epoch moved (so invalidated entries
+// never strand memory) and bounded by copyCacheCapFor (so a drifting hot
+// set cannot grow it without limit; eviction is arbitrary map order —
+// fine for a cache whose misses only cost a rebuild).
+func (t *Tree) installCopies(ps *procState, incoming [][]shippedElem, materialize func(*element)) {
+	st := &t.lastStats[ps.rank]
+	if epoch := t.epoch.Load(); ps.cacheEpoch != epoch {
+		clear(ps.copyCache)
+		ps.cacheEpoch = epoch
+	}
+	cap := t.copyCacheCapFor(ps)
+	start := time.Now()
+	for _, part := range incoming {
+		for _, sh := range part {
+			el, ok := ps.copyCache[sh.Info.ID]
+			if ok {
+				st.CopyCacheHits++
+			} else {
+				el = &element{info: sh.Info, pts: sh.Pts, tree: buildElemTree(t.backend, sh.Pts, int(sh.Info.Dim))}
+				cacheInsert(ps.copyCache, sh.Info.ID, el, cap)
+			}
+			ps.copies[sh.Info.ID] = el
+			if materialize != nil {
+				materialize(el)
+			}
+		}
+	}
+	st.InstallNanos += time.Since(start).Nanoseconds()
+}
+
+// shippedElem is one element copy in flight: replicated metadata plus the
+// points in leaf order.
+type shippedElem struct {
+	Info ElemInfo
+	Pts  []geom.Point
+}
+
+// gatherServed flattens the routed subqueries this processor received,
+// preallocated from the part sizes.
+func gatherServed(parts [][]subquery) []subquery {
+	total := 0
+	for _, part := range parts {
+		total += len(part)
+	}
+	mine := make([]subquery, 0, total)
+	for _, part := range parts {
+		mine = append(mine, part...)
+	}
+	return mine
+}
+
+// routeExact implements Search step 4's redistribution for both balance
+// granularities: destinations are resolved in a first pass (dest is
+// called once per subquery, in order — it may be stateful) so the routed
+// buckets are allocated at their exact final size, then exchanged.
+func routeExact(pr *cgm.Proc, label string, subs []subquery, dest func(i int, s subquery) int) []subquery {
+	p := pr.P()
+	counts := make([]int, p)
+	dests := make([]int32, len(subs))
+	for i, s := range subs {
+		d := dest(i, s)
+		dests[i] = int32(d)
+		counts[d]++
+	}
+	routed := make([][]subquery, p)
+	for d, c := range counts {
+		if c > 0 {
+			routed[d] = make([]subquery, 0, c)
+		}
+	}
+	for i, s := range subs {
+		routed[dests[i]] = append(routed[dests[i]], s)
+	}
+	return gatherServed(cgm.Exchange(pr, label, routed))
+}
+
+// cacheInsert inserts val under id, first evicting arbitrary entries to
+// stay within cap (cap ≤ 0 disables caching). Shared by the element copy
+// cache and the AggHandle annotation cache so their bounding policy
+// cannot drift.
+func cacheInsert[V any](cache map[ElemID]V, id ElemID, val V, cap int) {
+	if cap <= 0 {
+		return
+	}
+	for k := range cache {
+		if len(cache) < cap {
+			break
+		}
+		delete(cache, k)
+	}
+	cache[id] = val
 }
 
 // phaseB implements Algorithm Search steps 2–4: globally count the demand
@@ -170,11 +317,7 @@ func (t *Tree) phaseB(pr *cgm.Proc, ps *procState, subs []subquery, label string
 
 	// Step 3: make c_j copies of F_j and distribute them evenly. The
 	// owner ships its whole part to every host of one of its slots.
-	type shipped struct {
-		Info ElemInfo
-		Pts  []geom.Point
-	}
-	out := make([][]shipped, p)
+	out := make([][]shippedElem, p)
 	copiedPts := 0
 	for _, host := range plan.GroupHosts(ps.rank) {
 		if host == ps.rank {
@@ -182,21 +325,13 @@ func (t *Tree) phaseB(pr *cgm.Proc, ps *procState, subs []subquery, label string
 		}
 		for _, id := range sortedOwnedIDs(ps.elems) {
 			el := ps.elems[id]
-			out[host] = append(out[host], shipped{Info: el.info, Pts: el.pts})
+			out[host] = append(out[host], shippedElem{Info: el.info, Pts: el.pts})
 			copiedPts += len(el.pts)
 		}
 	}
-	t.lastCopied[ps.rank] = copiedPts
+	t.lastCopied[ps.rank].Store(int64(copiedPts))
 	incoming := cgm.Exchange(pr, label+"/copies", out)
-	for _, part := range incoming {
-		for _, sh := range part {
-			el := &element{info: sh.Info, pts: sh.Pts, tree: rangetree.BuildFrom(sh.Pts, int(sh.Info.Dim))}
-			ps.copies[sh.Info.ID] = el
-			if materialize != nil {
-				materialize(el)
-			}
-		}
-	}
+	t.installCopies(ps, incoming, materialize)
 
 	// Step 4: redistribute Q″ so every query sits with a copy of the part
 	// it visits; the r-th subquery of group j goes to the host of copy
@@ -208,20 +343,12 @@ func (t *Tree) phaseB(pr *cgm.Proc, ps *procState, subs []subquery, label string
 		}
 	}
 	seen := make([]int, p)
-	routed := make([][]subquery, p)
-	for _, s := range subs {
+	return routeExact(pr, label+"/route", subs, func(_ int, s subquery) int {
 		j := int(ps.info[int(s.Elem)].Owner)
 		r := rankOffset[j] + seen[j]
 		seen[j]++
-		dest := plan.Route(j, r)
-		routed[dest] = append(routed[dest], s)
-	}
-	served := cgm.Exchange(pr, label+"/route", routed)
-	var mine []subquery
-	for _, part := range served {
-		mine = append(mine, part...)
-	}
-	return mine
+		return plan.Route(j, r)
+	})
 }
 
 // phaseBElement is the ElementLevel variant of phaseB: demand, copies and
@@ -261,11 +388,7 @@ func (t *Tree) phaseBElement(pr *cgm.Proc, ps *procState, subs []subquery, label
 	}
 
 	// Ship only demanded elements, each to the hosts of its slots.
-	type shipped struct {
-		Info ElemInfo
-		Pts  []geom.Point
-	}
-	out := make([][]shipped, p)
+	out := make([][]shippedElem, p)
 	copiedPts := 0
 	for _, id := range sortedOwnedIDs(ps.elems) {
 		if demand[int(id)] == 0 {
@@ -276,21 +399,13 @@ func (t *Tree) phaseBElement(pr *cgm.Proc, ps *procState, subs []subquery, label
 			if host == ps.rank {
 				continue
 			}
-			out[host] = append(out[host], shipped{Info: el.info, Pts: el.pts})
+			out[host] = append(out[host], shippedElem{Info: el.info, Pts: el.pts})
 			copiedPts += len(el.pts)
 		}
 	}
-	t.lastCopied[ps.rank] = copiedPts
+	t.lastCopied[ps.rank].Store(int64(copiedPts))
 	incoming := cgm.Exchange(pr, label+"/ecopies", out)
-	for _, part := range incoming {
-		for _, sh := range part {
-			el := &element{info: sh.Info, pts: sh.Pts, tree: rangetree.BuildFrom(sh.Pts, int(sh.Info.Dim))}
-			ps.copies[sh.Info.ID] = el
-			if materialize != nil {
-				materialize(el)
-			}
-		}
-	}
+	t.installCopies(ps, incoming, materialize)
 
 	// Route the r-th subquery of element e to the host of copy ⌊r·c_e/d_e⌋.
 	rankOffset := make(map[ElemID]int)
@@ -300,19 +415,11 @@ func (t *Tree) phaseBElement(pr *cgm.Proc, ps *procState, subs []subquery, label
 		}
 	}
 	seen := make(map[ElemID]int)
-	routed := make([][]subquery, p)
-	for _, s := range subs {
+	return routeExact(pr, label+"/eroute", subs, func(_ int, s subquery) int {
 		r := rankOffset[s.Elem] + seen[s.Elem]
 		seen[s.Elem]++
-		dest := plan.Route(int(s.Elem), r)
-		routed[dest] = append(routed[dest], s)
-	}
-	served := cgm.Exchange(pr, label+"/eroute", routed)
-	var mine []subquery
-	for _, part := range served {
-		mine = append(mine, part...)
-	}
-	return mine
+		return plan.Route(int(s.Elem), r)
+	})
 }
 
 // sortedDemandIDs returns the map keys in increasing order.

@@ -27,7 +27,7 @@ func (t *Tree) SingleCount(b geom.Box) int64 {
 	t.mach.Run(func(pr *cgm.Proc) {
 		ps := t.procs[pr.Rank()]
 		var local int64
-		ps.hatSearch(t, Query{ID: 0, Box: b},
+		ps.hatSearchFunc(t, Query{ID: 0, Box: b},
 			func(s hatSel) {
 				// The hat is replicated: only rank 0 counts hat
 				// selections, so each is counted exactly once.
@@ -37,7 +37,8 @@ func (t *Tree) SingleCount(b geom.Box) int64 {
 				if s.Elem >= 0 {
 					local += int64(ps.info[int(s.Elem)].Count)
 				} else {
-					local += int64(ps.hat[s.Tree].Nodes[int(s.Node)].Count)
+					nd, _ := ps.hat[s.Tree].Node(int(s.Node))
+					local += int64(nd.Count)
 				}
 			},
 			func(s subquery) {
@@ -72,7 +73,7 @@ func (t *Tree) SingleReport(b geom.Box) []geom.Point {
 			}
 			mine = append(mine, ps.elems[id].pts...)
 		}
-		ps.hatSearch(t, Query{ID: 0, Box: b},
+		ps.hatSearchFunc(t, Query{ID: 0, Box: b},
 			func(s hatSel) {
 				if s.Elem >= 0 {
 					emitElem(s.Elem)
@@ -109,7 +110,7 @@ func (h *AggHandle[T]) SingleAggregate(b geom.Box) T {
 	t.mach.Run(func(pr *cgm.Proc) {
 		ps := t.procs[pr.Rank()]
 		local := h.m.Identity
-		ps.hatSearch(t, Query{ID: 0, Box: b},
+		ps.hatSearchFunc(t, Query{ID: 0, Box: b},
 			func(s hatSel) {
 				if pr.Rank() != 0 {
 					return
@@ -142,7 +143,7 @@ func (h *AggHandle[T]) SingleAggregate(b geom.Box) T {
 func (t *Tree) SingleQueryWork(b geom.Box) []int {
 	ps := t.procs[0]
 	out := make([]int, t.P())
-	ps.hatSearch(t, Query{ID: 0, Box: b},
+	ps.hatSearchFunc(t, Query{ID: 0, Box: b},
 		func(hatSel) {},
 		func(s subquery) { out[ps.info[int(s.Elem)].Owner]++ })
 	return out

@@ -18,10 +18,12 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/cgm"
 	"repro/internal/geom"
-	"repro/internal/rangetree"
 	"repro/internal/segtree"
 )
 
@@ -54,23 +56,87 @@ type HatNode struct {
 }
 
 // HatTree is one segment tree of the hat, truncated at the stub cut.
-// Nodes maps heap indices to nodes; only nodes covering at least one real
-// point appear.
+// Nodes live in a dense slice indexed by heap index with a presence
+// bitmap: every hat node is an ancestor of (or is) a stub, and stubs sit
+// within O(log) levels of the root, so the occupied index range is O(p)
+// regardless of the shape's full 2·Cap node space — dense probing replaces
+// map hashing in the descent's innermost loop.
 type HatTree struct {
-	ID    int32
-	Key   segtree.PathKey // names the tree (Lemma 1); primary = RootPathKey
-	Dim   int8            // 0-based dimension discriminated
-	Shape segtree.Shape
-	Nodes map[int]HatNode
+	ID      int32
+	Key     segtree.PathKey // names the tree (Lemma 1); primary = RootPathKey
+	Dim     int8            // 0-based dimension discriminated
+	Shape   segtree.Shape
+	nodes   []HatNode
+	present []uint64
+}
+
+// newHatTree allocates the dense node store for heap indices [0, limit).
+func newHatTree(id int32, key segtree.PathKey, dim int8, shape segtree.Shape, limit int) *HatTree {
+	return &HatTree{
+		ID: id, Key: key, Dim: dim, Shape: shape,
+		nodes:   make([]HatNode, limit),
+		present: make([]uint64, (limit+63)/64),
+	}
+}
+
+// Node returns the hat node at heap index v; ok is false for indices
+// below the stub cut or over padding (the map-miss of the old layout).
+func (ht *HatTree) Node(v int) (HatNode, bool) {
+	if uint(v) >= uint(len(ht.nodes)) || ht.present[v>>6]&(1<<(uint(v)&63)) == 0 {
+		return HatNode{}, false
+	}
+	return ht.nodes[v], true
+}
+
+// setNode stores the hat node at heap index v (construction and tests).
+func (ht *HatTree) setNode(v int, nd HatNode) {
+	ht.nodes[v] = nd
+	ht.present[v>>6] |= 1 << (uint(v) & 63)
+}
+
+// NodeCount reports the number of present nodes.
+func (ht *HatTree) NodeCount() int {
+	total := 0
+	for _, w := range ht.present {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// each visits every present node in increasing heap-index order.
+func (ht *HatTree) each(visit func(v int, nd HatNode)) {
+	for v := range ht.nodes {
+		if ht.present[v>>6]&(1<<(uint(v)&63)) != 0 {
+			visit(v, ht.nodes[v])
+		}
+	}
 }
 
 // element is an owned (or copied) forest element: its points in leaf order
-// and the sequential range tree over dimensions Dim..d-1 built from them
-// (Construct step 4 builds forest elements sequentially).
+// and the sequential structure over dimensions Dim..d-1 built from them on
+// the tree's backend (Construct step 4 builds forest elements
+// sequentially).
 type element struct {
 	info ElemInfo
 	pts  []geom.Point
-	tree *rangetree.Tree
+	tree elemTree
+}
+
+// copyCacheCapFor resolves the per-processor copy-cache entry bound:
+// an explicit SetCopyCacheCap wins, otherwise a few times this
+// processor's fair share of the forest — enough to hold every element a
+// balanced skew ships here, while keeping worst-case cache memory within
+// a constant factor of the Theorem 1 space bound.
+func (t *Tree) copyCacheCapFor(ps *procState) int {
+	if cap := t.copyCacheCap.Load(); cap != 0 {
+		return int(cap)
+	}
+	return 4 * (len(ps.info)/t.P() + 1)
+}
+
+// hatFrame is one pending node of the iterative hat descent.
+type hatFrame struct {
+	tree, node int32
 }
 
 // procState is one processor's local memory: its replica of the hat, the
@@ -82,6 +148,23 @@ type procState struct {
 	info     []ElemInfo
 	elems    map[ElemID]*element
 	copies   map[ElemID]*element
+
+	// copyCache keeps copies built in earlier batches so a
+	// repeatedly-congested element ships its points but skips the
+	// O(g·log^(d-1) g) rebuild. The cache holds current-epoch entries
+	// only (installCopies sweeps it whenever the tree epoch moved) and is
+	// bounded by Tree.copyCacheCapFor, so a drifting hot set cannot grow
+	// it past a constant factor of this processor's forest share.
+	copyCache  map[ElemID]*element
+	cacheEpoch uint64
+
+	// reused scratch: the explicit stacks of the iterative hat descent
+	// and stub expansion, so the per-query hot path allocates nothing.
+	// They make the batch-path descents non-reentrant per procState; the
+	// single-query wrappers (hatSearchFunc) use local stacks instead so
+	// callers outside a machine run never touch this state.
+	hatStack  []hatFrame
+	stubStack []int32
 }
 
 // lookup resolves an element from the owned part or the current copies.
@@ -102,17 +185,66 @@ type Tree struct {
 	n           int
 	dims        int
 	grain       int
+	backend     Backend
 	procs       []*procState
 	balanceMode BalanceMode
 	lastStats   []SearchStats
 	lastDemand  []int
-	lastCopied  []int
+	// epoch versions the per-processor copy caches; lastCopied is
+	// per-rank shipped copy volume. Both are written inside machine runs
+	// and readable from any goroutine at any time, hence atomic.
+	epoch      atomic.Uint64
+	lastCopied []atomic.Int64
+	// copyCacheCap overrides the per-processor copy-cache entry bound:
+	// 0 = derived default, negative = caching disabled.
+	copyCacheCap atomic.Int64
 }
+
+// SetCopyCacheCap bounds each processor's cross-batch copy cache to at
+// most perProc entries (0 restores the derived default of a few times
+// the processor's forest share; negative disables copy caching). Takes
+// effect from the next batch.
+func (t *Tree) SetCopyCacheCap(perProc int) { t.copyCacheCap.Store(int64(perProc)) }
 
 // prepBatch resets the per-batch statistics before a machine run.
 func (t *Tree) prepBatch() {
 	t.lastStats = make([]SearchStats, t.mach.P())
-	t.lastCopied = make([]int, t.mach.P())
+	for i := range t.lastCopied {
+		t.lastCopied[i].Store(0)
+	}
+}
+
+// Backend reports the element backend the tree was built with.
+func (t *Tree) Backend() Backend { return t.backend }
+
+// InvalidateCopies invalidates every processor's cross-batch copy cache.
+// A Tree's point set is immutable after Build, so the pipeline never
+// needs this for its own correctness (the dynamic layer discards whole
+// trees, caches included, rather than mutating one). It exists for
+// measurement — forcing cold phase-B installs, as the E15 harness and
+// the copy-cache benchmarks do — and as the hook any future in-place
+// mutation must call.
+func (t *Tree) InvalidateCopies() { t.epoch.Add(1) }
+
+// LastPhaseBInstall reports the total time processors spent installing
+// element copies (building or cache-reusing their trees) in the most
+// recent batch — the quantity the copy cache attacks.
+func (t *Tree) LastPhaseBInstall() time.Duration {
+	var total time.Duration
+	for _, st := range t.lastStats {
+		total += time.Duration(st.InstallNanos)
+	}
+	return total
+}
+
+// LastCopyCacheHits reports how many installed copies were served from
+// the cross-batch copy cache in the most recent batch.
+func (t *Tree) LastCopyCacheHits() int {
+	total := 0
+	for _, st := range t.lastStats {
+		total += st.CopyCacheHits
+	}
+	return total
 }
 
 // LastDemand returns the per-group demand vector |QF_j| of the most recent
@@ -144,7 +276,7 @@ func (t *Tree) Info() []ElemInfo { return t.procs[0].info }
 func (t *Tree) HatNodeCount() int {
 	total := 0
 	for _, ht := range t.procs[0].hat {
-		total += len(ht.Nodes)
+		total += ht.NodeCount()
 	}
 	return total
 }

@@ -35,7 +35,8 @@ func (t *Tree) Verify() error {
 		}
 		for i := range ps.hat {
 			a, b := ps.hat[i], ref.hat[i]
-			if a.Key != b.Key || a.Dim != b.Dim || a.Shape != b.Shape || !reflect.DeepEqual(a.Nodes, b.Nodes) {
+			if a.Key != b.Key || a.Dim != b.Dim || a.Shape != b.Shape ||
+				!reflect.DeepEqual(a.nodes, b.nodes) || !reflect.DeepEqual(a.present, b.present) {
 				return fmt.Errorf("replica %d hat tree %d differs from replica 0", rank, i)
 			}
 		}
@@ -82,63 +83,76 @@ func (t *Tree) Verify() error {
 
 	// (4)–(6) per hat tree.
 	for _, ht := range ref.hat {
-		for v, nd := range ht.Nodes {
-			if int(nd.Count) != ht.Shape.Count(v) {
-				return fmt.Errorf("hat tree %v node %d count %d, shape says %d", ht.Key, v, nd.Count, ht.Shape.Count(v))
+		var violation error
+		ht.each(func(v int, nd HatNode) {
+			if violation != nil {
+				return
 			}
-			if nd.Elem >= 0 {
-				if int(nd.Count) > t.grain {
-					return fmt.Errorf("stub %d of %v has count %d > grain %d", v, ht.Key, nd.Count, t.grain)
-				}
-				info := ref.info[int(nd.Elem)]
-				if info.Count != nd.Count || info.Min != nd.Min || info.Max != nd.Max {
-					return fmt.Errorf("stub %d of %v disagrees with element %d metadata", v, ht.Key, nd.Elem)
-				}
-				el := t.procs[info.Owner].elems[info.ID]
-				if int32(len(el.pts)) != info.Count {
-					return fmt.Errorf("element %d holds %d points, metadata says %d", info.ID, len(el.pts), info.Count)
-				}
-				dim := int(info.Dim)
-				for i := 1; i < len(el.pts); i++ {
-					if el.pts[i].X[dim] < el.pts[i-1].X[dim] {
-						return fmt.Errorf("element %d points unsorted in dim %d", info.ID, dim)
-					}
-				}
-			} else {
-				if int(nd.Count) <= t.grain {
-					return fmt.Errorf("hat-internal node %d of %v has count %d ≤ grain %d", v, ht.Key, nd.Count, t.grain)
-				}
-				if int(ht.Dim) < t.dims-1 {
-					if nd.Desc < 0 {
-						return fmt.Errorf("hat-internal node %d of %v (dim %d) lacks a descendant", v, ht.Key, ht.Dim)
-					}
-					dt := ref.hat[nd.Desc]
-					if dt.Key != ht.Key.Extend(v) {
-						return fmt.Errorf("descendant of node %d of %v has key %v (Lemma 1 violated)", v, ht.Key, dt.Key)
-					}
-					if int(dt.Dim) != int(ht.Dim)+1 || dt.Shape.M != int(nd.Count) {
-						return fmt.Errorf("descendant of node %d of %v has dim %d / %d leaves, want %d / %d",
-							v, ht.Key, dt.Dim, dt.Shape.M, ht.Dim+1, nd.Count)
-					}
-				}
-				// Children consistency: counts of present children sum up.
-				sum := int32(0)
-				for _, c := range []int{segtree.Left(v), segtree.Right(v)} {
-					if cnd, ok := ht.Nodes[c]; ok {
-						sum += cnd.Count
-					}
-				}
-				if sum != nd.Count {
-					return fmt.Errorf("node %d of %v: children sum %d != count %d", v, ht.Key, sum, nd.Count)
-				}
-				// Span covers children spans.
-				for _, c := range []int{segtree.Left(v), segtree.Right(v)} {
-					if cnd, ok := ht.Nodes[c]; ok {
-						if cnd.Min < nd.Min || cnd.Max > nd.Max {
-							return fmt.Errorf("node %d of %v: child span exceeds parent", v, ht.Key)
-						}
-					}
-				}
+			violation = t.verifyHatNode(ref, ht, v, nd)
+		})
+		if violation != nil {
+			return violation
+		}
+	}
+	return nil
+}
+
+// verifyHatNode checks invariants (4)–(6) for one hat node.
+func (t *Tree) verifyHatNode(ref *procState, ht *HatTree, v int, nd HatNode) error {
+	if int(nd.Count) != ht.Shape.Count(v) {
+		return fmt.Errorf("hat tree %v node %d count %d, shape says %d", ht.Key, v, nd.Count, ht.Shape.Count(v))
+	}
+	if nd.Elem >= 0 {
+		if int(nd.Count) > t.grain {
+			return fmt.Errorf("stub %d of %v has count %d > grain %d", v, ht.Key, nd.Count, t.grain)
+		}
+		info := ref.info[int(nd.Elem)]
+		if info.Count != nd.Count || info.Min != nd.Min || info.Max != nd.Max {
+			return fmt.Errorf("stub %d of %v disagrees with element %d metadata", v, ht.Key, nd.Elem)
+		}
+		el := t.procs[info.Owner].elems[info.ID]
+		if int32(len(el.pts)) != info.Count {
+			return fmt.Errorf("element %d holds %d points, metadata says %d", info.ID, len(el.pts), info.Count)
+		}
+		dim := int(info.Dim)
+		for i := 1; i < len(el.pts); i++ {
+			if el.pts[i].X[dim] < el.pts[i-1].X[dim] {
+				return fmt.Errorf("element %d points unsorted in dim %d", info.ID, dim)
+			}
+		}
+		return nil
+	}
+	if int(nd.Count) <= t.grain {
+		return fmt.Errorf("hat-internal node %d of %v has count %d ≤ grain %d", v, ht.Key, nd.Count, t.grain)
+	}
+	if int(ht.Dim) < t.dims-1 {
+		if nd.Desc < 0 {
+			return fmt.Errorf("hat-internal node %d of %v (dim %d) lacks a descendant", v, ht.Key, ht.Dim)
+		}
+		dt := ref.hat[nd.Desc]
+		if dt.Key != ht.Key.Extend(v) {
+			return fmt.Errorf("descendant of node %d of %v has key %v (Lemma 1 violated)", v, ht.Key, dt.Key)
+		}
+		if int(dt.Dim) != int(ht.Dim)+1 || dt.Shape.M != int(nd.Count) {
+			return fmt.Errorf("descendant of node %d of %v has dim %d / %d leaves, want %d / %d",
+				v, ht.Key, dt.Dim, dt.Shape.M, ht.Dim+1, nd.Count)
+		}
+	}
+	// Children consistency: counts of present children sum up.
+	sum := int32(0)
+	for _, c := range []int{segtree.Left(v), segtree.Right(v)} {
+		if cnd, ok := ht.Node(c); ok {
+			sum += cnd.Count
+		}
+	}
+	if sum != nd.Count {
+		return fmt.Errorf("node %d of %v: children sum %d != count %d", v, ht.Key, sum, nd.Count)
+	}
+	// Span covers children spans.
+	for _, c := range []int{segtree.Left(v), segtree.Right(v)} {
+		if cnd, ok := ht.Node(c); ok {
+			if cnd.Min < nd.Min || cnd.Max > nd.Max {
+				return fmt.Errorf("node %d of %v: child span exceeds parent", v, ht.Key)
 			}
 		}
 	}

@@ -37,11 +37,9 @@ func TestVerifyDetectsCorruption(t *testing.T) {
 			"replica-divergence",
 			func(dt *Tree) {
 				ht := dt.procs[2].hat[0]
-				for v, nd := range ht.Nodes {
-					nd.Count++
-					ht.Nodes[v] = nd
-					break
-				}
+				nd, _ := ht.Node(1)
+				nd.Count++
+				ht.setNode(1, nd)
 			},
 			"differs from replica 0",
 		},
@@ -52,9 +50,9 @@ func TestVerifyDetectsCorruption(t *testing.T) {
 				// check passes and the count check must catch it.
 				for _, ps := range dt.procs {
 					ht := ps.hat[0]
-					nd := ht.Nodes[1]
+					nd, _ := ht.Node(1)
 					nd.Count += 3
-					ht.Nodes[1] = nd
+					ht.setNode(1, nd)
 				}
 			},
 			"count",

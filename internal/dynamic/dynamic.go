@@ -113,6 +113,10 @@ func (t *Tree) carry(block []geom.Point) {
 	level := 0
 	for ; level < len(t.levels) && t.levels[level] != nil; level++ {
 		acc = append(acc, collectPoints(t.levels[level])...)
+		// Dynamic updates never mutate a level in place: the level is
+		// discarded whole (its phase-B copy caches die with it) and the
+		// merged rebuild below is a fresh core.Tree with cold caches, so
+		// no explicit cache invalidation is needed for correctness.
 		t.levels[level] = nil
 	}
 	for len(t.levels) <= level {
@@ -151,7 +155,7 @@ func (t *Tree) DeleteBatch(pts []geom.Point) {
 // resetting the deletion shadow.
 func (t *Tree) Rebuild() {
 	live := t.liveFilter(t.allRaw())
-	t.levels = nil
+	t.levels = nil // discarded whole; copy caches die with the levels (see carry)
 	t.pending = nil
 	t.deleted = nil
 	if len(live) > 0 {

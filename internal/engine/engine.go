@@ -74,6 +74,13 @@ type Stats struct {
 	SizeFlushes     uint64 // flushes triggered by a full buffer
 	DeadlineFlushes uint64 // flushes triggered by the deadline timer
 	DrainFlushes    uint64 // final flushes triggered by Close
+	// CopyCacheHits counts forest-element copies the tree installed from
+	// its cross-batch copy cache over all dispatched batches — how often
+	// the skew-balancing round skipped an element rebuild entirely.
+	CopyCacheHits uint64
+	// PhaseBInstall accumulates the time processors spent installing
+	// element copies across all dispatched batches.
+	PhaseBInstall time.Duration
 }
 
 // request is one pending query and its reply channel.
@@ -102,6 +109,7 @@ type Engine[T any] struct {
 	submitted, hits, misses           atomic.Uint64
 	batches, batched                  atomic.Uint64
 	sizeFlush, deadlineFlush, drained atomic.Uint64
+	copyCacheHits, installNanos       atomic.Uint64
 }
 
 // New creates an engine answering Count and Report queries on t.
@@ -163,6 +171,8 @@ func (e *Engine[T]) Stats() Stats {
 		SizeFlushes:     e.sizeFlush.Load(),
 		DeadlineFlushes: e.deadlineFlush.Load(),
 		DrainFlushes:    e.drained.Load(),
+		CopyCacheHits:   e.copyCacheHits.Load(),
+		PhaseBInstall:   time.Duration(e.installNanos.Load()),
 	}
 }
 
@@ -251,8 +261,8 @@ func (e *Engine[T]) loop() {
 // run, deduplicating identical (mode, box) queries within the batch, then
 // fans the results back out to the reply channels and the cache.
 func (e *Engine[T]) dispatch(batch []request[T]) {
-	slot := make(map[string]int, len(batch))   // key -> unique index
-	at := make([]int, len(batch))              // request -> unique index
+	slot := make(map[string]int, len(batch)) // key -> unique index
+	at := make([]int, len(batch))            // request -> unique index
 	ops := make([]core.MixedOp, 0, len(batch))
 	boxes := make([]geom.Box, 0, len(batch))
 	for i, req := range batch {
@@ -269,6 +279,8 @@ func (e *Engine[T]) dispatch(batch []request[T]) {
 	results := core.MixedBatch(e.tree, e.agg, ops, boxes)
 	e.batches.Add(1)
 	e.batched.Add(uint64(len(batch)))
+	e.copyCacheHits.Add(uint64(e.tree.LastCopyCacheHits()))
+	e.installNanos.Add(uint64(e.tree.LastPhaseBInstall().Nanoseconds()))
 
 	for i, req := range batch {
 		res := results[at[i]]

@@ -231,7 +231,7 @@ func TestEngineReportNoAliasing(t *testing.T) {
 		t.Fatalf("Report: %v (got %d points, need ≥2)", err, len(first))
 	}
 	first[0], first[1] = first[1], first[0] // caller scrambles its copy
-	second, err := eng.Report(q)           // cache hit
+	second, err := eng.Report(q)            // cache hit
 	if err != nil {
 		t.Fatal(err)
 	}

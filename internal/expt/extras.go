@@ -297,6 +297,6 @@ func All(sc Scale) []*Table {
 		F1(), F2(), F3(),
 		T1(sc), T2(sc), T3(sc), T4a(sc), T4b(sc),
 		E5(sc), E6(sc), E7(sc), E8(sc), E9(sc), E10(sc),
-		E11(sc), E12(sc), E13(sc), E14(sc),
+		E11(sc), E12(sc), E13(sc), E14(sc), E15(sc),
 	}
 }

@@ -119,3 +119,27 @@ func (iv Interval) Overlaps(other Interval) bool {
 
 // Dim extracts the query interval of box b in dimension dim (0-based).
 func (b Box) Dim(dim int) Interval { return Interval{Lo: b.Lo[dim], Hi: b.Hi[dim]} }
+
+// CmpInDim orders points by (X[dim], ID) — a total order even with
+// duplicate coordinates. Every structure that sorts points per dimension
+// and later splits or merges the presorted orders (the range tree's and
+// layered tree's constructions) must agree on this order, so it lives
+// here once.
+func CmpInDim(a, b Point, dim int) int {
+	if a.X[dim] != b.X[dim] {
+		if a.X[dim] < b.X[dim] {
+			return -1
+		}
+		return 1
+	}
+	switch {
+	case a.ID < b.ID:
+		return -1
+	case a.ID > b.ID:
+		return 1
+	}
+	return 0
+}
+
+// LessInDim is CmpInDim as a strict order (partition/merge predicate).
+func LessInDim(a, b Point, dim int) bool { return CmpInDim(a, b, dim) < 0 }

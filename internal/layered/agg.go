@@ -1,0 +1,189 @@
+package layered
+
+import (
+	"repro/internal/geom"
+	"repro/internal/segtree"
+	"repro/internal/semigroup"
+)
+
+// Agg annotates a layered range tree with bottom-up semigroup values,
+// mirroring rangetree.Agg for the cascaded structure (the paper's
+// associative-function mode, §4.2). Because the search selects contiguous
+// runs of y-sorted arrays rather than whole segment-tree nodes, every
+// stored array carries a small implicit segment tree of aggregates, so one
+// selected run folds in O(log of its length) — and the whole query in
+// O(log^(d-1) n), a log factor below the plain tree's annotation.
+type Agg[T any] struct {
+	t   *Tree
+	m   semigroup.Monoid[T]
+	val func(geom.Point) T
+	// ones[t] aggregates a one-dimensional tree's sorted array.
+	ones map[*Tree][]T
+	// cascades[c][v] aggregates cascade node v's y-sorted array.
+	cascades map[*cascade][][]T
+}
+
+// NewAgg computes the annotation for monoid m with per-point value val.
+func NewAgg[T any](t *Tree, m semigroup.Monoid[T], val func(geom.Point) T) *Agg[T] {
+	a := &Agg[T]{t: t, m: m, val: val,
+		ones:     make(map[*Tree][]T),
+		cascades: make(map[*cascade][][]T),
+	}
+	a.walk(t)
+	return a
+}
+
+func (a *Agg[T]) walk(t *Tree) {
+	switch {
+	case t.one != nil:
+		a.ones[t] = a.buildArrayAgg(t.one)
+	case t.two != nil:
+		c := t.two
+		tabs := make([][]T, len(c.arr))
+		for v, arr := range c.arr {
+			if len(arr) == 0 {
+				continue
+			}
+			tabs[v] = a.buildArrayAgg(arr)
+		}
+		a.cascades[c] = tabs
+	default:
+		for v := 1; v < t.shape.NumNodes()+1; v++ {
+			if t.desc[v] != nil {
+				a.walk(t.desc[v])
+			}
+		}
+	}
+}
+
+// buildArrayAgg builds the implicit segment tree over one sorted array:
+// slot n+i holds f(arr[i]), slot v < n combines its children.
+func (a *Agg[T]) buildArrayAgg(arr []geom.Point) []T {
+	n := len(arr)
+	tab := make([]T, 2*n)
+	for i, p := range arr {
+		tab[n+i] = a.val(p)
+	}
+	for v := n - 1; v >= 1; v-- {
+		tab[v] = a.m.Combine(tab[2*v], tab[2*v+1])
+	}
+	return tab
+}
+
+// queryArrayAgg folds tab's values over index range [lo, hi) of the
+// underlying array (the standard iterative range fold; the monoid is
+// commutative, so combine order is free).
+func (a *Agg[T]) queryArrayAgg(tab []T, lo, hi int) T {
+	n := len(tab) / 2
+	acc := a.m.Identity
+	for l, r := lo+n, hi+n; l < r; l, r = l>>1, r>>1 {
+		if l&1 == 1 {
+			acc = a.m.Combine(acc, tab[l])
+			l++
+		}
+		if r&1 == 1 {
+			r--
+			acc = a.m.Combine(acc, tab[r])
+		}
+	}
+	return acc
+}
+
+// Query evaluates ⊗_{l∈R(q)} f(l) for box b. The descent mirrors
+// Tree.scan but threads the accumulator through return values, so a
+// prepared Agg answers queries with zero heap allocations (the phase-C
+// serving requirement).
+func (a *Agg[T]) Query(b geom.Box) T {
+	if b.Dims() != a.t.Dims {
+		panic("layered: query dimensionality mismatch")
+	}
+	return a.scanTree(a.t, b, a.m.Identity)
+}
+
+func (a *Agg[T]) scanTree(t *Tree, b geom.Box, acc T) T {
+	switch {
+	case t.one != nil:
+		dim := t.Dims - 1
+		iv := b.Dim(dim)
+		if iv.Empty() {
+			return acc
+		}
+		lo := searchY(t.one, dim, iv.Lo)
+		hi := len(t.one)
+		if iv.Hi < 1<<31-1 { // guard Hi+1 overflow on unbounded boxes
+			hi = searchY(t.one, dim, iv.Hi+1)
+		}
+		if lo < hi {
+			acc = a.m.Combine(acc, a.queryArrayAgg(a.ones[t], lo, hi))
+		}
+		return acc
+	case t.two != nil:
+		c := t.two
+		ivx := b.Dim(c.x)
+		ivy := b.Dim(c.y)
+		if ivx.Empty() || ivy.Empty() || len(c.byX) == 0 {
+			return acc
+		}
+		root := c.shape.Root()
+		rootArr := c.arr[root]
+		yLo := searchY(rootArr, c.y, ivy.Lo)
+		yHi := len(rootArr)
+		if ivy.Hi < 1<<31-1 {
+			yHi = searchY(rootArr, c.y, ivy.Hi+1)
+		}
+		return a.descendCascade(c, a.cascades[c], root, yLo, yHi, ivx, acc)
+	default:
+		iv := b.Dim(t.StartDim)
+		if iv.Empty() {
+			return acc
+		}
+		return a.descendUpper(t, t.shape.Root(), b, iv, acc)
+	}
+}
+
+func (a *Agg[T]) descendUpper(t *Tree, v int, b geom.Box, iv geom.Interval, acc T) T {
+	lo, hi := t.shape.PosRange(v)
+	if lo >= t.shape.M {
+		return acc
+	}
+	if hi > t.shape.M {
+		hi = t.shape.M
+	}
+	span := geom.Interval{Lo: t.pts[lo].X[t.StartDim], Hi: t.pts[hi-1].X[t.StartDim]}
+	if !iv.Overlaps(span) {
+		return acc
+	}
+	if iv.ContainsInterval(span) {
+		if hi-lo == 1 {
+			if p := t.pts[lo]; b.ContainsFrom(p, t.StartDim+1) {
+				acc = a.m.Combine(acc, a.val(p))
+			}
+			return acc
+		}
+		return a.scanTree(t.desc[v], b, acc)
+	}
+	acc = a.descendUpper(t, segtree.Left(v), b, iv, acc)
+	return a.descendUpper(t, segtree.Right(v), b, iv, acc)
+}
+
+func (a *Agg[T]) descendCascade(c *cascade, tabs [][]T, v, pLo, pHi int, ivx geom.Interval, acc T) T {
+	if pLo >= pHi {
+		return acc
+	}
+	lo, hi := c.shape.PosRange(v)
+	if lo >= c.shape.M {
+		return acc
+	}
+	if hi > c.shape.M {
+		hi = c.shape.M
+	}
+	span := geom.Interval{Lo: c.byX[lo].X[c.x], Hi: c.byX[hi-1].X[c.x]}
+	if !ivx.Overlaps(span) {
+		return acc
+	}
+	if ivx.ContainsInterval(span) {
+		return a.m.Combine(acc, a.queryArrayAgg(tabs[v], pLo, pHi))
+	}
+	acc = a.descendCascade(c, tabs, segtree.Left(v), int(c.bridgeL[v][pLo]), int(c.bridgeL[v][pHi]), ivx, acc)
+	return a.descendCascade(c, tabs, segtree.Right(v), int(c.bridgeR[v][pLo]), int(c.bridgeR[v][pHi]), ivx, acc)
+}

@@ -6,16 +6,24 @@
 // fractional-cascading bridges, so a d-dimensional query costs
 // O(log^(d-1) n + k) instead of O(log^d n + k).
 //
-// The package is a sequential extension experiment (E11); the distributed
-// algorithms of package core use plain range trees, as in the paper.
+// Beyond the sequential extension experiment (E11), the layered tree is
+// the default element backend of the distributed pipeline: package core
+// builds forest elements on it (core.BackendLayered) and serves phase-C
+// subqueries through the zero-allocation Visitor API below.
 package layered
 
 import (
-	"sort"
+	"slices"
+	"sync/atomic"
 
 	"repro/internal/geom"
 	"repro/internal/segtree"
 )
+
+// buildSorts counts full comparison sorts performed during construction.
+// Construction must sort each needed dimension exactly once at the top and
+// split the orders stably down the tree; the test suite asserts the count.
+var buildSorts atomic.Int64
 
 // Tree is a layered range tree over dimensions StartDim..Dims-1.
 // Three shapes:
@@ -63,7 +71,8 @@ func Build(pts []geom.Point) *Tree {
 }
 
 // BuildFrom constructs a layered range tree over dimensions
-// startDim..Dims-1 only.
+// startDim..Dims-1 only — the shape of the paper's forest elements, which
+// are range trees "of dimension j ≤ d" (Definition 3).
 func BuildFrom(pts []geom.Point, startDim int) *Tree {
 	if len(pts) == 0 {
 		panic("layered: empty point set")
@@ -72,68 +81,106 @@ func BuildFrom(pts []geom.Point, startDim int) *Tree {
 	if startDim < 0 || startDim >= dims {
 		panic("layered: startDim out of range")
 	}
-	t := &Tree{Dims: dims, StartDim: startDim}
+	// Sort once per dimension that needs an explicit order. The cascade's
+	// y-sorted arrays come out of the bottom-up merge for free, so only
+	// dimensions startDim..dims-2 are sorted (just dims-1 when d-j = 1);
+	// every level below reuses its slice of these orders by stable
+	// partition, keeping construction within O(n·log^(d-1) n).
 	remaining := dims - startDim
-	switch {
-	case remaining == 1:
-		t.one = sortedBy(pts, startDim)
-	case remaining == 2:
-		t.two = buildCascade(pts, startDim, startDim+1)
-	default:
-		t.pts = sortedBy(pts, startDim)
-		t.shape = segtree.NewShape(len(t.pts))
-		t.desc = make([]*Tree, t.shape.NumNodes()+1)
-		var fill func(v int, sub []geom.Point)
-		fill = func(v int, sub []geom.Point) {
-			if len(sub) < 2 {
-				return
-			}
-			t.desc[v] = BuildFrom(sub, startDim+1)
-			lo, _ := t.shape.PosRange(v)
-			mid := lo + (t.shape.Cap >> (segtree.Depth(v) + 1))
-			if mid >= lo+len(sub) {
-				fill(segtree.Left(v), sub)
-				return
-			}
-			fill(segtree.Left(v), sub[:mid-lo])
-			fill(segtree.Right(v), sub[mid-lo:])
-		}
-		fill(t.shape.Root(), t.pts)
+	if remaining == 1 {
+		return &Tree{Dims: dims, StartDim: startDim, one: sortedBy(pts, dims-1)}
 	}
+	orders := make([][]geom.Point, remaining-1)
+	for k := range orders {
+		orders[k] = sortedBy(pts, startDim+k)
+	}
+	return buildLevels(orders, startDim, dims)
+}
+
+// buildLevels builds the tree for orders[0] (sorted by startDim) and
+// attaches descendant trees built from stable splits of the remaining
+// orders. orders covers dimensions startDim..dims-2.
+func buildLevels(orders [][]geom.Point, startDim, dims int) *Tree {
+	if dims-startDim == 2 {
+		return &Tree{Dims: dims, StartDim: startDim, two: buildCascade(orders[0], startDim, startDim+1)}
+	}
+	t := &Tree{Dims: dims, StartDim: startDim, pts: orders[0]}
+	t.shape = segtree.NewShape(len(t.pts))
+	t.desc = make([]*Tree, t.shape.NumNodes()+1)
+	// Split the orders down the heap; a node with at least two points gets
+	// descendant(v) built from its own slice of every deeper order.
+	var fill func(v int, tails [][]geom.Point)
+	fill = func(v int, tails [][]geom.Point) {
+		c := len(tails[0])
+		if c < 2 {
+			return
+		}
+		lo, _ := t.shape.PosRange(v)
+		mid := lo + (t.shape.Cap >> (segtree.Depth(v) + 1)) // first position of right child
+		if mid < lo+c {
+			// Both children have real points: split each deeper order
+			// stably against the first point of the right child.
+			pivot := tails[0][mid-lo]
+			lefts := make([][]geom.Point, len(tails)-1)
+			rights := make([][]geom.Point, len(tails)-1)
+			for k, tail := range tails[1:] {
+				l := make([]geom.Point, 0, mid-lo)
+				r := make([]geom.Point, 0, c-(mid-lo))
+				for _, p := range tail {
+					if lessInDim(p, pivot, startDim) {
+						l = append(l, p)
+					} else {
+						r = append(r, p)
+					}
+				}
+				lefts[k], rights[k] = l, r
+			}
+			fill(segtree.Left(v), prepend(tails[0][:mid-lo], lefts))
+			fill(segtree.Right(v), prepend(tails[0][mid-lo:], rights))
+		} else {
+			// All real points are in the left child.
+			fill(segtree.Left(v), tails)
+		}
+		t.desc[v] = buildLevels(tails[1:], startDim+1, dims)
+	}
+	fill(t.shape.Root(), orders)
 	return t
 }
 
+// prepend builds [head, tails...] without mutating tails.
+func prepend(head []geom.Point, tails [][]geom.Point) [][]geom.Point {
+	out := make([][]geom.Point, 0, len(tails)+1)
+	out = append(out, head)
+	return append(out, tails...)
+}
+
+// cmpInDim and lessInDim alias geom's shared (X[dim], ID) total order —
+// the top-level sorts, the cascade merge and the stable partition must
+// agree on it.
+func cmpInDim(a, b geom.Point, dim int) int   { return geom.CmpInDim(a, b, dim) }
+func lessInDim(a, b geom.Point, dim int) bool { return geom.LessInDim(a, b, dim) }
+
 func sortedBy(pts []geom.Point, dim int) []geom.Point {
+	buildSorts.Add(1)
 	out := make([]geom.Point, len(pts))
 	copy(out, pts)
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].X[dim] != out[b].X[dim] {
-			return out[a].X[dim] < out[b].X[dim]
-		}
-		return out[a].ID < out[b].ID
-	})
+	slices.SortFunc(out, func(a, b geom.Point) int { return cmpInDim(a, b, dim) })
 	return out
 }
 
-// buildCascade assembles the two-dimensional cascaded structure bottom-up:
-// each node's array is the merge of its children's, and the bridges are
-// recorded during the merge.
-func buildCascade(pts []geom.Point, x, y int) *cascade {
-	c := &cascade{x: x, y: y}
-	c.byX = sortedBy(pts, x)
+// buildCascade assembles the two-dimensional cascaded structure bottom-up
+// from the x-sorted leaf order: each node's array is the merge of its
+// children's (yielding the y order with no further sorting), and the
+// bridges are recorded during the merge.
+func buildCascade(byX []geom.Point, x, y int) *cascade {
+	c := &cascade{x: x, y: y, byX: byX}
 	c.shape = segtree.NewShape(len(c.byX))
 	n := c.shape.NumNodes() + 1
 	c.arr = make([][]geom.Point, n)
 	c.bridgeL = make([][]int32, n)
 	c.bridgeR = make([][]int32, n)
-	for pos, pt := range c.byX {
-		c.arr[c.shape.LeafNode(pos)] = []geom.Point{pt}
-	}
-	lessY := func(a, b geom.Point) bool {
-		if a.X[y] != b.X[y] {
-			return a.X[y] < b.X[y]
-		}
-		return a.ID < b.ID
+	for pos := range c.byX {
+		c.arr[c.shape.LeafNode(pos)] = c.byX[pos : pos+1 : pos+1]
 	}
 	for v := c.shape.Cap - 1; v >= 1; v-- {
 		l, r := c.arr[segtree.Left(v)], c.arr[segtree.Right(v)]
@@ -147,7 +194,7 @@ func buildCascade(pts []geom.Point, x, y int) *cascade {
 		for i < len(l) || j < len(r) {
 			bl = append(bl, int32(i))
 			br = append(br, int32(j))
-			if j >= len(r) || (i < len(l) && !lessY(r[j], l[i])) {
+			if j >= len(r) || (i < len(l) && !lessInDim(r[j], l[i], y)) {
 				merged = append(merged, l[i])
 				i++
 			} else {
@@ -203,6 +250,37 @@ func (t *Tree) Nodes() int {
 	}
 }
 
+// Visitor receives a query result without per-node allocations: ranges
+// arrive as sub-slices of the tree's own sorted arrays (callers must not
+// mutate them), single points individually. Together the callbacks cover
+// R(q) exactly once. A reused Visitor implementation makes the whole
+// descent allocation-free — the property the distributed pipeline's
+// phase-C serving relies on.
+type Visitor interface {
+	// VisitRange observes one maximal run, sorted by the final coordinate.
+	VisitRange(pts []geom.Point)
+	// VisitPoint observes one individually verified point.
+	VisitPoint(p geom.Point)
+}
+
+// Visit enumerates the query result through v: the hot-path variant of
+// Search, with no adapter between the descent and the consumer.
+func (t *Tree) Visit(b geom.Box, v Visitor) {
+	if b.Dims() != t.Dims {
+		panic("layered: query dimensionality mismatch")
+	}
+	t.scan(b, v)
+}
+
+// funcSink adapts the closure-based Search API to the Visitor descent.
+type funcSink struct {
+	sel func([]geom.Point)
+	pt  func(geom.Point)
+}
+
+func (s *funcSink) VisitRange(pts []geom.Point) { s.sel(pts) }
+func (s *funcSink) VisitPoint(p geom.Point)     { s.pt(p) }
+
 // Search enumerates the query result: ranges of cascaded arrays via sel
 // (array slice per canonical node) and individually verified points via
 // pt. Together they cover R(q) exactly once.
@@ -210,10 +288,14 @@ func (t *Tree) Search(b geom.Box, sel func(pts []geom.Point), pt func(geom.Point
 	if b.Dims() != t.Dims {
 		panic("layered: query dimensionality mismatch")
 	}
-	t.search(b, sel, pt)
+	t.scan(b, &funcSink{sel: sel, pt: pt})
 }
 
-func (t *Tree) search(b geom.Box, sel func([]geom.Point), pt func(geom.Point)) {
+// scan is the shared traversal behind Search, Visit, Count and Report.
+// Agg.Query mirrors it with a threaded accumulator (agg.go), because the
+// aggregate tables are keyed by the structural positions this descent
+// resolves.
+func (t *Tree) scan(b geom.Box, s Visitor) {
 	switch {
 	case t.one != nil:
 		dim := t.Dims - 1
@@ -221,52 +303,57 @@ func (t *Tree) search(b geom.Box, sel func([]geom.Point), pt func(geom.Point)) {
 		if iv.Empty() {
 			return
 		}
-		lo := sort.Search(len(t.one), func(i int) bool { return t.one[i].X[dim] >= iv.Lo })
-		hi := sort.Search(len(t.one), func(i int) bool { return t.one[i].X[dim] > iv.Hi })
+		lo := searchY(t.one, dim, iv.Lo)
+		hi := len(t.one)
+		if iv.Hi < 1<<31-1 { // guard Hi+1 overflow on unbounded boxes
+			hi = searchY(t.one, dim, iv.Hi+1)
+		}
 		if lo < hi {
-			sel(t.one[lo:hi])
+			s.VisitRange(t.one[lo:hi])
 		}
 	case t.two != nil:
-		t.two.search(b, sel)
+		t.two.scan(b, s)
 	default:
 		iv := b.Dim(t.StartDim)
 		if iv.Empty() {
 			return
 		}
-		var descend func(v int)
-		descend = func(v int) {
-			lo, hi := t.shape.PosRange(v)
-			if lo >= t.shape.M {
-				return
-			}
-			if hi > t.shape.M {
-				hi = t.shape.M
-			}
-			span := geom.Interval{Lo: t.pts[lo].X[t.StartDim], Hi: t.pts[hi-1].X[t.StartDim]}
-			if !iv.Overlaps(span) {
-				return
-			}
-			if iv.ContainsInterval(span) {
-				if hi-lo == 1 {
-					p := t.pts[lo]
-					if b.ContainsFrom(p, t.StartDim+1) {
-						pt(p)
-					}
-					return
-				}
-				t.desc[v].search(b, sel, pt)
-				return
-			}
-			descend(segtree.Left(v))
-			descend(segtree.Right(v))
-		}
-		descend(t.shape.Root())
+		t.descend(t.shape.Root(), b, iv, s)
 	}
 }
 
-// search runs the cascaded two-dimensional query: one binary search at the
+// descend is the upper-level four-case descent as a plain recursive method
+// (no per-query closures).
+func (t *Tree) descend(v int, b geom.Box, iv geom.Interval, s Visitor) {
+	lo, hi := t.shape.PosRange(v)
+	if lo >= t.shape.M {
+		return
+	}
+	if hi > t.shape.M {
+		hi = t.shape.M
+	}
+	span := geom.Interval{Lo: t.pts[lo].X[t.StartDim], Hi: t.pts[hi-1].X[t.StartDim]}
+	if !iv.Overlaps(span) {
+		return
+	}
+	if iv.ContainsInterval(span) {
+		if hi-lo == 1 {
+			p := t.pts[lo]
+			if b.ContainsFrom(p, t.StartDim+1) {
+				s.VisitPoint(p)
+			}
+			return
+		}
+		t.desc[v].scan(b, s)
+		return
+	}
+	t.descend(segtree.Left(v), b, iv, s)
+	t.descend(segtree.Right(v), b, iv, s)
+}
+
+// scan runs the cascaded two-dimensional query: one binary search at the
 // root, then O(1) bridge following per visited node.
-func (c *cascade) search(b geom.Box, sel func([]geom.Point)) {
+func (c *cascade) scan(b geom.Box, s Visitor) {
 	ivx := b.Dim(c.x)
 	ivy := b.Dim(c.y)
 	if ivx.Empty() || ivy.Empty() || len(c.byX) == 0 {
@@ -279,30 +366,30 @@ func (c *cascade) search(b geom.Box, sel func([]geom.Point)) {
 	if ivy.Hi < 1<<31-1 { // guard Hi+1 overflow on unbounded boxes
 		yHi = searchY(rootArr, c.y, ivy.Hi+1)
 	}
-	var descend func(v, pLo, pHi int)
-	descend = func(v, pLo, pHi int) {
-		if pLo >= pHi {
-			return // no y-matching points below
-		}
-		lo, hi := c.shape.PosRange(v)
-		if lo >= c.shape.M {
-			return
-		}
-		if hi > c.shape.M {
-			hi = c.shape.M
-		}
-		span := geom.Interval{Lo: c.byX[lo].X[c.x], Hi: c.byX[hi-1].X[c.x]}
-		if !ivx.Overlaps(span) {
-			return
-		}
-		if ivx.ContainsInterval(span) {
-			sel(c.arr[v][pLo:pHi])
-			return
-		}
-		descend(segtree.Left(v), int(c.bridgeL[v][pLo]), int(c.bridgeL[v][pHi]))
-		descend(segtree.Right(v), int(c.bridgeR[v][pLo]), int(c.bridgeR[v][pHi]))
+	c.descend(root, yLo, yHi, ivx, s)
+}
+
+func (c *cascade) descend(v, pLo, pHi int, ivx geom.Interval, s Visitor) {
+	if pLo >= pHi {
+		return // no y-matching points below
 	}
-	descend(root, yLo, yHi)
+	lo, hi := c.shape.PosRange(v)
+	if lo >= c.shape.M {
+		return
+	}
+	if hi > c.shape.M {
+		hi = c.shape.M
+	}
+	span := geom.Interval{Lo: c.byX[lo].X[c.x], Hi: c.byX[hi-1].X[c.x]}
+	if !ivx.Overlaps(span) {
+		return
+	}
+	if ivx.ContainsInterval(span) {
+		s.VisitRange(c.arr[v][pLo:pHi])
+		return
+	}
+	c.descend(segtree.Left(v), int(c.bridgeL[v][pLo]), int(c.bridgeL[v][pHi]), ivx, s)
+	c.descend(segtree.Right(v), int(c.bridgeR[v][pLo]), int(c.bridgeR[v][pHi]), ivx, s)
 }
 
 // searchY returns the first index whose y-coordinate is ≥ bound (a manual
@@ -321,20 +408,34 @@ func searchY(arr []geom.Point, y int, bound geom.Coord) int {
 	return lo
 }
 
+// reportSink appends the result into a reused buffer.
+type reportSink struct{ out []geom.Point }
+
+func (s *reportSink) VisitRange(pts []geom.Point) { s.out = append(s.out, pts...) }
+func (s *reportSink) VisitPoint(p geom.Point)     { s.out = append(s.out, p) }
+
 // Report returns the points of b.
 func (t *Tree) Report(b geom.Box) []geom.Point {
-	var out []geom.Point
-	t.Search(b,
-		func(pts []geom.Point) { out = append(out, pts...) },
-		func(p geom.Point) { out = append(out, p) })
-	return out
+	if b.Dims() != t.Dims {
+		panic("layered: query dimensionality mismatch")
+	}
+	var s reportSink
+	t.scan(b, &s)
+	return s.out
 }
+
+// countSink tallies the result without materializing it.
+type countSink struct{ total int }
+
+func (s *countSink) VisitRange(pts []geom.Point) { s.total += len(pts) }
+func (s *countSink) VisitPoint(geom.Point)       { s.total++ }
 
 // Count returns |R(q)|.
 func (t *Tree) Count(b geom.Box) int {
-	total := 0
-	t.Search(b,
-		func(pts []geom.Point) { total += len(pts) },
-		func(geom.Point) { total++ })
-	return total
+	if b.Dims() != t.Dims {
+		panic("layered: query dimensionality mismatch")
+	}
+	var s countSink
+	t.scan(b, &s)
+	return s.total
 }

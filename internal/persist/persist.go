@@ -24,9 +24,13 @@ const Version = 1
 // Snapshot is the serializable description of a point set with optional
 // build parameters.
 type Snapshot struct {
-	Version  int
-	Dims     int
-	P        int // machine width at save time (informational)
+	Version int
+	Dims    int
+	P       int // machine width at save time (informational)
+	// Backend is the element backend the tree was built with; Load
+	// rebuilds on the same one. Older snapshots decode it as the zero
+	// value, which is the default backend.
+	Backend  core.Backend
 	Points   []geom.Point
 	Checksum uint64
 }
@@ -51,13 +55,18 @@ func checksum(pts []geom.Point) uint64 {
 	return h.Sum64()
 }
 
-// Save writes a snapshot of the distributed tree.
+// Save writes a snapshot of the distributed tree (points, parameters and
+// the element backend it was built with).
 func Save(w io.Writer, t *core.Tree) error {
-	return SavePoints(w, t.AllPoints(), t.P())
+	return savePoints(w, t.AllPoints(), t.P(), t.Backend())
 }
 
-// SavePoints writes a snapshot of a raw rank point set.
+// SavePoints writes a snapshot of a raw rank point set (default backend).
 func SavePoints(w io.Writer, pts []geom.Point, p int) error {
+	return savePoints(w, pts, p, core.BackendLayered)
+}
+
+func savePoints(w io.Writer, pts []geom.Point, p int, be core.Backend) error {
 	if len(pts) == 0 {
 		return fmt.Errorf("persist: refusing to save an empty point set")
 	}
@@ -65,6 +74,7 @@ func SavePoints(w io.Writer, pts []geom.Point, p int) error {
 		Version:  Version,
 		Dims:     pts[0].Dims(),
 		P:        p,
+		Backend:  be,
 		Points:   pts,
 		Checksum: checksum(pts),
 	}
@@ -104,11 +114,12 @@ func encodeRaw(w io.Writer, snap *Snapshot) error {
 }
 
 // Load reads a snapshot and rebuilds the distributed tree on mach (which
-// may have a different width than the saving machine).
+// may have a different width than the saving machine), on the element
+// backend recorded at save time.
 func Load(r io.Reader, mach *cgm.Machine) (*core.Tree, error) {
 	snap, err := LoadPoints(r)
 	if err != nil {
 		return nil, err
 	}
-	return core.Build(mach, snap.Points), nil
+	return core.BuildBackend(mach, snap.Points, snap.Backend), nil
 }

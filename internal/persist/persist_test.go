@@ -111,3 +111,21 @@ func TestGarbageStream(t *testing.T) {
 		t.Fatal("garbage accepted")
 	}
 }
+
+func TestRoundTripPreservesBackend(t *testing.T) {
+	pts := workload.Points(workload.PointSpec{N: 150, Dims: 2, Dist: workload.Uniform, Seed: 9})
+	for _, be := range []core.Backend{core.BackendLayered, core.BackendRangeTree, core.BackendBrute} {
+		dt := core.BuildBackend(cgm.New(cgm.Config{P: 3}), pts, be)
+		var buf bytes.Buffer
+		if err := Save(&buf, dt); err != nil {
+			t.Fatal(err)
+		}
+		dt2, err := Load(&buf, cgm.New(cgm.Config{P: 5}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dt2.Backend() != be {
+			t.Errorf("reloaded tree backend %v, want %v", dt2.Backend(), be)
+		}
+	}
+}

@@ -13,11 +13,18 @@
 package rangetree
 
 import (
-	"sort"
+	"slices"
+	"sync/atomic"
 
 	"repro/internal/geom"
 	"repro/internal/segtree"
 )
+
+// buildSorts counts full comparison sorts performed during construction:
+// exactly one per discriminated dimension at the top level — every deeper
+// point set reuses the presorted orders via stable partition (buildTree).
+// The test suite asserts the count.
+var buildSorts atomic.Int64
 
 // Seg is one segment tree of the range tree: the complete binary tree over
 // the points projected onto one dimension (§2.1). Node identifiers are the
@@ -105,20 +112,17 @@ func BuildFrom(pts []geom.Point, startDim int) *Tree {
 		dim := startDim + k
 		o := make([]geom.Point, len(pts))
 		copy(o, pts)
-		sort.Slice(o, func(a, b int) bool { return lessInDim(o[a], o[b], dim) })
+		buildSorts.Add(1)
+		slices.SortFunc(o, func(a, b geom.Point) int { return cmpInDim(a, b, dim) })
 		orders[k] = o
 	}
 	return buildTree(orders, startDim, dims)
 }
 
-// lessInDim orders points by (X[dim], ID) — a total order even with
-// duplicate coordinates.
-func lessInDim(a, b geom.Point, dim int) bool {
-	if a.X[dim] != b.X[dim] {
-		return a.X[dim] < b.X[dim]
-	}
-	return a.ID < b.ID
-}
+// cmpInDim and lessInDim alias geom's shared (X[dim], ID) total order —
+// the top-level sorts and buildTree's stable partition must agree on it.
+func cmpInDim(a, b geom.Point, dim int) int   { return geom.CmpInDim(a, b, dim) }
+func lessInDim(a, b geom.Point, dim int) bool { return geom.LessInDim(a, b, dim) }
 
 // buildTree builds the tree for orders[0] and recursively attaches
 // descendant trees built from the remaining orders.

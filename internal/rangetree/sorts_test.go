@@ -1,0 +1,45 @@
+package rangetree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestBuildSortsOncePerDimension makes the construction-bound comment on
+// BuildFrom enforceable: exactly one comparison sort per discriminated
+// dimension, with every descendant point set produced by stable partition
+// of the presorted orders (never re-sorted).
+func TestBuildSortsOncePerDimension(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	randomPts := func(n, d int) []geom.Point {
+		pts := make([]geom.Point, n)
+		for i := range pts {
+			x := make([]geom.Coord, d)
+			for j := range x {
+				x[j] = geom.Coord(rng.Intn(3 * n))
+			}
+			pts[i] = geom.Point{ID: int32(i), X: x}
+		}
+		return geom.RankNormalize(pts)
+	}
+	for _, tc := range []struct {
+		n, d, startDim int
+	}{
+		{400, 1, 0},
+		{400, 2, 0},
+		{400, 3, 0},
+		{400, 4, 0},
+		{400, 4, 2},
+	} {
+		pts := randomPts(tc.n, tc.d)
+		before := buildSorts.Load()
+		BuildFrom(pts, tc.startDim)
+		want := int64(tc.d - tc.startDim)
+		if got := buildSorts.Load() - before; got != want {
+			t.Errorf("BuildFrom(n=%d d=%d start=%d) ran %d sorts, want %d",
+				tc.n, tc.d, tc.startDim, got, want)
+		}
+	}
+}
