@@ -1,5 +1,5 @@
 // Root benchmark harness: one benchmark per reproduced table/figure, as
-// indexed in DESIGN.md §5. `go test -bench=. -benchmem` exercises every
+// indexed in DESIGN.md §7. `go test -bench=. -benchmem` exercises every
 // experiment at benchmark scale; cmd/rangebench prints the full tables.
 package drtree_test
 
@@ -459,6 +459,104 @@ func BenchmarkEngineThroughput(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkStoreMixed measures the mutable store behind the engine: the
+// read sub-benchmark serves the same workload as BenchmarkEngineThroughput
+// batch=64 but from a compacted store (acceptance: within 1.5× of the
+// immutable path), and the mixed sub-benchmark adds a background writer
+// issuing inserts and deletes throughout, with the compactor flushing and
+// folding underneath the readers.
+func BenchmarkStoreMixed(b *testing.B) {
+	n := 1 << 12
+	pts := benchPoints(n, 2)
+	boxes := benchBoxes(4096, n, 2, 0.001)
+
+	run := func(b *testing.B, mutate bool) {
+		st, err := drtree.OpenStore("", drtree.StoreConfig{Dims: 2, P: 8, MemtableCap: 1024})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer st.Close()
+		if _, err := st.InsertBatch(pts); err != nil {
+			b.Fatal(err)
+		}
+		st.Compact()
+		eng := drtree.NewStoreEngine(st, drtree.EngineConfig{
+			BatchSize: 64,
+			MaxDelay:  500 * time.Microsecond,
+			CacheSize: -1, // disabled: measure dispatch, not the cache
+		})
+		defer eng.Close()
+
+		stop := make(chan struct{})
+		writerDone := make(chan struct{})
+		var mutations atomic.Int64
+		if mutate {
+			go func() {
+				defer close(writerDone)
+				next := int32(n)
+				tick := time.NewTicker(500 * time.Microsecond) // ~20k mutations/s offered
+				defer tick.Stop()
+				for {
+					select {
+					case <-stop:
+						return
+					case <-tick.C:
+					}
+					ins := make([]drtree.Point, 8)
+					for i := range ins {
+						ins[i] = drtree.Point{ID: next, X: []drtree.Coord{
+							drtree.Coord(int(next) % (4 * n)), drtree.Coord(int(next) * 7 % (4 * n))}}
+						next++
+					}
+					if _, err := st.InsertBatch(ins); err != nil {
+						b.Error(err)
+						return
+					}
+					if _, err := st.DeleteBatch(ins[:2]); err != nil {
+						b.Error(err)
+						return
+					}
+					mutations.Add(2)
+				}
+			}()
+		} else {
+			close(writerDone)
+		}
+
+		var submitter atomic.Int64
+		b.SetParallelism(4)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := int(submitter.Add(1)) * 7919
+			for pb.Next() {
+				q := boxes[i%len(boxes)]
+				if i%3 == 0 {
+					if _, err := eng.Report(q); err != nil {
+						b.Error(err)
+						return
+					}
+				} else {
+					if _, err := eng.Count(q); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+				i++
+			}
+		})
+		b.StopTimer()
+		close(stop)
+		<-writerDone // before the deferred Close tears the store down
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+		if mutate {
+			b.ReportMetric(float64(mutations.Load())/b.Elapsed().Seconds(), "mutations/s")
+		}
+	}
+
+	b.Run("read", func(b *testing.B) { run(b, false) })
+	b.Run("mixed", func(b *testing.B) { run(b, true) })
 }
 
 // BenchmarkExptTables runs the quick-scale table generators end to end —

@@ -1,6 +1,6 @@
 // Command rangebench regenerates the paper's evaluation: every figure
 // (F1–F3) and every theorem-derived table (T1–T4b), plus the extension
-// experiments (E5–E10) indexed in DESIGN.md §5.
+// experiments (E5–E10) indexed in DESIGN.md §7.
 //
 // Usage:
 //
@@ -8,7 +8,7 @@
 //	rangebench -experiment T2,T3        # selected experiments
 //	rangebench -scale full              # EXPERIMENTS.md-sized runs
 //	rangebench -markdown > results.md   # markdown output
-//	rangebench -json                    # E15 phase-C numbers → BENCH_phaseC.json
+//	rangebench -json                    # E15 → BENCH_phaseC.json, E16 → BENCH_store.json
 package main
 
 import (
@@ -40,16 +40,18 @@ var runners = map[string]func(expt.Scale) *expt.Table{
 	"E13": expt.E13,
 	"E14": expt.E14,
 	"E15": expt.E15,
+	"E16": expt.E16,
 }
 
-var order = []string{"F1", "F2", "F3", "T1", "T2", "T3", "T4A", "T4B", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"}
+var order = []string{"F1", "F2", "F3", "T1", "T2", "T3", "T4A", "T4B", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16"}
 
 func main() {
 	experiments := flag.String("experiment", "all", "comma-separated experiment ids (e.g. T2,T3,E6) or 'all'")
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
 	markdown := flag.Bool("markdown", false, "emit GitHub markdown instead of aligned text")
-	jsonFlag := flag.Bool("json", false, "run E15 and write its machine-readable record to BENCH_phaseC.json (then exit)")
-	jsonOut := flag.String("json-out", "BENCH_phaseC.json", "target path for -json")
+	jsonFlag := flag.Bool("json", false, "run E15 and E16 and write their machine-readable records to BENCH_phaseC.json and BENCH_store.json (then exit)")
+	jsonOut := flag.String("json-out", "BENCH_phaseC.json", "target path for the -json E15 record")
+	jsonStoreOut := flag.String("json-store-out", "BENCH_store.json", "target path for the -json E16 record")
 	flag.Parse()
 
 	var scale expt.Scale
@@ -64,17 +66,25 @@ func main() {
 	}
 
 	if *jsonFlag {
-		payload, err := expt.PhaseCJSON(scale)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "rangebench: %v\n", err)
-			os.Exit(1)
+		for _, rec := range []struct {
+			run  func(expt.Scale) ([]byte, error)
+			path string
+		}{
+			{expt.PhaseCJSON, *jsonOut},
+			{expt.StoreJSON, *jsonStoreOut},
+		} {
+			payload, err := rec.run(scale)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rangebench: %v\n", err)
+				os.Exit(1)
+			}
+			payload = append(payload, '\n')
+			if err := os.WriteFile(rec.path, payload, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "rangebench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", rec.path)
 		}
-		payload = append(payload, '\n')
-		if err := os.WriteFile(*jsonOut, payload, 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "rangebench: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Printf("wrote %s\n", *jsonOut)
 		return
 	}
 

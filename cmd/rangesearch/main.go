@@ -10,6 +10,7 @@
 //	rangesearch -csv points.csv -p 4 -queries 100 -mode sum
 //	rangesearch -n 1024 -d 2 -mode report -selectivity 0.02
 //	rangesearch -n 4096 -d 2 -p 8 -mode serve -batch 64 -delay 2ms
+//	rangesearch -n 4096 -d 2 -mode serve -mutable -dir /tmp/rangedb
 //
 // In serve mode, stdin is read line by line; each line is one query
 //
@@ -19,11 +20,24 @@
 // written per query, in input order; concurrent pipelined submission
 // lets the engine micro-batch them. Engine statistics go to stderr on
 // EOF.
+//
+// With -mutable the engine serves from the updatable store instead of a
+// frozen tree, and three more commands work (sum does not — tombstone
+// subtraction needs invertibility):
+//
+//	insert id x1,...,xd     add a point (IDs must be fresh)
+//	delete id x1,...,xd     remove a live point
+//	checkpoint              persist a snapshot and rotate the WAL
+//
+// -dir makes the mutable store durable: mutations are WAL-logged and a
+// later -mutable -dir run recovers the exact state (generated points
+// seed the store only when the directory starts empty).
 package main
 
 import (
 	"bufio"
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -36,6 +50,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/geom"
 	"repro/internal/semigroup"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
@@ -53,9 +68,17 @@ func main() {
 	batch := flag.Int("batch", engine.DefaultBatchSize, "serve mode: flush batch size")
 	delay := flag.Duration("delay", engine.DefaultMaxDelay, "serve mode: flush deadline")
 	cacheSize := flag.Int("cache", engine.DefaultCacheSize, "serve mode: LRU answer-cache entries (negative disables)")
+	mutable := flag.Bool("mutable", false, "serve mode: serve from the updatable store (enables insert/delete/checkpoint)")
+	dir := flag.String("dir", "", "serve mode with -mutable: store directory (WAL + checkpoints); empty = ephemeral")
 	flag.Parse()
 
 	pts, dims := loadPoints(*csvPath, *n, *d, *dist, *seed)
+	engCfg := engine.Config{BatchSize: *batch, MaxDelay: *delay, CacheSize: *cacheSize}
+
+	if *mode == "serve" && *mutable {
+		serveMutable(pts, dims, *p, *dir, engCfg)
+		return
+	}
 	boxes := workload.Boxes(workload.QuerySpec{
 		M: *queries, Dims: dims, N: len(pts), Selectivity: *selectivity, Seed: *seed,
 	})
@@ -73,7 +96,7 @@ func main() {
 		dt.HatNodeCount(), dt.ElemCount(), buildMetrics.CommRounds(), buildMetrics.MaxH(), buildWall.Round(time.Millisecond))
 
 	if *mode == "serve" {
-		serve(dt, dims, engine.Config{BatchSize: *batch, MaxDelay: *delay, CacheSize: *cacheSize})
+		serve(dt, dims, engCfg)
 		return
 	}
 
@@ -123,14 +146,78 @@ func main() {
 }
 
 // serve runs the line-oriented query loop on top of the micro-batching
-// engine. Each input line is answered on its own goroutine so in-flight
-// queries pipeline into engine batches; answers are written in input
-// order.
+// engine over a frozen tree.
 func serve(dt *core.Tree, dims int, cfg engine.Config) {
 	h := core.PrepareAssociative(dt, semigroup.FloatSum(), workload.WeightOf)
 	eng := engine.WithAggregate(dt, h, cfg)
 	defer eng.Close()
+	serveLoop(func(line string) string { return answerLine(eng, dims, line) }, nil, func() {
+		printEngineStats(eng.Stats())
+	})
+}
 
+// serveMutable serves from the updatable store: queries pipeline through
+// the engine as usual, while insert/delete/checkpoint commands apply
+// synchronously in input order, so every later line observes them.
+func serveMutable(pts []geom.Point, dims, p int, dir string, cfg engine.Config) {
+	// A durable store knows its own dimensionality: let the checkpoint
+	// decide first so a rerun need not repeat the original -d, and fall
+	// back to the flag only for a directory with no checkpoint yet.
+	st, err := store.Open(dir, store.Config{P: p})
+	if errors.Is(err, store.ErrNoDims) {
+		st, err = store.Open(dir, store.Config{Dims: dims, P: p})
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rangesearch: %v\n", err)
+		os.Exit(1)
+	}
+	if st.Dims() != dims {
+		fmt.Printf("store: serving %d-dimensional data from its checkpoint (-d %d ignored)\n", st.Dims(), dims)
+		dims = st.Dims()
+	}
+	defer st.Close()
+	// Seed only a brand-new store (version 0 = no mutation and no
+	// checkpoint ever); a durable store recovered to any prior state —
+	// including a legitimately emptied one — is served as recovered.
+	if st.Version() == 0 && st.Pin().N() == 0 {
+		if _, err := st.InsertBatch(pts); err != nil {
+			fmt.Fprintf(os.Stderr, "rangesearch: seeding store: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Printf("store: recovered %d live points at version %d\n", st.Pin().N(), st.Version())
+	}
+	eng := engine.NewStore(st, cfg)
+	defer eng.Close()
+
+	isMutation := func(line string) bool {
+		switch strings.Fields(line)[0] {
+		case "insert", "delete", "checkpoint":
+			return true
+		}
+		return false
+	}
+	serveLoop(func(line string) string {
+		return answerMutableLine(eng, st, dims, line)
+	}, isMutation, func() {
+		printEngineStats(eng.Stats())
+		ss := st.Stats()
+		fmt.Fprintf(os.Stderr, "store: version %d | %d live, %d levels, %d memtable, %d tombstones | %d flushes, %d folds, %d checkpoints\n",
+			ss.Seq, ss.Live, ss.Levels, ss.Memtable, ss.Shadow, ss.Flushes, ss.Compactions, ss.Checkpoints)
+	})
+}
+
+func printEngineStats(st engine.Stats) {
+	fmt.Fprintf(os.Stderr, "engine: %d queries | cache %d hit / %d miss | %d batches (%d by size, %d by deadline)\n",
+		st.Submitted, st.CacheHits, st.CacheMisses, st.Batches, st.SizeFlushes, st.DeadlineFlushes)
+}
+
+// serveLoop reads stdin line by line. Lines answer on their own
+// goroutines so in-flight queries pipeline into engine batches; answers
+// are written in input order. Lines matching sync (mutations) are
+// instead applied inline before the next line is read, preserving
+// read-your-writes ordering.
+func serveLoop(answer func(string) string, sync func(string) bool, stats func()) {
 	type pending struct{ ch chan string }
 	queue := make(chan pending, 1024)
 	var scanErr error
@@ -144,7 +231,11 @@ func serve(dt *core.Tree, dims int, cfg engine.Config) {
 			}
 			p := pending{ch: make(chan string, 1)}
 			queue <- p
-			go func(line string) { p.ch <- answerLine(eng, dims, line) }(line)
+			if sync != nil && sync(line) {
+				p.ch <- answer(line)
+				continue
+			}
+			go func(line string) { p.ch <- answer(line) }(line)
 		}
 		scanErr = sc.Err() // before close: visible to the drain loop's end
 		close(queue)
@@ -158,9 +249,7 @@ func serve(dt *core.Tree, dims int, cfg engine.Config) {
 		}
 	}
 	w.Flush()
-	st := eng.Stats()
-	fmt.Fprintf(os.Stderr, "engine: %d queries | cache %d hit / %d miss | %d batches (%d by size, %d by deadline)\n",
-		st.Submitted, st.CacheHits, st.CacheMisses, st.Batches, st.SizeFlushes, st.DeadlineFlushes)
+	stats()
 	if scanErr != nil {
 		fmt.Fprintf(os.Stderr, "rangesearch: reading stdin: %v (remaining input dropped)\n", scanErr)
 		os.Exit(1)
@@ -210,6 +299,84 @@ func answerLine(eng *engine.Engine[float64], dims int, line string) string {
 		return fmt.Sprintf("report %v = %d: %s", box, len(pts), strings.Join(ids, " "))
 	default:
 		return fmt.Sprintf("error: unknown mode %q (want count, sum or report)", fields[0])
+	}
+}
+
+// answerMutableLine parses and answers one mutable-serve line: the
+// query commands ride the store-backed engine, the mutation commands
+// apply to the store directly.
+func answerMutableLine(eng *engine.Engine[struct{}], st *store.Store, dims int, line string) string {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "checkpoint":
+		if len(fields) != 1 {
+			return "error: checkpoint takes no arguments"
+		}
+		if err := st.Checkpoint(); err != nil {
+			return "error: " + err.Error()
+		}
+		return fmt.Sprintf("checkpoint at version %d (%d live points)", st.Version(), st.Pin().N())
+	case "insert", "delete":
+		if len(fields) != 3 {
+			return fmt.Sprintf("error: want `%s id x1,..,x%d`, got %q", fields[0], dims, line)
+		}
+		id, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return fmt.Sprintf("error: point id %q: %v", fields[1], err)
+		}
+		x, err := parseCoords(fields[2], dims)
+		if err != nil {
+			return "error: " + err.Error()
+		}
+		pt := geom.Point{ID: int32(id), X: x}
+		var seq uint64
+		if fields[0] == "insert" {
+			seq, err = st.Insert(pt)
+		} else {
+			seq, err = st.Delete(pt)
+		}
+		if err != nil {
+			return "error: " + err.Error()
+		}
+		return fmt.Sprintf("%s %v -> version %d", fields[0], pt, seq)
+	case "sum":
+		return "error: sum is unavailable on the mutable store (tombstones need an invertible monoid)"
+	}
+
+	if len(fields) != 3 {
+		return fmt.Sprintf("error: want `mode lo1,..,lo%d hi1,..,hi%d`, got %q", dims, dims, line)
+	}
+	lo, err := parseCoords(fields[1], dims)
+	if err != nil {
+		return "error: " + err.Error()
+	}
+	hi, err := parseCoords(fields[2], dims)
+	if err != nil {
+		return "error: " + err.Error()
+	}
+	box := geom.NewBox(lo, hi)
+	switch fields[0] {
+	case "count":
+		c, err := eng.Count(box)
+		if err != nil {
+			return "error: " + err.Error()
+		}
+		return fmt.Sprintf("count %v = %d", box, c)
+	case "report":
+		pts, err := eng.Report(box)
+		if err != nil {
+			return "error: " + err.Error()
+		}
+		ids := make([]string, len(pts))
+		for i, pt := range pts {
+			ids[i] = strconv.Itoa(int(pt.ID))
+		}
+		if len(ids) == 0 {
+			return fmt.Sprintf("report %v = 0", box)
+		}
+		return fmt.Sprintf("report %v = %d: %s", box, len(pts), strings.Join(ids, " "))
+	default:
+		return fmt.Sprintf("error: unknown command %q (want count, report, insert, delete or checkpoint)", fields[0])
 	}
 }
 

@@ -23,8 +23,10 @@
 // paper's node labeling), rangetree (the sequential structure), cgm + comm
 // + psort (the simulated multicomputer and its standard operations),
 // balance (the query/copy load balancing), core (the distributed range
-// tree), kdtree/brute (baselines), workload (generators) and expt (the
-// table harness behind cmd/rangebench).
+// tree), store (the mutable LSM-of-trees serving store), engine (the
+// concurrent micro-batching serving layer), kdtree/brute (baselines),
+// workload (generators) and expt (the table harness behind
+// cmd/rangebench).
 package drtree
 
 import (
@@ -41,6 +43,7 @@ import (
 	"repro/internal/persist"
 	"repro/internal/rangetree"
 	"repro/internal/semigroup"
+	"repro/internal/store"
 	"repro/internal/workload"
 )
 
@@ -230,7 +233,7 @@ var (
 	MinInt   = semigroup.MinInt
 )
 
-// Extension structures (see DESIGN.md §5, experiments E11–E13).
+// Extension structures (see DESIGN.md §7, experiments E11–E13).
 
 // LayeredTree is the layered range tree the paper cites in §1: fractional
 // cascading removes a log n factor from the query time.
@@ -269,6 +272,46 @@ func NewDynamic(m *Machine, dims int, opts ...dynamic.Option) *DynamicTree {
 
 // WithBase sets the dynamic tree's smallest level capacity.
 var WithBase = dynamic.WithBase
+
+// Mutable serving store (internal/store): an LSM of distributed range
+// trees — memtable, logarithmic-method levels of immutable Trees,
+// tombstone deletes with automatic shadow folding, epoch-versioned
+// snapshot reads, and WAL + checkpoint durability.
+
+// Store is the mutable, versioned point store the engine can serve from.
+type Store = store.Store
+
+// Store configuration, version and metrics types.
+type (
+	// StoreConfig tunes the store (dims, machine width, memtable size,
+	// shadow-fold fraction, durability).
+	StoreConfig = store.Config
+	// StoreVersion is one pinned immutable snapshot of the store.
+	StoreVersion = store.Version
+	// StoreStats is a snapshot of the store's counters.
+	StoreStats = store.Stats
+)
+
+// ErrStoreClosed is returned by mutations submitted after Store.Close.
+var ErrStoreClosed = store.ErrClosed
+
+// ErrImmutableEngine is returned by Insert/Delete on an engine serving
+// an immutable tree rather than a store.
+var ErrImmutableEngine = engine.ErrImmutable
+
+// OpenStore creates or recovers a mutable store. With a non-empty dir
+// the store is durable (checkpoint + WAL, crash-recoverable via the
+// same internal/persist machinery as SaveTree); with dir == "" it is
+// ephemeral.
+func OpenStore(dir string, cfg StoreConfig) (*Store, error) { return store.Open(dir, cfg) }
+
+// NewStoreEngine creates a serving engine over a mutable store: Count
+// and Report queries dispatch against pinned store versions while
+// Insert/Delete proceed concurrently, and the answer cache is keyed by
+// data version so cached answers can never outlive the data.
+func NewStoreEngine(st *Store, cfg EngineConfig) *Engine[struct{}] {
+	return engine.NewStore(st, cfg)
+}
 
 // SaveTree writes a machine-independent snapshot of the distributed tree
 // (rank points + parameters, versioned and checksummed); LoadTree rebuilds

@@ -69,6 +69,134 @@ func FuzzDistributedVsBrute(f *testing.F) {
 	})
 }
 
+// FuzzStoreMutate fuzzes the mutable store end to end: a byte-driven
+// sequence of inserts, deletes, queries, checkpoints and crash-reopens
+// must track the brute-force oracle exactly at every step. The seed
+// corpus runs under plain `go test`; `go test -fuzz=FuzzStoreMutate`
+// explores further.
+func FuzzStoreMutate(f *testing.F) {
+	f.Add(int64(1), uint8(2), []byte{0, 1, 2, 3, 4, 0, 0, 3})
+	f.Add(int64(2), uint8(5), []byte{0, 0, 0, 1, 3, 4, 1, 1, 2})
+	f.Add(int64(3), uint8(1), []byte{4, 4, 0, 2, 3, 0, 1, 4, 3, 2})
+	f.Add(int64(4), uint8(8), []byte{0, 3, 0, 3, 0, 3, 1, 1, 1, 4, 2})
+	f.Fuzz(func(t *testing.T, seed int64, pRaw uint8, script []byte) {
+		if len(script) > 64 {
+			script = script[:64]
+		}
+		p := int(pRaw)%4 + 1
+		d := int(pRaw)%3 + 1
+		rng := rand.New(rand.NewSource(seed))
+		dir := t.TempDir() + "/db"
+		cfg := drtree.StoreConfig{Dims: d, P: p, MemtableCap: 16, Sync: true}
+		st, err := drtree.OpenStore(dir, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		closed := false
+		defer func() {
+			if !closed {
+				st.Close()
+			}
+		}()
+
+		live := map[int32]drtree.Point{}
+		var nextID int32
+		check := func() {
+			var flat []drtree.Point
+			for _, pt := range live {
+				flat = append(flat, pt)
+			}
+			bf := brute.New(flat)
+			boxes := make([]drtree.Box, 3)
+			for i := range boxes {
+				lo := make([]drtree.Coord, d)
+				hi := make([]drtree.Coord, d)
+				for j := 0; j < d; j++ {
+					a := drtree.Coord(rng.Intn(64))
+					b := drtree.Coord(rng.Intn(64))
+					if a > b {
+						a, b = b, a
+					}
+					lo[j], hi[j] = a, b
+				}
+				boxes[i] = drtree.Box{Lo: lo, Hi: hi}
+			}
+			counts := st.CountBatch(boxes)
+			reports := st.ReportBatch(boxes)
+			for i, q := range boxes {
+				if counts[i] != int64(bf.Count(q)) {
+					t.Fatalf("count mismatch: d=%d p=%d box %v: %d vs %d", d, p, q, counts[i], bf.Count(q))
+				}
+				if !reflect.DeepEqual(brute.IDs(reports[i]), brute.IDs(bf.Report(q))) {
+					t.Fatalf("report mismatch: d=%d p=%d box %v", d, p, q)
+				}
+			}
+			if st.Pin().N() != len(live) {
+				t.Fatalf("store claims %d live, oracle %d", st.Pin().N(), len(live))
+			}
+		}
+
+		for _, op := range script {
+			switch op % 5 {
+			case 0: // insert a small batch
+				k := 1 + rng.Intn(8)
+				pts := make([]drtree.Point, k)
+				for i := range pts {
+					x := make([]drtree.Coord, d)
+					for j := range x {
+						x[j] = drtree.Coord(rng.Intn(64))
+					}
+					pts[i] = drtree.Point{ID: nextID, X: x}
+					nextID++
+				}
+				if _, err := st.InsertBatch(pts); err != nil {
+					t.Fatal(err)
+				}
+				for _, pt := range pts {
+					live[pt.ID] = pt
+				}
+			case 1: // delete up to 4 live points
+				var del []drtree.Point
+				for _, pt := range live {
+					del = append(del, pt)
+					if len(del) == 4 {
+						break
+					}
+				}
+				if len(del) == 0 {
+					continue
+				}
+				if _, err := st.DeleteBatch(del); err != nil {
+					t.Fatal(err)
+				}
+				for _, pt := range del {
+					delete(live, pt.ID)
+				}
+			case 2: // checkpoint
+				if err := st.Checkpoint(); err != nil {
+					t.Fatal(err)
+				}
+			case 3: // crash (abandon) and reopen
+				re, err := drtree.OpenStore(dir, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// The crash already happened (no clean shutdown was
+				// given to the old handle before the reopen read the
+				// directory); close it now purely to release its
+				// goroutine and WAL fd for the fuzz worker's lifetime.
+				st.Close()
+				st = re
+			case 4: // query burst
+				check()
+			}
+		}
+		check()
+		st.Close()
+		closed = true
+	})
+}
+
 // FuzzNormalizerBox fuzzes the raw-box → rank-box translation: membership
 // must be preserved exactly, including under heavy duplication.
 func FuzzNormalizerBox(f *testing.F) {

@@ -39,8 +39,10 @@ type Tree struct {
 	deleted *Tree
 	shadow  bool // true for the shadow itself (no second-order shadow)
 
-	n       int // live points (inserted − deleted)
-	rebuilt int // total points passed through core.Build (amortization metric)
+	n        int // live points (inserted − deleted)
+	shadowN  int // points in the deletion shadow
+	rebuilt  int // total points passed through core.Build (amortization metric)
+	rebuilds int // full shadow-folding rebuilds (explicit or automatic)
 }
 
 // Option configures the dynamic tree.
@@ -85,6 +87,15 @@ func (t *Tree) Levels() int {
 // RebuiltPoints reports the cumulative number of points passed through
 // Algorithm Construct — the amortized-rebuild mass E12 tracks.
 func (t *Tree) RebuiltPoints() int { return t.rebuilt }
+
+// ShadowN reports the number of points in the deletion shadow — the
+// per-query subtraction tax outstanding right now.
+func (t *Tree) ShadowN() int { return t.shadowN }
+
+// Rebuilt reports how many full shadow-folding rebuilds have run
+// (explicit Rebuild calls plus the automatic ≥25% compactions) — with
+// ShadowN, the amortization pair E12/E16 chart.
+func (t *Tree) Rebuilt() int { return t.rebuilds }
 
 // InsertBatch adds points. Points must have the tree's dimensionality;
 // IDs should be unique across the lifetime of the structure (they
@@ -134,8 +145,9 @@ func collectPoints(st *core.Tree) []geom.Point {
 
 // DeleteBatch removes points (matched by ID and coordinates). Deleted
 // points accumulate in a shadow structure; counts subtract and reports
-// filter. Deleting more than half the live points is the natural moment
-// to Rebuild.
+// filter. Once the shadow reaches a quarter of the live set the tree
+// compacts itself (Rebuild), folding the shadow away — so deletions can
+// tax every query by at most a constant factor instead of forever.
 func (t *Tree) DeleteBatch(pts []geom.Point) {
 	if t.shadow {
 		panic("dynamic: shadow trees do not support deletion")
@@ -149,15 +161,22 @@ func (t *Tree) DeleteBatch(pts []geom.Point) {
 	}
 	t.deleted.InsertBatch(pts)
 	t.n -= len(pts)
+	t.shadowN += len(pts)
+	if 4*t.shadowN >= t.n {
+		t.Rebuild()
+	}
 }
 
 // Rebuild compacts everything (live minus deleted) into one static level,
-// resetting the deletion shadow.
+// resetting the deletion shadow. DeleteBatch calls it automatically at
+// the ≥25% shadow threshold; explicit calls remain available.
 func (t *Tree) Rebuild() {
 	live := t.liveFilter(t.allRaw())
 	t.levels = nil // discarded whole; copy caches die with the levels (see carry)
 	t.pending = nil
 	t.deleted = nil
+	t.shadowN = 0
+	t.rebuilds++
 	if len(live) > 0 {
 		t.rebuilt += len(live)
 		t.levels = []*core.Tree{core.Build(t.mach, live)}

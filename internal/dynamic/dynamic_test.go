@@ -142,6 +142,52 @@ func TestRebuildCompacts(t *testing.T) {
 	}
 }
 
+func TestShadowAutoCompaction(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	mach := cgm.New(cgm.Config{P: 2})
+	dt := New(mach, 2, WithBase(8))
+	pts := randomPoints(rng, 200, 2, 0)
+	dt.InsertBatch(pts)
+	if dt.ShadowN() != 0 || dt.Rebuilt() != 0 {
+		t.Fatalf("fresh tree: shadow %d, rebuilds %d", dt.ShadowN(), dt.Rebuilt())
+	}
+
+	// Small deletions stay below the threshold: the shadow persists.
+	dt.DeleteBatch(pts[:10])
+	if dt.ShadowN() != 10 {
+		t.Fatalf("shadow %d after 10 deletes (live %d)", dt.ShadowN(), dt.N())
+	}
+	if dt.Rebuilt() != 0 {
+		t.Fatal("compacted below the 25% threshold")
+	}
+
+	// Push past live/4: the fold must trigger and reset the shadow.
+	dt.DeleteBatch(pts[10:80])
+	if dt.Rebuilt() == 0 {
+		t.Fatalf("no automatic rebuild: shadow %d, live %d", dt.ShadowN(), dt.N())
+	}
+	if dt.ShadowN() != 0 {
+		t.Fatalf("shadow %d after automatic fold", dt.ShadowN())
+	}
+	if dt.N() != 120 {
+		t.Fatalf("live %d after deleting 80 of 200", dt.N())
+	}
+
+	// Queries remain exact through the fold.
+	bf := brute.New(pts[80:])
+	boxes := randomBoxes(rng, 12, 200, 2)
+	counts := dt.CountBatch(boxes)
+	reports := dt.ReportBatch(boxes)
+	for i, b := range boxes {
+		if counts[i] != int64(bf.Count(b)) {
+			t.Fatalf("post-fold count %d: %d vs %d", i, counts[i], bf.Count(b))
+		}
+		if !reflect.DeepEqual(brute.IDs(reports[i]), brute.IDs(bf.Report(b))) {
+			t.Fatalf("post-fold report %d mismatch", i)
+		}
+	}
+}
+
 func TestLevelsAreBinaryCounter(t *testing.T) {
 	mach := cgm.New(cgm.Config{P: 2})
 	dt := New(mach, 1, WithBase(4))

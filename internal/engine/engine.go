@@ -9,11 +9,19 @@
 // a pending buffer that flushes when it reaches the configured batch size
 // or when the oldest pending request has waited the configured deadline,
 // whichever comes first. Results route back to callers over per-query
-// channels, and an LRU cache keyed by (mode, box) short-circuits repeated
-// queries. Hit/miss/flush counters are exported via Stats.
+// channels, and an LRU cache keyed by (data version, mode, box)
+// short-circuits repeated queries. Hit/miss/flush counters are exported
+// via Stats.
+//
+// An engine serves either an immutable core.Tree (whose data version is
+// forever 0) or a mutable store.Store, in which case Insert and Delete
+// are available and every mutation advances the data version — cached
+// answers from older versions simply stop matching and age out of the
+// LRU, so a cached answer can never outlive the data it came from.
 package engine
 
 import (
+	"encoding/binary"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -21,6 +29,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/store"
 )
 
 // ErrClosed is returned by queries submitted after Close.
@@ -29,6 +38,10 @@ var ErrClosed = errors.New("engine: closed")
 // ErrNoAggregate is returned by Aggregate on an engine built without a
 // prepared associative handle.
 var ErrNoAggregate = errors.New("engine: no aggregate handle prepared")
+
+// ErrImmutable is returned by Insert/Delete on an engine serving an
+// immutable tree instead of a mutable store.
+var ErrImmutable = errors.New("engine: immutable tree (serve from a store for mutations)")
 
 // Defaults used for zero Config fields.
 const (
@@ -83,7 +96,9 @@ type Stats struct {
 	PhaseBInstall time.Duration
 }
 
-// request is one pending query and its reply channel.
+// request is one pending query and its reply channel. key is the
+// version-less (mode, box) encoding used for in-batch dedup; the cache
+// key prepends the data version of the batch that answered it.
 type request[T any] struct {
 	op  core.MixedOp
 	box geom.Box
@@ -92,9 +107,11 @@ type request[T any] struct {
 }
 
 // Engine is the serving layer. All methods are safe for concurrent use.
+// Exactly one of tree/st backs it.
 type Engine[T any] struct {
 	tree *core.Tree
 	agg  *core.AggHandle[T]
+	st   *store.Store
 	cfg  Config
 
 	// closing guards the reqs channel: submitters hold it shared for the
@@ -123,10 +140,28 @@ func WithAggregate[T any](t *core.Tree, h *core.AggHandle[T], cfg Config) *Engin
 	if h != nil && h.Tree() != t {
 		panic("engine: aggregate handle was prepared on a different tree")
 	}
+	e := newEngine[T](cfg)
+	e.tree = t
+	e.agg = h
+	go e.loop()
+	return e
+}
+
+// NewStore creates an engine serving Count and Report queries from a
+// mutable store: batches dispatch against pinned store versions, the
+// answer cache is keyed by data version, and Insert/Delete work.
+// Aggregate is unavailable (tombstone subtraction needs invertibility
+// the semigroup contract does not promise).
+func NewStore(st *store.Store, cfg Config) *Engine[struct{}] {
+	e := newEngine[struct{}](cfg)
+	e.st = st
+	go e.loop()
+	return e
+}
+
+func newEngine[T any](cfg Config) *Engine[T] {
 	cfg = cfg.withDefaults()
 	e := &Engine[T]{
-		tree: t,
-		agg:  h,
 		cfg:  cfg,
 		reqs: make(chan request[T], 4*cfg.BatchSize),
 		done: make(chan struct{}),
@@ -134,7 +169,6 @@ func WithAggregate[T any](t *core.Tree, h *core.AggHandle[T], cfg Config) *Engin
 	if cfg.CacheSize > 0 {
 		e.cache = newLRU[core.MixedResult[T]](cfg.CacheSize)
 	}
-	go e.loop()
 	return e
 }
 
@@ -158,6 +192,36 @@ func (e *Engine[T]) Aggregate(box geom.Box) (T, error) {
 func (e *Engine[T]) Report(box geom.Box) ([]geom.Point, error) {
 	r, err := e.submit(core.OpReport, box)
 	return r.Pts, err
+}
+
+// Insert adds points to the engine's mutable store (ErrImmutable when
+// the engine serves a plain tree). The store's data version advances,
+// so every cached answer predating the insert stops being served.
+func (e *Engine[T]) Insert(pts ...geom.Point) error {
+	if e.st == nil {
+		return ErrImmutable
+	}
+	_, err := e.st.InsertBatch(pts)
+	return err
+}
+
+// Delete removes live points from the engine's mutable store
+// (ErrImmutable when the engine serves a plain tree).
+func (e *Engine[T]) Delete(pts ...geom.Point) error {
+	if e.st == nil {
+		return ErrImmutable
+	}
+	_, err := e.st.DeleteBatch(pts)
+	return err
+}
+
+// dataVersion is the cache key's version component: a store advances it
+// on every mutation; an immutable tree is forever version 0.
+func (e *Engine[T]) dataVersion() uint64 {
+	if e.st != nil {
+		return e.st.Version()
+	}
+	return 0
 }
 
 // Stats returns a snapshot of the engine's counters.
@@ -199,7 +263,7 @@ func (e *Engine[T]) submit(op core.MixedOp, box geom.Box) (core.MixedResult[T], 
 	e.submitted.Add(1)
 	key := cacheKey(op, box)
 	if e.cache != nil {
-		if v, ok := e.cache.get(key); ok {
+		if v, ok := e.cache.get(versionKey(e.dataVersion(), key)); ok {
 			e.hits.Add(1)
 			e.closing.RUnlock()
 			return cloneResult(v), nil
@@ -258,8 +322,12 @@ func (e *Engine[T]) loop() {
 }
 
 // dispatch answers one pending buffer with a single mixed-mode machine
-// run, deduplicating identical (mode, box) queries within the batch, then
-// fans the results back out to the reply channels and the cache.
+// run (per store level, when serving a store), deduplicating identical
+// (mode, box) queries within the batch, then fans the results back out
+// to the reply channels and the cache. Cache entries are stored under
+// the data version the batch actually ran at — the version of the
+// pinned store snapshot — so an entry can never claim to be fresher (or
+// staler) than it is.
 func (e *Engine[T]) dispatch(batch []request[T]) {
 	slot := make(map[string]int, len(batch)) // key -> unique index
 	at := make([]int, len(batch))            // request -> unique index
@@ -276,16 +344,24 @@ func (e *Engine[T]) dispatch(batch []request[T]) {
 		at[i] = j
 	}
 
-	results := core.MixedBatch(e.tree, e.agg, ops, boxes)
+	var results []core.MixedResult[T]
+	var ver uint64
+	if e.st != nil {
+		v := e.st.Pin()
+		ver = v.Seq()
+		results = store.Mixed[T](v, ops, boxes)
+	} else {
+		results = core.MixedBatch(e.tree, e.agg, ops, boxes)
+		e.copyCacheHits.Add(uint64(e.tree.LastCopyCacheHits()))
+		e.installNanos.Add(uint64(e.tree.LastPhaseBInstall().Nanoseconds()))
+	}
 	e.batches.Add(1)
 	e.batched.Add(uint64(len(batch)))
-	e.copyCacheHits.Add(uint64(e.tree.LastCopyCacheHits()))
-	e.installNanos.Add(uint64(e.tree.LastPhaseBInstall().Nanoseconds()))
 
 	for i, req := range batch {
 		res := results[at[i]]
 		if e.cache != nil {
-			e.cache.add(req.key, res)
+			e.cache.add(versionKey(ver, req.key), res)
 		}
 		req.out <- cloneResult(res)
 	}
@@ -299,6 +375,15 @@ func cloneResult[T any](r core.MixedResult[T]) core.MixedResult[T] {
 		r.Pts = append([]geom.Point(nil), r.Pts...)
 	}
 	return r
+}
+
+// versionKey prepends the data version to a (mode, box) key: the full
+// answer-cache key. Mutations advance the version, so entries cached
+// against earlier data stop matching and age out of the LRU.
+func versionKey(ver uint64, key string) string {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], ver)
+	return string(buf[:]) + key
 }
 
 // cacheKey encodes (mode, box) as a compact string map key.

@@ -5,9 +5,10 @@ import (
 	"sync"
 )
 
-// lru is a mutex-guarded least-recently-used answer cache. The tree is
-// immutable once built, so entries never need invalidation — capacity is
-// the only eviction pressure.
+// lru is a mutex-guarded least-recently-used answer cache. Entries are
+// keyed by (data version, mode, box); a mutation advances the version,
+// so entries for older data stop matching lookups and drain out under
+// capacity pressure — explicit invalidation is never needed.
 type lru[V any] struct {
 	mu    sync.Mutex
 	cap   int

@@ -173,16 +173,38 @@ func TestE11LayeredWinsModerateSelectivity(t *testing.T) {
 
 func TestE12RoundsGrowWithLevels(t *testing.T) {
 	tab := E12(Quick)
+	folds := 0
 	for _, r := range tab.Rows {
-		levels, err1 := strconv.Atoi(r[1])
-		rounds, err2 := strconv.Atoi(r[3])
-		static, err3 := strconv.Atoi(r[5])
-		if err1 != nil || err2 != nil || err3 != nil {
-			t.Fatalf("bad row %v", r)
+		switch r[0] {
+		case "insert":
+			levels, err1 := strconv.Atoi(r[2])
+			rounds, err2 := strconv.Atoi(r[4])
+			static, err3 := strconv.Atoi(r[6])
+			if err1 != nil || err2 != nil || err3 != nil {
+				t.Fatalf("bad row %v", r)
+			}
+			if rounds != levels*static {
+				t.Errorf("rounds %d != levels %d × static %d", rounds, levels, static)
+			}
+		case "delete":
+			live, err1 := strconv.Atoi(r[1])
+			shadow, err2 := strconv.Atoi(r[7])
+			rebuilds, err3 := strconv.Atoi(r[8])
+			if err1 != nil || err2 != nil || err3 != nil {
+				t.Fatalf("bad row %v", r)
+			}
+			// The automatic fold keeps the shadow strictly below the
+			// 25% threshold after every delete batch lands.
+			if 4*shadow >= live && shadow > 0 {
+				t.Errorf("shadow %d not folded at live %d", shadow, live)
+			}
+			folds = rebuilds
+		default:
+			t.Fatalf("unknown phase %q", r[0])
 		}
-		if rounds != levels*static {
-			t.Errorf("rounds %d != levels %d × static %d", rounds, levels, static)
-		}
+	}
+	if folds == 0 {
+		t.Error("delete phase never triggered a shadow fold")
 	}
 }
 

@@ -74,8 +74,11 @@ func E12(sc Scale) *Table {
 		Note: "Batch inserts keep O(log n) static levels; each point is rebuilt " +
 			"amortized O(log(n/base)) times, and a query batch pays the static round " +
 			"cost once per occupied level — the measured price of dynamization the " +
-			"paper anticipated.",
-		Header: []string{"inserted n", "levels", "rebuild mass/point", "query rounds", "query T_model", "static rounds"},
+			"paper anticipated. The delete phase charts the deletion shadow: it " +
+			"taxes every query until it reaches 25% of the live set, where the " +
+			"automatic fold (Rebuild) resets it — shadow size is sawtooth-bounded, " +
+			"rebuilds count the folds.",
+		Header: []string{"phase", "live n", "levels", "rebuild mass/point", "query rounds", "query T_model", "static rounds", "shadow", "rebuilds"},
 	}
 	n, d, p := 1<<11, 2, 4
 	if sc == Full {
@@ -98,11 +101,25 @@ func E12(sc Scale) *Table {
 		stat := core.Build(statMach, pts[:inserted])
 		statMach.ResetMetrics()
 		stat.CountBatch(boxes)
-		t.AddRow(inserted, dt.Levels(),
+		t.AddRow("insert", inserted, dt.Levels(),
 			fmt.Sprintf("%.2f", float64(dt.RebuiltPoints())/float64(inserted)),
 			mt.CommRounds(),
 			mt.ModelTime(cgm.DefaultG, cgm.DefaultL).Round(time.Microsecond).String(),
-			statMach.Metrics().CommRounds())
+			statMach.Metrics().CommRounds(), dt.ShadowN(), dt.Rebuilt())
+	}
+	// Delete phase: walk the shadow up to (and across) the fold threshold.
+	step = n / 10
+	for deleted := 0; deleted < n/2; {
+		dt.DeleteBatch(pts[deleted : deleted+step])
+		deleted += step
+		mach.ResetMetrics()
+		dt.CountBatch(boxes)
+		mt := mach.Metrics()
+		t.AddRow("delete", dt.N(), dt.Levels(),
+			fmt.Sprintf("%.2f", float64(dt.RebuiltPoints())/float64(n)),
+			mt.CommRounds(),
+			mt.ModelTime(cgm.DefaultG, cgm.DefaultL).Round(time.Microsecond).String(),
+			"", dt.ShadowN(), dt.Rebuilt())
 	}
 	return t
 }

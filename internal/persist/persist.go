@@ -30,7 +30,10 @@ type Snapshot struct {
 	// Backend is the element backend the tree was built with; Load
 	// rebuilds on the same one. Older snapshots decode it as the zero
 	// value, which is the default backend.
-	Backend  core.Backend
+	Backend core.Backend
+	// Seq is the data version the snapshot captures (the mutable store's
+	// checkpoint stamp); older snapshots decode it as 0.
+	Seq      uint64
 	Points   []geom.Point
 	Checksum uint64
 }
@@ -84,8 +87,43 @@ func savePoints(w io.Writer, pts []geom.Point, p int, be core.Backend) error {
 	return nil
 }
 
+// SaveSet writes a snapshot of a raw point set that may be empty — the
+// mutable store's checkpoint path, which must be able to capture a store
+// whose every point has been deleted. dims must be supplied explicitly
+// because an empty set cannot reveal it; be records the element backend
+// the saving store builds on; seq stamps the data version the set was
+// captured at.
+func SaveSet(w io.Writer, pts []geom.Point, dims, p int, be core.Backend, seq uint64) error {
+	if dims < 1 {
+		return fmt.Errorf("persist: set snapshot needs at least one dimension")
+	}
+	snap := Snapshot{
+		Version:  Version,
+		Dims:     dims,
+		P:        p,
+		Backend:  be,
+		Seq:      seq,
+		Points:   pts,
+		Checksum: checksum(pts),
+	}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("persist: encoding set snapshot: %w", err)
+	}
+	return nil
+}
+
+// LoadSet reads and validates a snapshot that may hold no points (the
+// checkpoint counterpart of SaveSet).
+func LoadSet(r io.Reader) (*Snapshot, error) {
+	return load(r, true)
+}
+
 // LoadPoints reads and validates a snapshot.
 func LoadPoints(r io.Reader) (*Snapshot, error) {
+	return load(r, false)
+}
+
+func load(r io.Reader, allowEmpty bool) (*Snapshot, error) {
 	var snap Snapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("persist: decoding snapshot: %w", err)
@@ -93,7 +131,10 @@ func LoadPoints(r io.Reader) (*Snapshot, error) {
 	if snap.Version != Version {
 		return nil, fmt.Errorf("persist: snapshot version %d, this build reads %d", snap.Version, Version)
 	}
-	if len(snap.Points) == 0 {
+	if snap.Dims < 1 {
+		return nil, fmt.Errorf("persist: snapshot header has %d dims", snap.Dims)
+	}
+	if len(snap.Points) == 0 && !allowEmpty {
 		return nil, fmt.Errorf("persist: snapshot holds no points")
 	}
 	for i, p := range snap.Points {

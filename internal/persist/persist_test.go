@@ -106,6 +106,49 @@ func TestEmptySaveRejected(t *testing.T) {
 	}
 }
 
+func TestSetRoundTripAllowsEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveSet(&buf, nil, 3, 4, core.BackendLayered, 17); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := LoadSet(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Dims != 3 || snap.P != 4 || snap.Seq != 17 || len(snap.Points) != 0 {
+		t.Fatalf("empty set round trip: %+v", snap)
+	}
+	// LoadPoints keeps refusing empty snapshots.
+	var buf2 bytes.Buffer
+	if err := SaveSet(&buf2, nil, 3, 4, core.BackendLayered, 17); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadPoints(&buf2); err == nil {
+		t.Fatal("LoadPoints accepted an empty set snapshot")
+	}
+}
+
+func TestSetRoundTripCarriesSeq(t *testing.T) {
+	pts := workload.Points(workload.PointSpec{N: 40, Dims: 2, Dist: workload.Uniform, Seed: 3})
+	var buf bytes.Buffer
+	if err := SaveSet(&buf, pts, 2, 8, core.BackendRangeTree, 12345); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := LoadSet(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Seq != 12345 || len(snap.Points) != 40 {
+		t.Fatalf("set snapshot: seq %d, %d points", snap.Seq, len(snap.Points))
+	}
+	if snap.Backend != core.BackendRangeTree {
+		t.Fatalf("set snapshot backend %v, want the saving store's", snap.Backend)
+	}
+	if err := SaveSet(&buf, pts, 0, 8, core.BackendLayered, 1); err == nil {
+		t.Fatal("set snapshot without dims accepted")
+	}
+}
+
 func TestGarbageStream(t *testing.T) {
 	if _, err := LoadPoints(strings.NewReader("not a snapshot")); err == nil {
 		t.Fatal("garbage accepted")

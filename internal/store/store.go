@@ -1,0 +1,505 @@
+// Package store is the mutable, versioned serving store under the
+// engine: an LSM of distributed range trees. The paper's structure is
+// inherently static (its conclusion names dynamization as the main open
+// issue); this package composes the repository's ingredients into a
+// point store that absorbs single-point Insert/Delete while staying on
+// the batched distributed search hot path:
+//
+//   - a memtable — a small append-only buffer — absorbs mutations
+//     without any machine run;
+//   - full memtables are flushed by a background compactor into
+//     immutable core.Trees arranged as logarithmic-method levels
+//     (Bentley's transform for decomposable searching problems, the
+//     paper's reference [4]), merging levels binary-counter style;
+//   - deletes are tombstones in a shadow buffer: counts subtract,
+//     reports filter; the compactor folds the shadow away once it
+//     reaches a quarter of the live set, so deletions cannot tax
+//     queries forever;
+//   - every mutation publishes a new immutable Version (epoch-stamped
+//     snapshot of levels + memtable + shadow); query batches pin one
+//     Version and fan over its levels with one mixed-mode machine run
+//     per level, combining by decomposability — readers never block
+//     writers, writers never invalidate an in-flight read;
+//   - a WAL plus internal/persist checkpoints make Open recover the
+//     exact pre-crash logical state (the memtable is simply the WAL
+//     tail replayed).
+//
+// Point IDs disambiguate duplicate coordinates and attribute
+// tombstones: an ID may be reused only after a compaction has folded
+// its tombstone away. Mutations are validated against the live-ID set
+// before they are applied or WAL-logged, so a phantom delete or a
+// duplicate insert is an error, never silent corruption.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cgm"
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// ErrClosed is returned by mutations submitted after Close.
+var ErrClosed = errors.New("store: closed")
+
+// ErrNoDims is returned by Open when neither the configuration nor an
+// existing checkpoint provides the point dimensionality.
+var ErrNoDims = errors.New("store: no dimensionality configured and no checkpoint provides one")
+
+// Defaults used for zero Config fields.
+const (
+	DefaultMemtableCap = 256
+	DefaultP           = 4
+	DefaultShadowFrac  = 0.25
+)
+
+// Config tunes the store.
+type Config struct {
+	// Dims is the point dimensionality. Required unless Open finds a
+	// checkpoint to take it from.
+	Dims int
+	// P is the simulated machine width each level is built and queried
+	// on (default DefaultP).
+	P int
+	// MemtableCap is the memtable flush threshold in buffered mutations
+	// (default DefaultMemtableCap). It is also the base level size of
+	// the logarithmic method.
+	MemtableCap int
+	// ShadowFrac triggers a full compaction (folding every tombstone)
+	// when len(shadow) ≥ ShadowFrac·live (default DefaultShadowFrac).
+	ShadowFrac float64
+	// Backend is the element backend levels are built on (default
+	// layered).
+	Backend core.Backend
+	// Sync runs flushes and compactions synchronously inside the
+	// triggering mutation instead of on the background compactor —
+	// deterministic, for tests and replay.
+	Sync bool
+	// SyncWAL fsyncs the WAL after every logged mutation. Off by
+	// default: the durability unit is then the OS page cache, exactly
+	// like an LSM store running without wal_fsync.
+	SyncWAL bool
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.P <= 0 {
+		cfg.P = DefaultP
+	}
+	if cfg.MemtableCap <= 0 {
+		cfg.MemtableCap = DefaultMemtableCap
+	}
+	if cfg.ShadowFrac <= 0 {
+		cfg.ShadowFrac = DefaultShadowFrac
+	}
+	return cfg
+}
+
+// Stats is a snapshot of the store's counters.
+type Stats struct {
+	Seq         uint64        // current data version
+	Live        int           // live points (inserted − deleted)
+	Levels      int           // occupied logarithmic levels
+	Memtable    int           // buffered mutations awaiting flush
+	Shadow      int           // outstanding tombstones
+	Flushes     uint64        // memtable flushes (level carries)
+	Compactions uint64        // full shadow-folding rebuilds
+	BuildWall   time.Duration // total compactor build time
+	MaxBuild    time.Duration // longest single build (the write-visibility pause; reads never wait on it)
+	WALRecords  uint64        // mutation records appended to the WAL
+	Checkpoints uint64
+}
+
+// Store is the mutable, versioned point store. All methods are safe for
+// concurrent use: mutations serialize on an internal writer lock, query
+// batches pin immutable versions.
+type Store struct {
+	cfg Config
+	dir string
+
+	// mu guards the mutable state below and every version swap.
+	mu      sync.Mutex
+	closed  bool
+	mem     []geom.Point       // append-only current memtable segment
+	shadow  []geom.Point       // append-only tombstones (points still present in mem/levels)
+	deadIDs map[int32]struct{} // outstanding tombstone IDs
+	liveIDs map[int32]struct{} // currently live IDs (mutation validity checks)
+	levels  []*core.Tree       // binary-counter slots; nil = empty
+	liveN   int
+	seq     uint64
+	wal     *wal // nil for an ephemeral (dir-less) store
+	// checkpointMu serializes whole Checkpoint calls (rotation is under
+	// mu, but snapshot write + prune must not interleave between two
+	// checkpoints).
+	checkpointMu sync.Mutex
+
+	cur atomic.Pointer[Version]
+
+	// queryMu serializes machine runs on the level trees: a cgm.Machine
+	// supports one Run at a time, and retired levels stay queryable by
+	// pinned versions. The compactor builds on fresh machines, so
+	// builds never take this lock.
+	queryMu sync.Mutex
+
+	// compacting serializes compactor passes (background loop vs Close
+	// drain vs Sync-mode inline calls).
+	compacting sync.Mutex
+	kick       chan struct{} // cap 1, coalescing; never closed
+	stop       chan struct{}
+	done       chan struct{}
+
+	flushes, compactions, walRecords, checkpoints atomic.Uint64
+	buildNanos, maxBuildNanos                     atomic.Int64
+}
+
+// Open creates or recovers a store. With a non-empty dir the store is
+// durable: an existing checkpoint is loaded, the WAL tail replayed, and
+// every subsequent mutation logged. With dir == "" the store is
+// ephemeral (no WAL, Checkpoint returns an error).
+func Open(dir string, cfg Config) (*Store, error) {
+	cfg = cfg.withDefaults()
+	s := &Store{
+		cfg:     cfg,
+		dir:     dir,
+		deadIDs: make(map[int32]struct{}),
+		liveIDs: make(map[int32]struct{}),
+		kick:    make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	if dir != "" {
+		if err := s.recover(); err != nil {
+			return nil, err
+		}
+	}
+	if s.cfg.Dims < 1 {
+		return nil, ErrNoDims
+	}
+	s.publishLocked() // initial version (no lock needed: not shared yet)
+	go s.compactor()
+	return s, nil
+}
+
+// Close stops the compactor (finishing any pending pass) and closes the
+// WAL. Mutations after Close fail with ErrClosed; pinned versions stay
+// queryable.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.done
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stop)
+	<-s.done
+	if s.wal != nil {
+		return s.wal.close()
+	}
+	return nil
+}
+
+// Dims reports the point dimensionality.
+func (s *Store) Dims() int { return s.cfg.Dims }
+
+// P reports the simulated machine width levels are built on.
+func (s *Store) P() int { return s.cfg.P }
+
+// Version reports the current data version. It advances on every
+// mutation and on every compactor swap — the engine keys its answer
+// cache on it, so a cached answer can never outlive the data it came
+// from.
+func (s *Store) Version() uint64 { return s.cur.Load().seq }
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	st := Stats{
+		Seq:      s.seq,
+		Live:     s.liveN,
+		Memtable: len(s.mem),
+		Shadow:   len(s.shadow),
+	}
+	for _, l := range s.levels {
+		if l != nil {
+			st.Levels++
+		}
+	}
+	s.mu.Unlock()
+	st.Flushes = s.flushes.Load()
+	st.Compactions = s.compactions.Load()
+	st.BuildWall = time.Duration(s.buildNanos.Load())
+	st.MaxBuild = time.Duration(s.maxBuildNanos.Load())
+	st.WALRecords = s.walRecords.Load()
+	st.Checkpoints = s.checkpoints.Load()
+	return st
+}
+
+// InsertBatch adds points and returns the data version the insert
+// published. An ID may not be currently live nor still tombstoned
+// (reusing an ID becomes legal once a compaction has folded its
+// tombstone away); dimensionalities must match the store's. Rejected
+// batches apply nothing and log nothing.
+func (s *Store) InsertBatch(pts []geom.Point) (uint64, error) {
+	return s.mutate(walInsert, pts, true)
+}
+
+// Insert adds one point.
+func (s *Store) Insert(p geom.Point) (uint64, error) { return s.InsertBatch([]geom.Point{p}) }
+
+// DeleteBatch removes live points (matched by ID; coordinates must be
+// the stored ones — they position the tombstone for count subtraction)
+// and returns the data version the delete published. Deleting an ID
+// that is not currently live is an error; rejected batches apply
+// nothing and log nothing.
+func (s *Store) DeleteBatch(pts []geom.Point) (uint64, error) {
+	return s.mutate(walDelete, pts, true)
+}
+
+// Delete removes one live point.
+func (s *Store) Delete(p geom.Point) (uint64, error) { return s.DeleteBatch([]geom.Point{p}) }
+
+// mutate is the shared write path: validate, log, apply, publish, and
+// let the compactor know if thresholds tripped. WAL replay reuses it
+// with logIt=false.
+func (s *Store) mutate(op byte, pts []geom.Point, logIt bool) (uint64, error) {
+	if len(pts) == 0 {
+		return s.Version(), nil
+	}
+	for _, p := range pts {
+		if p.Dims() != s.cfg.Dims {
+			return 0, fmt.Errorf("store: point %d has %d dims, store has %d", p.ID, p.Dims(), s.cfg.Dims)
+		}
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, ErrClosed
+	}
+	// Validate the whole batch against the live set before anything is
+	// logged or applied: a phantom delete or duplicate insert would
+	// otherwise corrupt counts silently — and durably, via the WAL.
+	seen := make(map[int32]struct{}, len(pts))
+	for _, p := range pts {
+		if _, dup := seen[p.ID]; dup {
+			s.mu.Unlock()
+			return 0, fmt.Errorf("store: point %d appears twice in one batch", p.ID)
+		}
+		seen[p.ID] = struct{}{}
+		_, live := s.liveIDs[p.ID]
+		switch {
+		case op == walInsert && live:
+			s.mu.Unlock()
+			return 0, fmt.Errorf("store: point %d is already live", p.ID)
+		case op == walInsert:
+			if _, dead := s.deadIDs[p.ID]; dead {
+				s.mu.Unlock()
+				return 0, fmt.Errorf("store: point %d still has an outstanding tombstone", p.ID)
+			}
+		case op == walDelete && !live:
+			s.mu.Unlock()
+			return 0, fmt.Errorf("store: point %d is not live", p.ID)
+		}
+	}
+	if logIt && s.wal != nil {
+		if err := s.wal.append(op, pts); err != nil {
+			s.mu.Unlock()
+			return 0, err
+		}
+		s.walRecords.Add(1)
+	}
+	switch op {
+	case walInsert:
+		for _, p := range pts {
+			s.mem = append(s.mem, p.Clone())
+			s.liveIDs[p.ID] = struct{}{}
+		}
+		s.liveN += len(pts)
+	case walDelete:
+		for _, p := range pts {
+			s.shadow = append(s.shadow, p.Clone())
+			s.deadIDs[p.ID] = struct{}{}
+			delete(s.liveIDs, p.ID)
+		}
+		s.liveN -= len(pts)
+	}
+	s.seq++
+	seq := s.seq
+	s.publishLocked()
+	need := s.needsCompactLocked()
+	s.mu.Unlock()
+	if need {
+		if s.cfg.Sync {
+			s.compactPass()
+		} else {
+			select {
+			case s.kick <- struct{}{}:
+			default: // a pass is already pending; it re-checks thresholds
+			}
+		}
+	}
+	return seq, nil
+}
+
+// publishLocked installs a fresh immutable Version of the current state.
+// mem and shadow are captured as full-slice expressions: writers only
+// ever append (never overwrite a published index), so pinned prefixes
+// stay valid without copying.
+func (s *Store) publishLocked() {
+	s.cur.Store(&Version{
+		s:      s,
+		seq:    s.seq,
+		levels: slices.Clone(s.levels),
+		mem:    s.mem[:len(s.mem):len(s.mem)],
+		shadow: s.shadow[:len(s.shadow):len(s.shadow)],
+		liveN:  s.liveN,
+	})
+}
+
+// needsCompactLocked reports whether a flush or fold threshold tripped.
+func (s *Store) needsCompactLocked() bool {
+	if len(s.mem) >= s.cfg.MemtableCap {
+		return true
+	}
+	return len(s.shadow) > 0 && float64(len(s.shadow)) >= s.cfg.ShadowFrac*float64(s.liveN)
+}
+
+// compactor is the background goroutine: each kick runs passes until no
+// threshold remains tripped.
+func (s *Store) compactor() {
+	defer close(s.done)
+	for {
+		select {
+		case <-s.kick:
+			for s.compactPass() {
+			}
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// compactPass runs one flush or fold if a threshold is tripped; it
+// reports whether it did any work. The expensive build happens on a
+// fresh machine outside every lock: queries keep serving the old
+// version, writers keep appending, and the swap at the end is O(small).
+func (s *Store) compactPass() bool {
+	s.compacting.Lock()
+	defer s.compacting.Unlock()
+
+	// Snapshot the state to compact.
+	s.mu.Lock()
+	if !s.needsCompactLocked() {
+		s.mu.Unlock()
+		return false
+	}
+	memSnap := len(s.mem)
+	shadowSnap := len(s.shadow)
+	levelsSnap := slices.Clone(s.levels)
+	mem := s.mem[:memSnap:memSnap]
+	shadow := s.shadow[:shadowSnap:shadowSnap]
+	fold := len(shadow) > 0 && float64(len(shadow)) >= s.cfg.ShadowFrac*float64(s.liveN)
+	s.mu.Unlock()
+
+	dead := make(map[int32]struct{}, len(shadow))
+	for _, p := range shadow {
+		dead[p.ID] = struct{}{}
+	}
+	consumed := make(map[int32]struct{})
+	keep := func(pts []geom.Point, acc []geom.Point) []geom.Point {
+		for _, p := range pts {
+			if _, d := dead[p.ID]; d {
+				consumed[p.ID] = struct{}{}
+				continue
+			}
+			acc = append(acc, p)
+		}
+		return acc
+	}
+
+	// Collect the rebuild mass: always the snapshotted memtable; on a
+	// fold, every level too; on a flush, the occupied low levels the
+	// binary-counter carry merges.
+	var acc []geom.Point
+	acc = keep(mem, acc)
+	newLevels := slices.Clone(levelsSnap)
+	slot := 0
+	if fold {
+		for i, l := range newLevels {
+			if l != nil {
+				acc = keep(l.AllPoints(), acc)
+				newLevels[i] = nil
+			}
+		}
+		// The fold also consumes tombstones of points that were only
+		// ever in the memtable — everything snapshotted is accounted.
+		for _, p := range shadow {
+			consumed[p.ID] = struct{}{}
+		}
+	} else {
+		for ; slot < len(newLevels) && newLevels[slot] != nil; slot++ {
+			acc = keep(newLevels[slot].AllPoints(), acc)
+			newLevels[slot] = nil
+		}
+	}
+
+	if len(acc) > 0 {
+		start := time.Now()
+		built := core.BuildBackend(cgm.New(cgm.Config{P: s.cfg.P}), acc, s.cfg.Backend)
+		wall := time.Since(start)
+		s.buildNanos.Add(wall.Nanoseconds())
+		if w := wall.Nanoseconds(); w > s.maxBuildNanos.Load() {
+			s.maxBuildNanos.Store(w)
+		}
+		if fold {
+			newLevels = newLevels[:0]
+			newLevels = append(newLevels, built)
+		} else {
+			for len(newLevels) <= slot {
+				newLevels = append(newLevels, nil)
+			}
+			newLevels[slot] = built
+		}
+	}
+	for len(newLevels) > 0 && newLevels[len(newLevels)-1] == nil {
+		newLevels = newLevels[:len(newLevels)-1]
+	}
+	if fold {
+		s.compactions.Add(1)
+	} else {
+		s.flushes.Add(1)
+	}
+
+	// Swap: splice out what was compacted, retain what arrived since
+	// the snapshot, and publish the new version.
+	s.mu.Lock()
+	s.levels = newLevels
+	s.mem = append([]geom.Point(nil), s.mem[memSnap:]...)
+	var remaining []geom.Point
+	for _, p := range s.shadow[:shadowSnap] {
+		if _, c := consumed[p.ID]; !c {
+			remaining = append(remaining, p)
+		}
+	}
+	s.shadow = append(remaining, s.shadow[shadowSnap:]...)
+	s.deadIDs = make(map[int32]struct{}, len(s.shadow))
+	for _, p := range s.shadow {
+		s.deadIDs[p.ID] = struct{}{}
+	}
+	s.seq++
+	s.publishLocked()
+	s.mu.Unlock()
+	return true
+}
+
+// Compact forces passes until no threshold remains tripped (tests and
+// the CLI's explicit maintenance hook).
+func (s *Store) Compact() {
+	for s.compactPass() {
+	}
+}

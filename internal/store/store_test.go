@@ -1,0 +1,405 @@
+package store
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/brute"
+	"repro/internal/geom"
+)
+
+func randomPoints(rng *rand.Rand, n, d int, idBase int32) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		x := make([]geom.Coord, d)
+		for j := range x {
+			x[j] = geom.Coord(rng.Intn(4 * (n + 1)))
+		}
+		pts[i] = geom.Point{ID: idBase + int32(i), X: x}
+	}
+	return pts
+}
+
+func randomBoxes(rng *rand.Rand, q, span, d int) []geom.Box {
+	boxes := make([]geom.Box, q)
+	for i := range boxes {
+		lo := make([]geom.Coord, d)
+		hi := make([]geom.Coord, d)
+		for j := 0; j < d; j++ {
+			a := geom.Coord(rng.Intn(4 * (span + 1)))
+			b := geom.Coord(rng.Intn(4 * (span + 1)))
+			if a > b {
+				a, b = b, a
+			}
+			lo[j], hi[j] = a, b
+		}
+		boxes[i] = geom.Box{Lo: lo, Hi: hi}
+	}
+	return boxes
+}
+
+// checkOracle compares counts and reports of the store's current
+// version against a brute scan of the expected live set.
+func checkOracle(t *testing.T, s *Store, live []geom.Point, boxes []geom.Box) {
+	t.Helper()
+	bf := brute.New(live)
+	counts := s.CountBatch(boxes)
+	reports := s.ReportBatch(boxes)
+	for i, b := range boxes {
+		if counts[i] != int64(bf.Count(b)) {
+			t.Fatalf("box %d: count %d, oracle %d", i, counts[i], bf.Count(b))
+		}
+		if !reflect.DeepEqual(brute.IDs(reports[i]), brute.IDs(bf.Report(b))) {
+			t.Fatalf("box %d: report mismatch (%d vs %d pts)", i, len(reports[i]), bf.Count(b))
+		}
+	}
+}
+
+func TestMutationsMatchOracle(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		rng := rand.New(rand.NewSource(int64(p)))
+		s, err := Open("", Config{Dims: 2, P: p, MemtableCap: 32, Sync: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+
+		live := map[int32]geom.Point{}
+		var nextID int32
+		apply := func() []geom.Point {
+			out := make([]geom.Point, 0, len(live))
+			for _, pt := range live {
+				out = append(out, pt)
+			}
+			return out
+		}
+		for round := 0; round < 30; round++ {
+			switch rng.Intn(3) {
+			case 0, 1: // insert a batch
+				pts := randomPoints(rng, 1+rng.Intn(25), 2, nextID)
+				nextID += int32(len(pts))
+				if _, err := s.InsertBatch(pts); err != nil {
+					t.Fatal(err)
+				}
+				for _, pt := range pts {
+					live[pt.ID] = pt
+				}
+			case 2: // delete some live points
+				var del []geom.Point
+				for _, pt := range live {
+					if rng.Intn(3) == 0 {
+						del = append(del, pt)
+					}
+					if len(del) == 10 {
+						break
+					}
+				}
+				if _, err := s.DeleteBatch(del); err != nil {
+					t.Fatal(err)
+				}
+				for _, pt := range del {
+					delete(live, pt.ID)
+				}
+			}
+			checkOracle(t, s, apply(), randomBoxes(rng, 6, 60, 2))
+		}
+		if s.Pin().N() != len(live) {
+			t.Fatalf("p=%d: store says %d live, oracle %d", p, s.Pin().N(), len(live))
+		}
+	}
+}
+
+func TestVersionSnapshotIsolation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s, err := Open("", Config{Dims: 2, P: 2, MemtableCap: 16, Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	first := randomPoints(rng, 40, 2, 0)
+	if _, err := s.InsertBatch(first); err != nil {
+		t.Fatal(err)
+	}
+	pinned := s.Pin()
+	boxes := randomBoxes(rng, 8, 40, 2)
+	before := pinned.CountBatch(boxes)
+
+	// Mutate heavily: inserts, deletes, flushes, a fold.
+	if _, err := s.InsertBatch(randomPoints(rng, 100, 2, 40)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.DeleteBatch(first[:30]); err != nil {
+		t.Fatal(err)
+	}
+	s.Compact()
+
+	// The pinned version still answers as of its epoch.
+	after := pinned.CountBatch(boxes)
+	if !reflect.DeepEqual(before, after) {
+		t.Fatalf("pinned version drifted: %v vs %v", before, after)
+	}
+	bf := brute.New(first)
+	for i, b := range boxes {
+		if after[i] != int64(bf.Count(b)) {
+			t.Fatalf("pinned box %d: %d vs oracle %d", i, after[i], bf.Count(b))
+		}
+	}
+	if s.Version() <= pinned.Seq() {
+		t.Fatal("version did not advance across mutations")
+	}
+}
+
+func TestShadowFoldCompaction(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	s, err := Open("", Config{Dims: 2, P: 2, MemtableCap: 16, Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	pts := randomPoints(rng, 160, 2, 0)
+	if _, err := s.InsertBatch(pts); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Flushes == 0 {
+		t.Fatal("memtable never flushed")
+	}
+	// Delete 45% — must trip the ≥25% shadow fold.
+	if _, err := s.DeleteBatch(pts[:72]); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Compactions == 0 {
+		t.Fatalf("no fold after deleting 45%%: %+v", st)
+	}
+	if st.Shadow != 0 {
+		t.Fatalf("shadow not folded away: %d tombstones left", st.Shadow)
+	}
+	checkOracle(t, s, pts[72:], randomBoxes(rng, 10, 160, 2))
+}
+
+func TestCheckpointAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(11))
+	pts := randomPoints(rng, 90, 3, 0)
+
+	s, err := Open(filepath.Join(dir, "db"), Config{Dims: 3, P: 2, MemtableCap: 16, Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.InsertBatch(pts[:60]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.DeleteBatch(pts[:10]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// WAL tail after the checkpoint.
+	if _, err := s.InsertBatch(pts[60:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.DeleteBatch(pts[60:65]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(filepath.Join(dir, "db"), Config{P: 2, MemtableCap: 16, Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Dims() != 3 {
+		t.Fatalf("recovered dims %d", re.Dims())
+	}
+	var expect []geom.Point
+	expect = append(expect, pts[10:60]...)
+	expect = append(expect, pts[65:]...)
+	if re.Pin().N() != len(expect) {
+		t.Fatalf("recovered %d live points, want %d", re.Pin().N(), len(expect))
+	}
+	checkOracle(t, re, expect, randomBoxes(rng, 12, 90, 3))
+}
+
+func TestRecoverWithoutCheckpoint(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	rng := rand.New(rand.NewSource(13))
+	pts := randomPoints(rng, 50, 2, 0)
+
+	s, err := Open(dir, Config{Dims: 2, P: 1, MemtableCap: 8, Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.InsertBatch(pts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.DeleteBatch(pts[:7]); err != nil {
+		t.Fatal(err)
+	}
+	// Abandon without Close: the WAL alone must reconstruct the state.
+	re, err := Open(dir, Config{Dims: 2, P: 1, MemtableCap: 8, Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	checkOracle(t, re, pts[7:], randomBoxes(rng, 10, 50, 2))
+	_ = s // the abandoned handle is never used again
+}
+
+func TestTornWALTailIsIgnored(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	s, err := Open(dir, Config{Dims: 1, P: 1, Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert(geom.Point{ID: 1, X: []geom.Coord{5}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert(geom.Point{ID: 2, X: []geom.Coord{9}}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Tear the last record in half.
+	seqs, err := segments(dir)
+	if err != nil || len(seqs) == 0 {
+		t.Fatalf("no wal segment: %v", err)
+	}
+	path := filepath.Join(dir, walName(seqs[len(seqs)-1]))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir, Config{Dims: 1, P: 1, Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if n := re.Pin().N(); n != 1 {
+		t.Fatalf("recovered %d points from torn wal, want 1", n)
+	}
+}
+
+// TestStaleHighNamedSegmentNotReplayedTwice is the regression test for
+// the checkpoint-crash double-replay bug: a WAL segment left behind with
+// an inflated start label (a checkpoint rotation that crashed before the
+// snapshot rename, after recovery renumbered seqs downward) must not
+// survive the next successful checkpoint and be replayed on top of it.
+func TestStaleHighNamedSegmentNotReplayedTwice(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	cfg := Config{Dims: 1, P: 1, MemtableCap: 1024, Sync: true}
+	s, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pts []geom.Point
+	for i := 0; i < 5; i++ {
+		pts = append(pts, geom.Point{ID: int32(i), X: []geom.Coord{geom.Coord(10 * i)}})
+	}
+	if _, err := s.InsertBatch(pts); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Simulate the crashed incarnation: its only segment carries a
+	// label far beyond anything the next recovery will renumber to.
+	seqs, err := segments(dir)
+	if err != nil || len(seqs) != 1 {
+		t.Fatalf("want one segment, got %v (%v)", seqs, err)
+	}
+	if err := os.Rename(filepath.Join(dir, walName(seqs[0])), filepath.Join(dir, walName(50))); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Pin().N() != 5 {
+		t.Fatalf("recovered %d points, want 5", re.Pin().N())
+	}
+	if err := re.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := re.Insert(geom.Point{ID: 100, X: []geom.Coord{99}}); err != nil {
+		t.Fatal(err)
+	}
+	re.Close()
+
+	// The checkpoint embodies the 5 points; if wal-50 outlived it, this
+	// recovery replays those inserts a second time and over-counts.
+	fin, err := Open(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fin.Close()
+	if fin.Pin().N() != 6 {
+		t.Fatalf("recovered %d points after checkpoint+insert, want 6 (stale segment replayed?)", fin.Pin().N())
+	}
+	box := []geom.Box{{Lo: []geom.Coord{0}, Hi: []geom.Coord{100}}}
+	if got := fin.CountBatch(box)[0]; got != 6 {
+		t.Fatalf("count %d, want 6", got)
+	}
+}
+
+func TestDoubleDeleteRejected(t *testing.T) {
+	s, err := Open("", Config{Dims: 1, MemtableCap: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	p := geom.Point{ID: 3, X: []geom.Coord{1}}
+	if _, err := s.Insert(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Delete(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Delete(p); err == nil {
+		t.Fatal("double delete accepted")
+	}
+}
+
+func TestClosedStoreRejectsMutations(t *testing.T) {
+	s, err := Open("", Config{Dims: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := s.Pin()
+	if _, err := s.Insert(geom.Point{ID: 1, X: []geom.Coord{4}}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, err := s.Insert(geom.Point{ID: 2, X: []geom.Coord{5}}); err != ErrClosed {
+		t.Fatalf("mutation after close: %v", err)
+	}
+	// Pinned versions outlive Close.
+	if got := v.CountBatch([]geom.Box{{Lo: []geom.Coord{0}, Hi: []geom.Coord{10}}}); got[0] != 0 {
+		t.Fatalf("pre-insert pin sees %d", got[0])
+	}
+}
+
+func TestDimsMismatchRejected(t *testing.T) {
+	s, err := Open("", Config{Dims: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Insert(geom.Point{ID: 1, X: []geom.Coord{4}}); err == nil {
+		t.Fatal("1-dim point accepted by 2-dim store")
+	}
+	if _, err := Open("", Config{}); err == nil {
+		t.Fatal("store without dims accepted")
+	}
+}

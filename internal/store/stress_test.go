@@ -1,0 +1,199 @@
+package store
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/brute"
+	"repro/internal/geom"
+)
+
+// oracleLog pairs the store with a mutation journal: every committed
+// mutation is recorded with the seq it produced, so a reader can pin a
+// version and reconstruct the exact live set at that seq.
+type oracleLog struct {
+	mu      sync.Mutex
+	entries []oracleEntry
+}
+
+type oracleEntry struct {
+	seq    uint64
+	insert bool
+	pts    []geom.Point
+}
+
+// liveAt replays the journal up to (and including) seq.
+func (o *oracleLog) liveAt(seq uint64) []geom.Point {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	live := map[int32]geom.Point{}
+	for _, e := range o.entries {
+		if e.seq > seq {
+			// Seqs are recorded in increasing order per writer but the
+			// slice interleaves writers; scan everything ≤ seq.
+			continue
+		}
+		for _, p := range e.pts {
+			if e.insert {
+				live[p.ID] = p
+			} else {
+				delete(live, p.ID)
+			}
+		}
+	}
+	out := make([]geom.Point, 0, len(live))
+	for _, p := range live {
+		out = append(out, p)
+	}
+	return out
+}
+
+// TestConcurrentMutationStress interleaves 4 writer goroutines with 8
+// reader goroutines under -race: every reader pins a version, derives
+// the oracle live set for that exact seq from the journal, and demands
+// agreement in count and report mode. Compaction runs in the
+// background throughout. Covers p ∈ {1, 4}.
+func TestConcurrentMutationStress(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		p := p
+		t.Run(map[int]string{1: "p=1", 4: "p=4"}[p], func(t *testing.T) {
+			const (
+				writers       = 4
+				readers       = 8
+				writerOps     = 60
+				readerQueries = 25
+				d             = 2
+			)
+			s, err := Open("", Config{Dims: d, P: p, MemtableCap: 24})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+
+			oracle := &oracleLog{}
+			var nextID atomic.Int32
+
+			// mutateLocked commits one mutation and journals it with the
+			// exact seq the store published for it; holding the oracle
+			// lock across commit+journal means any version a reader can
+			// pin has its full journal prefix visible by the time
+			// liveAt acquires the same lock.
+			mutateLocked := func(insert bool, pts []geom.Point) error {
+				oracle.mu.Lock()
+				defer oracle.mu.Unlock()
+				var seq uint64
+				var err error
+				if insert {
+					seq, err = s.InsertBatch(pts)
+				} else {
+					seq, err = s.DeleteBatch(pts)
+				}
+				if err != nil {
+					return err
+				}
+				oracle.entries = append(oracle.entries, oracleEntry{
+					seq: seq, insert: insert, pts: pts,
+				})
+				return nil
+			}
+			// Deletable IDs: points known committed and not yet claimed
+			// for deletion by any writer.
+			var delMu sync.Mutex
+			deletable := map[int32]geom.Point{}
+
+			var wg sync.WaitGroup
+			errs := make(chan error, writers+readers)
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(100*p + w)))
+					for op := 0; op < writerOps; op++ {
+						if rng.Intn(3) == 0 {
+							delMu.Lock()
+							var del []geom.Point
+							for id, pt := range deletable {
+								del = append(del, pt)
+								delete(deletable, id)
+								if len(del) == 3 {
+									break
+								}
+							}
+							delMu.Unlock()
+							if len(del) == 0 {
+								continue
+							}
+							if err := mutateLocked(false, del); err != nil {
+								errs <- err
+								return
+							}
+						} else {
+							k := 1 + rng.Intn(6)
+							base := nextID.Add(int32(k)) - int32(k)
+							pts := randomPoints(rng, k, d, base)
+							if err := mutateLocked(true, pts); err != nil {
+								errs <- err
+								return
+							}
+							delMu.Lock()
+							for _, pt := range pts {
+								deletable[pt.ID] = pt
+							}
+							delMu.Unlock()
+						}
+					}
+				}(w)
+			}
+			for r := 0; r < readers; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(200*p + r)))
+					for q := 0; q < readerQueries; q++ {
+						v := s.Pin()
+						live := oracle.liveAt(v.Seq())
+						bf := brute.New(live)
+						boxes := randomBoxes(rng, 3, 80, d)
+						counts := v.CountBatch(boxes)
+						reports := v.ReportBatch(boxes)
+						for i, b := range boxes {
+							if counts[i] != int64(bf.Count(b)) {
+								t.Errorf("p=%d reader %d seq %d: count %d, oracle %d",
+									p, r, v.Seq(), counts[i], bf.Count(b))
+								return
+							}
+							got := brute.IDs(reports[i])
+							want := brute.IDs(bf.Report(b))
+							if len(got) != len(want) {
+								t.Errorf("p=%d reader %d seq %d: report %d pts, oracle %d",
+									p, r, v.Seq(), len(got), len(want))
+								return
+							}
+							for j := range got {
+								if got[j] != want[j] {
+									t.Errorf("p=%d reader %d: report ID mismatch", p, r)
+									return
+								}
+							}
+						}
+					}
+				}(r)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+
+			// Final convergence check against the full journal.
+			final := s.Pin()
+			live := oracle.liveAt(^uint64(0))
+			if final.N() != len(live) {
+				t.Fatalf("p=%d: final live %d, oracle %d", p, final.N(), len(live))
+			}
+			checkOracle(t, s, live, randomBoxes(rand.New(rand.NewSource(99)), 8, 80, d))
+		})
+	}
+}

@@ -1,0 +1,183 @@
+package store
+
+import (
+	"slices"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// Version is one epoch-stamped, immutable snapshot of the store: a set
+// of level trees plus frozen prefixes of the memtable and the deletion
+// shadow. Pinning a version is just holding the pointer — levels a
+// later compaction retires stay alive (and queryable) for as long as a
+// pinned version references them, so readers never block writers and a
+// query batch always sees one consistent state.
+type Version struct {
+	s      *Store
+	seq    uint64
+	levels []*core.Tree
+	mem    []geom.Point
+	shadow []geom.Point
+	liveN  int
+}
+
+// Pin returns the current version. The result answers queries against
+// exactly the state published by the last mutation or compaction swap,
+// no matter how the store moves on.
+func (s *Store) Pin() *Version { return s.cur.Load() }
+
+// Seq reports the version's data-version stamp.
+func (v *Version) Seq() uint64 { return v.seq }
+
+// N reports the version's live point count.
+func (v *Version) N() int { return v.liveN }
+
+// Levels reports how many level trees the version holds.
+func (v *Version) Levels() int {
+	c := 0
+	for _, l := range v.levels {
+		if l != nil {
+			c++
+		}
+	}
+	return c
+}
+
+// Mixed answers a batch mixing count and report queries against the
+// pinned version: one mixed-mode machine run per level (combined by
+// decomposability — range search distributes over the level partition),
+// then the memtable scan adds, the tombstone shadow subtracts counts
+// and filters reports. OpAggregate is not supported: tombstone
+// subtraction needs an invertible monoid, which the engine's semigroup
+// contract does not promise.
+func Mixed[T any](v *Version, ops []core.MixedOp, boxes []geom.Box) []core.MixedResult[T] {
+	if len(ops) != len(boxes) {
+		panic("store: ops and boxes disagree in length")
+	}
+	out := make([]core.MixedResult[T], len(boxes))
+	if len(boxes) == 0 {
+		return out
+	}
+	for _, op := range ops {
+		if op == core.OpAggregate {
+			panic("store: aggregate queries are not supported on the mutable store")
+		}
+	}
+
+	// Level fan-out: machine runs serialize store-wide because levels
+	// (including ones shared with other pinned versions) each own one
+	// cgm.Machine, and a machine supports one Run at a time.
+	v.s.queryMu.Lock()
+	for _, l := range v.levels {
+		if l == nil {
+			continue
+		}
+		for i, r := range core.MixedBatch[T](l, nil, ops, boxes) {
+			out[i].Count += r.Count
+			out[i].Pts = append(out[i].Pts, r.Pts...)
+		}
+	}
+	v.s.queryMu.Unlock()
+
+	// Memtable contribution.
+	for i, b := range boxes {
+		for _, p := range v.mem {
+			if b.Contains(p) {
+				out[i].Count++
+				if ops[i] == core.OpReport {
+					out[i].Pts = append(out[i].Pts, p)
+				}
+			}
+		}
+	}
+
+	// Tombstones: subtract counts, filter reports. Every shadow point
+	// is present in the version's levels or memtable (the store's
+	// delete contract), so the subtraction is exact.
+	if len(v.shadow) > 0 {
+		dead := make(map[int32]struct{}, len(v.shadow))
+		for _, p := range v.shadow {
+			dead[p.ID] = struct{}{}
+		}
+		for i, b := range boxes {
+			for _, p := range v.shadow {
+				if b.Contains(p) {
+					out[i].Count--
+				}
+			}
+			if len(out[i].Pts) > 0 {
+				live := out[i].Pts[:0:0]
+				for _, p := range out[i].Pts {
+					if _, d := dead[p.ID]; !d {
+						live = append(live, p)
+					}
+				}
+				out[i].Pts = live
+			}
+		}
+	}
+	for i := range out {
+		if ops[i] == core.OpReport {
+			slices.SortFunc(out[i].Pts, func(a, b geom.Point) int { return int(a.ID) - int(b.ID) })
+		}
+	}
+	return out
+}
+
+// CountBatch answers |R(q)| for every box against the pinned version.
+func (v *Version) CountBatch(boxes []geom.Box) []int64 {
+	ops := make([]core.MixedOp, len(boxes))
+	res := Mixed[struct{}](v, ops, boxes)
+	out := make([]int64, len(boxes))
+	for i, r := range res {
+		out[i] = r.Count
+	}
+	return out
+}
+
+// ReportBatch returns the live points of every box, sorted by ID.
+func (v *Version) ReportBatch(boxes []geom.Box) [][]geom.Point {
+	ops := make([]core.MixedOp, len(boxes))
+	for i := range ops {
+		ops[i] = core.OpReport
+	}
+	res := Mixed[struct{}](v, ops, boxes)
+	out := make([][]geom.Point, len(boxes))
+	for i, r := range res {
+		out[i] = r.Pts
+	}
+	return out
+}
+
+// CountBatch answers against the current version.
+func (s *Store) CountBatch(boxes []geom.Box) []int64 { return s.Pin().CountBatch(boxes) }
+
+// ReportBatch answers against the current version.
+func (s *Store) ReportBatch(boxes []geom.Box) [][]geom.Point { return s.Pin().ReportBatch(boxes) }
+
+// AllLive materializes the version's live point set (checkpointing and
+// verification; O(n)).
+func (v *Version) AllLive() []geom.Point {
+	var out []geom.Point
+	for _, l := range v.levels {
+		if l != nil {
+			out = append(out, l.AllPoints()...)
+		}
+	}
+	out = append(out, v.mem...)
+	if len(v.shadow) == 0 {
+		return out
+	}
+	dead := make(map[int32]struct{}, len(v.shadow))
+	for _, p := range v.shadow {
+		dead[p.ID] = struct{}{}
+	}
+	live := out[:0:0]
+	for _, p := range out {
+		if _, d := dead[p.ID]; !d {
+			live = append(live, p)
+		}
+	}
+	return live
+}
