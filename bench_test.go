@@ -1,5 +1,5 @@
 // Root benchmark harness: one benchmark per reproduced table/figure, as
-// indexed in DESIGN.md §7. `go test -bench=. -benchmem` exercises every
+// indexed in DESIGN.md §8. `go test -bench=. -benchmem` exercises every
 // experiment at benchmark scale; cmd/rangebench prints the full tables.
 package drtree_test
 

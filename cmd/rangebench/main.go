@@ -1,6 +1,6 @@
 // Command rangebench regenerates the paper's evaluation: every figure
 // (F1–F3) and every theorem-derived table (T1–T4b), plus the extension
-// experiments (E5–E10) indexed in DESIGN.md §7.
+// experiments (E5–E10) indexed in DESIGN.md §8.
 //
 // Usage:
 //

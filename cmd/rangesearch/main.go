@@ -32,6 +32,16 @@
 // -dir makes the mutable store durable: mutations are WAL-logged and a
 // later -mutable -dir run recovers the exact state (generated points
 // seed the store only when the directory starts empty).
+//
+// With -workers host:port,… the machine is not simulated in-process:
+// every superstep routes over TCP through that many rangeworker
+// processes (the machine width becomes the worker count, overriding
+// -p). All modes work — batch queries, serve, and -mutable serving,
+// whose level builds and query fan-outs then run on the cluster.
+//
+// In serve mode SIGINT/SIGTERM shuts down cleanly: the engine drains
+// its accepted queries, a -mutable -dir store takes a final checkpoint,
+// and the usual statistics are printed.
 package main
 
 import (
@@ -41,8 +51,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/cgm"
@@ -51,6 +64,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/semigroup"
 	"repro/internal/store"
+	"repro/internal/transport"
 	"repro/internal/workload"
 )
 
@@ -70,20 +84,45 @@ func main() {
 	cacheSize := flag.Int("cache", engine.DefaultCacheSize, "serve mode: LRU answer-cache entries (negative disables)")
 	mutable := flag.Bool("mutable", false, "serve mode: serve from the updatable store (enables insert/delete/checkpoint)")
 	dir := flag.String("dir", "", "serve mode with -mutable: store directory (WAL + checkpoints); empty = ephemeral")
+	workers := flag.String("workers", "", "comma-separated rangeworker addresses; supersteps run over TCP on these processes (machine width = worker count, overriding -p)")
 	flag.Parse()
 
 	pts, dims := loadPoints(*csvPath, *n, *d, *dist, *seed)
 	engCfg := engine.Config{BatchSize: *batch, MaxDelay: *delay, CacheSize: *cacheSize}
 
+	var cluster *transport.Cluster
+	if *workers != "" {
+		addrs := strings.Split(*workers, ",")
+		var err error
+		cluster, err = transport.DialCluster(addrs, cgm.Config{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rangesearch: %v\n", err)
+			os.Exit(1)
+		}
+		defer cluster.Close()
+		*p = cluster.P()
+		fmt.Printf("cluster: %d workers (%s)\n", cluster.P(), strings.Join(addrs, " "))
+	}
+
 	if *mode == "serve" && *mutable {
-		serveMutable(pts, dims, *p, *dir, engCfg)
+		serveMutable(pts, dims, *p, *dir, cluster, engCfg)
 		return
 	}
 	boxes := workload.Boxes(workload.QuerySpec{
 		M: *queries, Dims: dims, N: len(pts), Selectivity: *selectivity, Seed: *seed,
 	})
 
-	mach := cgm.New(cgm.Config{P: *p})
+	var mach *cgm.Machine
+	if cluster != nil {
+		var err error
+		mach, err = cluster.NewMachine()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rangesearch: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		mach = cgm.New(cgm.Config{P: *p})
+	}
 	start := time.Now()
 	dt := core.Build(mach, pts)
 	buildWall := time.Since(start)
@@ -150,22 +189,28 @@ func main() {
 func serve(dt *core.Tree, dims int, cfg engine.Config) {
 	h := core.PrepareAssociative(dt, semigroup.FloatSum(), workload.WeightOf)
 	eng := engine.WithAggregate(dt, h, cfg)
-	defer eng.Close()
-	serveLoop(func(line string) string { return answerLine(eng, dims, line) }, nil, func() {
-		printEngineStats(eng.Stats())
-	})
+	serveLoop(func(line string) string { return answerLine(eng, dims, line) }, nil,
+		func() { eng.Close() },
+		func() { printEngineStats(eng.Stats()) })
 }
 
 // serveMutable serves from the updatable store: queries pipeline through
 // the engine as usual, while insert/delete/checkpoint commands apply
 // synchronously in input order, so every later line observes them.
-func serveMutable(pts []geom.Point, dims, p int, dir string, cfg engine.Config) {
+func serveMutable(pts []geom.Point, dims, p int, dir string, cluster *transport.Cluster, cfg engine.Config) {
 	// A durable store knows its own dimensionality: let the checkpoint
 	// decide first so a rerun need not repeat the original -d, and fall
 	// back to the flag only for a directory with no checkpoint yet.
-	st, err := store.Open(dir, store.Config{P: p})
+	storeCfg := func(d int) store.Config {
+		c := store.Config{Dims: d, P: p}
+		if cluster != nil {
+			c.Provider = cluster
+		}
+		return c
+	}
+	st, err := store.Open(dir, storeCfg(0))
 	if errors.Is(err, store.ErrNoDims) {
-		st, err = store.Open(dir, store.Config{Dims: dims, P: p})
+		st, err = store.Open(dir, storeCfg(dims))
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rangesearch: %v\n", err)
@@ -175,7 +220,6 @@ func serveMutable(pts []geom.Point, dims, p int, dir string, cfg engine.Config) 
 		fmt.Printf("store: serving %d-dimensional data from its checkpoint (-d %d ignored)\n", st.Dims(), dims)
 		dims = st.Dims()
 	}
-	defer st.Close()
 	// Seed only a brand-new store (version 0 = no mutation and no
 	// checkpoint ever); a durable store recovered to any prior state —
 	// including a legitimately emptied one — is served as recovered.
@@ -188,8 +232,6 @@ func serveMutable(pts []geom.Point, dims, p int, dir string, cfg engine.Config) 
 		fmt.Printf("store: recovered %d live points at version %d\n", st.Pin().N(), st.Version())
 	}
 	eng := engine.NewStore(st, cfg)
-	defer eng.Close()
-
 	isMutation := func(line string) bool {
 		switch strings.Fields(line)[0] {
 		case "insert", "delete", "checkpoint":
@@ -199,12 +241,26 @@ func serveMutable(pts []geom.Point, dims, p int, dir string, cfg engine.Config) 
 	}
 	serveLoop(func(line string) string {
 		return answerMutableLine(eng, st, dims, line)
-	}, isMutation, func() {
-		printEngineStats(eng.Stats())
-		ss := st.Stats()
-		fmt.Fprintf(os.Stderr, "store: version %d | %d live, %d levels, %d memtable, %d tombstones | %d flushes, %d folds, %d checkpoints\n",
-			ss.Seq, ss.Live, ss.Levels, ss.Memtable, ss.Shadow, ss.Flushes, ss.Compactions, ss.Checkpoints)
-	})
+	}, isMutation,
+		func() { eng.Close() },
+		func() {
+			// When durable, persist a final checkpoint so a restart
+			// recovers this exact state without WAL replay.
+			if dir != "" {
+				if err := st.Checkpoint(); err != nil {
+					fmt.Fprintf(os.Stderr, "rangesearch: final checkpoint: %v\n", err)
+				} else {
+					fmt.Fprintf(os.Stderr, "rangesearch: final checkpoint at version %d\n", st.Version())
+				}
+			}
+			if err := st.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "rangesearch: closing store: %v\n", err)
+			}
+			printEngineStats(eng.Stats())
+			ss := st.Stats()
+			fmt.Fprintf(os.Stderr, "store: version %d | %d live, %d levels, %d memtable, %d tombstones | %d flushes, %d folds, %d checkpoints\n",
+				ss.Seq, ss.Live, ss.Levels, ss.Memtable, ss.Shadow, ss.Flushes, ss.Compactions, ss.Checkpoints)
+		})
 }
 
 func printEngineStats(st engine.Stats) {
@@ -214,24 +270,35 @@ func printEngineStats(st engine.Stats) {
 
 // serveLoop reads stdin line by line. Lines answer on their own
 // goroutines so in-flight queries pipeline into engine batches; answers
-// are written in input order. Lines matching sync (mutations) are
-// instead applied inline before the next line is read, preserving
+// are written in input order. Lines matching mutation are instead
+// applied inline before the next line is read, preserving
 // read-your-writes ordering.
-func serveLoop(answer func(string) string, sync func(string) bool, stats func()) {
+//
+// Both exits share one shutdown sequence — drain (stop the engine, so
+// every accepted query's answer resolves), write the pending answers,
+// then finish (final checkpoint / close / stats). EOF runs it and
+// returns; SIGINT/SIGTERM runs it and exits 0, with signal dispositions
+// restored first so a second signal kills the process outright if the
+// drain wedges (e.g. a cluster worker gone unreachable).
+func serveLoop(answer func(string) string, mutation func(string) bool, drain, finish func()) {
 	type pending struct{ ch chan string }
 	queue := make(chan pending, 1024)
+	var closing atomic.Bool // set on signal: the scanner stops accepting lines
 	var scanErr error
 	go func() {
 		sc := bufio.NewScanner(os.Stdin)
 		sc.Buffer(make([]byte, 1<<20), 1<<20)
 		for sc.Scan() {
+			if closing.Load() {
+				return // shutting down: lines past the cut are not accepted
+			}
 			line := strings.TrimSpace(sc.Text())
 			if line == "" || strings.HasPrefix(line, "#") {
 				continue
 			}
 			p := pending{ch: make(chan string, 1)}
 			queue <- p
-			if sync != nil && sync(line) {
+			if mutation != nil && mutation(line) {
 				p.ch <- answer(line)
 				continue
 			}
@@ -241,18 +308,67 @@ func serveLoop(answer func(string) string, sync func(string) bool, stats func())
 		close(queue)
 	}()
 
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
 	w := bufio.NewWriter(os.Stdout)
-	for p := range queue {
-		fmt.Fprintln(w, <-p.ch)
-		if len(queue) == 0 {
-			w.Flush()
+	// gracefulExit answers what was accepted before the cut: closing
+	// stops the scanner from accepting further lines, and every entry
+	// it already enqueued (or enqueues within the grace window while
+	// mid-line) is answered — a mutation is enqueued before it is
+	// applied, so an applied-but-unacknowledged mutation cannot slip
+	// through. Only lines the scanner never accepted go unanswered.
+	gracefulExit := func(s os.Signal, head *pending) {
+		signal.Stop(sig)
+		closing.Store(true)
+		fmt.Fprintf(os.Stderr, "rangesearch: %v: draining engine before exit (repeat to force quit)\n", s)
+		drain()
+		if head != nil {
+			fmt.Fprintln(w, <-head.ch)
 		}
+		for {
+			select {
+			case p, ok := <-queue:
+				if ok {
+					fmt.Fprintln(w, <-p.ch)
+					continue
+				}
+			case <-time.After(200 * time.Millisecond):
+				// Idle for a whole grace window: nothing else was
+				// accepted before the closing flag took effect.
+			}
+			break
+		}
+		w.Flush()
+		finish()
+		os.Exit(0)
 	}
-	w.Flush()
-	stats()
-	if scanErr != nil {
-		fmt.Fprintf(os.Stderr, "rangesearch: reading stdin: %v (remaining input dropped)\n", scanErr)
-		os.Exit(1)
+	for {
+		select {
+		case p, ok := <-queue:
+			if !ok { // EOF: stdin is done and every entry was printed
+				signal.Stop(sig)
+				drain()
+				w.Flush()
+				finish()
+				if scanErr != nil {
+					fmt.Fprintf(os.Stderr, "rangesearch: reading stdin: %v (remaining input dropped)\n", scanErr)
+					os.Exit(1)
+				}
+				return
+			}
+			select {
+			case line := <-p.ch:
+				fmt.Fprintln(w, line)
+				if len(queue) == 0 {
+					w.Flush()
+				}
+			case s := <-sig:
+				gracefulExit(s, &p)
+			}
+		case s := <-sig:
+			gracefulExit(s, nil)
+		}
 	}
 }
 

@@ -1,0 +1,47 @@
+// Command rangeworker is one node of the multicomputer fabric: a worker
+// process that carries CGM supersteps over TCP. Start p of them, then
+// point a coordinator at their addresses — rangesearch with
+// -workers host:port,…, or the drtree.DialCluster API — and every
+// h-relation of construction, search and store compaction physically
+// routes through these processes (see DESIGN.md §7).
+//
+// Usage:
+//
+//	rangeworker -listen 127.0.0.1:9101 &
+//	rangeworker -listen 127.0.0.1:9102 &
+//	rangesearch -n 4096 -d 2 -mode serve -workers 127.0.0.1:9101,127.0.0.1:9102
+//
+// SIGINT/SIGTERM shuts the worker down, tearing open sessions down
+// (coordinators observe a machine abort with a diagnostic).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/transport"
+)
+
+func main() {
+	listen := flag.String("listen", ":9100", "TCP address to serve supersteps on")
+	flag.Parse()
+
+	w, err := transport.ListenAndServe(*listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rangeworker: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("rangeworker: serving CGM supersteps on %s\n", w.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	fmt.Fprintf(os.Stderr, "rangeworker: %v: closing %d live sessions\n", s, w.Sessions())
+	if err := w.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "rangeworker: close: %v\n", err)
+		os.Exit(1)
+	}
+}

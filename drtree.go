@@ -44,6 +44,7 @@ import (
 	"repro/internal/rangetree"
 	"repro/internal/semigroup"
 	"repro/internal/store"
+	"repro/internal/transport"
 	"repro/internal/workload"
 )
 
@@ -76,6 +77,33 @@ const (
 	// Measured time-slices processors for precise per-processor timing.
 	Measured = cgm.Measured
 )
+
+// MachineProvider supplies machines of a fixed width: NewLocalProvider
+// yields in-process simulators, a Cluster yields machines whose
+// supersteps run over TCP on real worker processes. The same SPMD
+// programs (construct, search, store compaction) run unchanged on either.
+type MachineProvider = cgm.Provider
+
+// NewLocalProvider returns a provider of in-process machines.
+func NewLocalProvider(cfg MachineConfig) MachineProvider { return cgm.NewLocalProvider(cfg) }
+
+// Cluster is a MachineProvider backed by remote worker processes: the
+// multicomputer as real processes over TCP (see DESIGN.md §7).
+type Cluster = transport.Cluster
+
+// ClusterWorker is one worker process's serving state (cmd/rangeworker
+// wraps it; tests and examples embed it in-process).
+type ClusterWorker = transport.Worker
+
+// StartWorker starts a cluster worker listening on addr (use
+// "127.0.0.1:0" for an ephemeral port) and serving in the background.
+func StartWorker(addr string) (*ClusterWorker, error) { return transport.ListenAndServe(addr) }
+
+// DialCluster connects to running workers (one address per rank) and
+// returns the provider the Cluster… constructors build on.
+func DialCluster(addrs []string, cfg MachineConfig) (*Cluster, error) {
+	return transport.DialCluster(addrs, cfg)
+}
 
 // Tree is the distributed range tree (the paper's contribution).
 type Tree = core.Tree
@@ -140,6 +168,38 @@ func BuildDistributed(m *Machine, pts []Point) *Tree { return core.Build(m, pts)
 // backend.
 func BuildDistributedWith(m *Machine, pts []Point, be ElemBackend) *Tree {
 	return core.BuildBackend(m, pts, be)
+}
+
+// BuildDistributedOn runs Algorithm Construct on a machine supplied by
+// the provider (local simulator or TCP cluster), with the default
+// layered element backend.
+func BuildDistributedOn(pv MachineProvider, pts []Point) (*Tree, error) {
+	return core.BuildOn(pv, pts, core.BackendLayered)
+}
+
+// ClusterBuild runs Algorithm Construct on a machine whose supersteps
+// run over the cluster's TCP workers.
+func ClusterBuild(cl *Cluster, pts []Point) (*Tree, error) {
+	return core.BuildOn(cl, pts, core.BackendLayered)
+}
+
+// ClusterEngine builds a distributed tree on the cluster and wraps it in
+// a serving engine: micro-batched queries whose machine runs execute on
+// the worker processes.
+func ClusterEngine(cl *Cluster, pts []Point, cfg EngineConfig) (*Engine[struct{}], error) {
+	t, err := ClusterBuild(cl, pts)
+	if err != nil {
+		return nil, err
+	}
+	return engine.New(t, cfg), nil
+}
+
+// ClusterOpenStore opens a mutable store whose level trees are built and
+// queried on the cluster's workers (cfg.Provider and cfg.P are
+// overridden by the cluster).
+func ClusterOpenStore(cl *Cluster, dir string, cfg StoreConfig) (*Store, error) {
+	cfg.Provider = cl
+	return store.Open(dir, cfg)
 }
 
 // BuildSequential builds the classical sequential range tree over all
@@ -233,7 +293,7 @@ var (
 	MinInt   = semigroup.MinInt
 )
 
-// Extension structures (see DESIGN.md §7, experiments E11–E13).
+// Extension structures (see DESIGN.md §8, experiments E11–E13).
 
 // LayeredTree is the layered range tree the paper cites in §1: fractional
 // cascading removes a log n factor from the query time.

@@ -1,0 +1,111 @@
+// Cluster: the multicomputer as real processes — the same distributed
+// range tree built and served twice, once on the in-process loopback
+// simulator and once on four TCP worker processes, with every answer
+// and every machine metric (communication rounds, per-round h) checked
+// to be identical.
+//
+// The workers here run in-process for a self-contained example; in a
+// real deployment each is its own OS process:
+//
+//	rangeworker -listen 127.0.0.1:9101 &   # … one per rank …
+//	rangesearch -n 8192 -d 2 -mode serve \
+//	    -workers 127.0.0.1:9101,127.0.0.1:9102,127.0.0.1:9103,127.0.0.1:9104
+//
+// The walkthrough: start workers → dial the cluster → build the tree
+// over TCP → batch queries in all three modes → serve single queries
+// through the micro-batching engine → tear everything down.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	const (
+		p = 4
+		n = 1 << 11
+		m = 64
+	)
+	pts := drtree.GeneratePoints(drtree.PointSpec{N: n, Dims: 2, Dist: drtree.Clustered, Seed: 42})
+	boxes := drtree.GenerateBoxes(drtree.QuerySpec{M: m, Dims: 2, N: n, Selectivity: 0.02, Seed: 7})
+
+	// The loopback twin: the simulator every other example uses.
+	loopMach := drtree.NewMachine(drtree.MachineConfig{P: p})
+	loopTree := drtree.BuildDistributed(loopMach, pts)
+
+	// Step 1: start p workers (each the in-process equivalent of one
+	// `rangeworker -listen …` process) and dial them.
+	workers := make([]*drtree.ClusterWorker, p)
+	addrs := make([]string, p)
+	for i := range workers {
+		w, err := drtree.StartWorker("127.0.0.1:0")
+		if err != nil {
+			log.Fatalf("starting worker %d: %v", i, err)
+		}
+		defer w.Close()
+		workers[i] = w
+		addrs[i] = w.Addr()
+	}
+	cluster, err := drtree.DialCluster(addrs, drtree.MachineConfig{})
+	if err != nil {
+		log.Fatalf("dialing cluster: %v", err)
+	}
+	defer cluster.Close()
+	fmt.Printf("cluster: %d workers on %v\n", cluster.P(), addrs)
+
+	// Step 2: run Algorithm Construct over TCP — every sort, route and
+	// broadcast superstep physically crosses the worker mesh.
+	tcpTree, err := drtree.ClusterBuild(cluster, pts)
+	if err != nil {
+		log.Fatalf("cluster build: %v", err)
+	}
+	lb, tb := loopMach.Metrics(), tcpTree.Machine().Metrics()
+	fmt.Printf("construct: loopback %d rounds (max h %d) | tcp %d rounds (max h %d)\n",
+		lb.CommRounds(), lb.MaxH(), tb.CommRounds(), tb.MaxH())
+	if lb.CommRounds() != tb.CommRounds() || lb.MaxH() != tb.MaxH() {
+		log.Fatal("transport changed the construction metrics — equivalence broken")
+	}
+	loopMach.ResetMetrics()
+	tcpTree.Machine().ResetMetrics()
+
+	// Step 3: the three §4.2 result modes, answers compared one-to-one.
+	counts, tcpCounts := loopTree.CountBatch(boxes), tcpTree.CountBatch(boxes)
+	reports, tcpReports := loopTree.ReportBatch(boxes), tcpTree.ReportBatch(boxes)
+	total, k := int64(0), 0
+	for i := range boxes {
+		if counts[i] != tcpCounts[i] || len(reports[i]) != len(tcpReports[i]) {
+			log.Fatalf("query %d diverges across transports", i)
+		}
+		total += counts[i]
+		k += len(reports[i])
+	}
+	ls, ts := loopMach.Metrics(), tcpTree.Machine().Metrics()
+	fmt.Printf("search: %d queries, %d matches, k=%d pairs | loopback %d rounds ≡ tcp %d rounds, max h %d ≡ %d\n",
+		m, total, k, ls.CommRounds(), ts.CommRounds(), ls.MaxH(), ts.MaxH())
+	if ls.CommRounds() != ts.CommRounds() || ls.MaxH() != ts.MaxH() {
+		log.Fatal("transport changed the search metrics — equivalence broken")
+	}
+
+	// Step 4: serve single queries from the cluster through the engine
+	// (what `rangesearch -mode serve -workers …` does line by line).
+	eng, err := drtree.ClusterEngine(cluster, pts, drtree.EngineConfig{BatchSize: 16})
+	if err != nil {
+		log.Fatalf("cluster engine: %v", err)
+	}
+	defer eng.Close()
+	hits := int64(0)
+	for _, b := range boxes[:16] {
+		c, err := eng.Count(b)
+		if err != nil {
+			log.Fatalf("engine count: %v", err)
+		}
+		hits += c
+	}
+	st := eng.Stats()
+	fmt.Printf("engine over tcp: %d queries in %d machine batches, %d matches\n",
+		st.Submitted, st.Batches, hits)
+	fmt.Println("loopback and TCP agree on every answer and every metric")
+}

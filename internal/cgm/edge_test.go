@@ -87,24 +87,56 @@ func TestSequentialRunsReuseMachine(t *testing.T) {
 	}
 }
 
-func TestRunAfterAbortRecovers(t *testing.T) {
-	// A machine that aborted must be reusable for a fresh Run (per-run
-	// state is reinitialized).
+func TestRunAfterAbortFailsFast(t *testing.T) {
+	// A machine whose run aborted is poisoned: the next Run must fail
+	// fast with the original cause instead of running on state (token,
+	// transport, worker supersteps) the abort left in an unknown place.
 	m := New(Config{P: 2})
 	func() {
 		defer func() { recover() }()
 		m.Run(func(pr *Proc) { panic("first run dies") })
 	}()
-	ok := false
-	m.Run(func(pr *Proc) {
-		Barrier(pr, "healthy")
-		if pr.Rank() == 0 {
-			ok = true
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("second Run on an aborted machine must fail fast")
 		}
-	})
-	if !ok {
-		t.Error("machine unusable after abort")
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "earlier run") || !strings.Contains(msg, "first run dies") {
+			t.Fatalf("fail-fast panic lost the original cause: %v", r)
+		}
+	}()
+	ran := false
+	m.Run(func(pr *Proc) { ran = true })
+	if ran {
+		t.Error("program ran on a poisoned machine")
 	}
+}
+
+func TestSPMDAbortPoisonsMachine(t *testing.T) {
+	// The fail-fast contract must hold for SPMD violations too, and the
+	// original diagnostic must survive to the second Run's panic.
+	m := New(Config{P: 2})
+	func() {
+		defer func() { recover() }()
+		m.Run(func(pr *Proc) {
+			if pr.Rank() == 0 {
+				Barrier(pr, "a")
+			} else {
+				Barrier(pr, "b")
+			}
+		})
+	}()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Run after an SPMD abort must fail fast")
+		}
+		if !strings.Contains(r.(string), "SPMD violation") {
+			t.Fatalf("original SPMD cause lost: %v", r)
+		}
+	}()
+	m.Run(func(pr *Proc) {})
 }
 
 func TestWorkByProcLenMatchesP(t *testing.T) {

@@ -1,6 +1,11 @@
 package cgm
 
-import "fmt"
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"reflect"
+)
 
 // Exchange is the machine's single communication primitive: a personalized
 // all-to-all (the h-relation of the BSP model). Processor i provides
@@ -13,7 +18,10 @@ import "fmt"
 // The label names the collective in metrics and SPMD diagnostics. All
 // processors must call the same sequence of exchanges with the same labels
 // and element type; a divergent processor aborts the whole machine with a
-// diagnostic rather than deadlocking.
+// diagnostic rather than deadlocking. The payload movement itself is the
+// machine transport's job: the loopback transport passes rows by
+// reference, wire transports carry gob-encoded blocks (so T must be
+// gob-encodable — in practice: exported fields).
 func Exchange[T any](pr *Proc, label string, out [][]T) [][]T {
 	m := pr.m
 	if len(out) != m.p {
@@ -23,42 +31,68 @@ func Exchange[T any](pr *Proc, label string, out [][]T) [][]T {
 	pr.releaseToken()
 
 	stamp := fmt.Sprintf("%s#%d", label, pr.opSeq)
+	dep := Deposit{Seq: pr.opSeq, Stamp: stamp}
 	pr.opSeq++
 	sent := 0
 	for _, s := range out {
 		sent += len(s)
 	}
-	m.labels[pr.rank] = stamp
-	m.sent[pr.rank] = sent
-	m.slots[pr.rank] = out
-
-	m.bar.await() // everyone deposited
-
-	if m.labels[pr.rank] != m.labels[0] {
-		m.doAbort(fmt.Sprintf("SPMD violation: processor %d is at %q while processor 0 is at %q",
-			pr.rank, m.labels[pr.rank], m.labels[0]))
-		panic(abortSignal{})
+	wire := m.tr.Wire()
+	if wire {
+		dep.Type = reflect.TypeOf((*T)(nil)).Elem().String()
+		blocks, err := encodeBlocks(out, pr.rank)
+		if err != nil {
+			m.fail(fmt.Sprintf("cgm: %s: encoding payload: %v", stamp, err))
+		}
+		dep.Blocks = blocks
+	} else {
+		dep.Row = out
 	}
+
+	col, err := m.tr.Exchange(pr.rank, dep)
+	if err != nil {
+		m.fail(err)
+	}
+
 	in := make([][]T, m.p)
 	recv := 0
-	for j := 0; j < m.p; j++ {
-		src, ok := m.slots[j].([][]T)
-		if !ok {
-			m.doAbort(fmt.Sprintf("SPMD violation: processor %d exchanged a different element type at %q", j, stamp))
-			panic(abortSignal{})
+	if wire {
+		for j, b := range col.Blocks {
+			if j == pr.rank {
+				// The self-addressed block never crossed the wire (its
+				// deposit slot was nil): alias it directly, exactly the
+				// sharing the loopback transport exhibits.
+				in[j] = out[j]
+				recv += len(in[j])
+				continue
+			}
+			part, err := decodeBlock[T](b)
+			if err != nil {
+				m.fail(fmt.Sprintf("cgm: %s: decoding block from processor %d: %v", stamp, j, err))
+			}
+			in[j] = part
+			recv += len(part)
 		}
-		in[j] = src[pr.rank]
-		recv += len(in[j])
+	} else {
+		for j, row := range col.Rows {
+			src, ok := row.([][]T)
+			if !ok {
+				m.fail(fmt.Sprintf("SPMD violation: processor %d exchanged a different element type at %q", j, stamp))
+			}
+			in[j] = src[pr.rank]
+			recv += len(in[j])
+		}
 	}
+	m.sent[pr.rank] = sent
 	m.recv[pr.rank] = recv
 
-	m.bar.await() // everyone read and counted
+	m.await() // everyone read and counted
 
 	if pr.rank == 0 {
 		m.foldRound(label, false)
 	}
 
-	m.bar.await() // metrics folded before anyone writes new segments
+	m.await() // metrics folded before anyone writes new segments
 
 	pr.acquireToken()
 	pr.resumeAt = nowAfterToken()
@@ -67,6 +101,33 @@ func Exchange[T any](pr *Proc, label string, out [][]T) [][]T {
 
 // Barrier is a pure synchronisation superstep with no payload.
 func Barrier(pr *Proc, label string) {
-	empty := make([][]struct{}, pr.m.p)
-	Exchange(pr, label, empty)
+	Exchange(pr, label, make([][]byte, pr.m.p))
+}
+
+// encodeBlocks gob-encodes each destination's payload independently, so a
+// wire transport can route block j to rank j without re-encoding. The
+// self-addressed slot stays nil: the machine keeps that block in memory
+// (see the Deposit contract), so it is never serialized at all.
+func encodeBlocks[T any](out [][]T, self int) ([][]byte, error) {
+	blocks := make([][]byte, len(out))
+	for j, part := range out {
+		if j == self {
+			continue
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(part); err != nil {
+			return nil, err
+		}
+		blocks[j] = buf.Bytes()
+	}
+	return blocks, nil
+}
+
+// decodeBlock decodes one source's payload.
+func decodeBlock[T any](b []byte) ([]T, error) {
+	var part []T
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&part); err != nil {
+		return nil, err
+	}
+	return part, nil
 }

@@ -1,12 +1,19 @@
-// Package cgm simulates the paper's machine model: the Coarse Grained
+// Package cgm implements the paper's machine model: the Coarse Grained
 // Multicomputer CGM(s, p), also called the weak-CREW BSP model (§1 "The
 // Model"). A machine has p processors with local memory, executing the same
 // program (SPMD) as alternating phases of local computation and global
 // communication supersteps. All communication happens through barrier-
-// synchronised h-relations (Exchange); the simulator accounts exactly the
+// synchronised h-relations (Exchange); the machine accounts exactly the
 // quantities the paper's theorems bound — the number of communication
 // rounds, the h of every round (max elements sent or received by any
 // processor), and per-processor local computation time.
+//
+// The physical payload movement is pluggable (Transport): by default the
+// machine is an in-process simulator whose processors are goroutines and
+// whose h-relations move rows through shared memory (loopback), but the
+// same programs run unchanged with supersteps carried by real worker
+// processes over TCP (internal/transport). Round and h accounting is
+// transport-independent, so metrics are identical either way.
 //
 // Two execution modes are provided. Concurrent runs the processors as
 // goroutines in parallel: fast, and the round/volume metrics are exact and
@@ -35,7 +42,8 @@ const (
 
 // Config parametrises a machine.
 type Config struct {
-	// P is the number of processors (≥ 1).
+	// P is the number of processors (≥ 1). With a Transport it may be
+	// left 0 (the transport's width is used) but must match when set.
 	P int
 	// Mode selects the scheduling mode; default Concurrent.
 	Mode Mode
@@ -43,6 +51,10 @@ type Config struct {
 	// modelled latency per superstep (ns), used by Metrics.ModelTime.
 	// Zero values select DefaultG/DefaultL.
 	G, L float64
+	// Transport carries the superstep payloads; nil selects the
+	// in-process loopback transport. A Transport instance belongs to
+	// exactly one machine.
+	Transport Transport
 }
 
 // Default BSP cost parameters: 50ns per exchanged record, 20µs per
@@ -53,20 +65,26 @@ const (
 	DefaultL = 20000
 )
 
-// Machine is a simulated CGM(s, p).
+// Machine is a CGM(s, p): p SPMD processor goroutines whose h-relations
+// travel over the machine's Transport.
 type Machine struct {
 	p    int
 	mode Mode
 	g, l float64
+	tr   Transport
 
 	mu      sync.Mutex
 	metrics Metrics
 
-	// Per-run communication state.
-	slots   []any
+	// poisoned records the cause of an aborted run: a machine whose run
+	// aborted (SPMD violation, worker disconnect, user panic) fails fast
+	// on the next Run with that original cause. Only Run reads/writes it,
+	// and concurrent Runs are already outside the machine's contract.
+	poisoned any
+
+	// Per-run state.
 	sent    []int
 	recv    []int
-	labels  []string
 	segTime []time.Duration
 	bar     *barrier
 	token   chan struct{}
@@ -77,8 +95,21 @@ type Machine struct {
 
 // New creates a machine from the configuration.
 func New(cfg Config) *Machine {
-	if cfg.P < 1 {
+	p := cfg.P
+	tr := cfg.Transport
+	if tr != nil {
+		if p == 0 {
+			p = tr.P()
+		}
+		if p != tr.P() {
+			panic(fmt.Sprintf("cgm: config wants %d processors but the transport connects %d", p, tr.P()))
+		}
+	}
+	if p < 1 {
 		panic("cgm: machine needs at least one processor")
+	}
+	if tr == nil {
+		tr = newLoopback(p)
 	}
 	g, l := cfg.G, cfg.L
 	if g == 0 {
@@ -87,8 +118,8 @@ func New(cfg Config) *Machine {
 	if l == 0 {
 		l = DefaultL
 	}
-	m := &Machine{p: cfg.P, mode: cfg.Mode, g: g, l: l}
-	m.metrics.WorkByProc = make([]time.Duration, cfg.P)
+	m := &Machine{p: p, mode: cfg.Mode, g: g, l: l, tr: tr}
+	m.metrics.WorkByProc = make([]time.Duration, p)
 	return m
 }
 
@@ -97,6 +128,10 @@ func (m *Machine) P() int { return m.p }
 
 // Mode reports the scheduling mode.
 func (m *Machine) Mode() Mode { return m.mode }
+
+// Close releases the machine's transport (network sessions for wire
+// transports; a no-op for the in-process loopback).
+func (m *Machine) Close() error { return m.tr.Close() }
 
 // Proc is the per-processor handle passed to SPMD programs.
 type Proc struct {
@@ -119,13 +154,29 @@ func (pr *Proc) Machine() *Machine { return pr.m }
 // machine has been poisoned; the original cause is re-raised by Run.
 type abortSignal struct{}
 
-// doAbort poisons the machine: barrier waiters and token waiters unwind.
+// doAbort poisons the run: barrier waiters, token waiters and transport
+// exchanges unwind, and the first cause wins.
 func (m *Machine) doAbort(cause any) {
 	m.abort1.Do(func() {
 		m.abortV = cause
 		close(m.abortCh)
-		m.bar.breakWith(cause)
+		m.bar.break_()
+		m.tr.Abort(fmt.Sprint(cause))
 	})
+}
+
+// fail aborts the machine with cause and unwinds the calling processor.
+func (m *Machine) fail(cause any) {
+	m.doAbort(cause)
+	panic(abortSignal{})
+}
+
+// await parks the processor at the machine's metrics barrier, unwinding
+// if the run aborted meanwhile.
+func (m *Machine) await() {
+	if !m.bar.await() {
+		panic(abortSignal{})
+	}
 }
 
 // Run executes prog on every processor and blocks until all finish. The
@@ -133,11 +184,21 @@ func (m *Machine) doAbort(cause any) {
 // collective operations (enforced; violations abort the run with a
 // diagnostic panic). Per-run state (op sequence) is fresh; metrics
 // accumulate across runs until ResetMetrics.
+//
+// A machine whose run aborted is poisoned: subsequent Runs fail fast
+// with the original cause (on every transport — an in-process machine
+// is cheap to replace, and a wire transport's workers are in an unknown
+// superstep state after an abort).
 func (m *Machine) Run(prog func(*Proc)) {
-	m.slots = make([]any, m.p)
+	if m.poisoned != nil {
+		panic(fmt.Sprintf("cgm: machine aborted in an earlier run: %v", m.poisoned))
+	}
+	if err := m.tr.Reset(); err != nil {
+		m.poisoned = err
+		panic(fmt.Sprintf("cgm: machine transport unusable: %v", err))
+	}
 	m.sent = make([]int, m.p)
 	m.recv = make([]int, m.p)
-	m.labels = make([]string, m.p)
 	m.segTime = make([]time.Duration, m.p)
 	m.bar = newBarrier(m.p)
 	m.abortCh = make(chan struct{})
@@ -168,6 +229,7 @@ func (m *Machine) Run(prog func(*Proc)) {
 	}
 	wg.Wait()
 	if m.abortV != nil {
+		m.poisoned = m.abortV
 		panic(fmt.Sprintf("cgm: machine aborted: %v", m.abortV))
 	}
 	// Fold the trailing local segments into a final pseudo-round.
@@ -202,8 +264,8 @@ func (pr *Proc) closeSegment() {
 
 // foldRound moves the current per-processor segment times (and, unless
 // final, the sent/recv counters) into a RoundStat. Callers must guarantee
-// quiescence: either all processors are parked at a barrier, or (final)
-// the run has ended.
+// quiescence: either all processors are parked at the machine barrier, or
+// (final) the run has ended.
 func (m *Machine) foldRound(label string, final bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -266,13 +328,13 @@ func newBarrier(n int) *barrier {
 	return b
 }
 
-// await blocks until all n participants arrive; it panics with abortSignal
-// if the barrier is broken while waiting.
-func (b *barrier) await() {
+// await blocks until all n participants arrive; it reports false if the
+// barrier was broken before or while waiting.
+func (b *barrier) await() bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.broken {
-		panic(abortSignal{})
+		return false
 	}
 	gen := b.gen
 	b.count++
@@ -280,18 +342,16 @@ func (b *barrier) await() {
 		b.count = 0
 		b.gen++
 		b.cond.Broadcast()
-		return
+		return true
 	}
 	for gen == b.gen && !b.broken {
 		b.cond.Wait()
 	}
-	if b.broken {
-		panic(abortSignal{})
-	}
+	return !b.broken
 }
 
-// breakWith poisons the barrier, waking all waiters into abort panics.
-func (b *barrier) breakWith(any) {
+// break_ poisons the barrier, waking all waiters into failed awaits.
+func (b *barrier) break_() {
 	b.mu.Lock()
 	b.broken = true
 	b.cond.Broadcast()

@@ -1,0 +1,167 @@
+package cgm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Transport moves one superstep's payloads between the machine's p ranks.
+// The machine keeps everything model-level — scheduling, the run token,
+// metrics folding, abort bookkeeping — and delegates the physical
+// h-relation to a Transport: each rank deposits its label-stamped out-row
+// and blocks until the column addressed to it (one block from every
+// source rank) is available. A Transport is owned by exactly one Machine;
+// it must not be shared.
+//
+// Two families exist: in-process transports (Wire() == false) move typed
+// rows by reference through shared memory (the loopback default, the
+// original slots+barrier machinery of the simulator), and wire transports
+// (Wire() == true) move gob-encoded blocks — the TCP implementation in
+// internal/transport runs every superstep through real worker processes.
+type Transport interface {
+	// P reports the number of ranks the transport connects.
+	P() int
+	// Wire reports whether payloads must be serialized: when true the
+	// machine fills Deposit.Blocks (gob) and reads Column.Blocks; when
+	// false it passes Deposit.Row by reference and reads Column.Rows.
+	Wire() bool
+	// Exchange deposits rank's out-row for one superstep and blocks until
+	// every rank has deposited, returning the column addressed to rank.
+	// It returns an error on SPMD divergence (mismatched stamps across
+	// ranks) or fabric failure; ErrAborted when unblocked by Abort.
+	Exchange(rank int, dep Deposit) (Column, error)
+	// Abort poisons the transport with a diagnostic: every blocked or
+	// future Exchange must return promptly with an error.
+	Abort(msg string)
+	// Reset prepares per-run state; it fails if the transport is unusable
+	// (aborted or closed), which poisons the machine before the run starts.
+	Reset() error
+	// Close releases the transport's resources (connections, buffers).
+	Close() error
+}
+
+// ErrAborted is returned by Transport.Exchange calls unblocked by Abort;
+// the machine's original abort cause takes precedence over it.
+var ErrAborted = errors.New("cgm: transport aborted")
+
+// Deposit is one rank's contribution to a superstep: p destination
+// payloads plus the stamp the SPMD check compares across ranks.
+type Deposit struct {
+	// Seq is the rank's collective-operation sequence number this run.
+	Seq int
+	// Stamp is "label#seq" — equal on every rank iff the program is SPMD.
+	Stamp string
+	// Type names the element type (wire transports only; in-process
+	// transports detect type divergence on the typed rows directly).
+	Type string
+	// Row is the typed [][]T as passed to Exchange (in-process only).
+	Row any
+	// Blocks are the gob-encoded per-destination payloads (wire only).
+	// Blocks[rank] — the depositing rank's self-addressed block — is nil:
+	// the machine retains it in memory, so a transport never carries it
+	// and may return nil in the corresponding Column slot.
+	Blocks [][]byte
+}
+
+// Column is what one rank collects from a superstep: one block from every
+// source rank.
+type Column struct {
+	// Rows holds each source's full deposited row (in-process transports);
+	// the caller extracts its own column, preserving zero-copy semantics.
+	Rows []any
+	// Blocks holds each source's encoded block addressed to this rank
+	// (wire transports). The self slot is ignored by the machine — the
+	// self-addressed block never travels (see Deposit).
+	Blocks [][]byte
+}
+
+// loopback is the default in-process transport: the machine's original
+// shared-slots + barrier machinery. Rows travel by reference, so it costs
+// one interface store and one pointer snapshot per rank per superstep.
+type loopback struct {
+	p     int
+	slots []Deposit
+	bar   *barrier
+}
+
+func newLoopback(p int) *loopback { return &loopback{p: p} }
+
+func (lt *loopback) P() int     { return lt.p }
+func (lt *loopback) Wire() bool { return false }
+
+func (lt *loopback) Reset() error {
+	lt.slots = make([]Deposit, lt.p)
+	lt.bar = newBarrier(lt.p)
+	return nil
+}
+
+func (lt *loopback) Exchange(rank int, dep Deposit) (Column, error) {
+	lt.slots[rank] = dep
+	if !lt.bar.await() { // everyone deposited
+		return Column{}, ErrAborted
+	}
+	if lt.slots[rank].Stamp != lt.slots[0].Stamp {
+		return Column{}, fmt.Errorf("SPMD violation: processor %d is at %q while processor 0 is at %q",
+			rank, lt.slots[rank].Stamp, lt.slots[0].Stamp)
+	}
+	// Snapshot the row references before returning: the machine's
+	// post-exchange barrier guarantees no rank deposits the next superstep
+	// until every rank has passed it, so the snapshot (not the slots) is
+	// all a reader touches once rows for the next round start landing.
+	rows := make([]any, lt.p)
+	for j := range rows {
+		rows[j] = lt.slots[j].Row
+	}
+	return Column{Rows: rows}, nil
+}
+
+func (lt *loopback) Abort(string) {
+	if lt.bar != nil {
+		lt.bar.break_()
+	}
+}
+
+func (lt *loopback) Close() error { return nil }
+
+// Provider supplies machines of a fixed width. It is the seam the upper
+// layers (core.BuildOn, the store compactor, the drtree.Cluster…
+// constructors) are threaded through: a LocalProvider yields in-process
+// simulators, a transport.Cluster yields machines whose supersteps run
+// over TCP on real worker processes — the same SPMD programs run
+// unchanged on either.
+type Provider interface {
+	// P reports the width of the machines the provider creates.
+	P() int
+	// NewMachine returns a fresh machine. Machines are independent: each
+	// owns its transport, and a machine poisoned by an abort is replaced,
+	// never revived.
+	NewMachine() (*Machine, error)
+	// Close releases provider-wide resources (e.g. cluster sessions).
+	Close() error
+}
+
+// LocalProvider is the in-process Provider: every machine is a fresh
+// loopback simulator configured by Cfg.
+type LocalProvider struct {
+	cfg Config
+}
+
+// NewLocalProvider creates a provider of in-process machines.
+func NewLocalProvider(cfg Config) LocalProvider {
+	if cfg.Transport != nil {
+		panic("cgm: LocalProvider cannot share one Transport across machines")
+	}
+	if cfg.P < 1 {
+		panic("cgm: provider needs at least one processor")
+	}
+	return LocalProvider{cfg: cfg}
+}
+
+// P reports the configured machine width.
+func (lp LocalProvider) P() int { return lp.cfg.P }
+
+// NewMachine returns a fresh in-process machine.
+func (lp LocalProvider) NewMachine() (*Machine, error) { return New(lp.cfg), nil }
+
+// Close is a no-op for local machines.
+func (lp LocalProvider) Close() error { return nil }

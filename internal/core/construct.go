@@ -89,6 +89,18 @@ func BuildBackend(mach *cgm.Machine, pts []geom.Point, be Backend) *Tree {
 	return t
 }
 
+// BuildOn runs Algorithm Construct on a machine supplied by the provider
+// — the seam that lets the same construction run on the in-process
+// simulator (cgm.LocalProvider) or on a TCP worker cluster
+// (transport.Cluster) without the caller holding a machine.
+func BuildOn(pv cgm.Provider, pts []geom.Point, be Backend) (*Tree, error) {
+	mach, err := pv.NewMachine()
+	if err != nil {
+		return nil, fmt.Errorf("core: provider machine: %w", err)
+	}
+	return BuildBackend(mach, pts, be), nil
+}
+
 // construct is the per-processor body of Algorithm Construct.
 func (t *Tree) construct(pr *cgm.Proc, pts []geom.Point) {
 	rank, p := pr.Rank(), pr.P()

@@ -63,9 +63,14 @@ type Config struct {
 	// Dims is the point dimensionality. Required unless Open finds a
 	// checkpoint to take it from.
 	Dims int
-	// P is the simulated machine width each level is built and queried
-	// on (default DefaultP).
+	// P is the machine width each level is built and queried on
+	// (default DefaultP; ignored when Provider is set).
 	P int
+	// Provider supplies the machines levels are built and served on:
+	// nil selects in-process simulators of width P, a transport.Cluster
+	// runs every level build and query batch over TCP workers. The
+	// provider must outlive the store (and every pinned version).
+	Provider cgm.Provider
 	// MemtableCap is the memtable flush threshold in buffered mutations
 	// (default DefaultMemtableCap). It is also the base level size of
 	// the logarithmic method.
@@ -87,8 +92,13 @@ type Config struct {
 }
 
 func (cfg Config) withDefaults() Config {
-	if cfg.P <= 0 {
-		cfg.P = DefaultP
+	if cfg.Provider != nil {
+		cfg.P = cfg.Provider.P()
+	} else {
+		if cfg.P <= 0 {
+			cfg.P = DefaultP
+		}
+		cfg.Provider = cgm.NewLocalProvider(cgm.Config{P: cfg.P})
 	}
 	if cfg.MemtableCap <= 0 {
 		cfg.MemtableCap = DefaultMemtableCap
@@ -112,6 +122,11 @@ type Stats struct {
 	MaxBuild    time.Duration // longest single build (the write-visibility pause; reads never wait on it)
 	WALRecords  uint64        // mutation records appended to the WAL
 	Checkpoints uint64
+	// CompactErr is the diagnostic of a failed compaction build (e.g.
+	// the machine provider's cluster lost a worker); empty when healthy.
+	// A store with a failed compaction rejects further mutations — the
+	// memtable could otherwise grow without bound.
+	CompactErr string
 }
 
 // Store is the mutable, versioned point store. All methods are safe for
@@ -122,16 +137,17 @@ type Store struct {
 	dir string
 
 	// mu guards the mutable state below and every version swap.
-	mu      sync.Mutex
-	closed  bool
-	mem     []geom.Point       // append-only current memtable segment
-	shadow  []geom.Point       // append-only tombstones (points still present in mem/levels)
-	deadIDs map[int32]struct{} // outstanding tombstone IDs
-	liveIDs map[int32]struct{} // currently live IDs (mutation validity checks)
-	levels  []*core.Tree       // binary-counter slots; nil = empty
-	liveN   int
-	seq     uint64
-	wal     *wal // nil for an ephemeral (dir-less) store
+	mu         sync.Mutex
+	closed     bool
+	compactErr error              // first failed compaction build; mutations fail fast on it
+	mem        []geom.Point       // append-only current memtable segment
+	shadow     []geom.Point       // append-only tombstones (points still present in mem/levels)
+	deadIDs    map[int32]struct{} // outstanding tombstone IDs
+	liveIDs    map[int32]struct{} // currently live IDs (mutation validity checks)
+	levels     []*core.Tree       // binary-counter slots; nil = empty
+	liveN      int
+	seq        uint64
+	wal        *wal // nil for an ephemeral (dir-less) store
 	// checkpointMu serializes whole Checkpoint calls (rotation is under
 	// mu, but snapshot write + prune must not interleave between two
 	// checkpoints).
@@ -225,6 +241,9 @@ func (s *Store) Stats() Stats {
 		Memtable: len(s.mem),
 		Shadow:   len(s.shadow),
 	}
+	if s.compactErr != nil {
+		st.CompactErr = s.compactErr.Error()
+	}
 	for _, l := range s.levels {
 		if l != nil {
 			st.Levels++
@@ -280,6 +299,11 @@ func (s *Store) mutate(op byte, pts []geom.Point, logIt bool) (uint64, error) {
 	if s.closed {
 		s.mu.Unlock()
 		return 0, ErrClosed
+	}
+	if s.compactErr != nil {
+		err := s.compactErr
+		s.mu.Unlock()
+		return 0, fmt.Errorf("store: compaction failed, mutations rejected: %w", err)
 	}
 	// Validate the whole batch against the live set before anything is
 	// logged or applied: a phantom delete or duplicate insert would
@@ -450,7 +474,18 @@ func (s *Store) compactPass() bool {
 
 	if len(acc) > 0 {
 		start := time.Now()
-		built := core.BuildBackend(cgm.New(cgm.Config{P: s.cfg.P}), acc, s.cfg.Backend)
+		built, err := s.buildLevel(acc)
+		if err != nil {
+			// Leave the snapshotted state untouched: the store keeps
+			// serving the published version, but mutations fail fast so
+			// an uncompactable memtable cannot grow without bound.
+			s.mu.Lock()
+			if s.compactErr == nil {
+				s.compactErr = err
+			}
+			s.mu.Unlock()
+			return false
+		}
 		wall := time.Since(start)
 		s.buildNanos.Add(wall.Nanoseconds())
 		if w := wall.Nanoseconds(); w > s.maxBuildNanos.Load() {
@@ -502,4 +537,21 @@ func (s *Store) compactPass() bool {
 func (s *Store) Compact() {
 	for s.compactPass() {
 	}
+}
+
+// buildLevel builds one level tree on a fresh machine from the store's
+// provider, converting machine aborts (panics by cgm contract — e.g. a
+// TCP cluster losing a worker mid-build) into errors the compactor can
+// record instead of crashing the process.
+func (s *Store) buildLevel(pts []geom.Point) (t *core.Tree, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("store: level build aborted: %v", r)
+		}
+	}()
+	mach, err := s.cfg.Provider.NewMachine()
+	if err != nil {
+		return nil, fmt.Errorf("store: level build machine: %w", err)
+	}
+	return core.BuildBackend(mach, pts, s.cfg.Backend), nil
 }

@@ -7,7 +7,10 @@ import (
 	"reflect"
 	"testing"
 
+	"strings"
+
 	"repro/internal/brute"
+	"repro/internal/cgm"
 	"repro/internal/geom"
 )
 
@@ -401,5 +404,50 @@ func TestDimsMismatchRejected(t *testing.T) {
 	}
 	if _, err := Open("", Config{}); err == nil {
 		t.Fatal("store without dims accepted")
+	}
+}
+
+// poisonedProvider yields machines whose every Run aborts — the state a
+// TCP cluster is in after losing a worker.
+type poisonedProvider struct{}
+
+func (poisonedProvider) P() int { return 1 }
+func (poisonedProvider) NewMachine() (*cgm.Machine, error) {
+	m := cgm.New(cgm.Config{P: 1})
+	func() {
+		defer func() { recover() }()
+		m.Run(func(*cgm.Proc) { panic("worker lost") })
+	}()
+	return m, nil // poisoned: the next Run fails fast
+}
+func (poisonedProvider) Close() error { return nil }
+
+// TestRecoveryBuildFailureReturnsError: a provider whose builds abort
+// (a broken cluster) must fail Open with an error — the checkpoint
+// rebuild path has to convert machine aborts exactly like the
+// compactor's buildLevel does, never crash the process.
+func TestRecoveryBuildFailureReturnsError(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "db")
+	rng := rand.New(rand.NewSource(13))
+	s, err := Open(dir, Config{Dims: 2, P: 1, MemtableCap: 8, Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.InsertBatch(randomPoints(rng, 30, 2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = Open(dir, Config{Provider: poisonedProvider{}, MemtableCap: 8, Sync: true})
+	if err == nil {
+		t.Fatal("Open succeeded on a provider whose builds abort")
+	}
+	if !strings.Contains(err.Error(), "rebuilding checkpoint") {
+		t.Fatalf("wrong error: %v", err)
 	}
 }

@@ -11,7 +11,6 @@ import (
 	"strconv"
 	"strings"
 
-	"repro/internal/cgm"
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/persist"
@@ -214,7 +213,13 @@ func (s *Store) recover() error {
 		checkSeq = snap.Seq
 		s.seq = snap.Seq
 		if len(snap.Points) > 0 {
-			built := core.BuildBackend(cgm.New(cgm.Config{P: s.cfg.P}), snap.Points, s.cfg.Backend)
+			// buildLevel converts machine aborts (panics by cgm contract,
+			// e.g. a cluster worker dying mid-rebuild) into errors, so a
+			// bad cluster fails Open cleanly instead of crashing.
+			built, err := s.buildLevel(snap.Points)
+			if err != nil {
+				return fmt.Errorf("store: rebuilding checkpoint: %w", err)
+			}
 			s.levels = []*core.Tree{built}
 			s.liveN = len(snap.Points)
 			for _, p := range snap.Points {

@@ -1,0 +1,309 @@
+package transport_test
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cgm"
+	"repro/internal/transport"
+)
+
+// runExpectAbort runs prog expecting a machine abort; it returns the
+// panic message, failing the test on a clean return or a hang.
+func runExpectAbort(t *testing.T, mach *cgm.Machine, prog func(*cgm.Proc)) string {
+	t.Helper()
+	got := make(chan string, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				got <- r.(string)
+				return
+			}
+			got <- ""
+		}()
+		mach.Run(prog)
+	}()
+	select {
+	case msg := <-got:
+		if msg == "" {
+			t.Fatal("run finished cleanly, expected an abort")
+		}
+		return msg
+	case <-time.After(30 * time.Second):
+		t.Fatal("machine deadlocked instead of aborting")
+		return ""
+	}
+}
+
+// TestTCPExchangeTransposes is the basic fabric check: the all-to-all
+// really transposes through the worker mesh.
+func TestTCPExchangeTransposes(t *testing.T) {
+	cl := startCluster(t, 4)
+	mach, err := cl.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results [4][][]int
+	mach.Run(func(pr *cgm.Proc) {
+		out := make([][]int, 4)
+		for j := 0; j < 4; j++ {
+			out[j] = []int{pr.Rank()*10 + j}
+		}
+		results[pr.Rank()] = cgm.Exchange(pr, "transpose", out)
+	})
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if got, want := results[i][j][0], j*10+i; got != want {
+				t.Fatalf("proc %d from %d: got %d want %d", i, j, got, want)
+			}
+		}
+	}
+}
+
+// TestTCPSPMDDivergenceAborts: the divergence is detected on the remote
+// side — workers compare the stamps that arrive over the wire — and the
+// coordinator surfaces the diagnostic as a machine abort.
+func TestTCPSPMDDivergenceAborts(t *testing.T) {
+	cl := startCluster(t, 4)
+	mach, err := cl.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := runExpectAbort(t, mach, func(pr *cgm.Proc) {
+		label := "a"
+		if pr.Rank() == 1 {
+			label = "b"
+		}
+		cgm.Barrier(pr, label)
+	})
+	if !strings.Contains(msg, "SPMD violation") {
+		t.Fatalf("divergence diagnostic lost: %v", msg)
+	}
+}
+
+// TestWorkerDeathMidSuperstepAborts kills one worker process while the
+// machine is mid-run: the coordinator must surface a diagnostic abort
+// (never deadlock), and the machine must fail fast on reuse with the
+// original cause — the satellite contract on both counts.
+func TestWorkerDeathMidSuperstepAborts(t *testing.T) {
+	workers := make([]*transport.Worker, 4)
+	addrs := make([]string, 4)
+	for i := range workers {
+		w, err := transport.ListenAndServe("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Close()
+		workers[i] = w
+		addrs[i] = w.Addr()
+	}
+	cl, err := transport.DialCluster(addrs, cgm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	mach, err := cl.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var rounds atomic.Int64
+	started := make(chan struct{})
+	var once atomic.Bool
+	go func() {
+		<-started
+		workers[2].Close() // the kill, while supersteps are in flight
+	}()
+	msg := runExpectAbort(t, mach, func(pr *cgm.Proc) {
+		for i := 0; i < 10000; i++ {
+			cgm.Barrier(pr, "spin")
+			if pr.Rank() == 0 {
+				rounds.Add(1)
+				if once.CompareAndSwap(false, true) {
+					close(started)
+				}
+			}
+		}
+	})
+	if rounds.Load() == 0 {
+		t.Fatal("worker died before any superstep completed; kill was not mid-run")
+	}
+	if rounds.Load() >= 10000 {
+		t.Fatal("program ran to completion; the kill changed nothing")
+	}
+	if !strings.Contains(msg, "transport:") {
+		t.Fatalf("abort lacks a transport diagnostic: %v", msg)
+	}
+
+	// Reuse must fail fast with the original cause, not hang or rerun.
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Run on the aborted machine must fail fast")
+		}
+		if !strings.Contains(r.(string), "earlier run") {
+			t.Fatalf("fail-fast panic lost the cause: %v", r)
+		}
+	}()
+	mach.Run(func(pr *cgm.Proc) {})
+}
+
+// TestAbortBeforeFirstDepositFreesWorkers: when a rank dies before its
+// first deposit of a run, the other ranks' workers are stuck collecting
+// a block that will never be routed (the dead rank's worker dialed no
+// peers). The abort must still free every worker session — the
+// coordinator conns closing is the only signal available.
+func TestAbortBeforeFirstDepositFreesWorkers(t *testing.T) {
+	workers := make([]*transport.Worker, 4)
+	addrs := make([]string, 4)
+	for i := range workers {
+		w, err := transport.ListenAndServe("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Close()
+		workers[i] = w
+		addrs[i] = w.Addr()
+	}
+	cl, err := transport.DialCluster(addrs, cgm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	mach, err := cl.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := runExpectAbort(t, mach, func(pr *cgm.Proc) {
+		if pr.Rank() == 1 {
+			panic("rank 1 dies before its first exchange")
+		}
+		cgm.Barrier(pr, "never-completes")
+	})
+	if !strings.Contains(msg, "rank 1 dies") {
+		t.Fatalf("cause lost: %v", msg)
+	}
+	// Every worker must drain its session without Worker.Close's help.
+	deadline := time.Now().Add(5 * time.Second)
+	for i, w := range workers {
+		for w.Sessions() != 0 {
+			if time.Now().After(deadline) {
+				t.Fatalf("worker %d leaked %d sessions after the abort", i, w.Sessions())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}
+
+// TestDialClusterRejectsDuplicateAddresses: one worker cannot play two
+// ranks; the mistake must fail at dial time with a clear diagnostic,
+// not later as a confusing duplicate-session error from NewMachine.
+func TestDialClusterRejectsDuplicateAddresses(t *testing.T) {
+	w, err := transport.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	_, err = transport.DialCluster([]string{w.Addr(), w.Addr()}, cgm.Config{})
+	if err == nil || !strings.Contains(err.Error(), "two ranks") {
+		t.Fatalf("duplicate addresses not rejected clearly: %v", err)
+	}
+}
+
+// TestClusterCloseFailsMachinesFast: machines from a closed cluster are
+// unusable with a clear diagnostic.
+func TestClusterCloseFailsMachinesFast(t *testing.T) {
+	cl := startCluster(t, 2)
+	mach, err := cl.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach.Run(func(pr *cgm.Proc) { cgm.Barrier(pr, "ok") })
+	cl.Close()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Run after cluster close must fail")
+		}
+		if !strings.Contains(r.(string), "closed") {
+			t.Fatalf("unexpected diagnostic: %v", r)
+		}
+	}()
+	mach.Run(func(pr *cgm.Proc) { cgm.Barrier(pr, "late") })
+}
+
+// TestWorkerCloseWithIdleSession: Close must sever the incoming
+// peer-block conns of sessions that are alive but idle (no superstep in
+// flight, so no abort cascade will close them from the remote side) —
+// otherwise Close blocks forever on their reader goroutines, and a
+// rangeworker never exits on SIGTERM while a coordinator merely holds a
+// session open.
+func TestWorkerCloseWithIdleSession(t *testing.T) {
+	workers := make([]*transport.Worker, 2)
+	addrs := make([]string, 2)
+	for i := range workers {
+		w, err := transport.ListenAndServe("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Close()
+		workers[i] = w
+		addrs[i] = w.Addr()
+	}
+	cl, err := transport.DialCluster(addrs, cgm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	mach, err := cl.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One completed superstep establishes the worker-to-worker conns;
+	// the session then sits idle.
+	mach.Run(func(pr *cgm.Proc) { cgm.Barrier(pr, "establish") })
+
+	done := make(chan struct{})
+	go func() {
+		workers[0].Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Worker.Close hung on an idle session's peer conns")
+	}
+}
+
+// TestWorkerSessionsDrain: closing the machines tears their sessions
+// down on the worker side.
+func TestWorkerSessionsDrain(t *testing.T) {
+	w, err := transport.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	cl, err := transport.DialCluster([]string{w.Addr()}, cgm.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	mach, err := cl.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach.Run(func(pr *cgm.Proc) { cgm.Barrier(pr, "b") })
+	if got := w.Sessions(); got != 1 {
+		t.Fatalf("worker sees %d sessions, want 1", got)
+	}
+	mach.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for w.Sessions() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("session not torn down; %d still live", w.Sessions())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

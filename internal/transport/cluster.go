@@ -1,0 +1,273 @@
+package transport
+
+import (
+	"bufio"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/cgm"
+)
+
+// Cluster is a cgm.Provider backed by remote workers: every machine it
+// creates opens one session on each worker and runs its supersteps over
+// TCP. The same SPMD programs (construct, the three §4.2 search modes,
+// store compaction) run unchanged; only the h-relations change medium.
+type Cluster struct {
+	addrs []string
+	cfg   cgm.Config
+
+	nonce string
+	mu    sync.Mutex
+	next  uint64
+	open  map[string]*tcpTransport
+	done  bool
+}
+
+// DialCluster connects to the given workers (one address per rank; the
+// machine width is len(addrs)) and returns a provider of TCP-backed
+// machines. cfg supplies Mode/G/L for created machines; cfg.P may be 0
+// or len(addrs), and cfg.Transport must be nil. Every worker is probed
+// so a wrong address fails here, not mid-build.
+func DialCluster(addrs []string, cfg cgm.Config) (*Cluster, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("transport: cluster needs at least one worker address")
+	}
+	if cfg.P != 0 && cfg.P != len(addrs) {
+		return nil, fmt.Errorf("transport: config wants %d processors but %d workers were given", cfg.P, len(addrs))
+	}
+	if cfg.Transport != nil {
+		return nil, errors.New("transport: DialCluster builds its own transports")
+	}
+	seen := make(map[string]int, len(addrs))
+	for rank, addr := range addrs {
+		if prev, dup := seen[addr]; dup {
+			return nil, fmt.Errorf("transport: worker address %s given for both rank %d and rank %d (one worker cannot play two ranks)", addr, prev, rank)
+		}
+		seen[addr] = rank
+	}
+	for rank, addr := range addrs {
+		conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+		if err != nil {
+			return nil, fmt.Errorf("transport: worker %d (%s) unreachable: %w", rank, addr, err)
+		}
+		conn.Close()
+	}
+	var nb [6]byte
+	if _, err := rand.Read(nb[:]); err != nil {
+		return nil, fmt.Errorf("transport: session nonce: %w", err)
+	}
+	return &Cluster{
+		addrs: append([]string(nil), addrs...),
+		cfg:   cfg,
+		nonce: hex.EncodeToString(nb[:]),
+		open:  make(map[string]*tcpTransport),
+	}, nil
+}
+
+// P reports the cluster width (one rank per worker).
+func (c *Cluster) P() int { return len(c.addrs) }
+
+// Addrs reports the worker addresses by rank.
+func (c *Cluster) Addrs() []string { return append([]string(nil), c.addrs...) }
+
+// NewMachine opens a fresh session on every worker and returns a machine
+// whose supersteps run over it. The machine owns the session: closing
+// the machine (or the whole cluster) tears it down.
+func (c *Cluster) NewMachine() (*cgm.Machine, error) {
+	c.mu.Lock()
+	if c.done {
+		c.mu.Unlock()
+		return nil, errors.New("transport: cluster closed")
+	}
+	id := fmt.Sprintf("%s-%d", c.nonce, c.next)
+	c.next++
+	c.mu.Unlock()
+
+	tr := &tcpTransport{cl: c, session: id, p: len(c.addrs), conns: make([]*wconn, len(c.addrs))}
+	for rank, addr := range c.addrs {
+		conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+		if err == nil {
+			err = writeFrame(conn, &frame{Kind: kindOpen, Session: id, Rank: rank, Peers: c.addrs})
+		}
+		var r *bufio.Reader
+		if err == nil {
+			r = bufio.NewReader(conn)
+			var ack *frame
+			ack, err = readFrame(r)
+			if err == nil && ack.Kind != kindOpenAck {
+				if ack.Kind == kindError {
+					err = errors.New(ack.Err)
+				} else {
+					err = fmt.Errorf("expected open ack, got frame kind %d", ack.Kind)
+				}
+			}
+		}
+		if err != nil {
+			if conn != nil {
+				conn.Close()
+			}
+			tr.closeConns()
+			return nil, fmt.Errorf("transport: opening session on worker %d (%s): %w", rank, addr, err)
+		}
+		tr.conns[rank] = &wconn{c: conn, r: r}
+	}
+	c.mu.Lock()
+	if c.done {
+		c.mu.Unlock()
+		tr.closeConns()
+		return nil, errors.New("transport: cluster closed")
+	}
+	c.open[id] = tr
+	c.mu.Unlock()
+
+	cfg := c.cfg
+	cfg.P = len(c.addrs)
+	cfg.Transport = tr
+	return cgm.New(cfg), nil
+}
+
+// Close tears down every open session. Machines created by the cluster
+// become unusable (their next Run fails fast).
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	if c.done {
+		c.mu.Unlock()
+		return nil
+	}
+	c.done = true
+	live := make([]*tcpTransport, 0, len(c.open))
+	for _, tr := range c.open {
+		live = append(live, tr)
+	}
+	c.open = make(map[string]*tcpTransport)
+	c.mu.Unlock()
+	for _, tr := range live {
+		tr.Close()
+	}
+	return nil
+}
+
+// wconn is one coordinator↔worker connection: written under a lock (the
+// rank goroutine and Abort may race), read only by the rank goroutine.
+type wconn struct {
+	mu sync.Mutex
+	c  net.Conn
+	r  *bufio.Reader
+}
+
+func (wc *wconn) write(f *frame) error {
+	wc.mu.Lock()
+	defer wc.mu.Unlock()
+	return writeFrame(wc.c, f)
+}
+
+// tcpTransport is the coordinator side of one session: the cgm.Transport
+// whose Exchange ships a rank's deposit to its worker and blocks until
+// the worker returns the assembled column (or a diagnostic).
+type tcpTransport struct {
+	cl      *Cluster
+	session string
+	p       int
+	conns   []*wconn
+
+	mu    sync.Mutex
+	fault error // first abort/close cause; Reset fails fast on it
+}
+
+func (t *tcpTransport) P() int     { return t.p }
+func (t *tcpTransport) Wire() bool { return true }
+
+// Reset refuses to start a run on a session that aborted or closed: the
+// workers' superstep state is unknown after either.
+func (t *tcpTransport) Reset() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.fault
+}
+
+func (t *tcpTransport) Exchange(rank int, dep cgm.Deposit) (cgm.Column, error) {
+	wc := t.conns[rank]
+	// dep.Blocks[rank] is nil by the Deposit contract — the machine
+	// retains the self-addressed block, so ~2/p of a balanced
+	// all-to-all's bytes never touch the wire.
+	err := wc.write(&frame{Kind: kindDeposit, Session: t.session, Rank: rank,
+		Seq: dep.Seq, Stamp: dep.Stamp, Type: dep.Type, Blocks: dep.Blocks})
+	if err != nil {
+		return cgm.Column{}, t.connErr(rank, err)
+	}
+	resp, err := readFrame(wc.r)
+	if err != nil {
+		return cgm.Column{}, t.connErr(rank, err)
+	}
+	switch resp.Kind {
+	case kindColumn:
+		if resp.Seq != dep.Seq {
+			return cgm.Column{}, fmt.Errorf("transport: worker %d answered superstep %d, expected %d", rank, resp.Seq, dep.Seq)
+		}
+		if len(resp.Blocks) != t.p {
+			return cgm.Column{}, fmt.Errorf("transport: worker %d returned %d column blocks for %d ranks", rank, len(resp.Blocks), t.p)
+		}
+		return cgm.Column{Blocks: resp.Blocks}, nil
+	case kindError:
+		return cgm.Column{}, errors.New(resp.Err)
+	default:
+		return cgm.Column{}, fmt.Errorf("transport: worker %d sent unexpected frame kind %d", rank, resp.Kind)
+	}
+}
+
+// connErr wraps a connection failure; once the session is already
+// poisoned it collapses to ErrAborted so a secondary failure (our own
+// teardown closing the conns) cannot masquerade as a fresh cause.
+func (t *tcpTransport) connErr(rank int, err error) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.fault != nil {
+		return cgm.ErrAborted
+	}
+	return fmt.Errorf("transport: worker %d (%s) failed mid-superstep: %w", rank, t.cl.addrs[rank], err)
+}
+
+// Abort poisons the session and closes every worker connection, which
+// unblocks any rank goroutine waiting on a column and tears the worker
+// sessions down (they see EOF).
+func (t *tcpTransport) Abort(msg string) {
+	t.teardown(fmt.Errorf("transport: session aborted: %s", msg), false)
+}
+
+// Close politely ends the session: workers get a kindAbort frame before
+// the connections close.
+func (t *tcpTransport) Close() error {
+	t.teardown(errors.New("transport: session closed"), true)
+	return nil
+}
+
+func (t *tcpTransport) teardown(cause error, polite bool) {
+	t.mu.Lock()
+	if t.fault != nil {
+		t.mu.Unlock()
+		return
+	}
+	t.fault = cause
+	t.mu.Unlock()
+	if polite {
+		for _, wc := range t.conns {
+			wc.write(&frame{Kind: kindAbort, Session: t.session, Err: cause.Error()})
+		}
+	}
+	t.closeConns()
+	t.cl.mu.Lock()
+	delete(t.cl.open, t.session)
+	t.cl.mu.Unlock()
+}
+
+func (t *tcpTransport) closeConns() {
+	for _, wc := range t.conns {
+		if wc != nil {
+			wc.c.Close()
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package transport_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/cgm"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/semigroup"
+	"repro/internal/store"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// startCluster spins up p in-process workers on ephemeral localhost
+// ports and dials them.
+func startCluster(t *testing.T, p int) *transport.Cluster {
+	t.Helper()
+	addrs := make([]string, p)
+	for i := range addrs {
+		w, err := transport.ListenAndServe("127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+		t.Cleanup(func() { w.Close() })
+		addrs[i] = w.Addr()
+	}
+	cl, err := transport.DialCluster(addrs, cgm.Config{})
+	if err != nil {
+		t.Fatalf("dial cluster: %v", err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+// comparableRounds strips the wall-clock fields from the round stats:
+// everything else — the number of rounds, their labels and order, the h
+// of every round, the exchanged volume — must be byte-for-byte identical
+// across transports.
+type roundKey struct {
+	Label      string
+	MaxH       int
+	TotalElems int
+	Final      bool
+}
+
+func comparableRounds(mt cgm.Metrics) []roundKey {
+	out := make([]roundKey, len(mt.Rounds))
+	for i, r := range mt.Rounds {
+		out[i] = roundKey{Label: r.Label, MaxH: r.MaxH, TotalElems: r.TotalElems, Final: r.Final}
+	}
+	return out
+}
+
+func assertMetricsEqual(t *testing.T, phase string, loop, tcp cgm.Metrics) {
+	t.Helper()
+	lr, tr := comparableRounds(loop), comparableRounds(tcp)
+	if len(lr) != len(tr) {
+		t.Fatalf("%s: loopback folded %d rounds, tcp %d", phase, len(lr), len(tr))
+	}
+	for i := range lr {
+		if lr[i] != tr[i] {
+			t.Fatalf("%s round %d diverges:\n  loopback %+v\n  tcp      %+v", phase, i, lr[i], tr[i])
+		}
+	}
+	if loop.Runs != tcp.Runs {
+		t.Fatalf("%s: loopback ran %d machine runs, tcp %d", phase, loop.Runs, tcp.Runs)
+	}
+}
+
+// TestCrossTransportEquivalence is the refactor's safety net: the same
+// SPMD programs must return identical answers AND identical round/h
+// metrics whether the supersteps move through shared memory or through
+// TCP worker processes — for construction and all three §4.2 result
+// modes, across machine widths and dimensionalities.
+func TestCrossTransportEquivalence(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		for _, d := range []int{2, 3} {
+			t.Run(fmt.Sprintf("p=%d/d=%d", p, d), func(t *testing.T) {
+				n, m := 500, 48
+				pts := workload.Points(workload.PointSpec{N: n, Dims: d, Dist: workload.Clustered, Seed: 7})
+				boxes := workload.Boxes(workload.QuerySpec{M: m, Dims: d, N: n, Selectivity: 0.05, Seed: 11})
+
+				loopMach := cgm.New(cgm.Config{P: p})
+				loopTree := core.Build(loopMach, pts)
+
+				cl := startCluster(t, p)
+				tcpTree, err := core.BuildOn(cl, pts, core.BackendLayered)
+				if err != nil {
+					t.Fatalf("cluster build: %v", err)
+				}
+				tcpMach := tcpTree.Machine()
+
+				assertMetricsEqual(t, "construct", loopMach.Metrics(), tcpMach.Metrics())
+				loopMach.ResetMetrics()
+				tcpMach.ResetMetrics()
+
+				// Count mode.
+				lc, tc := loopTree.CountBatch(boxes), tcpTree.CountBatch(boxes)
+				for i := range lc {
+					if lc[i] != tc[i] {
+						t.Fatalf("count query %d: loopback %d, tcp %d", i, lc[i], tc[i])
+					}
+				}
+
+				// Associative-function mode.
+				lh := core.PrepareAssociative(loopTree, semigroup.FloatSum(), workload.WeightOf)
+				th := core.PrepareAssociative(tcpTree, semigroup.FloatSum(), workload.WeightOf)
+				ls, ts := lh.Batch(boxes), th.Batch(boxes)
+				for i := range ls {
+					if math.Abs(ls[i]-ts[i]) > 1e-9 {
+						t.Fatalf("aggregate query %d: loopback %v, tcp %v", i, ls[i], ts[i])
+					}
+				}
+
+				// Report mode.
+				lrep, trep := loopTree.ReportBatch(boxes), tcpTree.ReportBatch(boxes)
+				for i := range lrep {
+					if len(lrep[i]) != len(trep[i]) {
+						t.Fatalf("report query %d: loopback %d points, tcp %d", i, len(lrep[i]), len(trep[i]))
+					}
+					for j := range lrep[i] {
+						if lrep[i][j].ID != trep[i][j].ID {
+							t.Fatalf("report query %d point %d: loopback id %d, tcp id %d",
+								i, j, lrep[i][j].ID, trep[i][j].ID)
+						}
+					}
+				}
+
+				assertMetricsEqual(t, "search", loopMach.Metrics(), tcpMach.Metrics())
+			})
+		}
+	}
+}
+
+// TestClusterStore runs the mutable store with its level builds and
+// query batches on TCP workers, against a loopback twin.
+func TestClusterStore(t *testing.T) {
+	cl := startCluster(t, 4)
+	pts := workload.Points(workload.PointSpec{N: 300, Dims: 2, Dist: workload.Uniform, Seed: 3})
+	boxes := workload.Boxes(workload.QuerySpec{M: 16, Dims: 2, N: 300, Selectivity: 0.1, Seed: 5})
+
+	open := func(pv cgm.Provider) *storeHandle {
+		return newStoreHandle(t, pv, pts)
+	}
+	tcp := open(cl)
+	loop := open(cgm.NewLocalProvider(cgm.Config{P: 4}))
+
+	lc, tc := loop.st.CountBatch(boxes), tcp.st.CountBatch(boxes)
+	for i := range lc {
+		if lc[i] != tc[i] {
+			t.Fatalf("store count %d: loopback %d, tcp %d", i, lc[i], tc[i])
+		}
+	}
+	// Mutate both and compare again.
+	del := pts[:40]
+	for _, h := range []*storeHandle{loop, tcp} {
+		if _, err := h.st.DeleteBatch(del); err != nil {
+			t.Fatalf("delete: %v", err)
+		}
+		h.st.Compact()
+	}
+	lc, tc = loop.st.CountBatch(boxes), tcp.st.CountBatch(boxes)
+	for i := range lc {
+		if lc[i] != tc[i] {
+			t.Fatalf("store count after delete %d: loopback %d, tcp %d", i, lc[i], tc[i])
+		}
+	}
+	if cerr := tcp.st.Stats().CompactErr; cerr != "" {
+		t.Fatalf("tcp store compaction failed: %s", cerr)
+	}
+}
+
+// storeHandle owns one ephemeral mutable store seeded with pts.
+type storeHandle struct{ st *store.Store }
+
+func newStoreHandle(t *testing.T, pv cgm.Provider, pts []geom.Point) *storeHandle {
+	t.Helper()
+	st, err := store.Open("", store.Config{Dims: pts[0].Dims(), Provider: pv, MemtableCap: 64, Sync: true})
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	t.Cleanup(func() { st.Close() })
+	if _, err := st.InsertBatch(pts); err != nil {
+		t.Fatalf("seed store: %v", err)
+	}
+	st.Compact()
+	return &storeHandle{st: st}
+}
+
+// TestSingleWorkerCluster covers the degenerate p=1 fabric (no peer
+// routing at all — the column is the own deposit).
+func TestSingleWorkerCluster(t *testing.T) {
+	cl := startCluster(t, 1)
+	mach, err := cl.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach.Run(func(pr *cgm.Proc) {
+		in := cgm.Exchange(pr, "self", [][]string{{"x"}})
+		if len(in) != 1 || in[0][0] != "x" {
+			t.Error("self-exchange wrong over tcp")
+		}
+	})
+	if mach.Metrics().CommRounds() != 1 {
+		t.Error("round not counted")
+	}
+}

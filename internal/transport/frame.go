@@ -1,0 +1,114 @@
+// Package transport runs the CGM machine's supersteps over TCP: the
+// multicomputer as real processes. One coordinator process executes the
+// SPMD program (the p rank goroutines and the distributed structure's
+// state live there, exactly as on the loopback transport), and p worker
+// processes form the communication fabric — every h-relation leaves the
+// coordinator as gob-encoded blocks, is routed worker-to-worker over a
+// mesh of TCP connections, validated for SPMD divergence on the remote
+// side, and returns as the assembled column. Round and h accounting is
+// done by the machine from element counts, so loopback and TCP runs of
+// the same program produce identical Metrics — the equivalence the tests
+// in this package pin down.
+//
+// Topology: Cluster (a cgm.Provider) opens one session per machine. The
+// coordinator dials each worker once per session (rank i's conn carries
+// deposits down and columns up); workers dial each other lazily, one
+// directed conn per (session, source, destination) pair, to route
+// blocks. Wire format: every frame is a 4-byte big-endian length prefix
+// followed by one gob-encoded frame value.
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"time"
+)
+
+// maxFrame bounds a single frame (1 GiB) so a corrupt length prefix
+// cannot ask for an absurd allocation.
+const maxFrame = 1 << 30
+
+// dialTimeout bounds every TCP dial and the session-open handshake.
+const dialTimeout = 5 * time.Second
+
+// kind discriminates the wire frames.
+type kind uint8
+
+const (
+	// kindOpen (coordinator→worker) registers a session: the worker will
+	// play frame.Rank among frame.Peers for session frame.Session.
+	kindOpen kind = iota + 1
+	// kindOpenAck (worker→coordinator) confirms the registration; no
+	// deposit is sent anywhere before every worker has acked, so a
+	// worker never sees peer traffic for a session it does not know.
+	kindOpenAck
+	// kindHello (worker→worker) binds a fresh peer conn to (session,
+	// source rank); the conn then carries only kindBlock frames.
+	kindHello
+	// kindDeposit (coordinator→worker) is one rank's out-row for one
+	// superstep: p encoded blocks plus the SPMD stamp.
+	kindDeposit
+	// kindBlock (worker→worker) routes one block to its destination.
+	kindBlock
+	// kindColumn (worker→coordinator) returns the assembled column.
+	kindColumn
+	// kindError (worker→coordinator) aborts the superstep with a
+	// diagnostic (SPMD divergence, lost peer, protocol violation).
+	kindError
+	// kindAbort (either direction) poisons the session.
+	kindAbort
+)
+
+// frame is the single wire message; which fields are meaningful depends
+// on Kind.
+type frame struct {
+	Kind    kind
+	Session string
+	Rank    int      // sender rank (Hello/Block), played rank (Open)
+	Seq     int      // superstep sequence within the current run
+	Stamp   string   // "label#seq" — the SPMD check compares it across ranks
+	Type    string   // exchanged element type — likewise
+	Blocks  [][]byte // Deposit: p blocks; Block: 1; Column: p
+	Peers   []string // Open: worker addresses by rank
+	Err     string   // Error/Abort: diagnostic
+}
+
+// writeFrame writes one length-prefixed gob frame. Each frame uses a
+// fresh encoder: the per-frame type-descriptor overhead buys stateless
+// framing (any frame can be decoded in isolation, connections carry no
+// encoder state across messages).
+func writeFrame(w io.Writer, f *frame) error {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 0})
+	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+		return fmt.Errorf("transport: encoding frame: %w", err)
+	}
+	b := buf.Bytes()
+	binary.BigEndian.PutUint32(b[:4], uint32(len(b)-4))
+	_, err := w.Write(b)
+	return err
+}
+
+// readFrame reads one length-prefixed gob frame.
+func readFrame(r io.Reader) (*frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds the %d limit", n, maxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	var f frame
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&f); err != nil {
+		return nil, fmt.Errorf("transport: decoding frame: %w", err)
+	}
+	return &f, nil
+}

@@ -1,0 +1,409 @@
+package transport
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Worker is one node of the multicomputer fabric: a TCP listener that
+// plays one rank per session. For every session it receives deposits
+// from its coordinator, routes each block to the peer worker owning the
+// destination rank, collects the blocks addressed to its own rank from
+// all peers, validates the SPMD stamps across them, and returns the
+// assembled column. A worker serves any number of sessions concurrently
+// (the store keeps one machine — one session — per level tree, plus
+// transient ones for compaction builds).
+type Worker struct {
+	ln net.Listener
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	conns    map[net.Conn]struct{} // every accepted conn still being served
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+// ListenAndServe starts a worker on addr (e.g. "127.0.0.1:0" for an
+// ephemeral test port) and serves in the background until Close.
+func ListenAndServe(addr string) (*Worker, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: worker listen %s: %w", addr, err)
+	}
+	w := &Worker{ln: ln, sessions: make(map[string]*session), conns: make(map[net.Conn]struct{})}
+	w.wg.Add(1)
+	go w.acceptLoop()
+	return w, nil
+}
+
+// Addr reports the worker's bound listen address.
+func (w *Worker) Addr() string { return w.ln.Addr().String() }
+
+// Close stops the listener and tears down every live session (open
+// connections are closed, which the coordinator surfaces as a machine
+// abort). It is idempotent and waits for all worker goroutines to exit.
+func (w *Worker) Close() error {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		w.wg.Wait()
+		return nil
+	}
+	w.closed = true
+	live := make([]*session, 0, len(w.sessions))
+	for _, s := range w.sessions {
+		live = append(live, s)
+	}
+	// Accepted conns include incoming peer-block conns of idle sessions:
+	// their feedPeer goroutines sit in blocking reads that only a local
+	// close can end (the remote side has no reason to hang up), so Close
+	// must sever every conn it ever accepted, not just session state.
+	conns := make([]net.Conn, 0, len(w.conns))
+	for c := range w.conns {
+		conns = append(conns, c)
+	}
+	w.mu.Unlock()
+	err := w.ln.Close()
+	for _, s := range live {
+		s.shutdown()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	w.wg.Wait()
+	return err
+}
+
+// Sessions reports the number of live sessions (health/diagnostics).
+func (w *Worker) Sessions() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.sessions)
+}
+
+func (w *Worker) acceptLoop() {
+	defer w.wg.Done()
+	for {
+		conn, err := w.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		w.mu.Lock()
+		if w.closed {
+			w.mu.Unlock()
+			conn.Close()
+			return
+		}
+		w.conns[conn] = struct{}{}
+		w.mu.Unlock()
+		w.wg.Add(1)
+		go w.handshake(conn)
+	}
+}
+
+// handshake reads the first frame of a fresh connection and dispatches:
+// a coordinator opening a session, or a peer worker binding a block
+// stream. Anything else (including a bare probe that closes immediately)
+// just drops the connection.
+func (w *Worker) handshake(conn net.Conn) {
+	defer w.wg.Done()
+	defer func() {
+		w.mu.Lock()
+		delete(w.conns, conn)
+		w.mu.Unlock()
+	}()
+	br := bufio.NewReader(conn)
+	f, err := readFrame(br)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	switch f.Kind {
+	case kindOpen:
+		w.runSession(conn, br, f)
+	case kindHello:
+		w.feedPeer(conn, br, f)
+	default:
+		conn.Close()
+	}
+}
+
+// inMsg is one routed block (or a peer failure) delivered to a session.
+type inMsg struct {
+	from       int
+	seq        int
+	stamp, typ string
+	block      []byte
+	err        error
+}
+
+// session is one machine's presence on this worker: the rank it plays,
+// the coordinator connection, and the per-peer block conns.
+type session struct {
+	w     *Worker
+	id    string
+	rank  int
+	p     int
+	peers []string
+	coord net.Conn
+	inbox chan inMsg
+
+	mu   sync.Mutex // guards outs against shutdown
+	outs []net.Conn // lazily dialed conns to peers (nil = not yet, self never)
+
+	quit  chan struct{}
+	quit1 sync.Once
+}
+
+// runSession registers the session and serves its coordinator connection
+// until it closes, aborts, or a superstep fails.
+func (w *Worker) runSession(conn net.Conn, br *bufio.Reader, open *frame) {
+	if len(open.Peers) == 0 || open.Rank < 0 || open.Rank >= len(open.Peers) {
+		writeFrame(conn, &frame{Kind: kindError, Session: open.Session,
+			Err: fmt.Sprintf("transport: malformed open: rank %d of %d peers", open.Rank, len(open.Peers))})
+		conn.Close()
+		return
+	}
+	s := &session{
+		w: w, id: open.Session, rank: open.Rank, p: len(open.Peers), peers: open.Peers,
+		coord: conn,
+		inbox: make(chan inMsg, 4*len(open.Peers)+4),
+		outs:  make([]net.Conn, len(open.Peers)),
+		quit:  make(chan struct{}),
+	}
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		conn.Close()
+		return
+	}
+	if _, dup := w.sessions[s.id]; dup {
+		w.mu.Unlock()
+		writeFrame(conn, &frame{Kind: kindError, Session: s.id,
+			Err: fmt.Sprintf("transport: session %q already open on this worker", s.id)})
+		conn.Close()
+		return
+	}
+	w.sessions[s.id] = s
+	w.mu.Unlock()
+	defer s.shutdown()
+
+	if err := writeFrame(conn, &frame{Kind: kindOpenAck, Session: s.id, Rank: s.rank}); err != nil {
+		return
+	}
+	// Coordinator frames arrive through a dedicated reader goroutine so
+	// that losing the coordinator conn unblocks a superstep stuck in its
+	// collect: an abort can hit before some rank's first deposit of a
+	// run, in which case that rank's worker never dialed peers and
+	// nothing else would ever break the other sessions' collects.
+	frames := make(chan *frame)
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		for {
+			f, err := readFrame(br)
+			if err != nil {
+				s.shutdown() // coordinator went away: end any collect in flight
+				return
+			}
+			select {
+			case frames <- f:
+			case <-s.quit:
+				return
+			}
+		}
+	}()
+	for {
+		var f *frame
+		select {
+		case f = <-frames:
+		case <-s.quit:
+			return
+		}
+		switch f.Kind {
+		case kindDeposit:
+			if err := s.superstep(f); err != nil {
+				writeFrame(conn, &frame{Kind: kindError, Session: s.id, Seq: f.Seq, Err: err.Error()})
+				return
+			}
+		case kindAbort:
+			return
+		default:
+			writeFrame(conn, &frame{Kind: kindError, Session: s.id,
+				Err: fmt.Sprintf("transport: unexpected frame kind %d from coordinator", f.Kind)})
+			return
+		}
+	}
+}
+
+// superstep routes one deposit's blocks to the peer workers, collects the
+// blocks every peer addressed to this rank, validates the SPMD stamps
+// across all of them, and returns the assembled column to the
+// coordinator. Sends run on their own goroutine so two workers shipping
+// large blocks to each other cannot deadlock on full TCP buffers.
+func (s *session) superstep(dep *frame) error {
+	if len(dep.Blocks) != s.p {
+		return fmt.Errorf("transport: deposit carries %d blocks for %d ranks", len(dep.Blocks), s.p)
+	}
+	sendErr := make(chan error, 1)
+	go func() {
+		for j := range s.peers {
+			if j == s.rank {
+				continue
+			}
+			out, err := s.peerConn(j)
+			if err == nil {
+				err = writeFrame(out, &frame{Kind: kindBlock, Session: s.id, Rank: s.rank,
+					Seq: dep.Seq, Stamp: dep.Stamp, Type: dep.Type, Blocks: [][]byte{dep.Blocks[j]}})
+			}
+			if err != nil {
+				sendErr <- fmt.Errorf("transport: rank %d routing to rank %d (%s): %w", s.rank, j, s.peers[j], err)
+				return
+			}
+		}
+		sendErr <- nil
+	}()
+
+	column := make([][]byte, s.p)
+	// The self-addressed slot arrives nil — the coordinator retains its
+	// own block rather than round-tripping it — and goes back nil.
+	column[s.rank] = dep.Blocks[s.rank]
+	seen := make([]bool, s.p)
+	seen[s.rank] = true
+	for need := s.p - 1; need > 0; need-- {
+		select {
+		case msg := <-s.inbox:
+			if msg.err != nil {
+				return msg.err
+			}
+			if msg.seq != dep.Seq {
+				return fmt.Errorf("SPMD violation: rank %d deposited superstep %d (%q) while rank %d is at superstep %d (%q)",
+					msg.from, msg.seq, msg.stamp, s.rank, dep.Seq, dep.Stamp)
+			}
+			if msg.stamp != dep.Stamp {
+				return fmt.Errorf("SPMD violation: processor %d is at %q while processor %d is at %q",
+					msg.from, msg.stamp, s.rank, dep.Stamp)
+			}
+			if msg.typ != dep.Type {
+				return fmt.Errorf("SPMD violation: processor %d exchanged %s at %q where processor %d exchanged %s",
+					msg.from, msg.typ, dep.Stamp, s.rank, dep.Type)
+			}
+			if seen[msg.from] {
+				return fmt.Errorf("transport: duplicate block from rank %d at %q", msg.from, dep.Stamp)
+			}
+			seen[msg.from] = true
+			column[msg.from] = msg.block
+		case <-s.quit:
+			return errors.New("transport: worker shutting down")
+		}
+	}
+	if err := <-sendErr; err != nil {
+		return err
+	}
+	return writeFrame(s.coord, &frame{Kind: kindColumn, Session: s.id, Seq: dep.Seq, Stamp: dep.Stamp, Blocks: column})
+}
+
+// peerConn returns the directed block conn to peer j, dialing and
+// binding it (kindHello) on first use.
+func (s *session) peerConn(j int) (net.Conn, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-s.quit:
+		return nil, errors.New("transport: session closed")
+	default:
+	}
+	if s.outs[j] != nil {
+		return s.outs[j], nil
+	}
+	conn, err := net.DialTimeout("tcp", s.peers[j], dialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeFrame(conn, &frame{Kind: kindHello, Session: s.id, Rank: s.rank}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	s.outs[j] = conn
+	return conn, nil
+}
+
+// shutdown tears the session down: the coordinator conn and all peer
+// conns close (peers mid-collect surface it as a lost-rank diagnostic),
+// and the session deregisters.
+func (s *session) shutdown() {
+	s.quit1.Do(func() {
+		close(s.quit)
+		s.coord.Close()
+		s.mu.Lock()
+		for _, c := range s.outs {
+			if c != nil {
+				c.Close()
+			}
+		}
+		s.mu.Unlock()
+		s.w.mu.Lock()
+		delete(s.w.sessions, s.id)
+		s.w.mu.Unlock()
+	})
+}
+
+// feedPeer serves one incoming peer conn: it resolves the session the
+// hello names and pumps its block frames into the session inbox. A conn
+// error mid-stream becomes a lost-rank message so a session blocked in a
+// collect fails with a diagnostic instead of hanging.
+func (w *Worker) feedPeer(conn net.Conn, br *bufio.Reader, hello *frame) {
+	defer conn.Close()
+	s := w.lookupSession(hello.Session)
+	if s == nil {
+		// The open/ack ordering makes this unreachable in a healthy
+		// cluster (no deposit precedes every ack); a stale or foreign
+		// hello is simply dropped.
+		return
+	}
+	deliver := func(m inMsg) bool {
+		select {
+		case s.inbox <- m:
+			return true
+		case <-s.quit:
+			return false
+		}
+	}
+	for {
+		f, err := readFrame(br)
+		if err != nil {
+			deliver(inMsg{from: hello.Rank,
+				err: fmt.Errorf("transport: rank %d lost its peer rank %d mid-superstep: %w", s.rank, hello.Rank, err)})
+			return
+		}
+		if f.Kind != kindBlock || len(f.Blocks) != 1 {
+			deliver(inMsg{from: hello.Rank,
+				err: fmt.Errorf("transport: malformed block frame (kind %d, %d blocks) from rank %d", f.Kind, len(f.Blocks), hello.Rank)})
+			return
+		}
+		if !deliver(inMsg{from: f.Rank, seq: f.Seq, stamp: f.Stamp, typ: f.Type, block: f.Blocks[0]}) {
+			return
+		}
+	}
+}
+
+// lookupSession waits briefly for the session to appear (defensive: the
+// protocol already orders registration before any peer traffic).
+func (w *Worker) lookupSession(id string) *session {
+	deadline := time.Now().Add(dialTimeout)
+	for {
+		w.mu.Lock()
+		s := w.sessions[id]
+		closed := w.closed
+		w.mu.Unlock()
+		if s != nil || closed || time.Now().After(deadline) {
+			return s
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
