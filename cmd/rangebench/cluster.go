@@ -1,0 +1,126 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/aggregates"
+	"repro/internal/cgm"
+	"repro/internal/core"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// ClusterModeRecord measures one execution mode of the TCP cluster.
+type ClusterModeRecord struct {
+	Mode            string  `json:"mode"` // fabric | resident
+	BuildMs         float64 `json:"build_ms"`
+	UsPerQuery      float64 `json:"us_per_query"`
+	CoordBytesQuery float64 `json:"coord_bytes_per_query"`
+}
+
+// ClusterRecord is the machine-readable record of the cluster benchmark
+// (BENCH_cluster.json): mixed batches over 4 localhost workers, fabric
+// vs worker-resident, with the coordinator's wire traffic per query —
+// the quantity residency exists to shrink.
+type ClusterRecord struct {
+	Experiment string              `json:"experiment"`
+	N          int                 `json:"n"`
+	Dims       int                 `json:"dims"`
+	P          int                 `json:"p"`
+	Queries    int                 `json:"queries"`
+	Batches    int                 `json:"batches"`
+	Modes      []ClusterModeRecord `json:"modes"`
+	// CoordDropX is fabric coordinator-bytes/query over resident's: how
+	// many times less traffic the coordinator carries under residency.
+	CoordDropX float64 `json:"coord_drop_x"`
+}
+
+// runClusterBench spins up in-process workers (real TCP on localhost)
+// and measures both execution modes.
+func runClusterBench(n, m, p, batches int) (*ClusterRecord, error) {
+	rec := &ClusterRecord{Experiment: "cluster", N: n, Dims: 2, P: p, Queries: m, Batches: batches}
+	pts := workload.Points(workload.PointSpec{N: n, Dims: 2, Dist: workload.Clustered, Seed: 7})
+	boxes := workload.Boxes(workload.QuerySpec{M: m, Dims: 2, N: n, Selectivity: 0.02, Seed: 11})
+	ops := make([]core.MixedOp, m)
+	for i := range ops {
+		ops[i] = core.MixedOp(i % 3)
+	}
+	// Each mode runs in its own scope so the fabric cluster (workers,
+	// sessions, built forest) is fully torn down before the resident
+	// measurement starts — the two timings never share a machine.
+	measure := func(resident bool) (ClusterModeRecord, error) {
+		mode := "fabric"
+		if resident {
+			mode = "resident"
+		}
+		mrec := ClusterModeRecord{Mode: mode}
+		workers := make([]*transport.Worker, p)
+		addrs := make([]string, p)
+		for i := range workers {
+			w, err := transport.ListenAndServe("127.0.0.1:0")
+			if err != nil {
+				return mrec, err
+			}
+			defer w.Close()
+			workers[i] = w
+			addrs[i] = w.Addr()
+		}
+		cl, err := transport.DialCluster(addrs, cgm.Config{Resident: resident})
+		if err != nil {
+			return mrec, err
+		}
+		defer cl.Close()
+		buildStart := time.Now()
+		tree, err := core.BuildOn(cl, pts, core.BackendLayered)
+		if err != nil {
+			return mrec, fmt.Errorf("%s build: %w", mode, err)
+		}
+		mrec.BuildMs = float64(time.Since(buildStart).Microseconds()) / 1e3
+		h := core.PrepareAssociativeNamed[float64](tree, aggregates.WeightSum)
+		core.MixedBatch(tree, h, ops, boxes) // warm copy caches
+		outBefore, inBefore := cl.CoordBytes()
+		start := time.Now()
+		for i := 0; i < batches; i++ {
+			core.MixedBatch(tree, h, ops, boxes)
+		}
+		wall := time.Since(start)
+		out, in := cl.CoordBytes()
+		queries := float64(batches * m)
+		mrec.UsPerQuery = float64(wall.Microseconds()) / queries
+		mrec.CoordBytesQuery = float64(out-outBefore+in-inBefore) / queries
+		return mrec, nil
+	}
+	for _, resident := range []bool{false, true} {
+		mrec, err := measure(resident)
+		if err != nil {
+			return nil, err
+		}
+		rec.Modes = append(rec.Modes, mrec)
+	}
+	if rec.Modes[1].CoordBytesQuery > 0 {
+		rec.CoordDropX = rec.Modes[0].CoordBytesQuery / rec.Modes[1].CoordBytesQuery
+	}
+	return rec, nil
+}
+
+// writeClusterJSON runs the cluster benchmark and writes the record.
+func writeClusterJSON(path string) error {
+	rec, err := runClusterBench(1<<13, 64, 4, 8)
+	if err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("cluster bench: fabric %.0f B/query, resident %.0f B/query (%.1fx drop) -> %s\n",
+		rec.Modes[0].CoordBytesQuery, rec.Modes[1].CoordBytesQuery, rec.CoordDropX, path)
+	return nil
+}

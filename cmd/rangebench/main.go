@@ -1,6 +1,6 @@
 // Command rangebench regenerates the paper's evaluation: every figure
 // (F1–F3) and every theorem-derived table (T1–T4b), plus the extension
-// experiments (E5–E10) indexed in DESIGN.md §8.
+// experiments (E5–E10) indexed in DESIGN.md §9.
 //
 // Usage:
 //
@@ -52,6 +52,8 @@ func main() {
 	jsonFlag := flag.Bool("json", false, "run E15 and E16 and write their machine-readable records to BENCH_phaseC.json and BENCH_store.json (then exit)")
 	jsonOut := flag.String("json-out", "BENCH_phaseC.json", "target path for the -json E15 record")
 	jsonStoreOut := flag.String("json-store-out", "BENCH_store.json", "target path for the -json E16 record")
+	clusterFlag := flag.Bool("cluster", false, "run the TCP cluster benchmark (4 localhost workers, fabric vs resident) and write its record (then exit)")
+	clusterOut := flag.String("cluster-out", "BENCH_cluster.json", "target path for the -cluster record")
 	flag.Parse()
 
 	var scale expt.Scale
@@ -63,6 +65,14 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "rangebench: unknown scale %q (want quick or full)\n", *scaleFlag)
 		os.Exit(2)
+	}
+
+	if *clusterFlag {
+		if err := writeClusterJSON(*clusterOut); err != nil {
+			fmt.Fprintf(os.Stderr, "rangebench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *jsonFlag {

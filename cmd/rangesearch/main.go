@@ -58,11 +58,11 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/aggregates"
 	"repro/internal/cgm"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/geom"
-	"repro/internal/semigroup"
 	"repro/internal/store"
 	"repro/internal/transport"
 	"repro/internal/workload"
@@ -85,6 +85,7 @@ func main() {
 	mutable := flag.Bool("mutable", false, "serve mode: serve from the updatable store (enables insert/delete/checkpoint)")
 	dir := flag.String("dir", "", "serve mode with -mutable: store directory (WAL + checkpoints); empty = ephemeral")
 	workers := flag.String("workers", "", "comma-separated rangeworker addresses; supersteps run over TCP on these processes (machine width = worker count, overriding -p)")
+	resident := flag.Bool("resident", false, "worker-resident execution: the forest lives where the SPMD programs run (worker memory with -workers) instead of coordinator memory")
 	flag.Parse()
 
 	pts, dims := loadPoints(*csvPath, *n, *d, *dist, *seed)
@@ -94,18 +95,22 @@ func main() {
 	if *workers != "" {
 		addrs := strings.Split(*workers, ",")
 		var err error
-		cluster, err = transport.DialCluster(addrs, cgm.Config{})
+		cluster, err = transport.DialCluster(addrs, cgm.Config{Resident: *resident})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rangesearch: %v\n", err)
 			os.Exit(1)
 		}
 		defer cluster.Close()
 		*p = cluster.P()
-		fmt.Printf("cluster: %d workers (%s)\n", cluster.P(), strings.Join(addrs, " "))
+		exMode := "fabric"
+		if *resident {
+			exMode = "resident"
+		}
+		fmt.Printf("cluster: %d workers, %s mode (%s)\n", cluster.P(), exMode, strings.Join(addrs, " "))
 	}
 
 	if *mode == "serve" && *mutable {
-		serveMutable(pts, dims, *p, *dir, cluster, engCfg)
+		serveMutable(pts, dims, *p, *dir, cluster, *resident, engCfg)
 		return
 	}
 	boxes := workload.Boxes(workload.QuerySpec{
@@ -121,7 +126,7 @@ func main() {
 			os.Exit(1)
 		}
 	} else {
-		mach = cgm.New(cgm.Config{P: *p})
+		mach = cgm.New(cgm.Config{P: *p, Resident: *resident})
 	}
 	start := time.Now()
 	dt := core.Build(mach, pts)
@@ -152,7 +157,7 @@ func main() {
 		}
 		fmt.Printf("count mode: %d queries, %d total matches\n", len(boxes), total)
 	case "sum":
-		h := core.PrepareAssociative(dt, semigroup.FloatSum(), workload.WeightOf)
+		h := prepareSum(dt)
 		sums := h.Batch(boxes)
 		grand := 0.0
 		for i, s := range sums {
@@ -187,17 +192,24 @@ func main() {
 // serve runs the line-oriented query loop on top of the micro-batching
 // engine over a frozen tree.
 func serve(dt *core.Tree, dims int, cfg engine.Config) {
-	h := core.PrepareAssociative(dt, semigroup.FloatSum(), workload.WeightOf)
+	h := prepareSum(dt)
 	eng := engine.WithAggregate(dt, h, cfg)
 	serveLoop(func(line string) string { return answerLine(eng, dims, line) }, nil,
 		func() { eng.Close() },
 		func() { printEngineStats(eng.Stats()) })
 }
 
+// prepareSum prepares the CLI's standard sum aggregate: the registered
+// "weight-sum" aggregate (required on resident trees, identical on
+// fabric ones).
+func prepareSum(dt *core.Tree) *core.AggHandle[float64] {
+	return core.PrepareAssociativeNamed[float64](dt, aggregates.WeightSum)
+}
+
 // serveMutable serves from the updatable store: queries pipeline through
 // the engine as usual, while insert/delete/checkpoint commands apply
 // synchronously in input order, so every later line observes them.
-func serveMutable(pts []geom.Point, dims, p int, dir string, cluster *transport.Cluster, cfg engine.Config) {
+func serveMutable(pts []geom.Point, dims, p int, dir string, cluster *transport.Cluster, resident bool, cfg engine.Config) {
 	// A durable store knows its own dimensionality: let the checkpoint
 	// decide first so a rerun need not repeat the original -d, and fall
 	// back to the flag only for a directory with no checkpoint yet.
@@ -205,6 +217,8 @@ func serveMutable(pts []geom.Point, dims, p int, dir string, cluster *transport.
 		c := store.Config{Dims: d, P: p}
 		if cluster != nil {
 			c.Provider = cluster
+		} else if resident {
+			c.Provider = cgm.NewLocalProvider(cgm.Config{P: p, Resident: true})
 		}
 		return c
 	}
@@ -223,13 +237,13 @@ func serveMutable(pts []geom.Point, dims, p int, dir string, cluster *transport.
 	// Seed only a brand-new store (version 0 = no mutation and no
 	// checkpoint ever); a durable store recovered to any prior state —
 	// including a legitimately emptied one — is served as recovered.
-	if st.Version() == 0 && st.Pin().N() == 0 {
+	if st.Version() == 0 && st.LiveN() == 0 {
 		if _, err := st.InsertBatch(pts); err != nil {
 			fmt.Fprintf(os.Stderr, "rangesearch: seeding store: %v\n", err)
 			os.Exit(1)
 		}
 	} else {
-		fmt.Printf("store: recovered %d live points at version %d\n", st.Pin().N(), st.Version())
+		fmt.Printf("store: recovered %d live points at version %d\n", st.LiveN(), st.Version())
 	}
 	eng := engine.NewStore(st, cfg)
 	isMutation := func(line string) bool {
@@ -431,7 +445,7 @@ func answerMutableLine(eng *engine.Engine[struct{}], st *store.Store, dims int, 
 		if err := st.Checkpoint(); err != nil {
 			return "error: " + err.Error()
 		}
-		return fmt.Sprintf("checkpoint at version %d (%d live points)", st.Version(), st.Pin().N())
+		return fmt.Sprintf("checkpoint at version %d (%d live points)", st.Version(), st.LiveN())
 	case "insert", "delete":
 		if len(fields) != 3 {
 			return fmt.Sprintf("error: want `%s id x1,..,x%d`, got %q", fields[0], dims, line)

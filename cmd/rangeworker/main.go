@@ -11,6 +11,12 @@
 //	rangeworker -listen 127.0.0.1:9102 &
 //	rangesearch -n 4096 -d 2 -mode serve -workers 127.0.0.1:9101,127.0.0.1:9102
 //
+// With a resident coordinator (rangesearch -resident, or any
+// cgm.Config{Resident: true} cluster) the worker is more than fabric: it
+// executes the registered SPMD programs' steps against per-session state,
+// holding its rank's part of the distributed forest in memory and serving
+// phase-C subqueries locally.
+//
 // SIGINT/SIGTERM shuts the worker down, tearing open sessions down
 // (coordinators observe a machine abort with a diagnostic).
 package main
@@ -21,6 +27,14 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+
+	// Resident execution resolves SPMD programs and named aggregates from
+	// the process registry: the worker must link the same registrations
+	// the coordinator plans with (core's forest program, the standard
+	// aggregates). A worker missing a program rejects its steps with a
+	// clear diagnostic instead of misbehaving.
+	_ "repro/internal/aggregates"
+	_ "repro/internal/core"
 
 	"repro/internal/transport"
 )

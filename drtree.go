@@ -82,6 +82,16 @@ const (
 // yields in-process simulators, a Cluster yields machines whose
 // supersteps run over TCP on real worker processes. The same SPMD
 // programs (construct, search, store compaction) run unchanged on either.
+//
+// Setting MachineConfig.Resident selects worker-resident execution on
+// either provider: the forest elements (and the store's level trees)
+// live where the registered SPMD programs execute — worker memory over
+// TCP, the machine's local state store on the loopback — and only query
+// boxes and result blocks cross the coordinator's wire. Answers and
+// round/h metrics are identical in both modes; aggregate queries on a
+// resident tree need a registered aggregate (RegisterAggregate +
+// PrepareAssociativeNamed), since inline monoids cannot cross process
+// boundaries.
 type MachineProvider = cgm.Provider
 
 // NewLocalProvider returns a provider of in-process machines.
@@ -215,9 +225,27 @@ type AggregateHandle[T any] = core.AggHandle[T]
 
 // PrepareAssociative precomputes the associative-function annotation
 // (Algorithm AssociativeFunction step 1) for monoid m with per-point value
-// val; the returned handle answers batches via Batch.
+// val; the returned handle answers batches via Batch. Resident trees need
+// PrepareAssociativeNamed instead.
 func PrepareAssociative[T any](t *Tree, m Monoid[T], val func(Point) T) *AggregateHandle[T] {
 	return core.PrepareAssociative(t, m, val)
+}
+
+// RegisterAggregate binds a name to a monoid and per-point value function
+// for worker-resident execution. Call it from an init function of a
+// package imported by every binary of the cluster (the coordinator and
+// each rangeworker), so both sides resolve the name to identical code;
+// internal/aggregates registers the standard ones.
+func RegisterAggregate[T any](name string, m Monoid[T], val func(Point) T) {
+	core.RegisterAggregate(name, m, val)
+}
+
+// PrepareAssociativeNamed prepares the associative-function annotation
+// for a registered aggregate. On a resident tree the per-element
+// annotations are built in worker memory; on a fabric tree it behaves
+// like PrepareAssociative with the registered monoid.
+func PrepareAssociativeNamed[T any](t *Tree, name string) *AggregateHandle[T] {
+	return core.PrepareAssociativeNamed[T](t, name)
 }
 
 // Mixed-mode batches: one machine run answering queries of all three
@@ -293,7 +321,7 @@ var (
 	MinInt   = semigroup.MinInt
 )
 
-// Extension structures (see DESIGN.md §8, experiments E11–E13).
+// Extension structures (see DESIGN.md §9, experiments E11–E13).
 
 // LayeredTree is the layered range tree the paper cites in §1: fractional
 // cascading removes a log n factor from the query time.

@@ -107,5 +107,31 @@ func main() {
 	st := eng.Stats()
 	fmt.Printf("engine over tcp: %d queries in %d machine batches, %d matches\n",
 		st.Submitted, st.Batches, hits)
-	fmt.Println("loopback and TCP agree on every answer and every metric")
+
+	// Step 5: the same cluster, worker-RESIDENT: a second dial with
+	// Resident set makes every machine execute the registered SPMD
+	// programs against worker memory — the forest builds into and serves
+	// from the worker processes, and phase-B/C blocks never transit the
+	// coordinator. Answers and metrics must still be identical.
+	resCluster, err := drtree.DialCluster(addrs, drtree.MachineConfig{Resident: true})
+	if err != nil {
+		log.Fatalf("dialing resident cluster: %v", err)
+	}
+	defer resCluster.Close()
+	resTree, err := drtree.ClusterBuild(resCluster, pts)
+	if err != nil {
+		log.Fatalf("resident cluster build: %v", err)
+	}
+	resTree.Machine().ResetMetrics()
+	resCounts := resTree.CountBatch(boxes)
+	for i := range boxes {
+		if counts[i] != resCounts[i] {
+			log.Fatalf("query %d diverges under residency", i)
+		}
+	}
+	rs := resTree.Machine().Metrics()
+	out, in := resCluster.CoordBytes()
+	fmt.Printf("resident: %d rounds ≡ loopback's count rounds, forest in worker memory, coordinator moved %d B total\n",
+		rs.CommRounds(), out+in)
+	fmt.Println("loopback, TCP-fabric and TCP-resident agree on every answer and every metric")
 }

@@ -149,7 +149,10 @@ func main() {
 	}
 	oracle := brute.New(flat)
 	boxes := drtree.GenerateBoxes(drtree.QuerySpec{M: 32, Dims: 2, N: 4 * n, Selectivity: 0.02, Seed: 999})
-	counts := re.CountBatch(boxes)
+	counts, err := re.CountBatch(boxes)
+	if err != nil {
+		panic(err)
+	}
 	mismatches := 0
 	for i, b := range boxes {
 		if counts[i] != int64(oracle.Count(b)) {
@@ -157,8 +160,8 @@ func main() {
 		}
 	}
 	fmt.Printf("  recovery: reopened %d live points at version %d; %d/%d oracle checks failed\n",
-		re.Pin().N(), re.Version(), mismatches, len(boxes))
-	if re.Pin().N() != len(flat) || mismatches > 0 {
+		re.LiveN(), re.Version(), mismatches, len(boxes))
+	if re.LiveN() != len(flat) || mismatches > 0 {
 		fmt.Println("  RECOVERY MISMATCH")
 		os.Exit(1)
 	}

@@ -121,8 +121,14 @@ func FuzzStoreMutate(f *testing.F) {
 				}
 				boxes[i] = drtree.Box{Lo: lo, Hi: hi}
 			}
-			counts := st.CountBatch(boxes)
-			reports := st.ReportBatch(boxes)
+			counts, err := st.CountBatch(boxes)
+			if err != nil {
+				t.Fatalf("count batch: %v", err)
+			}
+			reports, err := st.ReportBatch(boxes)
+			if err != nil {
+				t.Fatalf("report batch: %v", err)
+			}
 			for i, q := range boxes {
 				if counts[i] != int64(bf.Count(q)) {
 					t.Fatalf("count mismatch: d=%d p=%d box %v: %d vs %d", d, p, q, counts[i], bf.Count(q))
@@ -131,8 +137,8 @@ func FuzzStoreMutate(f *testing.F) {
 					t.Fatalf("report mismatch: d=%d p=%d box %v", d, p, q)
 				}
 			}
-			if st.Pin().N() != len(live) {
-				t.Fatalf("store claims %d live, oracle %d", st.Pin().N(), len(live))
+			if st.LiveN() != len(live) {
+				t.Fatalf("store claims %d live, oracle %d", st.LiveN(), len(live))
 			}
 		}
 

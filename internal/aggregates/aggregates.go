@@ -1,0 +1,35 @@
+// Package aggregates registers the standard named aggregates for
+// worker-resident execution. An aggregate's monoid and per-point value
+// function are Go code and cannot cross a process boundary, so resident
+// associative-function queries work by NAME (core.RegisterAggregate +
+// core.PrepareAssociativeNamed): every binary of a cluster — the
+// coordinator and each rangeworker — must import the package that
+// registers the aggregates it serves, so both sides resolve a name to
+// identical code. Importing this package (for effect) registers:
+//
+//	weight-sum   Σ workload.WeightOf(p) — the standard experiment weight
+//	count        Σ 1 (an int64 counting monoid; mostly for tests — the
+//	             counting MODE needs no handle)
+//
+// Application binaries register their own with core.RegisterAggregate
+// (drtree.RegisterAggregate) from an init function of a package imported
+// on both sides.
+package aggregates
+
+import (
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/semigroup"
+	"repro/internal/workload"
+)
+
+// Names of the standard aggregates.
+const (
+	WeightSum = "weight-sum"
+	CountSum  = "count"
+)
+
+func init() {
+	core.RegisterAggregate(WeightSum, semigroup.FloatSum(), workload.WeightOf)
+	core.RegisterAggregate(CountSum, semigroup.IntSum(), func(geom.Point) int64 { return 1 })
+}

@@ -55,6 +55,14 @@ type Config struct {
 	// in-process loopback transport. A Transport instance belongs to
 	// exactly one machine.
 	Transport Transport
+	// Resident selects worker-resident execution: forest parts (and other
+	// registered program state) live where the transport hosts them — in
+	// the worker processes for a wire transport, in the machine's local
+	// state store for the loopback — and the programs' local-computation
+	// steps dispatch there (internal/exec). The transport must implement
+	// ResidentTransport. Round and h accounting is unchanged: residency
+	// moves payload endpoints, never the superstep structure.
+	Resident bool
 }
 
 // Default BSP cost parameters: 50ns per exchanged record, 20µs per
@@ -68,10 +76,11 @@ const (
 // Machine is a CGM(s, p): p SPMD processor goroutines whose h-relations
 // travel over the machine's Transport.
 type Machine struct {
-	p    int
-	mode Mode
-	g, l float64
-	tr   Transport
+	p        int
+	mode     Mode
+	g, l     float64
+	tr       Transport
+	resident bool
 
 	mu      sync.Mutex
 	metrics Metrics
@@ -109,7 +118,16 @@ func New(cfg Config) *Machine {
 		panic("cgm: machine needs at least one processor")
 	}
 	if tr == nil {
-		tr = newLoopback(p)
+		lb := newLoopback(p)
+		if cfg.Resident {
+			lb.enableResident()
+		}
+		tr = lb
+	}
+	if cfg.Resident {
+		if _, ok := tr.(ResidentTransport); !ok {
+			panic("cgm: config wants resident execution but the transport hosts no program state")
+		}
 	}
 	g, l := cfg.G, cfg.L
 	if g == 0 {
@@ -118,7 +136,7 @@ func New(cfg Config) *Machine {
 	if l == 0 {
 		l = DefaultL
 	}
-	m := &Machine{p: p, mode: cfg.Mode, g: g, l: l, tr: tr}
+	m := &Machine{p: p, mode: cfg.Mode, g: g, l: l, tr: tr, resident: cfg.Resident}
 	m.metrics.WorkByProc = make([]time.Duration, p)
 	return m
 }
@@ -128,6 +146,10 @@ func (m *Machine) P() int { return m.p }
 
 // Mode reports the scheduling mode.
 func (m *Machine) Mode() Mode { return m.mode }
+
+// Resident reports whether the machine executes registered SPMD programs
+// against transport-resident state (worker memory on wire transports).
+func (m *Machine) Resident() bool { return m.resident }
 
 // Close releases the machine's transport (network sessions for wire
 // transports; a no-op for the in-process loopback).

@@ -1,0 +1,223 @@
+package cgm
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"reflect"
+
+	"repro/internal/exec"
+)
+
+// This file is the machine-side half of worker-resident execution
+// (internal/exec): the transport contract for hosting per-rank program
+// state, and the three primitives SPMD programs use against it —
+//
+//	CallResident     a pure remote step (no h-relation, no round)
+//	ExchangeCollect  deposit from the program, column consumed resident-side
+//	ExchangeSteps    deposit emitted AND column consumed resident-side
+//
+// The two exchange forms are ordinary supersteps to the machine: same
+// stamp discipline, same barrier structure, and sent/recv element counts
+// identical to a coordinator-side Exchange of the same rows — so Metrics
+// are byte-for-byte equal across {fabric, resident} by construction. What
+// residency changes is where the payload bytes originate and terminate:
+// on a wire transport they move worker-to-worker without ever transiting
+// the coordinator.
+
+// ResidentTransport is implemented by transports that host per-rank
+// program state (an exec state store per rank) where superstep payloads
+// can originate and terminate.
+type ResidentTransport interface {
+	Transport
+	// CallStep runs a registered pure step against rank's resident state.
+	CallStep(rank int, ref exec.Ref, args []byte) ([]byte, error)
+	// ExchangeResident runs one superstep whose column is consumed (and,
+	// when dep.Emit is set, whose deposit is produced) resident-side.
+	ExchangeResident(rank int, dep ResidentDeposit) (ResidentReply, error)
+}
+
+// ResidentDeposit is one rank's contribution to a resident superstep.
+type ResidentDeposit struct {
+	// Seq and Stamp mirror Deposit: the SPMD check compares them.
+	Seq   int
+	Stamp string
+	// Type names the exchanged element type when Blocks are provided;
+	// emit-resident deposits take it from the emit step's Outbox.
+	Type string
+	// Blocks is the coordinator-produced deposit (when Emit is nil). The
+	// self slot IS included — unlike a fabric deposit, the consumer is on
+	// the resident side, so the self-addressed block must travel too.
+	Blocks [][]byte
+	// Sent is the deposit's element count (when Emit is nil; emit-resident
+	// deposits are counted by the emit step).
+	Sent int
+	// Emit, when set, produces the deposit resident-side.
+	Emit     *exec.Ref
+	EmitArgs []byte
+	// Collect consumes the assembled column resident-side (always set).
+	Collect     *exec.Ref
+	CollectArgs []byte
+}
+
+// ResidentReply is what one rank gets back from a resident superstep.
+type ResidentReply struct {
+	// Reply is the collect step's encoded reply.
+	Reply []byte
+	// Note is the emit step's note (emit-resident only).
+	Note []byte
+	// Sent and Recv are the rank's element counts for h accounting.
+	Sent, Recv int
+}
+
+// residentTransport resolves the machine's transport as resident, failing
+// the run with a diagnostic when the machine was not configured for
+// residency.
+func (pr *Proc) residentTransport(what string) ResidentTransport {
+	m := pr.m
+	rt, ok := m.tr.(ResidentTransport)
+	if !ok || !m.resident {
+		m.fail(fmt.Sprintf("cgm: %s needs a resident machine (Config.Resident)", what))
+	}
+	return rt
+}
+
+// CallResident runs a registered pure step against the rank's resident
+// state — in the worker process on a wire transport, in the machine's
+// local state store on the loopback. It is not a collective: no superstep,
+// no communication round; the dispatch round-trip is charged as local
+// computation time.
+func CallResident[A any, R any](pr *Proc, ref exec.Ref, args A) R {
+	rt := pr.residentTransport("CallResident")
+	b, err := rt.CallStep(pr.rank, ref, exec.Marshal(args))
+	if err != nil {
+		pr.m.fail(fmt.Sprintf("cgm: resident step %s/%s on rank %d: %v", ref.Program, ref.Step, pr.rank, err))
+	}
+	r, err := exec.Unmarshal[R](b)
+	if err != nil {
+		pr.m.fail(fmt.Sprintf("cgm: resident step %s/%s reply: %v", ref.Program, ref.Step, err))
+	}
+	return r
+}
+
+// ResidentCall runs a registered step against rank's resident state
+// outside any machine run (structure inspection, point fetches). The
+// caller must guarantee no Run is in flight — the same single-use
+// contract Machine.Run itself has.
+func ResidentCall[A any, R any](m *Machine, rank int, ref exec.Ref, args A) (R, error) {
+	var zero R
+	rt, ok := m.tr.(ResidentTransport)
+	if !ok || !m.resident {
+		return zero, fmt.Errorf("cgm: machine is not resident")
+	}
+	b, err := rt.CallStep(rank, ref, exec.Marshal(args))
+	if err != nil {
+		return zero, fmt.Errorf("cgm: resident step %s/%s on rank %d: %w", ref.Program, ref.Step, rank, err)
+	}
+	return exec.Unmarshal[R](b)
+}
+
+// ExchangeCollect is a superstep whose deposit the program provides (as
+// typed rows, like Exchange) but whose assembled column is consumed by a
+// registered collect step where the rank's state lives; it returns the
+// collect step's reply. Exactly one communication round, with the same
+// label, stamp and element counts as Exchange of the same rows.
+func ExchangeCollect[T any, A any, R any](pr *Proc, label string, out [][]T, collect exec.Ref, cargs A) R {
+	m := pr.m
+	if len(out) != m.p {
+		panic(fmt.Sprintf("cgm: %s: out has %d destinations, machine has %d", label, len(out), m.p))
+	}
+	pr.residentTransport("ExchangeCollect")
+	pr.closeSegment()
+	pr.releaseToken()
+
+	stamp := fmt.Sprintf("%s#%d", label, pr.opSeq)
+	dep := ResidentDeposit{
+		Seq:         pr.opSeq,
+		Stamp:       stamp,
+		Type:        reflect.TypeOf((*T)(nil)).Elem().String(),
+		Collect:     &collect,
+		CollectArgs: exec.Marshal(cargs),
+	}
+	pr.opSeq++
+	sent := 0
+	for _, s := range out {
+		sent += len(s)
+	}
+	dep.Sent = sent
+	blocks := make([][]byte, len(out))
+	for j, part := range out {
+		// The self slot is encoded too: the consumer is resident-side.
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(part); err != nil {
+			m.fail(fmt.Sprintf("cgm: %s: encoding payload: %v", stamp, err))
+		}
+		blocks[j] = buf.Bytes()
+	}
+	dep.Blocks = blocks
+
+	rep := pr.runResident(label, dep)
+	r, err := exec.Unmarshal[R](rep.Reply)
+	if err != nil {
+		m.fail(fmt.Sprintf("cgm: %s: decoding collect reply: %v", stamp, err))
+	}
+	return r
+}
+
+// ExchangeSteps is a superstep whose deposit is produced by a registered
+// emit step AND whose column is consumed by a registered collect step,
+// both where the rank's state lives — the payload never touches the
+// coordinator on a wire transport. It returns the emit step's note and
+// the collect step's reply. Exactly one communication round; element
+// counts come from the emit and collect sides.
+func ExchangeSteps[EA any, CA any, R any](pr *Proc, label string, emit exec.Ref, eargs EA, collect exec.Ref, cargs CA) ([]byte, R) {
+	m := pr.m
+	pr.residentTransport("ExchangeSteps")
+	pr.closeSegment()
+	pr.releaseToken()
+
+	stamp := fmt.Sprintf("%s#%d", label, pr.opSeq)
+	dep := ResidentDeposit{
+		Seq:         pr.opSeq,
+		Stamp:       stamp,
+		Emit:        &emit,
+		EmitArgs:    exec.Marshal(eargs),
+		Collect:     &collect,
+		CollectArgs: exec.Marshal(cargs),
+	}
+	pr.opSeq++
+
+	rep := pr.runResident(label, dep)
+	r, err := exec.Unmarshal[R](rep.Reply)
+	if err != nil {
+		m.fail(fmt.Sprintf("cgm: %s: decoding collect reply: %v", stamp, err))
+	}
+	return rep.Note, r
+}
+
+// runResident performs the transport exchange and the superstep's
+// accounting tail (counts, metrics fold, barrier discipline) shared by
+// both resident exchange forms. The caller has already closed its local
+// segment and released the run token.
+func (pr *Proc) runResident(label string, dep ResidentDeposit) ResidentReply {
+	m := pr.m
+	rt := m.tr.(ResidentTransport)
+	rep, err := rt.ExchangeResident(pr.rank, dep)
+	if err != nil {
+		m.fail(err)
+	}
+	m.sent[pr.rank] = rep.Sent
+	m.recv[pr.rank] = rep.Recv
+
+	m.await() // everyone exchanged and counted
+
+	if pr.rank == 0 {
+		m.foldRound(label, false)
+	}
+
+	m.await() // metrics folded before anyone writes new segments
+
+	pr.acquireToken()
+	pr.resumeAt = nowAfterToken()
+	return rep
+}

@@ -3,6 +3,8 @@ package cgm
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/exec"
 )
 
 // Transport moves one superstep's payloads between the machine's p ranks.
@@ -78,19 +80,111 @@ type Column struct {
 // loopback is the default in-process transport: the machine's original
 // shared-slots + barrier machinery. Rows travel by reference, so it costs
 // one interface store and one pointer snapshot per rank per superstep.
+//
+// A resident loopback additionally hosts one exec state store per rank,
+// and runs the identical registered step programs a worker process would
+// — including the gob encode/decode of resident payloads — so loopback
+// and wire runs of a resident program execute the same code and account
+// the same counts.
 type loopback struct {
 	p     int
 	slots []Deposit
 	bar   *barrier
+
+	// Resident state (nil for fabric machines).
+	stores []*exec.Store
+	rslots []residentSlot
+}
+
+// residentSlot is one rank's deposit of a resident superstep.
+type residentSlot struct {
+	stamp, typ string
+	seq        int
+	blocks     [][]byte
+	self       any
 }
 
 func newLoopback(p int) *loopback { return &loopback{p: p} }
+
+// enableResident equips the loopback with per-rank state stores.
+func (lt *loopback) enableResident() {
+	lt.stores = make([]*exec.Store, lt.p)
+	for i := range lt.stores {
+		lt.stores[i] = exec.NewStore()
+	}
+}
+
+// CallStep runs a registered pure step against rank's local state store.
+func (lt *loopback) CallStep(rank int, ref exec.Ref, args []byte) ([]byte, error) {
+	if lt.stores == nil {
+		return nil, errors.New("cgm: loopback transport is not resident")
+	}
+	return lt.stores[rank].Call(rank, lt.p, ref, args)
+}
+
+// ExchangeResident runs one resident superstep in-process: emit steps (if
+// any) produce the deposits, the column is assembled from the shared
+// slots, and collect steps consume it — all against the per-rank stores.
+func (lt *loopback) ExchangeResident(rank int, dep ResidentDeposit) (ResidentReply, error) {
+	if lt.stores == nil {
+		return ResidentReply{}, errors.New("cgm: loopback transport is not resident")
+	}
+	rep := ResidentReply{Sent: dep.Sent}
+	slot := residentSlot{stamp: dep.Stamp, typ: dep.Type, seq: dep.Seq, blocks: dep.Blocks}
+	if dep.Emit != nil {
+		out, err := lt.stores[rank].RunEmit(rank, lt.p, *dep.Emit, dep.EmitArgs)
+		if err != nil {
+			return ResidentReply{}, err
+		}
+		slot.blocks, slot.self, slot.typ = out.Blocks, out.Self, out.Type
+		rep.Note = out.Note
+		rep.Sent = 0
+		for _, c := range out.Counts {
+			rep.Sent += c
+		}
+	}
+	lt.rslots[rank] = slot
+	if !lt.bar.await() { // everyone deposited
+		return ResidentReply{}, ErrAborted
+	}
+	if lt.rslots[rank].stamp != lt.rslots[0].stamp {
+		return ResidentReply{}, fmt.Errorf("SPMD violation: processor %d is at %q while processor 0 is at %q",
+			rank, lt.rslots[rank].stamp, lt.rslots[0].stamp)
+	}
+	if lt.rslots[rank].typ != lt.rslots[0].typ {
+		return ResidentReply{}, fmt.Errorf("SPMD violation: processor %d exchanged %s at %q where processor 0 exchanged %s",
+			rank, lt.rslots[rank].typ, lt.rslots[rank].stamp, lt.rslots[0].typ)
+	}
+	// Assemble this rank's column. As with the fabric snapshot, the
+	// machine's post-exchange barrier guarantees no rank deposits the next
+	// superstep before every rank has read this one.
+	col := make([][]byte, lt.p)
+	for j := 0; j < lt.p; j++ {
+		if j == rank {
+			if slot.self == nil {
+				col[j] = slot.blocks[j] // coordinator deposit ships self encoded
+			}
+			continue
+		}
+		col[j] = lt.rslots[j].blocks[rank]
+	}
+	reply, recv, err := lt.stores[rank].RunCollect(rank, lt.p, *dep.Collect,
+		&exec.Inbox{Blocks: col, Self: slot.self}, dep.CollectArgs)
+	if err != nil {
+		return ResidentReply{}, err
+	}
+	rep.Reply, rep.Recv = reply, recv
+	return rep, nil
+}
 
 func (lt *loopback) P() int     { return lt.p }
 func (lt *loopback) Wire() bool { return false }
 
 func (lt *loopback) Reset() error {
 	lt.slots = make([]Deposit, lt.p)
+	if lt.stores != nil {
+		lt.rslots = make([]residentSlot, lt.p)
+	}
 	lt.bar = newBarrier(lt.p)
 	return nil
 }

@@ -80,6 +80,7 @@ func BuildBackend(mach *cgm.Machine, pts []geom.Point, be Backend) *Tree {
 		mach:       mach,
 		n:          n,
 		dims:       dims,
+		resident:   mach.Resident(),
 		grain:      (n + p - 1) / p,
 		backend:    be,
 		procs:      make([]*procState, p),
@@ -112,6 +113,11 @@ func (t *Tree) construct(pr *cgm.Proc, pts []geom.Point) {
 		copyCache: make(map[ElemID]*element),
 	}
 	t.procs[rank] = ps
+	if t.resident {
+		// Reset the rank's resident part: this machine's forest is about
+		// to be built into it (a reused session must not merge forests).
+		cgm.CallResident[beginArgs, bool](pr, fref("construct/begin"), beginArgs{Backend: t.backend})
+	}
 
 	// Step 1: each processor starts with an arbitrary block of n/p points;
 	// every initial record belongs to the primary tree (index nil).
@@ -190,6 +196,7 @@ func (t *Tree) constructPhase(pr *cgm.Proc, ps *procState, recs []srec, j int, n
 			stubs = append(stubs, stubRef{tree: ti, stub: st})
 		}
 	}
+	var myInfos []ElemInfo // this rank's share of the phase (resident install)
 	for si, sr := range stubs {
 		id := nextElem + ElemID(si)
 		info := ElemInfo{
@@ -200,6 +207,9 @@ func (t *Tree) constructPhase(pr *cgm.Proc, ps *procState, recs []srec, j int, n
 			Key:   trees[sr.tree].Key.Extend(sr.stub.Node),
 		}
 		ps.info = append(ps.info, info)
+		if t.resident && int(info.Owner) == ps.rank {
+			myInfos = append(myInfos, info)
+		}
 	}
 
 	// Step 3: route every record to the owner of the element containing
@@ -229,28 +239,29 @@ func (t *Tree) constructPhase(pr *cgm.Proc, ps *procState, recs []srec, j int, n
 		owner := int(id) % p
 		out[owner] = append(out[owner], epoint{Elem: id, Pt: r.Pt})
 	}
-	incoming := cgm.Exchange(pr, lbl("route"), out)
-
 	// Step 4: sequentially construct the owned forest elements. Records
 	// arrive rank-major and sorted within each source; element point sets
 	// occupy contiguous global ranges, so concatenation is leaf order.
-	grouped := make(map[ElemID][]geom.Point)
-	for _, part := range incoming {
-		for _, ep := range part {
-			grouped[ep.Elem] = append(grouped[ep.Elem], ep.Pt)
-		}
-	}
+	// On a resident machine the same route superstep delivers its column
+	// to the construct/install step instead: the elements are built
+	// directly into the rank's resident state (worker memory over TCP)
+	// and only the stub metadata comes back.
 	var metas []elemMeta
-	for id, epts := range grouped {
-		info := ps.info[int(id)] // dense ids: index == id
-		if int32(len(epts)) != info.Count {
-			panic(fmt.Sprintf("core: element %d received %d points, expected %d", id, len(epts), info.Count))
+	var grouped map[ElemID][]geom.Point
+	if t.resident {
+		metas = cgm.ExchangeCollect[epoint, constructInstallArgs, []elemMeta](
+			pr, lbl("route"), out, fref("construct/install"),
+			constructInstallArgs{Backend: t.backend, Infos: myInfos})
+	} else {
+		incoming := cgm.Exchange(pr, lbl("route"), out)
+		var err error
+		grouped, metas, err = buildForestElements(t.backend,
+			func(id ElemID) (ElemInfo, bool) { return ps.info[int(id)], true }, // dense ids: index == id
+			incoming, func(el *element) { ps.elems[el.info.ID] = el })
+		if err != nil {
+			panic(err.Error())
 		}
-		el := &element{info: info, pts: epts, tree: buildElemTree(t.backend, epts, j)}
-		ps.elems[id] = el
-		metas = append(metas, elemMeta{Elem: id, Min: epts[0].X[j], Max: epts[len(epts)-1].X[j]})
 	}
-	slices.SortFunc(metas, func(a, b elemMeta) int { return cmp.Compare(a.Elem, b.Elem) })
 
 	// Steps 4–5: all-to-all broadcast of the forest roots (the hat's
 	// leaves); every processor completes its dimension-j hat trees.
@@ -268,24 +279,70 @@ func (t *Tree) constructPhase(pr *cgm.Proc, ps *procState, recs []srec, j int, n
 
 	// Step 7: create S^(j+1): every record walks from its stub's parent to
 	// the root of its segment tree, creating one record per hat-internal
-	// ancestor u with index path(u).
+	// ancestor u with index path(u). Resident machines compute the records
+	// where the points live and return them for the next phase's sort.
 	var next []srec
 	if j+1 < t.dims {
-		for _, id := range sortedElemIDs(grouped) {
-			el := ps.elems[id]
-			key := el.info.Key
-			comps := key.Components()
-			stubNode := int(comps[len(comps)-1])
-			treeKey := parentKey(key)
-			for u := segtree.Parent(stubNode); u >= 1; u = segtree.Parent(u) {
-				anchor := treeKey.Extend(u)
-				for _, pt := range el.pts {
-					next = append(next, srec{Pt: pt, Key: anchor})
-				}
+		if t.resident {
+			next = cgm.CallResident[nextArgs, []srec](pr, fref("construct/next"), nextArgs{Dim: int8(j)})
+		} else {
+			for _, id := range sortedElemIDs(grouped) {
+				next = nextDimRecords(ps.elems[id], next)
 			}
 		}
 	}
 	return next, nextElem + ElemID(len(stubs))
+}
+
+// buildForestElements is Construct step 4's body, shared by the fabric
+// branch and the resident install step (one policy, one source of
+// truth): group the phase's routed records by element, validate counts
+// against the replicated metadata, build the sequential trees, and
+// return the grouped points plus the stub metadata sorted by element.
+// Records arrive rank-major and sorted within each source; element
+// point sets occupy contiguous global ranges, so concatenation is leaf
+// order.
+func buildForestElements(be Backend, infoOf func(ElemID) (ElemInfo, bool), incoming [][]epoint,
+	install func(*element)) (map[ElemID][]geom.Point, []elemMeta, error) {
+	grouped := make(map[ElemID][]geom.Point)
+	for _, part := range incoming {
+		for _, ep := range part {
+			grouped[ep.Elem] = append(grouped[ep.Elem], ep.Pt)
+		}
+	}
+	var metas []elemMeta
+	for id, epts := range grouped {
+		info, ok := infoOf(id)
+		if !ok {
+			return nil, nil, fmt.Errorf("core: routed points for element %d this rank does not own", id)
+		}
+		if int32(len(epts)) != info.Count {
+			return nil, nil, fmt.Errorf("core: element %d received %d points, expected %d", id, len(epts), info.Count)
+		}
+		j := int(info.Dim)
+		install(&element{info: info, pts: epts, tree: buildElemTree(be, epts, j)})
+		metas = append(metas, elemMeta{Elem: id, Min: epts[0].X[j], Max: epts[len(epts)-1].X[j]})
+	}
+	slices.SortFunc(metas, func(a, b elemMeta) int { return cmp.Compare(a.Elem, b.Elem) })
+	return grouped, metas, nil
+}
+
+// nextDimRecords is Construct step 7's per-element walk, shared by the
+// fabric branch and the resident step: the element's points ascend from
+// the stub's parent to its segment tree's root, one S^(j+1) record per
+// hat-internal ancestor.
+func nextDimRecords(el *element, next []srec) []srec {
+	key := el.info.Key
+	comps := key.Components()
+	stubNode := int(comps[len(comps)-1])
+	treeKey := parentKey(key)
+	for u := segtree.Parent(stubNode); u >= 1; u = segtree.Parent(u) {
+		anchor := treeKey.Extend(u)
+		for _, pt := range el.pts {
+			next = append(next, srec{Pt: pt, Key: anchor})
+		}
+	}
+	return next
 }
 
 // sortedElemIDs returns the map keys in increasing order (deterministic

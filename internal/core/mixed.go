@@ -64,6 +64,33 @@ func (r *mixedRun[T]) dispatch(qid int32) procRun {
 func (r *mixedRun[T]) answerHat(q Query, s hatSel) { r.dispatch(q.ID).answerHat(q, s) }
 func (r *mixedRun[T]) answerSub(s subquery)        { r.dispatch(s.Query).answerSub(s) }
 
+// serveResident partitions the served subqueries by mode (preserving
+// relative order) and lets each embedded run serve its share through the
+// resident part. Whether each call happens is batch-global (the ops
+// vector is replicated), so the step traffic stays SPMD-uniform.
+func (r *mixedRun[T]) serveResident(pr *cgm.Proc, subs []subquery) {
+	var cnt, agg, rep []subquery
+	for _, s := range subs {
+		switch r.ops[s.Query] {
+		case OpAggregate:
+			agg = append(agg, s)
+		case OpReport:
+			rep = append(rep, s)
+		default:
+			cnt = append(cnt, s)
+		}
+	}
+	r.count.serveResident(pr, cnt)
+	if r.agg != nil {
+		r.agg.serveResident(pr, agg)
+	} else if len(agg) > 0 {
+		// Unreachable via MixedBatch (it rejects OpAggregate without a
+		// handle up front); fail as loudly as the fabric path would.
+		panic("core: aggregate subqueries served without a prepared AggHandle")
+	}
+	r.rep.serveResident(pr, rep)
+}
+
 func (r *mixedRun[T]) materialize(el *element) {
 	// Only the associative mode annotates copies; h's presence is a
 	// batch-global property, so this branch is SPMD-uniform.
@@ -90,6 +117,13 @@ type mixedMode[T any] struct {
 
 func (*mixedMode[T]) label() string { return "mixed" }
 
+func (m *mixedMode[T]) residentAggName() string {
+	if m.h != nil {
+		return m.h.name
+	}
+	return ""
+}
+
 func (m *mixedMode[T]) init(results []MixedResult[T]) {
 	if m.h == nil {
 		return
@@ -109,7 +143,7 @@ func (m *mixedMode[T]) start(t *Tree, ps *procState, st *SearchStats, results []
 			results[qid].Agg = m.h.m.Combine(results[qid].Agg, v)
 		})
 	}
-	r.rep = m.rep.startRun(ps, st)
+	r.rep = m.rep.startRun(t, ps, st)
 	return r
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"slices"
 
 	"repro/internal/balance"
@@ -69,6 +70,14 @@ func (r *countRun) answerSub(s subquery) {
 	r.pairs = append(r.pairs, qcount{Query: s.Query, Val: int64(elemCount(el, s.Box, &r.cv))})
 }
 
+func (r *countRun) serveResident(pr *cgm.Proc, subs []subquery) {
+	if len(subs) == 0 {
+		return
+	}
+	pairs := cgm.CallResident[serveArgs, []qcount](pr, fref("search/serveCount"), serveArgs{Subs: subs})
+	r.pairs = append(r.pairs, pairs...)
+}
+
 func (r *countRun) finish(pr *cgm.Proc) {
 	home := comm.SegmentedGather(pr, r.lbl+"/home", r.pairs, func(v qcount) int {
 		return homeOf(v.Query, r.nq, pr.P())
@@ -102,9 +111,12 @@ func (t *Tree) CountBatch(boxes []geom.Box) []int64 {
 // dimension d of T") materialized for one monoid. A Tree can carry any
 // number of handles.
 type AggHandle[T any] struct {
-	t   *Tree
-	m   semigroup.Monoid[T]
-	val func(geom.Point) T
+	t *Tree
+	// name is the registered-aggregate name for resident execution; ""
+	// on fabric trees prepared with an inline monoid.
+	name string
+	m    semigroup.Monoid[T]
+	val  func(geom.Point) T
 	// elemRoot[e] is f folded over all points of element e (replicated).
 	elemRoot []T
 	// elemAggs[rank] are the per-node annotations of owned elements.
@@ -131,10 +143,34 @@ func (h *AggHandle[T]) Tree() *Tree { return h.t }
 // PrepareAssociative runs step 1 of Algorithm AssociativeFunction: owners
 // annotate their forest elements sequentially, the forest-root values are
 // broadcast all-to-all, and every processor annotates its hat replica.
+// Resident trees cannot take an inline monoid (functions do not cross
+// process boundaries): use PrepareAssociativeNamed with a registered
+// aggregate instead.
 func PrepareAssociative[T any](t *Tree, mo semigroup.Monoid[T], val func(geom.Point) T) *AggHandle[T] {
+	if t.resident {
+		panic("core: a resident tree needs a registered aggregate: use RegisterAggregate + PrepareAssociativeNamed")
+	}
+	return prepareAssociative(t, "", mo, val)
+}
+
+// PrepareAssociativeNamed prepares the associative-function annotation
+// for a registered aggregate (RegisterAggregate). On a resident tree the
+// per-element annotations are built where the elements live; the hat
+// annotation is replicated coordinator-side as usual. Works on fabric
+// trees too, resolving the registered monoid by name.
+func PrepareAssociativeNamed[T any](t *Tree, name string) *AggHandle[T] {
+	reg, err := lookupAggregate[T](name)
+	if err != nil {
+		panic(fmt.Sprintf("core: PrepareAssociativeNamed: %v", err))
+	}
+	return prepareAssociative(t, name, reg.m, reg.val)
+}
+
+func prepareAssociative[T any](t *Tree, name string, mo semigroup.Monoid[T], val func(geom.Point) T) *AggHandle[T] {
 	p := t.P()
 	h := &AggHandle[T]{
 		t:          t,
+		name:       name,
 		m:          mo,
 		val:        val,
 		elemRoot:   make([]T, t.ElemCount()),
@@ -143,24 +179,24 @@ func PrepareAssociative[T any](t *Tree, mo semigroup.Monoid[T], val func(geom.Po
 		copyCache:  make([]map[ElemID]cachedAgg[T], p),
 		cacheEpoch: make([]uint64, p),
 	}
-	type rootVal struct {
-		Elem ElemID
-		Val  T
-	}
 	t.mach.Run(func(pr *cgm.Proc) {
 		ps := t.procs[pr.Rank()]
-		aggs := make(map[ElemID]elemAgg[T])
-		var roots []rootVal
-		for _, id := range sortedOwnedIDs(ps.elems) {
-			el := ps.elems[id]
-			aggs[id] = newElemAgg(el, mo, val)
-			acc := mo.Identity
-			for _, pt := range el.pts {
-				acc = mo.Combine(acc, val(pt))
+		var roots []aggRoot[T]
+		if t.resident {
+			roots = cgm.CallResident[aggPrepArgs, []aggRoot[T]](pr, fref("assoc/prepare"), aggPrepArgs{Name: name})
+		} else {
+			aggs := make(map[ElemID]elemAgg[T])
+			for _, id := range sortedOwnedIDs(ps.elems) {
+				el := ps.elems[id]
+				aggs[id] = newElemAgg(el, mo, val)
+				acc := mo.Identity
+				for _, pt := range el.pts {
+					acc = mo.Combine(acc, val(pt))
+				}
+				roots = append(roots, aggRoot[T]{Elem: id, Val: acc})
 			}
-			roots = append(roots, rootVal{Elem: id, Val: acc})
+			h.elemAggs[pr.Rank()] = aggs
 		}
-		h.elemAggs[pr.Rank()] = aggs
 		h.copyCache[pr.Rank()] = make(map[ElemID]cachedAgg[T])
 		all := comm.AllGatherFlat(pr, "assoc/roots", roots)
 		rootTab := make([]T, t.ElemCount())
@@ -260,6 +296,15 @@ func (r *assocRun[T]) answerSub(s subquery) {
 	r.pairs = append(r.pairs, qvalT[T]{Query: s.Query, Val: a.Query(s.Box)})
 }
 
+func (r *assocRun[T]) serveResident(pr *cgm.Proc, subs []subquery) {
+	if len(subs) == 0 {
+		return
+	}
+	pairs := cgm.CallResident[serveAggArgs, []qvalT[T]](pr, fref("search/serveAgg"),
+		serveAggArgs{Name: r.h.name, Subs: subs})
+	r.pairs = append(r.pairs, pairs...)
+}
+
 func (r *assocRun[T]) finish(pr *cgm.Proc) {
 	home := comm.SegmentedGather(pr, r.lbl+"/home", r.pairs, func(v qvalT[T]) int {
 		return homeOf(v.Query, r.nq, pr.P())
@@ -271,7 +316,8 @@ func (r *assocRun[T]) finish(pr *cgm.Proc) {
 
 type assocMode[T any] struct{ h *AggHandle[T] }
 
-func (assocMode[T]) label() string { return "assoc" }
+func (assocMode[T]) label() string             { return "assoc" }
+func (m assocMode[T]) residentAggName() string { return m.h.name }
 func (m assocMode[T]) init(results []T) {
 	for i := range results {
 		results[i] = m.h.m.Identity
@@ -318,14 +364,15 @@ type rlocal struct {
 // so each processor holds a contiguous ~k/p block of output (Algorithm
 // Report / Theorem 4).
 type reportRun struct {
-	ps     *procState
-	st     *SearchStats
-	lbl    string
-	sink   func(rank int, pairs []ReportPair)
-	orders []rorder
-	locals []rlocal
-	rv     reportVisitor // reused across served subqueries
-	stubs  []ElemID      // reused stub-expansion buffer
+	ps       *procState
+	st       *SearchStats
+	lbl      string
+	resident bool
+	sink     func(rank int, pairs []ReportPair)
+	orders   []rorder
+	locals   []rlocal
+	rv       reportVisitor // reused across served subqueries
+	stubs    []ElemID      // reused stub-expansion buffer
 }
 
 func (r *reportRun) answerHat(q Query, s hatSel) {
@@ -348,6 +395,14 @@ func (r *reportRun) answerSub(s subquery) {
 	if pts := elemReport(el, s.Box, &r.rv); len(pts) > 0 {
 		r.locals = append(r.locals, rlocal{Query: s.Query, Pts: pts})
 	}
+}
+
+func (r *reportRun) serveResident(pr *cgm.Proc, subs []subquery) {
+	if len(subs) == 0 {
+		return
+	}
+	locals := cgm.CallResident[serveArgs, []rlocal](pr, fref("search/serveReport"), serveArgs{Subs: subs})
+	r.locals = append(r.locals, locals...)
 }
 
 func (r *reportRun) finish(pr *cgm.Proc) {
@@ -392,9 +447,22 @@ func (r *reportRun) finish(pr *cgm.Proc) {
 	for _, l := range r.locals {
 		emit(l.Query, l.Pts, l.Off)
 	}
-	for _, o := range fetched {
-		el := ps.elems[o.Elem] // fetch orders always target the owner
-		emit(o.Query, el.pts, o.Off)
+	if r.resident && len(fetched) > 0 {
+		// The owner's points live in its resident part: one step call
+		// materializes every ordered element (this rank owns them all).
+		ids := make([]ElemID, len(fetched))
+		for i, o := range fetched {
+			ids[i] = o.Elem
+		}
+		parts := cgm.CallResident[fetchArgs, [][]geom.Point](pr, fref("points/fetch"), fetchArgs{Elems: ids})
+		for i, o := range fetched {
+			emit(o.Query, parts[i], o.Off)
+		}
+	} else {
+		for _, o := range fetched {
+			el := ps.elems[o.Elem] // fetch orders always target the owner
+			emit(o.Query, el.pts, o.Off)
+		}
 	}
 	in := cgm.Exchange(pr, r.lbl+"/pairs", out)
 	var mine []ReportPair
@@ -423,13 +491,13 @@ func newReportMode[R any](nq, p int, deliver func([]R, int32, []geom.Point)) *re
 func (*reportMode[R]) label() string { return "report" }
 func (*reportMode[R]) init([]R)      {}
 func (m *reportMode[R]) start(t *Tree, ps *procState, st *SearchStats, results []R) procRun {
-	return m.startRun(ps, st)
+	return m.startRun(t, ps, st)
 }
 
 // startRun builds the per-processor run; split out so the mixed mode can
 // embed report answering without duplicating phase D.
-func (m *reportMode[R]) startRun(ps *procState, st *SearchStats) *reportRun {
-	return &reportRun{ps: ps, st: st, lbl: m.label(),
+func (m *reportMode[R]) startRun(t *Tree, ps *procState, st *SearchStats) *reportRun {
+	return &reportRun{ps: ps, st: st, lbl: m.label(), resident: t.resident,
 		sink: func(rank int, pairs []ReportPair) { m.perProc[rank] = pairs }}
 }
 

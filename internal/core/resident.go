@@ -1,0 +1,551 @@
+package core
+
+import (
+	"cmp"
+	"fmt"
+	"slices"
+	"sync"
+	"time"
+
+	"repro/internal/cgm"
+	"repro/internal/exec"
+	"repro/internal/geom"
+	"repro/internal/semigroup"
+)
+
+// This file is the worker-resident half of the distributed range tree:
+// the registered SPMD program ("core/forest") whose per-rank state holds
+// the forest part — the element point sets, their sequential trees, the
+// phase-B copies and caches, and the associative-function annotations.
+//
+// On a resident machine (cgm.Config.Resident) the construct and search
+// pipelines keep their superstep structure on the coordinator — the hat
+// layer, the sorts, the demand/balance planning, the result collectives —
+// but every access to element state dispatches here: construction's
+// routed points are collected into worker memory (ExchangeCollect),
+// phase B ships copies worker-to-worker (ExchangeSteps), and phase C
+// serves subqueries where the trees live (CallResident), so only query
+// boxes and result blocks cross the coordinator's wire. On the loopback
+// transport the identical registered steps run in-process against the
+// machine's local state stores, which is what the cross-residency
+// equivalence tests pin down.
+
+// forestProgram names the registered program; forestVersion guards
+// against coordinator/worker binary skew.
+const (
+	forestProgram = "core/forest"
+	forestVersion = 1
+)
+
+// fref names one step of the forest program.
+func fref(step string) exec.Ref {
+	return exec.Ref{Program: forestProgram, Version: forestVersion, Step: step}
+}
+
+// residentPart is one rank's resident state: the element-holding half of
+// a procState, living where the program's steps run.
+type residentPart struct {
+	backend    Backend
+	elems      map[ElemID]*element
+	copies     map[ElemID]*element
+	copyCache  map[ElemID]*element
+	cacheEpoch uint64
+	aggs       map[string]*residentAggState
+}
+
+// lookup resolves an element from the owned part or the current copies.
+func (part *residentPart) lookup(id ElemID) *element {
+	if el, ok := part.elems[id]; ok {
+		return el
+	}
+	if el, ok := part.copies[id]; ok {
+		return el
+	}
+	panic(fmt.Sprintf("core: resident part asked to serve element %d it does not hold", id))
+}
+
+// agg resolves (creating if needed) the named aggregate's resident state.
+func (part *residentPart) agg(name string) *residentAggState {
+	ra, ok := part.aggs[name]
+	if !ok {
+		ra = &residentAggState{
+			elemAggs: make(map[ElemID]any),
+			cache:    make(map[ElemID]cachedAggAny),
+		}
+		part.aggs[name] = ra
+	}
+	return ra
+}
+
+// residentAggState is the resident counterpart of one AggHandle's
+// per-rank annotations: owned-element annotations, the per-batch copy
+// annotations, and the cross-batch annotation cache.
+type residentAggState struct {
+	elemAggs   map[ElemID]any // elemAgg[T], type-erased
+	copyAggs   map[ElemID]any
+	cache      map[ElemID]cachedAggAny
+	cacheEpoch uint64
+}
+
+// cachedAggAny is one cross-batch annotation cache entry (type-erased
+// mirror of cachedAgg[T]; an entry is only reused for the same built
+// tree instance).
+type cachedAggAny struct {
+	tree elemTree
+	agg  any
+}
+
+// Step argument and reply types. Everything crossing the seam is gob-
+// encoded by the exec codec, so all fields are exported.
+
+// beginArgs resets the part for a fresh construction.
+type beginArgs struct {
+	Backend Backend
+}
+
+// constructInstallArgs accompanies one construction phase's routed
+// points: the replicated metadata of the elements this rank owns in the
+// phase (the collect side builds exactly these).
+type constructInstallArgs struct {
+	Backend Backend
+	Infos   []ElemInfo
+}
+
+// nextArgs asks for the S^(j+1) records of the owned dimension-j
+// elements (Construct step 7, executed where the points live).
+type nextArgs struct {
+	Dim int8
+}
+
+// shipGroupArgs drives the GroupLevel phase-B emit: ship the whole owned
+// part to each listed host (self already excluded by the coordinator).
+type shipGroupArgs struct {
+	Hosts []int32
+}
+
+// elemShip is one element's copy fan-out of the ElementLevel emit.
+type elemShip struct {
+	Elem  ElemID
+	Hosts []int32
+}
+
+// shipElemsArgs drives the ElementLevel phase-B emit.
+type shipElemsArgs struct {
+	Ships []elemShip
+}
+
+// copyNote returns the emit side's shipped-copy volume (the
+// LastCopiedPoints counter).
+type copyNote struct {
+	CopiedPts int
+}
+
+// installCopiesArgs parametrises the phase-B collect: the tree epoch and
+// cache bound (mirroring installCopies) plus the aggregate the batch
+// serves, if any ("" = none).
+type installCopiesArgs struct {
+	Epoch uint64
+	Cap   int
+	Agg   string
+}
+
+// installCopiesReply reports the install statistics phase B feeds into
+// SearchStats.
+type installCopiesReply struct {
+	Held         int
+	CacheHits    int
+	InstallNanos int64
+}
+
+// serveArgs routes one rank's served subqueries to its resident part.
+type serveArgs struct {
+	Subs []subquery
+}
+
+// serveAggArgs is serveArgs for a named aggregate.
+type serveAggArgs struct {
+	Name string
+	Subs []subquery
+}
+
+// aggPrepArgs asks the part to annotate its owned elements for a named
+// aggregate (Algorithm AssociativeFunction step 1, resident side).
+type aggPrepArgs struct {
+	Name string
+}
+
+// aggRoot carries one element's root aggregate value back to the
+// coordinator (the forest-root broadcast of step 1). It is also the
+// fabric path's record type, so both paths exchange identical rows.
+type aggRoot[T any] struct {
+	Elem ElemID
+	Val  T
+}
+
+// fetchArgs asks for the points of owned elements, aligned with Elems.
+type fetchArgs struct {
+	Elems []ElemID
+}
+
+// elemStat reports one owned element's size (space accounting).
+type elemStat struct {
+	ID    ElemID
+	Nodes int
+	Pts   int
+}
+
+func init() {
+	exec.Register(&exec.Program{
+		Name:    forestProgram,
+		Version: forestVersion,
+		New: func(rank, p int) any {
+			return &residentPart{
+				elems:     make(map[ElemID]*element),
+				copies:    make(map[ElemID]*element),
+				copyCache: make(map[ElemID]*element),
+				aggs:      make(map[string]*residentAggState),
+			}
+		},
+		Steps: map[string]exec.Step{
+			"construct/begin":    exec.Pure(constructBeginStep),
+			"construct/next":     exec.Pure(constructNextStep),
+			"search/serveCount":  exec.Pure(serveCountStep),
+			"search/serveReport": exec.Pure(serveReportStep),
+			"search/serveAgg":    serveAggStep,
+			"assoc/prepare":      aggPrepareStep,
+			"points/fetch":       exec.Pure(fetchPointsStep),
+			"stats/elems":        exec.Pure(elemStatsStep),
+		},
+		Emits: map[string]exec.Emit{
+			"search/shipGroup": exec.Emitter(shipGroupStep),
+			"search/shipElems": exec.Emitter(shipElemsStep),
+		},
+		Collects: map[string]exec.Collect{
+			"construct/install": exec.Collector(constructInstallStep),
+			"search/install":    exec.Collector(installCopiesStep),
+		},
+	})
+}
+
+// constructBeginStep resets the part for a fresh construction (a machine
+// rebuilt on — e.g. persist.Load — must not merge two forests).
+func constructBeginStep(part *residentPart, _ *exec.Ctx, args beginArgs) (bool, error) {
+	part.backend = args.Backend
+	part.elems = make(map[ElemID]*element)
+	part.copies = make(map[ElemID]*element)
+	part.copyCache = make(map[ElemID]*element)
+	part.cacheEpoch = 0
+	part.aggs = make(map[string]*residentAggState)
+	return true, nil
+}
+
+// constructInstallStep is Construct step 4 on the resident side: the
+// routed records of one phase arrive as the superstep's column, and the
+// owned forest elements are built sequentially into worker memory. It
+// returns the stub metadata (the hat's leaves) for the roots broadcast.
+func constructInstallStep(part *residentPart, _ *exec.Ctx, args constructInstallArgs, incoming [][]epoint) ([]elemMeta, error) {
+	part.backend = args.Backend
+	byID := make(map[ElemID]ElemInfo, len(args.Infos))
+	for _, info := range args.Infos {
+		byID[info.ID] = info
+	}
+	_, metas, err := buildForestElements(part.backend,
+		func(id ElemID) (ElemInfo, bool) { info, ok := byID[id]; return info, ok },
+		incoming, func(el *element) { part.elems[el.info.ID] = el })
+	return metas, err
+}
+
+// constructNextStep is Construct step 7 on the resident side: every owned
+// dimension-j element walks its hat-internal ancestors and emits one
+// S^(j+1) record per (ancestor, point) — computed where the points live,
+// returned to the coordinator whose next phase sorts them.
+func constructNextStep(part *residentPart, _ *exec.Ctx, args nextArgs) ([]srec, error) {
+	var ids []ElemID
+	for id, el := range part.elems {
+		if el.info.Dim == args.Dim {
+			ids = append(ids, id)
+		}
+	}
+	slices.SortFunc(ids, func(a, b ElemID) int { return cmp.Compare(a, b) })
+	var next []srec
+	for _, id := range ids {
+		next = nextDimRecords(part.elems[id], next)
+	}
+	return next, nil
+}
+
+// shipGroupStep is the GroupLevel phase-B emit: the owner ships its whole
+// part to every host of one of its copy slots (Search step 3), straight
+// from worker memory into the fabric.
+func shipGroupStep(part *residentPart, c *exec.Ctx, args shipGroupArgs) ([][]shippedElem, []byte, error) {
+	out := make([][]shippedElem, c.P)
+	ids := sortedOwnedIDs(part.elems)
+	copiedPts := 0
+	for _, host := range args.Hosts {
+		for _, id := range ids {
+			el := part.elems[id]
+			out[host] = append(out[host], shippedElem{Info: el.info, Pts: el.pts})
+			copiedPts += len(el.pts)
+		}
+	}
+	return out, exec.Marshal(copyNote{CopiedPts: copiedPts}), nil
+}
+
+// shipElemsStep is the ElementLevel phase-B emit: only demanded elements
+// ship, each to the hosts of its slots.
+func shipElemsStep(part *residentPart, c *exec.Ctx, args shipElemsArgs) ([][]shippedElem, []byte, error) {
+	out := make([][]shippedElem, c.P)
+	copiedPts := 0
+	for _, ship := range args.Ships {
+		el, ok := part.elems[ship.Elem]
+		if !ok {
+			return nil, nil, fmt.Errorf("core: resident emit asked to ship element %d this rank does not own", ship.Elem)
+		}
+		for _, host := range ship.Hosts {
+			out[host] = append(out[host], shippedElem{Info: el.info, Pts: el.pts})
+			copiedPts += len(el.pts)
+		}
+	}
+	return out, exec.Marshal(copyNote{CopiedPts: copiedPts}), nil
+}
+
+// installCopiesStep is the phase-B collect: install the shipped copies
+// into worker memory, mirroring Tree.installCopies — cache-valid elements
+// are reused, everything else is built on the part's backend and cached;
+// the epoch sweep and cap bound are the coordinator's. When the batch
+// serves a named aggregate, each installed copy is annotated too
+// (the resident counterpart of the modes' materialize hook).
+func installCopiesStep(part *residentPart, _ *exec.Ctx, args installCopiesArgs, incoming [][]shippedElem) (installCopiesReply, error) {
+	var rep installCopiesReply
+	part.copies = make(map[ElemID]*element)
+	var materialize func(*element)
+	if args.Agg != "" {
+		spec, err := lookupAggSpec(args.Agg)
+		if err != nil {
+			return rep, err
+		}
+		ra := part.agg(args.Agg)
+		ra.copyAggs = make(map[ElemID]any)
+		if ra.cacheEpoch != args.Epoch {
+			clear(ra.cache)
+			ra.cacheEpoch = args.Epoch
+		}
+		materialize = func(el *element) { spec.annotateCopy(ra, el, args.Cap) }
+	}
+	start := time.Now()
+	rep.CacheHits = installShipped(part.backend, part.copies, part.copyCache, &part.cacheEpoch,
+		args.Epoch, args.Cap, incoming, materialize)
+	rep.InstallNanos = time.Since(start).Nanoseconds()
+	rep.Held = len(part.copies)
+	return rep, nil
+}
+
+// serveCountStep answers counting subqueries from the resident part
+// (phase C where the trees live).
+func serveCountStep(part *residentPart, _ *exec.Ctx, args serveArgs) ([]qcount, error) {
+	var cv countVisitor
+	pairs := make([]qcount, 0, len(args.Subs))
+	for _, s := range args.Subs {
+		el := part.lookup(s.Elem)
+		pairs = append(pairs, qcount{Query: s.Query, Val: int64(elemCount(el, s.Box, &cv))})
+	}
+	return pairs, nil
+}
+
+// serveReportStep answers report subqueries from the resident part; only
+// non-empty results return (mirroring the fabric hook).
+func serveReportStep(part *residentPart, _ *exec.Ctx, args serveArgs) ([]rlocal, error) {
+	var rv reportVisitor
+	var out []rlocal
+	for _, s := range args.Subs {
+		el := part.lookup(s.Elem)
+		if pts := elemReport(el, s.Box, &rv); len(pts) > 0 {
+			out = append(out, rlocal{Query: s.Query, Pts: pts})
+		}
+	}
+	return out, nil
+}
+
+// serveAggStep answers aggregate subqueries through the named aggregate's
+// resident annotations. The reply is spec-encoded ([]qvalT[T]); the
+// coordinator decodes it with the registration's type.
+func serveAggStep(c *exec.Ctx, raw []byte) ([]byte, error) {
+	args, err := exec.Unmarshal[serveAggArgs](raw)
+	if err != nil {
+		return nil, err
+	}
+	part := c.State.(*residentPart)
+	spec, err := lookupAggSpec(args.Name)
+	if err != nil {
+		return nil, err
+	}
+	return spec.serve(part, part.agg(args.Name), args.Subs)
+}
+
+// aggPrepareStep annotates the owned elements for a named aggregate and
+// returns the spec-encoded forest-root values ([]aggRoot[T]).
+func aggPrepareStep(c *exec.Ctx, raw []byte) ([]byte, error) {
+	args, err := exec.Unmarshal[aggPrepArgs](raw)
+	if err != nil {
+		return nil, err
+	}
+	part := c.State.(*residentPart)
+	spec, err := lookupAggSpec(args.Name)
+	if err != nil {
+		return nil, err
+	}
+	return spec.prepare(part, part.agg(args.Name))
+}
+
+// fetchPointsStep returns the points of owned elements, aligned with the
+// request (report-mode whole-element orders, AllPoints, Verify).
+func fetchPointsStep(part *residentPart, _ *exec.Ctx, args fetchArgs) ([][]geom.Point, error) {
+	out := make([][]geom.Point, len(args.Elems))
+	for i, id := range args.Elems {
+		el, ok := part.elems[id]
+		if !ok {
+			return nil, fmt.Errorf("core: resident fetch asked for element %d this rank does not own", id)
+		}
+		out[i] = el.pts
+	}
+	return out, nil
+}
+
+// elemStatsStep reports the owned elements' sizes in ID order (the
+// Theorem 1 space accounting helpers).
+func elemStatsStep(part *residentPart, _ *exec.Ctx, _ bool) ([]elemStat, error) {
+	ids := sortedOwnedIDs(part.elems)
+	out := make([]elemStat, 0, len(ids))
+	for _, id := range ids {
+		el := part.elems[id]
+		out = append(out, elemStat{ID: id, Nodes: el.tree.Nodes(), Pts: len(el.pts)})
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------- named
+// aggregates
+//
+// The associative-function mode folds an arbitrary Go monoid — which
+// cannot cross a process boundary. Resident execution therefore works on
+// REGISTERED aggregates: RegisterAggregate binds a name to a (monoid,
+// value function) pair in every binary that imports the registering
+// package (internal/aggregates registers the standard ones; cmd binaries
+// import it), and PrepareAssociativeNamed prepares by name, so the worker
+// resolves the identical functions the coordinator planned with.
+
+// aggSpec is the type-erased resident behavior of one registered
+// aggregate.
+type aggSpec interface {
+	prepare(part *residentPart, ra *residentAggState) ([]byte, error)
+	annotateCopy(ra *residentAggState, el *element, cap int)
+	serve(part *residentPart, ra *residentAggState, subs []subquery) ([]byte, error)
+}
+
+// aggImpl implements aggSpec for one monoid instantiation.
+type aggImpl[T any] struct {
+	m   semigroup.Monoid[T]
+	val func(geom.Point) T
+}
+
+func (a aggImpl[T]) prepare(part *residentPart, ra *residentAggState) ([]byte, error) {
+	ra.elemAggs = make(map[ElemID]any)
+	var roots []aggRoot[T]
+	for _, id := range sortedOwnedIDs(part.elems) {
+		el := part.elems[id]
+		ra.elemAggs[id] = newElemAgg(el, a.m, a.val)
+		acc := a.m.Identity
+		for _, pt := range el.pts {
+			acc = a.m.Combine(acc, a.val(pt))
+		}
+		roots = append(roots, aggRoot[T]{Elem: id, Val: acc})
+	}
+	return exec.Marshal(roots), nil
+}
+
+func (a aggImpl[T]) annotateCopy(ra *residentAggState, el *element, cap int) {
+	if c, ok := ra.cache[el.info.ID]; ok && c.tree == el.tree {
+		ra.copyAggs[el.info.ID] = c.agg
+		return
+	}
+	ag := newElemAgg(el, a.m, a.val)
+	cacheInsert(ra.cache, el.info.ID, cachedAggAny{tree: el.tree, agg: ag}, cap)
+	ra.copyAggs[el.info.ID] = ag
+}
+
+func (a aggImpl[T]) serve(part *residentPart, ra *residentAggState, subs []subquery) ([]byte, error) {
+	pairs := make([]qvalT[T], 0, len(subs))
+	for _, s := range subs {
+		ag, ok := ra.elemAggs[s.Elem]
+		if !ok {
+			ag, ok = ra.copyAggs[s.Elem]
+		}
+		if !ok {
+			return nil, fmt.Errorf("core: element %d served without a resident annotation (aggregate not prepared?)", s.Elem)
+		}
+		pairs = append(pairs, qvalT[T]{Query: s.Query, Val: ag.(elemAgg[T]).Query(s.Box)})
+	}
+	return exec.Marshal(pairs), nil
+}
+
+// aggRegistration is the coordinator-side typed half of a registered
+// aggregate.
+type aggRegistration[T any] struct {
+	m   semigroup.Monoid[T]
+	val func(geom.Point) T
+}
+
+var (
+	aggRegMu sync.RWMutex
+	aggSpecs = make(map[string]aggSpec)
+	aggTyped = make(map[string]any)
+)
+
+// RegisterAggregate binds a name to a monoid and per-point value function
+// for resident execution. Register the same name in every binary of the
+// cluster (coordinator and workers) — package init functions are the
+// natural place. Registering a name twice panics.
+func RegisterAggregate[T any](name string, m semigroup.Monoid[T], val func(geom.Point) T) {
+	aggRegMu.Lock()
+	defer aggRegMu.Unlock()
+	if _, dup := aggSpecs[name]; dup {
+		panic(fmt.Sprintf("core: aggregate %q registered twice", name))
+	}
+	aggSpecs[name] = aggImpl[T]{m: m, val: val}
+	aggTyped[name] = aggRegistration[T]{m: m, val: val}
+}
+
+// lookupAggSpec resolves the type-erased resident behavior.
+func lookupAggSpec(name string) (aggSpec, error) {
+	aggRegMu.RLock()
+	defer aggRegMu.RUnlock()
+	spec, ok := aggSpecs[name]
+	if !ok {
+		return nil, fmt.Errorf("core: aggregate %q not registered (is the registering package imported by this binary?)", name)
+	}
+	return spec, nil
+}
+
+// lookupAggregate resolves the typed coordinator-side registration.
+func lookupAggregate[T any](name string) (aggRegistration[T], error) {
+	aggRegMu.RLock()
+	defer aggRegMu.RUnlock()
+	reg, ok := aggTyped[name]
+	if !ok {
+		return aggRegistration[T]{}, fmt.Errorf("core: aggregate %q not registered", name)
+	}
+	typed, ok := reg.(aggRegistration[T])
+	if !ok {
+		return aggRegistration[T]{}, fmt.Errorf("core: aggregate %q is registered with a different value type", name)
+	}
+	return typed, nil
+}
+
+// residentElemPoints fetches the points of the given elements from their
+// resident rank (callers outside machine runs; one call per rank).
+func (t *Tree) residentElemPoints(rank int, ids []ElemID) ([][]geom.Point, error) {
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	return cgm.ResidentCall[fetchArgs, [][]geom.Point](t.mach, rank, fref("points/fetch"), fetchArgs{Elems: ids})
+}

@@ -1,0 +1,208 @@
+package core_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/brute"
+	"repro/internal/cgm"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/semigroup"
+	"repro/internal/workload"
+)
+
+// The aggregate used across residency tests; registered once per process.
+func init() {
+	core.RegisterAggregate("test/weight-sum", semigroup.FloatSum(), workload.WeightOf)
+}
+
+// residentFixture builds twin trees — fabric and resident — on loopback
+// machines over the same points.
+type residentFixture struct {
+	fab, res   *core.Tree
+	fabM, resM *cgm.Machine
+	pts        []geom.Point
+}
+
+func newResidentFixture(t *testing.T, n, d, p int, seed int64) *residentFixture {
+	t.Helper()
+	pts := workload.Points(workload.PointSpec{N: n, Dims: d, Dist: workload.Clustered, Seed: seed})
+	fabM := cgm.New(cgm.Config{P: p})
+	resM := cgm.New(cgm.Config{P: p, Resident: true})
+	fx := &residentFixture{
+		fab:  core.Build(fabM, pts),
+		res:  core.Build(resM, pts),
+		fabM: fabM,
+		resM: resM,
+		pts:  pts,
+	}
+	return fx
+}
+
+func assertSameMetrics(t *testing.T, phase string, a, b cgm.Metrics) {
+	t.Helper()
+	if len(a.Rounds) != len(b.Rounds) {
+		t.Fatalf("%s: fabric folded %d rounds, resident %d", phase, len(a.Rounds), len(b.Rounds))
+	}
+	for i := range a.Rounds {
+		x, y := a.Rounds[i], b.Rounds[i]
+		if x.Label != y.Label || x.MaxH != y.MaxH || x.TotalElems != y.TotalElems || x.Final != y.Final {
+			t.Fatalf("%s round %d diverges:\n  fabric   {%s h=%d vol=%d}\n  resident {%s h=%d vol=%d}",
+				phase, i, x.Label, x.MaxH, x.TotalElems, y.Label, y.MaxH, y.TotalElems)
+		}
+	}
+}
+
+// TestResidentEquivalenceLoopback: the registered resident programs must
+// produce identical answers AND identical round/h/volume metrics to the
+// fabric pipeline, for construction and all result modes, across widths,
+// dimensionalities and both balance granularities.
+func TestResidentEquivalenceLoopback(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		for _, d := range []int{2, 3} {
+			t.Run(fmt.Sprintf("p=%d/d=%d", p, d), func(t *testing.T) {
+				n, m := 400, 40
+				fx := newResidentFixture(t, n, d, p, 7)
+				if err := fx.res.Verify(); err != nil {
+					t.Fatalf("resident tree fails Verify: %v", err)
+				}
+				assertSameMetrics(t, "construct", fx.fabM.Metrics(), fx.resM.Metrics())
+				fx.fabM.ResetMetrics()
+				fx.resM.ResetMetrics()
+
+				boxes := workload.Boxes(workload.QuerySpec{M: m, Dims: d, N: n, Selectivity: 0.08, Seed: 3})
+
+				fc, rc := fx.fab.CountBatch(boxes), fx.res.CountBatch(boxes)
+				for i := range fc {
+					if fc[i] != rc[i] {
+						t.Fatalf("count %d: fabric %d resident %d", i, fc[i], rc[i])
+					}
+				}
+
+				fh := core.PrepareAssociativeNamed[float64](fx.fab, "test/weight-sum")
+				rh := core.PrepareAssociativeNamed[float64](fx.res, "test/weight-sum")
+				fa, ra := fh.Batch(boxes), rh.Batch(boxes)
+				for i := range fa {
+					if math.Abs(fa[i]-ra[i]) > 1e-9 {
+						t.Fatalf("aggregate %d: fabric %v resident %v", i, fa[i], ra[i])
+					}
+				}
+
+				fr, rr := fx.fab.ReportBatch(boxes), fx.res.ReportBatch(boxes)
+				for i := range fr {
+					if len(fr[i]) != len(rr[i]) {
+						t.Fatalf("report %d: fabric %d pts, resident %d", i, len(fr[i]), len(rr[i]))
+					}
+					for j := range fr[i] {
+						if fr[i][j].ID != rr[i][j].ID {
+							t.Fatalf("report %d pt %d: fabric id %d resident id %d", i, j, fr[i][j].ID, rr[i][j].ID)
+						}
+					}
+				}
+
+				assertSameMetrics(t, "search", fx.fabM.Metrics(), fx.resM.Metrics())
+
+				// Mixed batch, both balance granularities.
+				for _, bm := range []core.BalanceMode{core.GroupLevel, core.ElementLevel} {
+					fx.fab.SetBalanceMode(bm)
+					fx.res.SetBalanceMode(bm)
+					ops := make([]core.MixedOp, len(boxes))
+					for i := range ops {
+						ops[i] = core.MixedOp(i % 3)
+					}
+					fm := core.MixedBatch(fx.fab, fh, ops, boxes)
+					rm := core.MixedBatch(fx.res, rh, ops, boxes)
+					for i := range fm {
+						switch ops[i] {
+						case core.OpCount:
+							if fm[i].Count != rm[i].Count {
+								t.Fatalf("bm=%v mixed count %d: %d vs %d", bm, i, fm[i].Count, rm[i].Count)
+							}
+						case core.OpAggregate:
+							if math.Abs(fm[i].Agg-rm[i].Agg) > 1e-9 {
+								t.Fatalf("bm=%v mixed agg %d: %v vs %v", bm, i, fm[i].Agg, rm[i].Agg)
+							}
+						case core.OpReport:
+							if len(fm[i].Pts) != len(rm[i].Pts) {
+								t.Fatalf("bm=%v mixed report %d: %d vs %d pts", bm, i, len(fm[i].Pts), len(rm[i].Pts))
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestResidentAllPointsAndStats: the out-of-run resident accessors fetch
+// from worker memory and agree with the fabric twin.
+func TestResidentAllPointsAndStats(t *testing.T) {
+	fx := newResidentFixture(t, 300, 2, 4, 11)
+	fp, rp := fx.fab.AllPoints(), fx.res.AllPoints()
+	if len(fp) != len(rp) {
+		t.Fatalf("AllPoints: fabric %d resident %d", len(fp), len(rp))
+	}
+	for i := range fp {
+		if fp[i].ID != rp[i].ID {
+			t.Fatalf("AllPoints order diverges at %d: %d vs %d", i, fp[i].ID, rp[i].ID)
+		}
+	}
+	fn, rn := fx.fab.ForestPartNodes(), fx.res.ForestPartNodes()
+	for i := range fn {
+		if fn[i] != rn[i] {
+			t.Fatalf("ForestPartNodes[%d]: fabric %d resident %d", i, fn[i], rn[i])
+		}
+	}
+	fpts, rpts := fx.fab.ForestPartPoints(), fx.res.ForestPartPoints()
+	for i := range fpts {
+		if fpts[i] != rpts[i] {
+			t.Fatalf("ForestPartPoints[%d]: fabric %d resident %d", i, fpts[i], rpts[i])
+		}
+	}
+}
+
+// TestResidentSingleQueries: the cooperative single-query algorithms work
+// against resident parts.
+func TestResidentSingleQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	fx := newResidentFixture(t, 250, 2, 4, 13)
+	bf := &brute.Set{Pts: fx.pts}
+	rh := core.PrepareAssociativeNamed[float64](fx.res, "test/weight-sum")
+	for q := 0; q < 15; q++ {
+		lo := []geom.Coord{geom.Coord(rng.Intn(250)), geom.Coord(rng.Intn(250))}
+		hi := []geom.Coord{lo[0] + geom.Coord(rng.Intn(120)), lo[1] + geom.Coord(rng.Intn(120))}
+		b := geom.NewBox(lo, hi)
+		if got, want := fx.res.SingleCount(b), int64(bf.Count(b)); got != want {
+			t.Fatalf("SingleCount: got %d want %d", got, want)
+		}
+		got := brute.IDs(fx.res.SingleReport(b))
+		want := brute.IDs(bf.Report(b))
+		if len(got) != len(want) {
+			t.Fatalf("SingleReport: got %d pts want %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("SingleReport id %d: got %d want %d", i, got[i], want[i])
+			}
+		}
+		wantAgg := brute.Aggregate(bf, semigroup.FloatSum(), workload.WeightOf, b)
+		if gotAgg := rh.SingleAggregate(b); math.Abs(gotAgg-wantAgg) > 1e-9 {
+			t.Fatalf("SingleAggregate: got %v want %v", gotAgg, wantAgg)
+		}
+	}
+}
+
+// TestResidentUnnamedPrepareRefused: an inline monoid cannot serve a
+// resident tree; the mistake must fail loudly at preparation time.
+func TestResidentUnnamedPrepareRefused(t *testing.T) {
+	fx := newResidentFixture(t, 100, 2, 2, 17)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PrepareAssociative on a resident tree must panic")
+		}
+	}()
+	core.PrepareAssociative(fx.res, semigroup.FloatSum(), workload.WeightOf)
+}

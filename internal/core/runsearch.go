@@ -46,9 +46,19 @@ type procRun interface {
 	materialize(el *element)
 	// answerSub serves one routed subquery in phase C.
 	answerSub(s subquery)
+	// serveResident answers this rank's served subqueries through the
+	// resident part (phase C on a resident tree): one step call down with
+	// the boxes, one result block back.
+	serveResident(pr *cgm.Proc, subs []subquery)
 	// finish runs the mode's result collectives (phase D). Every
 	// processor calls it exactly once, so its collectives stay SPMD.
 	finish(pr *cgm.Proc)
+}
+
+// aggNamer is implemented by modes whose batches serve a registered
+// aggregate; phase B's resident install step annotates copies for it.
+type aggNamer interface {
+	residentAggName() string
 }
 
 // phaseASink wires one processor's hat descents into its mode run: hat
@@ -93,13 +103,22 @@ func runSearch[R any](t *Tree, queries []Query, mode searchMode[R]) []R {
 		st.Subqueries = len(subs)
 
 		// Phase B: balance Q″ across copies of the demanded forest parts.
-		served := t.phaseB(pr, ps, subs, mode.label(), run.materialize)
+		aggName := ""
+		if an, ok := mode.(aggNamer); ok && t.resident {
+			aggName = an.residentAggName()
+		}
+		served := t.phaseB(pr, ps, subs, mode.label(), aggName, run.materialize)
 		st.Served = len(served)
-		st.CopiesHeld = len(ps.copies)
 
-		// Phase C: answer the subqueries this processor serves.
-		for _, s := range served {
-			run.answerSub(s)
+		// Phase C: answer the subqueries this processor serves — locally
+		// on a fabric tree, through the resident part on a resident one.
+		if t.resident {
+			run.serveResident(pr, served)
+		} else {
+			st.CopiesHeld = len(ps.copies)
+			for _, s := range served {
+				run.answerSub(s)
+			}
 		}
 
 		// Phase D: the mode's result collectives.

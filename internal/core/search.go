@@ -9,6 +9,7 @@ import (
 	"repro/internal/balance"
 	"repro/internal/cgm"
 	"repro/internal/comm"
+	"repro/internal/exec"
 	"repro/internal/geom"
 	"repro/internal/segtree"
 )
@@ -190,35 +191,44 @@ func (t *Tree) LastCopiedPoints() int {
 // installCopies installs the shipped copies a processor received in phase
 // B: cache-valid elements are reused (points shipped, rebuild skipped),
 // everything else is built on the tree's backend and cached for later
-// batches. materialize runs for every installed copy either way. The
-// cache is swept whole when the tree epoch moved (so invalidated entries
-// never strand memory) and bounded by copyCacheCapFor (so a drifting hot
-// set cannot grow it without limit; eviction is arbitrary map order —
-// fine for a cache whose misses only cost a rebuild).
+// batches. materialize runs for every installed copy either way.
 func (t *Tree) installCopies(ps *procState, incoming [][]shippedElem, materialize func(*element)) {
 	st := &t.lastStats[ps.rank]
-	if epoch := t.epoch.Load(); ps.cacheEpoch != epoch {
-		clear(ps.copyCache)
-		ps.cacheEpoch = epoch
-	}
-	cap := t.copyCacheCapFor(ps)
 	start := time.Now()
+	st.CopyCacheHits += installShipped(t.backend, ps.copies, ps.copyCache, &ps.cacheEpoch,
+		t.epoch.Load(), t.copyCacheCapFor(ps), incoming, materialize)
+	st.InstallNanos += time.Since(start).Nanoseconds()
+}
+
+// installShipped is the phase-B install shared by the fabric path and
+// the resident step (one policy, one source of truth): the cache is
+// swept whole when the tree epoch moved (so invalidated entries never
+// strand memory) and bounded by cap (so a drifting hot set cannot grow
+// it without limit; eviction is arbitrary map order — fine for a cache
+// whose misses only cost a rebuild). Returns the cache-hit count.
+func installShipped(be Backend, copies, cache map[ElemID]*element, cacheEpoch *uint64,
+	epoch uint64, cap int, incoming [][]shippedElem, materialize func(*element)) int {
+	if *cacheEpoch != epoch {
+		clear(cache)
+		*cacheEpoch = epoch
+	}
+	hits := 0
 	for _, part := range incoming {
 		for _, sh := range part {
-			el, ok := ps.copyCache[sh.Info.ID]
+			el, ok := cache[sh.Info.ID]
 			if ok {
-				st.CopyCacheHits++
+				hits++
 			} else {
-				el = &element{info: sh.Info, pts: sh.Pts, tree: buildElemTree(t.backend, sh.Pts, int(sh.Info.Dim))}
-				cacheInsert(ps.copyCache, sh.Info.ID, el, cap)
+				el = &element{info: sh.Info, pts: sh.Pts, tree: buildElemTree(be, sh.Pts, int(sh.Info.Dim))}
+				cacheInsert(cache, sh.Info.ID, el, cap)
 			}
-			ps.copies[sh.Info.ID] = el
+			copies[sh.Info.ID] = el
 			if materialize != nil {
 				materialize(el)
 			}
 		}
 	}
-	st.InstallNanos += time.Since(start).Nanoseconds()
+	return hits
 }
 
 // shippedElem is one element copy in flight: replicated metadata plus the
@@ -289,10 +299,13 @@ func cacheInsert[V any](cache map[ElemID]V, id ElemID, val V, cap int) {
 // the copies evenly, and redistribute Q″ so every subquery lands on a
 // processor holding the element it visits. It returns the subqueries this
 // processor serves. materialize is called for every copied element a host
-// installs (modes hook it to build their per-element annotations).
-func (t *Tree) phaseB(pr *cgm.Proc, ps *procState, subs []subquery, label string, materialize func(*element)) []subquery {
+// installs (modes hook it to build their per-element annotations); on a
+// resident tree the copies ship worker-to-worker instead (emit and
+// collect steps of the forest program) and aggName selects the registered
+// aggregate the install step annotates them for.
+func (t *Tree) phaseB(pr *cgm.Proc, ps *procState, subs []subquery, label, aggName string, materialize func(*element)) []subquery {
 	if t.balanceMode == ElementLevel {
-		return t.phaseBElement(pr, ps, subs, label, materialize)
+		return t.phaseBElement(pr, ps, subs, label, aggName, materialize)
 	}
 	p := pr.P()
 	ps.copies = make(map[ElemID]*element)
@@ -316,22 +329,35 @@ func (t *Tree) phaseB(pr *cgm.Proc, ps *procState, subs []subquery, label string
 	}
 
 	// Step 3: make c_j copies of F_j and distribute them evenly. The
-	// owner ships its whole part to every host of one of its slots.
-	out := make([][]shippedElem, p)
-	copiedPts := 0
-	for _, host := range plan.GroupHosts(ps.rank) {
-		if host == ps.rank {
-			continue // the owner is its own copy
+	// owner ships its whole part to every host of one of its slots — on a
+	// resident tree straight from worker memory to worker memory, the
+	// coordinator contributing only the host list and install parameters.
+	if t.resident {
+		var hosts []int32
+		for _, host := range plan.GroupHosts(ps.rank) {
+			if host != ps.rank { // the owner is its own copy
+				hosts = append(hosts, int32(host))
+			}
 		}
-		for _, id := range sortedOwnedIDs(ps.elems) {
-			el := ps.elems[id]
-			out[host] = append(out[host], shippedElem{Info: el.info, Pts: el.pts})
-			copiedPts += len(el.pts)
+		residentCopies(t, pr, ps, label+"/copies", fref("search/shipGroup"),
+			shipGroupArgs{Hosts: hosts}, aggName)
+	} else {
+		out := make([][]shippedElem, p)
+		copiedPts := 0
+		for _, host := range plan.GroupHosts(ps.rank) {
+			if host == ps.rank {
+				continue // the owner is its own copy
+			}
+			for _, id := range sortedOwnedIDs(ps.elems) {
+				el := ps.elems[id]
+				out[host] = append(out[host], shippedElem{Info: el.info, Pts: el.pts})
+				copiedPts += len(el.pts)
+			}
 		}
+		t.lastCopied[ps.rank].Store(int64(copiedPts))
+		incoming := cgm.Exchange(pr, label+"/copies", out)
+		t.installCopies(ps, incoming, materialize)
 	}
-	t.lastCopied[ps.rank].Store(int64(copiedPts))
-	incoming := cgm.Exchange(pr, label+"/copies", out)
-	t.installCopies(ps, incoming, materialize)
 
 	// Step 4: redistribute Q″ so every query sits with a copy of the part
 	// it visits; the r-th subquery of group j goes to the host of copy
@@ -351,9 +377,28 @@ func (t *Tree) phaseB(pr *cgm.Proc, ps *procState, subs []subquery, label string
 	})
 }
 
+// residentCopies runs the phase-B copies superstep with both endpoints
+// resident — the owner's emit step serializes elements out of worker
+// memory, the host's install step builds them into worker memory, and
+// only the install statistics return to the coordinator.
+func residentCopies[A any](t *Tree, pr *cgm.Proc, ps *procState, label string, emit exec.Ref, eargs A, aggName string) {
+	st := &t.lastStats[ps.rank]
+	cargs := installCopiesArgs{Epoch: t.epoch.Load(), Cap: t.copyCacheCapFor(ps), Agg: aggName}
+	note, rep := cgm.ExchangeSteps[A, installCopiesArgs, installCopiesReply](
+		pr, label, emit, eargs, fref("search/install"), cargs)
+	cn, err := exec.Unmarshal[copyNote](note)
+	if err != nil {
+		panic(fmt.Sprintf("core: %s: decoding copy note: %v", label, err))
+	}
+	t.lastCopied[ps.rank].Store(int64(cn.CopiedPts))
+	st.CopyCacheHits += rep.CacheHits
+	st.InstallNanos += rep.InstallNanos
+	st.CopiesHeld = rep.Held
+}
+
 // phaseBElement is the ElementLevel variant of phaseB: demand, copies and
 // routing all work per forest element.
-func (t *Tree) phaseBElement(pr *cgm.Proc, ps *procState, subs []subquery, label string, materialize func(*element)) []subquery {
+func (t *Tree) phaseBElement(pr *cgm.Proc, ps *procState, subs []subquery, label, aggName string, materialize func(*element)) []subquery {
 	p := pr.P()
 	ps.copies = make(map[ElemID]*element)
 
@@ -387,25 +432,45 @@ func (t *Tree) phaseBElement(pr *cgm.Proc, ps *procState, subs []subquery, label
 		t.lastDemand = byOwner
 	}
 
-	// Ship only demanded elements, each to the hosts of its slots.
-	out := make([][]shippedElem, p)
-	copiedPts := 0
-	for _, id := range sortedOwnedIDs(ps.elems) {
-		if demand[int(id)] == 0 {
-			continue
-		}
-		el := ps.elems[id]
-		for _, host := range plan.GroupHosts(int(id)) {
-			if host == ps.rank {
+	// Ship only demanded elements, each to the hosts of its slots. The
+	// fan-out is derived from the replicated metadata, so the resident
+	// coordinator can plan it without holding the elements.
+	if t.resident {
+		var ships []elemShip
+		for _, info := range ps.info {
+			if int(info.Owner) != ps.rank || demand[int(info.ID)] == 0 {
 				continue
 			}
-			out[host] = append(out[host], shippedElem{Info: el.info, Pts: el.pts})
-			copiedPts += len(el.pts)
+			var hosts []int32
+			for _, host := range plan.GroupHosts(int(info.ID)) {
+				if host != ps.rank {
+					hosts = append(hosts, int32(host))
+				}
+			}
+			ships = append(ships, elemShip{Elem: info.ID, Hosts: hosts})
 		}
+		residentCopies(t, pr, ps, label+"/ecopies", fref("search/shipElems"),
+			shipElemsArgs{Ships: ships}, aggName)
+	} else {
+		out := make([][]shippedElem, p)
+		copiedPts := 0
+		for _, id := range sortedOwnedIDs(ps.elems) {
+			if demand[int(id)] == 0 {
+				continue
+			}
+			el := ps.elems[id]
+			for _, host := range plan.GroupHosts(int(id)) {
+				if host == ps.rank {
+					continue
+				}
+				out[host] = append(out[host], shippedElem{Info: el.info, Pts: el.pts})
+				copiedPts += len(el.pts)
+			}
+		}
+		t.lastCopied[ps.rank].Store(int64(copiedPts))
+		incoming := cgm.Exchange(pr, label+"/ecopies", out)
+		t.installCopies(ps, incoming, materialize)
 	}
-	t.lastCopied[ps.rank].Store(int64(copiedPts))
-	incoming := cgm.Exchange(pr, label+"/ecopies", out)
-	t.installCopies(ps, incoming, materialize)
 
 	// Route the r-th subquery of element e to the host of copy ⌊r·c_e/d_e⌋.
 	rankOffset := make(map[ElemID]int)

@@ -27,6 +27,7 @@ func (t *Tree) SingleCount(b geom.Box) int64 {
 	t.mach.Run(func(pr *cgm.Proc) {
 		ps := t.procs[pr.Rank()]
 		var local int64
+		var mine []subquery // resident: batched into one serve step
 		ps.hatSearchFunc(t, Query{ID: 0, Box: b},
 			func(s hatSel) {
 				// The hat is replicated: only rank 0 counts hat
@@ -47,8 +48,17 @@ func (t *Tree) SingleCount(b geom.Box) int64 {
 				if int(ps.info[int(s.Elem)].Owner) != pr.Rank() {
 					return
 				}
+				if t.resident {
+					mine = append(mine, s)
+					return
+				}
 				local += int64(ps.elems[s.Elem].tree.Count(s.Box))
 			})
+		if t.resident && len(mine) > 0 {
+			for _, v := range cgm.CallResident[serveArgs, []qcount](pr, fref("search/serveCount"), serveArgs{Subs: mine}) {
+				local += v.Val
+			}
+		}
 		parts := comm.Gather(pr, "single/count", 0, []int64{local})
 		if pr.Rank() == 0 {
 			for _, p := range parts {
@@ -67,8 +77,14 @@ func (t *Tree) SingleReport(b geom.Box) []geom.Point {
 	t.mach.Run(func(pr *cgm.Proc) {
 		ps := t.procs[pr.Rank()]
 		var mine []geom.Point
+		var wholeIDs []ElemID // resident: fetched in one step call
+		var subs []subquery   // resident: served in one step call
 		emitElem := func(id ElemID) {
 			if int(ps.info[int(id)].Owner) != pr.Rank() {
+				return
+			}
+			if t.resident {
+				wholeIDs = append(wholeIDs, id)
 				return
 			}
 			mine = append(mine, ps.elems[id].pts...)
@@ -87,8 +103,24 @@ func (t *Tree) SingleReport(b geom.Box) []geom.Point {
 				if int(ps.info[int(s.Elem)].Owner) != pr.Rank() {
 					return
 				}
+				if t.resident {
+					subs = append(subs, s)
+					return
+				}
 				mine = append(mine, ps.elems[s.Elem].tree.Report(s.Box)...)
 			})
+		if t.resident {
+			if len(wholeIDs) > 0 {
+				for _, pts := range cgm.CallResident[fetchArgs, [][]geom.Point](pr, fref("points/fetch"), fetchArgs{Elems: wholeIDs}) {
+					mine = append(mine, pts...)
+				}
+			}
+			if len(subs) > 0 {
+				for _, l := range cgm.CallResident[serveArgs, []rlocal](pr, fref("search/serveReport"), serveArgs{Subs: subs}) {
+					mine = append(mine, l.Pts...)
+				}
+			}
+		}
 		// The partial results stay distributed (the useful deliverable);
 		// one barrier closes the superstep accounting.
 		cgm.Barrier(pr, "single/report")
@@ -110,6 +142,7 @@ func (h *AggHandle[T]) SingleAggregate(b geom.Box) T {
 	t.mach.Run(func(pr *cgm.Proc) {
 		ps := t.procs[pr.Rank()]
 		local := h.m.Identity
+		var mine []subquery // resident: served through the named aggregate
 		ps.hatSearchFunc(t, Query{ID: 0, Box: b},
 			func(s hatSel) {
 				if pr.Rank() != 0 {
@@ -125,8 +158,18 @@ func (h *AggHandle[T]) SingleAggregate(b geom.Box) T {
 				if int(ps.info[int(s.Elem)].Owner) != pr.Rank() {
 					return
 				}
+				if t.resident {
+					mine = append(mine, s)
+					return
+				}
 				local = h.m.Combine(local, h.elemAggs[pr.Rank()][s.Elem].Query(s.Box))
 			})
+		if t.resident && len(mine) > 0 {
+			for _, v := range cgm.CallResident[serveAggArgs, []qvalT[T]](pr, fref("search/serveAgg"),
+				serveAggArgs{Name: h.name, Subs: mine}) {
+				local = h.m.Combine(local, v.Val)
+			}
+		}
 		parts := comm.Gather(pr, "single/agg", 0, []T{local})
 		if pr.Rank() == 0 {
 			for _, p := range parts {

@@ -181,9 +181,15 @@ func (ps *procState) lookup(id ElemID) *element {
 // Tree is the distributed range tree handle. All batch operations run SPMD
 // programs on the machine the tree was built on.
 type Tree struct {
-	mach        *cgm.Machine
-	n           int
-	dims        int
+	mach *cgm.Machine
+	n    int
+	dims int
+	// resident marks worker-resident execution: the forest elements (and
+	// phase-B copies) live in the machine's transport-resident state —
+	// worker memory over TCP — and every element access dispatches
+	// registered steps (resident.go). The hat replicas, element metadata
+	// and batch statistics stay coordinator-side either way.
+	resident    bool
 	grain       int
 	backend     Backend
 	procs       []*procState
@@ -216,6 +222,10 @@ func (t *Tree) prepBatch() {
 
 // Backend reports the element backend the tree was built with.
 func (t *Tree) Backend() Backend { return t.backend }
+
+// Resident reports whether the forest lives in transport-resident state
+// (worker memory over TCP) rather than coordinator memory.
+func (t *Tree) Resident() bool { return t.resident }
 
 // InvalidateCopies invalidates every processor's cross-batch copy cache.
 // A Tree's point set is immutable after Build, so the pipeline never
@@ -287,26 +297,45 @@ func (t *Tree) HatTreeCount() int { return len(t.procs[0].hat) }
 // ForestPartNodes reports, per processor, the total node count of the
 // owned forest elements — the |F_i| of Theorem 1(ii).
 func (t *Tree) ForestPartNodes() []int {
-	out := make([]int, t.P())
-	for i, ps := range t.procs {
-		for _, el := range ps.elems {
-			out[i] += el.tree.Nodes()
-		}
-	}
-	return out
+	nodes, _ := t.forestPartSizes()
+	return nodes
 }
 
 // ForestPartPoints reports, per processor, the summed point counts of the
 // owned elements (points are replicated across dimensions, so this can
 // exceed n; it mirrors the leaf mass of F_i).
 func (t *Tree) ForestPartPoints() []int {
-	out := make([]int, t.P())
+	_, pts := t.forestPartSizes()
+	return pts
+}
+
+// forestPartSizes tallies the owned elements per processor — directly for
+// fabric trees, via one stats step per rank for resident ones. Resident
+// calls must not overlap a machine run (the Run contract); a failure
+// aborts like a machine abort would.
+func (t *Tree) forestPartSizes() (nodes, pts []int) {
+	p := t.P()
+	nodes, pts = make([]int, p), make([]int, p)
+	if t.resident {
+		for rank := 0; rank < p; rank++ {
+			stats, err := cgm.ResidentCall[bool, []elemStat](t.mach, rank, fref("stats/elems"), false)
+			if err != nil {
+				panic(fmt.Sprintf("core: resident element stats: %v", err))
+			}
+			for _, st := range stats {
+				nodes[rank] += st.Nodes
+				pts[rank] += st.Pts
+			}
+		}
+		return nodes, pts
+	}
 	for i, ps := range t.procs {
 		for _, el := range ps.elems {
-			out[i] += len(el.pts)
+			nodes[i] += el.tree.Nodes()
+			pts[i] += len(el.pts)
 		}
 	}
-	return out
+	return nodes, pts
 }
 
 // ElemCount reports the number of forest elements.
@@ -314,9 +343,35 @@ func (t *Tree) ElemCount() int { return len(t.procs[0].info) }
 
 // AllPoints returns the stored point set in deterministic order. The
 // dimension-0 forest elements partition the input, so concatenating them
-// in element order recovers it (sorted by the first coordinate).
+// in element order recovers it (sorted by the first coordinate). On a
+// resident tree the points are fetched from the owning ranks (one step
+// call per rank); a lost worker panics like a machine abort would.
 func (t *Tree) AllPoints() []geom.Point {
 	out := make([]geom.Point, 0, t.n)
+	if t.resident {
+		byOwner := make([][]ElemID, t.P())
+		for _, info := range t.procs[0].info {
+			if info.Dim == 0 {
+				byOwner[info.Owner] = append(byOwner[info.Owner], info.ID)
+			}
+		}
+		fetched := make(map[ElemID][]geom.Point, t.ElemCount())
+		for rank, ids := range byOwner {
+			parts, err := t.residentElemPoints(rank, ids)
+			if err != nil {
+				panic(fmt.Sprintf("core: resident point fetch: %v", err))
+			}
+			for i, id := range ids {
+				fetched[id] = parts[i]
+			}
+		}
+		for _, info := range t.procs[0].info {
+			if info.Dim == 0 {
+				out = append(out, fetched[info.ID]...)
+			}
+		}
+		return out
+	}
 	for _, info := range t.procs[0].info {
 		if info.Dim != 0 {
 			continue

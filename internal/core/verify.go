@@ -1,9 +1,13 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
 	"reflect"
+	"slices"
 
+	"repro/internal/cgm"
+	"repro/internal/geom"
 	"repro/internal/segtree"
 )
 
@@ -23,6 +27,10 @@ import (
 //     tree anchored back at it (Definition 1 / Lemma 1);
 //  7. element point sets are sorted by their first discriminated dimension
 //     (leaf order).
+//
+// On a resident tree the element checks run against points fetched from
+// the owning ranks (the hat and metadata are coordinator-side replicas
+// either way).
 func (t *Tree) Verify() error {
 	ref := t.procs[0]
 	p := t.P()
@@ -45,17 +53,23 @@ func (t *Tree) Verify() error {
 		}
 	}
 
+	// Materialize the per-rank element views (local maps on a fabric
+	// tree, fetched from worker memory on a resident one).
+	elems, err := t.elemPtsView()
+	if err != nil {
+		return err
+	}
+
 	// (2) ownership.
-	for rank, ps := range t.procs {
-		for id, el := range ps.elems {
-			if int(id)%p != rank || int(el.info.Owner) != rank {
-				return fmt.Errorf("element %d stored at processor %d, owner field %d", id, rank, el.info.Owner)
+	for rank, held := range elems {
+		for id := range held {
+			if int(id)%p != rank || int(ref.info[int(id)].Owner) != rank {
+				return fmt.Errorf("element %d stored at processor %d, owner field %d", id, rank, ref.info[int(id)].Owner)
 			}
 		}
 	}
 	for _, info := range ref.info {
-		owner := t.procs[info.Owner]
-		if _, ok := owner.elems[info.ID]; !ok {
+		if _, ok := elems[info.Owner][info.ID]; !ok {
 			return fmt.Errorf("element %d missing at its owner %d", info.ID, info.Owner)
 		}
 	}
@@ -63,13 +77,13 @@ func (t *Tree) Verify() error {
 	// (3) dimension-0 partition.
 	seen := make(map[int32]bool)
 	total := 0
-	for _, ps := range t.procs {
-		for _, el := range ps.elems {
-			if el.info.Dim != 0 {
+	for _, held := range elems {
+		for id, pts := range held {
+			if ref.info[int(id)].Dim != 0 {
 				continue
 			}
-			total += len(el.pts)
-			for _, pt := range el.pts {
+			total += len(pts)
+			for _, pt := range pts {
 				if seen[pt.ID] {
 					return fmt.Errorf("point %d appears in two dimension-0 elements", pt.ID)
 				}
@@ -88,7 +102,7 @@ func (t *Tree) Verify() error {
 			if violation != nil {
 				return
 			}
-			violation = t.verifyHatNode(ref, ht, v, nd)
+			violation = t.verifyHatNode(ref, elems, ht, v, nd)
 		})
 		if violation != nil {
 			return violation
@@ -97,8 +111,46 @@ func (t *Tree) Verify() error {
 	return nil
 }
 
+// elemPtsView collects every rank's stored elements as ID → points.
+func (t *Tree) elemPtsView() ([]map[ElemID][]geom.Point, error) {
+	out := make([]map[ElemID][]geom.Point, t.P())
+	if !t.resident {
+		for rank, ps := range t.procs {
+			held := make(map[ElemID][]geom.Point, len(ps.elems))
+			for id, el := range ps.elems {
+				held[id] = el.pts
+			}
+			out[rank] = held
+		}
+		return out, nil
+	}
+	for rank := range out {
+		// What the rank actually holds (catches both stray and missing
+		// elements), then the points themselves.
+		stats, err := cgm.ResidentCall[bool, []elemStat](t.mach, rank, fref("stats/elems"), false)
+		if err != nil {
+			return nil, fmt.Errorf("resident element stats of rank %d: %w", rank, err)
+		}
+		ids := make([]ElemID, len(stats))
+		for i, st := range stats {
+			ids[i] = st.ID
+		}
+		slices.SortFunc(ids, func(a, b ElemID) int { return cmp.Compare(a, b) })
+		parts, err := t.residentElemPoints(rank, ids)
+		if err != nil {
+			return nil, fmt.Errorf("resident element fetch of rank %d: %w", rank, err)
+		}
+		held := make(map[ElemID][]geom.Point, len(ids))
+		for i, id := range ids {
+			held[id] = parts[i]
+		}
+		out[rank] = held
+	}
+	return out, nil
+}
+
 // verifyHatNode checks invariants (4)–(6) for one hat node.
-func (t *Tree) verifyHatNode(ref *procState, ht *HatTree, v int, nd HatNode) error {
+func (t *Tree) verifyHatNode(ref *procState, elems []map[ElemID][]geom.Point, ht *HatTree, v int, nd HatNode) error {
 	if int(nd.Count) != ht.Shape.Count(v) {
 		return fmt.Errorf("hat tree %v node %d count %d, shape says %d", ht.Key, v, nd.Count, ht.Shape.Count(v))
 	}
@@ -110,13 +162,13 @@ func (t *Tree) verifyHatNode(ref *procState, ht *HatTree, v int, nd HatNode) err
 		if info.Count != nd.Count || info.Min != nd.Min || info.Max != nd.Max {
 			return fmt.Errorf("stub %d of %v disagrees with element %d metadata", v, ht.Key, nd.Elem)
 		}
-		el := t.procs[info.Owner].elems[info.ID]
-		if int32(len(el.pts)) != info.Count {
-			return fmt.Errorf("element %d holds %d points, metadata says %d", info.ID, len(el.pts), info.Count)
+		pts := elems[info.Owner][info.ID]
+		if int32(len(pts)) != info.Count {
+			return fmt.Errorf("element %d holds %d points, metadata says %d", info.ID, len(pts), info.Count)
 		}
 		dim := int(info.Dim)
-		for i := 1; i < len(el.pts); i++ {
-			if el.pts[i].X[dim] < el.pts[i-1].X[dim] {
+		for i := 1; i < len(pts); i++ {
+			if pts[i].X[dim] < pts[i-1].X[dim] {
 				return fmt.Errorf("element %d points unsorted in dim %d", info.ID, dim)
 			}
 		}

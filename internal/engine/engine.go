@@ -23,6 +23,7 @@ package engine
 import (
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -103,7 +104,14 @@ type request[T any] struct {
 	op  core.MixedOp
 	box geom.Box
 	key string
-	out chan core.MixedResult[T]
+	out chan reply[T]
+}
+
+// reply carries one query's answer — or the failure of the machine batch
+// that should have produced it (a cluster losing a worker mid-run).
+type reply[T any] struct {
+	res core.MixedResult[T]
+	err error
 }
 
 // Engine is the serving layer. All methods are safe for concurrent use.
@@ -270,10 +278,11 @@ func (e *Engine[T]) submit(op core.MixedOp, box geom.Box) (core.MixedResult[T], 
 		}
 	}
 	e.misses.Add(1)
-	req := request[T]{op: op, box: box, key: key, out: make(chan core.MixedResult[T], 1)}
+	req := request[T]{op: op, box: box, key: key, out: make(chan reply[T], 1)}
 	e.reqs <- req
 	e.closing.RUnlock()
-	return <-req.out, nil
+	r := <-req.out
+	return r.res, r.err
 }
 
 // loop is the dispatcher: it owns the pending buffer and the deadline
@@ -346,25 +355,49 @@ func (e *Engine[T]) dispatch(batch []request[T]) {
 
 	var results []core.MixedResult[T]
 	var ver uint64
+	var err error
 	if e.st != nil {
 		v := e.st.Pin()
 		ver = v.Seq()
-		results = store.Mixed[T](v, ops, boxes)
+		results, err = store.Mixed[T](v, ops, boxes)
+		v.Release()
 	} else {
-		results = core.MixedBatch(e.tree, e.agg, ops, boxes)
-		e.copyCacheHits.Add(uint64(e.tree.LastCopyCacheHits()))
-		e.installNanos.Add(uint64(e.tree.LastPhaseBInstall().Nanoseconds()))
+		results, err = e.treeBatch(ops, boxes)
 	}
 	e.batches.Add(1)
 	e.batched.Add(uint64(len(batch)))
 
+	if err != nil {
+		// A machine abort mid-batch: every caller of this batch gets the
+		// diagnostic; nothing is cached. The engine stays up — the store
+		// records Stats.QueryErr, mutations keep flowing, and compaction
+		// rebuilds levels on fresh machines.
+		for _, req := range batch {
+			req.out <- reply[T]{err: err}
+		}
+		return
+	}
 	for i, req := range batch {
 		res := results[at[i]]
 		if e.cache != nil {
 			e.cache.add(versionKey(ver, req.key), res)
 		}
-		req.out <- cloneResult(res)
+		req.out <- reply[T]{res: cloneResult(res)}
 	}
+}
+
+// treeBatch dispatches against an immutable tree, converting a machine
+// abort (a panic by the cgm contract) into an error on the batch.
+func (e *Engine[T]) treeBatch(ops []core.MixedOp, boxes []geom.Box) (results []core.MixedResult[T], err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("engine: query batch aborted: %v", r)
+		}
+	}()
+	results = core.MixedBatch(e.tree, e.agg, ops, boxes)
+	e.copyCacheHits.Add(uint64(e.tree.LastCopyCacheHits()))
+	e.installNanos.Add(uint64(e.tree.LastPhaseBInstall().Nanoseconds()))
+	return results, nil
 }
 
 // cloneResult copies the slice-valued part of an answer so no two

@@ -1,0 +1,126 @@
+package exec
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"reflect"
+)
+
+// The typed wrappers below are how programs define steps without touching
+// bytes: arguments, replies and exchanged rows are gob-encoded at the
+// seam, with element counts taken from the typed slices — so a resident
+// exchange accounts exactly what a coordinator-side exchange of the same
+// rows would.
+
+// Marshal gob-encodes a step argument or reply. The types are the
+// program's own, so an encoding failure is a programming error.
+func Marshal[T any](v T) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&v); err != nil {
+		panic(fmt.Sprintf("exec: encoding %T: %v", v, err))
+	}
+	return buf.Bytes()
+}
+
+// Unmarshal decodes a Marshal-encoded value.
+func Unmarshal[T any](b []byte) (T, error) {
+	var v T
+	err := gob.NewDecoder(bytes.NewReader(b)).Decode(&v)
+	return v, err
+}
+
+// Pure wraps a typed step function. S is the program's state type as
+// created by Program.New (asserted, so a mismatch fails loudly).
+func Pure[S any, A any, R any](f func(st S, c *Ctx, args A) (R, error)) Step {
+	return func(c *Ctx, raw []byte) ([]byte, error) {
+		args, err := Unmarshal[A](raw)
+		if err != nil {
+			return nil, fmt.Errorf("exec: decoding step args: %w", err)
+		}
+		r, err := f(c.State.(S), c, args)
+		if err != nil {
+			return nil, err
+		}
+		return Marshal(r), nil
+	}
+}
+
+// Emitter wraps a typed emit function: it returns the per-destination rows
+// (len == P) plus a small note for the coordinator. The wrapper encodes
+// every non-self destination, counts elements per destination, and keeps
+// the self row typed.
+func Emitter[S any, A any, T any](f func(st S, c *Ctx, args A) ([][]T, []byte, error)) Emit {
+	return func(c *Ctx, raw []byte) (*Outbox, error) {
+		args, err := Unmarshal[A](raw)
+		if err != nil {
+			return nil, fmt.Errorf("exec: decoding emit args: %w", err)
+		}
+		rows, note, err := f(c.State.(S), c, args)
+		if err != nil {
+			return nil, err
+		}
+		if len(rows) != c.P {
+			return nil, fmt.Errorf("exec: emit produced %d destinations for %d ranks", len(rows), c.P)
+		}
+		out := &Outbox{
+			Blocks: make([][]byte, c.P),
+			Counts: make([]int, c.P),
+			Self:   rows[c.Rank],
+			Note:   note,
+			Type:   reflect.TypeOf((*T)(nil)).Elem().String(),
+		}
+		for j, part := range rows {
+			out.Counts[j] = len(part)
+			if j == c.Rank {
+				continue
+			}
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(part); err != nil {
+				return nil, fmt.Errorf("exec: encoding emit block for rank %d: %w", j, err)
+			}
+			out.Blocks[j] = buf.Bytes()
+		}
+		return out, nil
+	}
+}
+
+// Collector wraps a typed collect function: the wrapper decodes each
+// source's block into []T (taking the typed self payload when present),
+// counts the received elements, and encodes the reply.
+func Collector[S any, A any, T any, R any](f func(st S, c *Ctx, args A, in [][]T) (R, error)) Collect {
+	return func(c *Ctx, inbox *Inbox, raw []byte) ([]byte, int, error) {
+		args, err := Unmarshal[A](raw)
+		if err != nil {
+			return nil, 0, fmt.Errorf("exec: decoding collect args: %w", err)
+		}
+		in := make([][]T, len(inbox.Blocks))
+		recv := 0
+		for j, b := range inbox.Blocks {
+			if inbox.Self != nil && b == nil && j == c.Rank {
+				part, ok := inbox.Self.([]T)
+				if !ok {
+					return nil, 0, fmt.Errorf("exec: self payload is %T, collect wants []%s",
+						inbox.Self, reflect.TypeOf((*T)(nil)).Elem())
+				}
+				in[j] = part
+				recv += len(part)
+				continue
+			}
+			if b == nil {
+				continue
+			}
+			var part []T
+			if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&part); err != nil {
+				return nil, 0, fmt.Errorf("exec: decoding block from rank %d: %w", j, err)
+			}
+			in[j] = part
+			recv += len(part)
+		}
+		r, err := f(c.State.(S), c, args, in)
+		if err != nil {
+			return nil, 0, err
+		}
+		return Marshal(r), recv, nil
+	}
+}

@@ -3,7 +3,7 @@
 // and Figures 1–3 — so each experiment measures the quantity a theorem
 // bounds (structure sizes, communication rounds, h-relation volumes,
 // modelled BSP time, output balance) or renders the structure a figure
-// depicts, and prints it as a table. DESIGN.md §8 is the experiment index;
+// depicts, and prints it as a table. DESIGN.md §9 is the experiment index;
 // EXPERIMENTS.md records one captured run.
 package expt
 

@@ -127,6 +127,12 @@ type Stats struct {
 	// A store with a failed compaction rejects further mutations — the
 	// memtable could otherwise grow without bound.
 	CompactErr string
+	// QueryErr is the diagnostic of the first query batch aborted by a
+	// machine failure (mirroring CompactErr for the read path); empty
+	// when healthy. Failed batches return errors to their callers; the
+	// store keeps accepting mutations, and compaction rebuilds levels on
+	// fresh machines, so the condition can heal.
+	QueryErr string
 }
 
 // Store is the mutable, versioned point store. All methods are safe for
@@ -140,14 +146,21 @@ type Store struct {
 	mu         sync.Mutex
 	closed     bool
 	compactErr error              // first failed compaction build; mutations fail fast on it
+	queryErr   error              // first aborted query batch (Stats.QueryErr)
 	mem        []geom.Point       // append-only current memtable segment
 	shadow     []geom.Point       // append-only tombstones (points still present in mem/levels)
 	deadIDs    map[int32]struct{} // outstanding tombstone IDs
 	liveIDs    map[int32]struct{} // currently live IDs (mutation validity checks)
 	levels     []*core.Tree       // binary-counter slots; nil = empty
-	liveN      int
-	seq        uint64
-	wal        *wal // nil for an ephemeral (dir-less) store
+	// levelRefs counts the references on every level tree: one for its
+	// slot in s.levels while current, plus one per published version
+	// holding it. A retired tree whose count hits zero closes its
+	// machine eagerly — TCP sessions (and worker-resident forest state)
+	// of dead levels no longer leak until Cluster.Close.
+	levelRefs map[*core.Tree]int
+	liveN     int
+	seq       uint64
+	wal       *wal // nil for an ephemeral (dir-less) store
 	// checkpointMu serializes whole Checkpoint calls (rotation is under
 	// mu, but snapshot write + prune must not interleave between two
 	// checkpoints).
@@ -179,13 +192,14 @@ type Store struct {
 func Open(dir string, cfg Config) (*Store, error) {
 	cfg = cfg.withDefaults()
 	s := &Store{
-		cfg:     cfg,
-		dir:     dir,
-		deadIDs: make(map[int32]struct{}),
-		liveIDs: make(map[int32]struct{}),
-		kick:    make(chan struct{}, 1),
-		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
+		cfg:       cfg,
+		dir:       dir,
+		deadIDs:   make(map[int32]struct{}),
+		liveIDs:   make(map[int32]struct{}),
+		levelRefs: make(map[*core.Tree]int),
+		kick:      make(chan struct{}, 1),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
 	}
 	if dir != "" {
 		if err := s.recover(); err != nil {
@@ -243,6 +257,9 @@ func (s *Store) Stats() Stats {
 	}
 	if s.compactErr != nil {
 		st.CompactErr = s.compactErr.Error()
+	}
+	if s.queryErr != nil {
+		st.QueryErr = s.queryErr.Error()
 	}
 	for _, l := range s.levels {
 		if l != nil {
@@ -354,9 +371,10 @@ func (s *Store) mutate(op byte, pts []geom.Point, logIt bool) (uint64, error) {
 	}
 	s.seq++
 	seq := s.seq
-	s.publishLocked()
+	toClose := s.publishLocked()
 	need := s.needsCompactLocked()
 	s.mu.Unlock()
+	closeTrees(toClose)
 	if need {
 		if s.cfg.Sync {
 			s.compactPass()
@@ -373,16 +391,71 @@ func (s *Store) mutate(op byte, pts []geom.Point, logIt bool) (uint64, error) {
 // publishLocked installs a fresh immutable Version of the current state.
 // mem and shadow are captured as full-slice expressions: writers only
 // ever append (never overwrite a published index), so pinned prefixes
-// stay valid without copying.
-func (s *Store) publishLocked() {
-	s.cur.Store(&Version{
-		s:      s,
-		seq:    s.seq,
-		levels: slices.Clone(s.levels),
-		mem:    s.mem[:len(s.mem):len(s.mem)],
-		shadow: s.shadow[:len(s.shadow):len(s.shadow)],
-		liveN:  s.liveN,
-	})
+// stay valid without copying. The new version takes a reference on every
+// level it holds; the superseded version drops its own once its last Pin
+// is released. publishLocked returns any trees whose reference count hit
+// zero — the caller must close them outside the lock.
+func (s *Store) publishLocked() []*core.Tree {
+	v := &Version{
+		s:       s,
+		seq:     s.seq,
+		levels:  slices.Clone(s.levels),
+		mem:     s.mem[:len(s.mem):len(s.mem)],
+		shadow:  s.shadow[:len(s.shadow):len(s.shadow)],
+		liveN:   s.liveN,
+		current: true,
+	}
+	for _, l := range v.levels {
+		if l != nil {
+			s.levelRefs[l]++
+		}
+	}
+	prev := s.cur.Load()
+	s.cur.Store(v)
+	if prev == nil {
+		return nil
+	}
+	prev.current = false
+	return s.maybeReleaseLocked(prev)
+}
+
+// maybeReleaseLocked drops a superseded, unpinned version's level
+// references, returning the trees to close (reference count zero).
+func (s *Store) maybeReleaseLocked(v *Version) []*core.Tree {
+	if v.released || v.current || v.pins > 0 {
+		return nil
+	}
+	v.released = true
+	var toClose []*core.Tree
+	for _, l := range v.levels {
+		if l == nil {
+			continue
+		}
+		s.levelRefs[l]--
+		if s.levelRefs[l] == 0 {
+			delete(s.levelRefs, l)
+			toClose = append(toClose, l)
+		}
+	}
+	return toClose
+}
+
+// closeTrees closes retired level machines (ending their transport
+// sessions — and with them any worker-resident forest state). Must be
+// called outside s.mu.
+func closeTrees(trees []*core.Tree) {
+	for _, t := range trees {
+		t.Machine().Close()
+	}
+}
+
+// noteQueryErr records the first aborted query batch for Stats.QueryErr.
+func (s *Store) noteQueryErr(err error) {
+	s.mu.Lock()
+	if s.queryErr == nil {
+		s.queryErr = err
+	}
+	s.mu.Unlock()
 }
 
 // needsCompactLocked reports whether a flush or fold threshold tripped.
@@ -448,28 +521,49 @@ func (s *Store) compactPass() bool {
 
 	// Collect the rebuild mass: always the snapshotted memtable; on a
 	// fold, every level too; on a flush, the occupied low levels the
-	// binary-counter carry merges.
+	// binary-counter carry merges. Reading level points serializes with
+	// query batches (resident levels fetch from their worker sessions),
+	// and a machine abort mid-read records like a failed build instead
+	// of crashing the compactor.
 	var acc []geom.Point
-	acc = keep(mem, acc)
 	newLevels := slices.Clone(levelsSnap)
 	slot := 0
-	if fold {
-		for i, l := range newLevels {
-			if l != nil {
-				acc = keep(l.AllPoints(), acc)
-				newLevels[i] = nil
+	collectErr := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("store: compaction point collection aborted: %v", r)
+			}
+		}()
+		s.queryMu.Lock()
+		defer s.queryMu.Unlock()
+		acc = keep(mem, acc)
+		if fold {
+			for i, l := range newLevels {
+				if l != nil {
+					acc = keep(l.AllPoints(), acc)
+					newLevels[i] = nil
+				}
+			}
+			// The fold also consumes tombstones of points that were only
+			// ever in the memtable — everything snapshotted is accounted.
+			for _, p := range shadow {
+				consumed[p.ID] = struct{}{}
+			}
+		} else {
+			for ; slot < len(newLevels) && newLevels[slot] != nil; slot++ {
+				acc = keep(newLevels[slot].AllPoints(), acc)
+				newLevels[slot] = nil
 			}
 		}
-		// The fold also consumes tombstones of points that were only
-		// ever in the memtable — everything snapshotted is accounted.
-		for _, p := range shadow {
-			consumed[p.ID] = struct{}{}
+		return nil
+	}()
+	if collectErr != nil {
+		s.mu.Lock()
+		if s.compactErr == nil {
+			s.compactErr = collectErr
 		}
-	} else {
-		for ; slot < len(newLevels) && newLevels[slot] != nil; slot++ {
-			acc = keep(newLevels[slot].AllPoints(), acc)
-			newLevels[slot] = nil
-		}
+		s.mu.Unlock()
+		return false
 	}
 
 	if len(acc) > 0 {
@@ -511,8 +605,38 @@ func (s *Store) compactPass() bool {
 	}
 
 	// Swap: splice out what was compacted, retain what arrived since
-	// the snapshot, and publish the new version.
+	// the snapshot, and publish the new version. Passes serialize on
+	// s.compacting and only compaction rewrites s.levels, so s.levels
+	// still equals levelsSnap here; the slot bookkeeping moves the
+	// store's own reference from retired trees to built ones.
 	s.mu.Lock()
+	var toClose []*core.Tree
+	inNew := make(map[*core.Tree]bool, len(newLevels))
+	for _, l := range newLevels {
+		if l != nil {
+			inNew[l] = true
+		}
+	}
+	wasOld := make(map[*core.Tree]bool, len(levelsSnap))
+	for _, l := range levelsSnap {
+		if l == nil {
+			continue
+		}
+		wasOld[l] = true
+		if inNew[l] {
+			continue
+		}
+		s.levelRefs[l]--
+		if s.levelRefs[l] == 0 {
+			delete(s.levelRefs, l)
+			toClose = append(toClose, l)
+		}
+	}
+	for _, l := range newLevels {
+		if l != nil && !wasOld[l] {
+			s.levelRefs[l]++
+		}
+	}
 	s.levels = newLevels
 	s.mem = append([]geom.Point(nil), s.mem[memSnap:]...)
 	var remaining []geom.Point
@@ -527,8 +651,9 @@ func (s *Store) compactPass() bool {
 		s.deadIDs[p.ID] = struct{}{}
 	}
 	s.seq++
-	s.publishLocked()
+	toClose = append(toClose, s.publishLocked()...)
 	s.mu.Unlock()
+	closeTrees(toClose)
 	return true
 }
 

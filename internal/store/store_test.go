@@ -49,8 +49,14 @@ func randomBoxes(rng *rand.Rand, q, span, d int) []geom.Box {
 func checkOracle(t *testing.T, s *Store, live []geom.Point, boxes []geom.Box) {
 	t.Helper()
 	bf := brute.New(live)
-	counts := s.CountBatch(boxes)
-	reports := s.ReportBatch(boxes)
+	counts, err := s.CountBatch(boxes)
+	if err != nil {
+		t.Fatalf("count batch: %v", err)
+	}
+	reports, err := s.ReportBatch(boxes)
+	if err != nil {
+		t.Fatalf("report batch: %v", err)
+	}
 	for i, b := range boxes {
 		if counts[i] != int64(bf.Count(b)) {
 			t.Fatalf("box %d: count %d, oracle %d", i, counts[i], bf.Count(b))
@@ -109,8 +115,8 @@ func TestMutationsMatchOracle(t *testing.T) {
 			}
 			checkOracle(t, s, apply(), randomBoxes(rng, 6, 60, 2))
 		}
-		if s.Pin().N() != len(live) {
-			t.Fatalf("p=%d: store says %d live, oracle %d", p, s.Pin().N(), len(live))
+		if s.LiveN() != len(live) {
+			t.Fatalf("p=%d: store says %d live, oracle %d", p, s.LiveN(), len(live))
 		}
 	}
 }
@@ -129,7 +135,10 @@ func TestVersionSnapshotIsolation(t *testing.T) {
 	}
 	pinned := s.Pin()
 	boxes := randomBoxes(rng, 8, 40, 2)
-	before := pinned.CountBatch(boxes)
+	before, err := pinned.CountBatch(boxes)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	// Mutate heavily: inserts, deletes, flushes, a fold.
 	if _, err := s.InsertBatch(randomPoints(rng, 100, 2, 40)); err != nil {
@@ -141,7 +150,10 @@ func TestVersionSnapshotIsolation(t *testing.T) {
 	s.Compact()
 
 	// The pinned version still answers as of its epoch.
-	after := pinned.CountBatch(boxes)
+	after, err := pinned.CountBatch(boxes)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !reflect.DeepEqual(before, after) {
 		t.Fatalf("pinned version drifted: %v vs %v", before, after)
 	}
@@ -225,8 +237,8 @@ func TestCheckpointAndRecover(t *testing.T) {
 	var expect []geom.Point
 	expect = append(expect, pts[10:60]...)
 	expect = append(expect, pts[65:]...)
-	if re.Pin().N() != len(expect) {
-		t.Fatalf("recovered %d live points, want %d", re.Pin().N(), len(expect))
+	if re.LiveN() != len(expect) {
+		t.Fatalf("recovered %d live points, want %d", re.LiveN(), len(expect))
 	}
 	checkOracle(t, re, expect, randomBoxes(rng, 12, 90, 3))
 }
@@ -289,7 +301,7 @@ func TestTornWALTailIsIgnored(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer re.Close()
-	if n := re.Pin().N(); n != 1 {
+	if n := re.LiveN(); n != 1 {
 		t.Fatalf("recovered %d points from torn wal, want 1", n)
 	}
 }
@@ -329,8 +341,8 @@ func TestStaleHighNamedSegmentNotReplayedTwice(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if re.Pin().N() != 5 {
-		t.Fatalf("recovered %d points, want 5", re.Pin().N())
+	if re.LiveN() != 5 {
+		t.Fatalf("recovered %d points, want 5", re.LiveN())
 	}
 	if err := re.Checkpoint(); err != nil {
 		t.Fatal(err)
@@ -347,12 +359,16 @@ func TestStaleHighNamedSegmentNotReplayedTwice(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer fin.Close()
-	if fin.Pin().N() != 6 {
-		t.Fatalf("recovered %d points after checkpoint+insert, want 6 (stale segment replayed?)", fin.Pin().N())
+	if fin.LiveN() != 6 {
+		t.Fatalf("recovered %d points after checkpoint+insert, want 6 (stale segment replayed?)", fin.LiveN())
 	}
 	box := []geom.Box{{Lo: []geom.Coord{0}, Hi: []geom.Coord{100}}}
-	if got := fin.CountBatch(box)[0]; got != 6 {
-		t.Fatalf("count %d, want 6", got)
+	got, err := fin.CountBatch(box)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 6 {
+		t.Fatalf("count %d, want 6", got[0])
 	}
 }
 
@@ -388,7 +404,11 @@ func TestClosedStoreRejectsMutations(t *testing.T) {
 		t.Fatalf("mutation after close: %v", err)
 	}
 	// Pinned versions outlive Close.
-	if got := v.CountBatch([]geom.Box{{Lo: []geom.Coord{0}, Hi: []geom.Coord{10}}}); got[0] != 0 {
+	got, gerr := v.CountBatch([]geom.Box{{Lo: []geom.Coord{0}, Hi: []geom.Coord{10}}})
+	if gerr != nil {
+		t.Fatal(gerr)
+	}
+	if got[0] != 0 {
 		t.Fatalf("pre-insert pin sees %d", got[0])
 	}
 }

@@ -156,8 +156,16 @@ func TestConcurrentMutationStress(t *testing.T) {
 						live := oracle.liveAt(v.Seq())
 						bf := brute.New(live)
 						boxes := randomBoxes(rng, 3, 80, d)
-						counts := v.CountBatch(boxes)
-						reports := v.ReportBatch(boxes)
+						counts, cerr := v.CountBatch(boxes)
+						if cerr != nil {
+							t.Errorf("p=%d reader %d: count batch: %v", p, r, cerr)
+							return
+						}
+						reports, rerr := v.ReportBatch(boxes)
+						if rerr != nil {
+							t.Errorf("p=%d reader %d: report batch: %v", p, r, rerr)
+							return
+						}
 						for i, b := range boxes {
 							if counts[i] != int64(bf.Count(b)) {
 								t.Errorf("p=%d reader %d seq %d: count %d, oracle %d",

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"fmt"
 	"slices"
 
 	"repro/internal/core"
@@ -9,10 +10,12 @@ import (
 
 // Version is one epoch-stamped, immutable snapshot of the store: a set
 // of level trees plus frozen prefixes of the memtable and the deletion
-// shadow. Pinning a version is just holding the pointer — levels a
-// later compaction retires stay alive (and queryable) for as long as a
-// pinned version references them, so readers never block writers and a
-// query batch always sees one consistent state.
+// shadow. Pinning a version keeps every level it references alive (and
+// queryable) no matter how the store moves on — readers never block
+// writers, and a query batch always sees one consistent state. Release
+// the pin when done: levels a later compaction retired close their
+// machines (TCP sessions, worker-resident state) as soon as the last
+// reference drops, instead of leaking until Cluster.Close.
 type Version struct {
 	s      *Store
 	seq    uint64
@@ -20,12 +23,42 @@ type Version struct {
 	mem    []geom.Point
 	shadow []geom.Point
 	liveN  int
+
+	// Guarded by s.mu: outstanding Pin count, whether this is the
+	// published version, and whether its level references were dropped.
+	pins     int
+	current  bool
+	released bool
 }
 
-// Pin returns the current version. The result answers queries against
-// exactly the state published by the last mutation or compaction swap,
-// no matter how the store moves on.
-func (s *Store) Pin() *Version { return s.cur.Load() }
+// Pin returns the current version, reference-counted. The result answers
+// queries against exactly the state published by the last mutation or
+// compaction swap. Call Release when done; a version never released
+// keeps its level trees (and their sessions) alive indefinitely.
+func (s *Store) Pin() *Version {
+	s.mu.Lock()
+	v := s.cur.Load()
+	v.pins++
+	s.mu.Unlock()
+	return v
+}
+
+// Release drops one Pin. When a superseded version loses its last pin,
+// level trees no current version references close their machines.
+func (v *Version) Release() {
+	s := v.s
+	s.mu.Lock()
+	if v.pins > 0 {
+		v.pins--
+	}
+	toClose := s.maybeReleaseLocked(v)
+	s.mu.Unlock()
+	closeTrees(toClose)
+}
+
+// LiveN reports the store's current live point count without pinning (a
+// plain read of the published snapshot — no Release obligation).
+func (s *Store) LiveN() int { return s.cur.Load().liveN }
 
 // Seq reports the version's data-version stamp.
 func (v *Version) Seq() uint64 { return v.seq }
@@ -51,13 +84,18 @@ func (v *Version) Levels() int {
 // and filters reports. OpAggregate is not supported: tombstone
 // subtraction needs an invertible monoid, which the engine's semigroup
 // contract does not promise.
-func Mixed[T any](v *Version, ops []core.MixedOp, boxes []geom.Box) []core.MixedResult[T] {
+//
+// A machine abort mid-batch — a TCP cluster losing a worker, an SPMD
+// violation — returns as an error (and is recorded in Stats.QueryErr)
+// instead of panicking the calling goroutine; the store keeps accepting
+// mutations, and compaction rebuilds levels on fresh machines.
+func Mixed[T any](v *Version, ops []core.MixedOp, boxes []geom.Box) ([]core.MixedResult[T], error) {
 	if len(ops) != len(boxes) {
 		panic("store: ops and boxes disagree in length")
 	}
 	out := make([]core.MixedResult[T], len(boxes))
 	if len(boxes) == 0 {
-		return out
+		return out, nil
 	}
 	for _, op := range ops {
 		if op == core.OpAggregate {
@@ -68,17 +106,29 @@ func Mixed[T any](v *Version, ops []core.MixedOp, boxes []geom.Box) []core.Mixed
 	// Level fan-out: machine runs serialize store-wide because levels
 	// (including ones shared with other pinned versions) each own one
 	// cgm.Machine, and a machine supports one Run at a time.
+	var qerr error
 	v.s.queryMu.Lock()
-	for _, l := range v.levels {
-		if l == nil {
-			continue
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				qerr = fmt.Errorf("store: query batch aborted: %v", r)
+			}
+		}()
+		for _, l := range v.levels {
+			if l == nil {
+				continue
+			}
+			for i, r := range core.MixedBatch[T](l, nil, ops, boxes) {
+				out[i].Count += r.Count
+				out[i].Pts = append(out[i].Pts, r.Pts...)
+			}
 		}
-		for i, r := range core.MixedBatch[T](l, nil, ops, boxes) {
-			out[i].Count += r.Count
-			out[i].Pts = append(out[i].Pts, r.Pts...)
-		}
-	}
+	}()
 	v.s.queryMu.Unlock()
+	if qerr != nil {
+		v.s.noteQueryErr(qerr)
+		return nil, qerr
+	}
 
 	// Memtable contribution.
 	for i, b := range boxes {
@@ -122,49 +172,67 @@ func Mixed[T any](v *Version, ops []core.MixedOp, boxes []geom.Box) []core.Mixed
 			slices.SortFunc(out[i].Pts, func(a, b geom.Point) int { return int(a.ID) - int(b.ID) })
 		}
 	}
-	return out
+	return out, nil
 }
 
 // CountBatch answers |R(q)| for every box against the pinned version.
-func (v *Version) CountBatch(boxes []geom.Box) []int64 {
+func (v *Version) CountBatch(boxes []geom.Box) ([]int64, error) {
 	ops := make([]core.MixedOp, len(boxes))
-	res := Mixed[struct{}](v, ops, boxes)
+	res, err := Mixed[struct{}](v, ops, boxes)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]int64, len(boxes))
 	for i, r := range res {
 		out[i] = r.Count
 	}
-	return out
+	return out, nil
 }
 
 // ReportBatch returns the live points of every box, sorted by ID.
-func (v *Version) ReportBatch(boxes []geom.Box) [][]geom.Point {
+func (v *Version) ReportBatch(boxes []geom.Box) ([][]geom.Point, error) {
 	ops := make([]core.MixedOp, len(boxes))
 	for i := range ops {
 		ops[i] = core.OpReport
 	}
-	res := Mixed[struct{}](v, ops, boxes)
+	res, err := Mixed[struct{}](v, ops, boxes)
+	if err != nil {
+		return nil, err
+	}
 	out := make([][]geom.Point, len(boxes))
 	for i, r := range res {
 		out[i] = r.Pts
 	}
-	return out
+	return out, nil
 }
 
 // CountBatch answers against the current version.
-func (s *Store) CountBatch(boxes []geom.Box) []int64 { return s.Pin().CountBatch(boxes) }
+func (s *Store) CountBatch(boxes []geom.Box) ([]int64, error) {
+	v := s.Pin()
+	defer v.Release()
+	return v.CountBatch(boxes)
+}
 
 // ReportBatch answers against the current version.
-func (s *Store) ReportBatch(boxes []geom.Box) [][]geom.Point { return s.Pin().ReportBatch(boxes) }
+func (s *Store) ReportBatch(boxes []geom.Box) ([][]geom.Point, error) {
+	v := s.Pin()
+	defer v.Release()
+	return v.ReportBatch(boxes)
+}
 
 // AllLive materializes the version's live point set (checkpointing and
-// verification; O(n)).
+// verification; O(n)). Resident level trees fetch their points from
+// worker memory, so the read serializes with query batches under the
+// store's query lock.
 func (v *Version) AllLive() []geom.Point {
 	var out []geom.Point
+	v.s.queryMu.Lock()
 	for _, l := range v.levels {
 		if l != nil {
 			out = append(out, l.AllPoints()...)
 		}
 	}
+	v.s.queryMu.Unlock()
 	out = append(out, v.mem...)
 	if len(v.shadow) == 0 {
 		return out

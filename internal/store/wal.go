@@ -221,6 +221,7 @@ func (s *Store) recover() error {
 				return fmt.Errorf("store: rebuilding checkpoint: %w", err)
 			}
 			s.levels = []*core.Tree{built}
+			s.levelRefs[built]++ // the store's own slot reference
 			s.liveN = len(snap.Points)
 			for _, p := range snap.Points {
 				s.liveIDs[p.ID] = struct{}{}
@@ -293,6 +294,7 @@ func (s *Store) Checkpoint() error {
 		return ErrClosed
 	}
 	v := s.cur.Load()
+	v.pins++ // keep the snapshot's levels alive through the O(n) read below
 	// Rotate: records after this point belong to the new segment; every
 	// segment named below it only holds mutations the snapshot (taken
 	// at v, which is exactly the WAL state — mutations hold mu too)
@@ -303,11 +305,13 @@ func (s *Store) Checkpoint() error {
 	// record.
 	rotStart, err := nextSegStart(s.dir, v.seq)
 	if err != nil {
+		v.pins--
 		s.mu.Unlock()
 		return err
 	}
 	w, err := openWAL(s.dir, rotStart, s.cfg.SyncWAL)
 	if err != nil {
+		v.pins--
 		s.mu.Unlock()
 		return err
 	}
@@ -319,6 +323,7 @@ func (s *Store) Checkpoint() error {
 	s.mu.Unlock()
 	old.close()
 	pts := v.AllLive() // outside mu: v is immutable, writers need not stall on O(n) work
+	v.Release()
 
 	f, err := os.CreateTemp(s.dir, checkpointName+"-*.tmp")
 	if err != nil {

@@ -1,13 +1,19 @@
 package transport_test
 
 import (
+	"fmt"
 	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/cgm"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/geom"
+	"repro/internal/store"
 	"repro/internal/transport"
+	"repro/internal/workload"
 )
 
 // runExpectAbort runs prog expecting a machine abort; it returns the
@@ -40,7 +46,7 @@ func runExpectAbort(t *testing.T, mach *cgm.Machine, prog func(*cgm.Proc)) strin
 // TestTCPExchangeTransposes is the basic fabric check: the all-to-all
 // really transposes through the worker mesh.
 func TestTCPExchangeTransposes(t *testing.T) {
-	cl := startCluster(t, 4)
+	cl := startCluster(t, 4, cgm.Config{})
 	mach, err := cl.NewMachine()
 	if err != nil {
 		t.Fatal(err)
@@ -66,7 +72,7 @@ func TestTCPExchangeTransposes(t *testing.T) {
 // side — workers compare the stamps that arrive over the wire — and the
 // coordinator surfaces the diagnostic as a machine abort.
 func TestTCPSPMDDivergenceAborts(t *testing.T) {
-	cl := startCluster(t, 4)
+	cl := startCluster(t, 4, cgm.Config{})
 	mach, err := cl.NewMachine()
 	if err != nil {
 		t.Fatal(err)
@@ -215,7 +221,7 @@ func TestDialClusterRejectsDuplicateAddresses(t *testing.T) {
 // TestClusterCloseFailsMachinesFast: machines from a closed cluster are
 // unusable with a clear diagnostic.
 func TestClusterCloseFailsMachinesFast(t *testing.T) {
-	cl := startCluster(t, 2)
+	cl := startCluster(t, 2, cgm.Config{})
 	mach, err := cl.NewMachine()
 	if err != nil {
 		t.Fatal(err)
@@ -305,5 +311,181 @@ func TestWorkerSessionsDrain(t *testing.T) {
 			t.Fatalf("session not torn down; %d still live", w.Sessions())
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestResidentWorkerDeathAbortsQuery kills a worker holding resident
+// phase-C state: the next query batch must abort with a transport
+// diagnostic (not deadlock), and the poisoned machine must fail fast on
+// reuse with the original cause — the satellite contract under
+// residency.
+func TestResidentWorkerDeathAbortsQuery(t *testing.T) {
+	workers := make([]*transport.Worker, 4)
+	addrs := make([]string, 4)
+	for i := range workers {
+		w, err := transport.ListenAndServe("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Close()
+		workers[i] = w
+		addrs[i] = w.Addr()
+	}
+	cl, err := transport.DialCluster(addrs, cgm.Config{Resident: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	pts := workload.Points(workload.PointSpec{N: 400, Dims: 2, Dist: workload.Clustered, Seed: 9})
+	boxes := workload.Boxes(workload.QuerySpec{M: 16, Dims: 2, N: 400, Selectivity: 0.1, Seed: 2})
+	tree, err := core.BuildOn(cl, pts, core.BackendLayered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.CountBatch(boxes); len(got) != len(boxes) {
+		t.Fatalf("pre-kill sanity batch returned %d answers", len(got))
+	}
+
+	workers[2].Close() // the worker's session — and its forest part — dies
+
+	msg := func() (msg string) {
+		defer func() {
+			if r := recover(); r != nil {
+				msg = fmt.Sprint(r)
+			}
+		}()
+		tree.CountBatch(boxes)
+		return ""
+	}()
+	if msg == "" {
+		t.Fatal("query batch on a cluster missing resident state finished cleanly")
+	}
+	if !strings.Contains(msg, "transport:") && !strings.Contains(msg, "resident") {
+		t.Fatalf("abort lacks a diagnostic: %v", msg)
+	}
+
+	// Fail-fast reuse with the original cause.
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("reusing the aborted machine must fail fast")
+		}
+		if !strings.Contains(fmt.Sprint(r), "earlier run") {
+			t.Fatalf("fail-fast panic lost the cause: %v", r)
+		}
+	}()
+	tree.CountBatch(boxes)
+}
+
+// TestResidentWorkerDeathSurfacesQueryErr: the same failure through the
+// mutable store must come back as an error on the batch and be recorded
+// in Stats.QueryErr (mirroring Stats.CompactErr), with the engine's
+// dispatch goroutine alive — not panicked.
+func TestResidentWorkerDeathSurfacesQueryErr(t *testing.T) {
+	workers := make([]*transport.Worker, 2)
+	addrs := make([]string, 2)
+	for i := range workers {
+		w, err := transport.ListenAndServe("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Close()
+		workers[i] = w
+		addrs[i] = w.Addr()
+	}
+	cl, err := transport.DialCluster(addrs, cgm.Config{Resident: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	st, err := store.Open("", store.Config{Dims: 2, Provider: cl, MemtableCap: 64, Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	pts := workload.Points(workload.PointSpec{N: 200, Dims: 2, Dist: workload.Uniform, Seed: 4})
+	if _, err := st.InsertBatch(pts); err != nil {
+		t.Fatal(err)
+	}
+	st.Compact()
+	boxes := workload.Boxes(workload.QuerySpec{M: 8, Dims: 2, N: 200, Selectivity: 0.1, Seed: 6})
+
+	eng := engine.NewStore(st, engine.Config{BatchSize: 4, MaxDelay: time.Millisecond})
+	defer eng.Close()
+	if _, err := eng.Count(boxes[0]); err != nil {
+		t.Fatalf("pre-kill engine count: %v", err)
+	}
+
+	workers[1].Close()
+
+	if _, err := eng.Count(boxes[1]); err == nil {
+		t.Fatal("engine count against a dead resident worker succeeded")
+	}
+	if qerr := st.Stats().QueryErr; qerr == "" {
+		t.Fatal("Stats.QueryErr empty after an aborted query batch")
+	}
+	// The engine loop survived the abort: a second query gets an error
+	// reply, not a hang on a dead dispatch goroutine.
+	if _, err := eng.Count(boxes[2]); err == nil {
+		t.Fatal("second engine count succeeded on a poisoned level machine")
+	}
+	// Mutations are still accepted — the write path does not depend on
+	// the poisoned query machines (compaction may later fail and set
+	// CompactErr, which is its own, separately-tested contract).
+	fresh := []geom.Point{{ID: 10_000, X: []geom.Coord{1, 2}}}
+	if _, err := st.InsertBatch(fresh); err != nil {
+		if !strings.Contains(err.Error(), "compaction failed") {
+			t.Fatalf("mutation after query abort: %v", err)
+		}
+	}
+}
+
+// TestRetiredLevelSessionsClose: compaction-retired level trees must
+// close their TCP sessions (and worker-resident state) eagerly once no
+// pinned version references them — not leak until Cluster.Close.
+func TestRetiredLevelSessionsClose(t *testing.T) {
+	w, err := transport.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	cl, err := transport.DialCluster([]string{w.Addr()}, cgm.Config{Resident: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	st, err := store.Open("", store.Config{Dims: 2, Provider: cl, MemtableCap: 16, Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	pts := workload.Points(workload.PointSpec{N: 96, Dims: 2, Dist: workload.Uniform, Seed: 8})
+	for lo := 0; lo < len(pts); lo += 16 {
+		if _, err := st.InsertBatch(pts[lo : lo+16]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete enough to trip a fold: every level collapses into one.
+	if _, err := st.DeleteBatch(pts[:40]); err != nil {
+		t.Fatal(err)
+	}
+	st.Compact()
+
+	levels := st.Stats().Levels
+	if levels == 0 {
+		t.Fatal("expected at least one level after compaction")
+	}
+	// Eventually exactly one session per live level survives: every
+	// retired level's machine was closed by the reference counting, with
+	// the cluster still open.
+	deadline := time.Now().Add(5 * time.Second)
+	for w.Sessions() != levels {
+		if time.Now().After(deadline) {
+			t.Fatalf("worker holds %d sessions for %d live levels (retired levels leaked)", w.Sessions(), levels)
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

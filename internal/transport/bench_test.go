@@ -1,0 +1,131 @@
+package transport_test
+
+import (
+	"testing"
+
+	"repro/internal/aggregates"
+	"repro/internal/cgm"
+	"repro/internal/core"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// BenchmarkClusterMixed serves mixed count/aggregate/report batches on a
+// 4-worker localhost cluster in both execution modes. The interesting
+// metric is coord-B/query — bytes crossing the coordinator's worker
+// connections per query: in fabric mode every phase-B element copy and
+// phase-C block transits the coordinator; in resident mode the forest
+// lives in the workers and those payloads move only on the worker mesh,
+// so the coordinator carries control frames, query boxes and result
+// blocks. The acceptance bar is a clear drop of coordinator bytes/query
+// in resident mode (recorded in BENCH_cluster.json by rangebench
+// -cluster).
+func BenchmarkClusterMixed(b *testing.B) {
+	for _, mode := range []struct {
+		name     string
+		resident bool
+	}{{"fabric", false}, {"resident", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			const p, n, m = 4, 1 << 13, 64
+			workers := make([]*transport.Worker, p)
+			addrs := make([]string, p)
+			for i := range workers {
+				w, err := transport.ListenAndServe("127.0.0.1:0")
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer w.Close()
+				workers[i] = w
+				addrs[i] = w.Addr()
+			}
+			cl, err := transport.DialCluster(addrs, cgm.Config{Resident: mode.resident})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cl.Close()
+
+			pts := workload.Points(workload.PointSpec{N: n, Dims: 2, Dist: workload.Clustered, Seed: 7})
+			tree, err := core.BuildOn(cl, pts, core.BackendLayered)
+			if err != nil {
+				b.Fatal(err)
+			}
+			h := core.PrepareAssociativeNamed[float64](tree, aggregates.WeightSum)
+			boxes := workload.Boxes(workload.QuerySpec{M: m, Dims: 2, N: n, Selectivity: 0.02, Seed: 11})
+			ops := make([]core.MixedOp, m)
+			for i := range ops {
+				ops[i] = core.MixedOp(i % 3)
+			}
+			// Warm the copy caches so the steady state is measured.
+			core.MixedBatch(tree, h, ops, boxes)
+
+			outBefore, inBefore := cl.CoordBytes()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.MixedBatch(tree, h, ops, boxes)
+			}
+			b.StopTimer()
+			out, in := cl.CoordBytes()
+			queries := float64(b.N * m)
+			b.ReportMetric(float64(out-outBefore+in-inBefore)/queries, "coord-B/query")
+			b.ReportMetric(queries/b.Elapsed().Seconds(), "q/s")
+		})
+	}
+}
+
+// clusterBytesPerQuery is the measurement behind the acceptance check
+// below and the rangebench -cluster JSON record.
+func clusterBytesPerQuery(tb testing.TB, resident bool, batches int) float64 {
+	const p, n, m = 4, 1 << 12, 64
+	workers := make([]*transport.Worker, p)
+	addrs := make([]string, p)
+	for i := range workers {
+		w, err := transport.ListenAndServe("127.0.0.1:0")
+		if err != nil {
+			tb.Fatal(err)
+		}
+		defer w.Close()
+		workers[i] = w
+		addrs[i] = w.Addr()
+	}
+	cl, err := transport.DialCluster(addrs, cgm.Config{Resident: resident})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer cl.Close()
+	pts := workload.Points(workload.PointSpec{N: n, Dims: 2, Dist: workload.Clustered, Seed: 7})
+	tree, err := core.BuildOn(cl, pts, core.BackendLayered)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	h := core.PrepareAssociativeNamed[float64](tree, aggregates.WeightSum)
+	boxes := workload.Boxes(workload.QuerySpec{M: m, Dims: 2, N: n, Selectivity: 0.02, Seed: 11})
+	ops := make([]core.MixedOp, m)
+	for i := range ops {
+		ops[i] = core.MixedOp(i % 3)
+	}
+	core.MixedBatch(tree, h, ops, boxes) // warm caches
+	outBefore, inBefore := cl.CoordBytes()
+	for i := 0; i < batches; i++ {
+		core.MixedBatch(tree, h, ops, boxes)
+	}
+	out, in := cl.CoordBytes()
+	return float64(out-outBefore+in-inBefore) / float64(batches*m)
+}
+
+// TestResidentModeMovesBlocksOffCoordinator is the acceptance criterion
+// as a test: resident mode must move at least the per-query phase-B/C
+// block traffic off the coordinator — concretely, coordinator bytes per
+// query must drop to well under half of fabric mode's.
+func TestResidentModeMovesBlocksOffCoordinator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster traffic measurement")
+	}
+	fabric := clusterBytesPerQuery(t, false, 3)
+	resident := clusterBytesPerQuery(t, true, 3)
+	t.Logf("coordinator bytes/query: fabric %.0f, resident %.0f (%.1fx drop)",
+		fabric, resident, fabric/resident)
+	if resident >= fabric/2 {
+		t.Fatalf("resident mode does not unload the coordinator: fabric %.0f B/query, resident %.0f B/query",
+			fabric, resident)
+	}
+}

@@ -1,21 +1,26 @@
 package transport
 
 import (
-	"bufio"
 	"crypto/rand"
 	"encoding/hex"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cgm"
+	"repro/internal/exec"
 )
 
 // Cluster is a cgm.Provider backed by remote workers: every machine it
 // creates opens one session on each worker and runs its supersteps over
 // TCP. The same SPMD programs (construct, the three §4.2 search modes,
 // store compaction) run unchanged; only the h-relations change medium.
+// With cfg.Resident the machines execute registered programs against
+// worker-resident state: the forest parts live in the workers, and the
+// coordinator's connections carry only control frames, query boxes and
+// result blocks (CoordBytes observes the difference).
 type Cluster struct {
 	addrs []string
 	cfg   cgm.Config
@@ -25,13 +30,15 @@ type Cluster struct {
 	next  uint64
 	open  map[string]*tcpTransport
 	done  bool
+
+	bytesOut, bytesIn atomic.Int64
 }
 
 // DialCluster connects to the given workers (one address per rank; the
 // machine width is len(addrs)) and returns a provider of TCP-backed
-// machines. cfg supplies Mode/G/L for created machines; cfg.P may be 0
-// or len(addrs), and cfg.Transport must be nil. Every worker is probed
-// so a wrong address fails here, not mid-build.
+// machines. cfg supplies Mode/G/L/Resident for created machines; cfg.P
+// may be 0 or len(addrs), and cfg.Transport must be nil. Every worker is
+// probed so a wrong address fails here, not mid-build.
 func DialCluster(addrs []string, cfg cgm.Config) (*Cluster, error) {
 	if len(addrs) == 0 {
 		return nil, errors.New("transport: cluster needs at least one worker address")
@@ -74,6 +81,19 @@ func (c *Cluster) P() int { return len(c.addrs) }
 // Addrs reports the worker addresses by rank.
 func (c *Cluster) Addrs() []string { return append([]string(nil), c.addrs...) }
 
+// Resident reports whether machines from this cluster execute registered
+// programs against worker-resident state.
+func (c *Cluster) Resident() bool { return c.cfg.Resident }
+
+// CoordBytes reports the cumulative bytes written to and read from the
+// workers over the coordinator's connections (all sessions since dial).
+// Worker-to-worker mesh traffic is not included — that is the point: in
+// resident mode the phase-B/C payloads move only on the mesh, and this
+// counter shows what the coordinator no longer carries.
+func (c *Cluster) CoordBytes() (out, in int64) {
+	return c.bytesOut.Load(), c.bytesIn.Load()
+}
+
 // NewMachine opens a fresh session on every worker and returns a machine
 // whose supersteps run over it. The machine owns the session: closing
 // the machine (or the whole cluster) tears it down.
@@ -87,17 +107,17 @@ func (c *Cluster) NewMachine() (*cgm.Machine, error) {
 	c.next++
 	c.mu.Unlock()
 
-	tr := &tcpTransport{cl: c, session: id, p: len(c.addrs), conns: make([]*wconn, len(c.addrs))}
+	tr := &tcpTransport{cl: c, session: id, p: len(c.addrs), conns: make([]*fconn, len(c.addrs))}
 	for rank, addr := range c.addrs {
 		conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+		var fc *fconn
 		if err == nil {
-			err = writeFrame(conn, &frame{Kind: kindOpen, Session: id, Rank: rank, Peers: c.addrs})
+			fc = newFConn(conn).count(&c.bytesOut, &c.bytesIn)
+			err = fc.write(&frame{Kind: kindOpen, Session: id, Rank: rank, Peers: c.addrs})
 		}
-		var r *bufio.Reader
 		if err == nil {
-			r = bufio.NewReader(conn)
 			var ack *frame
-			ack, err = readFrame(r)
+			ack, err = fc.read()
 			if err == nil && ack.Kind != kindOpenAck {
 				if ack.Kind == kindError {
 					err = errors.New(ack.Err)
@@ -113,7 +133,7 @@ func (c *Cluster) NewMachine() (*cgm.Machine, error) {
 			tr.closeConns()
 			return nil, fmt.Errorf("transport: opening session on worker %d (%s): %w", rank, addr, err)
 		}
-		tr.conns[rank] = &wconn{c: conn, r: r}
+		tr.conns[rank] = fc
 	}
 	c.mu.Lock()
 	if c.done {
@@ -151,28 +171,18 @@ func (c *Cluster) Close() error {
 	return nil
 }
 
-// wconn is one coordinator↔worker connection: written under a lock (the
-// rank goroutine and Abort may race), read only by the rank goroutine.
-type wconn struct {
-	mu sync.Mutex
-	c  net.Conn
-	r  *bufio.Reader
-}
-
-func (wc *wconn) write(f *frame) error {
-	wc.mu.Lock()
-	defer wc.mu.Unlock()
-	return writeFrame(wc.c, f)
-}
-
 // tcpTransport is the coordinator side of one session: the cgm.Transport
 // whose Exchange ships a rank's deposit to its worker and blocks until
-// the worker returns the assembled column (or a diagnostic).
+// the worker returns the assembled column (or a diagnostic). It also
+// implements cgm.ResidentTransport: step calls and resident supersteps
+// travel the same per-rank connections (written under the fconn lock,
+// read only by the rank goroutine — or, between runs, by at most one
+// caller at a time, per the Machine contract).
 type tcpTransport struct {
 	cl      *Cluster
 	session string
 	p       int
-	conns   []*wconn
+	conns   []*fconn
 
 	mu    sync.Mutex
 	fault error // first abort/close cause; Reset fails fast on it
@@ -199,7 +209,7 @@ func (t *tcpTransport) Exchange(rank int, dep cgm.Deposit) (cgm.Column, error) {
 	if err != nil {
 		return cgm.Column{}, t.connErr(rank, err)
 	}
-	resp, err := readFrame(wc.r)
+	resp, err := wc.read()
 	if err != nil {
 		return cgm.Column{}, t.connErr(rank, err)
 	}
@@ -216,6 +226,60 @@ func (t *tcpTransport) Exchange(rank int, dep cgm.Deposit) (cgm.Column, error) {
 		return cgm.Column{}, errors.New(resp.Err)
 	default:
 		return cgm.Column{}, fmt.Errorf("transport: worker %d sent unexpected frame kind %d", rank, resp.Kind)
+	}
+}
+
+// ExchangeResident runs one superstep whose payload originates and/or
+// terminates in the worker's session state.
+func (t *tcpTransport) ExchangeResident(rank int, dep cgm.ResidentDeposit) (cgm.ResidentReply, error) {
+	wc := t.conns[rank]
+	fr := &frame{Kind: kindDeposit, Session: t.session, Rank: rank,
+		Seq: dep.Seq, Stamp: dep.Stamp, Type: dep.Type, Blocks: dep.Blocks,
+		Collect: wireRef(*dep.Collect, dep.CollectArgs)}
+	if dep.Emit != nil {
+		fr.Call = wireRef(*dep.Emit, dep.EmitArgs)
+	}
+	if err := wc.write(fr); err != nil {
+		return cgm.ResidentReply{}, t.connErr(rank, err)
+	}
+	resp, err := wc.read()
+	if err != nil {
+		return cgm.ResidentReply{}, t.connErr(rank, err)
+	}
+	switch resp.Kind {
+	case kindColumn:
+		if resp.Seq != dep.Seq {
+			return cgm.ResidentReply{}, fmt.Errorf("transport: worker %d answered superstep %d, expected %d", rank, resp.Seq, dep.Seq)
+		}
+		rep := cgm.ResidentReply{Reply: resp.Reply, Note: resp.Note, Sent: dep.Sent, Recv: resp.Recv}
+		if dep.Emit != nil {
+			rep.Sent = resp.Sent // counted by the emit step
+		}
+		return rep, nil
+	case kindError:
+		return cgm.ResidentReply{}, errors.New(resp.Err)
+	default:
+		return cgm.ResidentReply{}, fmt.Errorf("transport: worker %d sent unexpected frame kind %d", rank, resp.Kind)
+	}
+}
+
+// CallStep runs a registered pure step against rank's session state.
+func (t *tcpTransport) CallStep(rank int, ref exec.Ref, args []byte) ([]byte, error) {
+	wc := t.conns[rank]
+	if err := wc.write(&frame{Kind: kindStep, Session: t.session, Rank: rank, Call: wireRef(ref, args)}); err != nil {
+		return nil, t.connErr(rank, err)
+	}
+	resp, err := wc.read()
+	if err != nil {
+		return nil, t.connErr(rank, err)
+	}
+	switch resp.Kind {
+	case kindStepReply:
+		return resp.Reply, nil
+	case kindError:
+		return nil, errors.New(resp.Err)
+	default:
+		return nil, fmt.Errorf("transport: worker %d sent unexpected frame kind %d", rank, resp.Kind)
 	}
 }
 
@@ -267,7 +331,7 @@ func (t *tcpTransport) teardown(cause error, polite bool) {
 func (t *tcpTransport) closeConns() {
 	for _, wc := range t.conns {
 		if wc != nil {
-			wc.c.Close()
+			wc.close()
 		}
 	}
 }

@@ -5,18 +5,18 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/aggregates" // registers the standard named aggregates
 	"repro/internal/cgm"
 	"repro/internal/core"
 	"repro/internal/geom"
-	"repro/internal/semigroup"
 	"repro/internal/store"
 	"repro/internal/transport"
 	"repro/internal/workload"
 )
 
 // startCluster spins up p in-process workers on ephemeral localhost
-// ports and dials them.
-func startCluster(t *testing.T, p int) *transport.Cluster {
+// ports and dials them with the given machine config.
+func startCluster(t *testing.T, p int, cfg cgm.Config) *transport.Cluster {
 	t.Helper()
 	addrs := make([]string, p)
 	for i := range addrs {
@@ -27,7 +27,7 @@ func startCluster(t *testing.T, p int) *transport.Cluster {
 		t.Cleanup(func() { w.Close() })
 		addrs[i] = w.Addr()
 	}
-	cl, err := transport.DialCluster(addrs, cgm.Config{})
+	cl, err := transport.DialCluster(addrs, cfg)
 	if err != nil {
 		t.Fatalf("dial cluster: %v", err)
 	}
@@ -38,7 +38,7 @@ func startCluster(t *testing.T, p int) *transport.Cluster {
 // comparableRounds strips the wall-clock fields from the round stats:
 // everything else — the number of rounds, their labels and order, the h
 // of every round, the exchanged volume — must be byte-for-byte identical
-// across transports.
+// across transports AND residency modes.
 type roundKey struct {
 	Label      string
 	MaxH       int
@@ -54,27 +54,52 @@ func comparableRounds(mt cgm.Metrics) []roundKey {
 	return out
 }
 
-func assertMetricsEqual(t *testing.T, phase string, loop, tcp cgm.Metrics) {
+func assertMetricsEqual(t *testing.T, phase, aName, bName string, a, b cgm.Metrics) {
 	t.Helper()
-	lr, tr := comparableRounds(loop), comparableRounds(tcp)
-	if len(lr) != len(tr) {
-		t.Fatalf("%s: loopback folded %d rounds, tcp %d", phase, len(lr), len(tr))
+	ar, br := comparableRounds(a), comparableRounds(b)
+	if len(ar) != len(br) {
+		t.Fatalf("%s: %s folded %d rounds, %s %d", phase, aName, len(ar), bName, len(br))
 	}
-	for i := range lr {
-		if lr[i] != tr[i] {
-			t.Fatalf("%s round %d diverges:\n  loopback %+v\n  tcp      %+v", phase, i, lr[i], tr[i])
+	for i := range ar {
+		if ar[i] != br[i] {
+			t.Fatalf("%s round %d diverges:\n  %-17s %+v\n  %-17s %+v", phase, i, aName, ar[i], bName, br[i])
 		}
 	}
-	if loop.Runs != tcp.Runs {
-		t.Fatalf("%s: loopback ran %d machine runs, tcp %d", phase, loop.Runs, tcp.Runs)
+	if a.Runs != b.Runs {
+		t.Fatalf("%s: %s ran %d machine runs, %s %d", phase, aName, a.Runs, bName, b.Runs)
 	}
 }
 
-// TestCrossTransportEquivalence is the refactor's safety net: the same
-// SPMD programs must return identical answers AND identical round/h
-// metrics whether the supersteps move through shared memory or through
-// TCP worker processes — for construction and all three §4.2 result
-// modes, across machine widths and dimensionalities.
+// execVariant is one cell of the {loopback, TCP} × {fabric, resident}
+// matrix.
+type execVariant struct {
+	name     string
+	tcp      bool
+	resident bool
+}
+
+var execVariants = []execVariant{
+	{"loopback/fabric", false, false},
+	{"loopback/resident", false, true},
+	{"tcp/fabric", true, false},
+	{"tcp/resident", true, true},
+}
+
+func (v execVariant) provider(t *testing.T, p int) cgm.Provider {
+	cfg := cgm.Config{P: p, Resident: v.resident}
+	if v.tcp {
+		return startCluster(t, p, cfg)
+	}
+	return cgm.NewLocalProvider(cfg)
+}
+
+// TestCrossTransportEquivalence is the refactor's safety net, now across
+// residency too: the same SPMD programs must return identical answers AND
+// identical round/h metrics whether the supersteps move through shared
+// memory or TCP worker processes, and whether the forest lives in
+// coordinator memory (fabric) or where the programs execute (resident) —
+// for construction and all three §4.2 result modes, across machine
+// widths and dimensionalities.
 func TestCrossTransportEquivalence(t *testing.T) {
 	for _, p := range []int{1, 4} {
 		for _, d := range []int{2, 3} {
@@ -83,94 +108,128 @@ func TestCrossTransportEquivalence(t *testing.T) {
 				pts := workload.Points(workload.PointSpec{N: n, Dims: d, Dist: workload.Clustered, Seed: 7})
 				boxes := workload.Boxes(workload.QuerySpec{M: m, Dims: d, N: n, Selectivity: 0.05, Seed: 11})
 
-				loopMach := cgm.New(cgm.Config{P: p})
-				loopTree := core.Build(loopMach, pts)
-
-				cl := startCluster(t, p)
-				tcpTree, err := core.BuildOn(cl, pts, core.BackendLayered)
-				if err != nil {
-					t.Fatalf("cluster build: %v", err)
+				trees := make([]*core.Tree, len(execVariants))
+				for i, v := range execVariants {
+					tree, err := core.BuildOn(v.provider(t, p), pts, core.BackendLayered)
+					if err != nil {
+						t.Fatalf("%s build: %v", v.name, err)
+					}
+					trees[i] = tree
+					if err := tree.Verify(); err != nil {
+						t.Fatalf("%s fails Verify: %v", v.name, err)
+					}
 				}
-				tcpMach := tcpTree.Machine()
-
-				assertMetricsEqual(t, "construct", loopMach.Metrics(), tcpMach.Metrics())
-				loopMach.ResetMetrics()
-				tcpMach.ResetMetrics()
+				base := trees[0]
+				for i, v := range execVariants[1:] {
+					assertMetricsEqual(t, "construct", execVariants[0].name, v.name,
+						base.Machine().Metrics(), trees[i+1].Machine().Metrics())
+				}
+				for _, tree := range trees {
+					tree.Machine().ResetMetrics()
+				}
 
 				// Count mode.
-				lc, tc := loopTree.CountBatch(boxes), tcpTree.CountBatch(boxes)
-				for i := range lc {
-					if lc[i] != tc[i] {
-						t.Fatalf("count query %d: loopback %d, tcp %d", i, lc[i], tc[i])
-					}
-				}
-
-				// Associative-function mode.
-				lh := core.PrepareAssociative(loopTree, semigroup.FloatSum(), workload.WeightOf)
-				th := core.PrepareAssociative(tcpTree, semigroup.FloatSum(), workload.WeightOf)
-				ls, ts := lh.Batch(boxes), th.Batch(boxes)
-				for i := range ls {
-					if math.Abs(ls[i]-ts[i]) > 1e-9 {
-						t.Fatalf("aggregate query %d: loopback %v, tcp %v", i, ls[i], ts[i])
-					}
-				}
-
-				// Report mode.
-				lrep, trep := loopTree.ReportBatch(boxes), tcpTree.ReportBatch(boxes)
-				for i := range lrep {
-					if len(lrep[i]) != len(trep[i]) {
-						t.Fatalf("report query %d: loopback %d points, tcp %d", i, len(lrep[i]), len(trep[i]))
-					}
-					for j := range lrep[i] {
-						if lrep[i][j].ID != trep[i][j].ID {
-							t.Fatalf("report query %d point %d: loopback id %d, tcp id %d",
-								i, j, lrep[i][j].ID, trep[i][j].ID)
+				want := base.CountBatch(boxes)
+				for i, v := range execVariants[1:] {
+					got := trees[i+1].CountBatch(boxes)
+					for q := range want {
+						if want[q] != got[q] {
+							t.Fatalf("count query %d: %s %d, %s %d", q, execVariants[0].name, want[q], v.name, got[q])
 						}
 					}
 				}
 
-				assertMetricsEqual(t, "search", loopMach.Metrics(), tcpMach.Metrics())
+				// Associative-function mode (registered aggregate: the
+				// only kind a resident tree can serve).
+				wantAgg := core.PrepareAssociativeNamed[float64](base, aggregates.WeightSum).Batch(boxes)
+				for i, v := range execVariants[1:] {
+					got := core.PrepareAssociativeNamed[float64](trees[i+1], aggregates.WeightSum).Batch(boxes)
+					for q := range wantAgg {
+						if math.Abs(wantAgg[q]-got[q]) > 1e-9 {
+							t.Fatalf("aggregate query %d: %s %v, %s %v", q, execVariants[0].name, wantAgg[q], v.name, got[q])
+						}
+					}
+				}
+
+				// Report mode.
+				wantRep := base.ReportBatch(boxes)
+				for i, v := range execVariants[1:] {
+					got := trees[i+1].ReportBatch(boxes)
+					for q := range wantRep {
+						if len(wantRep[q]) != len(got[q]) {
+							t.Fatalf("report query %d: %s %d points, %s %d", q, execVariants[0].name, len(wantRep[q]), v.name, len(got[q]))
+						}
+						for j := range wantRep[q] {
+							if wantRep[q][j].ID != got[q][j].ID {
+								t.Fatalf("report query %d point %d: %s id %d, %s id %d",
+									q, j, execVariants[0].name, wantRep[q][j].ID, v.name, got[q][j].ID)
+							}
+						}
+					}
+				}
+
+				for i, v := range execVariants[1:] {
+					assertMetricsEqual(t, "search", execVariants[0].name, v.name,
+						base.Machine().Metrics(), trees[i+1].Machine().Metrics())
+				}
 			})
 		}
 	}
 }
 
-// TestClusterStore runs the mutable store with its level builds and
-// query batches on TCP workers, against a loopback twin.
+// TestClusterStore runs the mutable store — level builds, compactions and
+// mixed query batches — on every cell of the transport × residency
+// matrix and asserts identical answers.
 func TestClusterStore(t *testing.T) {
-	cl := startCluster(t, 4)
 	pts := workload.Points(workload.PointSpec{N: 300, Dims: 2, Dist: workload.Uniform, Seed: 3})
 	boxes := workload.Boxes(workload.QuerySpec{M: 16, Dims: 2, N: 300, Selectivity: 0.1, Seed: 5})
-
-	open := func(pv cgm.Provider) *storeHandle {
-		return newStoreHandle(t, pv, pts)
-	}
-	tcp := open(cl)
-	loop := open(cgm.NewLocalProvider(cgm.Config{P: 4}))
-
-	lc, tc := loop.st.CountBatch(boxes), tcp.st.CountBatch(boxes)
-	for i := range lc {
-		if lc[i] != tc[i] {
-			t.Fatalf("store count %d: loopback %d, tcp %d", i, lc[i], tc[i])
+	ops := make([]core.MixedOp, len(boxes))
+	for i := range ops {
+		if i%2 == 1 {
+			ops[i] = core.OpReport
 		}
 	}
-	// Mutate both and compare again.
+
+	stores := make([]*store.Store, len(execVariants))
+	for i, v := range execVariants {
+		stores[i] = newStoreHandle(t, v.provider(t, 4), pts).st
+	}
+
+	check := func(stage string) {
+		t.Helper()
+		base, err := store.Mixed[struct{}](stores[0].Pin(), ops, boxes)
+		if err != nil {
+			t.Fatalf("%s: %s mixed: %v", stage, execVariants[0].name, err)
+		}
+		for i, v := range execVariants[1:] {
+			got, err := store.Mixed[struct{}](stores[i+1].Pin(), ops, boxes)
+			if err != nil {
+				t.Fatalf("%s: %s mixed: %v", stage, v.name, err)
+			}
+			for q := range base {
+				if base[q].Count != got[q].Count {
+					t.Fatalf("%s: store mixed count %d: %s %d, %s %d", stage, q, execVariants[0].name, base[q].Count, v.name, got[q].Count)
+				}
+				if len(base[q].Pts) != len(got[q].Pts) {
+					t.Fatalf("%s: store mixed report %d: %s %d pts, %s %d", stage, q, execVariants[0].name, len(base[q].Pts), v.name, len(got[q].Pts))
+				}
+			}
+		}
+	}
+	check("seeded")
+
+	// Mutate every store identically and compare again.
 	del := pts[:40]
-	for _, h := range []*storeHandle{loop, tcp} {
-		if _, err := h.st.DeleteBatch(del); err != nil {
-			t.Fatalf("delete: %v", err)
+	for i, st := range stores {
+		if _, err := st.DeleteBatch(del); err != nil {
+			t.Fatalf("%s delete: %v", execVariants[i].name, err)
 		}
-		h.st.Compact()
-	}
-	lc, tc = loop.st.CountBatch(boxes), tcp.st.CountBatch(boxes)
-	for i := range lc {
-		if lc[i] != tc[i] {
-			t.Fatalf("store count after delete %d: loopback %d, tcp %d", i, lc[i], tc[i])
+		st.Compact()
+		if cerr := st.Stats().CompactErr; cerr != "" {
+			t.Fatalf("%s compaction failed: %s", execVariants[i].name, cerr)
 		}
 	}
-	if cerr := tcp.st.Stats().CompactErr; cerr != "" {
-		t.Fatalf("tcp store compaction failed: %s", cerr)
-	}
+	check("after-delete")
 }
 
 // storeHandle owns one ephemeral mutable store seeded with pts.
@@ -193,7 +252,7 @@ func newStoreHandle(t *testing.T, pv cgm.Provider, pts []geom.Point) *storeHandl
 // TestSingleWorkerCluster covers the degenerate p=1 fabric (no peer
 // routing at all — the column is the own deposit).
 func TestSingleWorkerCluster(t *testing.T) {
-	cl := startCluster(t, 1)
+	cl := startCluster(t, 1, cgm.Config{})
 	mach, err := cl.NewMachine()
 	if err != nil {
 		t.Fatal(err)

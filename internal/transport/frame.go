@@ -1,30 +1,49 @@
 // Package transport runs the CGM machine's supersteps over TCP: the
 // multicomputer as real processes. One coordinator process executes the
-// SPMD program (the p rank goroutines and the distributed structure's
-// state live there, exactly as on the loopback transport), and p worker
-// processes form the communication fabric — every h-relation leaves the
-// coordinator as gob-encoded blocks, is routed worker-to-worker over a
-// mesh of TCP connections, validated for SPMD divergence on the remote
-// side, and returns as the assembled column. Round and h accounting is
-// done by the machine from element counts, so loopback and TCP runs of
-// the same program produce identical Metrics — the equivalence the tests
-// in this package pin down.
+// SPMD program driver (the p rank goroutines, the hat replicas and the
+// superstep accounting live there, exactly as on the loopback transport),
+// and p worker processes carry the h-relations — every exchange leaves
+// the coordinator as gob-encoded blocks, is routed worker-to-worker over
+// a mesh of TCP connections, validated for SPMD divergence on the remote
+// side, and returns as the assembled column.
+//
+// With resident execution (cgm.Config.Resident) the workers are more than
+// fabric: each session carries a per-rank state store of registered SPMD
+// programs (internal/exec), the coordinator dispatches (program, version,
+// step, args) control frames, and superstep payloads can originate and
+// terminate in worker memory — the forest parts live where the program
+// runs, and phase-C block traffic never transits the coordinator. Round
+// and h accounting is done by the machine from element counts, so
+// loopback and TCP runs of the same program produce identical Metrics in
+// both residency modes — the equivalence the tests in this package pin
+// down.
 //
 // Topology: Cluster (a cgm.Provider) opens one session per machine. The
 // coordinator dials each worker once per session (rank i's conn carries
-// deposits down and columns up); workers dial each other lazily, one
-// directed conn per (session, source, destination) pair, to route
-// blocks. Wire format: every frame is a 4-byte big-endian length prefix
-// followed by one gob-encoded frame value.
+// deposits and step calls down, columns and step replies up); workers
+// dial each other lazily, one directed conn per (session, source,
+// destination) pair, to route blocks. Wire format: every frame is a
+// 4-byte big-endian length prefix followed by one gob message stream.
+// Each connection keeps ONE encoder/decoder pair for its lifetime, so
+// gob type descriptors cross once per connection instead of once per
+// frame — framing stays self-delimiting (the length prefix), decoding
+// stays streaming (frames must be read in order, which the one-reader-
+// per-connection protocol already guarantees).
 package transport
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/binary"
 	"encoding/gob"
 	"fmt"
 	"io"
+	"net"
+	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/exec"
 )
 
 // maxFrame bounds a single frame (1 GiB) so a corrupt length prefix
@@ -48,19 +67,47 @@ const (
 	// kindHello (worker→worker) binds a fresh peer conn to (session,
 	// source rank); the conn then carries only kindBlock frames.
 	kindHello
-	// kindDeposit (coordinator→worker) is one rank's out-row for one
-	// superstep: p encoded blocks plus the SPMD stamp.
+	// kindDeposit (coordinator→worker) is one rank's superstep: either p
+	// encoded blocks, or (resident) an emit step reference producing them
+	// worker-side; an optional collect step reference consumes the
+	// assembled column worker-side.
 	kindDeposit
 	// kindBlock (worker→worker) routes one block to its destination.
 	kindBlock
-	// kindColumn (worker→coordinator) returns the assembled column.
+	// kindColumn (worker→coordinator) returns the assembled column — or,
+	// for a resident superstep, the collect step's reply plus the element
+	// counts the machine folds into its h accounting.
 	kindColumn
+	// kindStep (coordinator→worker) runs a registered pure step against
+	// the session's resident state.
+	kindStep
+	// kindStepReply (worker→coordinator) returns the step's reply.
+	kindStepReply
 	// kindError (worker→coordinator) aborts the superstep with a
-	// diagnostic (SPMD divergence, lost peer, protocol violation).
+	// diagnostic (SPMD divergence, lost peer, step failure, protocol
+	// violation).
 	kindError
 	// kindAbort (either direction) poisons the session.
 	kindAbort
 )
+
+// stepRef names one registered step on the wire, args attached.
+type stepRef struct {
+	Prog string
+	Ver  int
+	Step string
+	Args []byte
+}
+
+// wireRef converts an exec reference plus args for the wire.
+func wireRef(ref exec.Ref, args []byte) *stepRef {
+	return &stepRef{Prog: ref.Program, Ver: ref.Version, Step: ref.Step, Args: args}
+}
+
+// execRef converts back.
+func (sr *stepRef) execRef() exec.Ref {
+	return exec.Ref{Program: sr.Prog, Version: sr.Ver, Step: sr.Step}
+}
 
 // frame is the single wire message; which fields are meaningful depends
 // on Kind.
@@ -74,28 +121,79 @@ type frame struct {
 	Blocks  [][]byte // Deposit: p blocks; Block: 1; Column: p
 	Peers   []string // Open: worker addresses by rank
 	Err     string   // Error/Abort: diagnostic
+	Call    *stepRef // Step: the step; Deposit: the emit step (resident)
+	Collect *stepRef // Deposit: the collect step (resident)
+	Reply   []byte   // StepReply / resident Column: the step's reply
+	Note    []byte   // resident Column: the emit step's note
+	Sent    int      // resident Column: emit-side element count
+	Recv    int      // resident Column: collect-side element count
 }
 
-// writeFrame writes one length-prefixed gob frame. Each frame uses a
-// fresh encoder: the per-frame type-descriptor overhead buys stateless
-// framing (any frame can be decoded in isolation, connections carry no
-// encoder state across messages).
-func writeFrame(w io.Writer, f *frame) error {
-	var buf bytes.Buffer
-	buf.Write([]byte{0, 0, 0, 0})
-	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+// fconn frames one TCP connection. Writes are serialized by a mutex (the
+// rank goroutine and Abort may race); reads follow the protocol's
+// one-reader-per-connection discipline. The persistent encoder/decoder
+// pair means gob type descriptors are sent exactly once per connection.
+// Optional atomic counters observe the raw bytes moved (the cluster
+// bench's coordinator-traffic metric).
+type fconn struct {
+	c net.Conn
+
+	wmu  sync.Mutex
+	wbuf bytes.Buffer
+	enc  *gob.Encoder
+	wn   *atomic.Int64
+
+	br  *bufio.Reader
+	rd  chunkReader
+	dec *gob.Decoder
+	rn  *atomic.Int64
+}
+
+func newFConn(c net.Conn) *fconn {
+	f := &fconn{c: c}
+	f.enc = gob.NewEncoder(&f.wbuf)
+	f.br = bufio.NewReader(c)
+	f.dec = gob.NewDecoder(&f.rd)
+	return f
+}
+
+// count wires the byte counters (coordinator conns only).
+func (f *fconn) count(out, in *atomic.Int64) *fconn {
+	f.wn, f.rn = out, in
+	return f
+}
+
+func (f *fconn) write(fr *frame) error {
+	f.wmu.Lock()
+	defer f.wmu.Unlock()
+	f.wbuf.Reset()
+	f.wbuf.Write([]byte{0, 0, 0, 0})
+	if err := f.enc.Encode(fr); err != nil {
 		return fmt.Errorf("transport: encoding frame: %w", err)
 	}
-	b := buf.Bytes()
+	b := f.wbuf.Bytes()
 	binary.BigEndian.PutUint32(b[:4], uint32(len(b)-4))
-	_, err := w.Write(b)
+	if f.wn != nil {
+		f.wn.Add(int64(len(b)))
+	}
+	_, err := f.c.Write(b)
+	if f.wbuf.Cap() > maxRetainedBuf {
+		// Don't let one huge block frame pin its peak size for the
+		// connection's lifetime (store-level conns live for hours). The
+		// encoder writes through &f.wbuf, so zeroing the struct in place
+		// keeps it valid — only the storage is surrendered to the GC.
+		f.wbuf = bytes.Buffer{}
+	}
 	return err
 }
 
-// readFrame reads one length-prefixed gob frame.
-func readFrame(r io.Reader) (*frame, error) {
+// maxRetainedBuf bounds the write buffer capacity a connection keeps
+// between frames; steady-state control frames are far smaller.
+const maxRetainedBuf = 1 << 20
+
+func (f *fconn) read() (*frame, error) {
 	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	if _, err := io.ReadFull(f.br, hdr[:]); err != nil {
 		return nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
@@ -103,12 +201,48 @@ func readFrame(r io.Reader) (*frame, error) {
 		return nil, fmt.Errorf("transport: frame of %d bytes exceeds the %d limit", n, maxFrame)
 	}
 	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
+	if _, err := io.ReadFull(f.br, body); err != nil {
 		return nil, err
 	}
-	var f frame
-	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&f); err != nil {
+	if f.rn != nil {
+		f.rn.Add(int64(n) + 4)
+	}
+	f.rd.reset(body)
+	var fr frame
+	err := f.dec.Decode(&fr)
+	f.rd.reset(nil) // don't pin a large frame body on an idle connection
+	if err != nil {
 		return nil, fmt.Errorf("transport: decoding frame: %w", err)
 	}
-	return &f, nil
+	return &fr, nil
+}
+
+func (f *fconn) close() error { return f.c.Close() }
+
+// chunkReader feeds the persistent gob decoder exactly one frame body at
+// a time. Implementing io.ByteReader keeps gob from wrapping it in a
+// bufio.Reader that could read past the frame boundary.
+type chunkReader struct {
+	body []byte
+	off  int
+}
+
+func (cr *chunkReader) reset(body []byte) { cr.body, cr.off = body, 0 }
+
+func (cr *chunkReader) Read(p []byte) (int, error) {
+	if cr.off >= len(cr.body) {
+		return 0, io.EOF
+	}
+	n := copy(p, cr.body[cr.off:])
+	cr.off += n
+	return n, nil
+}
+
+func (cr *chunkReader) ReadByte() (byte, error) {
+	if cr.off >= len(cr.body) {
+		return 0, io.EOF
+	}
+	b := cr.body[cr.off]
+	cr.off++
+	return b, nil
 }

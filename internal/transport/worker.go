@@ -1,22 +1,26 @@
 package transport
 
 import (
-	"bufio"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"time"
+
+	"repro/internal/exec"
 )
 
-// Worker is one node of the multicomputer fabric: a TCP listener that
-// plays one rank per session. For every session it receives deposits
-// from its coordinator, routes each block to the peer worker owning the
+// Worker is one node of the multicomputer: a TCP listener that plays one
+// rank per session. For every session it receives deposits from its
+// coordinator, routes each block to the peer worker owning the
 // destination rank, collects the blocks addressed to its own rank from
 // all peers, validates the SPMD stamps across them, and returns the
-// assembled column. A worker serves any number of sessions concurrently
-// (the store keeps one machine — one session — per level tree, plus
-// transient ones for compaction builds).
+// assembled column. Under resident execution the session additionally
+// owns a state store of registered SPMD programs: the rank's forest part
+// lives here, step frames run against it, and resident supersteps
+// originate/terminate their payloads in it. A worker serves any number
+// of sessions concurrently (the store keeps one machine — one session —
+// per level tree, plus transient ones for compaction builds).
 type Worker struct {
 	ln net.Listener
 
@@ -46,7 +50,8 @@ func (w *Worker) Addr() string { return w.ln.Addr().String() }
 
 // Close stops the listener and tears down every live session (open
 // connections are closed, which the coordinator surfaces as a machine
-// abort). It is idempotent and waits for all worker goroutines to exit.
+// abort; resident state dies with its session). It is idempotent and
+// waits for all worker goroutines to exit.
 func (w *Worker) Close() error {
 	w.mu.Lock()
 	if w.closed {
@@ -117,17 +122,17 @@ func (w *Worker) handshake(conn net.Conn) {
 		delete(w.conns, conn)
 		w.mu.Unlock()
 	}()
-	br := bufio.NewReader(conn)
-	f, err := readFrame(br)
+	fc := newFConn(conn)
+	f, err := fc.read()
 	if err != nil {
 		conn.Close()
 		return
 	}
 	switch f.Kind {
 	case kindOpen:
-		w.runSession(conn, br, f)
+		w.runSession(fc, f)
 	case kindHello:
-		w.feedPeer(conn, br, f)
+		w.feedPeer(fc, f)
 	default:
 		conn.Close()
 	}
@@ -143,18 +148,20 @@ type inMsg struct {
 }
 
 // session is one machine's presence on this worker: the rank it plays,
-// the coordinator connection, and the per-peer block conns.
+// the coordinator connection, the per-peer block conns, and the resident
+// state store of registered programs.
 type session struct {
 	w     *Worker
 	id    string
 	rank  int
 	p     int
 	peers []string
-	coord net.Conn
+	coord *fconn
 	inbox chan inMsg
+	store *exec.Store
 
 	mu   sync.Mutex // guards outs against shutdown
-	outs []net.Conn // lazily dialed conns to peers (nil = not yet, self never)
+	outs []*fconn   // lazily dialed conns to peers (nil = not yet, self never)
 
 	quit  chan struct{}
 	quit1 sync.Once
@@ -162,38 +169,39 @@ type session struct {
 
 // runSession registers the session and serves its coordinator connection
 // until it closes, aborts, or a superstep fails.
-func (w *Worker) runSession(conn net.Conn, br *bufio.Reader, open *frame) {
+func (w *Worker) runSession(fc *fconn, open *frame) {
 	if len(open.Peers) == 0 || open.Rank < 0 || open.Rank >= len(open.Peers) {
-		writeFrame(conn, &frame{Kind: kindError, Session: open.Session,
+		fc.write(&frame{Kind: kindError, Session: open.Session,
 			Err: fmt.Sprintf("transport: malformed open: rank %d of %d peers", open.Rank, len(open.Peers))})
-		conn.Close()
+		fc.close()
 		return
 	}
 	s := &session{
 		w: w, id: open.Session, rank: open.Rank, p: len(open.Peers), peers: open.Peers,
-		coord: conn,
+		coord: fc,
 		inbox: make(chan inMsg, 4*len(open.Peers)+4),
-		outs:  make([]net.Conn, len(open.Peers)),
+		store: exec.NewStore(),
+		outs:  make([]*fconn, len(open.Peers)),
 		quit:  make(chan struct{}),
 	}
 	w.mu.Lock()
 	if w.closed {
 		w.mu.Unlock()
-		conn.Close()
+		fc.close()
 		return
 	}
 	if _, dup := w.sessions[s.id]; dup {
 		w.mu.Unlock()
-		writeFrame(conn, &frame{Kind: kindError, Session: s.id,
+		fc.write(&frame{Kind: kindError, Session: s.id,
 			Err: fmt.Sprintf("transport: session %q already open on this worker", s.id)})
-		conn.Close()
+		fc.close()
 		return
 	}
 	w.sessions[s.id] = s
 	w.mu.Unlock()
 	defer s.shutdown()
 
-	if err := writeFrame(conn, &frame{Kind: kindOpenAck, Session: s.id, Rank: s.rank}); err != nil {
+	if err := fc.write(&frame{Kind: kindOpenAck, Session: s.id, Rank: s.rank}); err != nil {
 		return
 	}
 	// Coordinator frames arrive through a dedicated reader goroutine so
@@ -206,7 +214,7 @@ func (w *Worker) runSession(conn net.Conn, br *bufio.Reader, open *frame) {
 	go func() {
 		defer w.wg.Done()
 		for {
-			f, err := readFrame(br)
+			f, err := fc.read()
 			if err != nil {
 				s.shutdown() // coordinator went away: end any collect in flight
 				return
@@ -228,13 +236,26 @@ func (w *Worker) runSession(conn net.Conn, br *bufio.Reader, open *frame) {
 		switch f.Kind {
 		case kindDeposit:
 			if err := s.superstep(f); err != nil {
-				writeFrame(conn, &frame{Kind: kindError, Session: s.id, Seq: f.Seq, Err: err.Error()})
+				fc.write(&frame{Kind: kindError, Session: s.id, Seq: f.Seq, Err: err.Error()})
+				return
+			}
+		case kindStep:
+			if f.Call == nil {
+				fc.write(&frame{Kind: kindError, Session: s.id, Err: "transport: step frame without a step reference"})
+				return
+			}
+			reply, err := s.store.Call(s.rank, s.p, f.Call.execRef(), f.Call.Args)
+			if err != nil {
+				fc.write(&frame{Kind: kindError, Session: s.id, Err: err.Error()})
+				return
+			}
+			if err := fc.write(&frame{Kind: kindStepReply, Session: s.id, Reply: reply}); err != nil {
 				return
 			}
 		case kindAbort:
 			return
 		default:
-			writeFrame(conn, &frame{Kind: kindError, Session: s.id,
+			fc.write(&frame{Kind: kindError, Session: s.id,
 				Err: fmt.Sprintf("transport: unexpected frame kind %d from coordinator", f.Kind)})
 			return
 		}
@@ -243,12 +264,30 @@ func (w *Worker) runSession(conn net.Conn, br *bufio.Reader, open *frame) {
 
 // superstep routes one deposit's blocks to the peer workers, collects the
 // blocks every peer addressed to this rank, validates the SPMD stamps
-// across all of them, and returns the assembled column to the
-// coordinator. Sends run on their own goroutine so two workers shipping
-// large blocks to each other cannot deadlock on full TCP buffers.
+// across all of them, and answers the coordinator. For a fabric deposit
+// the answer is the assembled column; a resident deposit instead runs its
+// emit step (payload out of worker memory) and/or collect step (payload
+// into worker memory), answering with the collect reply and the element
+// counts. Sends run on their own goroutine so two workers shipping large
+// blocks to each other cannot deadlock on full TCP buffers.
 func (s *session) superstep(dep *frame) error {
-	if len(dep.Blocks) != s.p {
-		return fmt.Errorf("transport: deposit carries %d blocks for %d ranks", len(dep.Blocks), s.p)
+	blocks := dep.Blocks
+	typ := dep.Type
+	sent := 0
+	var selfPayload any
+	var note []byte
+	if dep.Call != nil { // resident emit
+		out, err := s.store.RunEmit(s.rank, s.p, dep.Call.execRef(), dep.Call.Args)
+		if err != nil {
+			return err
+		}
+		blocks, typ, selfPayload, note = out.Blocks, out.Type, out.Self, out.Note
+		for _, c := range out.Counts {
+			sent += c
+		}
+	}
+	if len(blocks) != s.p {
+		return fmt.Errorf("transport: deposit carries %d blocks for %d ranks", len(blocks), s.p)
 	}
 	sendErr := make(chan error, 1)
 	go func() {
@@ -258,8 +297,8 @@ func (s *session) superstep(dep *frame) error {
 			}
 			out, err := s.peerConn(j)
 			if err == nil {
-				err = writeFrame(out, &frame{Kind: kindBlock, Session: s.id, Rank: s.rank,
-					Seq: dep.Seq, Stamp: dep.Stamp, Type: dep.Type, Blocks: [][]byte{dep.Blocks[j]}})
+				err = out.write(&frame{Kind: kindBlock, Session: s.id, Rank: s.rank,
+					Seq: dep.Seq, Stamp: dep.Stamp, Type: typ, Blocks: [][]byte{blocks[j]}})
 			}
 			if err != nil {
 				sendErr <- fmt.Errorf("transport: rank %d routing to rank %d (%s): %w", s.rank, j, s.peers[j], err)
@@ -270,9 +309,11 @@ func (s *session) superstep(dep *frame) error {
 	}()
 
 	column := make([][]byte, s.p)
-	// The self-addressed slot arrives nil — the coordinator retains its
-	// own block rather than round-tripping it — and goes back nil.
-	column[s.rank] = dep.Blocks[s.rank]
+	// The self-addressed slot: nil for a fabric deposit (the coordinator
+	// retains its own block) and for a resident emit (the payload stays
+	// typed in selfPayload); a resident collect of a coordinator deposit
+	// ships it encoded like any other block.
+	column[s.rank] = blocks[s.rank]
 	seen := make([]bool, s.p)
 	seen[s.rank] = true
 	for need := s.p - 1; need > 0; need-- {
@@ -289,9 +330,9 @@ func (s *session) superstep(dep *frame) error {
 				return fmt.Errorf("SPMD violation: processor %d is at %q while processor %d is at %q",
 					msg.from, msg.stamp, s.rank, dep.Stamp)
 			}
-			if msg.typ != dep.Type {
+			if msg.typ != typ {
 				return fmt.Errorf("SPMD violation: processor %d exchanged %s at %q where processor %d exchanged %s",
-					msg.from, msg.typ, dep.Stamp, s.rank, dep.Type)
+					msg.from, msg.typ, dep.Stamp, s.rank, typ)
 			}
 			if seen[msg.from] {
 				return fmt.Errorf("transport: duplicate block from rank %d at %q", msg.from, dep.Stamp)
@@ -305,12 +346,21 @@ func (s *session) superstep(dep *frame) error {
 	if err := <-sendErr; err != nil {
 		return err
 	}
-	return writeFrame(s.coord, &frame{Kind: kindColumn, Session: s.id, Seq: dep.Seq, Stamp: dep.Stamp, Blocks: column})
+	if dep.Collect != nil { // resident collect
+		reply, recv, err := s.store.RunCollect(s.rank, s.p, dep.Collect.execRef(),
+			&exec.Inbox{Blocks: column, Self: selfPayload}, dep.Collect.Args)
+		if err != nil {
+			return err
+		}
+		return s.coord.write(&frame{Kind: kindColumn, Session: s.id, Seq: dep.Seq, Stamp: dep.Stamp,
+			Reply: reply, Note: note, Sent: sent, Recv: recv})
+	}
+	return s.coord.write(&frame{Kind: kindColumn, Session: s.id, Seq: dep.Seq, Stamp: dep.Stamp, Blocks: column})
 }
 
 // peerConn returns the directed block conn to peer j, dialing and
 // binding it (kindHello) on first use.
-func (s *session) peerConn(j int) (net.Conn, error) {
+func (s *session) peerConn(j int) (*fconn, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	select {
@@ -325,25 +375,26 @@ func (s *session) peerConn(j int) (net.Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := writeFrame(conn, &frame{Kind: kindHello, Session: s.id, Rank: s.rank}); err != nil {
-		conn.Close()
+	fc := newFConn(conn)
+	if err := fc.write(&frame{Kind: kindHello, Session: s.id, Rank: s.rank}); err != nil {
+		fc.close()
 		return nil, err
 	}
-	s.outs[j] = conn
-	return conn, nil
+	s.outs[j] = fc
+	return fc, nil
 }
 
 // shutdown tears the session down: the coordinator conn and all peer
 // conns close (peers mid-collect surface it as a lost-rank diagnostic),
-// and the session deregisters.
+// and the session deregisters — dropping its resident state with it.
 func (s *session) shutdown() {
 	s.quit1.Do(func() {
 		close(s.quit)
-		s.coord.Close()
+		s.coord.close()
 		s.mu.Lock()
 		for _, c := range s.outs {
 			if c != nil {
-				c.Close()
+				c.close()
 			}
 		}
 		s.mu.Unlock()
@@ -357,8 +408,8 @@ func (s *session) shutdown() {
 // hello names and pumps its block frames into the session inbox. A conn
 // error mid-stream becomes a lost-rank message so a session blocked in a
 // collect fails with a diagnostic instead of hanging.
-func (w *Worker) feedPeer(conn net.Conn, br *bufio.Reader, hello *frame) {
-	defer conn.Close()
+func (w *Worker) feedPeer(fc *fconn, hello *frame) {
+	defer fc.close()
 	s := w.lookupSession(hello.Session)
 	if s == nil {
 		// The open/ack ordering makes this unreachable in a healthy
@@ -375,7 +426,7 @@ func (w *Worker) feedPeer(conn net.Conn, br *bufio.Reader, hello *frame) {
 		}
 	}
 	for {
-		f, err := readFrame(br)
+		f, err := fc.read()
 		if err != nil {
 			deliver(inMsg{from: hello.Rank,
 				err: fmt.Errorf("transport: rank %d lost its peer rank %d mid-superstep: %w", s.rank, hello.Rank, err)})
