@@ -1,15 +1,20 @@
 package main
 
 import (
+	"bytes"
+	"encoding/gob"
 	"encoding/json"
 	"fmt"
 	"os"
+	"testing"
 	"time"
 
 	"repro/internal/aggregates"
 	"repro/internal/cgm"
 	"repro/internal/core"
+	"repro/internal/geom"
 	"repro/internal/transport"
+	"repro/internal/wire"
 	"repro/internal/workload"
 )
 
@@ -19,6 +24,27 @@ type ClusterModeRecord struct {
 	BuildMs         float64 `json:"build_ms"`
 	UsPerQuery      float64 `json:"us_per_query"`
 	CoordBytesQuery float64 `json:"coord_bytes_per_query"`
+	// Codec traffic per query (process-wide: coordinator and the
+	// in-process workers): blocks through the raw wire codec vs through
+	// the gob fallback. Together with the per-block codec microbench
+	// below, this gives encode/decode ns and allocs per query.
+	RawBlocksQuery float64 `json:"raw_enc_blocks_per_query"`
+	GobBlocksQuery float64 `json:"gob_enc_blocks_per_query"`
+	RawBytesQuery  float64 `json:"raw_enc_bytes_per_query"`
+}
+
+// CodecBenchRecord is the gob-vs-raw microbench for one payload shape:
+// per-block encode/decode ns and allocations, measured in-process via
+// testing.Benchmark (same discipline as BenchmarkWireCodec in
+// internal/core, which also covers the unexported payload types).
+type CodecBenchRecord struct {
+	Payload    string  `json:"payload"` // points | reportpairs
+	Codec      string  `json:"codec"`   // raw | gob
+	BlockBytes int     `json:"block_bytes"`
+	EncNsOp    float64 `json:"enc_ns_per_block"`
+	EncAllocs  int64   `json:"enc_allocs_per_block"`
+	DecNsOp    float64 `json:"dec_ns_per_block"`
+	DecAllocs  int64   `json:"dec_allocs_per_block"`
 }
 
 // ClusterRecord is the machine-readable record of the cluster benchmark
@@ -36,6 +62,85 @@ type ClusterRecord struct {
 	// CoordDropX is fabric coordinator-bytes/query over resident's: how
 	// many times less traffic the coordinator carries under residency.
 	CoordDropX float64 `json:"coord_drop_x"`
+	// Codec is the gob-vs-raw encode/decode microbench on representative
+	// hot-path payloads, recorded next to the cluster numbers so the codec
+	// win stays in the trajectory rather than being asserted.
+	Codec []CodecBenchRecord `json:"codec"`
+}
+
+// codecBench measures encode and decode of one payload value through the
+// raw wire codec and through gob (a fresh encoder per block, as the
+// exchange layer must use since each block is decoded independently).
+func codecBench[T any](payload string, v T) []CodecBenchRecord {
+	raw, err := wire.Encode(nil, v)
+	if err != nil {
+		panic(err)
+	}
+	var gbuf bytes.Buffer
+	gbuf.WriteByte('G')
+	if err := gob.NewEncoder(&gbuf).Encode(&v); err != nil {
+		panic(err)
+	}
+	gobBlock := append([]byte(nil), gbuf.Bytes()...)
+
+	bench := func(fn func()) (float64, int64) {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				fn()
+			}
+		})
+		return float64(r.NsPerOp()), r.AllocsPerOp()
+	}
+	rawRec := CodecBenchRecord{Payload: payload, Codec: "raw", BlockBytes: len(raw)}
+	rawRec.EncNsOp, rawRec.EncAllocs = bench(func() {
+		buf := wire.GetBuf()
+		buf, _ = wire.Encode(buf, v)
+		wire.PutBuf(buf)
+	})
+	rawRec.DecNsOp, rawRec.DecAllocs = bench(func() {
+		if _, err := wire.Decode[T](raw); err != nil {
+			panic(err)
+		}
+	})
+	gobRec := CodecBenchRecord{Payload: payload, Codec: "gob", BlockBytes: len(gobBlock)}
+	gobRec.EncNsOp, gobRec.EncAllocs = bench(func() {
+		var b bytes.Buffer
+		b.WriteByte('G')
+		if err := gob.NewEncoder(&b).Encode(&v); err != nil {
+			panic(err)
+		}
+	})
+	gobRec.DecNsOp, gobRec.DecAllocs = bench(func() {
+		if _, err := wire.Decode[T](gobBlock); err != nil {
+			panic(err)
+		}
+	})
+	return []CodecBenchRecord{rawRec, gobRec}
+}
+
+// runCodecBench benchmarks the payload shapes visible from this package:
+// coordinate rows (the build/report bulk) and query→point result pairs.
+// The unexported exchange payloads get the same treatment in
+// BenchmarkWireCodec inside internal/core.
+func runCodecBench() []CodecBenchRecord {
+	const n, dims = 1024, 3
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		x := make([]geom.Coord, dims)
+		for d := range x {
+			x[d] = geom.Coord(i*31 + d*7)
+		}
+		pts[i] = geom.Point{ID: int32(i), X: x}
+	}
+	rps := make([]core.ReportPair, n)
+	for i := range rps {
+		rps[i] = core.ReportPair{Query: int32(i % 64), Pt: pts[i]}
+	}
+	var out []CodecBenchRecord
+	out = append(out, codecBench("points", pts)...)
+	out = append(out, codecBench("reportpairs", rps)...)
+	return out
 }
 
 // runClusterBench spins up in-process workers (real TCP on localhost)
@@ -82,15 +187,20 @@ func runClusterBench(n, m, p, batches int) (*ClusterRecord, error) {
 		h := core.PrepareAssociativeNamed[float64](tree, aggregates.WeightSum)
 		core.MixedBatch(tree, h, ops, boxes) // warm copy caches
 		outBefore, inBefore := cl.CoordBytes()
+		wsBefore := wire.Stats()
 		start := time.Now()
 		for i := 0; i < batches; i++ {
 			core.MixedBatch(tree, h, ops, boxes)
 		}
 		wall := time.Since(start)
 		out, in := cl.CoordBytes()
+		ws := wire.Stats()
 		queries := float64(batches * m)
 		mrec.UsPerQuery = float64(wall.Microseconds()) / queries
 		mrec.CoordBytesQuery = float64(out-outBefore+in-inBefore) / queries
+		mrec.RawBlocksQuery = float64(ws.RawEncBlocks-wsBefore.RawEncBlocks) / queries
+		mrec.GobBlocksQuery = float64(ws.GobEncBlocks-wsBefore.GobEncBlocks) / queries
+		mrec.RawBytesQuery = float64(ws.RawEncBytes-wsBefore.RawEncBytes) / queries
 		return mrec, nil
 	}
 	for _, resident := range []bool{false, true} {
@@ -103,6 +213,7 @@ func runClusterBench(n, m, p, batches int) (*ClusterRecord, error) {
 	if rec.Modes[1].CoordBytesQuery > 0 {
 		rec.CoordDropX = rec.Modes[0].CoordBytesQuery / rec.Modes[1].CoordBytesQuery
 	}
+	rec.Codec = runCodecBench()
 	return rec, nil
 }
 
@@ -122,5 +233,9 @@ func writeClusterJSON(path string) error {
 	}
 	fmt.Printf("cluster bench: fabric %.0f B/query, resident %.0f B/query (%.1fx drop) -> %s\n",
 		rec.Modes[0].CoordBytesQuery, rec.Modes[1].CoordBytesQuery, rec.CoordDropX, path)
+	for _, c := range rec.Codec {
+		fmt.Printf("  codec %-11s %-3s enc %8.0f ns %4d allocs, dec %8.0f ns %4d allocs (%d B)\n",
+			c.Payload, c.Codec, c.EncNsOp, c.EncAllocs, c.DecNsOp, c.DecAllocs, c.BlockBytes)
+	}
 	return nil
 }

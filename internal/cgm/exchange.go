@@ -1,10 +1,10 @@
 package cgm
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
 	"reflect"
+
+	"repro/internal/wire"
 )
 
 // Exchange is the machine's single communication primitive: a personalized
@@ -20,8 +20,9 @@ import (
 // and element type; a divergent processor aborts the whole machine with a
 // diagnostic rather than deadlocking. The payload movement itself is the
 // machine transport's job: the loopback transport passes rows by
-// reference, wire transports carry gob-encoded blocks (so T must be
-// gob-encodable — in practice: exported fields).
+// reference, wire transports carry encoded blocks — the raw layout of a
+// registered wire.Codec when T has one, gob otherwise (so an unregistered
+// T must be gob-encodable — in practice: exported fields).
 func Exchange[T any](pr *Proc, label string, out [][]T) [][]T {
 	m := pr.m
 	if len(out) != m.p {
@@ -37,14 +38,16 @@ func Exchange[T any](pr *Proc, label string, out [][]T) [][]T {
 	for _, s := range out {
 		sent += len(s)
 	}
-	wire := m.tr.Wire()
-	if wire {
+	onWire := m.tr.Wire()
+	var encBuf []byte
+	if onWire {
 		dep.Type = reflect.TypeOf((*T)(nil)).Elem().String()
-		blocks, err := encodeBlocks(out, pr.rank)
+		blocks, buf, err := encodeBlocks(out, pr.rank)
 		if err != nil {
 			m.fail(fmt.Sprintf("cgm: %s: encoding payload: %v", stamp, err))
 		}
 		dep.Blocks = blocks
+		encBuf = buf
 	} else {
 		dep.Row = out
 	}
@@ -53,10 +56,16 @@ func Exchange[T any](pr *Proc, label string, out [][]T) [][]T {
 	if err != nil {
 		m.fail(err)
 	}
+	if encBuf != nil {
+		// The transport has written (or routed) every block by the time
+		// Exchange returns, so the pooled buffer the blocks alias can go
+		// back for the next superstep's deposit.
+		wire.PutBuf(encBuf)
+	}
 
 	in := make([][]T, m.p)
 	recv := 0
-	if wire {
+	if onWire {
 		for j, b := range col.Blocks {
 			if j == pr.rank {
 				// The self-addressed block never crossed the wire (its
@@ -104,30 +113,37 @@ func Barrier(pr *Proc, label string) {
 	Exchange(pr, label, make([][]byte, pr.m.p))
 }
 
-// encodeBlocks gob-encodes each destination's payload independently, so a
-// wire transport can route block j to rank j without re-encoding. The
-// self-addressed slot stays nil: the machine keeps that block in memory
-// (see the Deposit contract), so it is never serialized at all.
-func encodeBlocks[T any](out [][]T, self int) ([][]byte, error) {
+// encodeBlocks encodes each destination's payload independently, so a
+// wire transport can route block j to rank j without re-encoding — raw
+// layout when []T has a registered wire codec, gob fallback otherwise.
+// The self-addressed slot stays nil: the machine keeps that block in
+// memory (see the Deposit contract), so it is never serialized at all.
+//
+// All blocks are appended into one pooled buffer (each block a
+// capacity-clipped view), returned alongside so the caller can release it
+// once the transport is done with the deposit. If the buffer reallocates
+// mid-deposit, earlier views keep the old backing array alive — still
+// correct, merely unpooled.
+func encodeBlocks[T any](out [][]T, self int) ([][]byte, []byte, error) {
 	blocks := make([][]byte, len(out))
+	buf := wire.GetBuf()
 	for j, part := range out {
 		if j == self {
 			continue
 		}
-		var buf bytes.Buffer
-		if err := gob.NewEncoder(&buf).Encode(part); err != nil {
-			return nil, err
+		start := len(buf)
+		var err error
+		buf, err = wire.Encode(buf, part)
+		if err != nil {
+			wire.PutBuf(buf)
+			return nil, nil, err
 		}
-		blocks[j] = buf.Bytes()
+		blocks[j] = buf[start:len(buf):len(buf)]
 	}
-	return blocks, nil
+	return blocks, buf, nil
 }
 
 // decodeBlock decodes one source's payload.
 func decodeBlock[T any](b []byte) ([]T, error) {
-	var part []T
-	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&part); err != nil {
-		return nil, err
-	}
-	return part, nil
+	return wire.Decode[[]T](b)
 }

@@ -1,12 +1,11 @@
 package cgm
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
 	"reflect"
 
 	"repro/internal/exec"
+	"repro/internal/wire"
 )
 
 // This file is the machine-side half of worker-resident execution
@@ -146,17 +145,23 @@ func ExchangeCollect[T any, A any, R any](pr *Proc, label string, out [][]T, col
 	}
 	dep.Sent = sent
 	blocks := make([][]byte, len(out))
+	buf := wire.GetBuf()
 	for j, part := range out {
 		// The self slot is encoded too: the consumer is resident-side.
-		var buf bytes.Buffer
-		if err := gob.NewEncoder(&buf).Encode(part); err != nil {
+		start := len(buf)
+		var err error
+		buf, err = wire.Encode(buf, part)
+		if err != nil {
 			m.fail(fmt.Sprintf("cgm: %s: encoding payload: %v", stamp, err))
 		}
-		blocks[j] = buf.Bytes()
+		blocks[j] = buf[start:len(buf):len(buf)]
 	}
 	dep.Blocks = blocks
 
 	rep := pr.runResident(label, dep)
+	// runResident's closing barrier means every rank's collect step has
+	// consumed its column; the deposit buffer can be pooled again.
+	wire.PutBuf(buf)
 	r, err := exec.Unmarshal[R](rep.Reply)
 	if err != nil {
 		m.fail(fmt.Sprintf("cgm: %s: decoding collect reply: %v", stamp, err))

@@ -18,14 +18,16 @@ import (
 // Two families exist: in-process transports (Wire() == false) move typed
 // rows by reference through shared memory (the loopback default, the
 // original slots+barrier machinery of the simulator), and wire transports
-// (Wire() == true) move gob-encoded blocks — the TCP implementation in
-// internal/transport runs every superstep through real worker processes.
+// (Wire() == true) move encoded blocks — the raw layout of a registered
+// wire.Codec, or its gob fallback — over the TCP implementation in
+// internal/transport, which runs every superstep through real worker
+// processes.
 type Transport interface {
 	// P reports the number of ranks the transport connects.
 	P() int
 	// Wire reports whether payloads must be serialized: when true the
-	// machine fills Deposit.Blocks (gob) and reads Column.Blocks; when
-	// false it passes Deposit.Row by reference and reads Column.Rows.
+	// machine fills Deposit.Blocks (wire-encoded) and reads Column.Blocks;
+	// when false it passes Deposit.Row by reference and reads Column.Rows.
 	Wire() bool
 	// Exchange deposits rank's out-row for one superstep and blocks until
 	// every rank has deposited, returning the column addressed to rank.
@@ -58,10 +60,13 @@ type Deposit struct {
 	Type string
 	// Row is the typed [][]T as passed to Exchange (in-process only).
 	Row any
-	// Blocks are the gob-encoded per-destination payloads (wire only).
+	// Blocks are the wire-encoded per-destination payloads (wire only).
 	// Blocks[rank] — the depositing rank's self-addressed block — is nil:
 	// the machine retains it in memory, so a transport never carries it
-	// and may return nil in the corresponding Column slot.
+	// and may return nil in the corresponding Column slot. Blocks alias a
+	// pooled buffer the machine recycles once Exchange returns, so a
+	// transport must finish writing (or copying) them before returning —
+	// it must not retain them.
 	Blocks [][]byte
 }
 
@@ -83,7 +88,7 @@ type Column struct {
 //
 // A resident loopback additionally hosts one exec state store per rank,
 // and runs the identical registered step programs a worker process would
-// — including the gob encode/decode of resident payloads — so loopback
+// — including the wire encode/decode of resident payloads — so loopback
 // and wire runs of a resident program execute the same code and account
 // the same counts.
 type loopback struct {

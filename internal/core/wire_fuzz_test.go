@@ -1,0 +1,216 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/segtree"
+	"repro/internal/wire"
+)
+
+// byteGen derives structured payload values deterministically from fuzz
+// input, so the fuzzer explores the value space (dims, counts, key
+// shapes, extreme coordinates) rather than only the byte space.
+type byteGen struct {
+	b []byte
+	i int
+}
+
+func (g *byteGen) u8() byte {
+	if g.i >= len(g.b) {
+		return 0
+	}
+	v := g.b[g.i]
+	g.i++
+	return v
+}
+
+func (g *byteGen) i32() int32 {
+	return int32(g.u8()) | int32(g.u8())<<8 | int32(g.u8())<<16 | int32(g.u8())<<24
+}
+
+func (g *byteGen) n(max int) int { return int(g.u8()) % (max + 1) }
+
+func (g *byteGen) key(max int) segtree.PathKey {
+	n := g.n(max)
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = g.u8()
+	}
+	return segtree.PathKey(s)
+}
+
+func (g *byteGen) point(dims int) geom.Point {
+	x := make([]geom.Coord, dims)
+	for i := range x {
+		x[i] = geom.Coord(g.i32())
+	}
+	return geom.Point{ID: g.i32(), X: x}
+}
+
+func (g *byteGen) points(n, dims int) []geom.Point {
+	if n == 0 {
+		return nil
+	}
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = g.point(dims)
+	}
+	return pts
+}
+
+// fuzzRT requires the raw codec to reproduce v exactly and to agree with
+// the gob oracle; any divergence is a layout bug.
+func fuzzRT[T any](t *testing.T, v T) {
+	b, err := wire.Encode(nil, v)
+	if err != nil {
+		t.Fatalf("encode %T: %v", v, err)
+	}
+	got, err := wire.Decode[T](b)
+	if err != nil {
+		t.Fatalf("decode %T: %v", v, err)
+	}
+	var gbuf bytes.Buffer
+	if err := gob.NewEncoder(&gbuf).Encode(&v); err != nil {
+		t.Fatalf("gob oracle encode %T: %v", v, err)
+	}
+	var oracle T
+	if err := gob.NewDecoder(&gbuf).Decode(&oracle); err != nil {
+		t.Fatalf("gob oracle decode %T: %v", v, err)
+	}
+	if !reflect.DeepEqual(got, oracle) {
+		t.Fatalf("wire and gob disagree for %T:\nwire %+v\n gob %+v", v, got, oracle)
+	}
+}
+
+// mustNotPanic feeds arbitrary bytes to a registered decoder: errors are
+// expected, panics (or runaway allocations, which the Count guard turns
+// into errors) are bugs.
+func mustNotPanic[T any](t *testing.T, raw []byte) {
+	_, _ = wire.Decode[T](raw)
+}
+
+// FuzzWireRoundTrip drives every registered hot-path codec from one fuzz
+// input: the first byte splits the budget, the rest derives values (for
+// the encode→decode oracle check) and doubles as a hostile block (for the
+// corrupt-input check, tagged raw and tagged gob).
+func FuzzWireRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	f.Add([]byte("R\x05points and boxes and keys"))
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	seed, _ := wire.Encode(nil, []geom.Point{{ID: 1, X: []geom.Coord{2, 3}}})
+	f.Add(seed)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g := &byteGen{b: data}
+		dims := 1 + g.n(4)
+		n := g.n(12)
+
+		fuzzRT(t, g.points(n, dims))
+
+		eps := make([]epoint, n)
+		for i := range eps {
+			eps[i] = epoint{Elem: ElemID(g.i32()), Pt: g.point(dims)}
+		}
+		if n == 0 {
+			eps = nil
+		}
+		fuzzRT(t, eps)
+
+		recs := make([]srec, n)
+		for i := range recs {
+			recs[i] = srec{Pt: g.point(dims), Key: g.key(9)}
+		}
+		if n == 0 {
+			recs = nil
+		}
+		fuzzRT(t, recs)
+
+		els := make([]shippedElem, g.n(3))
+		for i := range els {
+			els[i] = shippedElem{
+				Info: ElemInfo{ID: ElemID(g.i32()), Owner: g.i32(), Count: g.i32(),
+					Dim: int8(g.u8()), Key: g.key(9), Min: geom.Coord(g.i32()), Max: geom.Coord(g.i32())},
+				Pts: g.points(g.n(6), dims),
+			}
+		}
+		if len(els) == 0 {
+			els = nil
+		}
+		fuzzRT(t, els)
+
+		subs := make([]subquery, n)
+		for i := range subs {
+			lo := make([]geom.Coord, dims)
+			hi := make([]geom.Coord, dims)
+			for d := range lo {
+				lo[d], hi[d] = geom.Coord(g.i32()), geom.Coord(g.i32())
+			}
+			subs[i] = subquery{Query: g.i32(), Elem: ElemID(g.i32()), Box: geom.Box{Lo: lo, Hi: hi}}
+		}
+		if n == 0 {
+			subs = nil
+		}
+		fuzzRT(t, subs)
+		fuzzRT(t, serveArgs{Subs: subs})
+		fuzzRT(t, serveAggArgs{Name: string(g.key(9)), Subs: subs})
+
+		qcs := make([]qcount, n)
+		qis := make([]qvalT[int64], n)
+		qfs := make([]qvalT[float64], n)
+		for i := range qcs {
+			qcs[i] = qcount{Query: g.i32(), Val: int64(g.i32())<<32 | int64(uint32(g.i32()))}
+			qis[i] = qvalT[int64]{Query: g.i32(), Val: int64(g.i32())}
+			qfs[i] = qvalT[float64]{Query: g.i32(), Val: float64(g.i32())}
+		}
+		if n == 0 {
+			qcs, qis, qfs = nil, nil, nil
+		}
+		fuzzRT(t, qcs)
+		fuzzRT(t, qis)
+		fuzzRT(t, qfs)
+
+		rls := make([]rlocal, g.n(4))
+		for i := range rls {
+			rls[i] = rlocal{Query: g.i32(), Pts: g.points(g.n(5), dims), Off: int(g.i32())}
+		}
+		if len(rls) == 0 {
+			rls = nil
+		}
+		fuzzRT(t, rls)
+
+		rps := make([]ReportPair, n)
+		for i := range rps {
+			rps[i] = ReportPair{Query: g.i32(), Pt: g.point(dims)}
+		}
+		if n == 0 {
+			rps = nil
+		}
+		fuzzRT(t, rps)
+
+		// Hostile input: the raw fuzz bytes as a block, both tagged raw
+		// ('R' + data) and verbatim. Decoders must return errors, never
+		// panic or over-allocate.
+		hostile := append([]byte{'R'}, data...)
+		for _, blk := range [][]byte{data, hostile} {
+			mustNotPanic[[]geom.Point](t, blk)
+			mustNotPanic[[][]geom.Point](t, blk)
+			mustNotPanic[[]epoint](t, blk)
+			mustNotPanic[[]srec](t, blk)
+			mustNotPanic[[]shippedElem](t, blk)
+			mustNotPanic[[]subquery](t, blk)
+			mustNotPanic[serveArgs](t, blk)
+			mustNotPanic[serveAggArgs](t, blk)
+			mustNotPanic[[]qcount](t, blk)
+			mustNotPanic[[]qvalT[int64]](t, blk)
+			mustNotPanic[[]qvalT[float64]](t, blk)
+			mustNotPanic[[]rlocal](t, blk)
+			mustNotPanic[[]ReportPair](t, blk)
+			mustNotPanic[[]byte](t, blk)
+		}
+	})
+}

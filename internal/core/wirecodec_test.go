@@ -1,0 +1,309 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/segtree"
+	"repro/internal/wire"
+)
+
+// ------------------------------------------------- deterministic values
+
+// genPayloads builds one value of every registered hot-path payload type
+// from a seeded source, in canonical form (nil for empty slices, matching
+// both codecs' decode side).
+func genPoint(rng *rand.Rand, dims int) geom.Point {
+	x := make([]geom.Coord, dims)
+	for i := range x {
+		x[i] = geom.Coord(rng.Int31n(2000) - 1000)
+	}
+	return geom.Point{ID: rng.Int31(), X: x}
+}
+
+func genPoints(rng *rand.Rand, n, dims int) []geom.Point {
+	if n == 0 {
+		return nil
+	}
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = genPoint(rng, dims)
+	}
+	return pts
+}
+
+func genBox(rng *rand.Rand, dims int) geom.Box {
+	lo := make([]geom.Coord, dims)
+	hi := make([]geom.Coord, dims)
+	for i := range lo {
+		lo[i] = geom.Coord(rng.Int31n(1000))
+		hi[i] = lo[i] + geom.Coord(rng.Int31n(100))
+	}
+	return geom.Box{Lo: lo, Hi: hi}
+}
+
+func genKey(rng *rand.Rand) segtree.PathKey {
+	b := make([]byte, rng.Intn(8))
+	for i := range b {
+		b[i] = byte('0' + rng.Intn(10))
+	}
+	return segtree.PathKey(b)
+}
+
+// roundTrip encodes v through the wire codec and through a gob oracle,
+// decodes both, and requires all three values to agree — the raw layout
+// must be a drop-in replacement for what gob carried before.
+func roundTrip[T any](t *testing.T, v T) {
+	t.Helper()
+	if !wire.Registered[T]() {
+		t.Fatalf("%T has no registered codec", v)
+	}
+	b, err := wire.Encode(nil, v)
+	if err != nil {
+		t.Fatalf("wire encode %T: %v", v, err)
+	}
+	got, err := wire.Decode[T](b)
+	if err != nil {
+		t.Fatalf("wire decode %T: %v", v, err)
+	}
+	if !reflect.DeepEqual(got, v) {
+		t.Fatalf("wire round trip of %T:\n got %+v\nwant %+v", v, got, v)
+	}
+	var gbuf bytes.Buffer
+	if err := gob.NewEncoder(&gbuf).Encode(&v); err != nil {
+		t.Fatalf("gob oracle encode %T: %v", v, err)
+	}
+	var oracle T
+	if err := gob.NewDecoder(&gbuf).Decode(&oracle); err != nil {
+		t.Fatalf("gob oracle decode %T: %v", v, err)
+	}
+	if !reflect.DeepEqual(got, oracle) {
+		t.Fatalf("wire and gob disagree for %T:\nwire %+v\n gob %+v", v, got, oracle)
+	}
+	// Truncations must error, never panic.
+	for cut := 0; cut < len(b); cut += 1 + len(b)/16 {
+		if _, err := wire.Decode[T](b[:cut]); err == nil && cut < len(b) {
+			t.Fatalf("truncated %T block (cut %d of %d) accepted", v, cut, len(b))
+		}
+	}
+}
+
+func TestWireCodecsMatchGobOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for round := 0; round < 20; round++ {
+		dims := 1 + rng.Intn(4)
+		n := rng.Intn(30)
+
+		eps := make([]epoint, n)
+		for i := range eps {
+			eps[i] = epoint{Elem: ElemID(rng.Int31n(500)), Pt: genPoint(rng, dims)}
+		}
+		if n == 0 {
+			eps = nil
+		}
+		roundTrip(t, eps)
+
+		recs := make([]srec, n)
+		for i := range recs {
+			recs[i] = srec{Pt: genPoint(rng, dims), Key: genKey(rng)}
+		}
+		if n == 0 {
+			recs = nil
+		}
+		roundTrip(t, recs)
+
+		els := make([]shippedElem, rng.Intn(5))
+		for i := range els {
+			els[i] = shippedElem{
+				Info: ElemInfo{
+					ID: ElemID(rng.Int31n(500)), Owner: rng.Int31n(8),
+					Count: rng.Int31n(100), Dim: int8(rng.Intn(dims)),
+					Key: genKey(rng), Min: geom.Coord(rng.Int31n(100)), Max: geom.Coord(rng.Int31n(100)),
+				},
+				Pts: genPoints(rng, rng.Intn(20), dims),
+			}
+		}
+		if len(els) == 0 {
+			els = nil
+		}
+		roundTrip(t, els)
+
+		subs := make([]subquery, n)
+		for i := range subs {
+			subs[i] = subquery{Query: rng.Int31n(1000), Elem: ElemID(rng.Int31n(500)), Box: genBox(rng, dims)}
+		}
+		if n == 0 {
+			subs = nil
+		}
+		roundTrip(t, subs)
+		roundTrip(t, serveArgs{Subs: subs})
+		roundTrip(t, serveAggArgs{Name: string(genKey(rng)), Subs: subs})
+
+		qcs := make([]qcount, n)
+		for i := range qcs {
+			qcs[i] = qcount{Query: rng.Int31n(1000), Val: rng.Int63() - (1 << 60)}
+		}
+		if n == 0 {
+			qcs = nil
+		}
+		roundTrip(t, qcs)
+
+		qis := make([]qvalT[int64], n)
+		qfs := make([]qvalT[float64], n)
+		for i := range qis {
+			qis[i] = qvalT[int64]{Query: rng.Int31n(1000), Val: rng.Int63()}
+			qfs[i] = qvalT[float64]{Query: rng.Int31n(1000), Val: rng.NormFloat64()}
+		}
+		if n == 0 {
+			qis, qfs = nil, nil
+		}
+		roundTrip(t, qis)
+		roundTrip(t, qfs)
+
+		rls := make([]rlocal, rng.Intn(6))
+		for i := range rls {
+			rls[i] = rlocal{Query: rng.Int31n(1000), Pts: genPoints(rng, rng.Intn(10), dims), Off: rng.Intn(4000) - 2000}
+		}
+		if len(rls) == 0 {
+			rls = nil
+		}
+		roundTrip(t, rls)
+
+		rps := make([]ReportPair, n)
+		for i := range rps {
+			rps[i] = ReportPair{Query: rng.Int31n(1000), Pt: genPoint(rng, dims)}
+		}
+		if n == 0 {
+			rps = nil
+		}
+		roundTrip(t, rps)
+	}
+}
+
+// A generic aggregate over a custom value type must keep riding the gob
+// fallback: the registry has int64/float64 instantiations only.
+func TestCustomAggregateValueFallsBackToGob(t *testing.T) {
+	type money struct{ Cents int64 }
+	if wire.Registered[[]qvalT[money]]() {
+		t.Fatal("custom aggregate value type unexpectedly registered")
+	}
+	in := []qvalT[money]{{Query: 3, Val: money{Cents: 199}}}
+	b, err := wire.Encode(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := wire.Decode[[]qvalT[money]](b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("fallback round trip: %+v vs %+v", out, in)
+	}
+}
+
+// ------------------------------------------------------------ benchmarks
+
+// benchEncDec measures both codecs on the same block value: the raw path
+// through wire.Encode/Decode, the gob oracle exactly as the exchange
+// layer used it before (fresh encoder per block — gob type descriptors
+// cannot be reused across independently decoded blocks).
+func benchEncDec[T any](b *testing.B, name string, v T) {
+	raw, err := wire.Encode(nil, v)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var gbuf bytes.Buffer
+	if err := gob.NewEncoder(&gbuf).Encode(&v); err != nil {
+		b.Fatal(err)
+	}
+	gb := append([]byte(nil), gbuf.Bytes()...)
+	b.Run(name+"/enc/raw", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(raw)))
+		for i := 0; i < b.N; i++ {
+			buf := wire.GetBuf()
+			buf, err := wire.Encode(buf, v)
+			if err != nil {
+				b.Fatal(err)
+			}
+			wire.PutBuf(buf)
+		}
+	})
+	b.Run(name+"/enc/gob", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(gb)))
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(&v); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run(name+"/dec/raw", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(raw)))
+		for i := 0; i < b.N; i++ {
+			if _, err := wire.Decode[T](raw); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run(name+"/dec/gob", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(gb)))
+		for i := 0; i < b.N; i++ {
+			var out T
+			if err := gob.NewDecoder(bytes.NewReader(gb)).Decode(&out); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkWireCodec is the gob-vs-raw microbench of ISSUE 6: one block
+// of each hot payload shape at exchange-realistic sizes.
+func BenchmarkWireCodec(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	const n, dims = 1024, 3
+
+	benchEncDec(b, "points", genPoints(rng, n, dims))
+
+	eps := make([]epoint, n)
+	for i := range eps {
+		eps[i] = epoint{Elem: ElemID(rng.Int31n(500)), Pt: genPoint(rng, dims)}
+	}
+	benchEncDec(b, "epoints", eps)
+
+	subs := make([]subquery, n)
+	for i := range subs {
+		subs[i] = subquery{Query: int32(i), Elem: ElemID(rng.Int31n(500)), Box: genBox(rng, dims)}
+	}
+	benchEncDec(b, "subqueries", subs)
+
+	qcs := make([]qcount, n)
+	for i := range qcs {
+		qcs[i] = qcount{Query: int32(i), Val: rng.Int63()}
+	}
+	benchEncDec(b, "qcounts", qcs)
+
+	rps := make([]ReportPair, n)
+	for i := range rps {
+		rps[i] = ReportPair{Query: int32(i), Pt: genPoint(rng, dims)}
+	}
+	benchEncDec(b, "reportpairs", rps)
+
+	els := make([]shippedElem, 8)
+	for i := range els {
+		els[i] = shippedElem{
+			Info: ElemInfo{ID: ElemID(i), Owner: int32(i % 4), Count: int32(n / 8),
+				Dim: 1, Key: segtree.PathKey(fmt.Sprintf("0.%d", i)), Min: 0, Max: 1000},
+			Pts: genPoints(rng, n/8, dims),
+		}
+	}
+	benchEncDec(b, "shipped", els)
+}

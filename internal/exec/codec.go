@@ -1,33 +1,34 @@
 package exec
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
 	"reflect"
+
+	"repro/internal/wire"
 )
 
 // The typed wrappers below are how programs define steps without touching
-// bytes: arguments, replies and exchanged rows are gob-encoded at the
-// seam, with element counts taken from the typed slices — so a resident
-// exchange accounts exactly what a coordinator-side exchange of the same
-// rows would.
+// bytes: arguments, replies and exchanged rows are wire-encoded at the
+// seam (raw layout when the type has a registered wire.Codec, gob
+// otherwise), with element counts taken from the typed slices — so a
+// resident exchange accounts exactly what a coordinator-side exchange of
+// the same rows would.
 
-// Marshal gob-encodes a step argument or reply. The types are the
-// program's own, so an encoding failure is a programming error.
+// Marshal encodes a step argument or reply. The encoding is retained by
+// the caller (frames, replies), so it gets its own buffer rather than a
+// pooled one. The types are the program's own, so an encoding failure is
+// a programming error.
 func Marshal[T any](v T) []byte {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(&v); err != nil {
+	b, err := wire.Encode(nil, v)
+	if err != nil {
 		panic(fmt.Sprintf("exec: encoding %T: %v", v, err))
 	}
-	return buf.Bytes()
+	return b
 }
 
 // Unmarshal decodes a Marshal-encoded value.
 func Unmarshal[T any](b []byte) (T, error) {
-	var v T
-	err := gob.NewDecoder(bytes.NewReader(b)).Decode(&v)
-	return v, err
+	return wire.Decode[T](b)
 }
 
 // Pure wraps a typed step function. S is the program's state type as
@@ -48,8 +49,11 @@ func Pure[S any, A any, R any](f func(st S, c *Ctx, args A) (R, error)) Step {
 
 // Emitter wraps a typed emit function: it returns the per-destination rows
 // (len == P) plus a small note for the coordinator. The wrapper encodes
-// every non-self destination, counts elements per destination, and keeps
-// the self row typed.
+// every non-self destination into one grown buffer (each block a
+// capacity-clipped view), counts elements per destination, and keeps the
+// self row typed. The buffer is not pooled: the worker routes the blocks
+// to its peers after the emit returns, so their lifetime is the
+// superstep's, not the wrapper's.
 func Emitter[S any, A any, T any](f func(st S, c *Ctx, args A) ([][]T, []byte, error)) Emit {
 	return func(c *Ctx, raw []byte) (*Outbox, error) {
 		args, err := Unmarshal[A](raw)
@@ -70,16 +74,18 @@ func Emitter[S any, A any, T any](f func(st S, c *Ctx, args A) ([][]T, []byte, e
 			Note:   note,
 			Type:   reflect.TypeOf((*T)(nil)).Elem().String(),
 		}
+		buf := make([]byte, 0, 1024)
 		for j, part := range rows {
 			out.Counts[j] = len(part)
 			if j == c.Rank {
 				continue
 			}
-			var buf bytes.Buffer
-			if err := gob.NewEncoder(&buf).Encode(part); err != nil {
+			start := len(buf)
+			buf, err = wire.Encode(buf, part)
+			if err != nil {
 				return nil, fmt.Errorf("exec: encoding emit block for rank %d: %w", j, err)
 			}
-			out.Blocks[j] = buf.Bytes()
+			out.Blocks[j] = buf[start:len(buf):len(buf)]
 		}
 		return out, nil
 	}
@@ -110,8 +116,8 @@ func Collector[S any, A any, T any, R any](f func(st S, c *Ctx, args A, in [][]T
 			if b == nil {
 				continue
 			}
-			var part []T
-			if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&part); err != nil {
+			part, err := wire.Decode[[]T](b)
+			if err != nil {
 				return nil, 0, fmt.Errorf("exec: decoding block from rank %d: %w", j, err)
 			}
 			in[j] = part

@@ -8,6 +8,7 @@
 package persist
 
 import (
+	"bufio"
 	"encoding/gob"
 	"fmt"
 	"hash/fnv"
@@ -16,10 +17,28 @@ import (
 	"repro/internal/cgm"
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/wire"
 )
 
-// Version is the snapshot format version.
-const Version = 1
+// Version is the snapshot format version. Version 2 is the raw layout
+// below; version-1 (gob) snapshots are still read transparently.
+const Version = 2
+
+// magic opens every version-2 snapshot. Its first byte cannot begin a gob
+// stream (a gob stream opens with the uvarint byte count of its first
+// type-descriptor message, always < 0x80), so Load distinguishes the raw
+// layout from a legacy gob snapshot by peeking one frame, no flag days.
+var magic = [4]byte{0xD7, 'R', 'T', '2'}
+
+// The version-2 layout, using the wire primitives (uvarints for the small
+// header fields, the standard point layout for the bulk payload):
+//
+//	magic (4B) · version · dims · p · backend · seq (8B LE)
+//	· points (wire.AppendPoints) · checksum (8B LE)
+//
+// Loading slices the point section through one coordinate arena exactly
+// like a received exchange block — a store restart no longer pays a gob
+// round-trip per point.
 
 // Snapshot is the serializable description of a point set with optional
 // build parameters.
@@ -81,10 +100,7 @@ func savePoints(w io.Writer, pts []geom.Point, p int, be core.Backend) error {
 		Points:   pts,
 		Checksum: checksum(pts),
 	}
-	if err := gob.NewEncoder(w).Encode(snap); err != nil {
-		return fmt.Errorf("persist: encoding snapshot: %w", err)
-	}
-	return nil
+	return writeSnap(w, &snap)
 }
 
 // SaveSet writes a snapshot of a raw point set that may be empty — the
@@ -106,8 +122,25 @@ func SaveSet(w io.Writer, pts []geom.Point, dims, p int, be core.Backend, seq ui
 		Points:   pts,
 		Checksum: checksum(pts),
 	}
-	if err := gob.NewEncoder(w).Encode(snap); err != nil {
-		return fmt.Errorf("persist: encoding set snapshot: %w", err)
+	return writeSnap(w, &snap)
+}
+
+// writeSnap writes the version-2 raw layout in one Write call, through a
+// pooled buffer.
+func writeSnap(w io.Writer, snap *Snapshot) error {
+	b := wire.GetBuf()
+	b = append(b, magic[:]...)
+	b = wire.AppendUvarint(b, uint64(snap.Version))
+	b = wire.AppendUvarint(b, uint64(snap.Dims))
+	b = wire.AppendUvarint(b, uint64(snap.P))
+	b = wire.AppendUvarint(b, uint64(snap.Backend))
+	b = wire.AppendU64(b, snap.Seq)
+	b = wire.AppendPoints(b, snap.Points)
+	b = wire.AppendU64(b, snap.Checksum)
+	_, err := w.Write(b)
+	wire.PutBuf(b)
+	if err != nil {
+		return fmt.Errorf("persist: writing snapshot: %w", err)
 	}
 	return nil
 }
@@ -124,13 +157,48 @@ func LoadPoints(r io.Reader) (*Snapshot, error) {
 }
 
 func load(r io.Reader, allowEmpty bool) (*Snapshot, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(magic))
+	if err == nil && [4]byte(head) == magic {
+		return loadRaw(br, allowEmpty)
+	}
+	// Legacy version-1 snapshot: one gob message.
 	var snap Snapshot
-	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+	if err := gob.NewDecoder(br).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("persist: decoding snapshot: %w", err)
 	}
+	if snap.Version != 1 {
+		return nil, fmt.Errorf("persist: gob snapshot version %d, this build reads 1 (gob) and %d (raw)", snap.Version, Version)
+	}
+	return validate(&snap, allowEmpty)
+}
+
+// loadRaw parses a version-2 snapshot (the magic is still unconsumed).
+func loadRaw(br *bufio.Reader, allowEmpty bool) (*Snapshot, error) {
+	data, err := io.ReadAll(br)
+	if err != nil {
+		return nil, fmt.Errorf("persist: reading snapshot: %w", err)
+	}
+	rd := wire.NewReader(data[len(magic):])
+	var snap Snapshot
+	snap.Version = int(rd.Uvarint())
 	if snap.Version != Version {
 		return nil, fmt.Errorf("persist: snapshot version %d, this build reads %d", snap.Version, Version)
 	}
+	snap.Dims = int(rd.Uvarint())
+	snap.P = int(rd.Uvarint())
+	snap.Backend = core.Backend(rd.Uvarint())
+	snap.Seq = rd.U64()
+	arena := wire.NewArena(&rd)
+	snap.Points = wire.ReadPoints(&rd, &arena)
+	snap.Checksum = rd.U64()
+	if err := rd.Finish(); err != nil {
+		return nil, fmt.Errorf("persist: decoding snapshot: %w", err)
+	}
+	return validate(&snap, allowEmpty)
+}
+
+func validate(snap *Snapshot, allowEmpty bool) (*Snapshot, error) {
 	if snap.Dims < 1 {
 		return nil, fmt.Errorf("persist: snapshot header has %d dims", snap.Dims)
 	}
@@ -145,13 +213,13 @@ func load(r io.Reader, allowEmpty bool) (*Snapshot, error) {
 	if got := checksum(snap.Points); got != snap.Checksum {
 		return nil, fmt.Errorf("persist: checksum mismatch: %x vs header %x", got, snap.Checksum)
 	}
-	return &snap, nil
+	return snap, nil
 }
 
-// encodeRaw writes a snapshot without recomputing the checksum or version
-// (tests use it to craft invalid streams).
+// encodeRaw writes a snapshot in the version-2 layout without recomputing
+// the checksum or version (tests use it to craft invalid streams).
 func encodeRaw(w io.Writer, snap *Snapshot) error {
-	return gob.NewEncoder(w).Encode(*snap)
+	return writeSnap(w, snap)
 }
 
 // Load reads a snapshot and rebuilds the distributed tree on mach (which

@@ -72,9 +72,40 @@ func BenchmarkClusterMixed(b *testing.B) {
 	}
 }
 
-// clusterBytesPerQuery is the measurement behind the acceptance check
-// below and the rangebench -cluster JSON record.
-func clusterBytesPerQuery(tb testing.TB, resident bool, batches int) float64 {
+// clusterTraffic is the measurement behind the acceptance checks below
+// and the rangebench -cluster JSON record: coordinator bytes per query
+// for the steady state, plus the per-frame-kind deltas on the
+// coordinator's connections and on the worker mesh.
+type clusterTraffic struct {
+	bytesPerQuery float64
+	coord         map[string]transport.FrameStat // coordinator conns, steady state
+	mesh          map[string]transport.FrameStat // all workers' conns, steady state
+}
+
+// statsDelta subtracts two WireStats snapshots kind by kind.
+func statsDelta(before, after map[string]transport.FrameStat) map[string]transport.FrameStat {
+	out := make(map[string]transport.FrameStat)
+	for k, a := range after {
+		d := transport.FrameStat{Frames: a.Frames - before[k].Frames, Bytes: a.Bytes - before[k].Bytes}
+		if d.Frames != 0 || d.Bytes != 0 {
+			out[k] = d
+		}
+	}
+	return out
+}
+
+// statsSum folds several WireStats maps into one.
+func statsSum(ms ...map[string]transport.FrameStat) map[string]transport.FrameStat {
+	out := make(map[string]transport.FrameStat)
+	for _, m := range ms {
+		for k, s := range m {
+			out[k] = transport.FrameStat{Frames: out[k].Frames + s.Frames, Bytes: out[k].Bytes + s.Bytes}
+		}
+	}
+	return out
+}
+
+func measureClusterTraffic(tb testing.TB, resident bool, batches int) clusterTraffic {
 	const p, n, m = 4, 1 << 12, 64
 	workers := make([]*transport.Worker, p)
 	addrs := make([]string, p)
@@ -105,27 +136,70 @@ func clusterBytesPerQuery(tb testing.TB, resident bool, batches int) float64 {
 	}
 	core.MixedBatch(tree, h, ops, boxes) // warm caches
 	outBefore, inBefore := cl.CoordBytes()
+	coordBefore := cl.WireStats()
+	meshBefores := make([]map[string]transport.FrameStat, p)
+	for i, w := range workers {
+		meshBefores[i] = w.WireStats()
+	}
 	for i := 0; i < batches; i++ {
 		core.MixedBatch(tree, h, ops, boxes)
 	}
 	out, in := cl.CoordBytes()
-	return float64(out-outBefore+in-inBefore) / float64(batches*m)
+	meshAfters := make([]map[string]transport.FrameStat, p)
+	for i, w := range workers {
+		meshAfters[i] = w.WireStats()
+	}
+	meshDeltas := make([]map[string]transport.FrameStat, p)
+	for i := range meshDeltas {
+		meshDeltas[i] = statsDelta(meshBefores[i], meshAfters[i])
+	}
+	return clusterTraffic{
+		bytesPerQuery: float64(out-outBefore+in-inBefore) / float64(batches*m),
+		coord:         statsDelta(coordBefore, cl.WireStats()),
+		mesh:          statsSum(meshDeltas...),
+	}
 }
 
 // TestResidentModeMovesBlocksOffCoordinator is the acceptance criterion
 // as a test: resident mode must move at least the per-query phase-B/C
 // block traffic off the coordinator — concretely, coordinator bytes per
-// query must drop to well under half of fabric mode's.
+// query must drop to well under half of fabric mode's. The per-kind wire
+// stats pin down the mechanism, not just the total: resident mode's
+// steady state serves queries through step frames (absent in fabric
+// mode), its deposits shrink to control + subquery payloads, and the
+// block payload runs on the worker mesh in both modes.
 func TestResidentModeMovesBlocksOffCoordinator(t *testing.T) {
 	if testing.Short() {
 		t.Skip("cluster traffic measurement")
 	}
-	fabric := clusterBytesPerQuery(t, false, 3)
-	resident := clusterBytesPerQuery(t, true, 3)
+	fabric := measureClusterTraffic(t, false, 3)
+	resident := measureClusterTraffic(t, true, 3)
 	t.Logf("coordinator bytes/query: fabric %.0f, resident %.0f (%.1fx drop)",
-		fabric, resident, fabric/resident)
-	if resident >= fabric/2 {
+		fabric.bytesPerQuery, resident.bytesPerQuery, fabric.bytesPerQuery/resident.bytesPerQuery)
+	t.Logf("fabric coord frames: %+v", fabric.coord)
+	t.Logf("resident coord frames: %+v", resident.coord)
+	if resident.bytesPerQuery >= fabric.bytesPerQuery/2 {
 		t.Fatalf("resident mode does not unload the coordinator: fabric %.0f B/query, resident %.0f B/query",
-			fabric, resident)
+			fabric.bytesPerQuery, resident.bytesPerQuery)
+	}
+	// Mechanism: fabric steady state is pure deposit/column, never steps.
+	if fabric.coord["step"].Frames != 0 {
+		t.Fatalf("fabric mode sent %d step frames", fabric.coord["step"].Frames)
+	}
+	if resident.coord["step"].Frames == 0 {
+		t.Fatal("resident mode served its batches without step frames")
+	}
+	// The coordinator's deposit payload must collapse in resident mode:
+	// deposits still cross (one per superstep) but carry step references
+	// and subqueries instead of element blocks.
+	fdep, rdep := fabric.coord["deposit"], resident.coord["deposit"]
+	if fdep.Bytes == 0 || rdep.Bytes >= fdep.Bytes/2 {
+		t.Fatalf("resident deposits did not shrink: fabric %d B, resident %d B", fdep.Bytes, rdep.Bytes)
+	}
+	// The payload still moves — on the worker mesh, as block frames, in
+	// both modes (fabric routes coordinator deposits peer-to-peer too).
+	if fabric.mesh["block"].Frames == 0 || resident.mesh["block"].Frames == 0 {
+		t.Fatalf("mesh block traffic missing: fabric %+v, resident %+v",
+			fabric.mesh["block"], resident.mesh["block"])
 	}
 }

@@ -32,6 +32,7 @@ type Cluster struct {
 	done  bool
 
 	bytesOut, bytesIn atomic.Int64
+	kc                kindCounters
 }
 
 // DialCluster connects to the given workers (one address per rank; the
@@ -94,6 +95,16 @@ func (c *Cluster) CoordBytes() (out, in int64) {
 	return c.bytesOut.Load(), c.bytesIn.Load()
 }
 
+// WireStats reports the coordinator connections' cumulative traffic by
+// frame kind (all sessions since dial, both directions). It separates
+// what CoordBytes lumps together: deposits and columns are payload the
+// coordinator carries, steps are resident-mode control — so the
+// fabric→resident shift is visible as deposit/column bytes collapsing
+// while step frames appear.
+func (c *Cluster) WireStats() map[string]FrameStat {
+	return c.kc.snapshot()
+}
+
 // NewMachine opens a fresh session on every worker and returns a machine
 // whose supersteps run over it. The machine owns the session: closing
 // the machine (or the whole cluster) tears it down.
@@ -112,7 +123,7 @@ func (c *Cluster) NewMachine() (*cgm.Machine, error) {
 		conn, err := net.DialTimeout("tcp", addr, dialTimeout)
 		var fc *fconn
 		if err == nil {
-			fc = newFConn(conn).count(&c.bytesOut, &c.bytesIn)
+			fc = newFConn(conn).count(&c.bytesOut, &c.bytesIn).kinds(&c.kc)
 			err = fc.write(&frame{Kind: kindOpen, Session: id, Rank: rank, Peers: c.addrs})
 		}
 		if err == nil {
@@ -205,7 +216,7 @@ func (t *tcpTransport) Exchange(rank int, dep cgm.Deposit) (cgm.Column, error) {
 	// retains the self-addressed block, so ~2/p of a balanced
 	// all-to-all's bytes never touch the wire.
 	err := wc.write(&frame{Kind: kindDeposit, Session: t.session, Rank: rank,
-		Seq: dep.Seq, Stamp: dep.Stamp, Type: dep.Type, Blocks: dep.Blocks})
+		Seq: dep.Seq, Stamp: dep.Stamp, Type: dep.Type, blocks: dep.Blocks})
 	if err != nil {
 		return cgm.Column{}, t.connErr(rank, err)
 	}
@@ -218,10 +229,10 @@ func (t *tcpTransport) Exchange(rank int, dep cgm.Deposit) (cgm.Column, error) {
 		if resp.Seq != dep.Seq {
 			return cgm.Column{}, fmt.Errorf("transport: worker %d answered superstep %d, expected %d", rank, resp.Seq, dep.Seq)
 		}
-		if len(resp.Blocks) != t.p {
-			return cgm.Column{}, fmt.Errorf("transport: worker %d returned %d column blocks for %d ranks", rank, len(resp.Blocks), t.p)
+		if len(resp.blocks) != t.p {
+			return cgm.Column{}, fmt.Errorf("transport: worker %d returned %d column blocks for %d ranks", rank, len(resp.blocks), t.p)
 		}
-		return cgm.Column{Blocks: resp.Blocks}, nil
+		return cgm.Column{Blocks: resp.blocks}, nil
 	case kindError:
 		return cgm.Column{}, errors.New(resp.Err)
 	default:
@@ -234,7 +245,7 @@ func (t *tcpTransport) Exchange(rank int, dep cgm.Deposit) (cgm.Column, error) {
 func (t *tcpTransport) ExchangeResident(rank int, dep cgm.ResidentDeposit) (cgm.ResidentReply, error) {
 	wc := t.conns[rank]
 	fr := &frame{Kind: kindDeposit, Session: t.session, Rank: rank,
-		Seq: dep.Seq, Stamp: dep.Stamp, Type: dep.Type, Blocks: dep.Blocks,
+		Seq: dep.Seq, Stamp: dep.Stamp, Type: dep.Type, blocks: dep.Blocks,
 		Collect: wireRef(*dep.Collect, dep.CollectArgs)}
 	if dep.Emit != nil {
 		fr.Call = wireRef(*dep.Emit, dep.EmitArgs)

@@ -3,9 +3,10 @@
 // SPMD program driver (the p rank goroutines, the hat replicas and the
 // superstep accounting live there, exactly as on the loopback transport),
 // and p worker processes carry the h-relations — every exchange leaves
-// the coordinator as gob-encoded blocks, is routed worker-to-worker over
-// a mesh of TCP connections, validated for SPMD divergence on the remote
-// side, and returns as the assembled column.
+// the coordinator as wire-encoded blocks (internal/wire: raw codec or gob
+// fallback), is routed worker-to-worker over a mesh of TCP connections,
+// validated for SPMD divergence on the remote side, and returns as the
+// assembled column.
 //
 // With resident execution (cgm.Config.Resident) the workers are more than
 // fabric: each session carries a per-rank state store of registered SPMD
@@ -23,12 +24,16 @@
 // deposits and step calls down, columns and step replies up); workers
 // dial each other lazily, one directed conn per (session, source,
 // destination) pair, to route blocks. Wire format: every frame is a
-// 4-byte big-endian length prefix followed by one gob message stream.
-// Each connection keeps ONE encoder/decoder pair for its lifetime, so
-// gob type descriptors cross once per connection instead of once per
-// frame — framing stays self-delimiting (the length prefix), decoding
-// stays streaming (frames must be read in order, which the one-reader-
-// per-connection protocol already guarantees).
+// 4-byte big-endian length prefix, one gob message stream for the control
+// fields, then the frame's payload blocks raw — uvarint-framed sections
+// appended after the gob body, so the already-encoded blocks (see
+// internal/wire) are never re-encoded through gob on the way down and are
+// sliced straight out of the received frame body on the way up, views
+// rather than copies. Each connection keeps ONE encoder/decoder pair for
+// its lifetime, so gob type descriptors cross once per connection instead
+// of once per frame — framing stays self-delimiting (the length prefix),
+// decoding stays streaming (frames must be read in order, which the
+// one-reader-per-connection protocol already guarantees).
 package transport
 
 import (
@@ -118,7 +123,7 @@ type frame struct {
 	Seq     int      // superstep sequence within the current run
 	Stamp   string   // "label#seq" — the SPMD check compares it across ranks
 	Type    string   // exchanged element type — likewise
-	Blocks  [][]byte // Deposit: p blocks; Block: 1; Column: p
+	NB      int      // number of out-of-band payload blocks after the gob body
 	Peers   []string // Open: worker addresses by rank
 	Err     string   // Error/Abort: diagnostic
 	Call    *stepRef // Step: the step; Deposit: the emit step (resident)
@@ -127,6 +132,15 @@ type frame struct {
 	Note    []byte   // resident Column: the emit step's note
 	Sent    int      // resident Column: emit-side element count
 	Recv    int      // resident Column: collect-side element count
+
+	// blocks is the frame's payload (Deposit: p blocks; Block: 1;
+	// Column: p). Unexported on purpose: gob skips it, and the framing
+	// layer carries the blocks raw after the gob body — written straight
+	// from the deposit's (pooled) buffers, read back as views into the
+	// received frame body. A received frame's blocks alias that body, so
+	// they stay valid for as long as anything references them (the body is
+	// a per-frame allocation, never reused).
+	blocks [][]byte
 }
 
 // fconn frames one TCP connection. Writes are serialized by a mutex (the
@@ -134,7 +148,7 @@ type frame struct {
 // one-reader-per-connection discipline. The persistent encoder/decoder
 // pair means gob type descriptors are sent exactly once per connection.
 // Optional atomic counters observe the raw bytes moved (the cluster
-// bench's coordinator-traffic metric).
+// bench's coordinator-traffic metric) and the per-kind frame traffic.
 type fconn struct {
 	c net.Conn
 
@@ -147,6 +161,8 @@ type fconn struct {
 	rd  chunkReader
 	dec *gob.Decoder
 	rn  *atomic.Int64
+
+	kc *kindCounters
 }
 
 func newFConn(c net.Conn) *fconn {
@@ -163,18 +179,40 @@ func (f *fconn) count(out, in *atomic.Int64) *fconn {
 	return f
 }
 
+// kinds wires the per-kind frame counters (both directions).
+func (f *fconn) kinds(kc *kindCounters) *fconn {
+	f.kc = kc
+	return f
+}
+
 func (f *fconn) write(fr *frame) error {
 	f.wmu.Lock()
 	defer f.wmu.Unlock()
 	f.wbuf.Reset()
 	f.wbuf.Write([]byte{0, 0, 0, 0})
+	fr.NB = len(fr.blocks)
 	if err := f.enc.Encode(fr); err != nil {
 		return fmt.Errorf("transport: encoding frame: %w", err)
+	}
+	// The payload blocks ride after the gob body, each framed as
+	// uvarint(len+1) + bytes with 0 marking a nil slot — already-encoded
+	// blocks are appended verbatim, never re-encoded through gob.
+	var vb [binary.MaxVarintLen64]byte
+	for _, blk := range fr.blocks {
+		if blk == nil {
+			f.wbuf.WriteByte(0)
+			continue
+		}
+		f.wbuf.Write(vb[:binary.PutUvarint(vb[:], uint64(len(blk))+1)])
+		f.wbuf.Write(blk)
 	}
 	b := f.wbuf.Bytes()
 	binary.BigEndian.PutUint32(b[:4], uint32(len(b)-4))
 	if f.wn != nil {
 		f.wn.Add(int64(len(b)))
+	}
+	if f.kc != nil {
+		f.kc.add(fr.Kind, int64(len(b)))
 	}
 	_, err := f.c.Write(b)
 	if f.wbuf.Cap() > maxRetainedBuf {
@@ -210,14 +248,91 @@ func (f *fconn) read() (*frame, error) {
 	f.rd.reset(body)
 	var fr frame
 	err := f.dec.Decode(&fr)
-	f.rd.reset(nil) // don't pin a large frame body on an idle connection
 	if err != nil {
+		f.rd.reset(nil)
 		return nil, fmt.Errorf("transport: decoding frame: %w", err)
+	}
+	// Slice the payload blocks out of the frame body: views, not copies.
+	// The body is this frame's own allocation, so the views stay valid for
+	// as long as the blocks are referenced.
+	if fr.NB > 0 {
+		rest := body[f.rd.off:]
+		off := 0
+		fr.blocks = make([][]byte, fr.NB)
+		for i := range fr.blocks {
+			v, vn := binary.Uvarint(rest[off:])
+			if vn <= 0 {
+				f.rd.reset(nil)
+				return nil, fmt.Errorf("transport: corrupt block section %d of %d", i, fr.NB)
+			}
+			off += vn
+			if v == 0 {
+				continue // nil slot
+			}
+			l := int(v - 1)
+			if l > len(rest)-off {
+				f.rd.reset(nil)
+				return nil, fmt.Errorf("transport: block section %d overruns the frame (%d of %d bytes left)", i, l, len(rest)-off)
+			}
+			fr.blocks[i] = rest[off : off+l : off+l]
+			off += l
+		}
+		if off != len(rest) {
+			f.rd.reset(nil)
+			return nil, fmt.Errorf("transport: %d trailing bytes after block sections", len(rest)-off)
+		}
+	}
+	f.rd.reset(nil) // don't pin a large frame body on an idle connection
+	if f.kc != nil {
+		f.kc.add(fr.Kind, int64(n)+4)
 	}
 	return &fr, nil
 }
 
 func (f *fconn) close() error { return f.c.Close() }
+
+// FrameStat counts one frame kind's traffic on one side of the wire:
+// frames moved (both directions) and their full framed bytes (length
+// prefix + gob body + payload block sections).
+type FrameStat struct {
+	Frames int64
+	Bytes  int64
+}
+
+// kindCounters accumulates per-kind frame traffic atomically; one
+// instance is shared by all connections of a Cluster or Worker.
+type kindCounters struct {
+	frames [kindAbort + 1]atomic.Int64
+	bytes  [kindAbort + 1]atomic.Int64
+}
+
+func (kc *kindCounters) add(k kind, n int64) {
+	if int(k) < len(kc.frames) {
+		kc.frames[k].Add(1)
+		kc.bytes[k].Add(n)
+	}
+}
+
+// kindNames labels the stats map; indexes match the kind constants.
+var kindNames = [kindAbort + 1]string{
+	kindOpen: "open", kindOpenAck: "open_ack", kindHello: "hello",
+	kindDeposit: "deposit", kindBlock: "block", kindColumn: "column",
+	kindStep: "step", kindStepReply: "step_reply",
+	kindError: "error", kindAbort: "abort",
+}
+
+// snapshot returns the non-zero per-kind stats.
+func (kc *kindCounters) snapshot() map[string]FrameStat {
+	out := make(map[string]FrameStat)
+	for k := range kc.frames {
+		fr, by := kc.frames[k].Load(), kc.bytes[k].Load()
+		if fr == 0 && by == 0 {
+			continue
+		}
+		out[kindNames[k]] = FrameStat{Frames: fr, Bytes: by}
+	}
+	return out
+}
 
 // chunkReader feeds the persistent gob decoder exactly one frame body at
 // a time. Implementing io.ByteReader keeps gob from wrapping it in a

@@ -29,6 +29,8 @@ type Worker struct {
 	conns    map[net.Conn]struct{} // every accepted conn still being served
 	closed   bool
 
+	kc kindCounters
+
 	wg sync.WaitGroup
 }
 
@@ -84,6 +86,15 @@ func (w *Worker) Close() error {
 	return err
 }
 
+// WireStats reports this worker's cumulative traffic by frame kind, both
+// directions, across every connection it served or dialed (coordinator
+// sessions and the worker-to-worker mesh alike). The mesh's kindBlock row
+// is the direct observation of resident mode's point: payload moving
+// worker-to-worker instead of through the coordinator.
+func (w *Worker) WireStats() map[string]FrameStat {
+	return w.kc.snapshot()
+}
+
 // Sessions reports the number of live sessions (health/diagnostics).
 func (w *Worker) Sessions() int {
 	w.mu.Lock()
@@ -122,7 +133,7 @@ func (w *Worker) handshake(conn net.Conn) {
 		delete(w.conns, conn)
 		w.mu.Unlock()
 	}()
-	fc := newFConn(conn)
+	fc := newFConn(conn).kinds(&w.kc)
 	f, err := fc.read()
 	if err != nil {
 		conn.Close()
@@ -271,7 +282,7 @@ func (w *Worker) runSession(fc *fconn, open *frame) {
 // counts. Sends run on their own goroutine so two workers shipping large
 // blocks to each other cannot deadlock on full TCP buffers.
 func (s *session) superstep(dep *frame) error {
-	blocks := dep.Blocks
+	blocks := dep.blocks
 	typ := dep.Type
 	sent := 0
 	var selfPayload any
@@ -298,7 +309,7 @@ func (s *session) superstep(dep *frame) error {
 			out, err := s.peerConn(j)
 			if err == nil {
 				err = out.write(&frame{Kind: kindBlock, Session: s.id, Rank: s.rank,
-					Seq: dep.Seq, Stamp: dep.Stamp, Type: typ, Blocks: [][]byte{blocks[j]}})
+					Seq: dep.Seq, Stamp: dep.Stamp, Type: typ, blocks: [][]byte{blocks[j]}})
 			}
 			if err != nil {
 				sendErr <- fmt.Errorf("transport: rank %d routing to rank %d (%s): %w", s.rank, j, s.peers[j], err)
@@ -355,7 +366,7 @@ func (s *session) superstep(dep *frame) error {
 		return s.coord.write(&frame{Kind: kindColumn, Session: s.id, Seq: dep.Seq, Stamp: dep.Stamp,
 			Reply: reply, Note: note, Sent: sent, Recv: recv})
 	}
-	return s.coord.write(&frame{Kind: kindColumn, Session: s.id, Seq: dep.Seq, Stamp: dep.Stamp, Blocks: column})
+	return s.coord.write(&frame{Kind: kindColumn, Session: s.id, Seq: dep.Seq, Stamp: dep.Stamp, blocks: column})
 }
 
 // peerConn returns the directed block conn to peer j, dialing and
@@ -375,7 +386,7 @@ func (s *session) peerConn(j int) (*fconn, error) {
 	if err != nil {
 		return nil, err
 	}
-	fc := newFConn(conn)
+	fc := newFConn(conn).kinds(&s.w.kc)
 	if err := fc.write(&frame{Kind: kindHello, Session: s.id, Rank: s.rank}); err != nil {
 		fc.close()
 		return nil, err
@@ -432,12 +443,12 @@ func (w *Worker) feedPeer(fc *fconn, hello *frame) {
 				err: fmt.Errorf("transport: rank %d lost its peer rank %d mid-superstep: %w", s.rank, hello.Rank, err)})
 			return
 		}
-		if f.Kind != kindBlock || len(f.Blocks) != 1 {
+		if f.Kind != kindBlock || len(f.blocks) != 1 {
 			deliver(inMsg{from: hello.Rank,
-				err: fmt.Errorf("transport: malformed block frame (kind %d, %d blocks) from rank %d", f.Kind, len(f.Blocks), hello.Rank)})
+				err: fmt.Errorf("transport: malformed block frame (kind %d, %d blocks) from rank %d", f.Kind, len(f.blocks), hello.Rank)})
 			return
 		}
-		if !deliver(inMsg{from: f.Rank, seq: f.Seq, stamp: f.Stamp, typ: f.Type, block: f.Blocks[0]}) {
+		if !deliver(inMsg{from: f.Rank, seq: f.Seq, stamp: f.Stamp, typ: f.Type, block: f.blocks[0]}) {
 			return
 		}
 	}

@@ -1,0 +1,174 @@
+package wire
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"reflect"
+	"sync"
+)
+
+// Codec is the raw wire behavior of one payload type: an append-style
+// encoder and a whole-block decoder. Append must extend buf in place
+// (standard append discipline); Decode receives exactly the bytes Append
+// produced and must return an error — never panic — on truncated or
+// corrupt input (the Reader's sticky-error discipline gives this for
+// free).
+type Codec[T any] struct {
+	Append func(buf []byte, v T) []byte
+	Decode func(b []byte) (T, error)
+}
+
+// The registry maps a payload type to its type-erased codec. Registration
+// happens in package init functions (core registers its superstep payload
+// types; wire itself registers []byte), so lookups vastly outnumber
+// writes — a copy-on-write map keeps the hot path lock-free.
+var (
+	regMu sync.Mutex
+	reg   sync.Map // reflect.Type -> Codec[T] (as any)
+)
+
+// Register binds the raw codec for payload type T. Registering a type
+// twice panics: two layouts for one type would desynchronize the cluster.
+// Call it from an init function of the package that owns T, so every
+// binary of the cluster (coordinator and workers) agrees on the set of
+// raw-coded types by construction.
+func Register[T any](c Codec[T]) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	t := reflect.TypeOf((*T)(nil)).Elem()
+	if _, dup := reg.Load(t); dup {
+		panic(fmt.Sprintf("wire: codec for %v registered twice", t))
+	}
+	reg.Store(t, c)
+}
+
+// Lookup resolves the registered codec for T.
+func Lookup[T any]() (Codec[T], bool) {
+	v, ok := reg.Load(reflect.TypeOf((*T)(nil)).Elem())
+	if !ok {
+		return Codec[T]{}, false
+	}
+	return v.(Codec[T]), true
+}
+
+// Registered reports whether T has a raw codec (without asserting it).
+func Registered[T any]() bool {
+	_, ok := reg.Load(reflect.TypeOf((*T)(nil)).Elem())
+	return ok
+}
+
+// Every encoded block leads with a one-byte tag, so the decode side
+// dispatches on the block itself rather than on out-of-band agreement —
+// a binary that lacks a codec registration still rejects a raw block
+// with a diagnostic instead of misreading it, and gob-fallback blocks
+// are self-identifying.
+const (
+	tagGob byte = 'G'
+	tagRaw byte = 'R'
+)
+
+// Encode appends the tagged wire encoding of v to buf: the raw layout
+// when a codec is registered for T, the gob fallback otherwise. Combine
+// with GetBuf/PutBuf to keep the per-superstep encode path allocation-
+// free in steady state.
+func Encode[T any](buf []byte, v T) ([]byte, error) {
+	start := len(buf)
+	if c, ok := Lookup[T](); ok {
+		buf = c.Append(append(buf, tagRaw), v)
+		counters.rawEncBlocks.Add(1)
+		counters.rawEncBytes.Add(int64(len(buf) - start))
+		return buf, nil
+	}
+	buf = append(buf, tagGob)
+	w := sliceWriter{b: buf}
+	// gob sends its type descriptors once per Encoder, so an encoder
+	// cannot be reused across independently decoded blocks; what the
+	// fallback path reuses is the buffer the encoder writes into.
+	if err := gob.NewEncoder(&w).Encode(&v); err != nil {
+		return buf[:start], fmt.Errorf("wire: gob-encoding %T: %w", v, err)
+	}
+	counters.gobEncBlocks.Add(1)
+	counters.gobEncBytes.Add(int64(len(w.b) - start))
+	return w.b, nil
+}
+
+// Decode decodes one Encode-produced block.
+func Decode[T any](b []byte) (T, error) {
+	var zero T
+	if len(b) == 0 {
+		return zero, fmt.Errorf("wire: empty block")
+	}
+	switch b[0] {
+	case tagRaw:
+		c, ok := Lookup[T]()
+		if !ok {
+			return zero, fmt.Errorf("wire: raw block for %v, which this binary has no codec for (version skew?)",
+				reflect.TypeOf((*T)(nil)).Elem())
+		}
+		v, err := c.Decode(b[1:])
+		if err == nil {
+			counters.rawDecBlocks.Add(1)
+		}
+		return v, err
+	case tagGob:
+		var v T
+		cr := chunk{b: b[1:]}
+		if err := gob.NewDecoder(&cr).Decode(&v); err != nil {
+			return zero, fmt.Errorf("wire: gob-decoding %v: %w", reflect.TypeOf((*T)(nil)).Elem(), err)
+		}
+		counters.gobDecBlocks.Add(1)
+		return v, nil
+	default:
+		return zero, fmt.Errorf("wire: unknown block tag 0x%02x", b[0])
+	}
+}
+
+// sliceWriter appends gob output to the caller's (pooled) buffer, so the
+// fallback path shares the raw path's buffer reuse.
+type sliceWriter struct{ b []byte }
+
+func (w *sliceWriter) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+// chunk is the gob-fallback read side: implementing io.ByteReader keeps
+// gob from wrapping the source in a bufio.Reader allocation per block.
+type chunk struct {
+	b   []byte
+	off int
+}
+
+func (c *chunk) Read(p []byte) (int, error) {
+	if c.off >= len(c.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, c.b[c.off:])
+	c.off += n
+	return n, nil
+}
+
+func (c *chunk) ReadByte() (byte, error) {
+	if c.off >= len(c.b) {
+		return 0, io.EOF
+	}
+	b := c.b[c.off]
+	c.off++
+	return b, nil
+}
+
+func init() {
+	// []byte rows are the machine's barrier payloads (and any other
+	// opaque byte rows): the raw layout is the bytes themselves. The
+	// decoded value views the block.
+	Register(Codec[[]byte]{
+		Append: func(buf []byte, v []byte) []byte { return append(buf, v...) },
+		Decode: func(b []byte) ([]byte, error) {
+			if len(b) == 0 {
+				return nil, nil
+			}
+			return b[:len(b):len(b)], nil
+		},
+	})
+}
