@@ -1,0 +1,220 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/cgm"
+	"repro/internal/core"
+	"repro/internal/pointsfile"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// IngestLoadRecord measures one worker-direct file load: each rank reads
+// its own shard, the coordinator sees header metadata, splitters and
+// control frames only.
+type IngestLoadRecord struct {
+	N            int     `json:"n"`
+	BuildMs      float64 `json:"build_ms"`
+	PointsPerSec float64 `json:"points_per_sec"`
+	// CoordBytes is the coordinator's total wire traffic (both
+	// directions) for the whole load+construct. Under the O(p²) claim it
+	// is independent of N at fixed p — doubling N must not move it.
+	CoordBytes         int64   `json:"coord_bytes"`
+	CoordBytesPerPoint float64 `json:"coord_bytes_per_point"`
+}
+
+// IngestStreamRecord measures the open-loop streaming client (chunks
+// through the coordinator, bounded in-flight window) with a serving tree
+// answering single-query batches on the same cluster throughout.
+type IngestStreamRecord struct {
+	N            int     `json:"n"`
+	Chunk        int     `json:"chunk"`
+	Window       int     `json:"window"`
+	IngestMs     float64 `json:"ingest_ms"`
+	PointsPerSec float64 `json:"points_per_sec"`
+	// Serve latency percentiles for single-count queries against an
+	// already-resident tree: idle baseline vs concurrent with the ingest.
+	IdleP50Us    float64 `json:"serve_idle_p50_us"`
+	IdleP99Us    float64 `json:"serve_idle_p99_us"`
+	DuringP50Us  float64 `json:"serve_during_p50_us"`
+	DuringP99Us  float64 `json:"serve_during_p99_us"`
+	QueriesIdle  int     `json:"queries_idle"`
+	QueriesConcu int     `json:"queries_during"`
+}
+
+// IngestRecord is the machine-readable record of the ingest benchmark
+// (BENCH_ingest.json).
+type IngestRecord struct {
+	Experiment string `json:"experiment"`
+	Dims       int    `json:"dims"`
+	P          int    `json:"p"`
+	// Loads holds the worker-direct file loads at N and 2N; CoordGrowthX
+	// is CoordBytes(2N)/CoordBytes(N) — ≈1 when coordinator traffic is
+	// O(p²), 2 if the coordinator were shipping the points.
+	Loads        []IngestLoadRecord `json:"loads"`
+	CoordGrowthX float64            `json:"coord_growth_x"`
+	Stream       IngestStreamRecord `json:"stream"`
+}
+
+func percentile(us []float64, q float64) float64 {
+	if len(us) == 0 {
+		return 0
+	}
+	sort.Float64s(us)
+	i := int(q * float64(len(us)-1))
+	return us[i]
+}
+
+// runIngestBench measures worker-direct ingest on a 4-worker resident
+// localhost cluster.
+func runIngestBench(n, p int) (*IngestRecord, error) {
+	rec := &IngestRecord{Experiment: "ingest", Dims: 2, P: p}
+	workers := make([]*transport.Worker, p)
+	addrs := make([]string, p)
+	for i := range workers {
+		w, err := transport.ListenAndServe("127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		defer w.Close()
+		workers[i] = w
+		addrs[i] = w.Addr()
+	}
+	cl, err := transport.DialCluster(addrs, cgm.Config{Resident: true})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+
+	dir, err := os.MkdirTemp("", "rangebench-ingest")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	// Worker-direct file loads at N and 2N: the doubling probe for the
+	// O(p²) coordinator-traffic claim.
+	for _, nn := range []int{n, 2 * n} {
+		pts := workload.Points(workload.PointSpec{N: nn, Dims: 2, Dist: workload.Clustered, Seed: 7})
+		paths := make([]string, p)
+		for r, blk := range core.CanonicalBlocks(pts, p) {
+			paths[r] = filepath.Join(dir, fmt.Sprintf("shard-%d-%d.drpf", nn, r))
+			if err := pointsfile.Save(paths[r], blk); err != nil {
+				return nil, err
+			}
+		}
+		mach, err := cl.NewMachine()
+		if err != nil {
+			return nil, err
+		}
+		outB, inB := cl.CoordBytes()
+		start := time.Now()
+		tree, err := core.BulkLoadFiles(mach, paths, core.BackendLayered)
+		if err != nil {
+			return nil, fmt.Errorf("file load n=%d: %w", nn, err)
+		}
+		wall := time.Since(start)
+		out, in := cl.CoordBytes()
+		lrec := IngestLoadRecord{
+			N:            nn,
+			BuildMs:      float64(wall.Microseconds()) / 1e3,
+			PointsPerSec: float64(nn) / wall.Seconds(),
+			CoordBytes:   (out - outB) + (in - inB),
+		}
+		lrec.CoordBytesPerPoint = float64(lrec.CoordBytes) / float64(nn)
+		rec.Loads = append(rec.Loads, lrec)
+		tree.Machine().Close()
+	}
+	if rec.Loads[0].CoordBytes > 0 {
+		rec.CoordGrowthX = float64(rec.Loads[1].CoordBytes) / float64(rec.Loads[0].CoordBytes)
+	}
+
+	// Open-loop streaming load with a concurrent serving workload.
+	const chunk, window, serveN, serveM = 1024, 4, 1 << 12, 256
+	servePts := workload.Points(workload.PointSpec{N: serveN, Dims: 2, Dist: workload.Clustered, Seed: 13})
+	serveMach, err := cl.NewMachine()
+	if err != nil {
+		return nil, err
+	}
+	serveTree, err := core.BulkLoad(serveMach, core.SliceChunks(servePts, chunk), core.BackendLayered, window)
+	if err != nil {
+		return nil, err
+	}
+	boxes := workload.Boxes(workload.QuerySpec{M: serveM, Dims: 2, N: serveN, Selectivity: 0.02, Seed: 17})
+	oneQuery := func(i int) float64 {
+		q0 := time.Now()
+		serveTree.CountBatch(boxes[i%serveM : i%serveM+1])
+		return float64(time.Since(q0).Nanoseconds()) / 1e3
+	}
+	oneQuery(0) // warm
+	var idle []float64
+	for i := range serveM {
+		idle = append(idle, oneQuery(i))
+	}
+
+	big := 2 * n
+	bigPts := workload.Points(workload.PointSpec{N: big, Dims: 2, Dist: workload.Clustered, Seed: 23})
+	ingestMach, err := cl.NewMachine()
+	if err != nil {
+		return nil, err
+	}
+	done := make(chan error, 1)
+	var ingestWall time.Duration
+	go func() {
+		t0 := time.Now()
+		_, err := core.BulkLoad(ingestMach, core.SliceChunks(bigPts, chunk), core.BackendLayered, window)
+		ingestWall = time.Since(t0)
+		done <- err
+	}()
+	var during []float64
+	for i := 0; ; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				return nil, fmt.Errorf("concurrent stream load: %w", err)
+			}
+			rec.Stream = IngestStreamRecord{
+				N: big, Chunk: chunk, Window: window,
+				IngestMs:     float64(ingestWall.Microseconds()) / 1e3,
+				PointsPerSec: float64(big) / ingestWall.Seconds(),
+				IdleP50Us:    percentile(idle, 0.50),
+				IdleP99Us:    percentile(idle, 0.99),
+				DuringP50Us:  percentile(during, 0.50),
+				DuringP99Us:  percentile(during, 0.99),
+				QueriesIdle:  len(idle),
+				QueriesConcu: len(during),
+			}
+			return rec, nil
+		default:
+			during = append(during, oneQuery(i))
+		}
+	}
+}
+
+// writeIngestJSON runs the ingest benchmark and writes the record.
+func writeIngestJSON(path string) error {
+	rec, err := runIngestBench(1<<15, 4)
+	if err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("ingest bench: file load coord bytes %d at n=%d vs %d at n=%d (growth %.2fx; O(p^2) wants ~1)\n",
+		rec.Loads[0].CoordBytes, rec.Loads[0].N, rec.Loads[1].CoordBytes, rec.Loads[1].N, rec.CoordGrowthX)
+	fmt.Printf("  stream: %.0f points/sec (chunk %d, window %d); serve p50/p99 %.0f/%.0f us idle, %.0f/%.0f us during ingest -> %s\n",
+		rec.Stream.PointsPerSec, rec.Stream.Chunk, rec.Stream.Window,
+		rec.Stream.IdleP50Us, rec.Stream.IdleP99Us, rec.Stream.DuringP50Us, rec.Stream.DuringP99Us, path)
+	return nil
+}

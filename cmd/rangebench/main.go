@@ -54,6 +54,8 @@ func main() {
 	jsonStoreOut := flag.String("json-store-out", "BENCH_store.json", "target path for the -json E16 record")
 	clusterFlag := flag.Bool("cluster", false, "run the TCP cluster benchmark (4 localhost workers, fabric vs resident) and write its record (then exit)")
 	clusterOut := flag.String("cluster-out", "BENCH_cluster.json", "target path for the -cluster record")
+	ingestFlag := flag.Bool("ingest", false, "run the worker-direct ingest benchmark (file loads at n and 2n for the O(p^2) coordinator-traffic probe, plus open-loop streaming with concurrent serving) and write its record (then exit)")
+	ingestOut := flag.String("ingest-out", "BENCH_ingest.json", "target path for the -ingest record")
 	flag.Parse()
 
 	var scale expt.Scale
@@ -69,6 +71,14 @@ func main() {
 
 	if *clusterFlag {
 		if err := writeClusterJSON(*clusterOut); err != nil {
+			fmt.Fprintf(os.Stderr, "rangebench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *ingestFlag {
+		if err := writeIngestJSON(*ingestOut); err != nil {
 			fmt.Fprintf(os.Stderr, "rangebench: %v\n", err)
 			os.Exit(1)
 		}

@@ -41,6 +41,7 @@ import (
 	"repro/internal/kdtree"
 	"repro/internal/layered"
 	"repro/internal/persist"
+	"repro/internal/pointsfile"
 	"repro/internal/rangetree"
 	"repro/internal/semigroup"
 	"repro/internal/store"
@@ -211,6 +212,58 @@ func ClusterOpenStore(cl *Cluster, dir string, cfg StoreConfig) (*Store, error) 
 	cfg.Provider = cl
 	return store.Open(dir, cfg)
 }
+
+// Worker-direct streaming ingest (DESIGN.md §11): workers feed the
+// construction themselves — chunks stream into per-rank staging areas
+// with a bounded in-flight window, or each rank reads its own slice of a
+// points file — and the build runs held in worker memory. On a resident
+// cluster the coordinator handles only the p² sample-sort splitters and
+// control frames, never a routed point, so its traffic per build is
+// O(p²), independent of n.
+
+// ChunkSource yields successive point chunks for BulkLoadStream; Next
+// returns io.EOF after the last chunk.
+type ChunkSource = core.ChunkSource
+
+// SliceChunks adapts an in-memory point slice into a ChunkSource of
+// fixed-size chunks.
+func SliceChunks(pts []Point, chunk int) ChunkSource { return core.SliceChunks(pts, chunk) }
+
+// BuildWorkerFed runs Algorithm Construct with worker-held input: on a
+// resident machine the points are staged into the workers first and
+// every construction exchange stays on the worker mesh; on a fabric
+// machine it is identical to BuildDistributedWith.
+func BuildWorkerFed(m *Machine, pts []Point, be ElemBackend) *Tree {
+	return core.BuildWorkerFed(m, pts, be)
+}
+
+// BulkLoadStream streams chunks into the machine's workers (window
+// chunks in flight per rank; window ≤ 0 selects the default) and
+// constructs the tree worker-fed.
+func BulkLoadStream(m *Machine, src ChunkSource, window int) (*Tree, error) {
+	return core.BulkLoad(m, src, core.BackendLayered, window)
+}
+
+// BulkLoadFile builds a tree from a points file (SavePointsFile layout):
+// each rank reads its own record slice directly — the coordinator reads
+// only the 17-byte header.
+func BulkLoadFile(m *Machine, path string) (*Tree, error) {
+	return core.BulkLoadFile(m, path, core.BackendLayered)
+}
+
+// BulkLoadFiles builds a tree from one pre-partitioned points file per
+// rank; the coordinator never opens them.
+func BulkLoadFiles(m *Machine, paths []string) (*Tree, error) {
+	return core.BulkLoadFiles(m, paths, core.BackendLayered)
+}
+
+// SavePointsFile writes pts in the fixed-record binary layout the bulk
+// file loaders read (rank-sliceable without parsing).
+func SavePointsFile(path string, pts []Point) error { return pointsfile.Save(path, pts) }
+
+// PointsFileInfo reports a points file's record count and dimensionality
+// from its header.
+func PointsFileInfo(path string) (n, dims int, err error) { return pointsfile.Info(path) }
 
 // BuildSequential builds the classical sequential range tree over all
 // dimensions of pts.

@@ -122,6 +122,16 @@ func ResidentCall[A any, R any](m *Machine, rank int, ref exec.Ref, args A) (R, 
 // collect step's reply. Exactly one communication round, with the same
 // label, stamp and element counts as Exchange of the same rows.
 func ExchangeCollect[T any, A any, R any](pr *Proc, label string, out [][]T, collect exec.Ref, cargs A) R {
+	r, _ := ExchangeCollectRecv[T, A, R](pr, label, out, collect, cargs)
+	return r
+}
+
+// ExchangeCollectRecv is ExchangeCollect returning the rank's received
+// element count alongside the reply — the count a coordinator-side
+// Exchange of the same rows would have observed locally. The fused
+// route-and-serve supersteps use it to keep SearchStats.Served exact
+// without a separate accounting round.
+func ExchangeCollectRecv[T any, A any, R any](pr *Proc, label string, out [][]T, collect exec.Ref, cargs A) (R, int) {
 	m := pr.m
 	if len(out) != m.p {
 		panic(fmt.Sprintf("cgm: %s: out has %d destinations, machine has %d", label, len(out), m.p))
@@ -166,7 +176,7 @@ func ExchangeCollect[T any, A any, R any](pr *Proc, label string, out [][]T, col
 	if err != nil {
 		m.fail(fmt.Sprintf("cgm: %s: decoding collect reply: %v", stamp, err))
 	}
-	return r
+	return r, rep.Recv
 }
 
 // ExchangeSteps is a superstep whose deposit is produced by a registered

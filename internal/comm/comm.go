@@ -180,14 +180,7 @@ func SegmentedGather[T any](pr *cgm.Proc, label string, items []T, dest func(T) 
 func Rebalance[T any](pr *cgm.Proc, label string, local []T) []T {
 	p := pr.P()
 	offset, total := CountScan(pr, label+"/count", len(local))
-	out := make([][]T, p)
-	for i, v := range local {
-		g := offset + i
-		// Block boundaries: processor j owns [j*total/p, (j+1)*total/p).
-		j := blockOwner(g, total, p)
-		out[j] = append(out[j], v)
-	}
-	in := cgm.Exchange(pr, label, out)
+	in := cgm.Exchange(pr, label, BlockPartition(local, offset, total, p))
 	var flat []T
 	for _, s := range in {
 		flat = append(flat, s...)
@@ -195,9 +188,23 @@ func Rebalance[T any](pr *cgm.Proc, label string, local []T) []T {
 	return flat
 }
 
-// blockOwner maps global position g of N items onto one of p contiguous
+// BlockPartition buckets a run of globally ordered items (this
+// processor's run starts at global position offset of total items) by
+// block owner — the emit half of Rebalance, exported so the
+// worker-resident construct can run it worker-side.
+func BlockPartition[T any](local []T, offset, total, p int) [][]T {
+	out := make([][]T, p)
+	for i, v := range local {
+		// Block boundaries: processor j owns [j*total/p, (j+1)*total/p).
+		j := BlockOwner(offset+i, total, p)
+		out[j] = append(out[j], v)
+	}
+	return out
+}
+
+// BlockOwner maps global position g of N items onto one of p contiguous
 // blocks (sizes differing by at most one).
-func blockOwner(g, n, p int) int {
+func BlockOwner(g, n, p int) int {
 	if n == 0 {
 		return 0
 	}

@@ -229,9 +229,9 @@ func TestBlockOwnerExhaustive(t *testing.T) {
 	for n := 0; n <= 40; n++ {
 		for p := 1; p <= 7; p++ {
 			for g := 0; g < n; g++ {
-				j := blockOwner(g, n, p)
+				j := BlockOwner(g, n, p)
 				if g < blockStart(j, n, p) || (j < p-1 && g >= blockStart(j+1, n, p)) {
-					t.Fatalf("blockOwner(%d,%d,%d) = %d", g, n, p, j)
+					t.Fatalf("BlockOwner(%d,%d,%d) = %d", g, n, p, j)
 				}
 			}
 		}

@@ -75,8 +75,31 @@ func BuildBackend(mach *cgm.Machine, pts []geom.Point, be Backend) *Tree {
 			panic(fmt.Sprintf("core: point %d has %d dims, want %d", i, p.Dims(), dims))
 		}
 	}
+	return BuildFromSource(mach, sliceSource{pts: pts, dims: dims}, be)
+}
+
+// BuildWorkerFed builds from a coordinator-held slice but feeds the
+// workers directly when the machine is resident: the canonical blocks are
+// staged into the ranks' parts first, then construction runs as the
+// resident program with only sampling traffic transiting the coordinator.
+// On a fabric machine it is exactly BuildBackend. Canonical staging keeps
+// the round/h/volume metrics identical to BuildBackend's, which is what
+// lets the store compactor switch paths without perturbing measurements.
+func BuildWorkerFed(mach *cgm.Machine, pts []geom.Point, be Backend) *Tree {
+	if !mach.Resident() {
+		return BuildBackend(mach, pts, be)
+	}
+	src, err := StageBlocks(mach, CanonicalBlocks(pts, mach.P()))
+	if err != nil {
+		panic(fmt.Sprintf("core: staging worker blocks: %v", err))
+	}
+	return BuildFromSource(mach, src, be)
+}
+
+// newTreeShell allocates the Tree scaffolding every build path shares.
+func newTreeShell(mach *cgm.Machine, n, dims int, be Backend) *Tree {
 	p := mach.P()
-	t := &Tree{
+	return &Tree{
 		mach:       mach,
 		n:          n,
 		dims:       dims,
@@ -86,8 +109,6 @@ func BuildBackend(mach *cgm.Machine, pts []geom.Point, be Backend) *Tree {
 		procs:      make([]*procState, p),
 		lastCopied: make([]atomic.Int64, p),
 	}
-	mach.Run(func(pr *cgm.Proc) { t.construct(pr, pts) })
-	return t
 }
 
 // BuildOn runs Algorithm Construct on a machine supplied by the provider
@@ -103,7 +124,7 @@ func BuildOn(pv cgm.Provider, pts []geom.Point, be Backend) (*Tree, error) {
 }
 
 // construct is the per-processor body of Algorithm Construct.
-func (t *Tree) construct(pr *cgm.Proc, pts []geom.Point) {
+func (t *Tree) construct(pr *cgm.Proc, src PointSource, seeded []int) {
 	rank, p := pr.Rank(), pr.P()
 	ps := &procState{
 		rank:      rank,
@@ -116,20 +137,50 @@ func (t *Tree) construct(pr *cgm.Proc, pts []geom.Point) {
 	if t.resident {
 		// Reset the rank's resident part: this machine's forest is about
 		// to be built into it (a reused session must not merge forests).
+		// Staged ingest blocks survive the reset — they are this build's
+		// input.
 		cgm.CallResident[beginArgs, bool](pr, fref("construct/begin"), beginArgs{Backend: t.backend})
+	}
+
+	if t.resident && src.Held() {
+		// The rank's block is already staged worker-side: seed the S^0
+		// records where the points live and run the held phases — the
+		// point payloads never visit the coordinator.
+		seeded[rank] = cgm.CallResident[seedArgs, int](pr, fref("construct/seed"),
+			seedArgs{Dims: int8(t.dims)})
+		var nextElem ElemID
+		for j := 0; j < t.dims; j++ {
+			nextElem = t.constructPhaseHeld(pr, ps, j, nextElem)
+		}
+		return
 	}
 
 	// Step 1: each processor starts with an arbitrary block of n/p points;
 	// every initial record belongs to the primary tree (index nil).
-	lo, hi := queryBlock(rank, t.n, p)
-	recs := make([]srec, 0, hi-lo)
-	for _, pt := range pts[lo:hi] {
+	block := src.Block(rank, p)
+	recs := make([]srec, 0, len(block))
+	for _, pt := range block {
 		recs = append(recs, srec{Pt: pt, Key: segtree.RootPathKey})
 	}
 
 	var nextElem ElemID
 	for j := 0; j < t.dims; j++ {
 		recs, nextElem = t.constructPhase(pr, ps, recs, j, nextElem)
+	}
+}
+
+// srecLess orders the S^j records: primary key index (tree label), then
+// x_j, ties by point ID for determinism. Shared by the coordinator-side
+// sort and the worker-side held-sort steps so the orders cannot drift.
+func srecLess(j int) func(a, b srec) bool {
+	return func(a, b srec) bool {
+		if a.Key != b.Key {
+			return a.Key < b.Key
+		}
+		if a.Pt.X[j] != b.Pt.X[j] {
+			return a.Pt.X[j] < b.Pt.X[j]
+		}
+		return a.Pt.ID < b.Pt.ID
 	}
 }
 
@@ -142,102 +193,21 @@ func (t *Tree) constructPhase(pr *cgm.Proc, ps *procState, recs []srec, j int, n
 
 	// Step 2: globally sort S^j by primary key index (tree label) and
 	// secondary key x_j (ties by point ID for determinism).
-	sorted := psort.Sort(pr, lbl("sort"), recs, func(a, b srec) bool {
-		if a.Key != b.Key {
-			return a.Key < b.Key
-		}
-		if a.Pt.X[j] != b.Pt.X[j] {
-			return a.Pt.X[j] < b.Pt.X[j]
-		}
-		return a.Pt.ID < b.Pt.ID
-	})
+	sorted := psort.Sort(pr, lbl("sort"), recs, srecLess(j))
 
 	// Tree discovery: exchange per-processor runs of equal keys; all
 	// processors derive the identical, label-ordered tree summary list.
-	var runs []runSum
-	for i := 0; i < len(sorted); {
-		k := sorted[i].Key
-		c := 0
-		for i < len(sorted) && sorted[i].Key == k {
-			i++
-			c++
-		}
-		runs = append(runs, runSum{Key: k, Count: c})
-	}
-	allRuns := comm.AllGatherFlat(pr, lbl("runs"), runs)
-	var trees []treeSum
-	offset := 0
-	for _, r := range allRuns {
-		if len(trees) > 0 && trees[len(trees)-1].Key == r.Key {
-			trees[len(trees)-1].M += r.Count
-		} else {
-			trees = append(trees, treeSum{Key: r.Key, M: r.Count})
-		}
-		offset += r.Count
-	}
-	start := 0
-	for i := range trees {
-		trees[i].Start = start
-		start += trees[i].M
-	}
+	allRuns := comm.AllGatherFlat(pr, lbl("runs"), keyRuns(sorted))
+	trees := deriveTrees(allRuns)
 
-	// Stub enumeration (replicated, deterministic): elements are numbered
-	// in (tree label, position) order and owned by P_(id mod p) —
-	// Construct step 3's "route the k-th group to processor P_(k mod p)".
-	type stubRef struct {
-		tree int
-		stub segtree.Stub
-	}
-	var stubs []stubRef
-	for ti := range trees {
-		shape := segtree.NewShape(trees[ti].M)
-		trees[ti].Elem0 = nextElem + ElemID(len(stubs))
-		for _, st := range shape.Stubs(t.grain) {
-			stubs = append(stubs, stubRef{tree: ti, stub: st})
-		}
-	}
-	var myInfos []ElemInfo // this rank's share of the phase (resident install)
-	for si, sr := range stubs {
-		id := nextElem + ElemID(si)
-		info := ElemInfo{
-			ID:    id,
-			Owner: int32(int(id) % p),
-			Count: int32(sr.stub.Count),
-			Dim:   int8(j),
-			Key:   trees[sr.tree].Key.Extend(sr.stub.Node),
-		}
-		ps.info = append(ps.info, info)
-		if t.resident && int(info.Owner) == ps.rank {
-			myInfos = append(myInfos, info)
-		}
-	}
+	nStubs, myInfos := t.enumerateStubs(pr, ps, trees, j, nextElem)
 
 	// Step 3: route every record to the owner of the element containing
 	// its global position.
 	myOffset, _ := comm.CountScan(pr, lbl("offset"), len(sorted))
-	out := make([][]epoint, p)
-	ti := 0
-	var treeStubs []segtree.Stub
-	loadStubs := func(ti int) {
-		treeStubs = segtree.NewShape(trees[ti].M).Stubs(t.grain)
-	}
-	if len(trees) > 0 {
-		loadStubs(0)
-	}
-	for i, r := range sorted {
-		g := myOffset + i
-		for g >= trees[ti].Start+trees[ti].M {
-			ti++
-			loadStubs(ti)
-		}
-		if r.Key != trees[ti].Key {
-			panic("core: construct routing lost tree alignment")
-		}
-		pos := g - trees[ti].Start
-		si := segtree.StubContaining(treeStubs, pos)
-		id := trees[ti].Elem0 + ElemID(si)
-		owner := int(id) % p
-		out[owner] = append(out[owner], epoint{Elem: id, Pt: r.Pt})
+	out, err := routeRecords(sorted, trees, t.grain, myOffset, p)
+	if err != nil {
+		panic(err.Error())
 	}
 	// Step 4: sequentially construct the owned forest elements. Records
 	// arrive rank-major and sorted within each source; element point sets
@@ -265,17 +235,7 @@ func (t *Tree) constructPhase(pr *cgm.Proc, ps *procState, recs []srec, j int, n
 
 	// Steps 4–5: all-to-all broadcast of the forest roots (the hat's
 	// leaves); every processor completes its dimension-j hat trees.
-	allMetas := comm.AllGatherFlat(pr, lbl("roots"), metas)
-	for _, mt := range allMetas {
-		ps.info[int(mt.Elem)].Min = mt.Min
-		ps.info[int(mt.Elem)].Max = mt.Max
-	}
-	for _, el := range ps.elems { // owner's own replica also needs spans
-		el.info = ps.info[int(el.info.ID)]
-	}
-	for ti := range trees {
-		t.buildHatTree(ps, trees[ti], j)
-	}
+	t.finishPhase(pr, ps, trees, metas, j, lbl)
 
 	// Step 7: create S^(j+1): every record walks from its stub's parent to
 	// the root of its segment tree, creating one record per hat-internal
@@ -291,7 +251,181 @@ func (t *Tree) constructPhase(pr *cgm.Proc, ps *procState, recs []srec, j int, n
 			}
 		}
 	}
-	return next, nextElem + ElemID(len(stubs))
+	return next, nextElem + ElemID(nStubs)
+}
+
+// constructPhaseHeld is constructPhase with the S^j records held in the
+// ranks' resident parts: the sample sort's local phases, the record
+// exchanges and the element routing all run as registered program steps,
+// while the coordinator's collectives carry only the p² regular samples,
+// the splitters, the run/offset counts and the replicated stub metadata —
+// O(p²) per phase, independent of n. The label sequence and per-rank
+// element counts are identical to constructPhase's, so a canonically
+// staged build produces byte-identical Metrics.
+func (t *Tree) constructPhaseHeld(pr *cgm.Proc, ps *procState, j int, nextElem ElemID) ElemID {
+	p := pr.P()
+	lbl := func(step string) string { return fmt.Sprintf("construct/d%d/%s", j, step) }
+	dim := dimArgs{Dim: int8(j)}
+
+	// Step 2 (sample sort, records held): local sort and sample selection
+	// run worker-side; only the samples are gathered, every rank derives
+	// the identical splitters, and the partition/merge and rebalance
+	// supersteps move the records worker-to-worker.
+	sl := cgm.CallResident[dimArgs, sortLocalReply](pr, fref("construct/sortLocal"), dim)
+	allSamples := comm.AllGatherFlat(pr, lbl("sort")+"/sample", sl.Samples)
+	splitters := psort.Splitters(allSamples, p, srecLess(j))
+	_, merged := cgm.ExchangeSteps[wsortPartArgs, dimArgs, lenReply](pr, lbl("sort")+"/route",
+		fref("construct/wsortPart"), wsortPartArgs{Dim: int8(j), Splitters: splitters},
+		fref("construct/wsortMerge"), dim)
+	offset, total := comm.CountScan(pr, lbl("sort")+"/balance/count", merged.Len)
+	_, bal := cgm.ExchangeSteps[wsortBalanceArgs, bool, balanceReply](pr, lbl("sort")+"/balance",
+		fref("construct/wsortSplit"), wsortBalanceArgs{Offset: offset, Total: total},
+		fref("construct/wsortGather"), false)
+
+	// Tree discovery from the worker-computed key runs; stub enumeration
+	// stays replicated coordinator-side (it is metadata, not points).
+	allRuns := comm.AllGatherFlat(pr, lbl("runs"), bal.Runs)
+	trees := deriveTrees(allRuns)
+	nStubs, myInfos := t.enumerateStubs(pr, ps, trees, j, nextElem)
+
+	// Step 3–4: the routing loop runs where the records live; the routed
+	// points go worker-to-worker into the install collect.
+	myOffset, _ := comm.CountScan(pr, lbl("offset"), bal.Len)
+	_, metas := cgm.ExchangeSteps[routeHeldArgs, constructInstallArgs, []elemMeta](pr, lbl("route"),
+		fref("construct/routeHeld"), routeHeldArgs{Trees: trees, Grain: t.grain, Offset: myOffset},
+		fref("construct/install"), constructInstallArgs{Backend: t.backend, Infos: myInfos})
+
+	t.finishPhase(pr, ps, trees, metas, j, lbl)
+
+	// Step 7: the S^(j+1) records are computed AND kept worker-side; only
+	// their count returns.
+	if j+1 < t.dims {
+		cgm.CallResident[nextArgs, int](pr, fref("construct/nextHeld"), nextArgs{Dim: int8(j)})
+	}
+	return nextElem + ElemID(nStubs)
+}
+
+// keyRuns summarises the locally sorted records as runs of equal keys —
+// the tree-discovery rows of Construct step 2.
+func keyRuns(sorted []srec) []runSum {
+	var runs []runSum
+	for i := 0; i < len(sorted); {
+		k := sorted[i].Key
+		c := 0
+		for i < len(sorted) && sorted[i].Key == k {
+			i++
+			c++
+		}
+		runs = append(runs, runSum{Key: k, Count: c})
+	}
+	return runs
+}
+
+// deriveTrees merges the gathered runs (rank-major, each rank's runs in
+// key order) into the label-ordered tree summary list with global start
+// offsets — identical on every processor.
+func deriveTrees(allRuns []runSum) []treeSum {
+	var trees []treeSum
+	for _, r := range allRuns {
+		if len(trees) > 0 && trees[len(trees)-1].Key == r.Key {
+			trees[len(trees)-1].M += r.Count
+		} else {
+			trees = append(trees, treeSum{Key: r.Key, M: r.Count})
+		}
+	}
+	start := 0
+	for i := range trees {
+		trees[i].Start = start
+		start += trees[i].M
+	}
+	return trees
+}
+
+// enumerateStubs performs the replicated, deterministic stub enumeration:
+// elements are numbered in (tree label, position) order and owned by
+// P_(id mod p) — Construct step 3's "route the k-th group to processor
+// P_(k mod p)". It assigns every tree's Elem0, appends the phase's
+// ElemInfo records to ps.info, and returns the stub count plus this
+// rank's owned share (the resident install metadata).
+func (t *Tree) enumerateStubs(pr *cgm.Proc, ps *procState, trees []treeSum, j int, nextElem ElemID) (int, []ElemInfo) {
+	p := pr.P()
+	type stubRef struct {
+		tree int
+		stub segtree.Stub
+	}
+	var stubs []stubRef
+	for ti := range trees {
+		shape := segtree.NewShape(trees[ti].M)
+		trees[ti].Elem0 = nextElem + ElemID(len(stubs))
+		for _, st := range shape.Stubs(t.grain) {
+			stubs = append(stubs, stubRef{tree: ti, stub: st})
+		}
+	}
+	var myInfos []ElemInfo // this rank's share of the phase (resident install)
+	for si, sr := range stubs {
+		id := nextElem + ElemID(si)
+		info := ElemInfo{
+			ID:    id,
+			Owner: int32(int(id) % p),
+			Count: int32(sr.stub.Count),
+			Dim:   int8(j),
+			Key:   trees[sr.tree].Key.Extend(sr.stub.Node),
+		}
+		ps.info = append(ps.info, info)
+		if t.resident && int(info.Owner) == ps.rank {
+			myInfos = append(myInfos, info)
+		}
+	}
+	return len(stubs), myInfos
+}
+
+// routeRecords is Construct step 3's routing loop, shared by the
+// coordinator-side phase and the resident routeHeld emit: every globally
+// sorted record (this rank's run starting at global position offset) goes
+// to the owner of the element whose stub contains its position.
+func routeRecords(sorted []srec, trees []treeSum, grain, offset, p int) ([][]epoint, error) {
+	out := make([][]epoint, p)
+	ti := 0
+	var treeStubs []segtree.Stub
+	loadStubs := func(ti int) {
+		treeStubs = segtree.NewShape(trees[ti].M).Stubs(grain)
+	}
+	if len(trees) > 0 {
+		loadStubs(0)
+	}
+	for i, r := range sorted {
+		g := offset + i
+		for g >= trees[ti].Start+trees[ti].M {
+			ti++
+			loadStubs(ti)
+		}
+		if r.Key != trees[ti].Key {
+			return nil, fmt.Errorf("core: construct routing lost tree alignment")
+		}
+		pos := g - trees[ti].Start
+		si := segtree.StubContaining(treeStubs, pos)
+		id := trees[ti].Elem0 + ElemID(si)
+		owner := int(id) % p
+		out[owner] = append(out[owner], epoint{Elem: id, Pt: r.Pt})
+	}
+	return out, nil
+}
+
+// finishPhase is Construct steps 4–5's tail: all-to-all broadcast of the
+// forest roots (the hat's leaves), span fill-in, and the replicated
+// dimension-j hat build.
+func (t *Tree) finishPhase(pr *cgm.Proc, ps *procState, trees []treeSum, metas []elemMeta, j int, lbl func(string) string) {
+	allMetas := comm.AllGatherFlat(pr, lbl("roots"), metas)
+	for _, mt := range allMetas {
+		ps.info[int(mt.Elem)].Min = mt.Min
+		ps.info[int(mt.Elem)].Max = mt.Max
+	}
+	for _, el := range ps.elems { // owner's own replica also needs spans
+		el.info = ps.info[int(el.info.ID)]
+	}
+	for ti := range trees {
+		t.buildHatTree(ps, trees[ti], j)
+	}
 }
 
 // buildForestElements is Construct step 4's body, shared by the fabric

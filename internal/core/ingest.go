@@ -1,0 +1,336 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/cgm"
+	"repro/internal/geom"
+	"repro/internal/pointsfile"
+)
+
+// This file is the worker-direct ingest path: the coordinator never
+// holds (or forwards) the point set. Chunks stream straight to each
+// rank's staging area — round-robined from a client ChunkSource with a
+// bounded in-flight window, or read rank-locally from pointsfile slices
+// — and the held construction then runs entirely worker-side, the
+// coordinator contributing only the p² regular-sampling splitters and
+// control frames.
+
+const (
+	// DefaultChunk is the streaming block size (points per ingest call).
+	DefaultChunk = 4096
+	// DefaultWindow is the per-rank bound on buffered chunks between the
+	// reader and each rank's feeder — the open-loop flow-control window.
+	// A slow rank backpressures the reader instead of growing the heap.
+	DefaultWindow = 4
+)
+
+// ChunkSource produces the input stream of a bulk load, one block at a
+// time; it returns io.EOF after the last block. Blocks are retained by
+// the ingest pipeline until encoded, so producers must not reuse them.
+type ChunkSource interface {
+	Next() ([]geom.Point, error)
+}
+
+type sliceChunks struct {
+	pts   []geom.Point
+	chunk int
+}
+
+func (s *sliceChunks) Next() ([]geom.Point, error) {
+	if len(s.pts) == 0 {
+		return nil, io.EOF
+	}
+	c := min(len(s.pts), s.chunk)
+	blk := s.pts[:c]
+	s.pts = s.pts[c:]
+	return blk, nil
+}
+
+// SliceChunks adapts an in-memory slice to a ChunkSource (chunk <= 0
+// selects DefaultChunk).
+func SliceChunks(pts []geom.Point, chunk int) ChunkSource {
+	if chunk <= 0 {
+		chunk = DefaultChunk
+	}
+	return &sliceChunks{pts: pts, chunk: chunk}
+}
+
+// forEachRank runs f concurrently for every rank and joins the errors.
+// Resident calls to distinct ranks are independent (distinct sessions on
+// a wire transport, distinct state stores on the loopback), so per-rank
+// parallelism is safe; per rank the calls stay sequential.
+func forEachRank(p int, f func(rank int) error) error {
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for rank := range p {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[rank] = f(rank)
+		}()
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// StageBlocks stages one explicit block per rank into the workers and
+// returns the held source describing them. The canonical split
+// (CanonicalBlocks) makes the subsequent build metric-identical to a
+// coordinator-fed BuildBackend of the concatenation.
+func StageBlocks(mach *cgm.Machine, blocks [][]geom.Point) (PointSource, error) {
+	p := mach.P()
+	if len(blocks) != p {
+		return nil, fmt.Errorf("core: staging %d blocks on a %d-rank machine", len(blocks), p)
+	}
+	dims, total := -1, 0
+	for _, blk := range blocks {
+		total += len(blk)
+		for _, pt := range blk {
+			if dims == -1 {
+				dims = pt.Dims()
+			}
+			if pt.Dims() != dims {
+				return nil, fmt.Errorf("core: point %d has %d dims, want %d", pt.ID, pt.Dims(), dims)
+			}
+		}
+	}
+	if total == 0 {
+		return nil, errors.New("core: empty point set")
+	}
+	err := forEachRank(p, func(rank int) error {
+		if _, err := cgm.ResidentCall[bool, bool](mach, rank, fref("ingest/begin"), false); err != nil {
+			return err
+		}
+		for blk := blocks[rank]; len(blk) > 0; {
+			c := min(len(blk), DefaultChunk)
+			if _, err := cgm.ResidentCall[ingestChunkArgs, int](mach, rank, fref("ingest/chunk"), ingestChunkArgs{Pts: blk[:c]}); err != nil {
+				return err
+			}
+			blk = blk[c:]
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return stagedSource{dims: dims, total: total}, nil
+}
+
+// buildStaged runs the held construction over already-staged input,
+// converting a machine abort (worker death, skew) into an error so a
+// caller can fail fast and retry on a fresh machine.
+func buildStaged(mach *cgm.Machine, dims, total int, be Backend) (t *Tree, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: worker-fed build aborted: %v", r)
+		}
+	}()
+	return BuildFromSource(mach, stagedSource{dims: dims, total: total}, be), nil
+}
+
+// BulkLoad streams src into the machine's workers and builds a tree from
+// the staged input. Chunk i goes to rank i%p — the arbitrary initial
+// distribution Construct step 1 allows; the sample sort normalizes it.
+// Each rank has its own feeder goroutine with a window-deep channel
+// (window <= 0 selects DefaultWindow), so a slow rank backpressures the
+// reader while the others keep streaming. On a non-resident machine the
+// stream is accumulated and built coordinator-fed instead.
+func BulkLoad(mach *cgm.Machine, src ChunkSource, be Backend, window int) (*Tree, error) {
+	if !mach.Resident() {
+		var pts []geom.Point
+		for {
+			blk, err := src.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, err
+			}
+			pts = append(pts, blk...)
+		}
+		if len(pts) == 0 {
+			return nil, errors.New("core: bulk load delivered no points")
+		}
+		return buildRecovered(mach, pts, be)
+	}
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	p := mach.P()
+	feed := make([]chan []geom.Point, p)
+	for rank := range feed {
+		feed[rank] = make(chan []geom.Point, window)
+	}
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for rank := range p {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := cgm.ResidentCall[bool, bool](mach, rank, fref("ingest/begin"), false); err != nil {
+				errs[rank] = err
+			}
+			// Keep draining after a failure so the reader never blocks on
+			// a dead rank's window — the load fails fast, not deadlocks.
+			for blk := range feed[rank] {
+				if errs[rank] != nil {
+					continue
+				}
+				if _, err := cgm.ResidentCall[ingestChunkArgs, int](mach, rank, fref("ingest/chunk"), ingestChunkArgs{Pts: blk}); err != nil {
+					errs[rank] = err
+				}
+			}
+		}()
+	}
+	dims, total := -1, 0
+	var srcErr error
+read:
+	for i := 0; ; i++ {
+		blk, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			srcErr = err
+			break
+		}
+		if len(blk) == 0 {
+			continue
+		}
+		for _, pt := range blk {
+			if dims == -1 {
+				dims = pt.Dims()
+			}
+			if pt.Dims() != dims {
+				srcErr = fmt.Errorf("core: point %d has %d dims, want %d", pt.ID, pt.Dims(), dims)
+				break read
+			}
+		}
+		total += len(blk)
+		feed[i%p] <- blk
+	}
+	for _, ch := range feed {
+		close(ch)
+	}
+	wg.Wait()
+	if srcErr != nil {
+		return nil, srcErr
+	}
+	if err := errors.Join(errs...); err != nil {
+		return nil, fmt.Errorf("core: bulk ingest: %w", err)
+	}
+	if total == 0 {
+		return nil, errors.New("core: bulk load delivered no points")
+	}
+	return buildStaged(mach, dims, total, be)
+}
+
+// buildRecovered is BuildBackend with machine aborts converted to errors
+// (the non-resident fallbacks of the bulk-load entry points).
+func buildRecovered(mach *cgm.Machine, pts []geom.Point, be Backend) (t *Tree, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: build aborted: %v", r)
+		}
+	}()
+	return BuildBackend(mach, pts, be), nil
+}
+
+// BulkLoadFile builds a tree from one pointsfile: the coordinator reads
+// only the 17-byte header; every rank reads its own record slice.
+func BulkLoadFile(mach *cgm.Machine, path string, be Backend) (*Tree, error) {
+	n, dims, err := pointsfile.Info(path)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("core: %s holds no points", path)
+	}
+	if !mach.Resident() {
+		pts, err := pointsfile.Read(path)
+		if err != nil {
+			return nil, err
+		}
+		return buildRecovered(mach, pts, be)
+	}
+	p := mach.P()
+	err = forEachRank(p, func(rank int) error {
+		if _, err := cgm.ResidentCall[bool, bool](mach, rank, fref("ingest/begin"), false); err != nil {
+			return err
+		}
+		lo, hi := queryBlock(rank, n, p)
+		rep, err := cgm.ResidentCall[ingestFileArgs, ingestReply](mach, rank, fref("ingest/file"), ingestFileArgs{Path: path, Lo: lo, Hi: hi})
+		if err != nil {
+			return err
+		}
+		if rep.N != hi-lo || int(rep.Dims) != dims {
+			return fmt.Errorf("core: rank %d staged %d %d-dim points from %s, want %d %d-dim", rank, rep.N, rep.Dims, path, hi-lo, dims)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return buildStaged(mach, dims, n, be)
+}
+
+// BulkLoadFiles builds a tree from one pointsfile per rank — the
+// partitioned-input layout of a cluster whose workers each own a shard.
+// The coordinator never opens the files: counts and dimensionalities
+// come back in the ingest replies.
+func BulkLoadFiles(mach *cgm.Machine, paths []string, be Backend) (*Tree, error) {
+	p := mach.P()
+	if len(paths) != p {
+		return nil, fmt.Errorf("core: %d shard files for a %d-rank machine", len(paths), p)
+	}
+	if !mach.Resident() {
+		var pts []geom.Point
+		for _, path := range paths {
+			shard, err := pointsfile.Read(path)
+			if err != nil {
+				return nil, err
+			}
+			pts = append(pts, shard...)
+		}
+		if len(pts) == 0 {
+			return nil, errors.New("core: empty point set")
+		}
+		return buildRecovered(mach, pts, be)
+	}
+	counts := make([]int, p)
+	dims := make([]int, p)
+	err := forEachRank(p, func(rank int) error {
+		if _, err := cgm.ResidentCall[bool, bool](mach, rank, fref("ingest/begin"), false); err != nil {
+			return err
+		}
+		rep, err := cgm.ResidentCall[ingestFileArgs, ingestReply](mach, rank, fref("ingest/file"), ingestFileArgs{Path: paths[rank], Lo: 0, Hi: -1})
+		if err != nil {
+			return err
+		}
+		counts[rank], dims[rank] = rep.N, int(rep.Dims)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	d, total := 0, 0
+	for rank := range p {
+		total += counts[rank]
+		if counts[rank] > 0 {
+			if d == 0 {
+				d = dims[rank]
+			}
+			if dims[rank] != d {
+				return nil, fmt.Errorf("core: shard %s has %d-dim points, others have %d", paths[rank], dims[rank], d)
+			}
+		}
+	}
+	if total == 0 {
+		return nil, errors.New("core: empty point set")
+	}
+	return buildStaged(mach, d, total, be)
+}

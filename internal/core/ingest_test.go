@@ -1,0 +1,158 @@
+package core_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cgm"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/pointsfile"
+	"repro/internal/workload"
+)
+
+// TestWorkerFedConstructEquivalence: a held construction — input staged
+// in the workers, sample sort and routing run as resident steps — must
+// produce identical answers AND identical round/h/volume metrics to the
+// coordinator-fed build of the same points.
+func TestWorkerFedConstructEquivalence(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		for _, d := range []int{2, 3} {
+			t.Run(fmt.Sprintf("p=%d/d=%d", p, d), func(t *testing.T) {
+				n, m := 400, 40
+				pts := workload.Points(workload.PointSpec{N: n, Dims: d, Dist: workload.Clustered, Seed: 7})
+				coordM := cgm.New(cgm.Config{P: p, Resident: true})
+				heldM := cgm.New(cgm.Config{P: p, Resident: true})
+				coord := core.Build(coordM, pts)
+				held := core.BuildWorkerFed(heldM, pts, core.BackendLayered)
+				if err := held.Verify(); err != nil {
+					t.Fatalf("worker-fed tree fails Verify: %v", err)
+				}
+				assertSameMetrics(t, "construct", coordM.Metrics(), heldM.Metrics())
+
+				boxes := workload.Boxes(workload.QuerySpec{M: m, Dims: d, N: n, Selectivity: 0.08, Seed: 3})
+				cc, hc := coord.CountBatch(boxes), held.CountBatch(boxes)
+				for i := range cc {
+					if cc[i] != hc[i] {
+						t.Fatalf("count %d: coordinator-fed %d worker-fed %d", i, cc[i], hc[i])
+					}
+				}
+				cr, hr := coord.ReportBatch(boxes), held.ReportBatch(boxes)
+				for i := range cr {
+					if len(cr[i]) != len(hr[i]) {
+						t.Fatalf("report %d: coordinator-fed %d pts, worker-fed %d", i, len(cr[i]), len(hr[i]))
+					}
+					for j := range cr[i] {
+						if cr[i][j].ID != hr[i][j].ID {
+							t.Fatalf("report %d pt %d: id %d vs %d", i, j, cr[i][j].ID, hr[i][j].ID)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestBulkLoadStreaming: chunked round-robin streaming (an arbitrary
+// initial distribution) must converge to the same answers as a
+// coordinator-fed build; the sample sort normalizes the placement.
+func TestBulkLoadStreaming(t *testing.T) {
+	n, d, p := 500, 2, 4
+	pts := workload.Points(workload.PointSpec{N: n, Dims: d, Dist: workload.Uniform, Seed: 11})
+	refM := cgm.New(cgm.Config{P: p})
+	ref := core.Build(refM, pts)
+
+	for _, chunk := range []int{37, 5000} {
+		ldM := cgm.New(cgm.Config{P: p, Resident: true})
+		ld, err := core.BulkLoad(ldM, core.SliceChunks(pts, chunk), core.BackendLayered, 2)
+		if err != nil {
+			t.Fatalf("chunk=%d: BulkLoad: %v", chunk, err)
+		}
+		if err := ld.Verify(); err != nil {
+			t.Fatalf("chunk=%d: bulk-loaded tree fails Verify: %v", chunk, err)
+		}
+		boxes := workload.Boxes(workload.QuerySpec{M: 40, Dims: d, N: n, Selectivity: 0.1, Seed: 5})
+		want, got := ref.CountBatch(boxes), ld.CountBatch(boxes)
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("chunk=%d count %d: want %d got %d", chunk, i, want[i], got[i])
+			}
+		}
+	}
+}
+
+// TestBulkLoadFile: rank-local file-slice ingest (single shared file and
+// one shard per rank) answers like an in-memory build.
+func TestBulkLoadFile(t *testing.T) {
+	n, d, p := 300, 2, 4
+	pts := workload.Points(workload.PointSpec{N: n, Dims: d, Dist: workload.Clustered, Seed: 19})
+	dir := t.TempDir()
+	whole := filepath.Join(dir, "pts.drpf")
+	if err := pointsfile.Save(whole, pts); err != nil {
+		t.Fatal(err)
+	}
+	shards := make([]string, p)
+	blocks := core.CanonicalBlocks(pts, p)
+	for rank := range shards {
+		shards[rank] = filepath.Join(dir, fmt.Sprintf("shard-%d.drpf", rank))
+		if err := pointsfile.Save(shards[rank], blocks[rank]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	refM := cgm.New(cgm.Config{P: p})
+	ref := core.Build(refM, pts)
+	boxes := workload.Boxes(workload.QuerySpec{M: 30, Dims: d, N: n, Selectivity: 0.1, Seed: 23})
+	want := ref.CountBatch(boxes)
+
+	oneM := cgm.New(cgm.Config{P: p, Resident: true})
+	one, err := core.BulkLoadFile(oneM, whole, core.BackendLayered)
+	if err != nil {
+		t.Fatalf("BulkLoadFile: %v", err)
+	}
+	shM := cgm.New(cgm.Config{P: p, Resident: true})
+	sh, err := core.BulkLoadFiles(shM, shards, core.BackendLayered)
+	if err != nil {
+		t.Fatalf("BulkLoadFiles: %v", err)
+	}
+	gotOne := one.CountBatch(boxes)
+	gotSh := sh.CountBatch(boxes)
+	for i := range want {
+		if gotOne[i] != want[i] {
+			t.Fatalf("file count %d: want %d got %d", i, want[i], gotOne[i])
+		}
+		if gotSh[i] != want[i] {
+			t.Fatalf("shard count %d: want %d got %d", i, want[i], gotSh[i])
+		}
+	}
+}
+
+// TestPointsfileRoundTrip pins the on-disk format: save, slice reads,
+// header info.
+func TestPointsfileRoundTrip(t *testing.T) {
+	pts := []geom.Point{
+		{ID: 1, X: []geom.Coord{3, -4}},
+		{ID: 2, X: []geom.Coord{0, 9}},
+		{ID: 7, X: []geom.Coord{-100, 100}},
+	}
+	path := filepath.Join(t.TempDir(), "t.drpf")
+	if err := pointsfile.Save(path, pts); err != nil {
+		t.Fatal(err)
+	}
+	n, dims, err := pointsfile.Info(path)
+	if err != nil || n != 3 || dims != 2 {
+		t.Fatalf("Info: n=%d dims=%d err=%v", n, dims, err)
+	}
+	mid, dims, err := pointsfile.ReadSlice(path, 1, 2)
+	if err != nil || dims != 2 || len(mid) != 1 || mid[0].ID != 2 || mid[0].X[1] != 9 {
+		t.Fatalf("ReadSlice: %v %v (err=%v)", mid, dims, err)
+	}
+	all, err := pointsfile.Read(path)
+	if err != nil || len(all) != 3 || all[2].X[0] != -100 {
+		t.Fatalf("Read: %v (err=%v)", all, err)
+	}
+	if _, _, err := pointsfile.ReadSlice(path, 2, 5); err == nil {
+		t.Fatal("out-of-range slice must error")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/cgm"
+	"repro/internal/exec"
 	"repro/internal/geom"
 )
 
@@ -64,31 +65,32 @@ func (r *mixedRun[T]) dispatch(qid int32) procRun {
 func (r *mixedRun[T]) answerHat(q Query, s hatSel) { r.dispatch(q.ID).answerHat(q, s) }
 func (r *mixedRun[T]) answerSub(s subquery)        { r.dispatch(s.Query).answerSub(s) }
 
-// serveResident partitions the served subqueries by mode (preserving
-// relative order) and lets each embedded run serve its share through the
-// resident part. Whether each call happens is batch-global (the ops
-// vector is replicated), so the step traffic stays SPMD-uniform.
-func (r *mixedRun[T]) serveResident(pr *cgm.Proc, subs []subquery) {
-	var cnt, agg, rep []subquery
-	for _, s := range subs {
-		switch r.ops[s.Query] {
-		case OpAggregate:
-			agg = append(agg, s)
-		case OpReport:
-			rep = append(rep, s)
-		default:
-			cnt = append(cnt, s)
-		}
-	}
-	r.count.serveResident(pr, cnt)
+// serveRouted answers all three op kinds in the ONE fused route-and-
+// serve superstep: the collect step partitions the routed column by op
+// (the ops vector rides the collect args) and returns the three result
+// kinds in a single reply — no per-mode dispatch round-trips.
+func (r *mixedRun[T]) serveRouted(pr *cgm.Proc, label string, routed [][]subquery) int {
+	args := mixedServeArgs{Ops: r.ops}
 	if r.agg != nil {
-		r.agg.serveResident(pr, agg)
-	} else if len(agg) > 0 {
-		// Unreachable via MixedBatch (it rejects OpAggregate without a
-		// handle up front); fail as loudly as the fabric path would.
-		panic("core: aggregate subqueries served without a prepared AggHandle")
+		args.Agg = r.agg.h.name
 	}
-	r.rep.serveResident(pr, rep)
+	rep, recv := cgm.ExchangeCollectRecv[subquery, mixedServeArgs, mixedServeReply](
+		pr, label, routed, fref("search/routeMixed"), args)
+	r.count.pairs = append(r.count.pairs, rep.Counts...)
+	if len(rep.Aggs) > 0 {
+		if r.agg == nil {
+			// Unreachable via MixedBatch (it rejects OpAggregate without a
+			// handle up front); fail as loudly as the fabric path would.
+			panic("core: aggregate subqueries served without a prepared AggHandle")
+		}
+		pairs, err := exec.Unmarshal[[]qvalT[T]](rep.Aggs)
+		if err != nil {
+			panic(fmt.Sprintf("core: decoding mixed aggregate results: %v", err))
+		}
+		r.agg.pairs = append(r.agg.pairs, pairs...)
+	}
+	r.rep.locals = append(r.rep.locals, rep.Locals...)
+	return recv
 }
 
 func (r *mixedRun[T]) materialize(el *element) {

@@ -70,12 +70,11 @@ func (r *countRun) answerSub(s subquery) {
 	r.pairs = append(r.pairs, qcount{Query: s.Query, Val: int64(elemCount(el, s.Box, &r.cv))})
 }
 
-func (r *countRun) serveResident(pr *cgm.Proc, subs []subquery) {
-	if len(subs) == 0 {
-		return
-	}
-	pairs := cgm.CallResident[serveArgs, []qcount](pr, fref("search/serveCount"), serveArgs{Subs: subs})
+func (r *countRun) serveRouted(pr *cgm.Proc, label string, routed [][]subquery) int {
+	pairs, recv := cgm.ExchangeCollectRecv[subquery, bool, []qcount](
+		pr, label, routed, fref("search/routeCount"), false)
 	r.pairs = append(r.pairs, pairs...)
+	return recv
 }
 
 func (r *countRun) finish(pr *cgm.Proc) {
@@ -296,13 +295,11 @@ func (r *assocRun[T]) answerSub(s subquery) {
 	r.pairs = append(r.pairs, qvalT[T]{Query: s.Query, Val: a.Query(s.Box)})
 }
 
-func (r *assocRun[T]) serveResident(pr *cgm.Proc, subs []subquery) {
-	if len(subs) == 0 {
-		return
-	}
-	pairs := cgm.CallResident[serveAggArgs, []qvalT[T]](pr, fref("search/serveAgg"),
-		serveAggArgs{Name: r.h.name, Subs: subs})
+func (r *assocRun[T]) serveRouted(pr *cgm.Proc, label string, routed [][]subquery) int {
+	pairs, recv := cgm.ExchangeCollectRecv[subquery, aggPrepArgs, []qvalT[T]](
+		pr, label, routed, fref("search/routeAgg"), aggPrepArgs{Name: r.h.name})
 	r.pairs = append(r.pairs, pairs...)
+	return recv
 }
 
 func (r *assocRun[T]) finish(pr *cgm.Proc) {
@@ -397,12 +394,11 @@ func (r *reportRun) answerSub(s subquery) {
 	}
 }
 
-func (r *reportRun) serveResident(pr *cgm.Proc, subs []subquery) {
-	if len(subs) == 0 {
-		return
-	}
-	locals := cgm.CallResident[serveArgs, []rlocal](pr, fref("search/serveReport"), serveArgs{Subs: subs})
+func (r *reportRun) serveRouted(pr *cgm.Proc, label string, routed [][]subquery) int {
+	locals, recv := cgm.ExchangeCollectRecv[subquery, bool, []rlocal](
+		pr, label, routed, fref("search/routeReport"), false)
 	r.locals = append(r.locals, locals...)
+	return recv
 }
 
 func (r *reportRun) finish(pr *cgm.Proc) {

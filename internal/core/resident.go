@@ -8,9 +8,14 @@ import (
 	"time"
 
 	"repro/internal/cgm"
+	"repro/internal/comm"
 	"repro/internal/exec"
 	"repro/internal/geom"
+	"repro/internal/pointsfile"
+	"repro/internal/psort"
+	"repro/internal/segtree"
 	"repro/internal/semigroup"
+	"repro/internal/wire"
 )
 
 // This file is the worker-resident half of the distributed range tree:
@@ -34,7 +39,7 @@ import (
 // against coordinator/worker binary skew.
 const (
 	forestProgram = "core/forest"
-	forestVersion = 1
+	forestVersion = 2 // 2: ingest staging, held construct, fused route-serve
 )
 
 // fref names one step of the forest program.
@@ -51,6 +56,14 @@ type residentPart struct {
 	copyCache  map[ElemID]*element
 	cacheEpoch uint64
 	aggs       map[string]*residentAggState
+
+	// staged is the rank's ingested-but-not-yet-built input block (the
+	// ingest steps append to it; construct/seed consumes it). recs is the
+	// working record set of a held construction — the rank-local S^(j)
+	// rows that the worker-side sample sort and routing steps transform in
+	// place of the coordinator's slices.
+	staged []geom.Point
+	recs   []srec
 }
 
 // lookup resolves an element from the owned part or the current copies.
@@ -194,6 +207,97 @@ type elemStat struct {
 	Pts   int
 }
 
+// ingestChunkArgs delivers one streamed block of points to a rank's
+// staging area (BulkLoad's round-robin chunks).
+type ingestChunkArgs struct {
+	Pts []geom.Point
+}
+
+// ingestFileArgs asks the rank to read records [Lo, Hi) of a pointsfile
+// straight into its staging area (Hi < 0 means through end of file) —
+// the local-file-slice ingest path, no payload on the coordinator wire.
+type ingestFileArgs struct {
+	Path   string
+	Lo, Hi int
+}
+
+// ingestReply reports what a file ingest staged, so the coordinator can
+// total n and check dims without reading the files itself.
+type ingestReply struct {
+	N    int
+	Dims int8
+}
+
+// seedArgs turns the staged points into the held construction's S^(1)
+// records; Dims is the build's declared dimensionality to validate
+// against.
+type seedArgs struct {
+	Dims int8
+}
+
+// dimArgs names the dimension a held sort/merge step works in.
+type dimArgs struct {
+	Dim int8
+}
+
+// sortLocalReply returns the rank's p regular samples (full records —
+// the splitters the coordinator derives are the only point payload it
+// ever handles) plus the local record count.
+type sortLocalReply struct {
+	Samples []srec
+	Len     int
+}
+
+// wsortPartArgs drives the held sample sort's route emit: partition the
+// locally sorted records by the broadcast splitters.
+type wsortPartArgs struct {
+	Dim       int8
+	Splitters []srec
+}
+
+// lenReply reports a step's resulting record count.
+type lenReply struct {
+	Len int
+}
+
+// wsortBalanceArgs drives the held rebalance emit: cut the merged run at
+// the global block boundaries.
+type wsortBalanceArgs struct {
+	Offset, Total int
+}
+
+// balanceReply reports the balanced record count plus the rank's key
+// runs, from which every rank derives the phase's trees.
+type balanceReply struct {
+	Len  int
+	Runs []runSum
+}
+
+// routeHeldArgs drives the held construction's route emit (Construct
+// step 3 computed worker-side): the replicated tree summaries plus this
+// rank's global record offset.
+type routeHeldArgs struct {
+	Trees  []treeSum
+	Grain  int
+	Offset int
+}
+
+// mixedServeArgs parametrises the fused route-and-serve collect of a
+// mixed batch: the per-query op table and the prepared aggregate, if any.
+type mixedServeArgs struct {
+	Agg string
+	Ops []MixedOp
+}
+
+// mixedServeReply carries a mixed batch's three result kinds back in one
+// reply; Aggs is the spec-encoded []qvalT[T] (empty when the batch routed
+// no aggregate subqueries here).
+type mixedServeReply struct {
+	Counts []qcount
+	Aggs   []byte
+	Locals []rlocal
+}
+
 func init() {
 	exec.Register(&exec.Program{
 		Name:    forestProgram,
@@ -207,28 +311,45 @@ func init() {
 			}
 		},
 		Steps: map[string]exec.Step{
-			"construct/begin":    exec.Pure(constructBeginStep),
-			"construct/next":     exec.Pure(constructNextStep),
-			"search/serveCount":  exec.Pure(serveCountStep),
-			"search/serveReport": exec.Pure(serveReportStep),
-			"search/serveAgg":    serveAggStep,
-			"assoc/prepare":      aggPrepareStep,
-			"points/fetch":       exec.Pure(fetchPointsStep),
-			"stats/elems":        exec.Pure(elemStatsStep),
+			"construct/begin":     exec.Pure(constructBeginStep),
+			"construct/next":      exec.Pure(constructNextStep),
+			"construct/seed":      exec.Pure(constructSeedStep),
+			"construct/sortLocal": exec.Pure(sortLocalStep),
+			"construct/nextHeld":  exec.Pure(constructNextHeldStep),
+			"ingest/begin":        exec.Pure(ingestBeginStep),
+			"ingest/chunk":        exec.Pure(ingestChunkStep),
+			"ingest/file":         exec.Pure(ingestFileStep),
+			"search/serveCount":   exec.Pure(serveCountStep),
+			"search/serveReport":  exec.Pure(serveReportStep),
+			"search/serveAgg":     serveAggStep,
+			"assoc/prepare":       aggPrepareStep,
+			"points/fetch":        exec.Pure(fetchPointsStep),
+			"stats/elems":         exec.Pure(elemStatsStep),
 		},
 		Emits: map[string]exec.Emit{
-			"search/shipGroup": exec.Emitter(shipGroupStep),
-			"search/shipElems": exec.Emitter(shipElemsStep),
+			"construct/wsortPart":  exec.Emitter(wsortPartStep),
+			"construct/wsortSplit": exec.Emitter(wsortSplitStep),
+			"construct/routeHeld":  exec.Emitter(routeHeldStep),
+			"search/shipGroup":     exec.Emitter(shipGroupStep),
+			"search/shipElems":     exec.Emitter(shipElemsStep),
 		},
 		Collects: map[string]exec.Collect{
-			"construct/install": exec.Collector(constructInstallStep),
-			"search/install":    exec.Collector(installCopiesStep),
+			"construct/install":     exec.Collector(constructInstallStep),
+			"construct/wsortMerge":  exec.Collector(wsortMergeStep),
+			"construct/wsortGather": exec.Collector(wsortGatherStep),
+			"search/install":        exec.Collector(installCopiesStep),
+			"search/routeCount":     exec.Collector(routeCountStep),
+			"search/routeReport":    exec.Collector(routeReportStep),
+			"search/routeAgg":       routeAggStep,
+			"search/routeMixed":     routeMixedStep,
 		},
 	})
 }
 
 // constructBeginStep resets the part for a fresh construction (a machine
-// rebuilt on — e.g. persist.Load — must not merge two forests).
+// rebuilt on — e.g. persist.Load — must not merge two forests). Staged
+// ingest blocks and held records survive the reset: they are this build's
+// input.
 func constructBeginStep(part *residentPart, _ *exec.Ctx, args beginArgs) (bool, error) {
 	part.backend = args.Backend
 	part.elems = make(map[ElemID]*element)
@@ -237,6 +358,118 @@ func constructBeginStep(part *residentPart, _ *exec.Ctx, args beginArgs) (bool, 
 	part.cacheEpoch = 0
 	part.aggs = make(map[string]*residentAggState)
 	return true, nil
+}
+
+// ingestBeginStep opens a fresh staging area (aborting any half-staged
+// prior load so a failed BulkLoad can be retried on the same cluster).
+func ingestBeginStep(part *residentPart, _ *exec.Ctx, _ bool) (bool, error) {
+	part.staged = nil
+	part.recs = nil
+	return true, nil
+}
+
+// ingestChunkStep appends one streamed block to the staging area. The
+// decoded points are freshly allocated by the wire codec (or by the
+// loopback's encode/decode round trip), so retaining them is safe.
+func ingestChunkStep(part *residentPart, _ *exec.Ctx, args ingestChunkArgs) (int, error) {
+	part.staged = append(part.staged, args.Pts...)
+	return len(part.staged), nil
+}
+
+// ingestFileStep reads a pointsfile slice straight into the staging area:
+// the rank-local file ingest path, where point payloads never touch the
+// coordinator at all.
+func ingestFileStep(part *residentPart, _ *exec.Ctx, args ingestFileArgs) (ingestReply, error) {
+	pts, dims, err := pointsfile.ReadSlice(args.Path, args.Lo, args.Hi)
+	if err != nil {
+		return ingestReply{}, err
+	}
+	part.staged = append(part.staged, pts...)
+	return ingestReply{N: len(pts), Dims: int8(dims)}, nil
+}
+
+// constructSeedStep is Construct step 1 on the resident side: the staged
+// points become the rank's S^(1) records (all under the hat root). It
+// consumes the staging area and returns the seeded count, which the
+// coordinator cross-checks against the declared n.
+func constructSeedStep(part *residentPart, _ *exec.Ctx, args seedArgs) (int, error) {
+	recs := make([]srec, 0, len(part.staged))
+	for _, pt := range part.staged {
+		if pt.Dims() != int(args.Dims) {
+			return 0, fmt.Errorf("core: staged point %d has %d dims, build expects %d", pt.ID, pt.Dims(), args.Dims)
+		}
+		recs = append(recs, srec{Pt: pt, Key: segtree.RootPathKey})
+	}
+	part.recs = recs
+	part.staged = nil
+	return len(recs), nil
+}
+
+// sortLocalStep is the held sample sort's local phase: sort the rank's
+// records and return the p regular samples — the only point-bearing rows
+// the coordinator handles during a held construction.
+func sortLocalStep(part *residentPart, c *exec.Ctx, args dimArgs) (sortLocalReply, error) {
+	less := srecLess(int(args.Dim))
+	psort.SortLocal(part.recs, less)
+	return sortLocalReply{Samples: psort.Samples(part.recs, c.P), Len: len(part.recs)}, nil
+}
+
+// wsortPartStep is the held sample sort's route emit: partition the
+// locally sorted records by the broadcast splitters (views into recs; the
+// merge collect of the same superstep replaces recs only after reading).
+func wsortPartStep(part *residentPart, c *exec.Ctx, args wsortPartArgs) ([][]srec, []byte, error) {
+	return psort.Partition(part.recs, args.Splitters, c.P, srecLess(int(args.Dim))), nil, nil
+}
+
+// wsortMergeStep is the held sample sort's merge collect: the routed runs
+// arrive sorted per source and merge into the rank's new record set.
+func wsortMergeStep(part *residentPart, _ *exec.Ctx, args dimArgs, in [][]srec) (lenReply, error) {
+	part.recs = psort.MergeRuns(in, srecLess(int(args.Dim)))
+	return lenReply{Len: len(part.recs)}, nil
+}
+
+// wsortSplitStep is the held rebalance emit: cut the merged run at the
+// global block boundaries (again views; the gather collect copies).
+func wsortSplitStep(part *residentPart, c *exec.Ctx, args wsortBalanceArgs) ([][]srec, []byte, error) {
+	return comm.BlockPartition(part.recs, args.Offset, args.Total, c.P), nil, nil
+}
+
+// wsortGatherStep is the held rebalance collect: concatenating the
+// sources in rank order preserves global order. It also computes the key
+// runs, from which every rank derives the phase's trees — so the runs
+// all-gather exchanges the same rows as the coordinator-fed path.
+func wsortGatherStep(part *residentPart, _ *exec.Ctx, _ bool, in [][]srec) (balanceReply, error) {
+	total := 0
+	for _, src := range in {
+		total += len(src)
+	}
+	flat := make([]srec, 0, total)
+	for _, src := range in {
+		flat = append(flat, src...)
+	}
+	part.recs = flat
+	return balanceReply{Len: len(flat), Runs: keyRuns(flat)}, nil
+}
+
+// routeHeldStep is Construct step 3's emit on the resident side: bucket
+// the rank's balanced records to their elements' owners. The record set
+// is consumed — the install collect of the same superstep builds the
+// phase's owned elements.
+func routeHeldStep(part *residentPart, c *exec.Ctx, args routeHeldArgs) ([][]epoint, []byte, error) {
+	out, err := routeRecords(part.recs, args.Trees, args.Grain, args.Offset, c.P)
+	if err != nil {
+		return nil, nil, err
+	}
+	part.recs = nil
+	return out, nil, nil
+}
+
+// constructNextHeldStep is constructNextStep for a held construction: the
+// S^(j+1) records stay in the rank's record set instead of returning to
+// the coordinator; only the count crosses the seam.
+func constructNextHeldStep(part *residentPart, _ *exec.Ctx, args nextArgs) (int, error) {
+	part.recs = nextRecords(part, args.Dim)
+	return len(part.recs), nil
 }
 
 // constructInstallStep is Construct step 4 on the resident side: the
@@ -255,14 +488,13 @@ func constructInstallStep(part *residentPart, _ *exec.Ctx, args constructInstall
 	return metas, err
 }
 
-// constructNextStep is Construct step 7 on the resident side: every owned
+// nextRecords is Construct step 7's resident computation: every owned
 // dimension-j element walks its hat-internal ancestors and emits one
-// S^(j+1) record per (ancestor, point) — computed where the points live,
-// returned to the coordinator whose next phase sorts them.
-func constructNextStep(part *residentPart, _ *exec.Ctx, args nextArgs) ([]srec, error) {
+// S^(j+1) record per (ancestor, point) — computed where the points live.
+func nextRecords(part *residentPart, dim int8) []srec {
 	var ids []ElemID
 	for id, el := range part.elems {
-		if el.info.Dim == args.Dim {
+		if el.info.Dim == dim {
 			ids = append(ids, id)
 		}
 	}
@@ -271,7 +503,13 @@ func constructNextStep(part *residentPart, _ *exec.Ctx, args nextArgs) ([]srec, 
 	for _, id := range ids {
 		next = nextDimRecords(part.elems[id], next)
 	}
-	return next, nil
+	return next
+}
+
+// constructNextStep returns the S^(j+1) records to the coordinator, whose
+// next phase sorts them (the coordinator-fed construction).
+func constructNextStep(part *residentPart, _ *exec.Ctx, args nextArgs) ([]srec, error) {
+	return nextRecords(part, args.Dim), nil
 }
 
 // shipGroupStep is the GroupLevel phase-B emit: the owner ships its whole
@@ -340,30 +578,145 @@ func installCopiesStep(part *residentPart, _ *exec.Ctx, args installCopiesArgs, 
 	return rep, nil
 }
 
-// serveCountStep answers counting subqueries from the resident part
-// (phase C where the trees live).
-func serveCountStep(part *residentPart, _ *exec.Ctx, args serveArgs) ([]qcount, error) {
+// servedCounts answers counting subqueries from the resident part (phase
+// C where the trees live).
+func servedCounts(part *residentPart, subs []subquery) []qcount {
 	var cv countVisitor
-	pairs := make([]qcount, 0, len(args.Subs))
-	for _, s := range args.Subs {
+	pairs := make([]qcount, 0, len(subs))
+	for _, s := range subs {
 		el := part.lookup(s.Elem)
 		pairs = append(pairs, qcount{Query: s.Query, Val: int64(elemCount(el, s.Box, &cv))})
 	}
-	return pairs, nil
+	return pairs
 }
 
-// serveReportStep answers report subqueries from the resident part; only
+// servedReports answers report subqueries from the resident part; only
 // non-empty results return (mirroring the fabric hook).
-func serveReportStep(part *residentPart, _ *exec.Ctx, args serveArgs) ([]rlocal, error) {
+func servedReports(part *residentPart, subs []subquery) []rlocal {
 	var rv reportVisitor
 	var out []rlocal
-	for _, s := range args.Subs {
+	for _, s := range subs {
 		el := part.lookup(s.Elem)
 		if pts := elemReport(el, s.Box, &rv); len(pts) > 0 {
 			out = append(out, rlocal{Query: s.Query, Pts: pts})
 		}
 	}
-	return out, nil
+	return out
+}
+
+// serveCountStep is the out-of-run counting serve (single-query batches).
+func serveCountStep(part *residentPart, _ *exec.Ctx, args serveArgs) ([]qcount, error) {
+	return servedCounts(part, args.Subs), nil
+}
+
+// serveReportStep is the out-of-run report serve (single-query batches).
+func serveReportStep(part *residentPart, _ *exec.Ctx, args serveArgs) ([]rlocal, error) {
+	return servedReports(part, args.Subs), nil
+}
+
+// routeCountStep is the fused route-and-serve collect of a counting
+// batch: the phase-B route exchange's column IS the rank's served
+// subqueries, answered in the same superstep that delivered them.
+func routeCountStep(part *residentPart, _ *exec.Ctx, _ bool, in [][]subquery) ([]qcount, error) {
+	return servedCounts(part, gatherServed(in)), nil
+}
+
+// routeReportStep is routeCountStep for report batches.
+func routeReportStep(part *residentPart, _ *exec.Ctx, _ bool, in [][]subquery) ([]rlocal, error) {
+	return servedReports(part, gatherServed(in)), nil
+}
+
+// decodeSubColumn decodes a routed subquery column for the raw fused-
+// serve collects, mirroring exec.Collector's loop (typed self payload
+// included), and flattens it in rank order like gatherServed.
+func decodeSubColumn(c *exec.Ctx, inbox *exec.Inbox) ([]subquery, int, error) {
+	in := make([][]subquery, len(inbox.Blocks))
+	recv := 0
+	for j, b := range inbox.Blocks {
+		if inbox.Self != nil && b == nil && j == c.Rank {
+			part, ok := inbox.Self.([]subquery)
+			if !ok {
+				return nil, 0, fmt.Errorf("core: self payload is %T, serve wants []subquery", inbox.Self)
+			}
+			in[j] = part
+			recv += len(part)
+			continue
+		}
+		if b == nil {
+			continue
+		}
+		part, err := wire.Decode[[]subquery](b)
+		if err != nil {
+			return nil, 0, fmt.Errorf("core: decoding routed subqueries from rank %d: %w", j, err)
+		}
+		in[j] = part
+		recv += len(part)
+	}
+	return gatherServed(in), recv, nil
+}
+
+// routeAggStep is the fused route-and-serve collect of an aggregate
+// batch. Raw because the reply is the spec-encoded []qvalT[T], whose type
+// only the coordinator's AggHandle knows.
+func routeAggStep(c *exec.Ctx, inbox *exec.Inbox, raw []byte) ([]byte, int, error) {
+	args, err := exec.Unmarshal[aggPrepArgs](raw)
+	if err != nil {
+		return nil, 0, err
+	}
+	subs, recv, err := decodeSubColumn(c, inbox)
+	if err != nil {
+		return nil, 0, err
+	}
+	part := c.State.(*residentPart)
+	spec, err := lookupAggSpec(args.Name)
+	if err != nil {
+		return nil, 0, err
+	}
+	rep, err := spec.serve(part, part.agg(args.Name), subs)
+	if err != nil {
+		return nil, 0, err
+	}
+	return rep, recv, nil
+}
+
+// routeMixedStep is the fused route-and-serve collect of a mixed batch:
+// one superstep routes and answers all three op kinds.
+func routeMixedStep(c *exec.Ctx, inbox *exec.Inbox, raw []byte) ([]byte, int, error) {
+	args, err := exec.Unmarshal[mixedServeArgs](raw)
+	if err != nil {
+		return nil, 0, err
+	}
+	subs, recv, err := decodeSubColumn(c, inbox)
+	if err != nil {
+		return nil, 0, err
+	}
+	part := c.State.(*residentPart)
+	var cnt, agg, repq []subquery
+	for _, s := range subs {
+		switch args.Ops[s.Query] {
+		case OpCount:
+			cnt = append(cnt, s)
+		case OpAggregate:
+			agg = append(agg, s)
+		case OpReport:
+			repq = append(repq, s)
+		}
+	}
+	rep := mixedServeReply{Counts: servedCounts(part, cnt), Locals: servedReports(part, repq)}
+	if len(agg) > 0 {
+		if args.Agg == "" {
+			return nil, 0, fmt.Errorf("core: aggregate subqueries served without a prepared aggregate")
+		}
+		spec, err := lookupAggSpec(args.Agg)
+		if err != nil {
+			return nil, 0, err
+		}
+		rep.Aggs, err = spec.serve(part, part.agg(args.Agg), agg)
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	return exec.Marshal(rep), recv, nil
 }
 
 // serveAggStep answers aggregate subqueries through the named aggregate's

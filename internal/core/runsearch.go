@@ -46,10 +46,12 @@ type procRun interface {
 	materialize(el *element)
 	// answerSub serves one routed subquery in phase C.
 	answerSub(s subquery)
-	// serveResident answers this rank's served subqueries through the
-	// resident part (phase C on a resident tree): one step call down with
-	// the boxes, one result block back.
-	serveResident(pr *cgm.Proc, subs []subquery)
+	// serveRouted runs the fused route-and-serve superstep of a resident
+	// tree: the phase-B partition is exchanged under label and the
+	// collect step answers the column where it lands — routing and phase
+	// C in one round. It returns the rank's served count (what a
+	// coordinator-side route exchange would have received).
+	serveRouted(pr *cgm.Proc, label string, routed [][]subquery) int
 	// finish runs the mode's result collectives (phase D). Every
 	// processor calls it exactly once, so its collectives stay SPMD.
 	finish(pr *cgm.Proc)
@@ -107,14 +109,16 @@ func runSearch[R any](t *Tree, queries []Query, mode searchMode[R]) []R {
 		if an, ok := mode.(aggNamer); ok && t.resident {
 			aggName = an.residentAggName()
 		}
-		served := t.phaseB(pr, ps, subs, mode.label(), aggName, run.materialize)
-		st.Served = len(served)
+		served, routed, routeLbl := t.phaseB(pr, ps, subs, mode.label(), aggName, run.materialize)
 
 		// Phase C: answer the subqueries this processor serves — locally
-		// on a fabric tree, through the resident part on a resident one.
+		// on a fabric tree; on a resident tree the route exchange and the
+		// serving collapse into one superstep (the routed column is
+		// answered by the collect step where it lands).
 		if t.resident {
-			run.serveResident(pr, served)
+			st.Served = run.serveRouted(pr, routeLbl, routed)
 		} else {
+			st.Served = len(served)
 			st.CopiesHeld = len(ps.copies)
 			for _, s := range served {
 				run.answerSub(s)

@@ -252,12 +252,10 @@ func gatherServed(parts [][]subquery) []subquery {
 	return mine
 }
 
-// routeExact implements Search step 4's redistribution for both balance
-// granularities: destinations are resolved in a first pass (dest is
-// called once per subquery, in order — it may be stateful) so the routed
-// buckets are allocated at their exact final size, then exchanged.
-func routeExact(pr *cgm.Proc, label string, subs []subquery, dest func(i int, s subquery) int) []subquery {
-	p := pr.P()
+// partitionSubs buckets the subqueries by destination: dest is resolved
+// in a first pass (called once per subquery, in order — it may be
+// stateful) so the buckets are allocated at their exact final size.
+func partitionSubs(p int, subs []subquery, dest func(i int, s subquery) int) [][]subquery {
 	counts := make([]int, p)
 	dests := make([]int32, len(subs))
 	for i, s := range subs {
@@ -274,7 +272,15 @@ func routeExact(pr *cgm.Proc, label string, subs []subquery, dest func(i int, s 
 	for i, s := range subs {
 		routed[dests[i]] = append(routed[dests[i]], s)
 	}
-	return gatherServed(cgm.Exchange(pr, label, routed))
+	return routed
+}
+
+// routeExact implements Search step 4's redistribution on the fabric
+// path: partition, exchange, flatten. On a resident tree the same
+// partition instead feeds the fused route-and-serve superstep, whose
+// collect answers the column where it lands (runSearch phase C).
+func routeExact(pr *cgm.Proc, label string, subs []subquery, dest func(i int, s subquery) int) []subquery {
+	return gatherServed(cgm.Exchange(pr, label, partitionSubs(pr.P(), subs, dest)))
 }
 
 // cacheInsert inserts val under id, first evicting arbitrary entries to
@@ -303,7 +309,13 @@ func cacheInsert[V any](cache map[ElemID]V, id ElemID, val V, cap int) {
 // resident tree the copies ship worker-to-worker instead (emit and
 // collect steps of the forest program) and aggName selects the registered
 // aggregate the install step annotates them for.
-func (t *Tree) phaseB(pr *cgm.Proc, ps *procState, subs []subquery, label, aggName string, materialize func(*element)) []subquery {
+//
+// On a fabric tree the route exchange runs here and served holds this
+// processor's share (routed is nil). On a resident tree the exchange is
+// deferred: phaseB returns the partitioned buckets plus the label the
+// mode's fused route-and-serve superstep must use, so routing and phase
+// C collapse into one round with no separate serve dispatch.
+func (t *Tree) phaseB(pr *cgm.Proc, ps *procState, subs []subquery, label, aggName string, materialize func(*element)) (served []subquery, routed [][]subquery, routeLbl string) {
 	if t.balanceMode == ElementLevel {
 		return t.phaseBElement(pr, ps, subs, label, aggName, materialize)
 	}
@@ -369,12 +381,16 @@ func (t *Tree) phaseB(pr *cgm.Proc, ps *procState, subs []subquery, label, aggNa
 		}
 	}
 	seen := make([]int, p)
-	return routeExact(pr, label+"/route", subs, func(_ int, s subquery) int {
+	dest := func(_ int, s subquery) int {
 		j := int(ps.info[int(s.Elem)].Owner)
 		r := rankOffset[j] + seen[j]
 		seen[j]++
 		return plan.Route(j, r)
-	})
+	}
+	if t.resident {
+		return nil, partitionSubs(p, subs, dest), label + "/route"
+	}
+	return routeExact(pr, label+"/route", subs, dest), nil, ""
 }
 
 // residentCopies runs the phase-B copies superstep with both endpoints
@@ -396,17 +412,20 @@ func residentCopies[A any](t *Tree, pr *cgm.Proc, ps *procState, label string, e
 	st.CopiesHeld = rep.Held
 }
 
+// elemDemand is one element's sparse demand row of the ElementLevel
+// demand all-gather.
+type elemDemand struct {
+	Elem  ElemID
+	Count int32
+}
+
 // phaseBElement is the ElementLevel variant of phaseB: demand, copies and
 // routing all work per forest element.
-func (t *Tree) phaseBElement(pr *cgm.Proc, ps *procState, subs []subquery, label, aggName string, materialize func(*element)) []subquery {
+func (t *Tree) phaseBElement(pr *cgm.Proc, ps *procState, subs []subquery, label, aggName string, materialize func(*element)) (served []subquery, routed [][]subquery, routeLbl string) {
 	p := pr.P()
 	ps.copies = make(map[ElemID]*element)
 
 	// Demand per element, exchanged sparsely.
-	type elemDemand struct {
-		Elem  ElemID
-		Count int32
-	}
 	localCnt := make(map[ElemID]int32)
 	for _, s := range subs {
 		localCnt[s.Elem]++
@@ -480,11 +499,15 @@ func (t *Tree) phaseBElement(pr *cgm.Proc, ps *procState, subs []subquery, label
 		}
 	}
 	seen := make(map[ElemID]int)
-	return routeExact(pr, label+"/eroute", subs, func(_ int, s subquery) int {
+	dest := func(_ int, s subquery) int {
 		r := rankOffset[s.Elem] + seen[s.Elem]
 		seen[s.Elem]++
 		return plan.Route(int(s.Elem), r)
-	})
+	}
+	if t.resident {
+		return nil, partitionSubs(p, subs, dest), label + "/eroute"
+	}
+	return routeExact(pr, label+"/eroute", subs, dest), nil, ""
 }
 
 // sortedDemandIDs returns the map keys in increasing order.

@@ -91,6 +91,50 @@ func (ka *keyArena) finish() error {
 	return nil
 }
 
+// ------------------------------------------------------------ S^j records
+
+// appendSrecs encodes a record block: points first, then all tree labels
+// in one framed key section. Shared by the []srec exchange codec and the
+// held-construct argument/reply codecs (wirecodec2.go).
+func appendSrecs(buf []byte, recs []srec) []byte {
+	buf = wire.AppendUvarint(buf, uint64(len(recs)))
+	for _, rec := range recs {
+		buf = wire.AppendPoint(buf, rec.Pt)
+	}
+	keys := wire.GetBuf()
+	for _, rec := range recs {
+		keys = wire.AppendString(keys, string(rec.Key))
+	}
+	buf = wire.AppendBytes(buf, keys)
+	wire.PutBuf(keys)
+	return buf
+}
+
+// readSrecs decodes one appendSrecs block in place in the reader.
+func readSrecs(r *wire.Reader) ([]srec, error) {
+	arena := wire.NewArena(r)
+	n := r.Count(6) // ≥5B point + its 1B key frame
+	var recs []srec
+	if n > 0 {
+		recs = make([]srec, n)
+		for i := range recs {
+			recs[i].Pt = wire.ReadPoint(r, &arena)
+		}
+		ka := readKeyArena(r)
+		for i := range recs {
+			recs[i].Key = ka.next()
+		}
+		if err := ka.finish(); err != nil {
+			return nil, err
+		}
+	} else {
+		if ka := readKeyArena(r); ka.finish() != nil {
+			return nil, fmt.Errorf("core: corrupt path-key section")
+		}
+	}
+	return recs, nil
+}
+
 // ------------------------------------------------------------ subqueries
 
 func appendSubqueries(b []byte, subs []subquery) []byte {
@@ -151,40 +195,12 @@ func init() {
 	// Construction: the S^j records the sample sort routes (points
 	// first, then all tree labels in one framed key section).
 	wire.Register(wire.Codec[[]srec]{
-		Append: func(buf []byte, recs []srec) []byte {
-			buf = wire.AppendUvarint(buf, uint64(len(recs)))
-			for _, rec := range recs {
-				buf = wire.AppendPoint(buf, rec.Pt)
-			}
-			keys := wire.GetBuf()
-			for _, rec := range recs {
-				keys = wire.AppendString(keys, string(rec.Key))
-			}
-			buf = wire.AppendBytes(buf, keys)
-			wire.PutBuf(keys)
-			return buf
-		},
+		Append: appendSrecs,
 		Decode: func(b []byte) ([]srec, error) {
 			r := wire.NewReader(b)
-			arena := wire.NewArena(&r)
-			n := r.Count(6) // ≥5B point + its 1B key frame
-			var recs []srec
-			if n > 0 {
-				recs = make([]srec, n)
-				for i := range recs {
-					recs[i].Pt = wire.ReadPoint(&r, &arena)
-				}
-				ka := readKeyArena(&r)
-				for i := range recs {
-					recs[i].Key = ka.next()
-				}
-				if err := ka.finish(); err != nil {
-					return nil, err
-				}
-			} else {
-				if ka := readKeyArena(&r); ka.finish() != nil {
-					return nil, fmt.Errorf("core: corrupt path-key section")
-				}
+			recs, err := readSrecs(&r)
+			if err != nil {
+				return nil, err
 			}
 			if err := r.Finish(); err != nil {
 				return nil, err
@@ -267,25 +283,10 @@ func init() {
 
 	// Count results: fixed 12-byte records, decoded in one allocation.
 	wire.Register(wire.Codec[[]qcount]{
-		Append: func(buf []byte, vs []qcount) []byte {
-			buf = wire.AppendUvarint(buf, uint64(len(vs)))
-			for _, v := range vs {
-				buf = wire.AppendI32(buf, v.Query)
-				buf = wire.AppendI64(buf, v.Val)
-			}
-			return buf
-		},
+		Append: appendQcounts,
 		Decode: func(b []byte) ([]qcount, error) {
 			r := wire.NewReader(b)
-			n := r.Count(12)
-			var vs []qcount
-			if n > 0 {
-				vs = make([]qcount, n)
-				for i := range vs {
-					vs[i].Query = r.I32()
-					vs[i].Val = r.I64()
-				}
-			}
+			vs := readQcounts(&r)
 			if err := r.Finish(); err != nil {
 				return nil, err
 			}
@@ -351,28 +352,10 @@ func init() {
 	// Report results: served subquery hits and the redistributed
 	// (query, point) pairs of phase D.
 	wire.Register(wire.Codec[[]rlocal]{
-		Append: func(buf []byte, ls []rlocal) []byte {
-			buf = wire.AppendUvarint(buf, uint64(len(ls)))
-			for _, l := range ls {
-				buf = wire.AppendI32(buf, l.Query)
-				buf = wire.AppendVarint(buf, int64(l.Off))
-				buf = wire.AppendPoints(buf, l.Pts)
-			}
-			return buf
-		},
+		Append: appendRlocals,
 		Decode: func(b []byte) ([]rlocal, error) {
 			r := wire.NewReader(b)
-			arena := wire.NewArena(&r)
-			n := r.Count(6)
-			var ls []rlocal
-			if n > 0 {
-				ls = make([]rlocal, n)
-				for i := range ls {
-					ls[i].Query = r.I32()
-					ls[i].Off = int(r.Varint())
-					ls[i].Pts = wire.ReadPoints(&r, &arena)
-				}
-			}
+			ls := readRlocals(&r)
 			if err := r.Finish(); err != nil {
 				return nil, err
 			}

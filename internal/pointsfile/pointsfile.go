@@ -1,0 +1,135 @@
+// Package pointsfile is a fixed-width on-disk point format built for
+// rank-local ingest: a worker can read exactly its record range
+// [lo, hi) with one seek, so partitioned bulk loads never funnel point
+// payloads through the coordinator.
+//
+// Layout (little-endian):
+//
+//	magic   "DRPF"                      4 bytes
+//	version byte                        1 byte
+//	dims    uint32                      4 bytes
+//	n       uint64                      8 bytes
+//	records n × (id int32, dims×int32)  n × 4(dims+1) bytes
+//
+// Records are fixed width, so record i starts at headerLen + i*recSize —
+// no index needed.
+package pointsfile
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/geom"
+)
+
+const (
+	magic     = "DRPF"
+	version   = 1
+	headerLen = 4 + 1 + 4 + 8
+)
+
+func recSize(dims int) int { return 4 * (dims + 1) }
+
+// Save writes pts to path. All points must share a dimensionality.
+func Save(path string, pts []geom.Point) error {
+	if len(pts) == 0 {
+		return fmt.Errorf("pointsfile: refusing to save an empty point set")
+	}
+	dims := pts[0].Dims()
+	buf := make([]byte, 0, headerLen+len(pts)*recSize(dims))
+	buf = append(buf, magic...)
+	buf = append(buf, version)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(dims))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(pts)))
+	for _, pt := range pts {
+		if pt.Dims() != dims {
+			return fmt.Errorf("pointsfile: point %d has %d dims, want %d", pt.ID, pt.Dims(), dims)
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(pt.ID))
+		for _, x := range pt.X {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(x))
+		}
+	}
+	return os.WriteFile(path, buf, 0o644)
+}
+
+// Info reads just the header: the record count and dimensionality.
+func Info(path string) (n, dims int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	return readHeader(f, path)
+}
+
+func readHeader(f *os.File, path string) (n, dims int, err error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return 0, 0, fmt.Errorf("pointsfile: %s: reading header: %w", path, err)
+	}
+	if string(hdr[:4]) != magic {
+		return 0, 0, fmt.Errorf("pointsfile: %s is not a points file (bad magic)", path)
+	}
+	if hdr[4] != version {
+		return 0, 0, fmt.Errorf("pointsfile: %s has version %d, want %d", path, hdr[4], version)
+	}
+	dims = int(binary.LittleEndian.Uint32(hdr[5:9]))
+	n = int(binary.LittleEndian.Uint64(hdr[9:17]))
+	if dims < 1 {
+		return 0, 0, fmt.Errorf("pointsfile: %s declares %d dims", path, dims)
+	}
+	return n, dims, nil
+}
+
+// ReadSlice reads records [lo, hi) (hi < 0 means through end of file)
+// and returns them with the file's dimensionality. One seek, one
+// sequential read — the worker-side file ingest path.
+func ReadSlice(path string, lo, hi int) ([]geom.Point, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	n, dims, err := readHeader(f, path)
+	if err != nil {
+		return nil, 0, err
+	}
+	if hi < 0 {
+		hi = n
+	}
+	if lo < 0 || lo > hi || hi > n {
+		return nil, 0, fmt.Errorf("pointsfile: %s: slice [%d, %d) out of range (n=%d)", path, lo, hi, n)
+	}
+	if lo == hi {
+		return nil, dims, nil
+	}
+	rs := recSize(dims)
+	buf := make([]byte, (hi-lo)*rs)
+	if _, err := f.ReadAt(buf, int64(headerLen+lo*rs)); err != nil {
+		return nil, 0, fmt.Errorf("pointsfile: %s: reading records [%d, %d): %w", path, lo, hi, err)
+	}
+	pts := make([]geom.Point, hi-lo)
+	// One arena for all coordinates keeps the load to two allocations.
+	coords := make([]geom.Coord, (hi-lo)*dims)
+	off := 0
+	for i := range pts {
+		pts[i].ID = int32(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+		x := coords[i*dims : (i+1)*dims : (i+1)*dims]
+		for d := range x {
+			x[d] = geom.Coord(binary.LittleEndian.Uint32(buf[off:]))
+			off += 4
+		}
+		pts[i].X = x
+	}
+	return pts, dims, nil
+}
+
+// Read loads the whole file.
+func Read(path string) ([]geom.Point, error) {
+	pts, _, err := ReadSlice(path, 0, -1)
+	return pts, err
+}

@@ -5,30 +5,47 @@
 // regular sampling: a constant number of exchanges, each an h-relation
 // with h = O(N/p) once N/p ≥ p² (the coarse-grained assumption s/p ≥ p the
 // paper also makes).
+//
+// The phases — local sort, sample selection, splitter derivation,
+// partition, merge — are exported individually so the worker-resident
+// construct path can run them worker-side with only the p² samples and
+// splitters crossing the coordinator (see core's held construct).
 package psort
 
 import (
+	"slices"
 	"sort"
 
 	"repro/internal/cgm"
 	"repro/internal/comm"
 )
 
-// Sort globally sorts the distributed data: processor i contributes local
-// and receives the i-th block of the sorted sequence, rebalanced to
-// ⌈N/p⌉/⌊N/p⌋ elements. less must be a strict total order (break ties —
-// e.g. by point ID — to keep the result deterministic).
-func Sort[T any](pr *cgm.Proc, label string, local []T, less func(a, b T) bool) []T {
-	p := pr.P()
-	own := make([]T, len(local))
-	copy(own, local)
-	sort.SliceStable(own, func(i, j int) bool { return less(own[i], own[j]) })
-	// p == 1 still performs the (empty) collective sequence below so that
-	// the number of communication rounds is identical for every machine
-	// width — the invariant the round-count experiments verify.
+// cmpOf adapts a strict-weak less into the three-way comparison
+// slices.SortStableFunc wants. slices sorting is generic — no
+// reflect.Swapper, no per-element interface boxing — which is where the
+// allocation and time drop over sort.SliceStable comes from.
+func cmpOf[T any](less func(a, b T) bool) func(a, b T) int {
+	return func(a, b T) int {
+		switch {
+		case less(a, b):
+			return -1
+		case less(b, a):
+			return 1
+		default:
+			return 0
+		}
+	}
+}
 
-	// Regular sampling: p evenly spaced local samples each, gathered
-	// everywhere; every processor deterministically derives p-1 splitters.
+// SortLocal stably sorts one processor's block in place — the local phase
+// of the sample sort, shared with the worker-resident construct steps.
+func SortLocal[T any](local []T, less func(a, b T) bool) {
+	slices.SortStableFunc(local, cmpOf(less))
+}
+
+// Samples selects p evenly spaced regular samples from a locally sorted
+// block (fewer when the block is shorter than p, none when empty).
+func Samples[T any](own []T, p int) []T {
 	samples := make([]T, 0, p)
 	for k := 0; k < p; k++ {
 		if len(own) == 0 {
@@ -40,8 +57,13 @@ func Sort[T any](pr *cgm.Proc, label string, local []T, less func(a, b T) bool) 
 		}
 		samples = append(samples, own[idx])
 	}
-	allSamples := comm.AllGatherFlat(pr, label+"/sample", samples)
-	sort.SliceStable(allSamples, func(i, j int) bool { return less(allSamples[i], allSamples[j]) })
+	return samples
+}
+
+// Splitters sorts the gathered samples and derives the p-1 regular
+// splitters every processor agrees on. allSamples is sorted in place.
+func Splitters[T any](allSamples []T, p int, less func(a, b T) bool) []T {
+	SortLocal(allSamples, less)
 	splitters := make([]T, 0, p-1)
 	if len(allSamples) > 0 {
 		for k := 1; k < p; k++ {
@@ -52,37 +74,73 @@ func Sort[T any](pr *cgm.Proc, label string, local []T, less func(a, b T) bool) 
 			splitters = append(splitters, allSamples[idx])
 		}
 	}
+	return splitters
+}
 
-	// Partition the locally sorted run by the splitters and exchange.
+// Partition splits a locally sorted block into p destination slots by the
+// splitters (views into own, no copies). With no splitters everything
+// lands in slot 0.
+func Partition[T any](own []T, splitters []T, p int, less func(a, b T) bool) [][]T {
 	out := make([][]T, p)
 	if len(splitters) == 0 {
 		out[0] = own
-	} else {
-		start := 0
-		for j := 0; j < p; j++ {
-			end := len(own)
-			if j < len(splitters) {
-				sp := splitters[j]
-				end = start + sort.Search(len(own)-start, func(i int) bool {
-					return !less(own[start+i], sp)
-				})
-			}
-			out[j] = own[start:end]
-			start = end
-		}
+		return out
 	}
-	parts := cgm.Exchange(pr, label+"/route", out)
+	start := 0
+	for j := 0; j < p; j++ {
+		end := len(own)
+		if j < len(splitters) {
+			sp := splitters[j]
+			end = start + sort.Search(len(own)-start, func(i int) bool {
+				return !less(own[start+i], sp)
+			})
+		}
+		out[j] = own[start:end]
+		start = end
+	}
+	return out
+}
+
+// Sort globally sorts the distributed data: processor i contributes local
+// and receives the i-th block of the sorted sequence, rebalanced to
+// ⌈N/p⌉/⌊N/p⌋ elements. less must be a strict total order (break ties —
+// e.g. by point ID — to keep the result deterministic). The caller's
+// slice is left untouched; use SortInPlace to cede ownership and skip the
+// defensive copy.
+func Sort[T any](pr *cgm.Proc, label string, local []T, less func(a, b T) bool) []T {
+	own := make([]T, len(local))
+	copy(own, local)
+	return SortInPlace(pr, label, own, less)
+}
+
+// SortInPlace is Sort without the defensive copy: the caller cedes
+// ownership of local, which is sorted and partitioned in place (its
+// contents after the call are unspecified).
+func SortInPlace[T any](pr *cgm.Proc, label string, local []T, less func(a, b T) bool) []T {
+	p := pr.P()
+	SortLocal(local, less)
+	// p == 1 still performs the (empty) collective sequence below so that
+	// the number of communication rounds is identical for every machine
+	// width — the invariant the round-count experiments verify.
+
+	// Regular sampling: p evenly spaced local samples each, gathered
+	// everywhere; every processor deterministically derives p-1 splitters.
+	allSamples := comm.AllGatherFlat(pr, label+"/sample", Samples(local, p))
+	splitters := Splitters(allSamples, p, less)
+
+	// Partition the locally sorted run by the splitters and exchange.
+	parts := cgm.Exchange(pr, label+"/route", Partition(local, splitters, p, less))
 
 	// p-way merge of the sorted incoming runs (source order is a valid
 	// tie-break because partitioning was stable).
-	merged := mergeRuns(parts, less)
+	merged := MergeRuns(parts, less)
 
 	// Exact rebalance so every processor holds a same-sized block.
 	return comm.Rebalance(pr, label+"/balance", merged)
 }
 
-// mergeRuns merges sorted runs stably (earlier runs win ties).
-func mergeRuns[T any](runs [][]T, less func(a, b T) bool) []T {
+// MergeRuns merges sorted runs stably (earlier runs win ties).
+func MergeRuns[T any](runs [][]T, less func(a, b T) bool) []T {
 	total := 0
 	nonEmpty := 0
 	for _, r := range runs {

@@ -200,3 +200,35 @@ func TestIsGloballySortedLocalViolation(t *testing.T) {
 		}
 	})
 }
+
+func TestSortInPlaceMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	vals := make([]rec, 300)
+	for i := range vals {
+		vals[i] = rec{Key: rng.Intn(12), ID: i}
+	}
+	const p = 4
+	run := func(inplace bool) []rec {
+		m := cgm.New(cgm.Config{P: p})
+		blocks := make([][]rec, p)
+		m.Run(func(pr *cgm.Proc) {
+			var local []rec
+			for i := pr.Rank(); i < len(vals); i += p {
+				local = append(local, vals[i])
+			}
+			if inplace {
+				blocks[pr.Rank()] = SortInPlace(pr, "sort", local, lessRec)
+			} else {
+				blocks[pr.Rank()] = Sort(pr, "sort", local, lessRec)
+			}
+		})
+		var flat []rec
+		for _, b := range blocks {
+			flat = append(flat, b...)
+		}
+		return flat
+	}
+	if !reflect.DeepEqual(run(false), run(true)) {
+		t.Error("SortInPlace result differs from Sort")
+	}
+}

@@ -1,0 +1,108 @@
+package store
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/cgm"
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// TestBulkLoad streams a batch into the store as one level and checks
+// the result against the brute oracle, the all-or-nothing ID contract,
+// and the interaction with ordinary mutations and compaction — on both
+// residency modes.
+func TestBulkLoad(t *testing.T) {
+	for _, resident := range []bool{false, true} {
+		name := "fabric"
+		if resident {
+			name = "resident"
+		}
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			s, err := Open("", Config{Dims: 2, MemtableCap: 64, Sync: true,
+				Provider: cgm.NewLocalProvider(cgm.Config{P: 4, Resident: resident})})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+
+			base := randomPoints(rng, 200, 2, 0)
+			if _, err := s.InsertBatch(base); err != nil {
+				t.Fatal(err)
+			}
+			bulk := randomPoints(rng, 300, 2, 1000)
+			if _, err := s.BulkLoad(core.SliceChunks(bulk, 37)); err != nil {
+				t.Fatalf("bulk load: %v", err)
+			}
+			boxes := randomBoxes(rng, 24, 500, 2)
+			checkOracle(t, s, append(append([]geom.Point(nil), base...), bulk...), boxes)
+
+			st := s.Stats()
+			if st.BulkLoads != 1 || st.BulkPoints != 300 {
+				t.Fatalf("bulk counters: %+v", st)
+			}
+
+			// A stream repeating a live ID is rejected whole.
+			if _, err := s.BulkLoad(core.SliceChunks(randomPoints(rng, 10, 2, 1000), 4)); err == nil ||
+				!strings.Contains(err.Error(), "already live") {
+				t.Fatalf("colliding bulk load: %v", err)
+			}
+			checkOracle(t, s, append(append([]geom.Point(nil), base...), bulk...), boxes)
+
+			// Bulk-loaded points are ordinary live points: deletable, and
+			// the next fold absorbs the bulk level.
+			if _, err := s.DeleteBatch(bulk[:50]); err != nil {
+				t.Fatalf("delete bulk points: %v", err)
+			}
+			s.Compact()
+			if cerr := s.Stats().CompactErr; cerr != "" {
+				t.Fatalf("compaction after bulk load: %s", cerr)
+			}
+			liveSet := append(append([]geom.Point(nil), base...), bulk[50:]...)
+			checkOracle(t, s, liveSet, boxes)
+		})
+	}
+}
+
+// TestBulkLoadDurable checks the checkpoint-on-load contract: a durable
+// store recovers the bulk points even though they never hit the WAL.
+func TestBulkLoadDurable(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	dir := t.TempDir()
+	s, err := Open(dir, Config{Dims: 2, MemtableCap: 64, Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := randomPoints(rng, 50, 2, 0)
+	if _, err := s.InsertBatch(base); err != nil {
+		t.Fatal(err)
+	}
+	bulk := randomPoints(rng, 120, 2, 500)
+	if _, err := s.BulkLoad(core.SliceChunks(bulk, 32)); err != nil {
+		t.Fatalf("bulk load: %v", err)
+	}
+	if s.Stats().Checkpoints == 0 {
+		t.Fatal("durable bulk load did not checkpoint")
+	}
+	// Mutate after the load so the recovered WAL tail replays on top.
+	extra := randomPoints(rng, 30, 2, 2000)
+	if _, err := s.InsertBatch(extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer r.Close()
+	boxes := randomBoxes(rng, 16, 500, 2)
+	liveSet := append(append([]geom.Point(nil), base...), bulk...)
+	liveSet = append(liveSet, extra...)
+	checkOracle(t, r, liveSet, boxes)
+}

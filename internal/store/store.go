@@ -122,6 +122,8 @@ type Stats struct {
 	MaxBuild    time.Duration // longest single build (the write-visibility pause; reads never wait on it)
 	WALRecords  uint64        // mutation records appended to the WAL
 	Checkpoints uint64
+	BulkLoads   uint64 // completed BulkLoad calls
+	BulkPoints  uint64 // points ingested by bulk loads
 	// CompactErr is the diagnostic of a failed compaction build (e.g.
 	// the machine provider's cluster lost a worker); empty when healthy.
 	// A store with a failed compaction rejects further mutations — the
@@ -182,6 +184,7 @@ type Store struct {
 	done       chan struct{}
 
 	flushes, compactions, walRecords, checkpoints atomic.Uint64
+	bulkLoads, bulkPoints                         atomic.Uint64
 	buildNanos, maxBuildNanos                     atomic.Int64
 }
 
@@ -273,6 +276,8 @@ func (s *Store) Stats() Stats {
 	st.MaxBuild = time.Duration(s.maxBuildNanos.Load())
 	st.WALRecords = s.walRecords.Load()
 	st.Checkpoints = s.checkpoints.Load()
+	st.BulkLoads = s.bulkLoads.Load()
+	st.BulkPoints = s.bulkPoints.Load()
 	return st
 }
 
@@ -667,7 +672,12 @@ func (s *Store) Compact() {
 // buildLevel builds one level tree on a fresh machine from the store's
 // provider, converting machine aborts (panics by cgm contract — e.g. a
 // TCP cluster losing a worker mid-build) into errors the compactor can
-// record instead of crashing the process.
+// record instead of crashing the process. On a resident machine the
+// points are staged into the workers first and the construction runs
+// held (BuildWorkerFed): the compactor's rebuild mass crosses the
+// coordinator once as raw ingest chunks and never again — every
+// sample-sort and routing exchange of the build stays on the worker
+// mesh.
 func (s *Store) buildLevel(pts []geom.Point) (t *core.Tree, err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -678,5 +688,5 @@ func (s *Store) buildLevel(pts []geom.Point) (t *core.Tree, err error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: level build machine: %w", err)
 	}
-	return core.BuildBackend(mach, pts, s.cfg.Backend), nil
+	return core.BuildWorkerFed(mach, pts, s.cfg.Backend), nil
 }

@@ -165,9 +165,10 @@ func measureClusterTraffic(tb testing.TB, resident bool, batches int) clusterTra
 // block traffic off the coordinator — concretely, coordinator bytes per
 // query must drop to well under half of fabric mode's. The per-kind wire
 // stats pin down the mechanism, not just the total: resident mode's
-// steady state serves queries through step frames (absent in fabric
-// mode), its deposits shrink to control + subquery payloads, and the
-// block payload runs on the worker mesh in both modes.
+// steady state serves queries inside the fused route-and-serve superstep
+// (no step-frame dispatch round-trips at all), its deposits shrink to
+// control + subquery payloads, and the block payload runs on the worker
+// mesh in both modes.
 func TestResidentModeMovesBlocksOffCoordinator(t *testing.T) {
 	if testing.Short() {
 		t.Skip("cluster traffic measurement")
@@ -182,12 +183,15 @@ func TestResidentModeMovesBlocksOffCoordinator(t *testing.T) {
 		t.Fatalf("resident mode does not unload the coordinator: fabric %.0f B/query, resident %.0f B/query",
 			fabric.bytesPerQuery, resident.bytesPerQuery)
 	}
-	// Mechanism: fabric steady state is pure deposit/column, never steps.
+	// Mechanism: fabric steady state is pure deposit/column, never steps —
+	// and so is resident steady state, now that phase C rides the route
+	// superstep's collect instead of per-batch step dispatches.
 	if fabric.coord["step"].Frames != 0 {
 		t.Fatalf("fabric mode sent %d step frames", fabric.coord["step"].Frames)
 	}
-	if resident.coord["step"].Frames == 0 {
-		t.Fatal("resident mode served its batches without step frames")
+	if resident.coord["step"].Frames != 0 {
+		t.Fatalf("resident steady state still dispatches steps: %d frames (serving should be fused into the route superstep)",
+			resident.coord["step"].Frames)
 	}
 	// The coordinator's deposit payload must collapse in resident mode:
 	// deposits still cross (one per superstep) but carry step references

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"reflect"
+	"sort"
 	"sync"
 )
 
@@ -90,7 +91,27 @@ func Encode[T any](buf []byte, v T) ([]byte, error) {
 	}
 	counters.gobEncBlocks.Add(1)
 	counters.gobEncBytes.Add(int64(len(w.b) - start))
+	recordGobType(reflect.TypeOf((*T)(nil)).Elem())
 	return w.b, nil
+}
+
+// gobTypes records which payload types have fallen back to gob since
+// process start, so the zero-gob assertions can name the offender rather
+// than just report a nonzero counter.
+var gobTypes sync.Map // reflect.Type -> struct{}
+
+func recordGobType(t reflect.Type) { gobTypes.LoadOrStore(t, struct{}{}) }
+
+// GobTypes lists the type names that have gob-encoded at least one block
+// in this process (diagnostic companion to Stats().GobEncBlocks).
+func GobTypes() []string {
+	var names []string
+	gobTypes.Range(func(k, _ any) bool {
+		names = append(names, k.(reflect.Type).String())
+		return true
+	})
+	sort.Strings(names)
+	return names
 }
 
 // Decode decodes one Encode-produced block.
