@@ -5,11 +5,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
 	"time"
 
 	"repro/internal/cgm"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/pointsfile"
 	"repro/internal/transport"
 	"repro/internal/workload"
@@ -62,13 +62,10 @@ type IngestRecord struct {
 	Stream       IngestStreamRecord `json:"stream"`
 }
 
-func percentile(us []float64, q float64) float64 {
-	if len(us) == 0 {
-		return 0
-	}
-	sort.Float64s(us)
-	i := int(q * float64(len(us)-1))
-	return us[i]
+// usQuantile reads a latency quantile in microseconds from a
+// nanosecond-valued obs histogram snapshot.
+func usQuantile(s obs.HistSnapshot, q float64) float64 {
+	return s.Quantile(q) / 1e3
 }
 
 // runIngestBench measures worker-direct ingest on a 4-worker resident
@@ -147,15 +144,20 @@ func runIngestBench(n, p int) (*IngestRecord, error) {
 		return nil, err
 	}
 	boxes := workload.Boxes(workload.QuerySpec{M: serveM, Dims: 2, N: serveN, Selectivity: 0.02, Seed: 17})
-	oneQuery := func(i int) float64 {
+	// Serve latencies go through the same log-bucket histogram the
+	// serving stack exports, so the percentiles here are computed exactly
+	// as a /metrics scrape would compute them.
+	reg := obs.NewRegistry()
+	idleHist := reg.Histogram(`ingest_serve_latency_ns{phase="idle"}`)
+	duringHist := reg.Histogram(`ingest_serve_latency_ns{phase="during"}`)
+	oneQuery := func(i int, h *obs.Histogram) {
 		q0 := time.Now()
 		serveTree.CountBatch(boxes[i%serveM : i%serveM+1])
-		return float64(time.Since(q0).Nanoseconds()) / 1e3
+		h.Observe(time.Since(q0).Nanoseconds())
 	}
-	oneQuery(0) // warm
-	var idle []float64
+	oneQuery(0, reg.Histogram("ingest_serve_warmup_ns")) // warm
 	for i := range serveM {
-		idle = append(idle, oneQuery(i))
+		oneQuery(i, idleHist)
 	}
 
 	big := 2 * n
@@ -172,27 +174,27 @@ func runIngestBench(n, p int) (*IngestRecord, error) {
 		ingestWall = time.Since(t0)
 		done <- err
 	}()
-	var during []float64
 	for i := 0; ; i++ {
 		select {
 		case err := <-done:
 			if err != nil {
 				return nil, fmt.Errorf("concurrent stream load: %w", err)
 			}
+			idle, during := idleHist.Snapshot(), duringHist.Snapshot()
 			rec.Stream = IngestStreamRecord{
 				N: big, Chunk: chunk, Window: window,
 				IngestMs:     float64(ingestWall.Microseconds()) / 1e3,
 				PointsPerSec: float64(big) / ingestWall.Seconds(),
-				IdleP50Us:    percentile(idle, 0.50),
-				IdleP99Us:    percentile(idle, 0.99),
-				DuringP50Us:  percentile(during, 0.50),
-				DuringP99Us:  percentile(during, 0.99),
-				QueriesIdle:  len(idle),
-				QueriesConcu: len(during),
+				IdleP50Us:    usQuantile(idle, 0.50),
+				IdleP99Us:    usQuantile(idle, 0.99),
+				DuringP50Us:  usQuantile(during, 0.50),
+				DuringP99Us:  usQuantile(during, 0.99),
+				QueriesIdle:  int(idle.Count),
+				QueriesConcu: int(during.Count),
 			}
 			return rec, nil
 		default:
-			during = append(during, oneQuery(i))
+			oneQuery(i, duringHist)
 		}
 	}
 }

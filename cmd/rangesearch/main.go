@@ -19,7 +19,16 @@
 // with rank-space integer coordinates (0..n-1). One answer line is
 // written per query, in input order; concurrent pipelined submission
 // lets the engine micro-batch them. Engine statistics go to stderr on
-// EOF.
+// EOF. A `trace` line (optionally `trace <id>`) prints the span tree of
+// the most recent (or given) dispatched batch — which coordinator
+// exchanges ran, and what each worker rank spent on emit, routing,
+// gathering and collect within every superstep.
+//
+// Observability: -debug-addr serves /metrics (Prometheus text),
+// /healthz and /debug/pprof over HTTP; -slow-query logs the span tree
+// of any batch at least that slow; -stats-interval prints periodic
+// one-line serving summaries (q/s, p50/p99, cache hit rate, compaction
+// backlog) to stderr.
 //
 // With -mutable the engine serves from the updatable store instead of a
 // frozen tree, and three more commands work (sum does not — tombstone
@@ -54,6 +63,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -63,8 +73,10 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/transport"
+	"repro/internal/wire"
 	"repro/internal/workload"
 )
 
@@ -86,16 +98,29 @@ func main() {
 	dir := flag.String("dir", "", "serve mode with -mutable: store directory (WAL + checkpoints); empty = ephemeral")
 	workers := flag.String("workers", "", "comma-separated rangeworker addresses; supersteps run over TCP on these processes (machine width = worker count, overriding -p)")
 	resident := flag.Bool("resident", false, "worker-resident execution: the forest lives where the SPMD programs run (worker memory with -workers) instead of coordinator memory")
+	debugAddr := flag.String("debug-addr", "", "HTTP address for the coordinator's /metrics, /healthz and /debug/pprof (empty disables)")
+	slowQuery := flag.Duration("slow-query", 0, "serve mode: log the span tree of any batch at least this slow (0 disables)")
+	statsInterval := flag.Duration("stats-interval", 0, "serve mode: print a one-line stats summary to stderr at this period (0 disables)")
 	flag.Parse()
 
 	pts, dims := loadPoints(*csvPath, *n, *d, *dist, *seed)
-	engCfg := engine.Config{BatchSize: *batch, MaxDelay: *delay, CacheSize: *cacheSize}
+	// One registry + tracer for the whole coordinator process: the
+	// machine, engine, store, codec and admin endpoint all share it, so
+	// /metrics is the union and the `trace` command sees every span.
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer()
+	reg.Collect(wire.EmitStats)
+	engCfg := engine.Config{BatchSize: *batch, MaxDelay: *delay, CacheSize: *cacheSize,
+		Obs: reg, Tracer: tracer, SlowQuery: *slowQuery}
+	machCfg := cgm.Config{P: *p, Resident: *resident, Obs: reg, Tracer: tracer}
 
 	var cluster *transport.Cluster
 	if *workers != "" {
 		addrs := strings.Split(*workers, ",")
+		clCfg := machCfg
+		clCfg.P = 0 // the worker count is the machine width
 		var err error
-		cluster, err = transport.DialCluster(addrs, cgm.Config{Resident: *resident})
+		cluster, err = transport.DialCluster(addrs, clCfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rangesearch: %v\n", err)
 			os.Exit(1)
@@ -109,8 +134,26 @@ func main() {
 		fmt.Printf("cluster: %d workers, %s mode (%s)\n", cluster.P(), exMode, strings.Join(addrs, " "))
 	}
 
+	if *debugAddr != "" {
+		role := "coordinator"
+		admin, err := obs.ServeAdmin(*debugAddr, reg, func() any {
+			h := map[string]any{"role": role, "p": *p, "mode": *mode}
+			if cluster != nil {
+				h["workers"] = strings.Split(*workers, ",")
+				h["sessions_open"] = cluster.Open()
+			}
+			return h
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rangesearch: debug listener: %v\n", err)
+			os.Exit(1)
+		}
+		defer admin.Close()
+		fmt.Printf("metrics and pprof on http://%s\n", admin.Addr())
+	}
+
 	if *mode == "serve" && *mutable {
-		serveMutable(pts, dims, *p, *dir, cluster, *resident, engCfg)
+		serveMutable(pts, dims, *p, *dir, cluster, *resident, engCfg, reg, tracer, *statsInterval)
 		return
 	}
 	boxes := workload.Boxes(workload.QuerySpec{
@@ -126,7 +169,7 @@ func main() {
 			os.Exit(1)
 		}
 	} else {
-		mach = cgm.New(cgm.Config{P: *p, Resident: *resident})
+		mach = cgm.New(machCfg)
 	}
 	start := time.Now()
 	dt := core.Build(mach, pts)
@@ -140,7 +183,7 @@ func main() {
 		dt.HatNodeCount(), dt.ElemCount(), buildMetrics.CommRounds(), buildMetrics.MaxH(), buildWall.Round(time.Millisecond))
 
 	if *mode == "serve" {
-		serve(dt, dims, engCfg)
+		serve(dt, dims, engCfg, reg, *statsInterval)
 		return
 	}
 
@@ -191,12 +234,63 @@ func main() {
 
 // serve runs the line-oriented query loop on top of the micro-batching
 // engine over a frozen tree.
-func serve(dt *core.Tree, dims int, cfg engine.Config) {
+func serve(dt *core.Tree, dims int, cfg engine.Config, reg *obs.Registry, statsInterval time.Duration) {
 	h := prepareSum(dt)
 	eng := engine.WithAggregate(dt, h, cfg)
+	stopStats := startStatsLoop(statsInterval, reg, eng.Stats, nil)
 	serveLoop(func(line string) string { return answerLine(eng, dims, line) }, nil,
-		func() { eng.Close() },
+		func() { stopStats(); eng.Close() },
 		func() { printEngineStats(eng.Stats()) })
+}
+
+// startStatsLoop prints a one-line serving summary to stderr every
+// interval (0 disables): query rate, latency quantiles over all modes
+// (merged from the per-mode obs histograms the engine feeds), cache hit
+// rate, and — when serving a store — the compaction backlog. The
+// returned function stops the loop.
+func startStatsLoop(interval time.Duration, reg *obs.Registry, stats func() engine.Stats, st *store.Store) func() {
+	if interval <= 0 {
+		return func() {}
+	}
+	stop := make(chan struct{})
+	var once sync.Once
+	go func() {
+		lat := []*obs.Histogram{
+			reg.Histogram(`engine_query_latency_ns{mode="count"}`),
+			reg.Histogram(`engine_query_latency_ns{mode="aggregate"}`),
+			reg.Histogram(`engine_query_latency_ns{mode="report"}`),
+		}
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		prev := stats()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+			}
+			cur := stats()
+			qps := float64(cur.Submitted-prev.Submitted) / interval.Seconds()
+			snap := lat[0].Snapshot().Merge(lat[1].Snapshot()).Merge(lat[2].Snapshot())
+			hitRate := 0.0
+			if cur.Submitted > 0 {
+				hitRate = 100 * float64(cur.CacheHits) / float64(cur.Submitted)
+			}
+			line := fmt.Sprintf("stats: %.1f q/s | p50 %v p99 %v | cache %.1f%% hit",
+				qps,
+				time.Duration(snap.Quantile(0.50)).Round(time.Microsecond),
+				time.Duration(snap.Quantile(0.99)).Round(time.Microsecond),
+				hitRate)
+			if st != nil {
+				ss := st.Stats()
+				line += fmt.Sprintf(" | compaction backlog %d (mem %d + shadow %d), %d levels",
+					ss.Memtable+ss.Shadow, ss.Memtable, ss.Shadow, ss.Levels)
+			}
+			fmt.Fprintln(os.Stderr, line)
+			prev = cur
+		}
+	}()
+	return func() { once.Do(func() { close(stop) }) }
 }
 
 // prepareSum prepares the CLI's standard sum aggregate: the registered
@@ -209,16 +303,18 @@ func prepareSum(dt *core.Tree) *core.AggHandle[float64] {
 // serveMutable serves from the updatable store: queries pipeline through
 // the engine as usual, while insert/delete/checkpoint commands apply
 // synchronously in input order, so every later line observes them.
-func serveMutable(pts []geom.Point, dims, p int, dir string, cluster *transport.Cluster, resident bool, cfg engine.Config) {
+func serveMutable(pts []geom.Point, dims, p int, dir string, cluster *transport.Cluster, resident bool, cfg engine.Config, reg *obs.Registry, tracer *obs.Tracer, statsInterval time.Duration) {
 	// A durable store knows its own dimensionality: let the checkpoint
 	// decide first so a rerun need not repeat the original -d, and fall
 	// back to the flag only for a directory with no checkpoint yet.
 	storeCfg := func(d int) store.Config {
-		c := store.Config{Dims: d, P: p}
+		c := store.Config{Dims: d, P: p, Obs: reg}
 		if cluster != nil {
 			c.Provider = cluster
-		} else if resident {
-			c.Provider = cgm.NewLocalProvider(cgm.Config{P: p, Resident: true})
+		} else {
+			// Explicit local provider (even non-resident) so level
+			// machines inherit the registry and tracer.
+			c.Provider = cgm.NewLocalProvider(cgm.Config{P: p, Resident: resident, Obs: reg, Tracer: tracer})
 		}
 		return c
 	}
@@ -246,6 +342,7 @@ func serveMutable(pts []geom.Point, dims, p int, dir string, cluster *transport.
 		fmt.Printf("store: recovered %d live points at version %d\n", st.LiveN(), st.Version())
 	}
 	eng := engine.NewStore(st, cfg)
+	stopStats := startStatsLoop(statsInterval, reg, eng.Stats, st)
 	isMutation := func(line string) bool {
 		switch strings.Fields(line)[0] {
 		case "insert", "delete", "checkpoint":
@@ -256,7 +353,7 @@ func serveMutable(pts []geom.Point, dims, p int, dir string, cluster *transport.
 	serveLoop(func(line string) string {
 		return answerMutableLine(eng, st, dims, line)
 	}, isMutation,
-		func() { eng.Close() },
+		func() { stopStats(); eng.Close() },
 		func() {
 			// When durable, persist a final checkpoint so a restart
 			// recovers this exact state without WAL replay.
@@ -386,9 +483,29 @@ func serveLoop(answer func(string) string, mutation func(string) bool, drain, fi
 	}
 }
 
+// answerTrace handles the `trace [id]` serve command: the span tree of
+// the given (default most recent) traced batch.
+func answerTrace(trace func(uint64) string, fields []string) string {
+	var id uint64
+	if len(fields) > 2 {
+		return "error: want `trace` or `trace <id>`"
+	}
+	if len(fields) == 2 {
+		v, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return fmt.Sprintf("error: trace id %q: %v", fields[1], err)
+		}
+		id = v
+	}
+	return trace(id)
+}
+
 // answerLine parses and answers one serve-mode query line.
 func answerLine(eng *engine.Engine[float64], dims int, line string) string {
 	fields := strings.Fields(line)
+	if fields[0] == "trace" {
+		return answerTrace(eng.Trace, fields)
+	}
 	if len(fields) != 3 {
 		return fmt.Sprintf("error: want `mode lo1,..,lo%d hi1,..,hi%d`, got %q", dims, dims, line)
 	}
@@ -438,6 +555,8 @@ func answerLine(eng *engine.Engine[float64], dims int, line string) string {
 func answerMutableLine(eng *engine.Engine[struct{}], st *store.Store, dims int, line string) string {
 	fields := strings.Fields(line)
 	switch fields[0] {
+	case "trace":
+		return answerTrace(eng.Trace, fields)
 	case "checkpoint":
 		if len(fields) != 1 {
 			return "error: checkpoint takes no arguments"

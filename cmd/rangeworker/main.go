@@ -41,6 +41,7 @@ import (
 
 func main() {
 	listen := flag.String("listen", ":9100", "TCP address to serve supersteps on")
+	debugAddr := flag.String("debug-addr", "", "HTTP address for /metrics, /healthz and /debug/pprof (empty disables)")
 	flag.Parse()
 
 	w, err := transport.ListenAndServe(*listen)
@@ -49,6 +50,14 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("rangeworker: serving CGM supersteps on %s\n", w.Addr())
+	if *debugAddr != "" {
+		addr, err := w.EnableDebug(*debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rangeworker: debug listener: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("rangeworker: metrics and pprof on http://%s\n", addr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

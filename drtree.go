@@ -40,6 +40,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/kdtree"
 	"repro/internal/layered"
+	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/pointsfile"
 	"repro/internal/rangetree"
@@ -452,6 +453,42 @@ func OpenStore(dir string, cfg StoreConfig) (*Store, error) { return store.Open(
 // data version so cached answers can never outlive the data.
 func NewStoreEngine(st *Store, cfg EngineConfig) *Engine[struct{}] {
 	return engine.NewStore(st, cfg)
+}
+
+// Observability (internal/obs, DESIGN.md §12): a dependency-free metrics
+// registry plus per-query tracing, shared by the machine, the engine, the
+// store and the worker processes. Create one Registry and one Tracer per
+// process, pass them through MachineConfig.Obs/.Tracer (and
+// EngineConfig / StoreConfig.Obs), and serve the registry over HTTP with
+// ServeAdmin — or call ClusterWorker.EnableDebug for a worker's own
+// endpoint.
+
+// Obs types, re-exported from internal/obs.
+type (
+	// ObsRegistry is a process-component's metrics registry: atomic
+	// counters, gauges and log-bucket histograms, exported in Prometheus
+	// text format by its WriteProm (and by ServeAdmin's /metrics).
+	ObsRegistry = obs.Registry
+	// ObsTracer collects per-query spans; its Tree renders a query's
+	// cross-worker execution as an indented span tree.
+	ObsTracer = obs.Tracer
+	// ObsSpan is one timed region of a traced query's execution.
+	ObsSpan = obs.Span
+	// ObsAdmin is a live debug HTTP endpoint (/metrics, /healthz,
+	// /debug/pprof) over a registry.
+	ObsAdmin = obs.Admin
+)
+
+// NewObsRegistry creates an empty metrics registry.
+func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }
+
+// NewObsTracer creates an empty query tracer.
+func NewObsTracer() *ObsTracer { return obs.NewTracer() }
+
+// ServeAdmin serves reg's metrics (plus health and pprof) on an HTTP
+// listener at addr; health may be nil. Close the returned Admin to stop.
+func ServeAdmin(addr string, reg *ObsRegistry, health func() any) (*ObsAdmin, error) {
+	return obs.ServeAdmin(addr, reg, health)
 }
 
 // SaveTree writes a machine-independent snapshot of the distributed tree

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"reflect"
 
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -32,7 +33,7 @@ func Exchange[T any](pr *Proc, label string, out [][]T) [][]T {
 	pr.releaseToken()
 
 	stamp := fmt.Sprintf("%s#%d", label, pr.opSeq)
-	dep := Deposit{Seq: pr.opSeq, Stamp: stamp}
+	dep := Deposit{Seq: pr.opSeq, Stamp: stamp, Trace: m.trace}
 	pr.opSeq++
 	sent := 0
 	for _, s := range out {
@@ -52,9 +53,19 @@ func Exchange[T any](pr *Proc, label string, out [][]T) [][]T {
 		dep.Row = out
 	}
 
+	xStart := int64(0)
+	if dep.Trace != 0 && pr.rank == 0 {
+		xStart = m.tracer.Now()
+	}
 	col, err := m.tr.Exchange(pr.rank, dep)
 	if err != nil {
 		m.fail(err)
+	}
+	if dep.Trace != 0 && pr.rank == 0 {
+		// One coordinator span per superstep (rank 0's view; the barrier
+		// synchronises all ranks, so its duration is representative).
+		m.tracer.Add(obs.Span{Trace: dep.Trace, Stamp: int64(dep.Seq),
+			Name: "x:" + label, Rank: obs.CoordRank, Start: xStart, Dur: m.tracer.Now() - xStart})
 	}
 	if encBuf != nil {
 		// The transport has written (or routed) every block by the time

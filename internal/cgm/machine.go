@@ -27,6 +27,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Mode selects how processors are scheduled.
@@ -63,6 +65,17 @@ type Config struct {
 	// ResidentTransport. Round and h accounting is unchanged: residency
 	// moves payload endpoints, never the superstep structure.
 	Resident bool
+	// Obs, when set, receives the machine's cost-model quantities as live
+	// series after every run: cgm_runs_total, cgm_rounds_total,
+	// cgm_exchange_elems_total, and per-run cgm_run_rounds / cgm_run_maxh
+	// histograms. Nil disables publishing; the paper-exact Metrics
+	// snapshot is unaffected either way.
+	Obs *obs.Registry
+	// Tracer, when set, collects spans for traced runs (SetTrace): one
+	// coordinator span per superstep, plus resident emit/collect spans on
+	// the loopback (wire transports return worker-side spans through the
+	// reply frames instead). Nil disables span recording.
+	Tracer *obs.Tracer
 }
 
 // Default BSP cost parameters: 50ns per exchanged record, 20µs per
@@ -81,6 +94,12 @@ type Machine struct {
 	g, l     float64
 	tr       Transport
 	resident bool
+	reg      *obs.Registry
+	tracer   *obs.Tracer
+	// trace stamps the current run's supersteps (0 = untraced). Written
+	// by SetTrace between runs, read by processor goroutines during Run —
+	// the same exclusive-run contract Run itself has.
+	trace uint64
 
 	mu      sync.Mutex
 	metrics Metrics
@@ -119,6 +138,8 @@ func New(cfg Config) *Machine {
 	}
 	if tr == nil {
 		lb := newLoopback(p)
+		lb.tracer = cfg.Tracer
+		lb.reg = cfg.Obs
 		if cfg.Resident {
 			lb.enableResident()
 		}
@@ -136,10 +157,24 @@ func New(cfg Config) *Machine {
 	if l == 0 {
 		l = DefaultL
 	}
-	m := &Machine{p: p, mode: cfg.Mode, g: g, l: l, tr: tr, resident: cfg.Resident}
+	m := &Machine{p: p, mode: cfg.Mode, g: g, l: l, tr: tr, resident: cfg.Resident,
+		reg: cfg.Obs, tracer: cfg.Tracer}
 	m.metrics.WorkByProc = make([]time.Duration, p)
 	return m
 }
+
+// SetTrace stamps the machine's subsequent supersteps with a trace ID
+// minted by an obs.Tracer (0 clears the stamp). The stamp travels in
+// every deposit — and, on wire transports, in every frame — so worker-
+// side spans land under the same trace. Must not be called while a Run
+// is in flight.
+func (m *Machine) SetTrace(id uint64) { m.trace = id }
+
+// TraceID reports the machine's current trace stamp.
+func (m *Machine) TraceID() uint64 { return m.trace }
+
+// Tracer returns the machine's tracer (nil when not configured).
+func (m *Machine) Tracer() *obs.Tracer { return m.tracer }
 
 // P reports the number of processors.
 func (m *Machine) P() int { return m.p }
@@ -215,6 +250,7 @@ func (m *Machine) Run(prog func(*Proc)) {
 	if m.poisoned != nil {
 		panic(fmt.Sprintf("cgm: machine aborted in an earlier run: %v", m.poisoned))
 	}
+	startRounds := len(m.metrics.Rounds)
 	if err := m.tr.Reset(); err != nil {
 		m.poisoned = err
 		panic(fmt.Sprintf("cgm: machine transport unusable: %v", err))
@@ -257,6 +293,36 @@ func (m *Machine) Run(prog func(*Proc)) {
 	// Fold the trailing local segments into a final pseudo-round.
 	m.foldRound("run-end", true)
 	m.metrics.Runs++
+	if m.reg != nil {
+		m.publishRun(startRounds)
+	}
+}
+
+// publishRun mirrors the run's round stats (from the given Rounds index
+// on) into the registry as live series: the cost model the paper proves
+// bounds on — rounds, MaxH, total exchanged elements — observable on a
+// running cluster, not only in post-hoc Metrics snapshots.
+func (m *Machine) publishRun(from int) {
+	m.mu.Lock()
+	var nRounds, elems int64
+	maxh := 0
+	for _, rs := range m.metrics.Rounds[from:] {
+		if rs.Final {
+			continue
+		}
+		nRounds++
+		elems += int64(rs.TotalElems)
+		if rs.MaxH > maxh {
+			maxh = rs.MaxH
+		}
+	}
+	m.mu.Unlock()
+	m.reg.Counter("cgm_runs_total").Inc()
+	m.reg.Counter("cgm_rounds_total").Add(nRounds)
+	m.reg.Counter("cgm_exchange_elems_total").Add(elems)
+	m.reg.Histogram("cgm_run_rounds").Observe(nRounds)
+	m.reg.Histogram("cgm_run_maxh").Observe(int64(maxh))
+	m.reg.Gauge("cgm_last_run_maxh").Set(int64(maxh))
 }
 
 // acquireToken blocks until the processor may run (Measured mode only).

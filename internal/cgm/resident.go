@@ -5,6 +5,7 @@ import (
 	"reflect"
 
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -44,6 +45,9 @@ type ResidentDeposit struct {
 	// Type names the exchanged element type when Blocks are provided;
 	// emit-resident deposits take it from the emit step's Outbox.
 	Type string
+	// Trace is the machine's trace stamp for this superstep (0 =
+	// untraced); resident hosts stamp their emit/collect spans with it.
+	Trace uint64
 	// Blocks is the coordinator-produced deposit (when Emit is nil). The
 	// self slot IS included — unlike a fabric deposit, the consumer is on
 	// the resident side, so the self-addressed block must travel too.
@@ -217,9 +221,18 @@ func ExchangeSteps[EA any, CA any, R any](pr *Proc, label string, emit exec.Ref,
 func (pr *Proc) runResident(label string, dep ResidentDeposit) ResidentReply {
 	m := pr.m
 	rt := m.tr.(ResidentTransport)
+	dep.Trace = m.trace
+	xStart := int64(0)
+	if dep.Trace != 0 && pr.rank == 0 {
+		xStart = m.tracer.Now()
+	}
 	rep, err := rt.ExchangeResident(pr.rank, dep)
 	if err != nil {
 		m.fail(err)
+	}
+	if dep.Trace != 0 && pr.rank == 0 {
+		m.tracer.Add(obs.Span{Trace: dep.Trace, Stamp: int64(dep.Seq),
+			Name: "x:" + label, Rank: obs.CoordRank, Start: xStart, Dur: m.tracer.Now() - xStart})
 	}
 	m.sent[pr.rank] = rep.Sent
 	m.recv[pr.rank] = rep.Recv

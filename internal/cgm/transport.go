@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/exec"
+	"repro/internal/obs"
 )
 
 // Transport moves one superstep's payloads between the machine's p ranks.
@@ -58,6 +59,10 @@ type Deposit struct {
 	// Type names the element type (wire transports only; in-process
 	// transports detect type divergence on the typed rows directly).
 	Type string
+	// Trace is the machine's trace stamp for this superstep (0 =
+	// untraced). Wire transports carry it in the frame header so worker-
+	// side spans land under the coordinator's trace.
+	Trace uint64
 	// Row is the typed [][]T as passed to Exchange (in-process only).
 	Row any
 	// Blocks are the wire-encoded per-destination payloads (wire only).
@@ -92,9 +97,11 @@ type Column struct {
 // and wire runs of a resident program execute the same code and account
 // the same counts.
 type loopback struct {
-	p     int
-	slots []Deposit
-	bar   *barrier
+	p      int
+	slots  []Deposit
+	bar    *barrier
+	tracer *obs.Tracer
+	reg    *obs.Registry
 
 	// Resident state (nil for fabric machines).
 	stores []*exec.Store
@@ -116,6 +123,7 @@ func (lt *loopback) enableResident() {
 	lt.stores = make([]*exec.Store, lt.p)
 	for i := range lt.stores {
 		lt.stores[i] = exec.NewStore()
+		lt.stores[i].SetObs(lt.reg)
 	}
 }
 
@@ -137,7 +145,11 @@ func (lt *loopback) ExchangeResident(rank int, dep ResidentDeposit) (ResidentRep
 	rep := ResidentReply{Sent: dep.Sent}
 	slot := residentSlot{stamp: dep.Stamp, typ: dep.Type, seq: dep.Seq, blocks: dep.Blocks}
 	if dep.Emit != nil {
-		out, err := lt.stores[rank].RunEmit(rank, lt.p, *dep.Emit, dep.EmitArgs)
+		var out *exec.Outbox
+		var err error
+		lt.tracer.Record(dep.Trace, int64(dep.Seq), rank, "emit", func() {
+			out, err = lt.stores[rank].RunEmit(rank, lt.p, *dep.Emit, dep.EmitArgs)
+		})
 		if err != nil {
 			return ResidentReply{}, err
 		}
@@ -173,8 +185,13 @@ func (lt *loopback) ExchangeResident(rank int, dep ResidentDeposit) (ResidentRep
 		}
 		col[j] = lt.rslots[j].blocks[rank]
 	}
-	reply, recv, err := lt.stores[rank].RunCollect(rank, lt.p, *dep.Collect,
-		&exec.Inbox{Blocks: col, Self: slot.self}, dep.CollectArgs)
+	var reply []byte
+	var recv int
+	var err error
+	lt.tracer.Record(dep.Trace, int64(dep.Seq), rank, "collect", func() {
+		reply, recv, err = lt.stores[rank].RunCollect(rank, lt.p, *dep.Collect,
+			&exec.Inbox{Blocks: col, Self: slot.self}, dep.CollectArgs)
+	})
 	if err != nil {
 		return ResidentReply{}, err
 	}

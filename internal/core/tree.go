@@ -277,6 +277,12 @@ func (t *Tree) Grain() int { return t.grain }
 // Machine returns the underlying machine (for metrics).
 func (t *Tree) Machine() *cgm.Machine { return t.mach }
 
+// SetTrace stamps the tree's machine so its next batch's supersteps —
+// coordinator exchanges and worker-side spans alike — land under the
+// given trace ID (0 clears). Must not overlap a running batch, the same
+// exclusive-run contract the machine itself has.
+func (t *Tree) SetTrace(id uint64) { t.mach.SetTrace(id) }
+
 // Info returns the replicated element metadata (processor 0's copy; all
 // replicas are identical).
 func (t *Tree) Info() []ElemInfo { return t.procs[0].info }

@@ -24,12 +24,14 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"log"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -63,6 +65,21 @@ type Config struct {
 	// CacheSize is the LRU answer-cache capacity in entries; negative
 	// disables caching (default DefaultCacheSize).
 	CacheSize int
+	// Obs, when set, publishes the engine's counters as live series and
+	// records per-mode end-to-end query-latency histograms
+	// (engine_query_latency_ns{mode=...}, covering cache hits) plus a
+	// batch-occupancy histogram. Nil disables publishing.
+	Obs *obs.Registry
+	// Tracer, when set, mints a trace ID for every dispatched batch and
+	// stamps it onto the machine runs answering it, so worker-side spans
+	// attribute back to the batch. Pass the same tracer to the cgm/store
+	// configuration underneath or worker spans have nowhere to land.
+	Tracer *obs.Tracer
+	// SlowQuery, when positive, logs any batch whose wall time meets the
+	// threshold — with its full span tree when Tracer is set.
+	SlowQuery time.Duration
+	// SlowLog receives slow-batch reports (default log.Printf).
+	SlowLog func(format string, args ...any)
 }
 
 func (cfg Config) withDefaults() Config {
@@ -135,6 +152,11 @@ type Engine[T any] struct {
 	batches, batched                  atomic.Uint64
 	sizeFlush, deadlineFlush, drained atomic.Uint64
 	copyCacheHits, installNanos       atomic.Uint64
+	slowBatches                       atomic.Uint64
+
+	lat       [3]*obs.Histogram // per-mode latency, indexed by MixedOp
+	occ       *obs.Histogram    // batch occupancy
+	lastTrace atomic.Uint64
 }
 
 // New creates an engine answering Count and Report queries on t.
@@ -176,6 +198,26 @@ func newEngine[T any](cfg Config) *Engine[T] {
 	}
 	if cfg.CacheSize > 0 {
 		e.cache = newLRU[core.MixedResult[T]](cfg.CacheSize)
+	}
+	if reg := cfg.Obs; reg != nil {
+		for op, mode := range [...]string{"count", "aggregate", "report"} {
+			e.lat[op] = reg.Histogram(`engine_query_latency_ns{mode="` + mode + `"}`)
+		}
+		e.occ = reg.Histogram("engine_batch_occupancy")
+		reg.Collect(func(emit obs.Emit) {
+			st := e.Stats()
+			emit("engine_submitted_total", float64(st.Submitted))
+			emit("engine_cache_hits_total", float64(st.CacheHits))
+			emit("engine_cache_misses_total", float64(st.CacheMisses))
+			emit("engine_batches_total", float64(st.Batches))
+			emit("engine_batched_queries_total", float64(st.BatchedQueries))
+			emit(`engine_flushes_total{reason="size"}`, float64(st.SizeFlushes))
+			emit(`engine_flushes_total{reason="deadline"}`, float64(st.DeadlineFlushes))
+			emit(`engine_flushes_total{reason="drain"}`, float64(st.DrainFlushes))
+			emit("engine_copy_cache_hits_total", float64(st.CopyCacheHits))
+			emit("engine_phase_b_install_ns_total", float64(st.PhaseBInstall.Nanoseconds()))
+			emit("engine_slow_batches_total", float64(e.slowBatches.Load()))
+		})
 	}
 	return e
 }
@@ -248,6 +290,43 @@ func (e *Engine[T]) Stats() Stats {
 	}
 }
 
+// LastTrace returns the trace ID of the most recently dispatched batch,
+// or 0 if no batch has dispatched (or no tracer is configured).
+func (e *Engine[T]) LastTrace() uint64 { return e.lastTrace.Load() }
+
+// Trace renders the span tree recorded for trace id; id 0 means the most
+// recently dispatched batch — waiting up to a few flush deadlines for a
+// first batch to dispatch, so a trace request pipelined right behind the
+// queries it asks about does not outrun the micro-batcher. The rendering
+// shows the coordinator's dispatch and exchange spans with each worker's
+// emit/route/gather/collect windows nested under the superstep that ran
+// them.
+func (e *Engine[T]) Trace(id uint64) string {
+	if id == 0 {
+		// A trace request pipelined together with the queries it asks
+		// about can arrive before they register, let alone dispatch. Give
+		// concurrent submissions a few flush deadlines to show up, then
+		// wait while a dispatch is actually owed — a cache miss was
+		// accepted but no batch has published a trace yet — bounded for
+		// liveness (the owed batch may be wedged on a dead cluster).
+		grace := time.Now().Add(4 * e.cfg.MaxDelay)
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			if id = e.lastTrace.Load(); id != 0 || time.Now().After(deadline) {
+				break
+			}
+			if e.misses.Load() == 0 && time.Now().After(grace) {
+				break
+			}
+			time.Sleep(e.cfg.MaxDelay / 4)
+		}
+	}
+	if id == 0 {
+		return "no traced batches yet (is the engine configured with a Tracer?)"
+	}
+	return e.cfg.Tracer.Tree(id)
+}
+
 // Close stops the engine after answering every already-accepted query.
 // Subsequent queries fail with ErrClosed. Close is idempotent.
 func (e *Engine[T]) Close() {
@@ -263,6 +342,10 @@ func (e *Engine[T]) Close() {
 // submit runs the cache fast path, then hands the query to the batching
 // loop and blocks on its reply channel.
 func (e *Engine[T]) submit(op core.MixedOp, box geom.Box) (core.MixedResult[T], error) {
+	if h := e.lat[op]; h != nil {
+		t0 := time.Now()
+		defer func() { h.Observe(time.Since(t0).Nanoseconds()) }()
+	}
 	e.closing.RLock()
 	if e.closed {
 		e.closing.RUnlock()
@@ -353,19 +436,47 @@ func (e *Engine[T]) dispatch(batch []request[T]) {
 		at[i] = j
 	}
 
+	id := e.cfg.Tracer.NewID() // 0 without a tracer: everything below degrades to untraced
+	t0 := time.Now()
 	var results []core.MixedResult[T]
 	var ver uint64
 	var err error
 	if e.st != nil {
 		v := e.st.Pin()
 		ver = v.Seq()
-		results, err = store.Mixed[T](v, ops, boxes)
+		results, err = store.MixedTraced[T](v, ops, boxes, id)
 		v.Release()
 	} else {
-		results, err = e.treeBatch(ops, boxes)
+		results, err = e.treeBatch(ops, boxes, id)
 	}
+	wall := time.Since(t0)
 	e.batches.Add(1)
 	e.batched.Add(uint64(len(batch)))
+	if e.occ != nil {
+		e.occ.Observe(int64(len(batch)))
+	}
+	if id != 0 {
+		end := e.cfg.Tracer.Now()
+		e.cfg.Tracer.Add(obs.Span{Trace: id, Stamp: -1, Name: "dispatch",
+			Rank: obs.CoordRank, Start: end - wall.Nanoseconds(), Dur: wall.Nanoseconds()})
+		// Published only now, with every span of the batch recorded, so a
+		// Trace(0) reader never sees a half-written trace.
+		e.lastTrace.Store(id)
+	}
+	if e.cfg.SlowQuery > 0 && wall >= e.cfg.SlowQuery {
+		e.slowBatches.Add(1)
+		logf := e.cfg.SlowLog
+		if logf == nil {
+			logf = log.Printf
+		}
+		if id != 0 {
+			logf("engine: slow batch: %d queries in %v (threshold %v)\n%s",
+				len(batch), wall, e.cfg.SlowQuery, e.cfg.Tracer.Tree(id))
+		} else {
+			logf("engine: slow batch: %d queries in %v (threshold %v; no tracer configured)",
+				len(batch), wall, e.cfg.SlowQuery)
+		}
+	}
 
 	if err != nil {
 		// A machine abort mid-batch: every caller of this batch gets the
@@ -388,12 +499,16 @@ func (e *Engine[T]) dispatch(batch []request[T]) {
 
 // treeBatch dispatches against an immutable tree, converting a machine
 // abort (a panic by the cgm contract) into an error on the batch.
-func (e *Engine[T]) treeBatch(ops []core.MixedOp, boxes []geom.Box) (results []core.MixedResult[T], err error) {
+func (e *Engine[T]) treeBatch(ops []core.MixedOp, boxes []geom.Box, trace uint64) (results []core.MixedResult[T], err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("engine: query batch aborted: %v", r)
 		}
 	}()
+	// The dispatcher loop is the machine's only user, so the trace stamp
+	// cannot interleave with another batch's.
+	e.tree.SetTrace(trace)
+	defer e.tree.SetTrace(0)
 	results = core.MixedBatch(e.tree, e.agg, ops, boxes)
 	e.copyCacheHits.Add(uint64(e.tree.LastCopyCacheHits()))
 	e.installNanos.Add(uint64(e.tree.LastPhaseBInstall().Nanoseconds()))

@@ -25,6 +25,10 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Ctx carries the identity of the rank whose resident state a step runs
@@ -139,10 +143,26 @@ func lookup(ref Ref) (*Program, error) {
 type Store struct {
 	mu    sync.Mutex
 	state map[string]any
+	reg   atomic.Pointer[obs.Registry]
 }
 
 // NewStore creates an empty state store.
 func NewStore() *Store { return &Store{state: make(map[string]any)} }
+
+// SetObs publishes the wall time of every dispatched step to reg as
+// exec_step_ns{kind=...,step="program/step"} histograms. Safe to call
+// concurrently with dispatch; nil stops publishing.
+func (s *Store) SetObs(reg *obs.Registry) { s.reg.Store(reg) }
+
+// observe records one step's wall time (no-op without a registry).
+func (s *Store) observe(kind string, ref Ref, t0 time.Time) {
+	reg := s.reg.Load()
+	if reg == nil {
+		return
+	}
+	name := `exec_step_ns{kind="` + kind + `",step="` + ref.Program + `/` + ref.Step + `"}`
+	reg.Histogram(name).Observe(time.Since(t0).Nanoseconds())
+}
 
 // ctx resolves (creating if needed) the program's state for rank.
 func (s *Store) ctx(p *Program, rank, width int) *Ctx {
@@ -176,6 +196,7 @@ func (s *Store) Call(rank, width int, ref Ref, args []byte) (reply []byte, err e
 		return nil, fmt.Errorf("exec: program %q has no step %q", ref.Program, ref.Step)
 	}
 	defer guard(ref, &err)
+	defer s.observe("call", ref, time.Now())
 	return step(s.ctx(p, rank, width), args)
 }
 
@@ -190,6 +211,7 @@ func (s *Store) RunEmit(rank, width int, ref Ref, args []byte) (out *Outbox, err
 		return nil, fmt.Errorf("exec: program %q has no emit step %q", ref.Program, ref.Step)
 	}
 	defer guard(ref, &err)
+	defer s.observe("emit", ref, time.Now())
 	return emit(s.ctx(p, rank, width), args)
 }
 
@@ -204,5 +226,6 @@ func (s *Store) RunCollect(rank, width int, ref Ref, in *Inbox, args []byte) (re
 		return nil, 0, fmt.Errorf("exec: program %q has no collect step %q", ref.Program, ref.Step)
 	}
 	defer guard(ref, &err)
+	defer s.observe("collect", ref, time.Now())
 	return collect(s.ctx(p, rank, width), in, args)
 }

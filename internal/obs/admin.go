@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// Admin is a live debug HTTP server exposing a registry and a health
+// snapshot. It owns its listener and serve goroutine; Close is
+// synchronous — when it returns, the listener is closed and the serve
+// goroutine has exited, so worker lifecycle tests can assert no leaked
+// goroutines.
+type Admin struct {
+	reg    *Registry
+	health func() any
+	ln     net.Listener
+	srv    *http.Server
+	done   chan struct{}
+	once   sync.Once
+}
+
+// ServeAdmin starts an admin server on addr (e.g. "127.0.0.1:0"). The
+// mux serves:
+//
+//	/metrics      registry in Prometheus text exposition
+//	/healthz      health() marshalled as JSON (200 if it returns, 503 on nil health)
+//	/debug/vars   the process expvar map
+//	/debug/pprof  the standard pprof index, profile, symbol, trace
+//
+// health may be nil; the registry must not be.
+func ServeAdmin(addr string, reg *Registry, health func() any) (*Admin, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	a := &Admin{reg: reg, health: health, ln: ln, done: make(chan struct{})}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", a.metricsHandler)
+	mux.HandleFunc("/healthz", a.healthHandler)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	a.srv = &http.Server{Handler: mux}
+	go func() {
+		defer close(a.done)
+		_ = a.srv.Serve(ln) // returns on Close with ErrServerClosed
+	}()
+	return a, nil
+}
+
+// Addr reports the bound listen address (useful with ":0").
+func (a *Admin) Addr() string {
+	if a == nil {
+		return ""
+	}
+	return a.ln.Addr().String()
+}
+
+// Close stops the listener and waits for the serve goroutine to exit.
+// Nil-safe and idempotent so owners can close unconditionally.
+func (a *Admin) Close() error {
+	if a == nil {
+		return nil
+	}
+	var err error
+	a.once.Do(func() {
+		err = a.srv.Close()
+		<-a.done
+	})
+	return err
+}
+
+func (a *Admin) metricsHandler(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = a.reg.WriteProm(w)
+}
+
+func (a *Admin) healthHandler(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if a.health == nil {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte(`{"status":"no health source"}` + "\n"))
+		return
+	}
+	b, err := json.MarshalIndent(a.health(), "", "  ")
+	if err != nil {
+		w.WriteHeader(http.StatusInternalServerError)
+		return
+	}
+	_, _ = w.Write(append(b, '\n'))
+}

@@ -1,0 +1,383 @@
+// Package obs is the repository's dependency-free observability kit: a
+// typed metrics registry (atomic counters, gauges, and fixed-bucket
+// logarithmic histograms with quantile extraction), lightweight per-query
+// tracing (trace.go), and a small HTTP admin surface (admin.go) exposing
+// the registry in Prometheus text form alongside /healthz, /debug/vars
+// and /debug/pprof.
+//
+// The paper's whole contribution is a cost model — a constant number of
+// communication rounds with bounded h — and the repository already
+// measures exactly those quantities, but only as post-hoc snapshots
+// scattered over unrelated structs (engine.Stats, store.Stats,
+// cgm.Metrics, the transports' frame-kind counters). This package gives
+// them one live home: every subsystem publishes into an obs.Registry, so
+// a running cluster is observable the same way a bench run is.
+//
+// Naming scheme (DESIGN.md §12): series are `<subsystem>_<name>[_<unit>]`
+// with Prometheus-style inline labels — e.g.
+// `engine_query_latency_ns{mode="count"}` — monotone series end in
+// `_total`, durations are recorded in nanoseconds with an `_ns` suffix.
+// Handles are get-or-create by full name, so any holder of the registry
+// (a CLI stats ticker, a test) reaches the same histogram the engine
+// records into.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing series.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n < 0 is ignored: counters are
+// monotone by contract).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value reports the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a series that can move both ways.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value reports the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets is the fixed bucket count of every histogram: power-of-two
+// upper bounds 1, 2, 4, …, 2^46 (~20h in nanoseconds), plus the last
+// bucket absorbing everything larger. Fixed buckets keep Observe a single
+// atomic add and make concurrent snapshots tear-free per bucket.
+const histBuckets = 48
+
+// Histogram is a log-bucketed distribution: bucket i counts observations
+// v with 2^(i-1) ≤ v < 2^i (bucket 0 counts v < 1, the last bucket is
+// unbounded). It serves both durations (nanoseconds) and discrete sizes
+// (batch occupancies) — only the recorded unit differs.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	sum     atomic.Int64
+}
+
+// Observe records one value; negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketOf(v)].Add(1)
+	h.sum.Add(v)
+}
+
+func bucketOf(v int64) int {
+	i := bits.Len64(uint64(v))
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return i
+}
+
+// bucketBound is bucket i's exclusive upper bound.
+func bucketBound(i int) int64 {
+	if i >= 63 {
+		return int64(1) << 62
+	}
+	return int64(1) << uint(i)
+}
+
+// HistSnapshot is one tear-free-per-bucket view of a histogram. Count is
+// derived from the bucket reads themselves, so Count == Σ buckets holds
+// for every snapshot even while observations race; Sum is read separately
+// and may run slightly ahead of the buckets under concurrency.
+type HistSnapshot struct {
+	Buckets [histBuckets]int64
+	Count   int64
+	Sum     int64
+}
+
+// Snapshot captures the histogram's current state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.buckets {
+		b := h.buckets[i].Load()
+		s.Buckets[i] = b
+		s.Count += b
+	}
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int64 { return h.Snapshot().Count }
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from a snapshot: the
+// midpoint of the bucket holding the q-th observation. The estimate is
+// within a factor of 2 of the true value — the resolution the log buckets
+// buy — which is plenty for p50/p95/p99 latency series.
+func (h *Histogram) Quantile(q float64) float64 { return h.Snapshot().Quantile(q) }
+
+// Merge returns the combination of two snapshots — the histogram that
+// would result from both observation streams. Used to answer quantiles
+// across a labeled family (e.g. latency over all query modes).
+func (s HistSnapshot) Merge(o HistSnapshot) HistSnapshot {
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+	return s
+}
+
+// Quantile estimates the q-quantile of the snapshot.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(s.Count-1))
+	var cum int64
+	for i, b := range s.Buckets {
+		cum += b
+		if cum > rank {
+			hi := bucketBound(i)
+			lo := int64(0)
+			if i > 0 {
+				lo = bucketBound(i - 1)
+			}
+			return float64(lo+hi) / 2
+		}
+	}
+	return float64(bucketBound(histBuckets - 1))
+}
+
+// Emit is the callback a collector reports dynamic series through: the
+// value appears in the exposition as a gauge named name (inline labels
+// allowed, same syntax as registry handles). It is an alias so packages
+// that must not import obs can still offer a compatible emitter (e.g.
+// reg.Collect(wire.EmitStats)).
+type Emit = func(name string, value float64)
+
+// Registry holds a process-component's metrics. Handles are get-or-create
+// by full series name; all methods are safe for concurrent use, including
+// concurrently with WriteProm scrapes.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	hists      map[string]*Histogram
+	funcs      map[string]func() float64
+	collectors []func(Emit)
+	order      []string // registration order of all named series
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		funcs:    make(map[string]func() float64),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+		r.order = append(r.order, name)
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+		r.order = append(r.order, name)
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+		r.order = append(r.order, name)
+	}
+	return h
+}
+
+// Func registers a sampled series: fn is evaluated at every scrape and
+// exposed as a gauge. Registering a name twice replaces the function.
+func (r *Registry) Func(name string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.funcs[name]; !ok {
+		r.order = append(r.order, name)
+	}
+	r.funcs[name] = fn
+}
+
+// Collect registers a collector: a callback run at every scrape that may
+// emit any number of dynamically named series (per-frame-kind wire
+// counters, codec totals — series whose label sets are not known up
+// front).
+func (r *Registry) Collect(fn func(Emit)) {
+	r.mu.Lock()
+	r.collectors = append(r.collectors, fn)
+	r.mu.Unlock()
+}
+
+// snapshotLocked returns stable slices of the registry contents so the
+// exposition can run without holding the lock across metric reads.
+func (r *Registry) snapshot() (order []string, counters map[string]*Counter, gauges map[string]*Gauge, hists map[string]*Histogram, funcs map[string]func() float64, collectors []func(Emit)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	order = append([]string(nil), r.order...)
+	counters = make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges = make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists = make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	funcs = make(map[string]func() float64, len(r.funcs))
+	for k, v := range r.funcs {
+		funcs[k] = v
+	}
+	collectors = append(make([]func(Emit), 0, len(r.collectors)), r.collectors...)
+	return
+}
+
+// splitName separates a series name into its base and inline label list:
+// `engine_query_latency_ns{mode="count"}` → base
+// `engine_query_latency_ns`, labels `mode="count"`.
+func splitName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// joinLabels renders a label set with an optional extra label appended.
+func joinLabels(labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return ""
+	case labels == "":
+		return "{" + extra + "}"
+	case extra == "":
+		return "{" + labels + "}"
+	default:
+		return "{" + labels + "," + extra + "}"
+	}
+}
+
+// WriteProm writes the registry in the Prometheus text exposition format
+// (version 0.0.4). Histograms expose cumulative `_bucket{le=…}` series
+// plus `_sum` and `_count`; sampled and collected series expose as
+// gauges. Series sharing a base name are grouped under one TYPE comment.
+func (r *Registry) WriteProm(w io.Writer) error {
+	order, counters, gauges, hists, funcs, collectors := r.snapshot()
+
+	typed := make(map[string]bool)
+	typeLine := func(base, typ string) string {
+		if typed[base] {
+			return ""
+		}
+		typed[base] = true
+		return fmt.Sprintf("# TYPE %s %s\n", base, typ)
+	}
+
+	var b strings.Builder
+	for _, name := range order {
+		base, labels := splitName(name)
+		switch {
+		case counters[name] != nil:
+			b.WriteString(typeLine(base, "counter"))
+			fmt.Fprintf(&b, "%s%s %d\n", base, joinLabels(labels, ""), counters[name].Value())
+		case gauges[name] != nil:
+			b.WriteString(typeLine(base, "gauge"))
+			fmt.Fprintf(&b, "%s%s %d\n", base, joinLabels(labels, ""), gauges[name].Value())
+		case hists[name] != nil:
+			b.WriteString(typeLine(base, "histogram"))
+			s := hists[name].Snapshot()
+			var cum int64
+			for i, cnt := range s.Buckets {
+				cum += cnt
+				if cnt == 0 && i < histBuckets-1 {
+					continue // keep the exposition compact: only occupied buckets plus +Inf
+				}
+				if i == histBuckets-1 {
+					break
+				}
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", base, joinLabels(labels, fmt.Sprintf("le=%q", fmt.Sprint(bucketBound(i)))), cum)
+			}
+			fmt.Fprintf(&b, "%s_bucket%s %d\n", base, joinLabels(labels, `le="+Inf"`), s.Count)
+			fmt.Fprintf(&b, "%s_sum%s %d\n", base, joinLabels(labels, ""), s.Sum)
+			fmt.Fprintf(&b, "%s_count%s %d\n", base, joinLabels(labels, ""), s.Count)
+		case funcs[name] != nil:
+			b.WriteString(typeLine(base, "gauge"))
+			fmt.Fprintf(&b, "%s%s %g\n", base, joinLabels(labels, ""), funcs[name]())
+		}
+	}
+
+	// Collected series render after the static ones, sorted for a stable
+	// exposition (collector emission order is the collector's business).
+	var lines []string
+	emit := func(name string, value float64) {
+		base, labels := splitName(name)
+		lines = append(lines, fmt.Sprintf("%s%s %g\n", base, joinLabels(labels, ""), value))
+	}
+	for _, fn := range collectors {
+		fn(emit)
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		b.WriteString(l)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -42,6 +42,7 @@ import (
 	"repro/internal/cgm"
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/obs"
 )
 
 // ErrClosed is returned by mutations submitted after Close.
@@ -89,6 +90,11 @@ type Config struct {
 	// default: the durability unit is then the OS page cache, exactly
 	// like an LSM store running without wal_fsync.
 	SyncWAL bool
+	// Obs, when set, receives the store's state as live series — level /
+	// memtable / shadow / live-point gauges, data-version epoch, flush
+	// and compaction counters — plus timing histograms for compaction
+	// builds, WAL appends, and checkpoints. Nil disables publishing.
+	Obs *obs.Registry
 }
 
 func (cfg Config) withDefaults() Config {
@@ -212,9 +218,39 @@ func Open(dir string, cfg Config) (*Store, error) {
 	if s.cfg.Dims < 1 {
 		return nil, ErrNoDims
 	}
+	if reg := s.cfg.Obs; reg != nil {
+		// The whole Stats surface as scrape-time series: cheap (one
+		// snapshot per scrape) and always consistent with Stats().
+		reg.Collect(func(emit obs.Emit) {
+			st := s.Stats()
+			emit("store_seq", float64(st.Seq))
+			emit("store_live_points", float64(st.Live))
+			emit("store_levels", float64(st.Levels))
+			emit("store_memtable_pending", float64(st.Memtable))
+			emit("store_shadow_pending", float64(st.Shadow))
+			emit("store_flushes_total", float64(st.Flushes))
+			emit("store_compactions_total", float64(st.Compactions))
+			emit("store_wal_records_total", float64(st.WALRecords))
+			emit("store_checkpoints_total", float64(st.Checkpoints))
+			emit("store_bulk_loads_total", float64(st.BulkLoads))
+			emit("store_bulk_points_total", float64(st.BulkPoints))
+			healthy := 1.0
+			if st.CompactErr != "" || st.QueryErr != "" {
+				healthy = 0
+			}
+			emit("store_healthy", healthy)
+		})
+	}
 	s.publishLocked() // initial version (no lock needed: not shared yet)
 	go s.compactor()
 	return s, nil
+}
+
+// observeNanos records a duration histogram when a registry is wired.
+func (s *Store) observeNanos(name string, ns int64) {
+	if s.cfg.Obs != nil {
+		s.cfg.Obs.Histogram(name).Observe(ns)
+	}
 }
 
 // Close stops the compactor (finishing any pending pass) and closes the
@@ -353,10 +389,12 @@ func (s *Store) mutate(op byte, pts []geom.Point, logIt bool) (uint64, error) {
 		}
 	}
 	if logIt && s.wal != nil {
+		walStart := time.Now()
 		if err := s.wal.append(op, pts); err != nil {
 			s.mu.Unlock()
 			return 0, err
 		}
+		s.observeNanos("store_wal_append_ns", time.Since(walStart).Nanoseconds())
 		s.walRecords.Add(1)
 	}
 	switch op {
@@ -586,6 +624,7 @@ func (s *Store) compactPass() bool {
 			return false
 		}
 		wall := time.Since(start)
+		s.observeNanos("store_compact_build_ns", wall.Nanoseconds())
 		s.buildNanos.Add(wall.Nanoseconds())
 		if w := wall.Nanoseconds(); w > s.maxBuildNanos.Load() {
 			s.maxBuildNanos.Store(w)

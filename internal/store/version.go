@@ -90,6 +90,13 @@ func (v *Version) Levels() int {
 // instead of panicking the calling goroutine; the store keeps accepting
 // mutations, and compaction rebuilds levels on fresh machines.
 func Mixed[T any](v *Version, ops []core.MixedOp, boxes []geom.Box) ([]core.MixedResult[T], error) {
+	return MixedTraced[T](v, ops, boxes, 0)
+}
+
+// MixedTraced is Mixed with a query-trace ID: each level's machine runs
+// with the ID stamped on its exchanges so worker-side spans attribute
+// back to the originating batch. Trace 0 means untraced.
+func MixedTraced[T any](v *Version, ops []core.MixedOp, boxes []geom.Box, trace uint64) ([]core.MixedResult[T], error) {
 	if len(ops) != len(boxes) {
 		panic("store: ops and boxes disagree in length")
 	}
@@ -118,7 +125,12 @@ func Mixed[T any](v *Version, ops []core.MixedOp, boxes []geom.Box) ([]core.Mixe
 			if l == nil {
 				continue
 			}
-			for i, r := range core.MixedBatch[T](l, nil, ops, boxes) {
+			// queryMu makes the machine exclusively ours, so the trace
+			// stamp cannot interleave with another batch's.
+			l.SetTrace(trace)
+			res := core.MixedBatch[T](l, nil, ops, boxes)
+			l.SetTrace(0)
+			for i, r := range res {
 				out[i].Count += r.Count
 				out[i].Pts = append(out[i].Pts, r.Pts...)
 			}

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/geom"
@@ -287,6 +288,7 @@ func (s *Store) Checkpoint() error {
 	}
 	s.checkpointMu.Lock()
 	defer s.checkpointMu.Unlock()
+	cpStart := time.Now()
 
 	s.mu.Lock()
 	if s.closed {
@@ -347,6 +349,7 @@ func (s *Store) Checkpoint() error {
 	if err := os.Rename(tmp, filepath.Join(s.dir, checkpointName)); err != nil {
 		return fmt.Errorf("store: installing checkpoint: %w", err)
 	}
+	s.observeNanos("store_checkpoint_ns", time.Since(cpStart).Nanoseconds())
 	// The rename is the commit point; superseded segments can go.
 	seqs, err := segments(s.dir)
 	if err != nil {

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/cgm"
 	"repro/internal/exec"
+	"repro/internal/obs"
 )
 
 // Cluster is a cgm.Provider backed by remote workers: every machine it
@@ -68,12 +69,35 @@ func DialCluster(addrs []string, cfg cgm.Config) (*Cluster, error) {
 	if _, err := rand.Read(nb[:]); err != nil {
 		return nil, fmt.Errorf("transport: session nonce: %w", err)
 	}
-	return &Cluster{
+	c := &Cluster{
 		addrs: append([]string(nil), addrs...),
 		cfg:   cfg,
 		nonce: hex.EncodeToString(nb[:]),
 		open:  make(map[string]*tcpTransport),
-	}, nil
+	}
+	if cfg.Obs != nil {
+		// Coordinator-side wire traffic as live series: per-frame-kind
+		// counts/bytes plus the raw coordinator byte totals (the resident-
+		// mode headline number) and the open-session gauge.
+		cfg.Obs.Collect(func(emit obs.Emit) {
+			for k, st := range c.kc.snapshot() {
+				emit(fmt.Sprintf("coord_frames_total{kind=%q}", k), float64(st.Frames))
+				emit(fmt.Sprintf("coord_frame_bytes_total{kind=%q}", k), float64(st.Bytes))
+			}
+			out, in := c.CoordBytes()
+			emit("coord_bytes_out_total", float64(out))
+			emit("coord_bytes_in_total", float64(in))
+			emit("coord_sessions_open", float64(c.Open()))
+		})
+	}
+	return c, nil
+}
+
+// Open reports the number of live sessions (open machines).
+func (c *Cluster) Open() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.open)
 }
 
 // P reports the cluster width (one rank per worker).
@@ -216,7 +240,7 @@ func (t *tcpTransport) Exchange(rank int, dep cgm.Deposit) (cgm.Column, error) {
 	// retains the self-addressed block, so ~2/p of a balanced
 	// all-to-all's bytes never touch the wire.
 	err := wc.write(&frame{Kind: kindDeposit, Session: t.session, Rank: rank,
-		Seq: dep.Seq, Stamp: dep.Stamp, Type: dep.Type, blocks: dep.Blocks})
+		Seq: dep.Seq, Stamp: dep.Stamp, Type: dep.Type, Trace: dep.Trace, blocks: dep.Blocks})
 	if err != nil {
 		return cgm.Column{}, t.connErr(rank, err)
 	}
@@ -232,6 +256,7 @@ func (t *tcpTransport) Exchange(rank int, dep cgm.Deposit) (cgm.Column, error) {
 		if len(resp.blocks) != t.p {
 			return cgm.Column{}, fmt.Errorf("transport: worker %d returned %d column blocks for %d ranks", rank, len(resp.blocks), t.p)
 		}
+		t.cl.cfg.Tracer.AddAll(resp.Spans)
 		return cgm.Column{Blocks: resp.blocks}, nil
 	case kindError:
 		return cgm.Column{}, errors.New(resp.Err)
@@ -245,7 +270,7 @@ func (t *tcpTransport) Exchange(rank int, dep cgm.Deposit) (cgm.Column, error) {
 func (t *tcpTransport) ExchangeResident(rank int, dep cgm.ResidentDeposit) (cgm.ResidentReply, error) {
 	wc := t.conns[rank]
 	fr := &frame{Kind: kindDeposit, Session: t.session, Rank: rank,
-		Seq: dep.Seq, Stamp: dep.Stamp, Type: dep.Type, blocks: dep.Blocks,
+		Seq: dep.Seq, Stamp: dep.Stamp, Type: dep.Type, Trace: dep.Trace, blocks: dep.Blocks,
 		Collect: wireRef(*dep.Collect, dep.CollectArgs)}
 	if dep.Emit != nil {
 		fr.Call = wireRef(*dep.Emit, dep.EmitArgs)
@@ -266,6 +291,7 @@ func (t *tcpTransport) ExchangeResident(rank int, dep cgm.ResidentDeposit) (cgm.
 		if dep.Emit != nil {
 			rep.Sent = resp.Sent // counted by the emit step
 		}
+		t.cl.cfg.Tracer.AddAll(resp.Spans)
 		return rep, nil
 	case kindError:
 		return cgm.ResidentReply{}, errors.New(resp.Err)

@@ -49,6 +49,7 @@ import (
 	"time"
 
 	"repro/internal/exec"
+	"repro/internal/obs"
 )
 
 // maxFrame bounds a single frame (1 GiB) so a corrupt length prefix
@@ -132,6 +133,12 @@ type frame struct {
 	Note    []byte   // resident Column: the emit step's note
 	Sent    int      // resident Column: emit-side element count
 	Recv    int      // resident Column: collect-side element count
+	// Trace is the machine's trace stamp for this superstep (Deposit; 0 =
+	// untraced) and Spans the worker-side spans it produced (Column).
+	// Both are zero-valued on the untraced hot path, which gob omits
+	// entirely — tracing costs no wire bytes until a query is traced.
+	Trace uint64
+	Spans []obs.Span
 
 	// blocks is the frame's payload (Deposit: p blocks; Block: 1;
 	// Column: p). Unexported on purpose: gob skips it, and the framing

@@ -1,0 +1,261 @@
+package transport_test
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cgm"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// traceSetup builds a machine of the given transport/residency cell with
+// a fresh registry and tracer wired in.
+func traceSetup(t *testing.T, tcp, resident bool, p int) (*cgm.Machine, *obs.Tracer) {
+	t.Helper()
+	tracer := obs.NewTracer()
+	cfg := cgm.Config{P: p, Resident: resident, Obs: obs.NewRegistry(), Tracer: tracer}
+	if !tcp {
+		return cgm.New(cfg), tracer
+	}
+	cl := startCluster(t, p, cfg)
+	mach, err := cl.NewMachine()
+	if err != nil {
+		t.Fatalf("NewMachine: %v", err)
+	}
+	return mach, tracer
+}
+
+// TestTraceMatrix checks that a query batch's trace ID survives every
+// transport × residency combination — spans come back attributed to the
+// right trace — and that tracing never changes the answers.
+func TestTraceMatrix(t *testing.T) {
+	const p, n, m = 4, 1 << 10, 16
+	pts := workload.Points(workload.PointSpec{N: n, Dims: 2, Dist: workload.Clustered, Seed: 3})
+	boxes := workload.Boxes(workload.QuerySpec{M: m, Dims: 2, N: n, Selectivity: 0.05, Seed: 5})
+
+	// Untraced baseline on a plain loopback machine.
+	base := core.Build(cgm.New(cgm.Config{P: p}), pts).CountBatch(boxes)
+
+	for _, tc := range []struct {
+		name          string
+		tcp, resident bool
+	}{
+		{"loopback/fabric", false, false},
+		{"loopback/resident", false, true},
+		{"tcp/fabric", true, false},
+		{"tcp/resident", true, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			mach, tracer := traceSetup(t, tc.tcp, tc.resident, p)
+			dt := core.Build(mach, pts)
+			id := tracer.NewID()
+			dt.SetTrace(id)
+			counts := dt.CountBatch(boxes)
+			dt.SetTrace(0)
+			for i := range counts {
+				if counts[i] != base[i] {
+					t.Fatalf("query %d: traced count %d != untraced %d", i, counts[i], base[i])
+				}
+			}
+			spans := tracer.Spans(id)
+			if len(spans) == 0 {
+				t.Fatalf("trace %d recorded no spans", id)
+			}
+			var coord, worker int
+			for _, s := range spans {
+				if s.Trace != id {
+					t.Fatalf("span %q carries trace %d, want %d", s.Name, s.Trace, id)
+				}
+				if s.Rank == obs.CoordRank {
+					coord++
+				} else {
+					worker++
+				}
+			}
+			if coord == 0 {
+				t.Errorf("no coordinator spans in trace %d", id)
+			}
+			// Worker-side spans exist wherever there is a worker side to
+			// stamp: worker processes (TCP) or resident rank stores.
+			if (tc.tcp || tc.resident) && worker == 0 {
+				t.Errorf("no worker spans in trace %d (%d coordinator spans)", id, coord)
+			}
+			// A later batch under a fresh ID must not inherit these spans.
+			id2 := tracer.NewID()
+			dt.SetTrace(id2)
+			dt.CountBatch(boxes[:1])
+			dt.SetTrace(0)
+			for _, s := range tracer.Spans(id2) {
+				if s.Trace != id2 {
+					t.Fatalf("second batch span %q carries trace %d, want %d", s.Name, s.Trace, id2)
+				}
+			}
+			if got := len(tracer.Spans(id)); got != len(spans) {
+				t.Errorf("first trace grew from %d to %d spans after second batch", len(spans), got)
+			}
+		})
+	}
+}
+
+// scrapeSeries fetches one series value from a Prometheus text endpoint.
+func scrapeSeries(t *testing.T, url, series string) (float64, bool) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				t.Fatalf("series %s: parsing %q: %v", series, rest, err)
+			}
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// TestWorkerScrapeWhileServing runs query batches on a live cluster
+// while scraping every worker's debug endpoint: scrapes must always
+// succeed, counters must be monotone, and /healthz must report the
+// serving sessions. Run under -race this also proves scrapes never tear
+// the registry.
+func TestWorkerScrapeWhileServing(t *testing.T) {
+	const p, n = 4, 1 << 10
+	workers := make([]*transport.Worker, p)
+	addrs := make([]string, p)
+	debugURLs := make([]string, p)
+	for i := range workers {
+		w, err := transport.ListenAndServe("127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+		t.Cleanup(func() { w.Close() })
+		da, err := w.EnableDebug("127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("worker %d debug: %v", i, err)
+		}
+		workers[i] = w
+		addrs[i] = w.Addr()
+		debugURLs[i] = "http://" + da
+	}
+	cl, err := transport.DialCluster(addrs, cgm.Config{Resident: true})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { cl.Close() })
+
+	pts := workload.Points(workload.PointSpec{N: n, Dims: 2, Dist: workload.Uniform, Seed: 11})
+	boxes := workload.Boxes(workload.QuerySpec{M: 8, Dims: 2, N: n, Selectivity: 0.05, Seed: 13})
+	mach, err := cl.NewMachine()
+	if err != nil {
+		t.Fatalf("NewMachine: %v", err)
+	}
+	dt := core.Build(mach, pts)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				dt.CountBatch(boxes)
+			}
+		}
+	}()
+
+	last := make([]float64, p)
+	for round := 0; round < 5; round++ {
+		for i, base := range debugURLs {
+			v, ok := scrapeSeries(t, base+"/metrics", "worker_supersteps_total")
+			if !ok {
+				t.Fatalf("worker %d: worker_supersteps_total missing", i)
+			}
+			if v < last[i] {
+				t.Fatalf("worker %d: worker_supersteps_total went backwards: %v -> %v", i, last[i], v)
+			}
+			last[i] = v
+
+			resp, err := http.Get(base + "/healthz")
+			if err != nil {
+				t.Fatalf("worker %d healthz: %v", i, err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("worker %d healthz: status %d", i, resp.StatusCode)
+			}
+			if !strings.Contains(string(body), `"sessions": 1`) {
+				t.Fatalf("worker %d healthz: want 1 session, got %s", i, body)
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	for i := range last {
+		if last[i] == 0 {
+			t.Errorf("worker %d never counted a superstep", i)
+		}
+	}
+}
+
+// TestWorkerDebugListenerCloses checks Worker.Close tears the debug HTTP
+// listener down with it: the endpoint stops answering and its goroutines
+// exit (a goleak-style bound, since the serve goroutine is joined).
+func TestWorkerDebugListenerCloses(t *testing.T) {
+	before := runtime.NumGoroutine()
+	w, err := transport.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+	da, err := w.EnableDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("debug: %v", err)
+	}
+	if _, ok := scrapeSeries(t, "http://"+da+"/metrics", "worker_sessions"); !ok {
+		t.Fatalf("worker_sessions missing from live scrape")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := http.Get(fmt.Sprintf("http://%s/metrics", da)); err == nil {
+		t.Fatalf("debug endpoint still answering after Close")
+	}
+	// The HTTP keep-alive machinery needs a beat to wind down; insist the
+	// goroutine count returns near the pre-worker baseline.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before worker, %d after close", before, runtime.NumGoroutine())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// EnableDebug on a closed worker must refuse rather than leak.
+	if _, err := w.EnableDebug("127.0.0.1:0"); err == nil {
+		t.Fatalf("EnableDebug succeeded on a closed worker")
+	}
+}

@@ -4,10 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/exec"
+	"repro/internal/obs"
 )
 
 // Worker is one node of the multicomputer: a TCP listener that plays one
@@ -28,8 +30,11 @@ type Worker struct {
 	sessions map[string]*session
 	conns    map[net.Conn]struct{} // every accepted conn still being served
 	closed   bool
+	admin    *obs.Admin
 
-	kc kindCounters
+	kc    kindCounters
+	reg   *obs.Registry
+	epoch time.Time
 
 	wg sync.WaitGroup
 }
@@ -41,10 +46,70 @@ func ListenAndServe(addr string) (*Worker, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: worker listen %s: %w", addr, err)
 	}
-	w := &Worker{ln: ln, sessions: make(map[string]*session), conns: make(map[net.Conn]struct{})}
+	w := &Worker{ln: ln, sessions: make(map[string]*session), conns: make(map[net.Conn]struct{}),
+		reg: obs.NewRegistry(), epoch: time.Now()}
+	w.reg.Func("worker_sessions", func() float64 { return float64(w.Sessions()) })
+	w.reg.Collect(func(emit obs.Emit) {
+		for k, st := range w.kc.snapshot() {
+			emit(fmt.Sprintf("worker_frames_total{kind=%q}", k), float64(st.Frames))
+			emit(fmt.Sprintf("worker_frame_bytes_total{kind=%q}", k), float64(st.Bytes))
+		}
+	})
 	w.wg.Add(1)
 	go w.acceptLoop()
 	return w, nil
+}
+
+// Obs returns the worker's metrics registry: per-frame-kind traffic,
+// session count, and superstep counters/latency, live.
+func (w *Worker) Obs() *obs.Registry { return w.reg }
+
+// now is the worker's span clock: nanoseconds since the worker started.
+func (w *Worker) now() int64 { return int64(time.Since(w.epoch)) }
+
+// EnableDebug mounts the worker's admin HTTP server (metrics, healthz,
+// expvar, pprof) on addr and returns the bound address. The listener is
+// owned by the worker: Worker.Close shuts it down synchronously.
+func (w *Worker) EnableDebug(addr string) (string, error) {
+	a, err := obs.ServeAdmin(addr, w.reg, w.health)
+	if err != nil {
+		return "", err
+	}
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		a.Close()
+		return "", errors.New("transport: worker closed")
+	}
+	w.admin = a
+	w.mu.Unlock()
+	return a.Addr(), nil
+}
+
+// health is the /healthz snapshot: the worker's listen address, live
+// session count, and the rank each session plays (sorted for stable
+// output), so an operator can see at a glance which machines touch this
+// node and as which rank.
+func (w *Worker) health() any {
+	w.mu.Lock()
+	type sessInfo struct {
+		ID   string `json:"id"`
+		Rank int    `json:"rank"`
+		P    int    `json:"p"`
+	}
+	infos := make([]sessInfo, 0, len(w.sessions))
+	for id, s := range w.sessions {
+		infos = append(infos, sessInfo{ID: id, Rank: s.rank, P: s.p})
+	}
+	closed := w.closed
+	w.mu.Unlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
+	return map[string]any{
+		"addr":     w.Addr(),
+		"closed":   closed,
+		"sessions": len(infos),
+		"ranks":    infos,
+	}
 }
 
 // Addr reports the worker's bound listen address.
@@ -62,6 +127,8 @@ func (w *Worker) Close() error {
 		return nil
 	}
 	w.closed = true
+	admin := w.admin
+	w.admin = nil
 	live := make([]*session, 0, len(w.sessions))
 	for _, s := range w.sessions {
 		live = append(live, s)
@@ -75,6 +142,7 @@ func (w *Worker) Close() error {
 		conns = append(conns, c)
 	}
 	w.mu.Unlock()
+	admin.Close() // synchronous: the debug listener's goroutine is gone after this
 	err := w.ln.Close()
 	for _, s := range live {
 		s.shutdown()
@@ -195,6 +263,7 @@ func (w *Worker) runSession(fc *fconn, open *frame) {
 		outs:  make([]*fconn, len(open.Peers)),
 		quit:  make(chan struct{}),
 	}
+	s.store.SetObs(w.reg)
 	w.mu.Lock()
 	if w.closed {
 		w.mu.Unlock()
@@ -282,16 +351,31 @@ func (w *Worker) runSession(fc *fconn, open *frame) {
 // counts. Sends run on their own goroutine so two workers shipping large
 // blocks to each other cannot deadlock on full TCP buffers.
 func (s *session) superstep(dep *frame) error {
+	stepStart := s.w.now()
+	// Worker-side spans for a traced superstep ride back on the column
+	// frame. They are appended only from this goroutine: the route
+	// goroutine's window is published through sendErr (the channel receive
+	// orders its writes before the append).
+	var spans []obs.Span
+	span := func(name string, start, end int64) {
+		if dep.Trace == 0 {
+			return
+		}
+		spans = append(spans, obs.Span{Trace: dep.Trace, Stamp: int64(dep.Seq),
+			Name: name, Rank: s.rank, Start: start, Dur: end - start})
+	}
 	blocks := dep.blocks
 	typ := dep.Type
 	sent := 0
 	var selfPayload any
 	var note []byte
 	if dep.Call != nil { // resident emit
+		t0 := s.w.now()
 		out, err := s.store.RunEmit(s.rank, s.p, dep.Call.execRef(), dep.Call.Args)
 		if err != nil {
 			return err
 		}
+		span("emit:"+dep.Call.Step, t0, s.w.now())
 		blocks, typ, selfPayload, note = out.Blocks, out.Type, out.Self, out.Note
 		for _, c := range out.Counts {
 			sent += c
@@ -301,7 +385,9 @@ func (s *session) superstep(dep *frame) error {
 		return fmt.Errorf("transport: deposit carries %d blocks for %d ranks", len(blocks), s.p)
 	}
 	sendErr := make(chan error, 1)
+	var routeStart, routeEnd int64
 	go func() {
+		routeStart = s.w.now()
 		for j := range s.peers {
 			if j == s.rank {
 				continue
@@ -316,9 +402,11 @@ func (s *session) superstep(dep *frame) error {
 				return
 			}
 		}
+		routeEnd = s.w.now()
 		sendErr <- nil
 	}()
 
+	gatherStart := s.w.now()
 	column := make([][]byte, s.p)
 	// The self-addressed slot: nil for a fabric deposit (the coordinator
 	// retains its own block) and for a resident emit (the payload stays
@@ -354,19 +442,28 @@ func (s *session) superstep(dep *frame) error {
 			return errors.New("transport: worker shutting down")
 		}
 	}
+	span("gather", gatherStart, s.w.now())
 	if err := <-sendErr; err != nil {
 		return err
 	}
+	span("route", routeStart, routeEnd)
+	defer func() {
+		s.w.reg.Counter("worker_supersteps_total").Inc()
+		s.w.reg.Histogram("worker_superstep_ns").Observe(s.w.now() - stepStart)
+	}()
 	if dep.Collect != nil { // resident collect
+		t0 := s.w.now()
 		reply, recv, err := s.store.RunCollect(s.rank, s.p, dep.Collect.execRef(),
 			&exec.Inbox{Blocks: column, Self: selfPayload}, dep.Collect.Args)
 		if err != nil {
 			return err
 		}
+		span("collect:"+dep.Collect.Step, t0, s.w.now())
 		return s.coord.write(&frame{Kind: kindColumn, Session: s.id, Seq: dep.Seq, Stamp: dep.Stamp,
-			Reply: reply, Note: note, Sent: sent, Recv: recv})
+			Reply: reply, Note: note, Sent: sent, Recv: recv, Spans: spans})
 	}
-	return s.coord.write(&frame{Kind: kindColumn, Session: s.id, Seq: dep.Seq, Stamp: dep.Stamp, blocks: column})
+	return s.coord.write(&frame{Kind: kindColumn, Session: s.id, Seq: dep.Seq, Stamp: dep.Stamp,
+		blocks: column, Spans: spans})
 }
 
 // peerConn returns the directed block conn to peer j, dialing and

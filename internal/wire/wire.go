@@ -278,3 +278,17 @@ func Stats() Counters {
 		GobDecBlocks: counters.gobDecBlocks.Load(),
 	}
 }
+
+// EmitStats writes the codec counters through emit as labeled series.
+// Its signature matches the obs registry's collector callback, so
+// wiring the codec into a metrics endpoint is one line —
+// reg.Collect(wire.EmitStats) — without this package importing obs.
+func EmitStats(emit func(name string, v float64)) {
+	c := Stats()
+	emit(`wire_codec_blocks_total{codec="raw",dir="enc"}`, float64(c.RawEncBlocks))
+	emit(`wire_codec_blocks_total{codec="gob",dir="enc"}`, float64(c.GobEncBlocks))
+	emit(`wire_codec_blocks_total{codec="raw",dir="dec"}`, float64(c.RawDecBlocks))
+	emit(`wire_codec_blocks_total{codec="gob",dir="dec"}`, float64(c.GobDecBlocks))
+	emit(`wire_codec_bytes_total{codec="raw"}`, float64(c.RawEncBytes))
+	emit(`wire_codec_bytes_total{codec="gob"}`, float64(c.GobEncBytes))
+}
