@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"repro/internal/cgm"
@@ -29,23 +30,49 @@ type IngestLoadRecord struct {
 	CoordBytesPerPoint float64 `json:"coord_bytes_per_point"`
 }
 
-// IngestStreamRecord measures the open-loop streaming client (chunks
-// through the coordinator, bounded in-flight window) with a serving tree
-// answering single-query batches on the same cluster throughout.
+// IngestStreamRecord compares the two streaming clients on the same
+// stream: the coordinator funnel (one synchronous resident call per
+// chunk over the session connections) against the rank-parallel direct
+// feeds (p independent connections, windowed in-flight chunks). Rates
+// are STAGING rates — reader through last acknowledgement — not
+// build-inclusive, since the level construct after staging is identical
+// on both paths. SpeedupX reflects how much feed pipelining and
+// per-rank sockets buy on this host: round-trip stalls and cross-rank
+// encode/decode overlap, so it grows with core count and network
+// latency and can sit near 1 on a single-core CPU-bound box.
 type IngestStreamRecord struct {
-	N            int     `json:"n"`
-	Chunk        int     `json:"chunk"`
-	Window       int     `json:"window"`
+	N                  int     `json:"n"`
+	Chunk              int     `json:"chunk"`
+	Window             int     `json:"window"`
+	FunnelStageMs      float64 `json:"funnel_stage_ms"`
+	FunnelPtsPerSec    float64 `json:"funnel_points_per_sec"`
+	ParallelStageMs    float64 `json:"parallel_stage_ms"`
+	ParallelPtsPerSec  float64 `json:"parallel_points_per_sec"`
+	SpeedupX           float64 `json:"speedup_x"`
+	ParallelFeedCalls  int64   `json:"parallel_feed_calls"`
+	ParallelFeedPoints int64   `json:"parallel_feed_points"`
+}
+
+// IngestServeRecord is one row of the QoS sweep: a rank-parallel
+// streaming load at one MaxShare setting with an open-loop probe
+// running for the whole of the load. Samples are split by load phase,
+// because MaxShare governs ingest STAGING: DuringP50Us is serve latency
+// while the governed feeds are staging (the latency the QoS knob
+// controls), BuildP50Us while the ungoverned level construct runs.
+type IngestServeRecord struct {
+	Share        float64 `json:"share"` // 0 = uncapped
 	IngestMs     float64 `json:"ingest_ms"`
-	PointsPerSec float64 `json:"points_per_sec"`
-	// Serve latency percentiles for single-count queries against an
-	// already-resident tree: idle baseline vs concurrent with the ingest.
-	IdleP50Us    float64 `json:"serve_idle_p50_us"`
-	IdleP99Us    float64 `json:"serve_idle_p99_us"`
+	StageMs      float64 `json:"stage_ms"`
+	PointsPerSec float64 `json:"stage_points_per_sec"`
 	DuringP50Us  float64 `json:"serve_during_p50_us"`
 	DuringP99Us  float64 `json:"serve_during_p99_us"`
-	QueriesIdle  int     `json:"queries_idle"`
-	QueriesConcu int     `json:"queries_during"`
+	QueriesStage int     `json:"queries_during_stage"`
+	BuildP50Us   float64 `json:"serve_build_p50_us"`
+	BuildP99Us   float64 `json:"serve_build_p99_us"`
+	QueriesBuild int     `json:"queries_during_build"`
+	// ThrottleWaits is the worker-side governor's sleep count for this
+	// load (delta summed over workers); zero on the uncapped row.
+	ThrottleWaits int64 `json:"throttle_waits"`
 }
 
 // IngestRecord is the machine-readable record of the ingest benchmark
@@ -60,6 +87,16 @@ type IngestRecord struct {
 	Loads        []IngestLoadRecord `json:"loads"`
 	CoordGrowthX float64            `json:"coord_growth_x"`
 	Stream       IngestStreamRecord `json:"stream"`
+	// Serve latency baseline (no load running, same open-loop probe) and
+	// the QoS sweep rows. ProbeIntervalUs is calibrated to ~4x the idle
+	// closed-loop service time so the open-loop schedule is feasible when
+	// the cluster is healthy — backlog then measures load-induced stalls,
+	// not a probe rate the host could never sustain.
+	ProbeIntervalUs float64             `json:"probe_interval_us"`
+	IdleP50Us       float64             `json:"serve_idle_p50_us"`
+	IdleP99Us       float64             `json:"serve_idle_p99_us"`
+	QueriesIdle     int                 `json:"queries_idle"`
+	Serve           []IngestServeRecord `json:"serve"`
 }
 
 // usQuantile reads a latency quantile in microseconds from a
@@ -68,7 +105,7 @@ func usQuantile(s obs.HistSnapshot, q float64) float64 {
 	return s.Quantile(q) / 1e3
 }
 
-// runIngestBench measures worker-direct ingest on a 4-worker resident
+// runIngestBench measures worker-direct ingest on a p-worker resident
 // localhost cluster.
 func runIngestBench(n, p int) (*IngestRecord, error) {
 	rec := &IngestRecord{Experiment: "ingest", Dims: 2, P: p}
@@ -83,7 +120,8 @@ func runIngestBench(n, p int) (*IngestRecord, error) {
 		workers[i] = w
 		addrs[i] = w.Addr()
 	}
-	cl, err := transport.DialCluster(addrs, cgm.Config{Resident: true})
+	reg := obs.NewRegistry()
+	cl, err := transport.DialCluster(addrs, cgm.Config{Resident: true, Obs: reg})
 	if err != nil {
 		return nil, err
 	}
@@ -132,8 +170,99 @@ func runIngestBench(n, p int) (*IngestRecord, error) {
 		rec.CoordGrowthX = float64(rec.Loads[1].CoordBytes) / float64(rec.Loads[0].CoordBytes)
 	}
 
-	// Open-loop streaming load with a concurrent serving workload.
-	const chunk, window, serveN, serveM = 1024, 4, 1 << 12, 256
+	// Streaming fixtures. The stream is sized so staging busy time per
+	// rank comfortably exceeds the governor's free burst (the capped
+	// sweep rows must actually throttle), and the chunk is small enough
+	// that per-chunk round-trip overhead is a real cost for the funnel
+	// to pay and the feeds to pipeline away.
+	const chunk, window, serveN, serveM = 256, 4, 1 << 12, 256
+	streamN := 16 * n
+	streamPts := workload.Points(workload.PointSpec{N: streamN, Dims: 2, Dist: workload.Clustered, Seed: 23})
+
+	stageWall := func() time.Duration {
+		return time.Duration(reg.Counter("ingest_stage_wall_ns_total").Value())
+	}
+	fedPoints := func() (points int64) {
+		for r := 0; r < p; r++ {
+			points += reg.Counter(fmt.Sprintf(`ingest_feed_points_total{rank="%d"}`, r)).Value()
+		}
+		return points
+	}
+	feedCalls := func() (calls int64) {
+		for r := 0; r < p; r++ {
+			calls += workers[r].Obs().Counter(fmt.Sprintf(`worker_feed_calls_total{rank="%d"}`, r)).Value()
+		}
+		return calls
+	}
+	throttles := func() (waits int64) {
+		for _, w := range workers {
+			waits += w.Obs().Counter("worker_ingest_throttle_waits_total").Value()
+		}
+		return waits
+	}
+	runLoad := func(cfg core.IngestConfig) (stage, whole time.Duration, err error) {
+		mach, err := cl.NewMachine()
+		if err != nil {
+			return 0, 0, err
+		}
+		s0 := stageWall()
+		t0 := time.Now()
+		tree, err := core.BulkLoadWith(mach, core.SliceChunks(streamPts, chunk), core.BackendLayered, cfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		whole = time.Since(t0)
+		tree.Machine().Close()
+		return stageWall() - s0, whole, nil
+	}
+
+	// settle drains the previous construct's garbage so its collection
+	// pauses are not billed to the next timed leg — on a small host one
+	// build's churn can otherwise swing the next measurement several-fold.
+	settle := func() {
+		runtime.GC()
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// Funnel vs rank-parallel staging rate on the identical stream, best
+	// of two alternated runs each.
+	timedLoad := func(cfg core.IngestConfig, what string) (time.Duration, error) {
+		best := time.Duration(0)
+		for rep := 0; rep < 2; rep++ {
+			settle()
+			stage, _, err := runLoad(cfg)
+			if err != nil {
+				return 0, fmt.Errorf("%s stream load: %w", what, err)
+			}
+			if best == 0 || stage < best {
+				best = stage
+			}
+		}
+		return best, nil
+	}
+	funnelStage, err := timedLoad(core.IngestConfig{Window: window, Funnel: true}, "funnel")
+	if err != nil {
+		return nil, err
+	}
+	calls0, points0 := feedCalls(), fedPoints()
+	parStage, err := timedLoad(core.IngestConfig{Window: window}, "parallel")
+	if err != nil {
+		return nil, err
+	}
+	rec.Stream = IngestStreamRecord{
+		N: streamN, Chunk: chunk, Window: window,
+		FunnelStageMs:      float64(funnelStage.Microseconds()) / 1e3,
+		FunnelPtsPerSec:    float64(streamN) / funnelStage.Seconds(),
+		ParallelStageMs:    float64(parStage.Microseconds()) / 1e3,
+		ParallelPtsPerSec:  float64(streamN) / parStage.Seconds(),
+		ParallelFeedCalls:  (feedCalls() - calls0) / 2, // per rep; two reps ran
+		ParallelFeedPoints: (fedPoints() - points0) / 2,
+	}
+	if funnelStage > 0 && parStage > 0 {
+		rec.Stream.SpeedupX = funnelStage.Seconds() / parStage.Seconds()
+	}
+
+	// Serving fixture: a resident tree answering single-count queries.
 	servePts := workload.Points(workload.PointSpec{N: serveN, Dims: 2, Dist: workload.Clustered, Seed: 13})
 	serveMach, err := cl.NewMachine()
 	if err != nil {
@@ -143,60 +272,108 @@ func runIngestBench(n, p int) (*IngestRecord, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer serveTree.Machine().Close()
 	boxes := workload.Boxes(workload.QuerySpec{M: serveM, Dims: 2, N: serveN, Selectivity: 0.02, Seed: 17})
-	// Serve latencies go through the same log-bucket histogram the
-	// serving stack exports, so the percentiles here are computed exactly
-	// as a /metrics scrape would compute them.
-	reg := obs.NewRegistry()
-	idleHist := reg.Histogram(`ingest_serve_latency_ns{phase="idle"}`)
-	duringHist := reg.Histogram(`ingest_serve_latency_ns{phase="during"}`)
-	oneQuery := func(i int, h *obs.Histogram) {
-		q0 := time.Now()
+	oneQuery := func(i int) {
 		serveTree.CountBatch(boxes[i%serveM : i%serveM+1])
-		h.Observe(time.Since(q0).Nanoseconds())
-	}
-	oneQuery(0, reg.Histogram("ingest_serve_warmup_ns")) // warm
-	for i := range serveM {
-		oneQuery(i, idleHist)
 	}
 
-	big := 2 * n
-	bigPts := workload.Points(workload.PointSpec{N: big, Dims: 2, Dist: workload.Clustered, Seed: 23})
-	ingestMach, err := cl.NewMachine()
-	if err != nil {
-		return nil, err
+	// Calibrate the open-loop probe interval: ~4x the idle closed-loop
+	// service time, floored at 5ms. An interval below the service time
+	// would make the probe itself the overload and report queueing
+	// delay even on an idle cluster.
+	settle()
+	oneQuery(0) // warm
+	calN, calT0 := 25, time.Now()
+	for i := 0; i < calN; i++ {
+		oneQuery(i)
 	}
-	done := make(chan error, 1)
-	var ingestWall time.Duration
-	go func() {
-		t0 := time.Now()
-		_, err := core.BulkLoad(ingestMach, core.SliceChunks(bigPts, chunk), core.BackendLayered, window)
-		ingestWall = time.Since(t0)
-		done <- err
-	}()
-	for i := 0; ; i++ {
-		select {
-		case err := <-done:
-			if err != nil {
-				return nil, fmt.Errorf("concurrent stream load: %w", err)
+	probeIvl := 4 * time.Since(calT0) / time.Duration(calN)
+	if probeIvl < 5*time.Millisecond {
+		probeIvl = 5 * time.Millisecond
+	}
+	if probeIvl > 50*time.Millisecond {
+		probeIvl = 50 * time.Millisecond
+	}
+	rec.ProbeIntervalUs = float64(probeIvl.Microseconds())
+
+	// Open-loop probe: queries issue on a fixed schedule and each latency
+	// is measured from its SCHEDULED time — a load-induced stall shows up
+	// as queueing delay on every query behind it instead of as fewer
+	// samples (no coordinated omission). classify routes each sample to a
+	// phase histogram at its completion.
+	probe := func(stop <-chan struct{}, classify func() *obs.Histogram) int {
+		start := time.Now()
+		for i := 0; ; i++ {
+			target := start.Add(time.Duration(i) * probeIvl)
+			if d := time.Until(target); d > 0 {
+				select {
+				case <-stop:
+					return i
+				case <-time.After(d):
+				}
+			} else {
+				select {
+				case <-stop:
+					return i
+				default:
+				}
 			}
-			idle, during := idleHist.Snapshot(), duringHist.Snapshot()
-			rec.Stream = IngestStreamRecord{
-				N: big, Chunk: chunk, Window: window,
-				IngestMs:     float64(ingestWall.Microseconds()) / 1e3,
-				PointsPerSec: float64(big) / ingestWall.Seconds(),
-				IdleP50Us:    usQuantile(idle, 0.50),
-				IdleP99Us:    usQuantile(idle, 0.99),
-				DuringP50Us:  usQuantile(during, 0.50),
-				DuringP99Us:  usQuantile(during, 0.99),
-				QueriesIdle:  int(idle.Count),
-				QueriesConcu: int(during.Count),
-			}
-			return rec, nil
-		default:
-			oneQuery(i, duringHist)
+			oneQuery(i)
+			classify().Observe(time.Since(target).Nanoseconds())
 		}
 	}
+
+	// Idle baseline over a fixed 1s window, same probe.
+	idleHist := reg.Histogram(`ingest_serve_latency_ns{phase="idle"}`)
+	idleStop := make(chan struct{})
+	time.AfterFunc(time.Second, func() { close(idleStop) })
+	rec.QueriesIdle = probe(idleStop, func() *obs.Histogram { return idleHist })
+	idle := idleHist.Snapshot()
+	rec.IdleP50Us, rec.IdleP99Us = usQuantile(idle, 0.50), usQuantile(idle, 0.99)
+
+	// The QoS sweep: the same rank-parallel load at several MaxShare
+	// settings, probed open-loop for the whole of each load. The fed-
+	// points counters mark the staging→construct phase boundary.
+	for _, share := range []float64{0, 0.25, 0.1, 0.05} {
+		settle()
+		stageH := reg.Histogram(fmt.Sprintf(`ingest_serve_latency_ns{share="%g",phase="stage"}`, share))
+		buildH := reg.Histogram(fmt.Sprintf(`ingest_serve_latency_ns{share="%g",phase="build"}`, share))
+		fedTarget := fedPoints() + int64(streamN)
+		w0 := throttles()
+		stop := make(chan struct{})
+		probeDone := make(chan struct{})
+		go func() {
+			probe(stop, func() *obs.Histogram {
+				if fedPoints() < fedTarget {
+					return stageH
+				}
+				return buildH
+			})
+			close(probeDone)
+		}()
+		stage, whole, err := runLoad(core.IngestConfig{Window: window, MaxShare: share})
+		close(stop)
+		<-probeDone
+		if err != nil {
+			return nil, fmt.Errorf("swept stream load (share=%g): %w", share, err)
+		}
+		sSnap, bSnap := stageH.Snapshot(), buildH.Snapshot()
+		rec.Serve = append(rec.Serve, IngestServeRecord{
+			Share:         share,
+			IngestMs:      float64(whole.Microseconds()) / 1e3,
+			StageMs:       float64(stage.Microseconds()) / 1e3,
+			PointsPerSec:  float64(streamN) / stage.Seconds(),
+			DuringP50Us:   usQuantile(sSnap, 0.50),
+			DuringP99Us:   usQuantile(sSnap, 0.99),
+			QueriesStage:  int(sSnap.Count),
+			BuildP50Us:    usQuantile(bSnap, 0.50),
+			BuildP99Us:    usQuantile(bSnap, 0.99),
+			QueriesBuild:  int(bSnap.Count),
+			ThrottleWaits: throttles() - w0,
+		})
+	}
+	return rec, nil
 }
 
 // writeIngestJSON runs the ingest benchmark and writes the record.
@@ -215,8 +392,16 @@ func writeIngestJSON(path string) error {
 	}
 	fmt.Printf("ingest bench: file load coord bytes %d at n=%d vs %d at n=%d (growth %.2fx; O(p^2) wants ~1)\n",
 		rec.Loads[0].CoordBytes, rec.Loads[0].N, rec.Loads[1].CoordBytes, rec.Loads[1].N, rec.CoordGrowthX)
-	fmt.Printf("  stream: %.0f points/sec (chunk %d, window %d); serve p50/p99 %.0f/%.0f us idle, %.0f/%.0f us during ingest -> %s\n",
-		rec.Stream.PointsPerSec, rec.Stream.Chunk, rec.Stream.Window,
-		rec.Stream.IdleP50Us, rec.Stream.IdleP99Us, rec.Stream.DuringP50Us, rec.Stream.DuringP99Us, path)
+	fmt.Printf("  stream n=%d chunk=%d: funnel %.2fM pts/s, rank-parallel %.2fM pts/s (%.1fx, %d feed calls)\n",
+		rec.Stream.N, rec.Stream.Chunk, rec.Stream.FunnelPtsPerSec/1e6, rec.Stream.ParallelPtsPerSec/1e6,
+		rec.Stream.SpeedupX, rec.Stream.ParallelFeedCalls)
+	fmt.Printf("  serve idle p50/p99 %.0f/%.0f us (%d queries, probe every %.0f us)\n",
+		rec.IdleP50Us, rec.IdleP99Us, rec.QueriesIdle, rec.ProbeIntervalUs)
+	for _, s := range rec.Serve {
+		fmt.Printf("  share=%-4g stage p50/p99 %.0f/%.0f us (%d q), build p50/p99 %.0f/%.0f us (%d q), %d throttle waits, stage %.0f ms\n",
+			s.Share, s.DuringP50Us, s.DuringP99Us, s.QueriesStage, s.BuildP50Us, s.BuildP99Us, s.QueriesBuild,
+			s.ThrottleWaits, s.StageMs)
+	}
+	fmt.Printf("  -> %s\n", path)
 	return nil
 }

@@ -101,6 +101,7 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "HTTP address for the coordinator's /metrics, /healthz and /debug/pprof (empty disables)")
 	slowQuery := flag.Duration("slow-query", 0, "serve mode: log the span tree of any batch at least this slow (0 disables)")
 	statsInterval := flag.Duration("stats-interval", 0, "serve mode: print a one-line stats summary to stderr at this period (0 disables)")
+	ingestShare := flag.Float64("ingest-share", 0, "serve mode with -mutable: cap in (0,1) on the fraction of worker wall-time bulk-load ingest may consume, keeping serving responsive during loads (0 = uncapped)")
 	flag.Parse()
 
 	pts, dims := loadPoints(*csvPath, *n, *d, *dist, *seed)
@@ -153,7 +154,7 @@ func main() {
 	}
 
 	if *mode == "serve" && *mutable {
-		serveMutable(pts, dims, *p, *dir, cluster, *resident, engCfg, reg, tracer, *statsInterval)
+		serveMutable(pts, dims, *p, *dir, cluster, *resident, engCfg, reg, tracer, *statsInterval, *ingestShare)
 		return
 	}
 	boxes := workload.Boxes(workload.QuerySpec{
@@ -303,12 +304,12 @@ func prepareSum(dt *core.Tree) *core.AggHandle[float64] {
 // serveMutable serves from the updatable store: queries pipeline through
 // the engine as usual, while insert/delete/checkpoint commands apply
 // synchronously in input order, so every later line observes them.
-func serveMutable(pts []geom.Point, dims, p int, dir string, cluster *transport.Cluster, resident bool, cfg engine.Config, reg *obs.Registry, tracer *obs.Tracer, statsInterval time.Duration) {
+func serveMutable(pts []geom.Point, dims, p int, dir string, cluster *transport.Cluster, resident bool, cfg engine.Config, reg *obs.Registry, tracer *obs.Tracer, statsInterval time.Duration, ingestShare float64) {
 	// A durable store knows its own dimensionality: let the checkpoint
 	// decide first so a rerun need not repeat the original -d, and fall
 	// back to the flag only for a directory with no checkpoint yet.
 	storeCfg := func(d int) store.Config {
-		c := store.Config{Dims: d, P: p, Obs: reg}
+		c := store.Config{Dims: d, P: p, Obs: reg, IngestMaxShare: ingestShare}
 		if cluster != nil {
 			c.Provider = cluster
 		} else {

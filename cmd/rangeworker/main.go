@@ -42,12 +42,19 @@ import (
 func main() {
 	listen := flag.String("listen", ":9100", "TCP address to serve supersteps on")
 	debugAddr := flag.String("debug-addr", "", "HTTP address for /metrics, /healthz and /debug/pprof (empty disables)")
+	ingestShare := flag.Float64("ingest-share", 0,
+		"operator cap in (0,1) on the fraction of wall-time ingest feeds may consume on this worker; "+
+			"combined with the client's requested share by taking the minimum (0 = no worker-side cap)")
 	flag.Parse()
 
 	w, err := transport.ListenAndServe(*listen)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rangeworker: %v\n", err)
 		os.Exit(1)
+	}
+	if *ingestShare != 0 {
+		w.SetIngestMaxShare(*ingestShare)
+		fmt.Printf("rangeworker: ingest capped at %.0f%% of wall-time\n", *ingestShare*100)
 	}
 	fmt.Printf("rangeworker: serving CGM supersteps on %s\n", w.Addr())
 	if *debugAddr != "" {

@@ -240,9 +240,23 @@ func BuildWorkerFed(m *Machine, pts []Point, be ElemBackend) *Tree {
 
 // BulkLoadStream streams chunks into the machine's workers (window
 // chunks in flight per rank; window ≤ 0 selects the default) and
-// constructs the tree worker-fed.
+// constructs the tree worker-fed. On a cluster machine each rank is fed
+// over its own direct connection (rank-parallel ingest, DESIGN.md §13);
+// use BulkLoadStreamWith for the QoS share cap or the funnel baseline.
 func BulkLoadStream(m *Machine, src ChunkSource, window int) (*Tree, error) {
 	return core.BulkLoad(m, src, core.BackendLayered, window)
+}
+
+// IngestConfig parametrises BulkLoadStreamWith: the per-rank in-flight
+// window, the MaxShare QoS cap on the fraction of worker time the
+// ingest may consume, and the Funnel fallback that routes every chunk
+// through the coordinator's control connections.
+type IngestConfig = core.IngestConfig
+
+// BulkLoadStreamWith is BulkLoadStream with explicit ingest
+// configuration (window, QoS share cap, funnel fallback).
+func BulkLoadStreamWith(m *Machine, src ChunkSource, cfg IngestConfig) (*Tree, error) {
+	return core.BulkLoadWith(m, src, core.BackendLayered, cfg)
 }
 
 // BulkLoadFile builds a tree from a points file (SavePointsFile layout):

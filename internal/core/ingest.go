@@ -5,10 +5,14 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"repro/internal/cgm"
+	"repro/internal/exec"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/pointsfile"
+	"repro/internal/wire"
 )
 
 // This file is the worker-direct ingest path: the coordinator never
@@ -132,14 +136,49 @@ func buildStaged(mach *cgm.Machine, dims, total int, be Backend) (t *Tree, err e
 	return BuildFromSource(mach, stagedSource{dims: dims, total: total}, be), nil
 }
 
+// IngestConfig parametrises a streaming bulk load.
+type IngestConfig struct {
+	// Window is the per-rank bound on in-flight chunks (≤ 0 selects
+	// DefaultWindow): the flow-control window of the parallel feeds, and
+	// the reader→feeder channel depth either way.
+	Window int
+	// MaxShare, in (0, 1), caps the fraction of worker wall-time the
+	// ingest may consume (cgm.ShareGovernor), so a bulk load time-shares
+	// with concurrent serving instead of starving it. Outside that range
+	// the load runs uncapped.
+	MaxShare float64
+	// Funnel forces the coordinator-funnel path — one synchronous
+	// resident call per chunk over the session's control connections —
+	// even when the machine supports rank-parallel feeds. It exists as
+	// the measured baseline (rangebench -ingest) and as a fallback knob.
+	Funnel bool
+}
+
 // BulkLoad streams src into the machine's workers and builds a tree from
-// the staged input. Chunk i goes to rank i%p — the arbitrary initial
-// distribution Construct step 1 allows; the sample sort normalizes it.
-// Each rank has its own feeder goroutine with a window-deep channel
-// (window <= 0 selects DefaultWindow), so a slow rank backpressures the
-// reader while the others keep streaming. On a non-resident machine the
-// stream is accumulated and built coordinator-fed instead.
+// the staged input, with the default window and no QoS cap — see
+// BulkLoadWith.
 func BulkLoad(mach *cgm.Machine, src ChunkSource, be Backend, window int) (*Tree, error) {
+	return BulkLoadWith(mach, src, be, IngestConfig{Window: window})
+}
+
+// BulkLoadWith streams src into the machine's workers and builds a tree
+// from the staged input. Chunk i goes to rank i%p — the arbitrary
+// initial distribution Construct step 1 allows; the sample sort
+// normalizes it. Each rank has its own feeder goroutine with a
+// window-deep channel, so a slow rank backpressures the reader while the
+// others keep streaming.
+//
+// On a feed-capable machine (every resident transport in this repo) each
+// feeder holds a DIRECT connection to its rank pushing chunks under an
+// independent in-flight window — the coordinator's session connections
+// carry only the ingest-begin control calls and the construction's p²
+// splitters, so aggregate ingest bandwidth scales with p. A feed failure
+// (worker death, step error) poisons the machine: the session aborts
+// with the diagnostic rather than surviving half-staged. With cfg.Funnel
+// the chunks instead go as one synchronous resident call each over the
+// coordinator's connections. On a non-resident machine the stream is
+// accumulated and built coordinator-fed.
+func BulkLoadWith(mach *cgm.Machine, src ChunkSource, be Backend, cfg IngestConfig) (*Tree, error) {
 	if !mach.Resident() {
 		var pts []geom.Point
 		for {
@@ -157,33 +196,30 @@ func BulkLoad(mach *cgm.Machine, src ChunkSource, be Backend, window int) (*Tree
 		}
 		return buildRecovered(mach, pts, be)
 	}
-	if window <= 0 {
-		window = DefaultWindow
+	if cfg.Window <= 0 {
+		cfg.Window = DefaultWindow
 	}
+	parallel := !cfg.Funnel && mach.Feeds()
 	p := mach.P()
 	feed := make([]chan []geom.Point, p)
 	for rank := range feed {
-		feed[rank] = make(chan []geom.Point, window)
+		feed[rank] = make(chan []geom.Point, cfg.Window)
 	}
 	errs := make([]error, p)
+	sent := make([]int, p)   // points the reader handed each rank
+	staged := make([]int, p) // points each rank's feed acknowledged staging
+	stageT0 := time.Now()
 	var wg sync.WaitGroup
 	for rank := range p {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := cgm.ResidentCall[bool, bool](mach, rank, fref("ingest/begin"), false); err != nil {
-				errs[rank] = err
+			if parallel {
+				errs[rank], staged[rank] = feedRank(mach, rank, cfg, feed[rank], &sent[rank])
+				return
 			}
-			// Keep draining after a failure so the reader never blocks on
-			// a dead rank's window — the load fails fast, not deadlocks.
-			for blk := range feed[rank] {
-				if errs[rank] != nil {
-					continue
-				}
-				if _, err := cgm.ResidentCall[ingestChunkArgs, int](mach, rank, fref("ingest/chunk"), ingestChunkArgs{Pts: blk}); err != nil {
-					errs[rank] = err
-				}
-			}
+			errs[rank] = funnelRank(mach, rank, feed[rank], &sent[rank])
+			staged[rank] = sent[rank]
 		}()
 	}
 	dims, total := -1, 0
@@ -217,16 +253,136 @@ read:
 		close(ch)
 	}
 	wg.Wait()
+	// Staging wall-time (reader + feeds through the last ack), distinct
+	// from the construct that follows — it is the phase the feed fabric
+	// and the QoS governor act on, and what rangebench -ingest reports as
+	// the ingest rate.
+	if reg := mach.Obs(); reg != nil {
+		reg.Counter("ingest_stage_wall_ns_total").Add(time.Since(stageT0).Nanoseconds())
+	}
+	if err := errors.Join(errs...); err != nil {
+		err = fmt.Errorf("core: bulk ingest: %w", err)
+		if parallel {
+			// A broken feed leaves the rank half-staged with chunks of
+			// unknown fate in flight: abort the session so every sibling
+			// feeder, and any later use of the machine, sees the
+			// diagnostic instead of building on the partial stage.
+			mach.Poison(err)
+		}
+		return nil, err
+	}
 	if srcErr != nil {
 		return nil, srcErr
 	}
-	if err := errors.Join(errs...); err != nil {
-		return nil, fmt.Errorf("core: bulk ingest: %w", err)
+	for rank := range p {
+		if staged[rank] != sent[rank] {
+			err := fmt.Errorf("core: rank %d acknowledged %d staged points but the feed sent %d", rank, staged[rank], sent[rank])
+			mach.Poison(err)
+			return nil, err
+		}
 	}
 	if total == 0 {
 		return nil, errors.New("core: bulk load delivered no points")
 	}
 	return buildStaged(mach, dims, total, be)
+}
+
+// encodeChunk wire-encodes one ingest chunk into buf (appending), so a
+// feeder can recycle one pooled buffer per in-flight slot instead of
+// allocating per chunk.
+func encodeChunk(buf []byte, blk []geom.Point) ([]byte, error) {
+	return wire.Encode(buf, ingestChunkArgs{Pts: blk})
+}
+
+// feedRank drains one rank's channel into a direct worker feed: begin
+// control call on the coordinator connection, then chunks pipelined
+// under the feed's in-flight window with one pooled encode buffer per
+// window slot, recycled as the rank acknowledges. It reports the rank's
+// final staged count from the last acknowledgement. After any failure it
+// keeps draining so the reader never blocks on a dead rank's window.
+func feedRank(mach *cgm.Machine, rank int, cfg IngestConfig, ch <-chan []geom.Point, sent *int) (err error, staged int) {
+	var sf cgm.StepFeed
+	if _, err = cgm.ResidentCall[bool, bool](mach, rank, fref("ingest/begin"), false); err == nil {
+		sf, err = mach.OpenFeed(rank, fref("ingest/chunk"), cgm.FeedOptions{Window: cfg.Window, MaxShare: cfg.MaxShare})
+	}
+	var ptsFed *obs.Counter
+	if reg := mach.Obs(); reg != nil {
+		ptsFed = reg.Counter(fmt.Sprintf(`ingest_feed_points_total{rank="%d"}`, rank))
+	}
+	// The window's encode buffers: acquiring one backpressures the feeder
+	// to the feed's own in-flight limit, and each Send's release recycles
+	// the (possibly grown) buffer for a later chunk.
+	bufs := make(chan []byte, cfg.Window)
+	for range cfg.Window {
+		bufs <- wire.GetBuf()
+	}
+	for blk := range ch {
+		if err != nil {
+			continue // drain
+		}
+		enc, encErr := encodeChunk((<-bufs)[:0], blk)
+		if encErr != nil {
+			bufs <- enc
+			err = encErr
+			continue
+		}
+		n := len(blk)
+		if err = sf.Send(enc, func() { bufs <- enc }); err != nil {
+			continue
+		}
+		*sent += n
+		if ptsFed != nil {
+			ptsFed.Add(int64(n))
+		}
+	}
+	if sf != nil {
+		last, closeErr := sf.Close()
+		if err == nil {
+			err = closeErr
+		}
+		if err == nil && last != nil {
+			// The chunk step replies with the rank's running staged
+			// total; the last ack is the cross-check against what the
+			// feeder sent.
+			staged, err = exec.Unmarshal[int](last)
+			if err != nil {
+				err = fmt.Errorf("core: rank %d staged-count reply: %w", rank, err)
+			}
+		}
+	}
+	// A failed feed has released every slot, so this never blocks.
+	for len(bufs) > 0 {
+		wire.PutBuf(<-bufs)
+	}
+	return err, staged
+}
+
+// funnelRank drains one rank's channel as synchronous resident calls
+// over the coordinator's session connection — the pre-feed baseline. One
+// pooled encode buffer serves all chunks (the call returns before the
+// next encode).
+func funnelRank(mach *cgm.Machine, rank int, ch <-chan []geom.Point, sent *int) error {
+	var err error
+	if _, err = cgm.ResidentCall[bool, bool](mach, rank, fref("ingest/begin"), false); err != nil {
+		err = fmt.Errorf("core: rank %d ingest begin: %w", rank, err)
+	}
+	buf := wire.GetBuf()
+	defer func() { wire.PutBuf(buf) }()
+	// Keep draining after a failure so the reader never blocks on a dead
+	// rank's window — the load fails fast, not deadlocks.
+	for blk := range ch {
+		if err != nil {
+			continue
+		}
+		buf, err = encodeChunk(buf[:0], blk)
+		if err != nil {
+			continue
+		}
+		if _, err = cgm.ResidentCallRaw(mach, rank, fref("ingest/chunk"), buf); err == nil {
+			*sent += len(blk)
+		}
+	}
+	return err
 }
 
 // buildRecovered is BuildBackend with machine aborts converted to errors

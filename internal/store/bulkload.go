@@ -64,7 +64,8 @@ func (s *Store) BulkLoad(src core.ChunkSource) (uint64, error) {
 		return 0, fmt.Errorf("store: bulk load machine: %w", err)
 	}
 	tee := &idTee{src: src}
-	built, err := core.BulkLoad(mach, tee, s.cfg.Backend, core.DefaultWindow)
+	built, err := core.BulkLoadWith(mach, tee, s.cfg.Backend,
+		core.IngestConfig{Window: core.DefaultWindow, MaxShare: s.cfg.IngestMaxShare})
 	if err != nil {
 		mach.Close()
 		return 0, err

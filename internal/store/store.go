@@ -90,6 +90,12 @@ type Config struct {
 	// default: the durability unit is then the OS page cache, exactly
 	// like an LSM store running without wal_fsync.
 	SyncWAL bool
+	// IngestMaxShare, in (0, 1), caps the fraction of worker wall-time
+	// BulkLoad's streaming ingest may consume (core.IngestConfig
+	// .MaxShare — the `rangesearch -ingest-share` QoS knob), so a bulk
+	// load time-shares with concurrent serving instead of starving it.
+	// Outside that range loads run uncapped.
+	IngestMaxShare float64
 	// Obs, when set, receives the store's state as live series — level /
 	// memtable / shadow / live-point gauges, data-version epoch, flush
 	// and compaction counters — plus timing histograms for compaction

@@ -95,7 +95,30 @@ const (
 	kindError
 	// kindAbort (either direction) poisons the session.
 	kindAbort
+	// kindFeedOpen (client→worker) binds a fresh connection as an ingest
+	// feed for an EXISTING session: a windowed stream of calls to one
+	// registered step against that session's resident state. The
+	// coordinator-minted unguessable session token doubles as the feed's
+	// authentication — a worker only accepts feeds for sessions it
+	// already opened. Rank must match the rank the session plays here,
+	// Call names the step (args ride per-call), and Share requests a QoS
+	// cap on the fraction of worker wall-time the feed may consume.
+	kindFeedOpen
+	// kindFeedCall (client→worker) is one feed call: Seq orders it, the
+	// encoded args ride as the single out-of-band payload block — never
+	// through gob, exactly like superstep payloads.
+	kindFeedCall
+	// kindFeedAck (worker→client) acknowledges feed call Seq with the
+	// step's encoded reply. Seq 0 acks the open, Seq -1 acks the end.
+	kindFeedAck
+	// kindFeedEnd (client→worker) ends the feed cleanly after all calls
+	// are acknowledged; an abnormal feed teardown (anything but this)
+	// aborts the whole session.
+	kindFeedEnd
 )
+
+// kindMax bounds the per-kind counter arrays.
+const kindMax = kindFeedEnd
 
 // stepRef names one registered step on the wire, args attached.
 type stepRef struct {
@@ -139,6 +162,9 @@ type frame struct {
 	// entirely — tracing costs no wire bytes until a query is traced.
 	Trace uint64
 	Spans []obs.Span
+	// Share is the client-requested ingest QoS cap (FeedOpen; 0 =
+	// uncapped). The worker combines it with its own operator cap.
+	Share float64
 
 	// blocks is the frame's payload (Deposit: p blocks; Block: 1;
 	// Column: p). Unexported on purpose: gob skips it, and the framing
@@ -309,8 +335,8 @@ type FrameStat struct {
 // kindCounters accumulates per-kind frame traffic atomically; one
 // instance is shared by all connections of a Cluster or Worker.
 type kindCounters struct {
-	frames [kindAbort + 1]atomic.Int64
-	bytes  [kindAbort + 1]atomic.Int64
+	frames [kindMax + 1]atomic.Int64
+	bytes  [kindMax + 1]atomic.Int64
 }
 
 func (kc *kindCounters) add(k kind, n int64) {
@@ -321,11 +347,13 @@ func (kc *kindCounters) add(k kind, n int64) {
 }
 
 // kindNames labels the stats map; indexes match the kind constants.
-var kindNames = [kindAbort + 1]string{
+var kindNames = [kindMax + 1]string{
 	kindOpen: "open", kindOpenAck: "open_ack", kindHello: "hello",
 	kindDeposit: "deposit", kindBlock: "block", kindColumn: "column",
 	kindStep: "step", kindStepReply: "step_reply",
 	kindError: "error", kindAbort: "abort",
+	kindFeedOpen: "feed_open", kindFeedCall: "feed_call",
+	kindFeedAck: "feed_ack", kindFeedEnd: "feed_end",
 }
 
 // snapshot returns the non-zero per-kind stats.

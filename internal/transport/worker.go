@@ -6,10 +6,12 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/exec"
 	"repro/internal/obs"
+	"repro/internal/wire"
 )
 
 // Worker is one node of the multicomputer: a TCP listener that plays one
@@ -36,6 +38,10 @@ type Worker struct {
 	reg   *obs.Registry
 	epoch time.Time
 
+	// ingestShare is the operator cap on any single ingest feed's share
+	// of wall-time (math.Float64bits; 0 = client-requested share only).
+	ingestShare atomic.Uint64
+
 	wg sync.WaitGroup
 }
 
@@ -55,6 +61,10 @@ func ListenAndServe(addr string) (*Worker, error) {
 			emit(fmt.Sprintf("worker_frame_bytes_total{kind=%q}", k), float64(st.Bytes))
 		}
 	})
+	// Codec counters on the worker's own /metrics: the zero-gob claim of
+	// the raw wire path is assertable per process, not just coordinator-
+	// side (the CI cluster smoke greps these rows).
+	w.reg.Collect(wire.EmitStats)
 	w.wg.Add(1)
 	go w.acceptLoop()
 	return w, nil
@@ -212,6 +222,8 @@ func (w *Worker) handshake(conn net.Conn) {
 		w.runSession(fc, f)
 	case kindHello:
 		w.feedPeer(fc, f)
+	case kindFeedOpen:
+		w.runFeed(fc, f)
 	default:
 		conn.Close()
 	}
@@ -239,8 +251,9 @@ type session struct {
 	inbox chan inMsg
 	store *exec.Store
 
-	mu   sync.Mutex // guards outs against shutdown
-	outs []*fconn   // lazily dialed conns to peers (nil = not yet, self never)
+	mu    sync.Mutex // guards outs and feeds against shutdown
+	outs  []*fconn   // lazily dialed conns to peers (nil = not yet, self never)
+	feeds []*fconn   // live ingest feed conns bound to this session
 
 	quit  chan struct{}
 	quit1 sync.Once
@@ -504,6 +517,9 @@ func (s *session) shutdown() {
 			if c != nil {
 				c.close()
 			}
+		}
+		for _, c := range s.feeds {
+			c.close()
 		}
 		s.mu.Unlock()
 		s.w.mu.Lock()

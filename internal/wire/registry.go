@@ -81,6 +81,13 @@ func Encode[T any](buf []byte, v T) ([]byte, error) {
 		counters.rawEncBytes.Add(int64(len(buf) - start))
 		return buf, nil
 	}
+	// The fallback lives in its own function so gob's &v only forces v to
+	// the heap on the gob path — inlined here it would cost the raw path
+	// one allocation per block too.
+	return encodeGob(buf, start, v)
+}
+
+func encodeGob[T any](buf []byte, start int, v T) ([]byte, error) {
 	buf = append(buf, tagGob)
 	w := sliceWriter{b: buf}
 	// gob sends its type descriptors once per Encoder, so an encoder
