@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"testing"
 	"time"
@@ -13,6 +14,8 @@ import (
 	"repro/internal/cgm"
 	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/internal/obs"
+	obscluster "repro/internal/obs/cluster"
 	"repro/internal/transport"
 	"repro/internal/wire"
 	"repro/internal/workload"
@@ -66,6 +69,10 @@ type ClusterRecord struct {
 	// hot-path payloads, recorded next to the cluster numbers so the codec
 	// win stays in the trajectory rather than being asserted.
 	Codec []CodecBenchRecord `json:"codec"`
+	// ScrapeUs is the cost of rendering one /cluster/metrics exposition
+	// (coordinator registry + p beacon-carried worker registries merged)
+	// at this p — the observability tax a scraper imposes per poll.
+	ScrapeUs float64 `json:"cluster_metrics_scrape_us"`
 }
 
 // codecBench measures encode and decode of one payload value through the
@@ -214,7 +221,65 @@ func runClusterBench(n, m, p, batches int) (*ClusterRecord, error) {
 		rec.CoordDropX = rec.Modes[0].CoordBytesQuery / rec.Modes[1].CoordBytesQuery
 	}
 	rec.Codec = runCodecBench()
+	scrapeUs, err := runScrapeBench(n/8, p)
+	if err != nil {
+		return nil, err
+	}
+	rec.ScrapeUs = scrapeUs
 	return rec, nil
+}
+
+// runScrapeBench measures the aggregator render: µs per /cluster/metrics
+// exposition over a live mini health plane — p TCP workers with
+// beacon-carried registry dumps (populated by a real resident build and
+// query batch), a monitor, and the coordinator's own registry.
+func runScrapeBench(n, p int) (float64, error) {
+	pts := workload.Points(workload.PointSpec{N: n, Dims: 2, Dist: workload.Uniform, Seed: 3})
+	boxes := workload.Boxes(workload.QuerySpec{M: 32, Dims: 2, N: n, Selectivity: 0.02, Seed: 5})
+	workers := make([]*transport.Worker, p)
+	addrs := make([]string, p)
+	for i := range workers {
+		w, err := transport.ListenAndServe("127.0.0.1:0")
+		if err != nil {
+			return 0, err
+		}
+		defer w.Close()
+		workers[i] = w
+		addrs[i] = w.Addr()
+	}
+	reg := obs.NewRegistry()
+	cl, err := transport.DialCluster(addrs, cgm.Config{Resident: true, Obs: reg})
+	if err != nil {
+		return 0, err
+	}
+	defer cl.Close()
+	tree, err := core.BuildOn(cl, pts, core.BackendLayered)
+	if err != nil {
+		return 0, err
+	}
+	tree.CountBatch(boxes) // populate worker exec/step series
+	const interval = 20 * time.Millisecond
+	mon := obscluster.NewMonitor(obscluster.MonitorConfig{Addrs: addrs, Interval: interval, Obs: reg})
+	defer mon.Close()
+	hw := transport.WatchHealth(addrs, interval, mon)
+	defer hw.Close()
+	// The render cost depends on every rank's dump being present: wait for
+	// first beacons rather than benchmarking a half-empty aggregator.
+	for deadline := time.Now().Add(5 * time.Second); !mon.AllHealthy(); {
+		if time.Now().After(deadline) {
+			return 0, fmt.Errorf("scrape bench: workers never all beaconed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	agg := &obscluster.Aggregator{Mon: mon, Local: reg}
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := agg.WriteProm(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return float64(r.NsPerOp()) / 1e3, nil
 }
 
 // writeClusterJSON runs the cluster benchmark and writes the record.
@@ -233,6 +298,7 @@ func writeClusterJSON(path string) error {
 	}
 	fmt.Printf("cluster bench: fabric %.0f B/query, resident %.0f B/query (%.1fx drop) -> %s\n",
 		rec.Modes[0].CoordBytesQuery, rec.Modes[1].CoordBytesQuery, rec.CoordDropX, path)
+	fmt.Printf("  /cluster/metrics render at p=%d: %.0f us\n", rec.P, rec.ScrapeUs)
 	for _, c := range rec.Codec {
 		fmt.Printf("  codec %-11s %-3s enc %8.0f ns %4d allocs, dec %8.0f ns %4d allocs (%d B)\n",
 			c.Payload, c.Codec, c.EncNsOp, c.EncAllocs, c.DecNsOp, c.DecAllocs, c.BlockBytes)

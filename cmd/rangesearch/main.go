@@ -30,6 +30,24 @@
 // one-line serving summaries (q/s, p50/p99, cache hit rate, compaction
 // backlog) to stderr.
 //
+// Cluster health plane: with -workers every rangeworker is also watched
+// over a beacon stream (period -beacon-interval); the coordinator runs
+// the liveness state machine (healthy → suspect → down), merges the
+// beacon-carried worker registries with its own, and serves the cluster
+// view from /cluster/metrics, /cluster/healthz, /cluster/events and
+// /cluster/top on -debug-addr. /healthz degrades (HTTP 503, "ok": false)
+// on a failed store compaction, an aborted CGM session, or a down
+// worker. Structured cluster events (worker_suspect/down/recovered,
+// session_abort, compaction, checkpoint, ingest begin/end) append to a
+// size-capped JSONL archive at <dir>/events.jsonl when -dir is set; the
+// serve command `events [n]` prints the recent tail.
+//
+//	rangesearch -mode top -top-addr 127.0.0.1:9090
+//
+// runs rangetop: a 1s-refresh live terminal dashboard (per-worker rows,
+// cluster summary, recent events) driven entirely by a coordinator's
+// /cluster/top endpoint — it opens no cluster connection of its own.
+//
 // With -mutable the engine serves from the updatable store instead of a
 // frozen tree, and three more commands work (sum does not — tombstone
 // subtraction needs invertibility):
@@ -61,6 +79,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -74,6 +93,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/geom"
 	"repro/internal/obs"
+	obscluster "repro/internal/obs/cluster"
 	"repro/internal/store"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -88,7 +108,7 @@ func main() {
 	p := flag.Int("p", 8, "processors")
 	queries := flag.Int("queries", 256, "number of box queries")
 	selectivity := flag.Float64("selectivity", 0.01, "target query selectivity")
-	mode := flag.String("mode", "count", "result mode: count, report, sum or serve")
+	mode := flag.String("mode", "count", "result mode: count, report, sum, serve, or top (live cluster dashboard via -top-addr)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	verbose := flag.Bool("v", false, "print per-query results")
 	batch := flag.Int("batch", engine.DefaultBatchSize, "serve mode: flush batch size")
@@ -102,7 +122,22 @@ func main() {
 	slowQuery := flag.Duration("slow-query", 0, "serve mode: log the span tree of any batch at least this slow (0 disables)")
 	statsInterval := flag.Duration("stats-interval", 0, "serve mode: print a one-line stats summary to stderr at this period (0 disables)")
 	ingestShare := flag.Float64("ingest-share", 0, "serve mode with -mutable: cap in (0,1) on the fraction of worker wall-time bulk-load ingest may consume, keeping serving responsive during loads (0 = uncapped)")
+	beaconInterval := flag.Duration("beacon-interval", obscluster.DefaultInterval, "cluster health: worker beacon period; liveness thresholds (suspect, down) scale with it")
+	topAddr := flag.String("top-addr", "", "-mode top: coordinator admin address to watch (its -debug-addr, serving /cluster/top)")
 	flag.Parse()
+
+	if *mode == "top" {
+		addr := *topAddr
+		if addr == "" {
+			addr = *debugAddr
+		}
+		if addr == "" {
+			fmt.Fprintln(os.Stderr, "rangesearch: -mode top needs -top-addr (the target coordinator's -debug-addr)")
+			os.Exit(2)
+		}
+		runTop(addr, time.Second)
+		return
+	}
 
 	pts, dims := loadPoints(*csvPath, *n, *d, *dist, *seed)
 	// One registry + tracer for the whole coordinator process: the
@@ -111,11 +146,41 @@ func main() {
 	reg := obs.NewRegistry()
 	tracer := obs.NewTracer()
 	reg.Collect(wire.EmitStats)
+
+	// The event archive persists beside the store when one is durable;
+	// otherwise it is an in-memory ring, still served over /cluster/events
+	// and the `events` command.
+	evPath := ""
+	if *dir != "" {
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "rangesearch: %v\n", err)
+			os.Exit(1)
+		}
+		evPath = filepath.Join(*dir, "events.jsonl")
+	}
+	evlog, err := obscluster.OpenEventLog(evPath, 0)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rangesearch: event archive: %v\n", err)
+		os.Exit(1)
+	}
+	defer evlog.Close()
+
+	hs := &healthSrc{mode: *mode, p: *p}
+	// session_abort doubles as the poisoned-machine flag for /healthz:
+	// the sink sees every abort on its way into the archive.
+	events := func(kind string, rank int, detail string) {
+		if kind == "session_abort" {
+			hs.noteAbort(detail)
+		}
+		evlog.Emit(kind, rank, detail)
+	}
+
 	engCfg := engine.Config{BatchSize: *batch, MaxDelay: *delay, CacheSize: *cacheSize,
 		Obs: reg, Tracer: tracer, SlowQuery: *slowQuery}
-	machCfg := cgm.Config{P: *p, Resident: *resident, Obs: reg, Tracer: tracer}
+	machCfg := cgm.Config{P: *p, Resident: *resident, Obs: reg, Tracer: tracer, Events: events}
 
 	var cluster *transport.Cluster
+	var mon *obscluster.Monitor
 	if *workers != "" {
 		addrs := strings.Split(*workers, ",")
 		clCfg := machCfg
@@ -128,6 +193,15 @@ func main() {
 		}
 		defer cluster.Close()
 		*p = cluster.P()
+		// The health plane rides its own beacon streams, not the session
+		// connections: a worker busy in a superstep still beacons, and a
+		// dead one is detected even with no query in flight.
+		mon = obscluster.NewMonitor(obscluster.MonitorConfig{
+			Addrs: addrs, Interval: *beaconInterval, Events: evlog, Obs: reg})
+		watcher := transport.WatchHealth(addrs, *beaconInterval, mon)
+		defer mon.Close()
+		defer watcher.Close()
+		hs.attachCluster(cluster, mon, addrs, *p)
 		exMode := "fabric"
 		if *resident {
 			exMode = "resident"
@@ -136,25 +210,19 @@ func main() {
 	}
 
 	if *debugAddr != "" {
-		role := "coordinator"
-		admin, err := obs.ServeAdmin(*debugAddr, reg, func() any {
-			h := map[string]any{"role": role, "p": *p, "mode": *mode}
-			if cluster != nil {
-				h["workers"] = strings.Split(*workers, ",")
-				h["sessions_open"] = cluster.Open()
-			}
-			return h
-		})
+		admin, err := obs.ServeAdmin(*debugAddr, reg, hs.health)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rangesearch: debug listener: %v\n", err)
 			os.Exit(1)
 		}
 		defer admin.Close()
-		fmt.Printf("metrics and pprof on http://%s\n", admin.Addr())
+		agg := &obscluster.Aggregator{Mon: mon, Events: evlog, Local: reg, LocalHealth: hs.local}
+		agg.Mount(admin)
+		fmt.Printf("metrics, health and pprof on http://%s\n", admin.Addr())
 	}
 
 	if *mode == "serve" && *mutable {
-		serveMutable(pts, dims, *p, *dir, cluster, *resident, engCfg, reg, tracer, *statsInterval, *ingestShare)
+		serveMutable(pts, dims, *p, *dir, cluster, *resident, engCfg, reg, tracer, *statsInterval, *ingestShare, hs, evlog, events)
 		return
 	}
 	boxes := workload.Boxes(workload.QuerySpec{
@@ -184,7 +252,7 @@ func main() {
 		dt.HatNodeCount(), dt.ElemCount(), buildMetrics.CommRounds(), buildMetrics.MaxH(), buildWall.Round(time.Millisecond))
 
 	if *mode == "serve" {
-		serve(dt, dims, engCfg, reg, *statsInterval)
+		serve(dt, dims, engCfg, reg, *statsInterval, evlog)
 		return
 	}
 
@@ -235,11 +303,16 @@ func main() {
 
 // serve runs the line-oriented query loop on top of the micro-batching
 // engine over a frozen tree.
-func serve(dt *core.Tree, dims int, cfg engine.Config, reg *obs.Registry, statsInterval time.Duration) {
+func serve(dt *core.Tree, dims int, cfg engine.Config, reg *obs.Registry, statsInterval time.Duration, evlog *obscluster.EventLog) {
 	h := prepareSum(dt)
 	eng := engine.WithAggregate(dt, h, cfg)
 	stopStats := startStatsLoop(statsInterval, reg, eng.Stats, nil)
-	serveLoop(func(line string) string { return answerLine(eng, dims, line) }, nil,
+	serveLoop(func(line string) string {
+		if fields := strings.Fields(line); fields[0] == "events" {
+			return answerEvents(evlog, fields)
+		}
+		return answerLine(eng, dims, line)
+	}, nil,
 		func() { stopStats(); eng.Close() },
 		func() { printEngineStats(eng.Stats()) })
 }
@@ -304,12 +377,12 @@ func prepareSum(dt *core.Tree) *core.AggHandle[float64] {
 // serveMutable serves from the updatable store: queries pipeline through
 // the engine as usual, while insert/delete/checkpoint commands apply
 // synchronously in input order, so every later line observes them.
-func serveMutable(pts []geom.Point, dims, p int, dir string, cluster *transport.Cluster, resident bool, cfg engine.Config, reg *obs.Registry, tracer *obs.Tracer, statsInterval time.Duration, ingestShare float64) {
+func serveMutable(pts []geom.Point, dims, p int, dir string, cluster *transport.Cluster, resident bool, cfg engine.Config, reg *obs.Registry, tracer *obs.Tracer, statsInterval time.Duration, ingestShare float64, hs *healthSrc, evlog *obscluster.EventLog, events obs.EventSink) {
 	// A durable store knows its own dimensionality: let the checkpoint
 	// decide first so a rerun need not repeat the original -d, and fall
 	// back to the flag only for a directory with no checkpoint yet.
 	storeCfg := func(d int) store.Config {
-		c := store.Config{Dims: d, P: p, Obs: reg, IngestMaxShare: ingestShare}
+		c := store.Config{Dims: d, P: p, Obs: reg, IngestMaxShare: ingestShare, Events: events}
 		if cluster != nil {
 			c.Provider = cluster
 		} else {
@@ -342,6 +415,7 @@ func serveMutable(pts []geom.Point, dims, p int, dir string, cluster *transport.
 	} else {
 		fmt.Printf("store: recovered %d live points at version %d\n", st.LiveN(), st.Version())
 	}
+	hs.setStore(st)
 	eng := engine.NewStore(st, cfg)
 	stopStats := startStatsLoop(statsInterval, reg, eng.Stats, st)
 	isMutation := func(line string) bool {
@@ -352,6 +426,9 @@ func serveMutable(pts []geom.Point, dims, p int, dir string, cluster *transport.
 		return false
 	}
 	serveLoop(func(line string) string {
+		if fields := strings.Fields(line); fields[0] == "events" {
+			return answerEvents(evlog, fields)
+		}
 		return answerMutableLine(eng, st, dims, line)
 	}, isMutation,
 		func() { stopStats(); eng.Close() },
@@ -499,6 +576,163 @@ func answerTrace(trace func(uint64) string, fields []string) string {
 		id = v
 	}
 	return trace(id)
+}
+
+// healthSrc is the coordinator's /healthz source: static identity plus
+// the live pieces (store, cluster, monitor) attached as they come up.
+// OK turns false on a failed store compaction, an aborted query batch,
+// an aborted CGM session, or a worker aged to down — the degraded
+// conditions a load balancer should route away from.
+type healthSrc struct {
+	mu        sync.Mutex
+	mode      string
+	p         int
+	workers   []string
+	cluster   *transport.Cluster
+	mon       *obscluster.Monitor
+	st        *store.Store
+	abortInfo string
+}
+
+func (h *healthSrc) attachCluster(cl *transport.Cluster, mon *obscluster.Monitor, addrs []string, p int) {
+	h.mu.Lock()
+	h.cluster, h.mon, h.workers, h.p = cl, mon, addrs, p
+	h.mu.Unlock()
+}
+
+func (h *healthSrc) setStore(st *store.Store) {
+	h.mu.Lock()
+	h.st = st
+	h.mu.Unlock()
+}
+
+func (h *healthSrc) noteAbort(detail string) {
+	h.mu.Lock()
+	h.abortInfo = detail
+	h.mu.Unlock()
+}
+
+// localDetail reports process-local health — the serving store and the
+// session-abort flag — without the worker liveness that health() and the
+// cluster aggregator add themselves.
+func (h *healthSrc) localDetail() (bool, map[string]any) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ok := true
+	detail := map[string]any{"role": "coordinator", "mode": h.mode, "p": h.p}
+	if h.abortInfo != "" {
+		ok = false
+		detail["session_abort"] = h.abortInfo
+	}
+	if h.st != nil {
+		ss := h.st.Stats()
+		detail["store"] = map[string]any{"version": ss.Seq, "live": ss.Live, "levels": ss.Levels}
+		if ss.CompactErr != "" {
+			ok = false
+			detail["compact_err"] = ss.CompactErr
+		}
+		if ss.QueryErr != "" {
+			ok = false
+			detail["query_err"] = ss.QueryErr
+		}
+	}
+	if h.cluster != nil {
+		detail["workers"] = h.workers
+		detail["sessions_open"] = h.cluster.Open()
+	}
+	return ok, detail
+}
+
+// local adapts localDetail to the aggregator's LocalHealth signature.
+func (h *healthSrc) local() (bool, any) {
+	ok, detail := h.localDetail()
+	return ok, detail
+}
+
+// health is the /healthz payload: local health plus worker liveness.
+// Suspect workers are reported but tolerated (the watcher may be
+// mid-redial); a down worker degrades the endpoint.
+func (h *healthSrc) health() any {
+	ok, detail := h.localDetail()
+	h.mu.Lock()
+	mon := h.mon
+	h.mu.Unlock()
+	if rows := mon.Snapshot(); len(rows) > 0 {
+		states := make([]string, len(rows))
+		down := 0
+		for _, w := range rows {
+			states[w.Rank] = w.State.String()
+			if w.State == obscluster.StateDown {
+				down++
+			}
+		}
+		detail["worker_states"] = states
+		if down > 0 {
+			ok = false
+			detail["workers_down"] = down
+		}
+	}
+	return obs.Health{OK: ok, Detail: detail}
+}
+
+// answerEvents handles the `events [n]` serve command: the archive tail,
+// oldest first, one event per line.
+func answerEvents(ev *obscluster.EventLog, fields []string) string {
+	n := 10
+	if len(fields) > 2 {
+		return "error: want `events` or `events <n>`"
+	}
+	if len(fields) == 2 {
+		v, err := strconv.Atoi(fields[1])
+		if err != nil || v <= 0 {
+			return fmt.Sprintf("error: event count %q must be a positive integer", fields[1])
+		}
+		n = v
+	}
+	evs := ev.Recent(n)
+	if len(evs) == 0 {
+		return "events: none recorded"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "events: %d most recent", len(evs))
+	for _, e := range evs {
+		rank := "cluster"
+		if e.Rank >= 0 {
+			rank = fmt.Sprintf("r%d", e.Rank)
+		}
+		fmt.Fprintf(&b, "\n  %s %-16s %-8s %s", e.T.Format("15:04:05.000"), e.Kind, rank, e.Detail)
+	}
+	return b.String()
+}
+
+// runTop is `-mode top` (rangetop): a live terminal dashboard repainted
+// every interval, driven entirely by the coordinator's /cluster/top
+// endpoint — it opens no cluster connection of its own, so it can watch
+// a coordinator it does not own. Rates (q/s, steps/s, feed B/s) are
+// derived client-side by diffing successive snapshots.
+func runTop(addr string, interval time.Duration) {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	var prev *obscluster.TopSnap
+	for {
+		cur, err := obscluster.FetchTop(addr)
+		fmt.Print("\x1b[H\x1b[2J") // cursor home + clear: repaint in place
+		if err != nil {
+			fmt.Printf("rangetop: %s unreachable: %v\n", addr, err)
+			prev = nil
+		} else {
+			fmt.Print(obscluster.RenderTop(prev, cur, true))
+			prev = cur
+		}
+		select {
+		case <-sig:
+			fmt.Println()
+			return
+		case <-t.C:
+		}
+	}
 }
 
 // answerLine parses and answers one serve-mode query line.

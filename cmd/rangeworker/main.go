@@ -17,6 +17,13 @@
 // holding its rank's part of the distributed forest in memory and serving
 // phase-C subqueries locally.
 //
+// The worker also serves the cluster health plane automatically: a
+// coordinator that watches it (rangesearch -workers …, or
+// drtree.WatchClusterHealth) opens a beacon stream, and the worker
+// pushes liveness plus a full metrics dump every interval — no flags
+// needed here; the coordinator picks the cadence (-beacon-interval)
+// and `rangesearch -mode top` renders the result live (DESIGN.md §14).
+//
 // SIGINT/SIGTERM shuts the worker down, tearing open sessions down
 // (coordinators observe a machine abort with a diagnostic).
 package main

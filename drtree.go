@@ -31,6 +31,7 @@ package drtree
 
 import (
 	"io"
+	"time"
 
 	"repro/internal/cgm"
 	"repro/internal/core"
@@ -41,6 +42,7 @@ import (
 	"repro/internal/kdtree"
 	"repro/internal/layered"
 	"repro/internal/obs"
+	obscluster "repro/internal/obs/cluster"
 	"repro/internal/persist"
 	"repro/internal/pointsfile"
 	"repro/internal/rangetree"
@@ -504,6 +506,72 @@ func NewObsTracer() *ObsTracer { return obs.NewTracer() }
 func ServeAdmin(addr string, reg *ObsRegistry, health func() any) (*ObsAdmin, error) {
 	return obs.ServeAdmin(addr, reg, health)
 }
+
+// Cluster health plane (internal/obs/cluster, DESIGN.md §14): workers
+// push compact health beacons — liveness plus a full registry dump — on
+// a keepalive stream; the coordinator runs a per-worker liveness state
+// machine (healthy → suspect → down), archives structured cluster
+// events to a size-capped JSONL file, and merges every worker's metrics
+// with its own into one cluster view served from /cluster/* endpoints
+// (which the rangetop dashboard, `rangesearch -mode top`, renders live).
+//
+//	evlog, _ := drtree.OpenClusterEvents(filepath.Join(dir, "events.jsonl"), 0)
+//	mon := drtree.NewClusterMonitor(drtree.ClusterMonitorConfig{Addrs: addrs, Events: evlog, Obs: reg})
+//	watch := drtree.WatchClusterHealth(addrs, 0, mon)
+//	agg := &drtree.ClusterAggregator{Mon: mon, Events: evlog, Local: reg}
+//	agg.Mount(admin) // /cluster/metrics, /cluster/healthz, /cluster/events, /cluster/top
+
+// Health plane types, re-exported from internal/obs/cluster.
+type (
+	// ClusterMonitor is the coordinator-side liveness state machine over
+	// the workers' beacon streams.
+	ClusterMonitor = obscluster.Monitor
+	// ClusterMonitorConfig configures the monitor (addresses, beacon
+	// interval, missed-beacon thresholds, event archive, registry).
+	ClusterMonitorConfig = obscluster.MonitorConfig
+	// ClusterWorkerHealth is one worker's liveness row in a snapshot.
+	ClusterWorkerHealth = obscluster.WorkerHealth
+	// ClusterEventLog is the persistent structured event archive
+	// (size-capped JSONL file plus an in-memory recent ring).
+	ClusterEventLog = obscluster.EventLog
+	// ClusterEvent is one archived cluster event.
+	ClusterEvent = obscluster.Event
+	// ClusterAggregator merges the coordinator registry with the latest
+	// beacon-carried worker registries into the /cluster/* endpoints.
+	ClusterAggregator = obscluster.Aggregator
+	// ClusterHealthWatcher owns the per-rank beacon streams feeding a
+	// monitor (transport.WatchHealth's handle).
+	ClusterHealthWatcher = transport.HealthWatcher
+)
+
+// Worker liveness states.
+const (
+	WorkerUnknown = obscluster.StateUnknown
+	WorkerHealthy = obscluster.StateHealthy
+	WorkerSuspect = obscluster.StateSuspect
+	WorkerDown    = obscluster.StateDown
+)
+
+// OpenClusterEvents opens (or creates, appending) a JSONL event archive;
+// path == "" keeps events in memory only, maxBytes <= 0 defaults the
+// per-segment size cap.
+func OpenClusterEvents(path string, maxBytes int64) (*ClusterEventLog, error) {
+	return obscluster.OpenEventLog(path, maxBytes)
+}
+
+// NewClusterMonitor starts the liveness state machine; feed it with
+// WatchClusterHealth and close it when done.
+func NewClusterMonitor(cfg ClusterMonitorConfig) *ClusterMonitor { return obscluster.NewMonitor(cfg) }
+
+// WatchClusterHealth opens one beacon stream per worker (redialing on
+// loss) and feeds the monitor; interval <= 0 selects the default 1s.
+func WatchClusterHealth(addrs []string, interval time.Duration, mon *ClusterMonitor) *ClusterHealthWatcher {
+	return transport.WatchHealth(addrs, interval, mon)
+}
+
+// ReadClusterEvents loads every event from an archive segment — the
+// post-mortem reader matching the event log's JSONL writer.
+func ReadClusterEvents(path string) ([]ClusterEvent, error) { return obscluster.ReadEvents(path) }
 
 // SaveTree writes a machine-independent snapshot of the distributed tree
 // (rank points + parameters, versioned and checksummed); LoadTree rebuilds

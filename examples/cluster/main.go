@@ -19,6 +19,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
 	"repro"
 )
@@ -133,5 +134,44 @@ func main() {
 	out, in := resCluster.CoordBytes()
 	fmt.Printf("resident: %d rounds ≡ loopback's count rounds, forest in worker memory, coordinator moved %d B total\n",
 		rs.CommRounds(), out+in)
+
+	// Step 6: the health plane (what `rangesearch -workers …` wires up and
+	// `rangesearch -mode top` renders). Each worker beacons its liveness
+	// and a registry dump; the monitor ages silent ranks healthy → suspect
+	// → down and archives the transitions as structured events.
+	evlog, err := drtree.OpenClusterEvents("", 0) // "" = in-memory archive
+	if err != nil {
+		log.Fatalf("event log: %v", err)
+	}
+	defer evlog.Close()
+	const beat = 25 * time.Millisecond
+	mon := drtree.NewClusterMonitor(drtree.ClusterMonitorConfig{Addrs: addrs, Interval: beat, Events: evlog})
+	defer mon.Close()
+	watch := drtree.WatchClusterHealth(addrs, beat, mon)
+	defer watch.Close()
+	waitFor := func(what string, cond func() bool) {
+		for deadline := time.Now().Add(10 * time.Second); !cond(); time.Sleep(beat / 5) {
+			if time.Now().After(deadline) {
+				log.Fatalf("health plane: timed out waiting for %s", what)
+			}
+		}
+	}
+	waitFor("all workers healthy", mon.AllHealthy)
+	fmt.Printf("health: %d/%d workers beaconing every %v\n", mon.P(), p, beat)
+
+	// Kill the last worker and watch the state machine notice: suspect on
+	// the broken stream, down after the missed-beacon threshold.
+	workers[p-1].Close()
+	waitFor("rank 3 down", func() bool { return mon.StateOf(p-1) == drtree.WorkerDown })
+	downAt := -1
+	for i, ev := range evlog.Recent(16) {
+		if ev.Kind == "worker_down" && ev.Rank == p-1 {
+			downAt = i
+		}
+	}
+	if downAt < 0 {
+		log.Fatal("health plane: worker_down missing from the event archive")
+	}
+	fmt.Printf("health: rank %d aged to %s, archived as worker_down\n", p-1, mon.StateOf(p-1))
 	fmt.Println("loopback, TCP-fabric and TCP-resident agree on every answer and every metric")
 }

@@ -76,6 +76,10 @@ type Config struct {
 	// the loopback (wire transports return worker-side spans through the
 	// reply frames instead). Nil disables span recording.
 	Tracer *obs.Tracer
+	// Events, when set, receives a "session_abort" event the first time a
+	// run aborts (SPMD violation, worker disconnect, user panic) — the
+	// cluster event archive's hook into the machine. Nil disables it.
+	Events obs.EventSink
 }
 
 // Default BSP cost parameters: 50ns per exchanged record, 20µs per
@@ -96,6 +100,7 @@ type Machine struct {
 	resident bool
 	reg      *obs.Registry
 	tracer   *obs.Tracer
+	events   obs.EventSink
 	// trace stamps the current run's supersteps (0 = untraced). Written
 	// by SetTrace between runs, read by processor goroutines during Run —
 	// the same exclusive-run contract Run itself has.
@@ -158,7 +163,7 @@ func New(cfg Config) *Machine {
 		l = DefaultL
 	}
 	m := &Machine{p: p, mode: cfg.Mode, g: g, l: l, tr: tr, resident: cfg.Resident,
-		reg: cfg.Obs, tracer: cfg.Tracer}
+		reg: cfg.Obs, tracer: cfg.Tracer, events: cfg.Events}
 	m.metrics.WorkByProc = make([]time.Duration, p)
 	return m
 }
@@ -219,6 +224,9 @@ func (m *Machine) doAbort(cause any) {
 		close(m.abortCh)
 		m.bar.break_()
 		m.tr.Abort(fmt.Sprint(cause))
+		if m.events != nil {
+			m.events("session_abort", obs.CoordRank, fmt.Sprint(cause))
+		}
 	})
 }
 

@@ -18,6 +18,7 @@ type Admin struct {
 	reg    *Registry
 	health func() any
 	ln     net.Listener
+	mux    *http.ServeMux
 	srv    *http.Server
 	done   chan struct{}
 	once   sync.Once
@@ -49,12 +50,23 @@ func ServeAdmin(addr string, reg *Registry, health func() any) (*Admin, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
+	a.mux = mux
 	a.srv = &http.Server{Handler: mux}
 	go func() {
 		defer close(a.done)
 		_ = a.srv.Serve(ln) // returns on Close with ErrServerClosed
 	}()
 	return a, nil
+}
+
+// Handle mounts an extra handler on the admin mux (the coordinator's
+// /cluster/* endpoints). ServeMux registration is concurrency-safe, so
+// owners may mount after the server is already serving.
+func (a *Admin) Handle(pattern string, h http.HandlerFunc) {
+	if a == nil {
+		return
+	}
+	a.mux.HandleFunc(pattern, h)
 }
 
 // Addr reports the bound listen address (useful with ":0").
@@ -91,10 +103,16 @@ func (a *Admin) healthHandler(w http.ResponseWriter, _ *http.Request) {
 		_, _ = w.Write([]byte(`{"status":"no health source"}` + "\n"))
 		return
 	}
-	b, err := json.MarshalIndent(a.health(), "", "  ")
+	v := a.health()
+	b, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		w.WriteHeader(http.StatusInternalServerError)
 		return
+	}
+	// A degraded Health snapshot (failed compaction, poisoned machine,
+	// down worker) is a 503, not an always-200-while-alive.
+	if h, ok := v.(Health); ok && !h.OK {
+		w.WriteHeader(http.StatusServiceUnavailable)
 	}
 	_, _ = w.Write(append(b, '\n'))
 }

@@ -1,0 +1,395 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Aggregator merges the coordinator's own registry with the latest
+// beacon-carried worker registry dumps into one cluster view, served
+// from the coordinator's admin endpoint:
+//
+//	/cluster/metrics  merged Prometheus exposition: the coordinator
+//	                  block verbatim, every worker series relabeled with
+//	                  rank="i", the monitor's liveness series, and
+//	                  cluster_* families merged across ranks via
+//	                  HistSnapshot.Merge
+//	/cluster/healthz  obs.Health over the whole cluster (503 when any
+//	                  worker is down or the local health source degrades)
+//	/cluster/events   recent archive tail as JSON (?n= bounds it)
+//	/cluster/top      TopSnap as JSON — the rangetop wire format
+//
+// Every field is optional: a nil Monitor serves a single-process
+// cluster view, a nil Local skips the coordinator block.
+type Aggregator struct {
+	Mon    *Monitor
+	Events *EventLog
+	Local  *obs.Registry
+	// LocalHealth folds process-local health (the serving store, the
+	// machine) into /cluster/healthz; may be nil.
+	LocalHealth func() (ok bool, detail any)
+}
+
+// mergedFamilies are the worker histogram families re-exposed as one
+// cluster-wide histogram each (cluster_<base> = Merge over ranks and
+// label sets): superstep latency and exec-step latency. Counter families
+// listed in summedFamilies sum into cluster_<base>.
+var mergedFamilies = []string{"worker_superstep_ns", "exec_step_ns", "worker_step_ns"}
+
+var summedFamilies = []string{
+	"worker_supersteps_total", "worker_frames_total", "worker_feed_calls_total",
+	"worker_feed_bytes_total", "worker_ingest_busy_ns_total",
+}
+
+// WriteProm writes the merged cluster exposition.
+func (a *Aggregator) WriteProm(w io.Writer) error {
+	var b strings.Builder
+
+	// Coordinator block first, verbatim: engine/store/cgm/coord series
+	// keep their names — they exist once per cluster already. The
+	// monitor's collector may have registered the liveness series on
+	// this same registry (for plain /metrics scrapes); drop those here,
+	// the authoritative copies are emitted below — an exposition must
+	// not carry a series twice.
+	if a.Local != nil {
+		var local strings.Builder
+		_ = a.Local.WriteProm(&local)
+		for _, line := range strings.SplitAfter(local.String(), "\n") {
+			if strings.Contains(line, "cluster_worker_") || strings.Contains(line, "cluster_beacon_age_seconds") {
+				continue
+			}
+			b.WriteString(line)
+		}
+	}
+
+	rows := a.Mon.Snapshot()
+	healthy := 0
+	for _, row := range rows {
+		if row.State == StateHealthy {
+			healthy++
+		}
+	}
+	fmt.Fprintf(&b, "# TYPE cluster_workers gauge\ncluster_workers %d\n", len(rows))
+	fmt.Fprintf(&b, "# TYPE cluster_workers_healthy gauge\ncluster_workers_healthy %d\n", healthy)
+	for _, row := range rows {
+		up := 0
+		if row.State == StateHealthy {
+			up = 1
+		}
+		fmt.Fprintf(&b, "cluster_worker_up{rank=\"%d\"} %d\n", row.Rank, up)
+		fmt.Fprintf(&b, "cluster_worker_state{rank=\"%d\"} %d\n", row.Rank, int(row.State))
+		fmt.Fprintf(&b, "cluster_beacon_age_seconds{rank=\"%d\"} %g\n", row.Rank, row.BeaconAge.Seconds())
+	}
+
+	// Per-rank worker series, relabeled. Histograms expose sum/count
+	// plus p50/p99 gauges per rank (the latency heatmap); full bucket
+	// expositions come from the merged cluster families below.
+	merged := make(map[string]obs.HistSnapshot)
+	summed := make(map[string]int64)
+	var lines []string
+	for _, row := range rows {
+		if !row.Seen {
+			continue
+		}
+		rank := fmt.Sprintf(`rank="%d"`, row.Rank)
+		withRank := func(name string) (base, labels string) {
+			base, labels = obs.SplitName(name)
+			if !strings.Contains(labels, "rank=") {
+				if labels == "" {
+					labels = rank
+				} else {
+					labels += "," + rank
+				}
+			}
+			return base, labels
+		}
+		for name, v := range row.Beacon.Dump.Counters {
+			base, labels := withRank(name)
+			lines = append(lines, fmt.Sprintf("%s%s %d\n", base, obs.JoinLabels(labels, ""), v))
+			for _, fam := range summedFamilies {
+				if base == fam {
+					summed["cluster_"+strings.TrimPrefix(base, "worker_")+obs.JoinLabels(stripRank(labels, rank), "")] += v
+				}
+			}
+		}
+		for name, v := range row.Beacon.Dump.Gauges {
+			base, labels := withRank(name)
+			lines = append(lines, fmt.Sprintf("%s%s %g\n", base, obs.JoinLabels(labels, ""), v))
+		}
+		for name, s := range row.Beacon.Dump.Hists {
+			base, labels := withRank(name)
+			lines = append(lines,
+				fmt.Sprintf("%s_sum%s %d\n", base, obs.JoinLabels(labels, ""), s.Sum),
+				fmt.Sprintf("%s_count%s %d\n", base, obs.JoinLabels(labels, ""), s.Count),
+				fmt.Sprintf("%s_p50%s %g\n", base, obs.JoinLabels(labels, ""), s.Quantile(0.50)),
+				fmt.Sprintf("%s_p99%s %g\n", base, obs.JoinLabels(labels, ""), s.Quantile(0.99)),
+			)
+			for _, fam := range mergedFamilies {
+				if base == fam {
+					merged["cluster_"+strings.TrimPrefix(base, "worker_")] =
+						merged["cluster_"+strings.TrimPrefix(base, "worker_")].Merge(s)
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		b.WriteString(l)
+	}
+
+	// Cluster-merged families: full bucket expositions so dashboards see
+	// the cluster-wide distribution the paper's Theorem 2/3 bounds talk
+	// about, not p disjoint ones.
+	names := make([]string, 0, len(merged))
+	for name := range merged {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		_ = merged[name].WriteProm(&b, name)
+	}
+	sums := make([]string, 0, len(summed))
+	for name := range summed {
+		sums = append(sums, name)
+	}
+	sort.Strings(sums)
+	for _, name := range sums {
+		fmt.Fprintf(&b, "%s %d\n", name, summed[name])
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// stripRank removes the injected rank label so per-rank label sets merge
+// into one cluster series (worker_feed_calls_total{rank="2"} sums into
+// cluster_feed_calls_total).
+func stripRank(labels, rank string) string {
+	switch {
+	case labels == rank:
+		return ""
+	case strings.HasSuffix(labels, ","+rank):
+		return strings.TrimSuffix(labels, ","+rank)
+	case strings.HasPrefix(labels, rank+","):
+		return strings.TrimPrefix(labels, rank+",")
+	default:
+		return labels
+	}
+}
+
+// Health builds the /cluster/healthz payload: OK iff no worker is down
+// or suspect and the local health source (store, machine) agrees.
+func (a *Aggregator) Health() obs.Health {
+	ok := true
+	detail := map[string]any{}
+	if a.Mon != nil {
+		rows := a.Mon.Snapshot()
+		workers := make([]map[string]any, len(rows))
+		for i, row := range rows {
+			workers[i] = map[string]any{
+				"rank":          row.Rank,
+				"addr":          row.Addr,
+				"state":         row.State.String(),
+				"beacon_age_ms": row.BeaconAge.Milliseconds(),
+			}
+			if row.LastErr != "" {
+				workers[i]["err"] = row.LastErr
+			}
+			if row.State != StateHealthy {
+				ok = false
+			}
+		}
+		detail["p"] = len(rows)
+		detail["workers"] = workers
+	}
+	if a.LocalHealth != nil {
+		lok, ldet := a.LocalHealth()
+		ok = ok && lok
+		detail["coordinator"] = ldet
+	}
+	if a.Events != nil {
+		detail["events"] = map[string]any{"archive": a.Events.Path(), "recent": len(a.Events.Recent(eventRingCap))}
+		if werr := a.Events.Err(); werr != "" {
+			detail["events_write_err"] = werr
+		}
+	}
+	return obs.Health{OK: ok, Detail: detail}
+}
+
+// MetricsHandler serves /cluster/metrics.
+func (a *Aggregator) MetricsHandler(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = a.WriteProm(w)
+}
+
+// HealthzHandler serves /cluster/healthz (503 when degraded).
+func (a *Aggregator) HealthzHandler(w http.ResponseWriter, _ *http.Request) {
+	h := a.Health()
+	w.Header().Set("Content-Type", "application/json")
+	b, err := json.MarshalIndent(h, "", "  ")
+	if err != nil {
+		w.WriteHeader(http.StatusInternalServerError)
+		return
+	}
+	if !h.OK {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	_, _ = w.Write(append(b, '\n'))
+}
+
+// EventsHandler serves /cluster/events: the archive tail as a JSON
+// array, newest last; ?n= bounds the count (default 100).
+func (a *Aggregator) EventsHandler(w http.ResponseWriter, r *http.Request) {
+	n := 100
+	if s := r.URL.Query().Get("n"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			n = v
+		}
+	}
+	evs := a.Events.Recent(n)
+	if evs == nil {
+		evs = []Event{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	b, err := json.MarshalIndent(evs, "", "  ")
+	if err != nil {
+		w.WriteHeader(http.StatusInternalServerError)
+		return
+	}
+	_, _ = w.Write(append(b, '\n'))
+}
+
+// TopHandler serves /cluster/top — the rangetop wire format.
+func (a *Aggregator) TopHandler(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	b, err := json.Marshal(a.Top())
+	if err != nil {
+		w.WriteHeader(http.StatusInternalServerError)
+		return
+	}
+	_, _ = w.Write(append(b, '\n'))
+}
+
+// Mount attaches all four endpoints to an admin-style mux.
+func (a *Aggregator) Mount(h interface {
+	Handle(pattern string, fn http.HandlerFunc)
+}) {
+	h.Handle("/cluster/metrics", a.MetricsHandler)
+	h.Handle("/cluster/healthz", a.HealthzHandler)
+	h.Handle("/cluster/events", a.EventsHandler)
+	h.Handle("/cluster/top", a.TopHandler)
+}
+
+// TopSnap is one rangetop sample: cumulative counters plus quantiles;
+// the renderer derives rates by diffing two snaps, which keeps the
+// aggregator stateless.
+type TopSnap struct {
+	UnixNs  int64       `json:"unix_ns"`
+	P       int         `json:"p"`
+	Workers []TopWorker `json:"workers"`
+	Coord   TopCoord    `json:"coord"`
+	Events  []Event     `json:"events,omitempty"` // recent tail for the footer
+}
+
+// TopWorker is one per-rank row.
+type TopWorker struct {
+	Rank        int     `json:"rank"`
+	Addr        string  `json:"addr"`
+	State       string  `json:"state"`
+	BeaconAgeMs int64   `json:"beacon_age_ms"`
+	Sessions    int     `json:"sessions"`
+	HeapBytes   uint64  `json:"heap_bytes"`
+	Supersteps  int64   `json:"supersteps"`
+	StepP50Ns   float64 `json:"step_p50_ns"`
+	StepP99Ns   float64 `json:"step_p99_ns"`
+	FeedCalls   int64   `json:"feed_calls"`
+	FeedBytes   int64   `json:"feed_bytes"`
+	LastStamp   string  `json:"last_stamp,omitempty"`
+}
+
+// TopCoord is the cluster summary line's source.
+type TopCoord struct {
+	Submitted    int64   `json:"submitted"`
+	CacheHits    int64   `json:"cache_hits"`
+	LatP50Ns     float64 `json:"lat_p50_ns"`
+	LatP99Ns     float64 `json:"lat_p99_ns"`
+	Runs         int64   `json:"runs"`
+	Rounds       int64   `json:"rounds"`
+	StoreLive    int64   `json:"store_live"`
+	StoreLevels  int64   `json:"store_levels"`
+	StoreBacklog int64   `json:"store_backlog"`
+	Healthy      bool    `json:"healthy"`
+}
+
+// Top assembles a TopSnap from the monitor and the local registry.
+func (a *Aggregator) Top() TopSnap {
+	rows := a.Mon.Snapshot()
+	snap := TopSnap{UnixNs: time.Now().UnixNano(), P: len(rows)}
+	for _, row := range rows {
+		tw := TopWorker{
+			Rank:        row.Rank,
+			Addr:        row.Addr,
+			State:       row.State.String(),
+			BeaconAgeMs: row.BeaconAge.Milliseconds(),
+			Sessions:    row.Beacon.Sessions,
+			HeapBytes:   row.Beacon.HeapBytes,
+			LastStamp:   row.Beacon.LastStamp,
+		}
+		var steps obs.HistSnapshot
+		for name, s := range row.Beacon.Dump.Hists {
+			if base, _ := obs.SplitName(name); base == "worker_superstep_ns" {
+				steps = steps.Merge(s)
+			}
+		}
+		tw.Supersteps = sumCounters(row.Beacon.Dump.Counters, "worker_supersteps_total")
+		tw.StepP50Ns = steps.Quantile(0.50)
+		tw.StepP99Ns = steps.Quantile(0.99)
+		tw.FeedCalls = sumCounters(row.Beacon.Dump.Counters, "worker_feed_calls_total")
+		tw.FeedBytes = sumCounters(row.Beacon.Dump.Counters, "worker_feed_bytes_total")
+		snap.Workers = append(snap.Workers, tw)
+	}
+	if a.Local != nil {
+		d := a.Local.Dump()
+		var lat obs.HistSnapshot
+		for name, s := range d.Hists {
+			if base, _ := obs.SplitName(name); base == "engine_query_latency_ns" {
+				lat = lat.Merge(s)
+			}
+		}
+		snap.Coord = TopCoord{
+			Submitted:    sumCounters(d.Counters, "engine_submitted_total"),
+			CacheHits:    sumCounters(d.Counters, "engine_cache_hits_total"),
+			LatP50Ns:     lat.Quantile(0.50),
+			LatP99Ns:     lat.Quantile(0.99),
+			Runs:         sumCounters(d.Counters, "cgm_runs_total"),
+			Rounds:       sumCounters(d.Counters, "cgm_rounds_total"),
+			StoreLive:    int64(d.Gauges["store_live_points"]),
+			StoreLevels:  int64(d.Gauges["store_levels"]),
+			StoreBacklog: int64(d.Gauges["store_memtable_pending"] + d.Gauges["store_shadow_pending"]),
+		}
+	}
+	snap.Coord.Healthy = a.Health().OK
+	if a.Events != nil {
+		snap.Events = a.Events.Recent(5)
+	}
+	return snap
+}
+
+// sumCounters sums every series of a family (all label sets).
+func sumCounters(counters map[string]int64, base string) int64 {
+	var total int64
+	for name, v := range counters {
+		if b, _ := obs.SplitName(name); b == base {
+			total += v
+		}
+	}
+	return total
+}

@@ -1,0 +1,46 @@
+// Package cluster is the coordinator-side health plane: it turns the p+1
+// per-process observability islands of PR 8 into one cluster view. The
+// pieces are
+//
+//   - Beacon: the compact health payload a worker pushes every interval
+//     on a dedicated beacon stream (transport owns the wire; this package
+//     owns the payload and its consumers),
+//   - Monitor: the per-worker liveness state machine
+//     (healthy → suspect → down) fed by beacons and connection losses,
+//   - EventLog: a size-capped JSONL archive of structured cluster events
+//     so post-mortems survive the coordinator process,
+//   - Aggregator: merges worker registry dumps into cluster-level
+//     families served from /cluster/metrics, /cluster/healthz,
+//     /cluster/events and /cluster/top,
+//   - rangetop (top.go): the terminal renderer over the aggregator API.
+//
+// The package deliberately imports only internal/obs and the standard
+// library: transport imports it for the Beacon frame payload, so any
+// transport dependency here would cycle.
+package cluster
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// DefaultInterval is the beacon period when the subscriber does not ask
+// for another one: one beacon per second, the granularity the liveness
+// timeouts (suspect after 2 missed, down after 3) are quoted in.
+const DefaultInterval = time.Second
+
+// Beacon is one worker health sample. Workers push one per interval on
+// the beacon stream; the Dump carries the worker's full metrics registry
+// (sessions, feed backlog, exec-step latencies, frame counters) so the
+// coordinator aggregates real series instead of a hand-picked subset.
+type Beacon struct {
+	Seq        uint64 // per-subscription sequence number, from 1
+	Addr       string // the worker's session listener address
+	Sessions   int    // live sessions (machines + store levels)
+	Goroutines int
+	HeapBytes  uint64 // runtime.MemStats.HeapAlloc at sample time
+	UptimeNs   int64  // nanoseconds since the worker started serving
+	LastStamp  string // most recent superstep stamp served ("" if none)
+	Dump       obs.RegistryDump
+}

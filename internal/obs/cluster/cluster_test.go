@@ -1,0 +1,292 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestEventLogRingAndFile checks the archive's two faces agree: Recent
+// serves the in-memory tail oldest-first, and ReadEvents replays the
+// same events from the JSONL file.
+func TestEventLogRingAndFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	ev, err := OpenEventLog(path, 0)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		ev.Emit("compaction", obs.CoordRank, fmt.Sprintf("pass %d", i))
+	}
+	ev.Emit("worker_down", 2, "3 beacon intervals silent")
+	recent := ev.Recent(3)
+	if len(recent) != 3 {
+		t.Fatalf("Recent(3) returned %d events", len(recent))
+	}
+	if recent[2].Kind != "worker_down" || recent[2].Rank != 2 {
+		t.Fatalf("newest event = %+v, want the worker_down", recent[2])
+	}
+	if recent[0].Detail != "pass 3" {
+		t.Fatalf("Recent not oldest-first: %+v", recent)
+	}
+	if err := ev.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	replay, err := ReadEvents(path)
+	if err != nil {
+		t.Fatalf("ReadEvents: %v", err)
+	}
+	if len(replay) != 6 {
+		t.Fatalf("file replay has %d events, want 6", len(replay))
+	}
+	if replay[5].Kind != "worker_down" || replay[5].Detail != "3 beacon intervals silent" {
+		t.Fatalf("file tail = %+v", replay[5])
+	}
+	if replay[0].T.IsZero() {
+		t.Fatal("timestamps not persisted")
+	}
+}
+
+// TestEventLogRotation drives the archive past its size cap and checks
+// it rotates once to <path>.1 instead of growing without bound.
+func TestEventLogRotation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	ev, err := OpenEventLog(path, 512)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	for i := 0; i < 40; i++ {
+		ev.Emit("checkpoint", obs.CoordRank, fmt.Sprintf("version %d with some padding detail", i))
+	}
+	if werr := ev.Err(); werr != "" {
+		t.Fatalf("write error: %s", werr)
+	}
+	ev.Close()
+	for _, p := range []string{path, path + ".1"} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("stat %s: %v", p, err)
+		}
+		if st.Size() > 512+256 {
+			t.Errorf("%s is %d bytes, cap was 512", p, st.Size())
+		}
+		if _, err := ReadEvents(p); err != nil {
+			t.Errorf("replay %s: %v", p, err)
+		}
+	}
+	// The ring still holds the full recent tail across rotations.
+	recent := ev.Recent(40)
+	if len(recent) != 40 {
+		t.Fatalf("ring lost events across rotation: %d of 40", len(recent))
+	}
+	if recent[39].Detail != "version 39 with some padding detail" {
+		t.Fatalf("ring tail = %+v", recent[39])
+	}
+}
+
+// TestEventLogNil checks the no-op contract every producer leans on.
+func TestEventLogNil(t *testing.T) {
+	var ev *EventLog
+	ev.Emit("whatever", 0, "x") // must not panic
+	if got := ev.Recent(5); got != nil {
+		t.Fatalf("nil Recent = %v", got)
+	}
+	if ev.Err() != "" || ev.Path() != "" || ev.Close() != nil {
+		t.Fatal("nil accessors not zero")
+	}
+}
+
+// feedBeacon builds a beacon carrying the dump of a scratch registry
+// populated by fill.
+func feedBeacon(seq uint64, addr string, fill func(r *obs.Registry)) Beacon {
+	r := obs.NewRegistry()
+	fill(r)
+	return Beacon{Seq: seq, Addr: addr, Sessions: 1, Dump: r.Dump()}
+}
+
+// TestAggregatorMergesDisjointLabelSets feeds two ranks whose histogram
+// and counter families carry disjoint label sets and checks the merged
+// cluster families combine them: per-rank series are relabeled with
+// rank="i", cluster_* histograms merge across both label sets, and
+// summed counters keep their own labels while dropping the rank.
+func TestAggregatorMergesDisjointLabelSets(t *testing.T) {
+	mon := NewMonitor(MonitorConfig{Addrs: []string{"a:1", "b:2"}, Interval: time.Hour})
+	defer mon.Close()
+	mon.Feed(0, feedBeacon(1, "a:1", func(r *obs.Registry) {
+		h := r.Histogram(`exec_step_ns{kind="call",step="core/points"}`)
+		for i := 0; i < 4; i++ {
+			h.Observe(100)
+		}
+		r.Counter(`worker_frames_total{kind="deposit"}`).Add(5)
+	}))
+	mon.Feed(1, feedBeacon(1, "b:2", func(r *obs.Registry) {
+		h := r.Histogram(`exec_step_ns{kind="emit",step="core/search"}`)
+		for i := 0; i < 6; i++ {
+			h.Observe(1 << 16)
+		}
+		r.Counter(`worker_frames_total{kind="deposit"}`).Add(7)
+		r.Counter(`worker_frames_total{kind="block"}`).Add(3)
+	}))
+
+	agg := &Aggregator{Mon: mon}
+	var b strings.Builder
+	if err := agg.WriteProm(&b); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		// Relabeled per-rank series keep their original labels plus rank.
+		`exec_step_ns_count{kind="call",step="core/points",rank="0"} 4`,
+		`exec_step_ns_count{kind="emit",step="core/search",rank="1"} 6`,
+		`worker_frames_total{kind="deposit",rank="0"} 5`,
+		`worker_frames_total{kind="block",rank="1"} 3`,
+		// The merged cluster histogram spans both ranks' label sets.
+		"cluster_exec_step_ns_count 10",
+		fmt.Sprintf("cluster_exec_step_ns_sum %d", 4*100+6*(1<<16)),
+		// Summed counters merge ranks but keep their own labels.
+		`cluster_frames_total{kind="deposit"} 12`,
+		`cluster_frames_total{kind="block"} 3`,
+		// Liveness series.
+		`cluster_worker_up{rank="0"} 1`,
+		`cluster_worker_up{rank="1"} 1`,
+		"cluster_workers_healthy 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if strings.Contains(out, `rank="0",rank=`) || strings.Contains(out, `rank="1",rank=`) {
+		t.Error("rank label injected twice")
+	}
+}
+
+// TestAggregatorEmptyMonitor checks a monitor with no beacons yet (and a
+// nil monitor) still renders: zero workers healthy, no per-rank dump
+// lines, no panic.
+func TestAggregatorEmptyMonitor(t *testing.T) {
+	mon := NewMonitor(MonitorConfig{Addrs: []string{"a:1"}, Interval: time.Hour})
+	defer mon.Close()
+	agg := &Aggregator{Mon: mon}
+	var b strings.Builder
+	if err := agg.WriteProm(&b); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	if !strings.Contains(b.String(), "cluster_workers_healthy 0") {
+		t.Errorf("unseen worker counted healthy:\n%s", b.String())
+	}
+	single := &Aggregator{Local: obs.NewRegistry()}
+	b.Reset()
+	if err := single.WriteProm(&b); err != nil {
+		t.Fatalf("nil-monitor WriteProm: %v", err)
+	}
+	if !strings.Contains(b.String(), "cluster_workers 0") {
+		t.Errorf("nil monitor exposition:\n%s", b.String())
+	}
+	if h := single.Health(); !h.OK {
+		t.Errorf("single-process aggregator reports degraded: %+v", h)
+	}
+}
+
+// TestMonitorStateMachine drives the liveness transitions directly:
+// feed → healthy, lost → suspect (with event), silence → down (with
+// event), feed again → healthy with worker_recovered.
+func TestMonitorStateMachine(t *testing.T) {
+	ev, _ := OpenEventLog("", 0)
+	const interval = 20 * time.Millisecond
+	mon := NewMonitor(MonitorConfig{Addrs: []string{"a:1", "b:2"}, Interval: interval,
+		SuspectMissed: 2, DownMissed: 3, Events: ev})
+	defer mon.Close()
+
+	if st := mon.StateOf(0); st != StateUnknown {
+		t.Fatalf("initial state = %v", st)
+	}
+	mon.Feed(0, Beacon{Seq: 1, Addr: "a:1"})
+	mon.Feed(1, Beacon{Seq: 1, Addr: "b:2"})
+	if !mon.AllHealthy() {
+		t.Fatal("fed workers not healthy")
+	}
+
+	// A broken stream is suspect immediately, not after the timeout.
+	mon.Lost(1, fmt.Errorf("connection reset"))
+	if st := mon.StateOf(1); st != StateSuspect {
+		t.Fatalf("after Lost: state = %v, want suspect", st)
+	}
+
+	// Silence ages suspect into down within DownMissed intervals.
+	deadline := time.Now().Add(3*interval + 10*interval)
+	for mon.StateOf(1) != StateDown {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never aged to down")
+		}
+		time.Sleep(interval / 4)
+	}
+	// Rank 0 keeps beaconing and must stay healthy throughout.
+	mon.Feed(0, Beacon{Seq: 2, Addr: "a:1"})
+	if st := mon.StateOf(0); st != StateHealthy {
+		t.Fatalf("rank 0 state = %v, want healthy", st)
+	}
+
+	// A beacon resurrects the rank and archives the recovery.
+	mon.Feed(1, Beacon{Seq: 9, Addr: "b:2"})
+	if st := mon.StateOf(1); st != StateHealthy {
+		t.Fatalf("after recovery beacon: state = %v", st)
+	}
+	kinds := map[string]int{}
+	for _, e := range ev.Recent(32) {
+		if e.Rank == 1 {
+			kinds[e.Kind]++
+		}
+	}
+	for _, want := range []string{"worker_suspect", "worker_down", "worker_recovered"} {
+		if kinds[want] == 0 {
+			t.Errorf("missing %s event (got %v)", want, kinds)
+		}
+	}
+}
+
+// TestRenderTop pins the rangetop frame: first frame rates render as
+// "-", the second frame derives them from the diff, and a down rank is
+// marked DOWN with its beacon loss age.
+func TestRenderTop(t *testing.T) {
+	mk := func(unixNs int64, steps0 int64) *TopSnap {
+		return &TopSnap{
+			UnixNs: unixNs, P: 2,
+			Workers: []TopWorker{
+				{Rank: 1, Addr: "b:2", State: "down", BeaconAgeMs: 412, Sessions: 0},
+				{Rank: 0, Addr: "a:1", State: "healthy", BeaconAgeMs: 3, Sessions: 1,
+					Supersteps: steps0, HeapBytes: 5 << 20},
+			},
+			Coord:  TopCoord{Submitted: 100 + steps0, Healthy: false, StoreLive: 42},
+			Events: []Event{{T: time.Unix(0, unixNs), Kind: "worker_down", Rank: 1, Detail: "silent"}},
+		}
+	}
+	first := RenderTop(nil, mk(1e9, 50), false)
+	if !strings.Contains(first, "rangetop · p=2 · workers 1/2 up · DEGRADED") {
+		t.Errorf("header wrong:\n%s", first)
+	}
+	if !strings.Contains(first, "DOWN") || !strings.Contains(first, "lost 412ms") {
+		t.Errorf("down rank not marked:\n%s", first)
+	}
+	// Rows are ordered by rank even when the snapshot is not.
+	if strings.Index(first, "r0") > strings.Index(first, "r1 ") {
+		t.Errorf("rows not rank-ordered:\n%s", first)
+	}
+	if !strings.Contains(first, "- ") {
+		t.Errorf("first frame should render rates as '-':\n%s", first)
+	}
+	if !strings.Contains(first, "worker_down") {
+		t.Errorf("event footer missing:\n%s", first)
+	}
+	second := RenderTop(mk(1e9, 50), mk(2e9, 150), false)
+	if !strings.Contains(second, "100.0") { // 100 steps in 1s
+		t.Errorf("steps/s not derived from diff:\n%s", second)
+	}
+	if color := RenderTop(nil, mk(1e9, 50), true); !strings.Contains(color, "\x1b[31mDOWN") {
+		t.Errorf("color frame missing red DOWN cell:\n%q", color)
+	}
+}

@@ -1,0 +1,195 @@
+package cluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"sync"
+	"time"
+)
+
+// Event is one structured cluster event: a worker lifecycle transition
+// (worker_suspect / worker_down / worker_recovered), a session abort, a
+// store compaction or checkpoint, an ingest begin/end. Rank is the
+// worker rank the event concerns, or -1 (obs.CoordRank) for
+// coordinator/cluster scope.
+type Event struct {
+	T      time.Time `json:"t"`
+	Kind   string    `json:"kind"`
+	Rank   int       `json:"rank"`
+	Detail string    `json:"detail,omitempty"`
+}
+
+// eventRingCap bounds the in-memory tail served by /cluster/events and
+// the serve-loop `events` command; the JSONL file keeps more.
+const eventRingCap = 512
+
+// EventLog is the persistent trace/event archive: every event is
+// appended as one JSON line to a size-capped file under the store
+// directory (so post-mortems survive the process), and a bounded
+// in-memory ring serves recent-event queries without touching disk.
+// When the cap is hit the file rotates once to <path>.1 — a two-segment
+// ring, not unbounded growth. A nil *EventLog is a valid no-op sink, and
+// an EventLog opened with an empty path archives in memory only.
+type EventLog struct {
+	mu       sync.Mutex
+	path     string
+	f        *os.File
+	size     int64
+	maxBytes int64
+	ring     []Event
+	start    int // ring read position
+	n        int // ring occupancy
+	writeErr string
+}
+
+// OpenEventLog opens (appending) or creates the archive file. path == ""
+// means memory-only; maxBytes <= 0 defaults to 1 MiB per segment.
+func OpenEventLog(path string, maxBytes int64) (*EventLog, error) {
+	if maxBytes <= 0 {
+		maxBytes = 1 << 20
+	}
+	e := &EventLog{path: path, maxBytes: maxBytes, ring: make([]Event, eventRingCap)}
+	if path == "" {
+		return e, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if st, err := f.Stat(); err == nil {
+		e.size = st.Size()
+	}
+	e.f = f
+	return e, nil
+}
+
+// Path reports the archive file path ("" when memory-only). Nil-safe.
+func (e *EventLog) Path() string {
+	if e == nil {
+		return ""
+	}
+	return e.path
+}
+
+// Emit records an event stamped now. Its signature matches obs.EventSink
+// so producers take `log.Emit` directly. Nil-safe.
+func (e *EventLog) Emit(kind string, rank int, detail string) {
+	if e == nil {
+		return
+	}
+	e.Append(Event{T: time.Now(), Kind: kind, Rank: rank, Detail: detail})
+}
+
+// Append records one fully formed event.
+func (e *EventLog) Append(ev Event) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	// Ring first: the in-memory tail must reflect the event even if the
+	// disk write fails.
+	i := (e.start + e.n) % len(e.ring)
+	e.ring[i] = ev
+	if e.n < len(e.ring) {
+		e.n++
+	} else {
+		e.start = (e.start + 1) % len(e.ring)
+	}
+	if e.f == nil {
+		return
+	}
+	line, err := json.Marshal(ev)
+	if err != nil {
+		e.writeErr = err.Error()
+		return
+	}
+	line = append(line, '\n')
+	if e.size+int64(len(line)) > e.maxBytes {
+		e.rotateLocked()
+	}
+	n, err := e.f.Write(line)
+	e.size += int64(n)
+	if err != nil {
+		e.writeErr = err.Error()
+	}
+}
+
+// rotateLocked moves the full segment to <path>.1 (replacing any prior
+// rotation) and starts a fresh one.
+func (e *EventLog) rotateLocked() {
+	e.f.Close()
+	_ = os.Rename(e.path, e.path+".1")
+	f, err := os.OpenFile(e.path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		e.writeErr = err.Error()
+		e.f = nil
+		return
+	}
+	e.f = f
+	e.size = 0
+}
+
+// Recent returns up to n most recent events, oldest first. Nil-safe.
+func (e *EventLog) Recent(n int) []Event {
+	if e == nil || n <= 0 {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if n > e.n {
+		n = e.n
+	}
+	out := make([]Event, 0, n)
+	for i := e.n - n; i < e.n; i++ {
+		out = append(out, e.ring[(e.start+i)%len(e.ring)])
+	}
+	return out
+}
+
+// Err reports the most recent archive write error ("" when healthy).
+func (e *EventLog) Err() string {
+	if e == nil {
+		return ""
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.writeErr
+}
+
+// Close flushes and closes the archive file. Nil-safe and idempotent.
+func (e *EventLog) Close() error {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.f == nil {
+		return nil
+	}
+	err := e.f.Close()
+	e.f = nil
+	return err
+}
+
+// ReadEvents loads every event from a JSONL archive segment —
+// the test- and post-mortem-side reader matching EventLog's writer.
+func ReadEvents(path string) ([]Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []Event
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return out, err
+		}
+		out = append(out, ev)
+	}
+	return out, sc.Err()
+}

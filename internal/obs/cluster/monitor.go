@@ -1,0 +1,294 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// State is a worker's position in the liveness state machine.
+type State int
+
+const (
+	// StateUnknown: no beacon received yet (monitor just started or the
+	// worker never came up). Counts as not-up in cluster_worker_up.
+	StateUnknown State = iota
+	// StateHealthy: a beacon arrived within the suspect window.
+	StateHealthy
+	// StateSuspect: the beacon stream broke or SuspectMissed intervals
+	// passed without a beacon. The watcher is redialing; the worker may
+	// recover.
+	StateSuspect
+	// StateDown: DownMissed intervals passed since the last beacon. The
+	// detection substrate ROADMAP item 1's failover consumes.
+	StateDown
+)
+
+func (s State) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateSuspect:
+		return "suspect"
+	case StateDown:
+		return "down"
+	default:
+		return "unknown"
+	}
+}
+
+// MonitorConfig configures the liveness state machine.
+type MonitorConfig struct {
+	// Addrs are the worker session addresses, indexed by rank.
+	Addrs []string
+	// Interval is the expected beacon period (DefaultInterval when zero).
+	Interval time.Duration
+	// SuspectMissed and DownMissed are the missed-interval thresholds for
+	// the healthy→suspect and →down transitions (defaults 2 and 3).
+	SuspectMissed int
+	DownMissed    int
+	// Events receives worker lifecycle transitions; may be nil.
+	Events *EventLog
+	// Obs, when set, gains a collector exporting cluster_worker_up{rank}
+	// and cluster_worker_state{rank} at every scrape.
+	Obs *obs.Registry
+}
+
+// WorkerHealth is one row of a monitor snapshot.
+type WorkerHealth struct {
+	Rank      int
+	Addr      string
+	State     State
+	Seen      bool          // ever received a beacon
+	BeaconAge time.Duration // since the last beacon (or monitor start)
+	LastErr   string        // most recent stream error, "" when healthy
+	Beacon    Beacon        // last received beacon (zero until Seen)
+}
+
+// Monitor maintains per-worker liveness. Beacons arrive via Feed, stream
+// breaks via Lost (both called by transport's beacon watcher); an
+// internal ticker ages workers into suspect/down when beacons stop
+// arriving entirely. All methods are safe for concurrent use.
+type Monitor struct {
+	cfg  MonitorConfig
+	mu   sync.Mutex
+	ws   []wstate
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+type wstate struct {
+	state   State
+	seen    bool
+	last    time.Time // last beacon (or monitor start while unseen)
+	lastErr string
+	beacon  Beacon
+}
+
+// NewMonitor starts a monitor over cfg.Addrs.
+func NewMonitor(cfg MonitorConfig) *Monitor {
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultInterval
+	}
+	if cfg.SuspectMissed <= 0 {
+		cfg.SuspectMissed = 2
+	}
+	if cfg.DownMissed <= cfg.SuspectMissed {
+		cfg.DownMissed = cfg.SuspectMissed + 1
+	}
+	m := &Monitor{
+		cfg:  cfg,
+		ws:   make([]wstate, len(cfg.Addrs)),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	now := time.Now()
+	for i := range m.ws {
+		m.ws[i].last = now
+	}
+	if cfg.Obs != nil {
+		cfg.Obs.Collect(m.collect)
+	}
+	go m.run()
+	return m
+}
+
+// P reports the number of monitored workers. Nil-safe.
+func (m *Monitor) P() int {
+	if m == nil {
+		return 0
+	}
+	return len(m.cfg.Addrs)
+}
+
+// Interval reports the configured beacon period.
+func (m *Monitor) Interval() time.Duration { return m.cfg.Interval }
+
+// Feed records a received beacon: the worker is healthy, whatever it
+// was before; coming back from suspect/down emits worker_recovered.
+func (m *Monitor) Feed(rank int, b Beacon) {
+	if m == nil || rank < 0 || rank >= len(m.ws) {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w := &m.ws[rank]
+	prev := w.state
+	w.state = StateHealthy
+	w.seen = true
+	w.last = time.Now()
+	w.lastErr = ""
+	w.beacon = b
+	if prev == StateSuspect || prev == StateDown {
+		m.cfg.Events.Emit("worker_recovered", rank, fmt.Sprintf("beacon seq %d from %s after %s", b.Seq, b.Addr, prev))
+	}
+}
+
+// Lost records a broken beacon stream (dial failure, read error): a
+// healthy worker turns suspect immediately — faster than waiting out the
+// missed-beacon window — and the down timer keeps running from the last
+// beacon.
+func (m *Monitor) Lost(rank int, err error) {
+	if m == nil || rank < 0 || rank >= len(m.ws) {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w := &m.ws[rank]
+	if err != nil {
+		w.lastErr = err.Error()
+	}
+	if w.state == StateHealthy {
+		w.state = StateSuspect
+		m.cfg.Events.Emit("worker_suspect", rank, fmt.Sprintf("beacon stream lost: %v", err))
+	}
+}
+
+// run ages workers: ticking well under the beacon interval keeps the
+// detection latency dominated by the thresholds, not the poll.
+func (m *Monitor) run() {
+	defer close(m.done)
+	period := m.cfg.Interval / 4
+	if period < 5*time.Millisecond {
+		period = 5 * time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			m.tick(time.Now())
+		case <-m.stop:
+			return
+		}
+	}
+}
+
+func (m *Monitor) tick(now time.Time) {
+	suspectAfter := time.Duration(m.cfg.SuspectMissed) * m.cfg.Interval
+	downAfter := time.Duration(m.cfg.DownMissed) * m.cfg.Interval
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for rank := range m.ws {
+		w := &m.ws[rank]
+		age := now.Sub(w.last)
+		if w.state == StateHealthy && age > suspectAfter {
+			w.state = StateSuspect
+			m.cfg.Events.Emit("worker_suspect", rank, fmt.Sprintf("%d beacon intervals silent", m.cfg.SuspectMissed))
+		}
+		if w.state != StateDown && age > downAfter {
+			w.state = StateDown
+			detail := fmt.Sprintf("%d beacon intervals silent", m.cfg.DownMissed)
+			if !w.seen {
+				detail = "no beacon ever received"
+			}
+			if w.lastErr != "" {
+				detail += ": " + w.lastErr
+			}
+			m.cfg.Events.Emit("worker_down", rank, detail)
+		}
+	}
+}
+
+// StateOf reports a worker's current liveness state.
+func (m *Monitor) StateOf(rank int) State {
+	if m == nil || rank < 0 || rank >= len(m.ws) {
+		return StateUnknown
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ws[rank].state
+}
+
+// Snapshot returns one row per worker, indexed by rank. Nil-safe.
+func (m *Monitor) Snapshot() []WorkerHealth {
+	if m == nil {
+		return nil
+	}
+	now := time.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]WorkerHealth, len(m.ws))
+	for rank := range m.ws {
+		w := &m.ws[rank]
+		addr := m.cfg.Addrs[rank]
+		if w.beacon.Addr != "" {
+			addr = w.beacon.Addr
+		}
+		out[rank] = WorkerHealth{
+			Rank:      rank,
+			Addr:      addr,
+			State:     w.state,
+			Seen:      w.seen,
+			BeaconAge: now.Sub(w.last),
+			LastErr:   w.lastErr,
+			Beacon:    w.beacon,
+		}
+	}
+	return out
+}
+
+// AllHealthy reports whether every monitored worker is currently
+// healthy. Nil receivers (no cluster) report true.
+func (m *Monitor) AllHealthy() bool {
+	if m == nil {
+		return true
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range m.ws {
+		if m.ws[i].state != StateHealthy {
+			return false
+		}
+	}
+	return true
+}
+
+// collect is the registry collector: the liveness state machine as
+// scrapeable series.
+func (m *Monitor) collect(emit obs.Emit) {
+	for _, w := range m.Snapshot() {
+		up := 0.0
+		if w.State == StateHealthy {
+			up = 1
+		}
+		emit(fmt.Sprintf(`cluster_worker_up{rank="%d"}`, w.Rank), up)
+		emit(fmt.Sprintf(`cluster_worker_state{rank="%d"}`, w.Rank), float64(w.State))
+		emit(fmt.Sprintf(`cluster_beacon_age_seconds{rank="%d"}`, w.Rank), w.BeaconAge.Seconds())
+	}
+}
+
+// Close stops the aging ticker. Nil-safe and idempotent; the registry
+// collector (if any) keeps serving the final states.
+func (m *Monitor) Close() {
+	if m == nil {
+		return
+	}
+	m.once.Do(func() {
+		close(m.stop)
+		<-m.done
+	})
+}

@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// FetchTop pulls one TopSnap from a coordinator's aggregator API. base
+// is the coordinator debug address, with or without the http:// scheme —
+// rangetop works against a remote coordinator because this is its only
+// data path.
+func FetchTop(base string) (*TopSnap, error) {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	client := &http.Client{Timeout: 3 * time.Second}
+	resp, err := client.Get(strings.TrimRight(base, "/") + "/cluster/top")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: /cluster/top: %s", resp.Status)
+	}
+	var snap TopSnap
+	if err := json.Unmarshal(body, &snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}
+
+// ANSI fragments for the state column; plain codes only, per the
+// "plain ANSI" contract, so any terminal renders them.
+const (
+	ansiGreen  = "\x1b[32m"
+	ansiYellow = "\x1b[33m"
+	ansiRed    = "\x1b[31m"
+	ansiBold   = "\x1b[1m"
+	ansiReset  = "\x1b[0m"
+)
+
+func stateCell(state string, color bool) string {
+	label, code := "UNKNOWN", ansiYellow
+	switch state {
+	case StateHealthy.String():
+		label, code = "UP", ansiGreen
+	case StateSuspect.String():
+		label, code = "SUSPECT", ansiYellow
+	case StateDown.String():
+		label, code = "DOWN", ansiRed
+	}
+	if !color {
+		return fmt.Sprintf("%-7s", label)
+	}
+	return code + fmt.Sprintf("%-7s", label) + ansiReset
+}
+
+// rate derives a per-second rate from two cumulative samples.
+func rate(cur, prev int64, dt time.Duration) float64 {
+	if dt <= 0 || cur < prev {
+		return 0
+	}
+	return float64(cur-prev) / dt.Seconds()
+}
+
+func fmtNs(ns float64) string {
+	return time.Duration(int64(ns)).Round(10 * time.Microsecond).String()
+}
+
+// RenderTop renders one rangetop frame: a cluster summary line, one row
+// per worker ordered by rank, and the recent-event footer. prev may be
+// nil (first frame: rates render as "-"); color strips the ANSI state
+// coloring for logs and tests.
+func RenderTop(prev, cur *TopSnap, color bool) string {
+	var b strings.Builder
+	dt := time.Duration(0)
+	if prev != nil {
+		dt = time.Duration(cur.UnixNs - prev.UnixNs)
+	}
+
+	healthy := 0
+	for _, w := range cur.Workers {
+		if w.State == StateHealthy.String() {
+			healthy++
+		}
+	}
+	head := fmt.Sprintf("rangetop · p=%d · workers %d/%d up", cur.P, healthy, cur.P)
+	if !cur.Coord.Healthy {
+		head += " · DEGRADED"
+	}
+	if color {
+		head = ansiBold + head + ansiReset
+	}
+	b.WriteString(head + "\n")
+
+	qps := "-"
+	if prev != nil {
+		qps = fmt.Sprintf("%.1f", rate(cur.Coord.Submitted, prev.Coord.Submitted, dt))
+	}
+	fmt.Fprintf(&b, "cluster  %s q/s · lat p50 %s p99 %s · cache hits %d · cgm runs %d (%d rounds)\n",
+		qps, fmtNs(cur.Coord.LatP50Ns), fmtNs(cur.Coord.LatP99Ns),
+		cur.Coord.CacheHits, cur.Coord.Runs, cur.Coord.Rounds)
+	fmt.Fprintf(&b, "store    %d live pts · %d levels · backlog %d\n\n",
+		cur.Coord.StoreLive, cur.Coord.StoreLevels, cur.Coord.StoreBacklog)
+
+	fmt.Fprintf(&b, "%-4s %-7s %-21s %9s %10s %10s %11s %8s %7s %s\n",
+		"rank", "state", "addr", "steps/s", "p50", "p99", "feed B/s", "sess", "heap", "beacon")
+	prevW := map[int]TopWorker{}
+	if prev != nil {
+		for _, w := range prev.Workers {
+			prevW[w.Rank] = w
+		}
+	}
+	workers := append([]TopWorker(nil), cur.Workers...)
+	sort.Slice(workers, func(i, j int) bool { return workers[i].Rank < workers[j].Rank })
+	for _, w := range workers {
+		steps, feed := "-", "-"
+		if pw, ok := prevW[w.Rank]; ok && prev != nil {
+			steps = fmt.Sprintf("%.1f", rate(w.Supersteps, pw.Supersteps, dt))
+			feed = fmt.Sprintf("%.0f", rate(w.FeedBytes, pw.FeedBytes, dt))
+		}
+		beacon := fmt.Sprintf("%dms", w.BeaconAgeMs)
+		if w.State == StateDown.String() {
+			beacon = "lost " + beacon
+		}
+		fmt.Fprintf(&b, "r%-3d %s %-21s %9s %10s %10s %11s %8d %7s %s\n",
+			w.Rank, stateCell(w.State, color), w.Addr, steps,
+			fmtNs(w.StepP50Ns), fmtNs(w.StepP99Ns), feed, w.Sessions,
+			fmtHeap(w.HeapBytes), beacon)
+	}
+
+	if len(cur.Events) > 0 {
+		b.WriteString("\nrecent events\n")
+		for _, ev := range cur.Events {
+			rank := "cluster"
+			if ev.Rank >= 0 {
+				rank = fmt.Sprintf("r%d", ev.Rank)
+			}
+			fmt.Fprintf(&b, "  %s %-16s %-8s %s\n", ev.T.Format("15:04:05.000"), ev.Kind, rank, ev.Detail)
+		}
+	}
+	return b.String()
+}
+
+func fmtHeap(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.0fMB", float64(n)/(1<<20))
+	default:
+		return fmt.Sprintf("%.0fKB", float64(n)/(1<<10))
+	}
+}

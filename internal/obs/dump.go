@@ -1,0 +1,58 @@
+package obs
+
+// RegistryDump is a structured, transportable snapshot of a registry —
+// the beacon payload of the cluster health plane. Unlike the Prometheus
+// text exposition it keeps histograms as full HistSnapshots, so the
+// coordinator-side aggregator can Merge families across workers and
+// re-derive quantiles instead of parsing text. Sampled (Func) and
+// collector-emitted series land in Gauges: by the time a dump crosses
+// the wire they are plain numbers.
+type RegistryDump struct {
+	Counters map[string]int64
+	Gauges   map[string]float64
+	Hists    map[string]HistSnapshot
+}
+
+// Dump captures every series in the registry, evaluating Func series and
+// running collectors. Safe for concurrent use with all registry methods.
+func (r *Registry) Dump() RegistryDump {
+	order, counters, gauges, hists, funcs, collectors := r.snapshot()
+	d := RegistryDump{
+		Counters: make(map[string]int64),
+		Gauges:   make(map[string]float64),
+		Hists:    make(map[string]HistSnapshot),
+	}
+	for _, name := range order {
+		switch {
+		case counters[name] != nil:
+			d.Counters[name] = counters[name].Value()
+		case gauges[name] != nil:
+			d.Gauges[name] = float64(gauges[name].Value())
+		case hists[name] != nil:
+			d.Hists[name] = hists[name].Snapshot()
+		case funcs[name] != nil:
+			d.Gauges[name] = funcs[name]()
+		}
+	}
+	for _, fn := range collectors {
+		fn(func(name string, value float64) { d.Gauges[name] = value })
+	}
+	return d
+}
+
+// EventSink receives one structured cluster event (worker lifecycle,
+// session abort, compaction, checkpoint, ingest begin/end). It is a type
+// alias so event producers (cgm, store, transport) can accept a sink
+// without importing internal/obs/cluster, where the archive lives.
+// Sinks must be safe for concurrent use; rank is the worker rank the
+// event concerns, or CoordRank for cluster/coordinator-scoped events.
+type EventSink = func(kind string, rank int, detail string)
+
+// Health is the structured /healthz payload. When a health source
+// returns one, the admin endpoint maps OK == false to HTTP 503 so
+// orchestrators probing the port see degradation (a failed compaction, a
+// poisoned machine, a down worker) without parsing the body.
+type Health struct {
+	OK     bool `json:"ok"`
+	Detail any  `json:"detail,omitempty"`
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestHistSnapshotMergeEmpty checks the merge identities the cluster
+// aggregator leans on: an empty snapshot is a two-sided identity, and
+// merging never perturbs the receiver's inputs (Merge is by value).
+func TestHistSnapshotMergeEmpty(t *testing.T) {
+	var empty HistSnapshot
+	if got := empty.Merge(empty); got.Count != 0 || got.Sum != 0 {
+		t.Fatalf("empty.Merge(empty) = count %d sum %d, want zeros", got.Count, got.Sum)
+	}
+	if q := empty.Quantile(0.99); q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
+	}
+
+	var h Histogram
+	for _, v := range []int64{10, 100, 1000, 10000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	left, right := s.Merge(empty), empty.Merge(s)
+	if left != s || right != s {
+		t.Fatalf("merging with empty changed the snapshot")
+	}
+	if s.Merge(s).Count != 2*s.Count {
+		t.Fatalf("self-merge count = %d, want %d", s.Merge(s).Count, 2*s.Count)
+	}
+}
+
+// TestHistSnapshotMergeDisjoint merges snapshots whose observations land
+// in disjoint buckets — the shape of per-rank worker histograms with
+// non-overlapping latency regimes — and checks counts, sums and the
+// quantiles straddling the two populations.
+func TestHistSnapshotMergeDisjoint(t *testing.T) {
+	var fast, slow Histogram
+	for i := 0; i < 90; i++ {
+		fast.Observe(8) // bucket of small values
+	}
+	for i := 0; i < 10; i++ {
+		slow.Observe(1 << 20) // far-away bucket
+	}
+	m := fast.Snapshot().Merge(slow.Snapshot())
+	if m.Count != 100 {
+		t.Fatalf("merged count = %d, want 100", m.Count)
+	}
+	if want := int64(90*8 + 10*(1<<20)); m.Sum != want {
+		t.Fatalf("merged sum = %d, want %d", m.Sum, want)
+	}
+	for i, b := range m.Buckets {
+		if f, s := fast.Snapshot().Buckets[i], slow.Snapshot().Buckets[i]; b != f+s {
+			t.Fatalf("bucket %d: merged %d, parts %d+%d", i, b, f, s)
+		}
+	}
+	// p50 sits in the fast population, p99 in the slow one.
+	if p50 := m.Quantile(0.50); p50 > 1<<10 {
+		t.Errorf("merged p50 = %v, want within the fast population", p50)
+	}
+	if p99 := m.Quantile(0.99); p99 < 1<<19 {
+		t.Errorf("merged p99 = %v, want within the slow population", p99)
+	}
+}
+
+// TestHistSnapshotWriteProm checks the standalone exposition used for
+// cluster-merged families: TYPE line, cumulative buckets, +Inf, sum and
+// count.
+func TestHistSnapshotWriteProm(t *testing.T) {
+	var h Histogram
+	h.Observe(3)
+	h.Observe(300)
+	var b strings.Builder
+	if err := h.Snapshot().WriteProm(&b, "cluster_test_ns"); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE cluster_test_ns histogram",
+		`cluster_test_ns_bucket{le="+Inf"} 2`,
+		"cluster_test_ns_sum 303",
+		"cluster_test_ns_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFmtBytes pins the span cost column's units.
+func TestFmtBytes(t *testing.T) {
+	for _, tc := range []struct {
+		n    int64
+		want string
+	}{{512, "512B"}, {2048, "2.0KB"}, {64 << 10, "64KB"}, {20 << 20, "20MB"}} {
+		if got := FmtBytes(tc.n); got != tc.want {
+			t.Errorf("FmtBytes(%d) = %q, want %q", tc.n, got, tc.want)
+		}
+	}
+}

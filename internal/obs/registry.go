@@ -343,21 +343,7 @@ func (r *Registry) WriteProm(w io.Writer) error {
 			fmt.Fprintf(&b, "%s%s %d\n", base, joinLabels(labels, ""), gauges[name].Value())
 		case hists[name] != nil:
 			b.WriteString(typeLine(base, "histogram"))
-			s := hists[name].Snapshot()
-			var cum int64
-			for i, cnt := range s.Buckets {
-				cum += cnt
-				if cnt == 0 && i < histBuckets-1 {
-					continue // keep the exposition compact: only occupied buckets plus +Inf
-				}
-				if i == histBuckets-1 {
-					break
-				}
-				fmt.Fprintf(&b, "%s_bucket%s %d\n", base, joinLabels(labels, fmt.Sprintf("le=%q", fmt.Sprint(bucketBound(i)))), cum)
-			}
-			fmt.Fprintf(&b, "%s_bucket%s %d\n", base, joinLabels(labels, `le="+Inf"`), s.Count)
-			fmt.Fprintf(&b, "%s_sum%s %d\n", base, joinLabels(labels, ""), s.Sum)
-			fmt.Fprintf(&b, "%s_count%s %d\n", base, joinLabels(labels, ""), s.Count)
+			writeHistProm(&b, base, labels, hists[name].Snapshot())
 		case funcs[name] != nil:
 			b.WriteString(typeLine(base, "gauge"))
 			fmt.Fprintf(&b, "%s%s %g\n", base, joinLabels(labels, ""), funcs[name]())
@@ -381,3 +367,44 @@ func (r *Registry) WriteProm(w io.Writer) error {
 	_, err := io.WriteString(w, b.String())
 	return err
 }
+
+// writeHistProm renders one histogram snapshot in the exposition format:
+// cumulative `_bucket{le=…}` series for occupied buckets plus +Inf, then
+// `_sum` and `_count`.
+func writeHistProm(b *strings.Builder, base, labels string, s HistSnapshot) {
+	var cum int64
+	for i, cnt := range s.Buckets {
+		cum += cnt
+		if cnt == 0 && i < histBuckets-1 {
+			continue // keep the exposition compact: only occupied buckets plus +Inf
+		}
+		if i == histBuckets-1 {
+			break
+		}
+		fmt.Fprintf(b, "%s_bucket%s %d\n", base, joinLabels(labels, fmt.Sprintf("le=%q", fmt.Sprint(bucketBound(i)))), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket%s %d\n", base, joinLabels(labels, `le="+Inf"`), s.Count)
+	fmt.Fprintf(b, "%s_sum%s %d\n", base, joinLabels(labels, ""), s.Sum)
+	fmt.Fprintf(b, "%s_count%s %d\n", base, joinLabels(labels, ""), s.Count)
+}
+
+// WriteProm renders the snapshot as a Prometheus histogram family under
+// name (inline labels allowed) — the aggregator's path for exposing
+// merged cross-worker families without re-registering them.
+func (s HistSnapshot) WriteProm(w io.Writer, name string) error {
+	base, labels := splitName(name)
+	var b strings.Builder
+	fmt.Fprintf(&b, "# TYPE %s histogram\n", base)
+	writeHistProm(&b, base, labels, s)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// SplitName separates a series name into base and inline label list:
+// `engine_query_latency_ns{mode="count"}` → `engine_query_latency_ns`,
+// `mode="count"`. Exported for the cluster aggregator's relabeling.
+func SplitName(name string) (base, labels string) { return splitName(name) }
+
+// JoinLabels re-attaches a label list with an optional extra label —
+// SplitName's inverse, used to inject `rank="i"` into worker series.
+func JoinLabels(labels, extra string) string { return joinLabels(labels, extra) }

@@ -24,6 +24,10 @@ type Span struct {
 	// processes, not absolute offsets.
 	Start int64
 	Dur   int64
+	// Bytes attributes wire traffic to the span (coordinator↔worker frame
+	// bytes for an exchange, both directions). Zero means "no traffic" —
+	// pure-compute spans leave it unset and the tree omits the column.
+	Bytes int64
 }
 
 // CoordRank marks a span recorded on the coordinator rather than a
@@ -180,10 +184,14 @@ func (t *Tracer) Tree(id uint64) string {
 			}
 			lastStamp = s.Stamp
 		}
+		cost := ""
+		if s.Bytes > 0 {
+			cost = "  " + FmtBytes(s.Bytes)
+		}
 		if s.Rank == CoordRank {
-			fmt.Fprintf(&b, "    coord %-24s %s\n", s.Name, fmtDur(s.Dur))
+			fmt.Fprintf(&b, "    coord %-24s %s%s\n", s.Name, fmtDur(s.Dur), cost)
 		} else {
-			fmt.Fprintf(&b, "      r%-2d %-22s %s\n", s.Rank, s.Name, fmtDur(s.Dur))
+			fmt.Fprintf(&b, "      r%-2d %-22s %s%s\n", s.Rank, s.Name, fmtDur(s.Dur), cost)
 		}
 	}
 	return b.String()
@@ -191,4 +199,19 @@ func (t *Tracer) Tree(id uint64) string {
 
 func fmtDur(ns int64) string {
 	return time.Duration(ns).Round(100 * time.Nanosecond).String()
+}
+
+// FmtBytes renders a byte count for humans (the trace tree's cost column
+// and rangetop's heap column).
+func FmtBytes(n int64) string {
+	switch {
+	case n >= 10*1024*1024:
+		return fmt.Sprintf("%dMB", n/(1024*1024))
+	case n >= 10*1024:
+		return fmt.Sprintf("%.0fKB", float64(n)/1024)
+	case n >= 1024:
+		return fmt.Sprintf("%.1fKB", float64(n)/1024)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
 }

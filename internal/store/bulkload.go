@@ -63,11 +63,13 @@ func (s *Store) BulkLoad(src core.ChunkSource) (uint64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("store: bulk load machine: %w", err)
 	}
+	s.event("ingest_begin", "bulk load: streaming construct starting")
 	tee := &idTee{src: src}
 	built, err := core.BulkLoadWith(mach, tee, s.cfg.Backend,
 		core.IngestConfig{Window: core.DefaultWindow, MaxShare: s.cfg.IngestMaxShare})
 	if err != nil {
 		mach.Close()
+		s.event("ingest_error", err.Error())
 		return 0, err
 	}
 	discard := func() { built.Machine().Close() }
@@ -115,6 +117,7 @@ func (s *Store) BulkLoad(src core.ChunkSource) (uint64, error) {
 	closeTrees(toClose)
 	s.bulkLoads.Add(1)
 	s.bulkPoints.Add(uint64(tee.n))
+	s.event("ingest_end", fmt.Sprintf("bulk load: %d points published at seq %d", tee.n, seq))
 	if s.wal != nil {
 		if err := s.Checkpoint(); err != nil {
 			return seq, fmt.Errorf("store: bulk load published but checkpoint failed: %w", err)

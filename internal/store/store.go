@@ -101,6 +101,10 @@ type Config struct {
 	// and compaction counters — plus timing histograms for compaction
 	// builds, WAL appends, and checkpoints. Nil disables publishing.
 	Obs *obs.Registry
+	// Events, when set, receives structured store lifecycle events for
+	// the cluster event archive: compaction/flush completions and
+	// failures, checkpoints, bulk-load begin/end. Nil disables it.
+	Events obs.EventSink
 }
 
 func (cfg Config) withDefaults() Config {
@@ -256,6 +260,14 @@ func Open(dir string, cfg Config) (*Store, error) {
 func (s *Store) observeNanos(name string, ns int64) {
 	if s.cfg.Obs != nil {
 		s.cfg.Obs.Histogram(name).Observe(ns)
+	}
+}
+
+// event reports one store lifecycle event to the configured sink (the
+// cluster event archive); rank is always the coordinator's.
+func (s *Store) event(kind, detail string) {
+	if s.cfg.Events != nil {
+		s.cfg.Events(kind, obs.CoordRank, detail)
 	}
 }
 
@@ -612,6 +624,7 @@ func (s *Store) compactPass() bool {
 			s.compactErr = collectErr
 		}
 		s.mu.Unlock()
+		s.event("compact_error", collectErr.Error())
 		return false
 	}
 
@@ -627,6 +640,7 @@ func (s *Store) compactPass() bool {
 				s.compactErr = err
 			}
 			s.mu.Unlock()
+			s.event("compact_error", err.Error())
 			return false
 		}
 		wall := time.Since(start)
@@ -650,8 +664,10 @@ func (s *Store) compactPass() bool {
 	}
 	if fold {
 		s.compactions.Add(1)
+		s.event("compaction", fmt.Sprintf("fold: %d points into one level", len(acc)))
 	} else {
 		s.flushes.Add(1)
+		s.event("compaction", fmt.Sprintf("flush: %d points into level %d", len(acc), slot))
 	}
 
 	// Swap: splice out what was compacted, retain what arrived since

@@ -350,6 +350,7 @@ func (s *Store) Checkpoint() error {
 		return fmt.Errorf("store: installing checkpoint: %w", err)
 	}
 	s.observeNanos("store_checkpoint_ns", time.Since(cpStart).Nanoseconds())
+	s.event("checkpoint", fmt.Sprintf("%d live points at seq %d (%s)", len(pts), rotStart, time.Since(cpStart).Round(time.Millisecond)))
 	// The rename is the commit point; superseded segments can go.
 	seqs, err := segments(s.dir)
 	if err != nil {

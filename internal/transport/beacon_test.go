@@ -1,0 +1,400 @@
+package transport_test
+
+import (
+	"io"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cgm"
+	"repro/internal/core"
+	"repro/internal/obs"
+	obscluster "repro/internal/obs/cluster"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// waitUntil polls cond until it holds or the deadline passes, returning
+// how long it took.
+func waitUntil(t *testing.T, what string, deadline time.Duration, cond func() bool) time.Duration {
+	t.Helper()
+	start := time.Now()
+	for !cond() {
+		if time.Since(start) > deadline {
+			t.Fatalf("timed out after %v waiting for %s", deadline, what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return time.Since(start)
+}
+
+// TestHealthPlaneWorkerDeath is the acceptance test for the liveness
+// loop: kill one of three live workers mid-watch and assert the rank
+// flips to down within the missed-beacon budget, the transitions land in
+// the JSONL archive, the aggregator exposes cluster_worker_up{rank}=0,
+// rangetop renders the rank as DOWN, and a rebound listener resurrects
+// the rank with a worker_recovered event.
+func TestHealthPlaneWorkerDeath(t *testing.T) {
+	const p = 3
+	const interval = 25 * time.Millisecond
+	workers := make([]*transport.Worker, p)
+	addrs := make([]string, p)
+	for i := range workers {
+		w, err := transport.ListenAndServe("127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+		t.Cleanup(func() { w.Close() })
+		workers[i] = w
+		addrs[i] = w.Addr()
+	}
+
+	evPath := filepath.Join(t.TempDir(), "events.jsonl")
+	evlog, err := obscluster.OpenEventLog(evPath, 0)
+	if err != nil {
+		t.Fatalf("event log: %v", err)
+	}
+	defer evlog.Close()
+	reg := obs.NewRegistry()
+	mon := obscluster.NewMonitor(obscluster.MonitorConfig{
+		Addrs: addrs, Interval: interval, Events: evlog, Obs: reg,
+	})
+	defer mon.Close()
+	watcher := transport.WatchHealth(addrs, interval, mon)
+	defer watcher.Close()
+	agg := &obscluster.Aggregator{Mon: mon, Events: evlog, Local: reg}
+
+	waitUntil(t, "all workers healthy", 5*time.Second, mon.AllHealthy)
+	var b strings.Builder
+	if err := agg.WriteProm(&b); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	for rank := 0; rank < p; rank++ {
+		want := `cluster_worker_up{rank="` + string(rune('0'+rank)) + `"} 1`
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("live cluster missing %q:\n%s", want, b.String())
+		}
+	}
+
+	// Kill rank 1 and time the healthy → down transition. The ISSUE
+	// budget is 3 missed beacon intervals; allow one aging-tick quantum
+	// plus scheduling slack on top.
+	workers[1].Close()
+	elapsed := waitUntil(t, "rank 1 down", 5*time.Second, func() bool {
+		return mon.StateOf(1) == obscluster.StateDown
+	})
+	if budget := 3*interval + interval + 250*time.Millisecond; elapsed > budget {
+		t.Errorf("rank 1 took %v to reach down, budget %v", elapsed, budget)
+	}
+
+	b.Reset()
+	if err := agg.WriteProm(&b); err != nil {
+		t.Fatalf("WriteProm after death: %v", err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `cluster_worker_up{rank="1"} 0`) {
+		t.Errorf("dead rank still up in exposition:\n%s", out)
+	}
+	for _, alive := range []string{`cluster_worker_up{rank="0"} 1`, `cluster_worker_up{rank="2"} 1`} {
+		if !strings.Contains(out, alive) {
+			t.Errorf("live rank lost from exposition, want %s:\n%s", alive, out)
+		}
+	}
+	if h := agg.Health(); h.OK {
+		t.Errorf("cluster health still OK with a dead rank: %+v", h)
+	}
+
+	// The transitions are archived in memory and on disk.
+	kinds := map[string]bool{}
+	for _, e := range evlog.Recent(32) {
+		if e.Rank == 1 {
+			kinds[e.Kind] = true
+		}
+	}
+	if !kinds["worker_suspect"] || !kinds["worker_down"] {
+		t.Errorf("ring missing lifecycle events, got %v", kinds)
+	}
+	fileEvents, err := obscluster.ReadEvents(evPath)
+	if err != nil {
+		t.Fatalf("ReadEvents: %v", err)
+	}
+	foundDown := false
+	for _, e := range fileEvents {
+		if e.Kind == "worker_down" && e.Rank == 1 {
+			foundDown = true
+		}
+	}
+	if !foundDown {
+		t.Errorf("worker_down not persisted to %s: %+v", evPath, fileEvents)
+	}
+
+	// rangetop renders the rank as DOWN from the same aggregator state.
+	snap := agg.Top()
+	frame := obscluster.RenderTop(nil, &snap, false)
+	if !strings.Contains(frame, "DOWN") || !strings.Contains(frame, "r1") {
+		t.Errorf("rangetop frame does not mark rank 1 down:\n%s", frame)
+	}
+
+	// Recovery: rebind the dead rank's address and wait for the watcher's
+	// redial loop to find it.
+	waitUntil(t, "rebind rank 1 addr", 5*time.Second, func() bool {
+		w, err := transport.ListenAndServe(addrs[1])
+		if err != nil {
+			return false
+		}
+		t.Cleanup(func() { w.Close() })
+		return true
+	})
+	waitUntil(t, "rank 1 recovered", 10*time.Second, func() bool {
+		return mon.StateOf(1) == obscluster.StateHealthy
+	})
+	recovered := false
+	for _, e := range evlog.Recent(32) {
+		if e.Kind == "worker_recovered" && e.Rank == 1 {
+			recovered = true
+		}
+	}
+	if !recovered {
+		t.Errorf("worker_recovered missing from archive: %+v", evlog.Recent(32))
+	}
+}
+
+// TestTraceWireByteReconciliation checks the per-query resource
+// attribution against the transport's own accounting: the wire spans a
+// traced batch deposits must sum to exactly the framed bytes the
+// cluster's FrameStat counters moved for the coordinator exchange kinds.
+func TestTraceWireByteReconciliation(t *testing.T) {
+	const p, n = 4, 1 << 10
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer()
+	cl := startCluster(t, p, cgm.Config{Obs: reg, Tracer: tracer})
+
+	pts := workload.Points(workload.PointSpec{N: n, Dims: 2, Dist: workload.Uniform, Seed: 3})
+	boxes := workload.Boxes(workload.QuerySpec{M: 16, Dims: 2, N: n, Selectivity: 0.05, Seed: 5})
+	mach, err := cl.NewMachine()
+	if err != nil {
+		t.Fatalf("NewMachine: %v", err)
+	}
+	dt := core.Build(mach, pts)
+
+	exchangeBytes := func() int64 {
+		st := cl.WireStats()
+		return st["deposit"].Bytes + st["column"].Bytes
+	}
+	before := exchangeBytes()
+
+	id := tracer.NewID()
+	mach.SetTrace(id)
+	dt.CountBatch(boxes)
+	mach.SetTrace(0)
+
+	wireDelta := exchangeBytes() - before
+	if wireDelta <= 0 {
+		t.Fatalf("no exchange bytes moved during the traced batch")
+	}
+
+	var spanBytes, largest int64
+	nWire := 0
+	for _, s := range tracer.Spans(id) {
+		if s.Name != "wire" {
+			continue
+		}
+		nWire++
+		spanBytes += s.Bytes
+		if s.Bytes > largest {
+			largest = s.Bytes
+		}
+		if s.Rank < 0 || s.Rank >= p {
+			t.Errorf("wire span has rank %d outside [0,%d)", s.Rank, p)
+		}
+	}
+	if nWire == 0 {
+		t.Fatal("traced batch produced no wire spans")
+	}
+	if spanBytes != wireDelta {
+		t.Errorf("wire spans account %d B, transport counters moved %d B", spanBytes, wireDelta)
+	}
+
+	// The rendered trace shows the cost column for the attributed bytes.
+	tree := tracer.Tree(id)
+	if want := obs.FmtBytes(largest); !strings.Contains(tree, want) {
+		t.Errorf("trace tree missing cost %q:\n%s", want, tree)
+	}
+}
+
+// TestTraceExecNsReconciliation checks the resident-mode attribution:
+// worker exec spans for a traced batch must cover at least the
+// exec_step_ns histogram time the workers recorded for it, read back
+// through beacon-carried registry dumps.
+func TestTraceExecNsReconciliation(t *testing.T) {
+	const p, n = 4, 1 << 10
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer()
+	cl := startCluster(t, p, cgm.Config{Resident: true, Obs: reg, Tracer: tracer})
+
+	const interval = 20 * time.Millisecond
+	mon := obscluster.NewMonitor(obscluster.MonitorConfig{Addrs: cl.Addrs(), Interval: interval})
+	defer mon.Close()
+	watcher := transport.WatchHealth(cl.Addrs(), interval, mon)
+	defer watcher.Close()
+	waitUntil(t, "all workers healthy", 5*time.Second, mon.AllHealthy)
+
+	pts := workload.Points(workload.PointSpec{N: n, Dims: 2, Dist: workload.Uniform, Seed: 3})
+	boxes := workload.Boxes(workload.QuerySpec{M: 16, Dims: 2, N: n, Selectivity: 0.05, Seed: 5})
+	mach, err := cl.NewMachine()
+	if err != nil {
+		t.Fatalf("NewMachine: %v", err)
+	}
+	dt := core.Build(mach, pts)
+
+	// execSum reads the cluster-wide exec_step_ns histogram time from the
+	// latest beacon dumps, first waiting for every rank to beacon at
+	// least once past the given per-rank sequence marks so the dumps
+	// reflect everything the workers have observed up to now.
+	seqMarks := func() []uint64 {
+		marks := make([]uint64, p)
+		for _, wh := range mon.Snapshot() {
+			marks[wh.Rank] = wh.Beacon.Seq
+		}
+		return marks
+	}
+	execSum := func(marks []uint64) int64 {
+		waitUntil(t, "fresh beacons from every rank", 5*time.Second, func() bool {
+			for _, wh := range mon.Snapshot() {
+				if !wh.Seen || wh.Beacon.Seq <= marks[wh.Rank] {
+					return false
+				}
+			}
+			return true
+		})
+		var sum int64
+		for _, wh := range mon.Snapshot() {
+			for name, h := range wh.Beacon.Dump.Hists {
+				if base, _ := obs.SplitName(name); base == "exec_step_ns" {
+					sum += h.Sum
+				}
+			}
+		}
+		return sum
+	}
+
+	before := execSum(seqMarks())
+	marks := seqMarks()
+	id := tracer.NewID()
+	mach.SetTrace(id)
+	dt.CountBatch(boxes)
+	mach.SetTrace(0)
+	after := execSum(marks)
+
+	histDelta := after - before
+	if histDelta <= 0 {
+		t.Fatalf("traced resident batch recorded no exec_step_ns time")
+	}
+
+	var spanNs int64
+	for _, s := range tracer.Spans(id) {
+		if strings.HasPrefix(s.Name, "emit:") || strings.HasPrefix(s.Name, "collect:") {
+			spanNs += int64(s.Dur)
+		}
+	}
+	if spanNs <= 0 {
+		t.Fatal("traced batch produced no worker exec spans")
+	}
+	// The spans wrap the histogram observations, so span time bounds hist
+	// time from above.
+	if histDelta > spanNs {
+		t.Errorf("exec_step_ns hist %d ns exceeds covering span time %d ns", histDelta, spanNs)
+	}
+}
+
+// TestClusterScrapeRaceUnderChurn hammers the aggregator endpoints while
+// machines churn and a worker dies. Run under -race this proves the
+// aggregation path never tears monitor or registry state.
+func TestClusterScrapeRaceUnderChurn(t *testing.T) {
+	const p, n = 3, 1 << 9
+	workers := make([]*transport.Worker, p)
+	addrs := make([]string, p)
+	for i := range workers {
+		w, err := transport.ListenAndServe("127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+		t.Cleanup(func() { w.Close() })
+		workers[i] = w
+		addrs[i] = w.Addr()
+	}
+	reg := obs.NewRegistry()
+	cl, err := transport.DialCluster(addrs, cgm.Config{Resident: true, Obs: reg})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { cl.Close() })
+
+	evlog, _ := obscluster.OpenEventLog("", 0)
+	const interval = 15 * time.Millisecond
+	mon := obscluster.NewMonitor(obscluster.MonitorConfig{Addrs: addrs, Interval: interval, Events: evlog, Obs: reg})
+	defer mon.Close()
+	watcher := transport.WatchHealth(addrs, interval, mon)
+	defer watcher.Close()
+	agg := &obscluster.Aggregator{Mon: mon, Events: evlog, Local: reg}
+
+	pts := workload.Points(workload.PointSpec{N: n, Dims: 2, Dist: workload.Uniform, Seed: 17})
+	boxes := workload.Boxes(workload.QuerySpec{M: 4, Dims: 2, N: n, Selectivity: 0.05, Seed: 19})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Churn: build and query whole sessions until the cluster dies.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			mach, err := cl.NewMachine()
+			if err != nil {
+				return // cluster poisoned after the kill — churn is done
+			}
+			func() {
+				defer func() { recover() }() // aborts mid-batch are expected
+				dt := core.Build(mach, pts)
+				dt.CountBatch(boxes)
+			}()
+		}
+	}()
+
+	// Scrapers: every aggregator surface, concurrently.
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var prev *obscluster.TopSnap
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := agg.WriteProm(io.Discard); err != nil {
+					t.Errorf("WriteProm: %v", err)
+					return
+				}
+				agg.Health()
+				snap := agg.Top()
+				obscluster.RenderTop(prev, &snap, false)
+				prev = &snap
+			}
+		}()
+	}
+
+	time.Sleep(150 * time.Millisecond)
+	workers[p-1].Close() // kill a rank mid-churn, mid-scrape
+	time.Sleep(150 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+}

@@ -236,15 +236,16 @@ func (t *tcpTransport) Reset() error {
 
 func (t *tcpTransport) Exchange(rank int, dep cgm.Deposit) (cgm.Column, error) {
 	wc := t.conns[rank]
+	wireStart := t.cl.cfg.Tracer.Now()
 	// dep.Blocks[rank] is nil by the Deposit contract — the machine
 	// retains the self-addressed block, so ~2/p of a balanced
 	// all-to-all's bytes never touch the wire.
-	err := wc.write(&frame{Kind: kindDeposit, Session: t.session, Rank: rank,
+	nOut, err := wc.writeN(&frame{Kind: kindDeposit, Session: t.session, Rank: rank,
 		Seq: dep.Seq, Stamp: dep.Stamp, Type: dep.Type, Trace: dep.Trace, blocks: dep.Blocks})
 	if err != nil {
 		return cgm.Column{}, t.connErr(rank, err)
 	}
-	resp, err := wc.read()
+	resp, nIn, err := wc.readN()
 	if err != nil {
 		return cgm.Column{}, t.connErr(rank, err)
 	}
@@ -257,6 +258,7 @@ func (t *tcpTransport) Exchange(rank int, dep cgm.Deposit) (cgm.Column, error) {
 			return cgm.Column{}, fmt.Errorf("transport: worker %d returned %d column blocks for %d ranks", rank, len(resp.blocks), t.p)
 		}
 		t.cl.cfg.Tracer.AddAll(resp.Spans)
+		t.wireSpan(rank, dep.Trace, dep.Seq, wireStart, nOut+nIn)
 		return cgm.Column{Blocks: resp.blocks}, nil
 	case kindError:
 		return cgm.Column{}, errors.New(resp.Err)
@@ -269,16 +271,18 @@ func (t *tcpTransport) Exchange(rank int, dep cgm.Deposit) (cgm.Column, error) {
 // terminates in the worker's session state.
 func (t *tcpTransport) ExchangeResident(rank int, dep cgm.ResidentDeposit) (cgm.ResidentReply, error) {
 	wc := t.conns[rank]
+	wireStart := t.cl.cfg.Tracer.Now()
 	fr := &frame{Kind: kindDeposit, Session: t.session, Rank: rank,
 		Seq: dep.Seq, Stamp: dep.Stamp, Type: dep.Type, Trace: dep.Trace, blocks: dep.Blocks,
 		Collect: wireRef(*dep.Collect, dep.CollectArgs)}
 	if dep.Emit != nil {
 		fr.Call = wireRef(*dep.Emit, dep.EmitArgs)
 	}
-	if err := wc.write(fr); err != nil {
+	nOut, err := wc.writeN(fr)
+	if err != nil {
 		return cgm.ResidentReply{}, t.connErr(rank, err)
 	}
-	resp, err := wc.read()
+	resp, nIn, err := wc.readN()
 	if err != nil {
 		return cgm.ResidentReply{}, t.connErr(rank, err)
 	}
@@ -292,6 +296,7 @@ func (t *tcpTransport) ExchangeResident(rank int, dep cgm.ResidentDeposit) (cgm.
 			rep.Sent = resp.Sent // counted by the emit step
 		}
 		t.cl.cfg.Tracer.AddAll(resp.Spans)
+		t.wireSpan(rank, dep.Trace, dep.Seq, wireStart, nOut+nIn)
 		return rep, nil
 	case kindError:
 		return cgm.ResidentReply{}, errors.New(resp.Err)
@@ -318,6 +323,19 @@ func (t *tcpTransport) CallStep(rank int, ref exec.Ref, args []byte) ([]byte, er
 	default:
 		return nil, fmt.Errorf("transport: worker %d sent unexpected frame kind %d", rank, resp.Kind)
 	}
+}
+
+// wireSpan attributes one traced exchange's coordinator traffic (frame
+// bytes both directions, full framed size — the same accounting as the
+// coord byte counters) to the query's span trace, so `trace [id]` shows
+// a per-rank, per-superstep cost column that reconciles with
+// coord_frames_total.
+func (t *tcpTransport) wireSpan(rank int, trace uint64, seq int, start int64, bytes int) {
+	if trace == 0 {
+		return
+	}
+	t.cl.cfg.Tracer.Add(obs.Span{Trace: trace, Stamp: int64(seq), Name: "wire",
+		Rank: rank, Start: start, Dur: t.cl.cfg.Tracer.Now() - start, Bytes: int64(bytes)})
 }
 
 // connErr wraps a connection failure; once the session is already

@@ -50,6 +50,7 @@ import (
 
 	"repro/internal/exec"
 	"repro/internal/obs"
+	obscluster "repro/internal/obs/cluster"
 )
 
 // maxFrame bounds a single frame (1 GiB) so a corrupt length prefix
@@ -115,10 +116,19 @@ const (
 	// are acknowledged; an abnormal feed teardown (anything but this)
 	// aborts the whole session.
 	kindFeedEnd
+	// kindBeaconOpen (client→worker) subscribes the connection to the
+	// worker's health beacon stream: the worker pushes one kindBeacon
+	// frame immediately and then one per IntervalNs until the connection
+	// closes. The stream carries no session state — it is the health
+	// plane's dedicated, always-answerable door.
+	kindBeaconOpen
+	// kindBeacon (worker→client) is one health sample: liveness proof by
+	// arrival, worker registry dump by payload (frame.Beacon).
+	kindBeacon
 )
 
 // kindMax bounds the per-kind counter arrays.
-const kindMax = kindFeedEnd
+const kindMax = kindBeacon
 
 // stepRef names one registered step on the wire, args attached.
 type stepRef struct {
@@ -165,6 +175,12 @@ type frame struct {
 	// Share is the client-requested ingest QoS cap (FeedOpen; 0 =
 	// uncapped). The worker combines it with its own operator cap.
 	Share float64
+	// IntervalNs is the requested beacon period (BeaconOpen; 0 = the
+	// worker's default) and Beacon the health sample (Beacon frames).
+	// Like Trace/Spans these are zero on every other frame kind, which
+	// gob omits entirely — the health plane costs session traffic nothing.
+	IntervalNs int64
+	Beacon     *obscluster.Beacon
 
 	// blocks is the frame's payload (Deposit: p blocks; Block: 1;
 	// Column: p). Unexported on purpose: gob skips it, and the framing
@@ -219,13 +235,21 @@ func (f *fconn) kinds(kc *kindCounters) *fconn {
 }
 
 func (f *fconn) write(fr *frame) error {
+	_, err := f.writeN(fr)
+	return err
+}
+
+// writeN writes one frame and reports its full framed size (length
+// prefix + gob body + block sections) — the per-query cost attribution's
+// byte source, the same number the coordinator byte counters see.
+func (f *fconn) writeN(fr *frame) (int, error) {
 	f.wmu.Lock()
 	defer f.wmu.Unlock()
 	f.wbuf.Reset()
 	f.wbuf.Write([]byte{0, 0, 0, 0})
 	fr.NB = len(fr.blocks)
 	if err := f.enc.Encode(fr); err != nil {
-		return fmt.Errorf("transport: encoding frame: %w", err)
+		return 0, fmt.Errorf("transport: encoding frame: %w", err)
 	}
 	// The payload blocks ride after the gob body, each framed as
 	// uvarint(len+1) + bytes with 0 marking a nil slot — already-encoded
@@ -247,6 +271,7 @@ func (f *fconn) write(fr *frame) error {
 	if f.kc != nil {
 		f.kc.add(fr.Kind, int64(len(b)))
 	}
+	n := len(b)
 	_, err := f.c.Write(b)
 	if f.wbuf.Cap() > maxRetainedBuf {
 		// Don't let one huge block frame pin its peak size for the
@@ -255,7 +280,7 @@ func (f *fconn) write(fr *frame) error {
 		// keeps it valid — only the storage is surrendered to the GC.
 		f.wbuf = bytes.Buffer{}
 	}
-	return err
+	return n, err
 }
 
 // maxRetainedBuf bounds the write buffer capacity a connection keeps
@@ -263,17 +288,24 @@ func (f *fconn) write(fr *frame) error {
 const maxRetainedBuf = 1 << 20
 
 func (f *fconn) read() (*frame, error) {
+	fr, _, err := f.readN()
+	return fr, err
+}
+
+// readN reads one frame and reports its full framed size — writeN's
+// receiving-side counterpart.
+func (f *fconn) readN() (*frame, int, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(f.br, hdr[:]); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > maxFrame {
-		return nil, fmt.Errorf("transport: frame of %d bytes exceeds the %d limit", n, maxFrame)
+		return nil, 0, fmt.Errorf("transport: frame of %d bytes exceeds the %d limit", n, maxFrame)
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(f.br, body); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if f.rn != nil {
 		f.rn.Add(int64(n) + 4)
@@ -283,7 +315,7 @@ func (f *fconn) read() (*frame, error) {
 	err := f.dec.Decode(&fr)
 	if err != nil {
 		f.rd.reset(nil)
-		return nil, fmt.Errorf("transport: decoding frame: %w", err)
+		return nil, 0, fmt.Errorf("transport: decoding frame: %w", err)
 	}
 	// Slice the payload blocks out of the frame body: views, not copies.
 	// The body is this frame's own allocation, so the views stay valid for
@@ -296,7 +328,7 @@ func (f *fconn) read() (*frame, error) {
 			v, vn := binary.Uvarint(rest[off:])
 			if vn <= 0 {
 				f.rd.reset(nil)
-				return nil, fmt.Errorf("transport: corrupt block section %d of %d", i, fr.NB)
+				return nil, 0, fmt.Errorf("transport: corrupt block section %d of %d", i, fr.NB)
 			}
 			off += vn
 			if v == 0 {
@@ -305,21 +337,21 @@ func (f *fconn) read() (*frame, error) {
 			l := int(v - 1)
 			if l > len(rest)-off {
 				f.rd.reset(nil)
-				return nil, fmt.Errorf("transport: block section %d overruns the frame (%d of %d bytes left)", i, l, len(rest)-off)
+				return nil, 0, fmt.Errorf("transport: block section %d overruns the frame (%d of %d bytes left)", i, l, len(rest)-off)
 			}
 			fr.blocks[i] = rest[off : off+l : off+l]
 			off += l
 		}
 		if off != len(rest) {
 			f.rd.reset(nil)
-			return nil, fmt.Errorf("transport: %d trailing bytes after block sections", len(rest)-off)
+			return nil, 0, fmt.Errorf("transport: %d trailing bytes after block sections", len(rest)-off)
 		}
 	}
 	f.rd.reset(nil) // don't pin a large frame body on an idle connection
 	if f.kc != nil {
 		f.kc.add(fr.Kind, int64(n)+4)
 	}
-	return &fr, nil
+	return &fr, int(n) + 4, nil
 }
 
 func (f *fconn) close() error { return f.c.Close() }
@@ -354,6 +386,7 @@ var kindNames = [kindMax + 1]string{
 	kindError: "error", kindAbort: "abort",
 	kindFeedOpen: "feed_open", kindFeedCall: "feed_call",
 	kindFeedAck: "feed_ack", kindFeedEnd: "feed_end",
+	kindBeaconOpen: "beacon_open", kindBeacon: "beacon",
 }
 
 // snapshot returns the non-zero per-kind stats.

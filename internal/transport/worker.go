@@ -38,9 +38,19 @@ type Worker struct {
 	reg   *obs.Registry
 	epoch time.Time
 
+	// lastStamp is the most recent superstep stamp any session served —
+	// beacon payload, so the health plane can see where a worker is in
+	// the superstep sequence without scraping it.
+	lastStamp atomic.Pointer[string]
+
 	// ingestShare is the operator cap on any single ingest feed's share
 	// of wall-time (math.Float64bits; 0 = client-requested share only).
 	ingestShare atomic.Uint64
+
+	// quit closes when the worker shuts down, unblocking beacon tickers
+	// promptly (their conns close too, but a sleeping ticker would
+	// otherwise hold Close's wg.Wait for up to one beacon interval).
+	quit chan struct{}
 
 	wg sync.WaitGroup
 }
@@ -53,7 +63,7 @@ func ListenAndServe(addr string) (*Worker, error) {
 		return nil, fmt.Errorf("transport: worker listen %s: %w", addr, err)
 	}
 	w := &Worker{ln: ln, sessions: make(map[string]*session), conns: make(map[net.Conn]struct{}),
-		reg: obs.NewRegistry(), epoch: time.Now()}
+		reg: obs.NewRegistry(), epoch: time.Now(), quit: make(chan struct{})}
 	w.reg.Func("worker_sessions", func() float64 { return float64(w.Sessions()) })
 	w.reg.Collect(func(emit obs.Emit) {
 		for k, st := range w.kc.snapshot() {
@@ -114,11 +124,14 @@ func (w *Worker) health() any {
 	closed := w.closed
 	w.mu.Unlock()
 	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
-	return map[string]any{
-		"addr":     w.Addr(),
-		"closed":   closed,
-		"sessions": len(infos),
-		"ranks":    infos,
+	return obs.Health{
+		OK: !closed,
+		Detail: map[string]any{
+			"addr":     w.Addr(),
+			"closed":   closed,
+			"sessions": len(infos),
+			"ranks":    infos,
+		},
 	}
 }
 
@@ -137,6 +150,7 @@ func (w *Worker) Close() error {
 		return nil
 	}
 	w.closed = true
+	close(w.quit)
 	admin := w.admin
 	w.admin = nil
 	live := make([]*session, 0, len(w.sessions))
@@ -224,6 +238,8 @@ func (w *Worker) handshake(conn net.Conn) {
 		w.feedPeer(fc, f)
 	case kindFeedOpen:
 		w.runFeed(fc, f)
+	case kindBeaconOpen:
+		w.runBeacon(fc, f)
 	default:
 		conn.Close()
 	}
@@ -365,6 +381,7 @@ func (w *Worker) runSession(fc *fconn, open *frame) {
 // blocks to each other cannot deadlock on full TCP buffers.
 func (s *session) superstep(dep *frame) error {
 	stepStart := s.w.now()
+	s.w.lastStamp.Store(&dep.Stamp)
 	// Worker-side spans for a traced superstep ride back on the column
 	// frame. They are appended only from this goroutine: the route
 	// goroutine's window is published through sendErr (the channel receive
